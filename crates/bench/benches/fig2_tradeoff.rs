@@ -1,0 +1,52 @@
+//! Fig. 2 bench: prints the tradeoff table once, then times the underlying
+//! Monte-Carlo kernels (one coupon-collector coverage run per scheme).
+
+use bcc_bench::experiments::fig2;
+use bcc_stats::coupon;
+use bcc_stats::rng::derive_rng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn print_figure() {
+    let cfg = fig2::Fig2Config {
+        trials: 2_000,
+        ..fig2::Fig2Config::default()
+    };
+    let result = fig2::run(&cfg);
+    println!("\n{}", fig2::render(&result).render());
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    print_figure();
+
+    let mut group = c.benchmark_group("fig2");
+    let m = 100usize;
+    for r in [10usize, 25, 50] {
+        // BCC: one coupon-collector run over ⌈m/r⌉ batch types.
+        group.bench_with_input(BenchmarkId::new("bcc_coverage_run", r), &r, |b, &r| {
+            let mut rng = derive_rng(1, r as u64);
+            b.iter(|| black_box(coupon::simulate_draws(m.div_ceil(r), &mut rng)));
+        });
+        // Randomized scheme: coverage by r-subsets of examples.
+        group.bench_with_input(BenchmarkId::new("random_coverage_run", r), &r, |b, &r| {
+            let mut rng = derive_rng(2, r as u64);
+            b.iter(|| black_box(coupon::simulate_random_subset_coverage(m, r, &mut rng)));
+        });
+    }
+    // The analytic curve evaluation (all loads) — effectively free, shown
+    // for contrast with the simulation cost.
+    group.bench_function("analytic_curve_all_loads", |b| {
+        b.iter(|| {
+            let k: f64 = (1..=10).map(|i| bcc_core::theory::k_bcc(m, i * 5)).sum();
+            black_box(k)
+        });
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_fig2
+}
+criterion_main!(benches);

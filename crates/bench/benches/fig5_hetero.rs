@@ -1,0 +1,64 @@
+//! Fig. 5 bench: prints the heterogeneous LB-vs-GBCC comparison, then times
+//! the two Monte-Carlo kernels (one LB trial, one GBCC coverage trial) and
+//! the P2 load solver.
+
+use bcc_bench::experiments::fig5;
+use bcc_core::hetero::{
+    expected_t_hat, optimal_loads, simulate_gbcc_coverage_time, simulate_lb_completion_time,
+    Fig5Config,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn print_figure() {
+    let result = fig5::run(300, 2024);
+    println!("\n{}", fig5::render(&result).render());
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    print_figure();
+
+    let m = 500usize;
+    let config = Fig5Config::paper(1, 7);
+    let s = (m as f64 * (m as f64).ln()).floor() as usize;
+
+    let mut group = c.benchmark_group("fig5");
+    group.bench_function("p2_optimal_loads", |b| {
+        b.iter(|| black_box(optimal_loads(&config.workers, s, m)));
+    });
+
+    let solution = optimal_loads(&config.workers, s, m);
+    group.bench_function("gbcc_coverage_trial", |b| {
+        let mut cfg = config.clone();
+        cfg.trials = 1;
+        let mut trial = 0u64;
+        b.iter(|| {
+            cfg.seed = trial; // fresh stochastic trial each iteration
+            trial += 1;
+            black_box(simulate_gbcc_coverage_time(&cfg, &solution.loads).mean_time)
+        });
+    });
+
+    group.bench_function("lb_completion_trial", |b| {
+        let mut cfg = config.clone();
+        cfg.trials = 1;
+        let mut trial = 0u64;
+        b.iter(|| {
+            cfg.seed = trial;
+            trial += 1;
+            black_box(simulate_lb_completion_time(&cfg).mean_time)
+        });
+    });
+
+    group.bench_function("expected_t_hat_100_trials", |b| {
+        b.iter(|| black_box(expected_t_hat(&config.workers, &solution.loads, s, 100, 11)));
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_fig5
+}
+criterion_main!(benches);

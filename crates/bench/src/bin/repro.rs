@@ -1,0 +1,149 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro all          # every paper artifact (default) + ablations
+//! repro fig2         # tradeoff curves
+//! repro fig4         # runtime comparison (both scenarios)
+//! repro table1       # scenario-one breakdown
+//! repro table2       # scenario-two breakdown
+//! repro fig5         # heterogeneous cluster
+//! repro ablations    # design-choice ablations (beyond the paper)
+//! repro --fast ...   # reduced trial counts for smoke runs
+//! ```
+//!
+//! Results print as console tables and persist as JSON under
+//! `experiments/`.
+
+use bcc_bench::experiments::{ablation, fig2, fig5, scenario};
+use bcc_bench::report::{write_json, Table};
+use std::path::PathBuf;
+
+struct Args {
+    targets: Vec<String>,
+    fast: bool,
+    out_dir: PathBuf,
+}
+
+fn parse_args() -> Args {
+    let mut targets = Vec::new();
+    let mut fast = false;
+    let mut out_dir = PathBuf::from("experiments");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--fast" => fast = true,
+            "--out" => {
+                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
+                    eprintln!("--out requires a directory");
+                    std::process::exit(2);
+                }));
+            }
+            "-h" | "--help" => {
+                println!("usage: repro [--fast] [--out DIR] [all|fig2|fig4|table1|table2|fig5]...");
+                std::process::exit(0);
+            }
+            other => targets.push(other.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".into());
+    }
+    Args {
+        targets,
+        fast,
+        out_dir,
+    }
+}
+
+fn print_table(t: &Table) {
+    println!("{}", t.render());
+}
+
+fn main() {
+    let args = parse_args();
+    let all = args.targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || args.targets.iter().any(|t| t == name);
+    let mut ran_any = false;
+
+    if want("fig2") {
+        ran_any = true;
+        let cfg = fig2::Fig2Config {
+            trials: if args.fast { 500 } else { 5_000 },
+            ..fig2::Fig2Config::default()
+        };
+        let result = fig2::run(&cfg);
+        print_table(&fig2::render(&result));
+        persist(&args.out_dir, "fig2_tradeoff", &result);
+    }
+
+    // fig4 shares its runs with table1/table2; compute each scenario once.
+    let mut one = None;
+    let mut two = None;
+    let iterations = if args.fast { 20 } else { 100 };
+    if want("fig4") || want("table1") {
+        let mut cfg = scenario::ScenarioConfig::scenario_one();
+        cfg.iterations = iterations;
+        one = Some(scenario::run(&cfg, false));
+    }
+    if want("fig4") || want("table2") {
+        let mut cfg = scenario::ScenarioConfig::scenario_two();
+        cfg.iterations = iterations;
+        two = Some(scenario::run(&cfg, false));
+    }
+    if want("table1") {
+        ran_any = true;
+        let one = one.as_ref().expect("computed above");
+        print_table(&scenario::render(one));
+        persist(&args.out_dir, "table1_scenario_one", one);
+    }
+    if want("table2") {
+        ran_any = true;
+        let two = two.as_ref().expect("computed above");
+        print_table(&scenario::render(two));
+        persist(&args.out_dir, "table2_scenario_two", two);
+    }
+    if want("fig4") {
+        ran_any = true;
+        let (one, two) = (one.as_ref().unwrap(), two.as_ref().unwrap());
+        print_table(&scenario::render_figure4(one, two));
+        persist(&args.out_dir, "fig4_runtime", &(one.clone(), two.clone()));
+    }
+
+    if want("fig5") {
+        ran_any = true;
+        let trials = if args.fast { 100 } else { 1_000 };
+        let result = fig5::run(trials, 2024);
+        print_table(&fig5::render(&result));
+        persist(&args.out_dir, "fig5_hetero", &result);
+    }
+
+    if want("ablations") {
+        ran_any = true;
+        let comp = ablation::compression(2024);
+        let bw = ablation::bandwidth_sweep(2024);
+        let batches = ablation::batch_count_scan(2024);
+        let rs = ablation::random_stragglers(2024);
+        for table in ablation::render_all(&comp, &bw, &batches, &rs) {
+            print_table(&table);
+        }
+        persist(&args.out_dir, "ablation_compression", &comp);
+        persist(&args.out_dir, "ablation_bandwidth", &bw);
+        persist(&args.out_dir, "ablation_batch_count", &batches);
+        persist(&args.out_dir, "ablation_random_stragglers", &rs);
+    }
+
+    if !ran_any {
+        eprintln!(
+            "unknown target(s) {:?}; expected all|fig2|fig4|table1|table2|fig5|ablations",
+            args.targets
+        );
+        std::process::exit(2);
+    }
+}
+
+fn persist<T: serde::Serialize>(dir: &std::path::Path, name: &str, value: &T) {
+    match write_json(dir, name, value) {
+        Ok(path) => println!("[saved {}]\n", path.display()),
+        Err(e) => eprintln!("[warn] could not write {name}.json: {e}"),
+    }
+}

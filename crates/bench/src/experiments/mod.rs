@@ -1,0 +1,6 @@
+//! Experiment implementations, one module per paper artifact.
+
+pub mod ablation;
+pub mod fig2;
+pub mod fig5;
+pub mod scenario;

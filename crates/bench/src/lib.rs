@@ -1,0 +1,21 @@
+//! Benchmark harness: regenerates every table and figure of the paper.
+//!
+//! The experiment implementations live here so that the five criterion
+//! benches (`fig2_tradeoff`, `fig4_runtime`, `table1_breakdown`,
+//! `table2_breakdown`, `fig5_hetero`) and the `repro` binary share one code
+//! path. Each experiment returns serializable rows mirroring the paper's
+//! table/figure, plus helpers that render them as console tables and JSON.
+//!
+//! | experiment | paper artifact | entry point |
+//! |---|---|---|
+//! | tradeoff | Fig. 2 | [`experiments::fig2::run`] |
+//! | runtime comparison | Fig. 4 | [`experiments::scenario::run_figure4`] |
+//! | scenario-one breakdown | Table I | [`experiments::scenario::run`] with [`experiments::scenario::ScenarioConfig::scenario_one`] |
+//! | scenario-two breakdown | Table II | [`experiments::scenario::run`] with [`experiments::scenario::ScenarioConfig::scenario_two`] |
+//! | heterogeneous cluster | Fig. 5 | [`experiments::fig5::run`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;

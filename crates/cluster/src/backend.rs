@@ -1,0 +1,44 @@
+//! The backend trait both runtimes implement.
+
+use crate::error::ClusterError;
+use crate::metrics::RoundMetrics;
+use crate::units::UnitMap;
+use bcc_coding::GradientCodingScheme;
+use bcc_data::Dataset;
+use bcc_optim::Loss;
+
+/// Result of one distributed-GD round.
+#[derive(Debug, Clone)]
+pub struct RoundOutcome {
+    /// The exact gradient **sum** over all units `Σ_u g_u = Σ_j g_j`
+    /// (the caller divides by the example count).
+    pub gradient_sum: Vec<f64>,
+    /// Timing and load metrics for the round.
+    pub metrics: RoundMetrics,
+}
+
+/// A cluster backend: executes one gradient round under a coding scheme.
+///
+/// The scheme codes over [`UnitMap`] units; `data` holds the raw examples.
+/// Implementations must (a) compute each worker's unit partial gradients,
+/// (b) encode them with the scheme, (c) deliver messages to the master under
+/// the backend's timing model, and (d) stop as soon as the scheme's decoder
+/// reports completion.
+pub trait ClusterBackend {
+    /// Runs one round, returning the decoded gradient sum and metrics.
+    ///
+    /// # Errors
+    /// [`ClusterError::Stalled`] when all live workers report without
+    /// completing the scheme, plus coding/wire failures.
+    fn run_round(
+        &mut self,
+        scheme: &dyn GradientCodingScheme,
+        units: &UnitMap,
+        data: &Dataset,
+        loss: &dyn Loss,
+        weights: &[f64],
+    ) -> Result<RoundOutcome, ClusterError>;
+
+    /// Human-readable backend name for reports.
+    fn backend_name(&self) -> &'static str;
+}

@@ -1,0 +1,71 @@
+//! Cluster-level errors.
+
+use bcc_coding::CodingError;
+use std::fmt;
+
+/// Errors from running a distributed GD round.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClusterError {
+    /// A coding-layer failure (malformed payload, failed decode, …).
+    Coding(CodingError),
+    /// The round cannot complete: all live workers reported but the scheme's
+    /// completion condition still does not hold (e.g. uncoded with a dead
+    /// worker, or a BCC realization that left a batch unchosen).
+    Stalled {
+        /// Messages received before the stall was detected.
+        received: usize,
+        /// Human-readable cause.
+        reason: String,
+    },
+    /// A worker thread panicked or its channel disconnected unexpectedly.
+    WorkerFailed {
+        /// Worker id.
+        worker: usize,
+    },
+    /// A wire-format encode/decode failure.
+    Wire(String),
+}
+
+impl fmt::Display for ClusterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Coding(e) => write!(f, "coding error: {e}"),
+            Self::Stalled { received, reason } => {
+                write!(f, "round stalled after {received} messages: {reason}")
+            }
+            Self::WorkerFailed { worker } => write!(f, "worker {worker} failed"),
+            Self::Wire(msg) => write!(f, "wire error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClusterError {}
+
+impl From<CodingError> for ClusterError {
+    fn from(e: CodingError) -> Self {
+        Self::Coding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_from() {
+        let e: ClusterError = CodingError::NotComplete { received: 2 }.into();
+        assert!(e.to_string().contains("coding error"));
+        assert!(ClusterError::Stalled {
+            received: 5,
+            reason: "dead worker".into()
+        }
+        .to_string()
+        .contains("dead worker"));
+        assert!(ClusterError::WorkerFailed { worker: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(ClusterError::Wire("truncated".into())
+            .to_string()
+            .contains("truncated"));
+    }
+}

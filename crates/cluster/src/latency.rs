@@ -1,0 +1,199 @@
+//! Worker latency and link models.
+//!
+//! Worker `i` processing `rᵢ` work units finishes its local computation
+//! after `Tᵢ ~ shift-exp(shift aᵢ·rᵢ, rate μᵢ/rᵢ)` — eq. (15), the model the
+//! paper uses for its heterogeneous analysis and which matches the EC2
+//! behaviour its experiments exhibit (rare multi-second stragglers on a
+//! sub-second base). Message transfer to the master takes
+//! `overhead + units·per_unit` seconds on a port that handles one transfer
+//! at a time.
+
+use bcc_stats::dist::{Sample, ShiftedExponential};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-worker straggling profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// Straggling parameter `μ` (larger ⇒ faster tail).
+    pub mu: f64,
+    /// Deterministic per-unit shift `a`.
+    pub a: f64,
+}
+
+impl WorkerProfile {
+    /// Samples the compute time for a load of `r` units.
+    ///
+    /// # Panics
+    /// Panics when `r == 0` — workers without work never enter the model.
+    pub fn sample_compute_time<R: Rng + ?Sized>(&self, r: usize, rng: &mut R) -> f64 {
+        assert!(r > 0, "latency model undefined for zero load");
+        ShiftedExponential::new(self.mu, self.a, r as f64).sample(rng)
+    }
+
+    /// Expected compute time for load `r`: `a·r + r/μ`.
+    #[must_use]
+    pub fn mean_compute_time(&self, r: usize) -> f64 {
+        assert!(r > 0, "latency model undefined for zero load");
+        ShiftedExponential::new(self.mu, self.a, r as f64).mean()
+    }
+}
+
+/// Master-side link model: one transfer at a time, linear in message units.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CommModel {
+    /// Fixed per-message overhead (seconds).
+    pub per_message_overhead: f64,
+    /// Seconds per communication unit (one gradient-sized vector).
+    pub per_unit: f64,
+}
+
+impl CommModel {
+    /// Transfer duration of a message of `units` communication units.
+    #[must_use]
+    pub fn transfer_time(&self, units: usize) -> f64 {
+        self.per_message_overhead + self.per_unit * units as f64
+    }
+}
+
+/// Full cluster profile: per-worker latencies plus the shared link.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterProfile {
+    /// One profile per worker.
+    pub workers: Vec<WorkerProfile>,
+    /// The master's receive link.
+    pub comm: CommModel,
+}
+
+impl ClusterProfile {
+    /// Homogeneous cluster of `n` identical workers.
+    #[must_use]
+    pub fn homogeneous(n: usize, mu: f64, a: f64, comm: CommModel) -> Self {
+        Self {
+            workers: vec![WorkerProfile { mu, a }; n],
+            comm,
+        }
+    }
+
+    /// EC2-like profile reproducing the regime of the paper's experiments
+    /// (Tables I/II): **communication-dominated** rounds — per-unit transfer
+    /// time comparable to per-unit compute, so with ~50–100 serialized
+    /// arrivals the master's link is the bottleneck — with a heavy straggler
+    /// tail (`μ` small enough that the slowest of `n` workers lags the
+    /// median by several ×).
+    ///
+    /// Times are in simulated seconds per *work unit* (one 100-example data
+    /// batch in scenario one/two).
+    #[must_use]
+    pub fn ec2_like(n: usize) -> Self {
+        // Calibrated against Table I's per-iteration budget (~6 ms per
+        // serialized message at the master; worker compute ≈ 1 ms/unit base
+        // with an exponential tail of the same order): total round time is
+        // then dominated by `K` serialized transfers, which is the paper's
+        // own reading of Tables I/II.
+        Self::homogeneous(
+            n,
+            // μ = 1000: tail mean r/μ = 1 ms per unit of load.
+            1000.0,
+            // a = 0.001 s per unit of deterministic compute.
+            0.001,
+            CommModel {
+                per_message_overhead: 0.002,
+                per_unit: 0.004,
+            },
+        )
+    }
+
+    /// The heterogeneous cluster of Fig. 5: `n = 100`, all shifts `aᵢ = 20`;
+    /// `μᵢ = 1` for 95 workers and `μᵢ = 20` for the remaining 5.
+    #[must_use]
+    pub fn fig5_heterogeneous() -> Self {
+        let mut workers = vec![WorkerProfile { mu: 1.0, a: 20.0 }; 95];
+        workers.extend(vec![WorkerProfile { mu: 20.0, a: 20.0 }; 5]);
+        Self {
+            workers,
+            // Fig. 5 measures *computation* time only; zero-cost link.
+            comm: CommModel {
+                per_message_overhead: 0.0,
+                per_unit: 0.0,
+            },
+        }
+    }
+
+    /// Number of workers.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_stats::rng::derive_rng;
+    use bcc_stats::Summary;
+
+    #[test]
+    fn sample_respects_shift() {
+        let p = WorkerProfile { mu: 1.0, a: 2.0 };
+        let mut rng = derive_rng(1, 0);
+        for _ in 0..200 {
+            assert!(p.sample_compute_time(5, &mut rng) >= 10.0);
+        }
+    }
+
+    #[test]
+    fn mean_matches_formula() {
+        let p = WorkerProfile { mu: 4.0, a: 1.0 };
+        // a·r + r/μ = 8 + 2.
+        assert!((p.mean_compute_time(8) - 10.0).abs() < 1e-12);
+        let mut rng = derive_rng(2, 0);
+        let mut s = Summary::new();
+        for _ in 0..100_000 {
+            s.push(p.sample_compute_time(8, &mut rng));
+        }
+        assert!((s.mean() - 10.0).abs() < 0.05, "mean {}", s.mean());
+    }
+
+    #[test]
+    fn transfer_time_linear_in_units() {
+        let c = CommModel {
+            per_message_overhead: 0.5,
+            per_unit: 0.1,
+        };
+        assert!((c.transfer_time(0) - 0.5).abs() < 1e-15);
+        assert!((c.transfer_time(10) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ec2_like_is_communication_dominated() {
+        let p = ClusterProfile::ec2_like(50);
+        assert_eq!(p.num_workers(), 50);
+        // The Table I regime: the recovery-threshold-many serialized
+        // transfers (BCC's K ≈ 11) outweigh one worker's mean compute.
+        let transfer = p.comm.transfer_time(1);
+        let compute = p.workers[0].mean_compute_time(10);
+        assert!(
+            transfer * 11.0 > compute,
+            "11 serialized transfers ({}) should exceed compute ({compute})",
+            transfer * 11.0
+        );
+    }
+
+    #[test]
+    fn fig5_profile_shape() {
+        let p = ClusterProfile::fig5_heterogeneous();
+        assert_eq!(p.num_workers(), 100);
+        assert_eq!(p.workers.iter().filter(|w| w.mu == 1.0).count(), 95);
+        assert_eq!(p.workers.iter().filter(|w| w.mu == 20.0).count(), 5);
+        assert!(p.workers.iter().all(|w| w.a == 20.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero load")]
+    fn zero_load_panics() {
+        let p = WorkerProfile { mu: 1.0, a: 1.0 };
+        let mut rng = derive_rng(3, 0);
+        let _ = p.sample_compute_time(0, &mut rng);
+    }
+}

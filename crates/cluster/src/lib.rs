@@ -1,0 +1,43 @@
+//! Master/worker cluster runtime for distributed gradient descent.
+//!
+//! The paper's experiments ran on Amazon EC2 (MPI over t2.micro instances).
+//! This crate substitutes two interchangeable backends behind one trait
+//! (see DESIGN.md for why the substitution preserves the paper's effects):
+//!
+//! * [`ThreadedCluster`] — a *real* concurrent runtime: one OS thread per
+//!   worker, crossbeam channels as the network, a byte-level wire codec
+//!   ([`wire`]) for every message, and injected shift-exponential latencies
+//!   (the model the paper itself adopts in §IV eq. (15)) emulating EC2
+//!   stragglers at a configurable time scale.
+//! * [`VirtualCluster`] — the same protocol replayed on the `bcc-des`
+//!   discrete-event kernel in virtual time: deterministic, seedable, and
+//!   thousands of times faster — used for the Monte-Carlo parameter sweeps
+//!   behind every figure.
+//!
+//! Both backends serialize message receipt at the master (one transfer at a
+//! time, duration proportional to message units), which is what makes total
+//! round time track the *communication load* — the paper's own explanation
+//! of Tables I/II ("the total running time of each scheme is approximately
+//! proportional to its recovery threshold").
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod error;
+pub mod latency;
+pub mod message;
+pub mod metrics;
+pub mod threaded;
+pub mod units;
+pub mod virtual_cluster;
+pub mod wire;
+
+pub use backend::{ClusterBackend, RoundOutcome};
+pub use error::ClusterError;
+pub use latency::{ClusterProfile, CommModel, WorkerProfile};
+pub use message::Envelope;
+pub use metrics::{RoundMetrics, RunMetrics};
+pub use threaded::ThreadedCluster;
+pub use units::UnitMap;
+pub use virtual_cluster::VirtualCluster;

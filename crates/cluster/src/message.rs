@@ -1,0 +1,37 @@
+//! The worker → master message envelope.
+
+use bcc_coding::Payload;
+use serde::{Deserialize, Serialize};
+
+/// One worker message for one iteration, as carried over the wire.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Envelope {
+    /// GD iteration this message belongs to (guards against stale arrivals
+    /// from a previous round in the threaded runtime).
+    pub iteration: u64,
+    /// Sending worker id.
+    pub worker: usize,
+    /// Worker-reported compute duration in seconds (the paper measures
+    /// "computation time" as the max over received workers — §III-C-2).
+    pub compute_seconds: f64,
+    /// The coded payload.
+    pub payload: Payload,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let e = Envelope {
+            iteration: 3,
+            worker: 7,
+            compute_seconds: 0.25,
+            payload: Payload::Linear { vector: vec![1.0] },
+        };
+        assert_eq!(e.iteration, 3);
+        assert_eq!(e.worker, 7);
+        assert_eq!(e.payload.units(), 1);
+    }
+}

@@ -1,0 +1,149 @@
+//! Round and run metrics mirroring the paper's Tables I/II columns.
+
+use serde::{Deserialize, Serialize};
+
+/// Metrics of one distributed-GD iteration (one "round").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundMetrics {
+    /// Number of worker messages the master consumed before completing —
+    /// the empirical `|W|` whose average is the recovery threshold
+    /// (Definition 2).
+    pub messages_used: usize,
+    /// Total communication units received (Definition 3 accounting).
+    pub communication_units: usize,
+    /// "Computation time": the maximum compute time among workers whose
+    /// results the master received before the round ended (the paper's
+    /// measurement convention, §III-C-2).
+    pub compute_time: f64,
+    /// "Communication time": total round time minus computation time (ditto).
+    pub comm_time: f64,
+    /// Wall/virtual-clock duration of the whole round.
+    pub total_time: f64,
+}
+
+impl RoundMetrics {
+    /// Consistency check: times non-negative and parts bounded by the total.
+    #[must_use]
+    pub fn is_consistent(&self) -> bool {
+        self.compute_time >= 0.0
+            && self.comm_time >= 0.0
+            && self.total_time >= 0.0
+            && self.compute_time + self.comm_time <= self.total_time + 1e-9
+    }
+}
+
+/// Aggregated metrics over a training run (e.g. 100 iterations), with the
+/// same breakdown the paper reports per scheme.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Number of rounds aggregated.
+    pub rounds: usize,
+    /// Sum of per-round total times (the paper's "total running time").
+    pub total_time: f64,
+    /// Sum of per-round computation times.
+    pub compute_time: f64,
+    /// Sum of per-round communication times.
+    pub comm_time: f64,
+    /// Sum of messages used (divide by `rounds` for the empirical recovery
+    /// threshold).
+    pub messages_used: usize,
+    /// Sum of communication units.
+    pub communication_units: usize,
+}
+
+impl RunMetrics {
+    /// Empty aggregate.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Folds one round in.
+    pub fn absorb(&mut self, round: &RoundMetrics) {
+        self.rounds += 1;
+        self.total_time += round.total_time;
+        self.compute_time += round.compute_time;
+        self.comm_time += round.comm_time;
+        self.messages_used += round.messages_used;
+        self.communication_units += round.communication_units;
+    }
+
+    /// Average messages per round — the empirical recovery threshold `K`.
+    #[must_use]
+    pub fn avg_recovery_threshold(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.messages_used as f64 / self.rounds as f64
+        }
+    }
+
+    /// Average communication load per round — the empirical `L`.
+    #[must_use]
+    pub fn avg_communication_load(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.communication_units as f64 / self.rounds as f64
+        }
+    }
+
+    /// Average round duration.
+    #[must_use]
+    pub fn avg_round_time(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.total_time / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round(messages: usize, units: usize, compute: f64, comm: f64) -> RoundMetrics {
+        RoundMetrics {
+            messages_used: messages,
+            communication_units: units,
+            compute_time: compute,
+            comm_time: comm,
+            total_time: compute + comm,
+        }
+    }
+
+    #[test]
+    fn consistency_check() {
+        assert!(round(3, 3, 1.0, 2.0).is_consistent());
+        let bad = RoundMetrics {
+            messages_used: 1,
+            communication_units: 1,
+            compute_time: 5.0,
+            comm_time: 5.0,
+            total_time: 1.0,
+        };
+        assert!(!bad.is_consistent());
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut run = RunMetrics::new();
+        run.absorb(&round(10, 10, 1.0, 3.0));
+        run.absorb(&round(12, 12, 2.0, 5.0));
+        assert_eq!(run.rounds, 2);
+        assert_eq!(run.messages_used, 22);
+        assert!((run.avg_recovery_threshold() - 11.0).abs() < 1e-12);
+        assert!((run.avg_communication_load() - 11.0).abs() < 1e-12);
+        assert!((run.total_time - 11.0).abs() < 1e-12);
+        assert!((run.avg_round_time() - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let run = RunMetrics::new();
+        assert_eq!(run.avg_recovery_threshold(), 0.0);
+        assert_eq!(run.avg_communication_load(), 0.0);
+        assert_eq!(run.avg_round_time(), 0.0);
+    }
+}

@@ -1,0 +1,328 @@
+//! Threaded cluster: one OS thread per worker, crossbeam channels as the
+//! network, injected stragglers, byte-level wire messages.
+//!
+//! The runtime mirrors the paper's MPI implementation: workers compute
+//! partial gradients on their assigned units, encode them, and send
+//! asynchronously; the master consumes messages from its single receive
+//! queue (each transfer occupying the port for `overhead + units·per_unit`
+//! scaled seconds) and stops as soon as the scheme's decoder completes.
+//! Straggling is emulated by sampling the paper's shift-exponential model
+//! and sleeping that long (compressed by `time_scale`), so the *relative*
+//! timing behaviour — order statistics of arrivals, serialized receipt —
+//! matches the EC2 experiments at a laptop-friendly wall clock.
+
+use crate::backend::{ClusterBackend, RoundOutcome};
+use crate::error::ClusterError;
+use crate::latency::ClusterProfile;
+use crate::metrics::RoundMetrics;
+use crate::units::UnitMap;
+use crate::wire;
+use bcc_coding::GradientCodingScheme;
+use bcc_data::Dataset;
+use bcc_optim::Loss;
+use bcc_stats::rng::derive_rng;
+use crossbeam_channel::{unbounded, RecvTimeoutError};
+use std::collections::HashSet;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Granularity of cancellable sleeps.
+const SLEEP_SLICE: Duration = Duration::from_millis(2);
+
+/// Threaded master/worker backend.
+#[derive(Debug)]
+pub struct ThreadedCluster {
+    profile: ClusterProfile,
+    seed: u64,
+    round: u64,
+    /// Real seconds slept per simulated second (e.g. `0.01` compresses a
+    /// 1 s simulated straggler to 10 ms of wall time).
+    time_scale: f64,
+    /// Master receive timeout in *real* time before declaring a stall.
+    recv_timeout: Duration,
+    dead_workers: HashSet<usize>,
+}
+
+impl ThreadedCluster {
+    /// Creates a threaded cluster.
+    ///
+    /// # Panics
+    /// Panics on a non-positive `time_scale`.
+    #[must_use]
+    pub fn new(profile: ClusterProfile, seed: u64, time_scale: f64) -> Self {
+        assert!(
+            time_scale > 0.0 && time_scale.is_finite(),
+            "time_scale must be positive"
+        );
+        Self {
+            profile,
+            seed,
+            round: 0,
+            time_scale,
+            recv_timeout: Duration::from_secs(5),
+            dead_workers: HashSet::new(),
+        }
+    }
+
+    /// Sets the master's stall-detection timeout (real time).
+    #[must_use]
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Marks workers as dead (they never send) for failure injection.
+    pub fn kill_workers(&mut self, workers: impl IntoIterator<Item = usize>) {
+        self.dead_workers.extend(workers);
+    }
+
+    /// Revives all workers.
+    pub fn revive_all(&mut self) {
+        self.dead_workers.clear();
+    }
+
+    /// The profile in force.
+    #[must_use]
+    pub fn profile(&self) -> &ClusterProfile {
+        &self.profile
+    }
+}
+
+/// Sleeps `duration`, waking early when `cancel` flips — lets straggler
+/// threads exit as soon as the master completed the round.
+fn cancellable_sleep(duration: Duration, cancel: &AtomicBool) {
+    let deadline = Instant::now() + duration;
+    while Instant::now() < deadline {
+        if cancel.load(Ordering::Relaxed) {
+            return;
+        }
+        std::thread::sleep(SLEEP_SLICE.min(deadline.saturating_duration_since(Instant::now())));
+    }
+}
+
+impl ClusterBackend for ThreadedCluster {
+    fn run_round(
+        &mut self,
+        scheme: &dyn GradientCodingScheme,
+        units: &UnitMap,
+        data: &Dataset,
+        loss: &dyn Loss,
+        weights: &[f64],
+    ) -> Result<RoundOutcome, ClusterError> {
+        let n = scheme.num_workers();
+        assert_eq!(
+            n,
+            self.profile.num_workers(),
+            "scheme has {n} workers but profile has {}",
+            self.profile.num_workers()
+        );
+        let round = self.round;
+        self.round += 1;
+        let time_scale = self.time_scale;
+        let seed = self.seed;
+        let iteration = round;
+
+        let (tx, rx) = unbounded::<bytes::Bytes>();
+        let cancel = AtomicBool::new(false);
+        let start = Instant::now();
+
+        let result: Result<(Vec<f64>, RoundMetrics), ClusterError> = crossbeam::scope(|scope| {
+            // --- Workers -------------------------------------------------
+            for worker in 0..n {
+                if self.dead_workers.contains(&worker) {
+                    continue;
+                }
+                let load = scheme.placement().load_of(worker);
+                if load == 0 {
+                    continue;
+                }
+                let tx = tx.clone();
+                let cancel = &cancel;
+                let profile = self.profile.workers[worker];
+                scope.spawn(move |_| {
+                    let mut rng = derive_rng(seed, round.wrapping_mul(1_000_003) + worker as u64);
+                    let delay = profile.sample_compute_time(load, &mut rng);
+
+                    // Real computation: the worker's unit partial gradients.
+                    let worker_units = scheme.placement().worker_examples(worker);
+                    let partials = units.worker_partials_dyn(data, loss, worker_units, weights);
+                    let Ok(payload) = scheme.encode(worker, &partials) else {
+                        return; // malformed config; master will stall & report
+                    };
+
+                    // Emulated straggling on top of the real compute.
+                    cancellable_sleep(Duration::from_secs_f64(delay * time_scale), cancel);
+                    if cancel.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    let envelope = crate::message::Envelope {
+                        iteration,
+                        worker,
+                        compute_seconds: delay,
+                        payload,
+                    };
+                    // Receiver may already have hung up — that's fine.
+                    let _ = tx.send(wire::encode(&envelope));
+                });
+            }
+            drop(tx);
+
+            // --- Master --------------------------------------------------
+            let mut decoder = scheme.decoder();
+            let mut max_compute_used = 0.0f64;
+            let outcome = loop {
+                match rx.recv_timeout(self.recv_timeout) {
+                    Ok(bytes) => {
+                        // Serialized receive port: transfer occupies the
+                        // master for the scaled transfer duration.
+                        let envelope = wire::decode(bytes)?;
+                        if envelope.iteration != iteration {
+                            continue; // stale message from a previous round
+                        }
+                        let transfer = self.profile.comm.transfer_time(envelope.payload.units());
+                        std::thread::sleep(Duration::from_secs_f64(transfer * time_scale));
+                        let done = decoder.receive(envelope.worker, envelope.payload)?;
+                        max_compute_used = max_compute_used.max(envelope.compute_seconds);
+                        if done {
+                            break Ok(());
+                        }
+                    }
+                    Err(RecvTimeoutError::Disconnected) => {
+                        break Err(ClusterError::Stalled {
+                            received: decoder.messages_received(),
+                            reason: "all live workers reported without completing the scheme"
+                                .into(),
+                        });
+                    }
+                    Err(RecvTimeoutError::Timeout) => {
+                        break Err(ClusterError::Stalled {
+                            received: decoder.messages_received(),
+                            reason: format!(
+                                "no message within {:?} (dead workers?)",
+                                self.recv_timeout
+                            ),
+                        });
+                    }
+                }
+            };
+            // Wake any sleeping stragglers so scope join is prompt.
+            cancel.store(true, Ordering::Relaxed);
+            outcome?;
+
+            let total_time = start.elapsed().as_secs_f64() / time_scale;
+            let gradient_sum = decoder.decode().map_err(ClusterError::from)?;
+            let metrics = RoundMetrics {
+                messages_used: decoder.messages_received(),
+                communication_units: decoder.communication_units(),
+                compute_time: max_compute_used,
+                comm_time: (total_time - max_compute_used).max(0.0),
+                total_time,
+            };
+            Ok((gradient_sum, metrics))
+        })
+        .map_err(|_| ClusterError::WorkerFailed { worker: usize::MAX })?;
+
+        let (gradient_sum, metrics) = result?;
+        Ok(RoundOutcome {
+            gradient_sum,
+            metrics,
+        })
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "threaded"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{ClusterProfile, CommModel};
+    use bcc_coding::{BccScheme, UncodedScheme};
+    use bcc_data::synthetic::{generate, SyntheticConfig};
+    use bcc_linalg::approx_eq_slice;
+    use bcc_optim::gradient::full_gradient;
+    use bcc_optim::LogisticLoss;
+
+    fn fast_profile(n: usize) -> ClusterProfile {
+        ClusterProfile::homogeneous(
+            n,
+            4.0,
+            0.0005,
+            CommModel {
+                per_message_overhead: 0.0005,
+                per_unit: 0.002,
+            },
+        )
+    }
+
+    /// Aggressive compression so tests run in milliseconds.
+    const SCALE: f64 = 0.02;
+
+    #[test]
+    fn uncoded_round_matches_serial_gradient() {
+        let g = generate(&SyntheticConfig::small(30, 4, 1));
+        let units = UnitMap::grouped(30, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let mut cluster = ThreadedCluster::new(fast_profile(5), 3, SCALE);
+        let w = vec![0.1; 4];
+        let out = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+            .unwrap();
+        let mut expect = full_gradient(&g.dataset, &LogisticLoss, &w);
+        bcc_linalg::vec_ops::scale(30.0, &mut expect);
+        assert!(approx_eq_slice(&out.gradient_sum, &expect, 1e-8));
+        assert_eq!(out.metrics.messages_used, 5);
+        assert!(out.metrics.total_time > 0.0);
+    }
+
+    #[test]
+    fn bcc_round_exact_and_early() {
+        let g = generate(&SyntheticConfig::small(40, 4, 2));
+        let units = UnitMap::grouped(40, 8);
+        // 8 units, r=2 → 4 batches; 16 workers, coverage guaranteed by hand.
+        let choices = vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3];
+        let scheme = BccScheme::from_choices(8, 2, choices);
+        let mut cluster = ThreadedCluster::new(fast_profile(16), 5, SCALE);
+        let w = vec![0.0; 4];
+        let out = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+            .unwrap();
+        let mut expect = full_gradient(&g.dataset, &LogisticLoss, &w);
+        bcc_linalg::vec_ops::scale(40.0, &mut expect);
+        assert!(approx_eq_slice(&out.gradient_sum, &expect, 1e-8));
+        assert!(
+            out.metrics.messages_used < 16,
+            "BCC should stop before hearing all workers"
+        );
+    }
+
+    #[test]
+    fn dead_worker_stalls_uncoded_with_timeout() {
+        let g = generate(&SyntheticConfig::small(20, 3, 3));
+        let units = UnitMap::grouped(20, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let mut cluster = ThreadedCluster::new(fast_profile(5), 7, SCALE)
+            .with_recv_timeout(Duration::from_millis(300));
+        cluster.kill_workers([0]);
+        let err = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &[0.0; 3])
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Stalled { .. }));
+    }
+
+    #[test]
+    fn consecutive_rounds_work() {
+        let g = generate(&SyntheticConfig::small(20, 3, 4));
+        let units = UnitMap::grouped(20, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let mut cluster = ThreadedCluster::new(fast_profile(5), 9, SCALE);
+        let w = vec![0.0; 3];
+        for _ in 0..3 {
+            let out = cluster
+                .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+                .unwrap();
+            assert_eq!(out.metrics.messages_used, 5);
+        }
+    }
+}

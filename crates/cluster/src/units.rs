@@ -1,0 +1,157 @@
+//! Work units: grouping raw examples into the units the schemes code over.
+//!
+//! The paper's footnote 1: "When `m > n`, we can partition the dataset into
+//! `n` groups, and view each group of `m/n` training examples as a *super
+//! example*." The EC2 experiments do exactly this — scenario one has 50
+//! batches of 100 data points. [`UnitMap`] is that grouping: scheme-level
+//! "example" indices map to contiguous ranges of dataset rows, and the
+//! per-unit partial gradient is the sum of the per-row gradients.
+
+use bcc_data::{Batching, Dataset};
+use bcc_optim::gradient::sum_partial_gradients;
+use bcc_optim::Loss;
+
+/// Maps scheme-level units to ranges of dataset examples.
+#[derive(Debug, Clone)]
+pub struct UnitMap {
+    batching: Batching,
+}
+
+impl UnitMap {
+    /// One unit per dataset example (the trivial grouping).
+    #[must_use]
+    pub fn identity(num_examples: usize) -> Self {
+        Self {
+            batching: Batching::even(num_examples, 1),
+        }
+    }
+
+    /// Groups `num_examples` dataset rows into `units` equal super-examples.
+    ///
+    /// # Panics
+    /// Panics when `units == 0` or `units > num_examples`.
+    #[must_use]
+    pub fn grouped(num_examples: usize, units: usize) -> Self {
+        assert!(units > 0, "need at least one unit");
+        assert!(
+            units <= num_examples,
+            "cannot have more units ({units}) than examples ({num_examples})"
+        );
+        let per = num_examples.div_ceil(units);
+        let batching = Batching::even(num_examples, per);
+        assert_eq!(
+            batching.num_batches(),
+            units,
+            "grouping must produce exactly the requested unit count"
+        );
+        Self { batching }
+    }
+
+    /// Number of scheme-level units.
+    #[must_use]
+    pub fn num_units(&self) -> usize {
+        self.batching.num_batches()
+    }
+
+    /// Number of underlying dataset examples.
+    #[must_use]
+    pub fn num_examples(&self) -> usize {
+        self.batching.num_examples()
+    }
+
+    /// Dataset rows belonging to a unit.
+    #[must_use]
+    pub fn unit_examples(&self, unit: usize) -> Vec<usize> {
+        self.batching.batch_indices(unit)
+    }
+
+    /// Partial gradient of one unit: `Σ_{j∈unit} g_j(w)`.
+    #[must_use]
+    pub fn unit_gradient<L: Loss>(
+        &self,
+        data: &Dataset,
+        loss: &L,
+        unit: usize,
+        w: &[f64],
+    ) -> Vec<f64> {
+        sum_partial_gradients(data, loss, &self.unit_examples(unit), w)
+    }
+
+    /// Partial gradients for a worker's unit list, in the given order —
+    /// exactly the `partials` argument scheme encoders expect.
+    #[must_use]
+    pub fn worker_partials<L: Loss>(
+        &self,
+        data: &Dataset,
+        loss: &L,
+        units: &[usize],
+        w: &[f64],
+    ) -> Vec<Vec<f64>> {
+        units
+            .iter()
+            .map(|&u| self.unit_gradient(data, loss, u, w))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_data::synthetic::{generate, SyntheticConfig};
+    use bcc_linalg::approx_eq_slice;
+    use bcc_optim::gradient::full_gradient;
+    use bcc_optim::LogisticLoss;
+
+    #[test]
+    fn identity_has_one_example_per_unit() {
+        let um = UnitMap::identity(5);
+        assert_eq!(um.num_units(), 5);
+        assert_eq!(um.unit_examples(3), vec![3]);
+    }
+
+    #[test]
+    fn grouped_partitions_evenly() {
+        let um = UnitMap::grouped(100, 10);
+        assert_eq!(um.num_units(), 10);
+        assert_eq!(um.unit_examples(0).len(), 10);
+        assert_eq!(um.num_examples(), 100);
+    }
+
+    #[test]
+    fn unit_gradients_sum_to_full_gradient() {
+        let g = generate(&SyntheticConfig::small(60, 6, 5));
+        let um = UnitMap::grouped(60, 12);
+        let w = vec![0.1; 6];
+        let mut acc = vec![0.0; 6];
+        for u in 0..um.num_units() {
+            let gu = um.unit_gradient(&g.dataset, &LogisticLoss, u, &w);
+            bcc_linalg::vec_ops::add_assign(&mut acc, &gu);
+        }
+        bcc_linalg::vec_ops::scale(1.0 / 60.0, &mut acc);
+        let full = full_gradient(&g.dataset, &LogisticLoss, &w);
+        assert!(approx_eq_slice(&acc, &full, 1e-9));
+    }
+
+    #[test]
+    fn worker_partials_ordered_like_input() {
+        let g = generate(&SyntheticConfig::small(20, 4, 6));
+        let um = UnitMap::grouped(20, 5);
+        let w = vec![0.0; 4];
+        let partials = um.worker_partials(&g.dataset, &LogisticLoss, &[3, 1], &w);
+        assert_eq!(partials.len(), 2);
+        assert_eq!(
+            partials[0],
+            um.unit_gradient(&g.dataset, &LogisticLoss, 3, &w)
+        );
+        assert_eq!(
+            partials[1],
+            um.unit_gradient(&g.dataset, &LogisticLoss, 1, &w)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "more units")]
+    fn too_many_units_panics() {
+        let _ = UnitMap::grouped(5, 10);
+    }
+}

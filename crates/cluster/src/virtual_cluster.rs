@@ -1,0 +1,372 @@
+//! DES-backed virtual cluster: the threaded protocol replayed in virtual
+//! time.
+//!
+//! Per round: every participating worker `i` samples a compute time
+//! `Tᵢ ~ shift-exp(aᵢ·rᵢ, μᵢ/rᵢ)` and "finishes" at `Tᵢ`; its message then
+//! queues for the master's single receive port (transfer time
+//! `overhead + units·per_unit`, one transfer at a time). The master feeds
+//! each arrival to the scheme's decoder and stops at completion. Identical
+//! event semantics to [`crate::ThreadedCluster`], minus the wall clock.
+
+use crate::backend::{ClusterBackend, RoundOutcome};
+use crate::error::ClusterError;
+use crate::latency::ClusterProfile;
+use crate::metrics::RoundMetrics;
+use crate::units::UnitMap;
+use bcc_coding::GradientCodingScheme;
+use bcc_data::Dataset;
+use bcc_des::{Simulation, Verdict, VirtualTime};
+use bcc_optim::Loss;
+use bcc_stats::rng::derive_rng;
+use std::collections::HashSet;
+
+/// Virtual (discrete-event) cluster backend.
+#[derive(Debug, Clone)]
+pub struct VirtualCluster {
+    profile: ClusterProfile,
+    seed: u64,
+    round: u64,
+    dead_workers: HashSet<usize>,
+}
+
+/// DES events of one round.
+enum Event {
+    /// Worker finished computing; message joins the master port queue.
+    WorkerDone { worker: usize, compute_seconds: f64 },
+    /// Transfer of this worker's message completed at the master.
+    Delivered { worker: usize, compute_seconds: f64 },
+}
+
+impl VirtualCluster {
+    /// Creates a virtual cluster with the given latency profile and seed.
+    #[must_use]
+    pub fn new(profile: ClusterProfile, seed: u64) -> Self {
+        Self {
+            profile,
+            seed,
+            round: 0,
+            dead_workers: HashSet::new(),
+        }
+    }
+
+    /// Marks workers as dead for failure-injection experiments; they never
+    /// produce messages.
+    pub fn kill_workers(&mut self, workers: impl IntoIterator<Item = usize>) {
+        self.dead_workers.extend(workers);
+    }
+
+    /// Revives all workers.
+    pub fn revive_all(&mut self) {
+        self.dead_workers.clear();
+    }
+
+    /// The latency profile in force.
+    #[must_use]
+    pub fn profile(&self) -> &ClusterProfile {
+        &self.profile
+    }
+}
+
+impl ClusterBackend for VirtualCluster {
+    fn run_round(
+        &mut self,
+        scheme: &dyn GradientCodingScheme,
+        units: &UnitMap,
+        data: &Dataset,
+        loss: &dyn Loss,
+        weights: &[f64],
+    ) -> Result<RoundOutcome, ClusterError> {
+        let n = scheme.num_workers();
+        assert_eq!(
+            n,
+            self.profile.num_workers(),
+            "scheme has {n} workers but profile has {}",
+            self.profile.num_workers()
+        );
+        assert_eq!(
+            scheme.num_examples(),
+            units.num_units(),
+            "scheme units and unit map disagree"
+        );
+
+        let round = self.round;
+        self.round += 1;
+
+        // Sample worker finish times and schedule their events.
+        let mut sim: Simulation<Event> = Simulation::new();
+        let mut live = 0usize;
+        for worker in 0..n {
+            if self.dead_workers.contains(&worker) {
+                continue;
+            }
+            let load = scheme.placement().load_of(worker);
+            if load == 0 {
+                continue;
+            }
+            live += 1;
+            let mut rng = derive_rng(self.seed, round.wrapping_mul(1_000_003) + worker as u64);
+            let t = self.profile.workers[worker].sample_compute_time(load, &mut rng);
+            sim.schedule_at(
+                VirtualTime::new(t),
+                Event::WorkerDone {
+                    worker,
+                    compute_seconds: t,
+                },
+            );
+        }
+        if live == 0 {
+            return Err(ClusterError::Stalled {
+                received: 0,
+                reason: "no live workers hold any data".into(),
+            });
+        }
+
+        // Run the protocol: serialized master port + incremental decoding.
+        let mut decoder = scheme.decoder();
+        let comm = self.profile.comm;
+        let mut port_free_at = VirtualTime::ZERO;
+        let mut max_compute_used = 0.0f64;
+        let mut decode_error: Option<ClusterError> = None;
+        let mut complete = false;
+
+        let end_time = sim.run(|sched, event| match event {
+            Event::WorkerDone {
+                worker,
+                compute_seconds,
+            } => {
+                // Queue on the single receive port.
+                let payload_units = scheme.message_units(worker);
+                let start = port_free_at.max(sched.now());
+                let done = start + comm.transfer_time(payload_units);
+                port_free_at = done;
+                sched.schedule_at(
+                    done,
+                    Event::Delivered {
+                        worker,
+                        compute_seconds,
+                    },
+                );
+                Verdict::Continue
+            }
+            Event::Delivered {
+                worker,
+                compute_seconds,
+            } => {
+                // Compute the worker's actual partial gradients and encode.
+                let worker_units = scheme.placement().worker_examples(worker);
+                let partials = units.worker_partials_dyn(data, loss, worker_units, weights);
+                let payload = match scheme.encode(worker, &partials) {
+                    Ok(p) => p,
+                    Err(e) => {
+                        decode_error = Some(e.into());
+                        return Verdict::Stop;
+                    }
+                };
+                match decoder.receive(worker, payload) {
+                    Ok(done) => {
+                        max_compute_used = max_compute_used.max(compute_seconds);
+                        if done {
+                            complete = true;
+                            Verdict::Stop
+                        } else {
+                            Verdict::Continue
+                        }
+                    }
+                    Err(e) => {
+                        decode_error = Some(e.into());
+                        Verdict::Stop
+                    }
+                }
+            }
+        });
+
+        if let Some(e) = decode_error {
+            return Err(e);
+        }
+        if !complete {
+            return Err(ClusterError::Stalled {
+                received: decoder.messages_received(),
+                reason: "all live workers reported without completing the scheme".into(),
+            });
+        }
+
+        let gradient_sum = decoder.decode().map_err(ClusterError::from)?;
+        let total_time = end_time.seconds();
+        let metrics = RoundMetrics {
+            messages_used: decoder.messages_received(),
+            communication_units: decoder.communication_units(),
+            compute_time: max_compute_used,
+            comm_time: (total_time - max_compute_used).max(0.0),
+            total_time,
+        };
+        Ok(RoundOutcome {
+            gradient_sum,
+            metrics,
+        })
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "virtual-des"
+    }
+}
+
+// Object-safe helper mirroring `UnitMap::worker_partials` for `dyn Loss`.
+impl UnitMap {
+    /// Like [`UnitMap::worker_partials`] but callable with `&dyn Loss`.
+    #[must_use]
+    pub fn worker_partials_dyn(
+        &self,
+        data: &Dataset,
+        loss: &dyn Loss,
+        units: &[usize],
+        w: &[f64],
+    ) -> Vec<Vec<f64>> {
+        units
+            .iter()
+            .map(|&u| {
+                let idx = self.unit_examples(u);
+                let mut acc = vec![0.0; w.len()];
+                for j in idx {
+                    loss.add_gradient(data.x(j), data.y(j), w, &mut acc);
+                }
+                acc
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{ClusterProfile, CommModel};
+    use bcc_coding::{BccScheme, UncodedScheme};
+    use bcc_data::synthetic::{generate, SyntheticConfig};
+    use bcc_linalg::approx_eq_slice;
+    use bcc_optim::gradient::full_gradient;
+    use bcc_optim::LogisticLoss;
+
+    fn profile(n: usize) -> ClusterProfile {
+        ClusterProfile::homogeneous(
+            n,
+            2.0,
+            0.001,
+            CommModel {
+                per_message_overhead: 0.001,
+                per_unit: 0.01,
+            },
+        )
+    }
+
+    #[test]
+    fn uncoded_round_matches_serial_gradient() {
+        let g = generate(&SyntheticConfig::small(40, 6, 1));
+        let units = UnitMap::grouped(40, 20);
+        let scheme = UncodedScheme::new(20, 10);
+        let mut cluster = VirtualCluster::new(profile(10), 7);
+        let w = vec![0.05; 6];
+        let out = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+            .unwrap();
+        let mut expect = full_gradient(&g.dataset, &LogisticLoss, &w);
+        bcc_linalg::vec_ops::scale(40.0, &mut expect);
+        assert!(approx_eq_slice(&out.gradient_sum, &expect, 1e-8));
+        assert_eq!(out.metrics.messages_used, 10);
+        assert!(out.metrics.is_consistent());
+        assert!(out.metrics.total_time > 0.0);
+    }
+
+    #[test]
+    fn bcc_round_uses_fewer_messages_than_uncoded() {
+        let g = generate(&SyntheticConfig::small(40, 4, 2));
+        let m_units = 20;
+        let units = UnitMap::grouped(40, m_units);
+        let n = 40;
+        let mut rng = bcc_stats::rng::derive_rng(3, 0);
+        let scheme = loop {
+            let s = BccScheme::new(m_units, n, 5, &mut rng);
+            if s.covers_all_batches() {
+                break s;
+            }
+        };
+        let mut cluster = VirtualCluster::new(profile(n), 11);
+        let w = vec![0.0; 4];
+        let out = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+            .unwrap();
+        // 4 batches: completion needs ≥ 4 and usually ≪ 40 messages.
+        assert!(out.metrics.messages_used >= 4);
+        assert!(out.metrics.messages_used < 40);
+        let mut expect = full_gradient(&g.dataset, &LogisticLoss, &w);
+        bcc_linalg::vec_ops::scale(40.0, &mut expect);
+        assert!(approx_eq_slice(&out.gradient_sum, &expect, 1e-8));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = generate(&SyntheticConfig::small(20, 3, 3));
+        let units = UnitMap::grouped(20, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let w = vec![0.1; 3];
+        let run = |seed| {
+            let mut c = VirtualCluster::new(profile(5), seed);
+            c.run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+                .unwrap()
+                .metrics
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42).total_time, run(43).total_time);
+    }
+
+    #[test]
+    fn dead_worker_stalls_uncoded() {
+        let g = generate(&SyntheticConfig::small(20, 3, 4));
+        let units = UnitMap::grouped(20, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let mut cluster = VirtualCluster::new(profile(5), 9);
+        cluster.kill_workers([2]);
+        let err = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &[0.0; 3])
+            .unwrap_err();
+        assert!(matches!(err, ClusterError::Stalled { received: 4, .. }));
+        cluster.revive_all();
+        assert!(cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &[0.0; 3])
+            .is_ok());
+    }
+
+    #[test]
+    fn dead_worker_tolerated_by_bcc_when_covered() {
+        let m_units = 4;
+        let g = generate(&SyntheticConfig::small(8, 3, 5));
+        let units = UnitMap::grouped(8, m_units);
+        // r = 1 → 4 batches over 4 units; 8 workers, two per batch:
+        // killing one worker keeps every batch covered.
+        let scheme = BccScheme::from_choices(m_units, 1, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+        let mut cluster = VirtualCluster::new(profile(8), 13);
+        cluster.kill_workers([1]);
+        let out = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &[0.0; 3])
+            .unwrap();
+        assert!(out.metrics.messages_used >= m_units);
+    }
+
+    #[test]
+    fn rounds_resample_latencies() {
+        let g = generate(&SyntheticConfig::small(20, 3, 6));
+        let units = UnitMap::grouped(20, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let mut cluster = VirtualCluster::new(profile(5), 21);
+        let w = vec![0.0; 3];
+        let t1 = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+            .unwrap()
+            .metrics
+            .total_time;
+        let t2 = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+            .unwrap()
+            .metrics
+            .total_time;
+        assert_ne!(t1, t2, "per-round latency streams must differ");
+    }
+}

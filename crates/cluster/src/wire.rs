@@ -1,0 +1,287 @@
+//! Byte-level wire codec for worker messages.
+//!
+//! The threaded runtime ships every message through this codec so that
+//! (a) the communication-load accounting can be cross-checked in actual
+//! bytes and (b) the runtime exercises a realistic serialize → channel →
+//! deserialize path rather than passing Rust objects by pointer.
+//!
+//! Format (little-endian):
+//!
+//! ```text
+//! magic  u32 = 0xBCC0_17E5
+//! ver    u8  = 1
+//! kind   u8  : 0 Sum | 1 Linear | 2 LinearComplex | 3 PerExample
+//! iter   u64
+//! worker u64
+//! compute_seconds f64
+//! body   (per kind, see encode_payload)
+//! ```
+
+use crate::error::ClusterError;
+use crate::message::Envelope;
+use bcc_coding::Payload;
+use bcc_linalg::Complex;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: u32 = 0xBCC0_17E5;
+const VERSION: u8 = 1;
+
+/// Serializes an envelope to bytes.
+#[must_use]
+pub fn encode(envelope: &Envelope) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64 + 8 * envelope.payload.dim());
+    buf.put_u32_le(MAGIC);
+    buf.put_u8(VERSION);
+    buf.put_u8(payload_kind(&envelope.payload));
+    buf.put_u64_le(envelope.iteration);
+    buf.put_u64_le(envelope.worker as u64);
+    buf.put_f64_le(envelope.compute_seconds);
+    encode_payload(&envelope.payload, &mut buf);
+    buf.freeze()
+}
+
+fn payload_kind(p: &Payload) -> u8 {
+    match p {
+        Payload::Sum { .. } => 0,
+        Payload::Linear { .. } => 1,
+        Payload::LinearComplex { .. } => 2,
+        Payload::PerExample { .. } => 3,
+    }
+}
+
+fn encode_payload(p: &Payload, buf: &mut BytesMut) {
+    match p {
+        Payload::Sum { unit, vector } => {
+            buf.put_u64_le(*unit as u64);
+            put_vec(buf, vector);
+        }
+        Payload::Linear { vector } => put_vec(buf, vector),
+        Payload::LinearComplex { vector } => {
+            buf.put_u64_le(vector.len() as u64);
+            for z in vector {
+                buf.put_f64_le(z.re);
+                buf.put_f64_le(z.im);
+            }
+        }
+        Payload::PerExample { entries } => {
+            buf.put_u64_le(entries.len() as u64);
+            for (j, g) in entries {
+                buf.put_u64_le(*j as u64);
+                put_vec(buf, g);
+            }
+        }
+    }
+}
+
+fn put_vec(buf: &mut BytesMut, v: &[f64]) {
+    buf.put_u64_le(v.len() as u64);
+    for x in v {
+        buf.put_f64_le(*x);
+    }
+}
+
+/// Deserializes an envelope from bytes.
+///
+/// # Errors
+/// [`ClusterError::Wire`] on truncation, bad magic, or unknown versions.
+pub fn decode(mut bytes: Bytes) -> Result<Envelope, ClusterError> {
+    let need = |b: &Bytes, n: usize, what: &str| -> Result<(), ClusterError> {
+        if b.remaining() < n {
+            Err(ClusterError::Wire(format!("truncated reading {what}")))
+        } else {
+            Ok(())
+        }
+    };
+
+    need(&bytes, 4 + 1 + 1 + 8 + 8 + 8, "header")?;
+    let magic = bytes.get_u32_le();
+    if magic != MAGIC {
+        return Err(ClusterError::Wire(format!("bad magic {magic:#x}")));
+    }
+    let version = bytes.get_u8();
+    if version != VERSION {
+        return Err(ClusterError::Wire(format!("unsupported version {version}")));
+    }
+    let kind = bytes.get_u8();
+    let iteration = bytes.get_u64_le();
+    let worker = bytes.get_u64_le() as usize;
+    let compute_seconds = bytes.get_f64_le();
+
+    let payload = match kind {
+        0 => {
+            need(&bytes, 8, "sum unit")?;
+            let unit = bytes.get_u64_le() as usize;
+            let vector = get_vec(&mut bytes)?;
+            Payload::Sum { unit, vector }
+        }
+        1 => Payload::Linear {
+            vector: get_vec(&mut bytes)?,
+        },
+        2 => {
+            need(&bytes, 8, "complex len")?;
+            let len = bytes.get_u64_le() as usize;
+            need(&bytes, len.saturating_mul(16), "complex body")?;
+            let mut vector = Vec::with_capacity(len);
+            for _ in 0..len {
+                let re = bytes.get_f64_le();
+                let im = bytes.get_f64_le();
+                vector.push(Complex::new(re, im));
+            }
+            Payload::LinearComplex { vector }
+        }
+        3 => {
+            need(&bytes, 8, "entry count")?;
+            let count = bytes.get_u64_le() as usize;
+            let mut entries = Vec::with_capacity(count.min(1 << 16));
+            for _ in 0..count {
+                need(&bytes, 8, "entry index")?;
+                let j = bytes.get_u64_le() as usize;
+                entries.push((j, get_vec(&mut bytes)?));
+            }
+            Payload::PerExample { entries }
+        }
+        k => return Err(ClusterError::Wire(format!("unknown payload kind {k}"))),
+    };
+
+    Ok(Envelope {
+        iteration,
+        worker,
+        compute_seconds,
+        payload,
+    })
+}
+
+fn get_vec(bytes: &mut Bytes) -> Result<Vec<f64>, ClusterError> {
+    if bytes.remaining() < 8 {
+        return Err(ClusterError::Wire("truncated reading vec len".into()));
+    }
+    let len = bytes.get_u64_le() as usize;
+    if bytes.remaining() < len.saturating_mul(8) {
+        return Err(ClusterError::Wire("truncated reading vec body".into()));
+    }
+    let mut v = Vec::with_capacity(len);
+    for _ in 0..len {
+        v.push(bytes.get_f64_le());
+    }
+    Ok(v)
+}
+
+/// Size in bytes an envelope occupies on the wire — used by tests to check
+/// the unit-based load accounting against physical bytes.
+#[must_use]
+pub fn encoded_len(envelope: &Envelope) -> usize {
+    encode(envelope).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env(payload: Payload) -> Envelope {
+        Envelope {
+            iteration: 9,
+            worker: 4,
+            compute_seconds: 1.25,
+            payload,
+        }
+    }
+
+    #[test]
+    fn roundtrip_sum() {
+        let e = env(Payload::Sum {
+            unit: 3,
+            vector: vec![1.0, -2.5, 3.25],
+        });
+        let decoded = decode(encode(&e)).unwrap();
+        assert_eq!(decoded, e);
+    }
+
+    #[test]
+    fn roundtrip_linear() {
+        let e = env(Payload::Linear {
+            vector: vec![0.0; 17],
+        });
+        assert_eq!(decode(encode(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn roundtrip_complex() {
+        let e = env(Payload::LinearComplex {
+            vector: vec![Complex::new(1.0, -1.0), Complex::new(0.5, 2.0)],
+        });
+        assert_eq!(decode(encode(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn roundtrip_per_example() {
+        let e = env(Payload::PerExample {
+            entries: vec![(0, vec![1.0]), (5, vec![2.0, 3.0])],
+        });
+        assert_eq!(decode(encode(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn roundtrip_empty_vectors() {
+        let e = env(Payload::Linear { vector: vec![] });
+        assert_eq!(decode(encode(&e)).unwrap(), e);
+        let e = env(Payload::PerExample { entries: vec![] });
+        assert_eq!(decode(encode(&e)).unwrap(), e);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let e = env(Payload::Linear { vector: vec![1.0] });
+        let mut bytes = encode(&e).to_vec();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            decode(Bytes::from(bytes)),
+            Err(ClusterError::Wire(_))
+        ));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let e = env(Payload::PerExample {
+            entries: vec![(1, vec![1.0, 2.0, 3.0])],
+        });
+        let full = encode(&e);
+        for cut in 0..full.len() {
+            let partial = full.slice(0..cut);
+            assert!(
+                decode(partial).is_err(),
+                "decode of {cut}-byte prefix should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_version_rejected() {
+        let e = env(Payload::Linear { vector: vec![] });
+        let mut bytes = encode(&e).to_vec();
+        bytes[4] = 99;
+        assert!(matches!(
+            decode(Bytes::from(bytes)),
+            Err(ClusterError::Wire(msg)) if msg.contains("version")
+        ));
+    }
+
+    #[test]
+    fn per_example_is_proportionally_larger() {
+        // The wire-level counterpart of eq. (6): r per-example entries cost
+        // ~r× the bytes of one summed message of the same dimension.
+        let dim = 64;
+        let summed = env(Payload::Sum {
+            unit: 0,
+            vector: vec![1.0; dim],
+        });
+        let r = 10;
+        let per_example = env(Payload::PerExample {
+            entries: (0..r).map(|j| (j, vec![1.0; dim])).collect(),
+        });
+        let ratio = encoded_len(&per_example) as f64 / encoded_len(&summed) as f64;
+        assert!(
+            (ratio - r as f64).abs() < 1.0,
+            "byte ratio {ratio} should be ≈ {r}"
+        );
+    }
+}

@@ -1,0 +1,62 @@
+//! Cross-validation of the DES cluster against closed-form order
+//! statistics: with a free link, the uncoded round time is the *maximum* of
+//! `n` i.i.d. shift-exponential worker latencies, whose expectation is
+//! `a·r + H_n·r/μ`.
+
+use bcc_cluster::{ClusterBackend, ClusterProfile, CommModel, UnitMap, VirtualCluster};
+use bcc_coding::UncodedScheme;
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_optim::LogisticLoss;
+use bcc_stats::order::expected_kth_shift_exp;
+use bcc_stats::Summary;
+
+#[test]
+fn uncoded_round_time_matches_expected_maximum() {
+    let n = 20;
+    let (mu, a) = (2.0, 0.5);
+    let profile = ClusterProfile::homogeneous(
+        n,
+        mu,
+        a,
+        CommModel {
+            per_message_overhead: 0.0,
+            per_unit: 0.0,
+        },
+    );
+    // m = n units → every worker holds exactly one unit (r = 1).
+    let g = generate(&SyntheticConfig::small(n, 3, 1));
+    let units = UnitMap::identity(n);
+    let scheme = UncodedScheme::new(n, n);
+    let w = vec![0.0; 3];
+
+    let expect = expected_kth_shift_exp(n, n, mu, a, 1);
+    let mut s = Summary::new();
+    for seed in 0..400 {
+        let mut cluster = VirtualCluster::new(profile.clone(), seed);
+        let out = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+            .unwrap();
+        s.push(out.metrics.total_time);
+    }
+    assert!(
+        (s.mean() - expect).abs() < 4.0 * s.std_err().max(0.01),
+        "measured mean round time {} vs closed form {expect}",
+        s.mean()
+    );
+}
+
+#[test]
+fn waiting_for_fewer_workers_tracks_lower_order_statistics() {
+    // A BCC-like scheme that stops after the k fastest workers should pay
+    // roughly the k-th order statistic. Use fractional repetition with one
+    // replica group per worker pair: completion needs one of each pair.
+    // Simpler and exact: compare the uncoded time against the k-th order
+    // statistic bounds — the max must dominate every k < n statistic.
+    let n = 16;
+    let (mu, a) = (1.0, 0.1);
+    let t_max = expected_kth_shift_exp(n, n, mu, a, 1);
+    for k in [1, 4, 8, 12] {
+        let t_k = expected_kth_shift_exp(n, k, mu, a, 1);
+        assert!(t_k < t_max, "k={k}: {t_k} must be below the max {t_max}");
+    }
+}

@@ -1,0 +1,233 @@
+//! Ablation scheme: BCC *without* in-worker summation.
+//!
+//! Remark 3 of the paper credits part of BCC's win to each worker
+//! compressing its batch into a single summed message. This ablation keeps
+//! BCC's batched random placement and coverage-based completion but ships
+//! the batch's partial gradients **individually** — the recovery threshold
+//! is unchanged while the communication load multiplies by `r`, isolating
+//! the contribution of the summation step.
+
+use crate::error::CodingError;
+use crate::payload::Payload;
+use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use bcc_data::{Batching, Placement};
+use bcc_linalg::vec_ops;
+use rand::Rng;
+
+/// BCC placement with per-example (uncompressed) messages.
+#[derive(Debug, Clone)]
+pub struct UncompressedBccScheme {
+    batching: Batching,
+    placement: Placement,
+    choices: Vec<usize>,
+}
+
+impl UncompressedBccScheme {
+    /// Same decentralized data distribution as [`crate::BccScheme`].
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(m: usize, n: usize, r: usize, rng: &mut R) -> Self {
+        let batching = Batching::even(m, r);
+        let (placement, choices) = Placement::bcc_batched(&batching, n, rng);
+        Self {
+            batching,
+            placement,
+            choices,
+        }
+    }
+
+    /// Builds from explicit batch choices (tests / replay).
+    #[must_use]
+    pub fn from_choices(m: usize, r: usize, choices: Vec<usize>) -> Self {
+        let batching = Batching::even(m, r);
+        let nb = batching.num_batches();
+        assert!(
+            choices.iter().all(|&b| b < nb),
+            "batch choice out of range (have {nb} batches)"
+        );
+        let assignments = choices.iter().map(|&b| batching.batch_indices(b)).collect();
+        let placement = Placement::new(m, assignments);
+        Self {
+            batching,
+            placement,
+            choices,
+        }
+    }
+
+    /// True when every batch was selected by some worker.
+    #[must_use]
+    pub fn covers_all_batches(&self) -> bool {
+        let mut seen = vec![false; self.batching.num_batches()];
+        for &b in &self.choices {
+            seen[b] = true;
+        }
+        seen.iter().all(|s| *s)
+    }
+}
+
+impl GradientCodingScheme for UncompressedBccScheme {
+    fn name(&self) -> &'static str {
+        "bcc-uncompressed"
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Payload, CodingError> {
+        if worker >= self.num_workers() {
+            return Err(CodingError::UnknownWorker {
+                worker,
+                num_workers: self.num_workers(),
+            });
+        }
+        let examples = self.placement.worker_examples(worker);
+        if partials.len() != examples.len() {
+            return Err(CodingError::MalformedPayload {
+                reason: format!(
+                    "worker {worker} expected {} partial gradients, got {}",
+                    examples.len(),
+                    partials.len()
+                ),
+            });
+        }
+        Ok(Payload::PerExample {
+            entries: examples
+                .iter()
+                .copied()
+                .zip(partials.iter().cloned())
+                .collect(),
+        })
+    }
+
+    fn decoder(&self) -> Box<dyn Decoder + '_> {
+        Box::new(UncompressedDecoder {
+            log: ReceiveLog::new(self.num_workers()),
+            grads: vec![None; self.num_examples()],
+            covered: 0,
+        })
+    }
+
+    fn analytic_recovery_threshold(&self) -> Option<f64> {
+        // Same coverage process as BCC — identical K, r× the load.
+        Some(crate::BccScheme::theoretical_recovery_threshold(
+            self.num_examples(),
+            self.batching.batch_size(),
+        ))
+    }
+
+    fn message_units(&self, worker: usize) -> usize {
+        self.placement.load_of(worker)
+    }
+}
+
+struct UncompressedDecoder {
+    log: ReceiveLog,
+    grads: Vec<Option<Vec<f64>>>,
+    covered: usize,
+}
+
+impl Decoder for UncompressedDecoder {
+    fn receive(&mut self, worker: usize, payload: Payload) -> Result<bool, CodingError> {
+        let Payload::PerExample { entries } = payload else {
+            return Err(CodingError::MalformedPayload {
+                reason: "uncompressed BCC expects PerExample payloads".into(),
+            });
+        };
+        self.log.record(worker, entries.len())?;
+        for (j, g) in entries {
+            if j >= self.grads.len() {
+                return Err(CodingError::MalformedPayload {
+                    reason: format!("example id {j} out of range"),
+                });
+            }
+            if self.grads[j].is_none() {
+                self.grads[j] = Some(g);
+                self.covered += 1;
+            }
+        }
+        Ok(self.is_complete())
+    }
+
+    fn is_complete(&self) -> bool {
+        self.covered == self.grads.len()
+    }
+
+    fn decode(&self) -> Result<Vec<f64>, CodingError> {
+        if !self.is_complete() {
+            return Err(CodingError::NotComplete {
+                received: self.log.messages(),
+            });
+        }
+        vec_ops::sum_vectors(self.grads.iter().flatten().map(Vec::as_slice)).ok_or_else(|| {
+            CodingError::DecodingFailed {
+                reason: "no gradients collected".into(),
+            }
+        })
+    }
+
+    fn messages_received(&self) -> usize {
+        self.log.messages()
+    }
+
+    fn communication_units(&self) -> usize {
+        self.log.units()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::test_support::{random_gradients, total_sum, worker_partials};
+
+    #[test]
+    fn same_threshold_r_times_the_load() {
+        // 3 batches of r = 4 over 12 units; 6 workers, two per batch.
+        let choices = vec![0, 1, 2, 0, 1, 2];
+        let compressed = crate::BccScheme::from_choices(12, 4, choices.clone());
+        let uncompressed = UncompressedBccScheme::from_choices(12, 4, choices);
+        let grads = random_gradients(12, 2, 1);
+
+        let run = |scheme: &dyn GradientCodingScheme| {
+            let mut dec = scheme.decoder();
+            for i in 0..6 {
+                let p = worker_partials(scheme.placement(), i, &grads);
+                if dec.receive(i, scheme.encode(i, &p).unwrap()).unwrap() {
+                    break;
+                }
+            }
+            (
+                dec.decode().unwrap(),
+                dec.messages_received(),
+                dec.communication_units(),
+            )
+        };
+        let (sum_c, k_c, l_c) = run(&compressed);
+        let (sum_u, k_u, l_u) = run(&uncompressed);
+        assert!(bcc_linalg::approx_eq_slice(&sum_c, &sum_u, 1e-9));
+        assert!(bcc_linalg::approx_eq_slice(
+            &sum_c,
+            &total_sum(&grads),
+            1e-9
+        ));
+        // Identical coverage behaviour, r× the communication.
+        assert_eq!(k_c, k_u);
+        assert_eq!(l_c, k_c);
+        assert_eq!(l_u, k_u * 4);
+    }
+
+    #[test]
+    fn message_units_equal_load() {
+        let s = UncompressedBccScheme::from_choices(8, 4, vec![0, 1]);
+        assert_eq!(s.message_units(0), 4);
+        assert!(s.covers_all_batches());
+    }
+
+    #[test]
+    fn analytic_threshold_matches_bcc() {
+        let s = UncompressedBccScheme::from_choices(20, 5, vec![0, 1, 2, 3]);
+        assert_eq!(
+            s.analytic_recovery_threshold(),
+            Some(crate::BccScheme::theoretical_recovery_threshold(20, 5))
+        );
+    }
+}

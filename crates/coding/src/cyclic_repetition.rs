@@ -1,0 +1,392 @@
+//! Cyclic-repetition (CR) gradient coding — Tandon, Lei, Dimakis,
+//! Karampatziakis, *"Gradient Coding"* \[7\]; the paper's main coded baseline.
+//!
+//! With `m = n` data units and computational load `r`, the scheme tolerates
+//! any `s = r − 1` stragglers: worker `i` stores the cyclic window
+//! `{i, …, i+s} mod n` and sends one linear combination
+//! `z_i = Σ_u B[i,u]·g_u`. The coding matrix `B` comes from Algorithm 1
+//! of \[7\]:
+//!
+//! 1. draw `H ∈ ℝ^{s×n}` with i.i.d. Gaussian entries, then force its
+//!    columns to sum to zero (so `H·1 = 0`);
+//! 2. row `i` of `B` has support `{i,…,i+s}`, `B[i,i] = 1`, and the other
+//!    `s` entries solve `H[:, S_i∖{i}]·x = −H[:, i]`, giving `H·Bᵀ = 0`.
+//!
+//! Every row of `B` then lies in `null(H)` — an `(n−s)`-dimensional space
+//! containing the all-ones vector — and (w.p. 1 over the Gaussian draw) any
+//! `n−s` rows span it, so the master can decode from *any* `n−s` workers by
+//! solving `aᵀB_F = 1ᵀ`. Recovery threshold: `K_CR = m − r + 1` (eq. (7)).
+
+use crate::error::CodingError;
+use crate::payload::Payload;
+use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use bcc_data::Placement;
+use bcc_linalg::{qr, solve, vec_ops, Matrix};
+use bcc_stats::dist::Gaussian;
+use rand::Rng;
+
+/// Residual tolerance for accepting a decoding vector.
+const DECODE_TOL: f64 = 1e-6;
+
+/// The CR gradient-coding scheme over `n` workers / `n` data units.
+#[derive(Debug, Clone)]
+pub struct CyclicRepetitionScheme {
+    placement: Placement,
+    /// Dense `n×n` coding matrix (zero off the cyclic supports).
+    b: Matrix,
+    n: usize,
+    r: usize,
+}
+
+impl CyclicRepetitionScheme {
+    /// Constructs the scheme via Algorithm 1 of \[7\].
+    ///
+    /// # Panics
+    /// Panics when `r == 0` or `r > n`.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(n: usize, r: usize, rng: &mut R) -> Self {
+        assert!(r > 0 && r <= n, "need 0 < r ≤ n (n={n}, r={r})");
+        let s = r - 1;
+        let b = Self::build_coding_matrix(n, s, rng);
+        let placement = Placement::cyclic(n, r);
+        Self { placement, b, n, r }
+    }
+
+    /// Algorithm 1: random `H` with zero column sums, then per-row solves.
+    fn build_coding_matrix<R: Rng + ?Sized>(n: usize, s: usize, rng: &mut R) -> Matrix {
+        if s == 0 {
+            return Matrix::identity(n);
+        }
+        let gauss = Gaussian::standard();
+        // H ∈ ℝ^{s×n}: first n−1 columns Gaussian, last = −(sum of others).
+        let mut h = Matrix::zeros(s, n);
+        for t in 0..s {
+            let mut rowsum = 0.0;
+            for u in 0..n - 1 {
+                let v = bcc_stats::dist::Sample::sample(&gauss, rng);
+                h[(t, u)] = v;
+                rowsum += v;
+            }
+            h[(t, n - 1)] = -rowsum;
+        }
+
+        let mut b = Matrix::zeros(n, n);
+        for i in 0..n {
+            b[(i, i)] = 1.0;
+            // Remaining support columns: {i+1, …, i+s} mod n.
+            let cols: Vec<usize> = (1..=s).map(|k| (i + k) % n).collect();
+            // Solve H[:, cols]·x = −H[:, i].
+            let hsub = Matrix::from_fn(s, s, |t, k| h[(t, cols[k])]);
+            let rhs: Vec<f64> = (0..s).map(|t| -h[(t, i)]).collect();
+            let x = solve::solve(&hsub, &rhs)
+                .expect("Gaussian submatrix is invertible with probability 1");
+            for (k, &c) in cols.iter().enumerate() {
+                b[(i, c)] = x[k];
+            }
+        }
+        b
+    }
+
+    /// The coding matrix `B` (rows = workers, columns = data units).
+    #[must_use]
+    pub fn coding_matrix(&self) -> &Matrix {
+        &self.b
+    }
+
+    /// Number of stragglers tolerated in the worst case: `s = r − 1`.
+    #[must_use]
+    pub fn stragglers_tolerated(&self) -> usize {
+        self.r - 1
+    }
+
+    /// Worst-case recovery threshold `K_CR = n − r + 1` (eq. (7)).
+    #[must_use]
+    pub fn recovery_threshold(&self) -> usize {
+        self.n - self.r + 1
+    }
+
+    /// Tries to compute decoding coefficients for the received worker set
+    /// `F`: `a` with `aᵀB_F = 1ᵀ`. Returns `None` when `F` cannot decode.
+    #[must_use]
+    pub fn decoding_coefficients(&self, received: &[usize]) -> Option<Vec<f64>> {
+        if received.len() < self.recovery_threshold() {
+            return None;
+        }
+        let bf = self
+            .b
+            .select_rows(received)
+            .expect("received ids validated by decoder");
+        let ones = vec![1.0; self.n];
+        let a = qr::solve_row_combination(&bf, &ones).ok()?;
+        // Verify: residual ‖aᵀB_F − 1ᵀ‖∞ below tolerance.
+        let recon = bf.gemv_t(&a).expect("shape ok");
+        let ok = recon
+            .iter()
+            .zip(&ones)
+            .all(|(x, y)| (x - y).abs() < DECODE_TOL);
+        ok.then_some(a)
+    }
+}
+
+impl GradientCodingScheme for CyclicRepetitionScheme {
+    fn name(&self) -> &'static str {
+        "cyclic-repetition"
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Payload, CodingError> {
+        if worker >= self.n {
+            return Err(CodingError::UnknownWorker {
+                worker,
+                num_workers: self.n,
+            });
+        }
+        let units = self.placement.worker_examples(worker);
+        if partials.len() != units.len() {
+            return Err(CodingError::MalformedPayload {
+                reason: format!(
+                    "worker {worker} expected {} partial gradients, got {}",
+                    units.len(),
+                    partials.len()
+                ),
+            });
+        }
+        // z_i = Σ_{u ∈ S_i} B[i,u]·g_u.
+        let terms = units
+            .iter()
+            .zip(partials)
+            .map(|(&u, g)| (self.b[(worker, u)], g.as_slice()));
+        let vector = vec_ops::linear_combination(terms).ok_or(CodingError::MalformedPayload {
+            reason: "CR worker stores a non-empty window".into(),
+        })?;
+        Ok(Payload::Linear { vector })
+    }
+
+    fn decoder(&self) -> Box<dyn Decoder + '_> {
+        Box::new(CrDecoder {
+            scheme: self,
+            log: ReceiveLog::new(self.n),
+            received: Vec::new(),
+            messages: Vec::new(),
+            coefficients: None,
+        })
+    }
+
+    fn analytic_recovery_threshold(&self) -> Option<f64> {
+        Some(self.recovery_threshold() as f64)
+    }
+}
+
+struct CrDecoder<'a> {
+    scheme: &'a CyclicRepetitionScheme,
+    log: ReceiveLog,
+    received: Vec<usize>,
+    messages: Vec<Vec<f64>>,
+    coefficients: Option<Vec<f64>>,
+}
+
+impl Decoder for CrDecoder<'_> {
+    fn receive(&mut self, worker: usize, payload: Payload) -> Result<bool, CodingError> {
+        let Payload::Linear { vector } = payload else {
+            return Err(CodingError::MalformedPayload {
+                reason: "CR expects Linear payloads".into(),
+            });
+        };
+        self.log.record(worker, 1)?;
+        self.received.push(worker);
+        self.messages.push(vector);
+        if self.coefficients.is_none() {
+            self.coefficients = self.scheme.decoding_coefficients(&self.received);
+        }
+        Ok(self.is_complete())
+    }
+
+    fn is_complete(&self) -> bool {
+        self.coefficients.is_some()
+    }
+
+    fn decode(&self) -> Result<Vec<f64>, CodingError> {
+        let Some(a) = &self.coefficients else {
+            return Err(CodingError::NotComplete {
+                received: self.log.messages(),
+            });
+        };
+        vec_ops::linear_combination(
+            a.iter()
+                .copied()
+                .zip(self.messages.iter().map(Vec::as_slice)),
+        )
+        .ok_or_else(|| CodingError::DecodingFailed {
+            reason: "no messages to combine".into(),
+        })
+    }
+
+    fn messages_received(&self) -> usize {
+        self.log.messages()
+    }
+
+    fn communication_units(&self) -> usize {
+        self.log.units()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::test_support::{random_gradients, total_sum, worker_partials};
+    use bcc_stats::rng::derive_rng;
+
+    fn scheme(n: usize, r: usize, seed: u64) -> CyclicRepetitionScheme {
+        let mut rng = derive_rng(seed, 0);
+        CyclicRepetitionScheme::new(n, r, &mut rng)
+    }
+
+    #[test]
+    fn coding_matrix_annihilated_by_construction() {
+        // Every row of B sums to ... rows lie in null(H) which contains 1;
+        // verify the decodability consequence directly: the all-ones vector
+        // is reproducible from ANY n−s rows.
+        let s = scheme(8, 3, 1);
+        let b = s.coding_matrix();
+        assert_eq!(b.shape(), (8, 8));
+        // Support structure: row i nonzero only on {i, i+1, i+2} mod 8.
+        for i in 0..8 {
+            for u in 0..8 {
+                let in_window = (0..3).any(|k| (i + k) % 8 == u);
+                if !in_window {
+                    assert_eq!(b[(i, u)], 0.0, "B[{i},{u}] outside window");
+                }
+            }
+            assert_eq!(b[(i, i)], 1.0);
+        }
+    }
+
+    #[test]
+    fn decodes_from_any_fastest_subset() {
+        let (n, r) = (7, 3);
+        let s = scheme(n, r, 2);
+        let grads = random_gradients(n, 4, 3);
+        let expect = total_sum(&grads);
+        let k = s.recovery_threshold(); // n - r + 1 = 5
+
+        // Try every (n choose k) subset of finished workers.
+        let subsets = all_subsets(n, k);
+        assert!(!subsets.is_empty());
+        for subset in subsets {
+            let mut dec = s.decoder();
+            let mut done = false;
+            for &i in &subset {
+                let partials = worker_partials(s.placement(), i, &grads);
+                done = dec.receive(i, s.encode(i, &partials).unwrap()).unwrap();
+            }
+            assert!(done, "subset {subset:?} must decode at threshold");
+            let sum = dec.decode().unwrap();
+            assert!(
+                bcc_linalg::approx_eq_slice(&sum, &expect, 1e-5),
+                "subset {subset:?} decoded wrong sum"
+            );
+            assert_eq!(dec.messages_received(), k);
+            assert_eq!(dec.communication_units(), k);
+        }
+    }
+
+    fn all_subsets(n: usize, k: usize) -> Vec<Vec<usize>> {
+        let mut out = Vec::new();
+        let mut cur = Vec::new();
+        fn rec(start: usize, n: usize, k: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+            if cur.len() == k {
+                out.push(cur.clone());
+                return;
+            }
+            for i in start..n {
+                cur.push(i);
+                rec(i + 1, n, k, cur, out);
+                cur.pop();
+            }
+        }
+        rec(0, n, k, &mut cur, &mut out);
+        out
+    }
+
+    #[test]
+    fn not_complete_below_threshold() {
+        let s = scheme(6, 3, 4);
+        let grads = random_gradients(6, 2, 5);
+        let mut dec = s.decoder();
+        // Feed threshold−1 = 3 workers.
+        for i in 0..3 {
+            let partials = worker_partials(s.placement(), i, &grads);
+            let done = dec.receive(i, s.encode(i, &partials).unwrap()).unwrap();
+            assert!(!done);
+        }
+        assert!(matches!(
+            dec.decode(),
+            Err(CodingError::NotComplete { received: 3 })
+        ));
+    }
+
+    #[test]
+    fn r_equals_one_is_identity_code() {
+        let s = scheme(5, 1, 6);
+        assert_eq!(s.recovery_threshold(), 5);
+        assert!(s.coding_matrix().approx_eq(&Matrix::identity(5), 0.0));
+        let grads = random_gradients(5, 2, 7);
+        let mut dec = s.decoder();
+        for i in 0..5 {
+            let partials = worker_partials(s.placement(), i, &grads);
+            dec.receive(i, s.encode(i, &partials).unwrap()).unwrap();
+        }
+        assert!(dec.is_complete());
+        assert!(bcc_linalg::approx_eq_slice(
+            &dec.decode().unwrap(),
+            &total_sum(&grads),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn r_equals_n_single_worker_suffices() {
+        let s = scheme(4, 4, 8);
+        assert_eq!(s.recovery_threshold(), 1);
+        let grads = random_gradients(4, 3, 9);
+        let mut dec = s.decoder();
+        let partials = worker_partials(s.placement(), 2, &grads);
+        assert!(dec.receive(2, s.encode(2, &partials).unwrap()).unwrap());
+        assert!(bcc_linalg::approx_eq_slice(
+            &dec.decode().unwrap(),
+            &total_sum(&grads),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn extra_messages_beyond_threshold_still_exact() {
+        let (n, r) = (9, 4);
+        let s = scheme(n, r, 10);
+        let grads = random_gradients(n, 2, 11);
+        let mut dec = s.decoder();
+        for i in 0..n {
+            let partials = worker_partials(s.placement(), i, &grads);
+            dec.receive(i, s.encode(i, &partials).unwrap()).unwrap();
+        }
+        assert!(bcc_linalg::approx_eq_slice(
+            &dec.decode().unwrap(),
+            &total_sum(&grads),
+            1e-5
+        ));
+    }
+
+    #[test]
+    fn stragglers_tolerated_is_r_minus_one() {
+        assert_eq!(scheme(10, 4, 12).stragglers_tolerated(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "0 < r")]
+    fn zero_r_panics() {
+        let _ = scheme(5, 0, 13);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for encode/decode operations.
+
+use std::fmt;
+
+/// Errors surfaced by gradient-coding schemes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CodingError {
+    /// Decode was requested before the scheme's completion condition held.
+    NotComplete {
+        /// Messages received so far.
+        received: usize,
+    },
+    /// A worker index outside `0..n` appeared.
+    UnknownWorker {
+        /// The offending worker id.
+        worker: usize,
+        /// Number of workers in the scheme.
+        num_workers: usize,
+    },
+    /// The same worker delivered two messages in one round.
+    DuplicateWorker {
+        /// The offending worker id.
+        worker: usize,
+    },
+    /// A payload had the wrong variant or dimension for this scheme.
+    MalformedPayload {
+        /// Explanation for logs/tests.
+        reason: String,
+    },
+    /// The decoding linear system could not be solved (should not happen for
+    /// valid constructions; surfaced rather than panicking).
+    DecodingFailed {
+        /// Explanation for logs/tests.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CodingError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotComplete { received } => {
+                write!(f, "decode before completion ({received} messages received)")
+            }
+            Self::UnknownWorker {
+                worker,
+                num_workers,
+            } => {
+                write!(f, "unknown worker {worker} (cluster has {num_workers})")
+            }
+            Self::DuplicateWorker { worker } => {
+                write!(f, "duplicate message from worker {worker}")
+            }
+            Self::MalformedPayload { reason } => write!(f, "malformed payload: {reason}"),
+            Self::DecodingFailed { reason } => write!(f, "decoding failed: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CodingError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        assert!(CodingError::NotComplete { received: 3 }
+            .to_string()
+            .contains('3'));
+        assert!(CodingError::UnknownWorker {
+            worker: 9,
+            num_workers: 4
+        }
+        .to_string()
+        .contains('9'));
+        assert!(CodingError::DuplicateWorker { worker: 2 }
+            .to_string()
+            .contains('2'));
+        assert!(CodingError::MalformedPayload {
+            reason: "bad".into()
+        }
+        .to_string()
+        .contains("bad"));
+        assert!(CodingError::DecodingFailed {
+            reason: "rank".into()
+        }
+        .to_string()
+        .contains("rank"));
+    }
+}

@@ -1,0 +1,351 @@
+//! Fractional-repetition (FR) gradient coding — the second construction of
+//! Tandon et al. \[7\], mentioned in the paper's footnote 2: a deterministic
+//! replication scheme that "may finish when the master collects results from
+//! less than m − r + 1 workers", applicable when `r | n`.
+//!
+//! The `n` data units are split into `n/r` disjoint shards of `r` units;
+//! each shard is replicated on `r` workers. A worker sends the *sum* of its
+//! shard's partial gradients (one unit); the master completes when it has
+//! heard from at least one worker of every shard group. Worst case it
+//! tolerates `r − 1` stragglers, but under random stragglers it often
+//! finishes earlier than CR — the behaviour the footnote points out.
+
+use crate::error::CodingError;
+use crate::payload::Payload;
+use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use bcc_data::Placement;
+use bcc_linalg::vec_ops;
+
+/// Fractional-repetition scheme over `n` workers / `n` units, `r | n`.
+#[derive(Debug, Clone)]
+pub struct FractionalRepetitionScheme {
+    placement: Placement,
+    n: usize,
+    r: usize,
+    shards: usize,
+}
+
+impl FractionalRepetitionScheme {
+    /// Builds the FR scheme.
+    ///
+    /// # Panics
+    /// Panics unless `r > 0` and `r` divides `n`.
+    #[must_use]
+    pub fn new(n: usize, r: usize) -> Self {
+        assert!(
+            r > 0 && n.is_multiple_of(r),
+            "fractional repetition needs r | n"
+        );
+        let placement = Placement::fractional_repetition(n, r);
+        Self {
+            placement,
+            n,
+            r,
+            shards: n / r,
+        }
+    }
+
+    /// Shard id stored by a worker.
+    #[must_use]
+    pub fn shard_of_worker(&self, worker: usize) -> usize {
+        worker % self.shards
+    }
+
+    /// Number of distinct shards (`n/r`).
+    #[must_use]
+    pub fn num_shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Worst-case recovery threshold: all but `r − 1` workers, i.e.
+    /// `n − r + 1` (same worst case as CR).
+    #[must_use]
+    pub fn worst_case_recovery_threshold(&self) -> usize {
+        self.n - self.r + 1
+    }
+
+    /// Expected number of uniformly random worker arrivals until every shard
+    /// group is hit at least once.
+    ///
+    /// This is a coupon-collector variant *without replacement*: drawing
+    /// workers in a uniformly random order, the expected number of draws to
+    /// cover all `g = n/r` groups of size `r` is
+    /// `n − r·g/(g·r − r + ... )`… computed exactly here by the standard
+    /// order-statistics identity: `E = n + 1 − (r·g + 1)·Π…`; rather than a
+    /// closed form we evaluate `E = Σ_k Pr[draws ≥ k]` with
+    /// `Pr[not covered after k] ≤ …` — implemented by exact DP over
+    /// hypergeometric survival, which is cheap for the sizes used here.
+    #[must_use]
+    pub fn expected_recovery_threshold(&self) -> f64 {
+        // E[T] = Σ_{k≥0} Pr[T > k]; Pr[T > k] = P(some group unseen after k
+        // draws without replacement). By inclusion–exclusion over groups:
+        // Pr[T > k] = Σ_{j≥1} (−1)^{j+1} C(g, j)·C(n−j·r, k)/C(n, k).
+        let g = self.shards;
+        let n = self.n;
+        let r = self.r;
+        let mut expectation = 0.0;
+        for k in 0..n {
+            // Pr[T > k] — probability some group has no member in the first
+            // k draws.
+            let mut p = 0.0;
+            let mut sign = 1.0;
+            for j in 1..=g {
+                let remaining = n.saturating_sub(j * r);
+                if remaining < k {
+                    break;
+                }
+                let term = ln_choose(remaining, k) - ln_choose(n, k);
+                p += sign * choose_ln_exp(g, j, term);
+                sign = -sign;
+            }
+            expectation += p.clamp(0.0, 1.0);
+        }
+        expectation
+    }
+}
+
+/// `ln C(n, k)` via `ln Γ` (Stirling-free exact summation — n is small).
+fn ln_choose(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let mut s = 0.0;
+    for i in 0..k {
+        s += ((n - i) as f64).ln() - ((k - i) as f64).ln();
+    }
+    s
+}
+
+/// `C(g, j)·exp(term)` computed in log space for stability.
+fn choose_ln_exp(g: usize, j: usize, term: f64) -> f64 {
+    (ln_choose(g, j) + term).exp()
+}
+
+impl GradientCodingScheme for FractionalRepetitionScheme {
+    fn name(&self) -> &'static str {
+        "fractional-repetition"
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Payload, CodingError> {
+        if worker >= self.n {
+            return Err(CodingError::UnknownWorker {
+                worker,
+                num_workers: self.n,
+            });
+        }
+        let expected = self.placement.load_of(worker);
+        if partials.len() != expected {
+            return Err(CodingError::MalformedPayload {
+                reason: format!(
+                    "worker {worker} expected {expected} partial gradients, got {}",
+                    partials.len()
+                ),
+            });
+        }
+        let vector = vec_ops::sum_vectors(partials.iter().map(Vec::as_slice)).ok_or(
+            CodingError::MalformedPayload {
+                reason: "FR worker stores a non-empty shard".into(),
+            },
+        )?;
+        Ok(Payload::Sum {
+            unit: self.shard_of_worker(worker),
+            vector,
+        })
+    }
+
+    fn decoder(&self) -> Box<dyn Decoder + '_> {
+        Box::new(FrDecoder {
+            scheme: self,
+            log: ReceiveLog::new(self.n),
+            shard_sums: vec![None; self.shards],
+            covered: 0,
+        })
+    }
+
+    fn analytic_recovery_threshold(&self) -> Option<f64> {
+        Some(self.expected_recovery_threshold())
+    }
+}
+
+struct FrDecoder<'a> {
+    scheme: &'a FractionalRepetitionScheme,
+    log: ReceiveLog,
+    shard_sums: Vec<Option<Vec<f64>>>,
+    covered: usize,
+}
+
+impl Decoder for FrDecoder<'_> {
+    fn receive(&mut self, worker: usize, payload: Payload) -> Result<bool, CodingError> {
+        let Payload::Sum { unit, vector } = payload else {
+            return Err(CodingError::MalformedPayload {
+                reason: "FR expects Sum payloads".into(),
+            });
+        };
+        if worker < self.scheme.n && unit != self.scheme.shard_of_worker(worker) {
+            return Err(CodingError::MalformedPayload {
+                reason: format!(
+                    "worker {worker} claims shard {unit} but owns {}",
+                    self.scheme.shard_of_worker(worker)
+                ),
+            });
+        }
+        self.log.record(worker, 1)?;
+        if self.shard_sums[unit].is_none() {
+            self.shard_sums[unit] = Some(vector);
+            self.covered += 1;
+        }
+        Ok(self.is_complete())
+    }
+
+    fn is_complete(&self) -> bool {
+        self.covered == self.shard_sums.len()
+    }
+
+    fn decode(&self) -> Result<Vec<f64>, CodingError> {
+        if !self.is_complete() {
+            return Err(CodingError::NotComplete {
+                received: self.log.messages(),
+            });
+        }
+        vec_ops::sum_vectors(self.shard_sums.iter().flatten().map(Vec::as_slice)).ok_or_else(|| {
+            CodingError::DecodingFailed {
+                reason: "no shard sums collected".into(),
+            }
+        })
+    }
+
+    fn messages_received(&self) -> usize {
+        self.log.messages()
+    }
+
+    fn communication_units(&self) -> usize {
+        self.log.units()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::test_support::{random_gradients, total_sum, worker_partials};
+    use bcc_stats::rng::derive_rng;
+    use rand::seq::SliceRandom;
+
+    #[test]
+    fn decode_recovers_exact_sum() {
+        let s = FractionalRepetitionScheme::new(12, 3);
+        let grads = random_gradients(12, 4, 1);
+        let mut dec = s.decoder();
+        for i in 0..12 {
+            let partials = worker_partials(s.placement(), i, &grads);
+            if dec.receive(i, s.encode(i, &partials).unwrap()).unwrap() {
+                break;
+            }
+        }
+        assert!(bcc_linalg::approx_eq_slice(
+            &dec.decode().unwrap(),
+            &total_sum(&grads),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn completes_once_each_group_reports() {
+        let s = FractionalRepetitionScheme::new(6, 2); // 3 shards × 2 replicas
+        let grads = random_gradients(6, 2, 2);
+        let mut dec = s.decoder();
+        // Workers 0, 1, 2 hold shards 0, 1, 2 → exactly one per group.
+        for i in 0..3 {
+            let partials = worker_partials(s.placement(), i, &grads);
+            let done = dec.receive(i, s.encode(i, &partials).unwrap()).unwrap();
+            assert_eq!(done, i == 2);
+        }
+        assert_eq!(dec.messages_received(), 3);
+    }
+
+    #[test]
+    fn tolerates_any_r_minus_one_stragglers() {
+        let (n, r) = (8, 4);
+        let s = FractionalRepetitionScheme::new(n, r);
+        let grads = random_gradients(n, 2, 3);
+        let expect = total_sum(&grads);
+        // Remove any r−1 = 3 workers; remaining must still decode.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let alive: Vec<usize> =
+                        (0..n).filter(|&i| i != a && i != b && i != c).collect();
+                    let mut dec = s.decoder();
+                    for &i in &alive {
+                        let partials = worker_partials(s.placement(), i, &grads);
+                        if dec.receive(i, s.encode(i, &partials).unwrap()).unwrap() {
+                            break;
+                        }
+                    }
+                    assert!(
+                        dec.is_complete(),
+                        "killing {{{a},{b},{c}}} must not block FR(8,4)"
+                    );
+                    assert!(bcc_linalg::approx_eq_slice(
+                        &dec.decode().unwrap(),
+                        &expect,
+                        1e-9
+                    ));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expected_threshold_matches_simulation() {
+        let s = FractionalRepetitionScheme::new(12, 3);
+        let analytic = s.expected_recovery_threshold();
+        let grads = random_gradients(12, 1, 4);
+        let mut rng = derive_rng(5, 0);
+        let trials = 4000;
+        let mut total = 0usize;
+        for _ in 0..trials {
+            let mut order: Vec<usize> = (0..12).collect();
+            order.shuffle(&mut rng);
+            let mut dec = s.decoder();
+            for &i in &order {
+                let partials = worker_partials(s.placement(), i, &grads);
+                if dec.receive(i, s.encode(i, &partials).unwrap()).unwrap() {
+                    break;
+                }
+            }
+            total += dec.messages_received();
+        }
+        let sim = total as f64 / trials as f64;
+        assert!(
+            (sim - analytic).abs() < 0.15,
+            "simulated {sim} vs analytic {analytic}"
+        );
+    }
+
+    #[test]
+    fn expected_threshold_sane_bounds() {
+        let s = FractionalRepetitionScheme::new(12, 3);
+        let e = s.expected_recovery_threshold();
+        // Must need at least one worker per shard and at most the worst case.
+        assert!(e >= s.num_shards() as f64);
+        assert!(e <= s.worst_case_recovery_threshold() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn r_one_is_uncoded_like() {
+        let s = FractionalRepetitionScheme::new(5, 1);
+        assert_eq!(s.num_shards(), 5);
+        assert_eq!(s.worst_case_recovery_threshold(), 5);
+        assert!((s.expected_recovery_threshold() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "r | n")]
+    fn indivisible_panics() {
+        let _ = FractionalRepetitionScheme::new(7, 2);
+    }
+}

@@ -1,0 +1,288 @@
+//! The *simple randomized* prior-art scheme (§I "Prior Art", eqs. (5)–(6)).
+//!
+//! Each worker selects `r` of the `m` examples uniformly at random and
+//! communicates **each computed partial gradient individually** — no
+//! in-worker compression. Coverage of examples (not batches) completes the
+//! round. Recovery threshold is near-optimal (`≈ (m/r)·log m`) but the
+//! communication load blows up to `≈ m·log m` because every message carries
+//! `r` gradient-sized units.
+
+use crate::error::CodingError;
+use crate::payload::Payload;
+use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use bcc_data::Placement;
+use bcc_linalg::vec_ops;
+use rand::Rng;
+
+/// Simple randomized scheme: uniform `r`-subsets, per-example messages.
+#[derive(Debug, Clone)]
+pub struct RandomSubsetScheme {
+    placement: Placement,
+    m: usize,
+    r: usize,
+}
+
+impl RandomSubsetScheme {
+    /// Draws each worker's `r`-subset uniformly at random.
+    #[must_use]
+    pub fn new<R: Rng + ?Sized>(m: usize, n: usize, r: usize, rng: &mut R) -> Self {
+        let placement = Placement::random_subsets(m, n, r, rng);
+        Self { placement, m, r }
+    }
+
+    /// Builds from an explicit placement (tests / replay).
+    ///
+    /// # Panics
+    /// Panics when the placement is not `r`-uniform.
+    #[must_use]
+    pub fn from_placement(placement: Placement, r: usize) -> Self {
+        for i in 0..placement.num_workers() {
+            assert_eq!(placement.load_of(i), r, "worker {i} load must be r = {r}");
+        }
+        let m = placement.num_examples();
+        Self { placement, m, r }
+    }
+
+    /// The paper's approximation of the recovery threshold, eq. (5):
+    /// `K_random ≈ (m/r)·log m`.
+    #[must_use]
+    pub fn approx_recovery_threshold(m: usize, r: usize) -> f64 {
+        bcc_stats::coupon::random_scheme_approx(m, r)
+    }
+
+    /// The paper's approximation of the communication load, eq. (6):
+    /// `L_random ≈ m·log m`.
+    #[must_use]
+    pub fn approx_communication_load(m: usize) -> f64 {
+        m as f64 * (m as f64).ln()
+    }
+}
+
+impl GradientCodingScheme for RandomSubsetScheme {
+    fn name(&self) -> &'static str {
+        "random"
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Payload, CodingError> {
+        if worker >= self.num_workers() {
+            return Err(CodingError::UnknownWorker {
+                worker,
+                num_workers: self.num_workers(),
+            });
+        }
+        let examples = self.placement.worker_examples(worker);
+        if partials.len() != examples.len() {
+            return Err(CodingError::MalformedPayload {
+                reason: format!(
+                    "worker {worker} expected {} partial gradients, got {}",
+                    examples.len(),
+                    partials.len()
+                ),
+            });
+        }
+        Ok(Payload::PerExample {
+            entries: examples
+                .iter()
+                .copied()
+                .zip(partials.iter().cloned())
+                .collect(),
+        })
+    }
+
+    fn decoder(&self) -> Box<dyn Decoder + '_> {
+        Box::new(RandomDecoder {
+            log: ReceiveLog::new(self.num_workers()),
+            grads: vec![None; self.m],
+            covered: 0,
+            m: self.m,
+            r: self.r,
+        })
+    }
+
+    fn analytic_recovery_threshold(&self) -> Option<f64> {
+        Some(Self::approx_recovery_threshold(self.m, self.r))
+    }
+
+    fn message_units(&self, worker: usize) -> usize {
+        self.placement.load_of(worker)
+    }
+}
+
+struct RandomDecoder {
+    log: ReceiveLog,
+    grads: Vec<Option<Vec<f64>>>,
+    covered: usize,
+    m: usize,
+    r: usize,
+}
+
+impl Decoder for RandomDecoder {
+    fn receive(&mut self, worker: usize, payload: Payload) -> Result<bool, CodingError> {
+        let Payload::PerExample { entries } = payload else {
+            return Err(CodingError::MalformedPayload {
+                reason: "randomized scheme expects PerExample payloads".into(),
+            });
+        };
+        if entries.len() != self.r {
+            return Err(CodingError::MalformedPayload {
+                reason: format!("expected {} entries, got {}", self.r, entries.len()),
+            });
+        }
+        // Communication cost: r units regardless of usefulness (eq. (6)).
+        self.log.record(worker, entries.len())?;
+        for (j, g) in entries {
+            if j >= self.m {
+                return Err(CodingError::MalformedPayload {
+                    reason: format!("example id {j} out of range"),
+                });
+            }
+            if self.grads[j].is_none() {
+                self.grads[j] = Some(g);
+                self.covered += 1;
+            }
+        }
+        Ok(self.is_complete())
+    }
+
+    fn is_complete(&self) -> bool {
+        self.covered == self.m
+    }
+
+    fn decode(&self) -> Result<Vec<f64>, CodingError> {
+        if !self.is_complete() {
+            return Err(CodingError::NotComplete {
+                received: self.log.messages(),
+            });
+        }
+        vec_ops::sum_vectors(self.grads.iter().flatten().map(Vec::as_slice)).ok_or_else(|| {
+            CodingError::DecodingFailed {
+                reason: "no gradients collected".into(),
+            }
+        })
+    }
+
+    fn messages_received(&self) -> usize {
+        self.log.messages()
+    }
+
+    fn communication_units(&self) -> usize {
+        self.log.units()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::test_support::{random_gradients, total_sum, worker_partials};
+    use bcc_stats::rng::derive_rng;
+
+    fn covering_scheme(m: usize, n: usize, r: usize, seed: u64) -> RandomSubsetScheme {
+        let mut rng = derive_rng(seed, 0);
+        loop {
+            let s = RandomSubsetScheme::new(m, n, r, &mut rng);
+            if s.placement().covers_all() {
+                return s;
+            }
+        }
+    }
+
+    #[test]
+    fn decode_recovers_exact_sum() {
+        let (m, n, r, p) = (15, 30, 4, 3);
+        let scheme = covering_scheme(m, n, r, 1);
+        let grads = random_gradients(m, p, 2);
+        let mut dec = scheme.decoder();
+        for i in 0..n {
+            let partials = worker_partials(scheme.placement(), i, &grads);
+            if dec
+                .receive(i, scheme.encode(i, &partials).unwrap())
+                .unwrap()
+            {
+                break;
+            }
+        }
+        assert!(dec.is_complete());
+        assert!(bcc_linalg::approx_eq_slice(
+            &dec.decode().unwrap(),
+            &total_sum(&grads),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn communication_units_are_r_per_message() {
+        let (m, n, r) = (12, 24, 3);
+        let scheme = covering_scheme(m, n, r, 3);
+        let grads = random_gradients(m, 2, 4);
+        let mut dec = scheme.decoder();
+        let mut fed = 0;
+        for i in 0..n {
+            let partials = worker_partials(scheme.placement(), i, &grads);
+            fed += 1;
+            if dec
+                .receive(i, scheme.encode(i, &partials).unwrap())
+                .unwrap()
+            {
+                break;
+            }
+        }
+        assert_eq!(dec.messages_received(), fed);
+        assert_eq!(dec.communication_units(), fed * r);
+        // The communication load is r× the message count — the blow-up the
+        // paper's eq. (6) describes.
+        assert!(dec.communication_units() >= dec.messages_received() * r);
+    }
+
+    #[test]
+    fn duplicate_examples_kept_once() {
+        // Two workers share example 0; the kept copy must not double-count.
+        let placement = bcc_data::Placement::new(3, vec![vec![0, 1], vec![0, 2], vec![1, 2]]);
+        let scheme = RandomSubsetScheme::from_placement(placement, 2);
+        let grads = random_gradients(3, 2, 5);
+        let mut dec = scheme.decoder();
+        for i in 0..3 {
+            let partials = worker_partials(scheme.placement(), i, &grads);
+            if dec
+                .receive(i, scheme.encode(i, &partials).unwrap())
+                .unwrap()
+            {
+                break;
+            }
+        }
+        assert!(bcc_linalg::approx_eq_slice(
+            &dec.decode().unwrap(),
+            &total_sum(&grads),
+            1e-9
+        ));
+    }
+
+    #[test]
+    fn wrong_entry_count_rejected() {
+        let scheme = covering_scheme(6, 12, 2, 7);
+        let mut dec = scheme.decoder();
+        assert!(matches!(
+            dec.receive(
+                0,
+                Payload::PerExample {
+                    entries: vec![(0, vec![1.0])]
+                }
+            ),
+            Err(CodingError::MalformedPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn approximations_match_paper_formulas() {
+        let (m, r) = (100usize, 10usize);
+        let k = RandomSubsetScheme::approx_recovery_threshold(m, r);
+        assert!((k - 10.0 * (100.0f64).ln()).abs() < 1e-12);
+        let l = RandomSubsetScheme::approx_communication_load(m);
+        assert!((l - 100.0 * (100.0f64).ln()).abs() < 1e-12);
+        // L ≈ r·K: each counted worker ships r units.
+        assert!((l - r as f64 * k).abs() < 1e-9);
+    }
+}

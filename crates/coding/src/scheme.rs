@@ -1,0 +1,203 @@
+//! The common scheme trait and decoder interface.
+
+use crate::error::CodingError;
+use crate::payload::Payload;
+use bcc_data::Placement;
+
+/// A gradient-coding scheme: data distribution + worker encoding + master
+/// decoding, per §II's `(φᵢ, ψ)` formulation.
+///
+/// Encoders receive the worker's partial gradients **in the order of
+/// [`Placement::worker_examples`]** for that worker; decoders recover the
+/// exact sum `Σ_{j=1}^{m} g_j` over all examples.
+pub trait GradientCodingScheme: Send + Sync {
+    /// Human-readable scheme name (used in reports and benches).
+    fn name(&self) -> &'static str;
+
+    /// The data placement this scheme prescribed.
+    fn placement(&self) -> &Placement;
+
+    /// Number of workers `n`.
+    fn num_workers(&self) -> usize {
+        self.placement().num_workers()
+    }
+
+    /// Number of examples `m` (or coded units when `m = n` grouping is in
+    /// effect).
+    fn num_examples(&self) -> usize {
+        self.placement().num_examples()
+    }
+
+    /// Worker `i`'s encoding function `φᵢ` (eq. (9)): turns the partial
+    /// gradients of `Gᵢ` (in placement order) into a message payload.
+    ///
+    /// # Errors
+    /// [`CodingError::UnknownWorker`] or [`CodingError::MalformedPayload`]
+    /// when `partials` does not match the worker's assignment.
+    fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Payload, CodingError>;
+
+    /// Fresh decoder state `ψ` for one iteration (eq. (10)).
+    fn decoder(&self) -> Box<dyn Decoder + '_>;
+
+    /// The scheme's *analytic* recovery threshold, when known in closed form:
+    /// expected number of workers the master waits for.
+    fn analytic_recovery_threshold(&self) -> Option<f64> {
+        None
+    }
+
+    /// Communication units of worker `i`'s message (Definition 3), without
+    /// materializing the payload — used by the cluster backends to charge
+    /// transfer time. Default: one combined vector per message; per-example
+    /// schemes override with the worker's load.
+    fn message_units(&self, worker: usize) -> usize {
+        let _ = worker;
+        1
+    }
+}
+
+/// Incremental master-side decoder for one iteration.
+pub trait Decoder {
+    /// Feeds one worker message. Returns `true` when the master can now
+    /// recover the gradient (the completion condition holds).
+    ///
+    /// # Errors
+    /// Unknown/duplicate workers and malformed payloads are rejected.
+    fn receive(&mut self, worker: usize, payload: Payload) -> Result<bool, CodingError>;
+
+    /// True when enough messages have been received to decode.
+    fn is_complete(&self) -> bool;
+
+    /// Recovers the exact gradient **sum** `Σ_{j=1}^{m} g_j`.
+    ///
+    /// # Errors
+    /// [`CodingError::NotComplete`] before completion;
+    /// [`CodingError::DecodingFailed`] when the linear solve breaks (never
+    /// expected for valid constructions).
+    fn decode(&self) -> Result<Vec<f64>, CodingError>;
+
+    /// Number of worker messages received so far (the empirical `|W|`).
+    fn messages_received(&self) -> usize;
+
+    /// Total communication units received so far (Definition 3 accounting).
+    fn communication_units(&self) -> usize;
+}
+
+/// Shared bookkeeping for decoders: tracks seen workers and unit counts.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct ReceiveLog {
+    seen: Vec<bool>,
+    messages: usize,
+    units: usize,
+}
+
+impl ReceiveLog {
+    pub(crate) fn new(num_workers: usize) -> Self {
+        Self {
+            seen: vec![false; num_workers],
+            messages: 0,
+            units: 0,
+        }
+    }
+
+    /// Validates and records an arrival; returns an error for unknown or
+    /// duplicate workers.
+    pub(crate) fn record(&mut self, worker: usize, units: usize) -> Result<(), CodingError> {
+        if worker >= self.seen.len() {
+            return Err(CodingError::UnknownWorker {
+                worker,
+                num_workers: self.seen.len(),
+            });
+        }
+        if self.seen[worker] {
+            return Err(CodingError::DuplicateWorker { worker });
+        }
+        self.seen[worker] = true;
+        self.messages += 1;
+        self.units += units;
+        Ok(())
+    }
+
+    pub(crate) fn messages(&self) -> usize {
+        self.messages
+    }
+
+    pub(crate) fn units(&self) -> usize {
+        self.units
+    }
+}
+
+/// Test helpers shared by scheme unit tests and integration tests.
+///
+/// Not part of the public API contract; exposed (doc-hidden) so the
+/// workspace's integration tests and property tests can drive schemes with
+/// synthetic partial gradients without a full dataset.
+#[doc(hidden)]
+pub mod test_support {
+    use bcc_data::Placement;
+    use bcc_stats::rng::derive_rng;
+    use rand::Rng;
+
+    /// `m` synthetic partial gradients of dimension `p`, deterministic in
+    /// `seed`.
+    #[must_use]
+    pub fn random_gradients(m: usize, p: usize, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = derive_rng(seed, 0x9e37);
+        (0..m)
+            .map(|_| (0..p).map(|_| rng.gen_range(-1.0..1.0)).collect())
+            .collect()
+    }
+
+    /// The partial gradients worker `i` would compute, in placement order.
+    #[must_use]
+    pub fn worker_partials(
+        placement: &Placement,
+        worker: usize,
+        grads: &[Vec<f64>],
+    ) -> Vec<Vec<f64>> {
+        placement
+            .worker_examples(worker)
+            .iter()
+            .map(|&j| grads[j].clone())
+            .collect()
+    }
+
+    /// Exact sum `Σ_j g_j` of all partial gradients.
+    #[must_use]
+    pub fn total_sum(grads: &[Vec<f64>]) -> Vec<f64> {
+        bcc_linalg::vec_ops::sum_vectors(grads.iter().map(Vec::as_slice))
+            .expect("non-empty gradient set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn receive_log_counts() {
+        let mut log = ReceiveLog::new(3);
+        log.record(0, 1).unwrap();
+        log.record(2, 5).unwrap();
+        assert_eq!(log.messages(), 2);
+        assert_eq!(log.units(), 6);
+    }
+
+    #[test]
+    fn receive_log_rejects_duplicates() {
+        let mut log = ReceiveLog::new(2);
+        log.record(1, 1).unwrap();
+        assert!(matches!(
+            log.record(1, 1),
+            Err(CodingError::DuplicateWorker { worker: 1 })
+        ));
+    }
+
+    #[test]
+    fn receive_log_rejects_unknown() {
+        let mut log = ReceiveLog::new(2);
+        assert!(matches!(
+            log.record(5, 1),
+            Err(CodingError::UnknownWorker { worker: 5, .. })
+        ));
+    }
+}

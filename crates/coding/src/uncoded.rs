@@ -1,0 +1,238 @@
+//! The uncoded baseline: disjoint shards, wait for everyone.
+//!
+//! §III-C: "there is no repetition in data among the workers and the master
+//! has to wait for all the workers to finish their computations."
+
+use crate::error::CodingError;
+use crate::payload::Payload;
+use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use bcc_data::Placement;
+use bcc_linalg::vec_ops;
+
+/// Uncoded scheme: worker `i` owns shard `i` (disjoint), sends the shard's
+/// gradient sum; the master waits for every non-empty shard.
+#[derive(Debug, Clone)]
+pub struct UncodedScheme {
+    placement: Placement,
+    non_empty: usize,
+}
+
+impl UncodedScheme {
+    /// Splits `m` examples evenly across `n` workers.
+    #[must_use]
+    pub fn new(m: usize, n: usize) -> Self {
+        let placement = Placement::disjoint_shards(m, n);
+        let non_empty = (0..n).filter(|&i| placement.load_of(i) > 0).count();
+        Self {
+            placement,
+            non_empty,
+        }
+    }
+
+    /// Number of workers holding at least one example (all must report).
+    #[must_use]
+    pub fn required_workers(&self) -> usize {
+        self.non_empty
+    }
+}
+
+impl GradientCodingScheme for UncodedScheme {
+    fn name(&self) -> &'static str {
+        "uncoded"
+    }
+
+    fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    fn encode(&self, worker: usize, partials: &[Vec<f64>]) -> Result<Payload, CodingError> {
+        if worker >= self.num_workers() {
+            return Err(CodingError::UnknownWorker {
+                worker,
+                num_workers: self.num_workers(),
+            });
+        }
+        let expected = self.placement.load_of(worker);
+        if partials.len() != expected {
+            return Err(CodingError::MalformedPayload {
+                reason: format!(
+                    "worker {worker} expected {expected} partial gradients, got {}",
+                    partials.len()
+                ),
+            });
+        }
+        let dim = partials.first().map_or(0, Vec::len);
+        let vector = vec_ops::sum_vectors(partials.iter().map(Vec::as_slice))
+            .unwrap_or_else(|| vec![0.0; dim]);
+        Ok(Payload::Sum {
+            unit: worker,
+            vector,
+        })
+    }
+
+    fn decoder(&self) -> Box<dyn Decoder + '_> {
+        Box::new(UncodedDecoder {
+            scheme: self,
+            log: ReceiveLog::new(self.num_workers()),
+            sums: vec![None; self.num_workers()],
+            have: 0,
+        })
+    }
+
+    fn analytic_recovery_threshold(&self) -> Option<f64> {
+        Some(self.non_empty as f64)
+    }
+}
+
+struct UncodedDecoder<'a> {
+    scheme: &'a UncodedScheme,
+    log: ReceiveLog,
+    sums: Vec<Option<Vec<f64>>>,
+    have: usize,
+}
+
+impl Decoder for UncodedDecoder<'_> {
+    fn receive(&mut self, worker: usize, payload: Payload) -> Result<bool, CodingError> {
+        let Payload::Sum { unit, vector } = payload else {
+            return Err(CodingError::MalformedPayload {
+                reason: "uncoded expects Sum payloads".into(),
+            });
+        };
+        if unit != worker {
+            return Err(CodingError::MalformedPayload {
+                reason: format!("uncoded shard id {unit} must equal worker id {worker}"),
+            });
+        }
+        self.log.record(worker, 1)?;
+        if self.scheme.placement.load_of(worker) > 0 && self.sums[worker].is_none() {
+            self.sums[worker] = Some(vector);
+            self.have += 1;
+        }
+        Ok(self.is_complete())
+    }
+
+    fn is_complete(&self) -> bool {
+        self.have == self.scheme.non_empty
+    }
+
+    fn decode(&self) -> Result<Vec<f64>, CodingError> {
+        if !self.is_complete() {
+            return Err(CodingError::NotComplete {
+                received: self.log.messages(),
+            });
+        }
+        vec_ops::sum_vectors(self.sums.iter().flatten().map(Vec::as_slice)).ok_or_else(|| {
+            CodingError::DecodingFailed {
+                reason: "no shard sums collected".into(),
+            }
+        })
+    }
+
+    fn messages_received(&self) -> usize {
+        self.log.messages()
+    }
+
+    fn communication_units(&self) -> usize {
+        self.log.units()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::test_support::{random_gradients, worker_partials};
+
+    #[test]
+    fn decode_recovers_exact_sum() {
+        let (m, n, p) = (23, 5, 4);
+        let scheme = UncodedScheme::new(m, n);
+        let grads = random_gradients(m, p, 42);
+        let mut dec = scheme.decoder();
+        for i in 0..n {
+            let partials = worker_partials(scheme.placement(), i, &grads);
+            let payload = scheme.encode(i, &partials).unwrap();
+            dec.receive(i, payload).unwrap();
+        }
+        assert!(dec.is_complete());
+        let sum = dec.decode().unwrap();
+        let expect = bcc_linalg::vec_ops::sum_vectors(grads.iter().map(Vec::as_slice)).unwrap();
+        assert!(bcc_linalg::approx_eq_slice(&sum, &expect, 1e-9));
+        assert_eq!(dec.messages_received(), n);
+        assert_eq!(dec.communication_units(), n);
+    }
+
+    #[test]
+    fn incomplete_until_all_nonempty_report() {
+        let scheme = UncodedScheme::new(10, 4);
+        let grads = random_gradients(10, 3, 1);
+        let mut dec = scheme.decoder();
+        for i in 0..3 {
+            let partials = worker_partials(scheme.placement(), i, &grads);
+            let done = dec
+                .receive(i, scheme.encode(i, &partials).unwrap())
+                .unwrap();
+            assert!(!done, "must wait for all workers");
+        }
+        assert!(matches!(
+            dec.decode(),
+            Err(CodingError::NotComplete { received: 3 })
+        ));
+        let partials = worker_partials(scheme.placement(), 3, &grads);
+        assert!(dec
+            .receive(3, scheme.encode(3, &partials).unwrap())
+            .unwrap());
+    }
+
+    #[test]
+    fn more_workers_than_examples() {
+        // Workers with empty shards are not required.
+        let scheme = UncodedScheme::new(3, 5);
+        assert_eq!(scheme.required_workers(), 3);
+        assert_eq!(scheme.analytic_recovery_threshold(), Some(3.0));
+        let grads = random_gradients(3, 2, 2);
+        let mut dec = scheme.decoder();
+        for i in 0..3 {
+            let partials = worker_partials(scheme.placement(), i, &grads);
+            dec.receive(i, scheme.encode(i, &partials).unwrap())
+                .unwrap();
+        }
+        assert!(dec.is_complete());
+    }
+
+    #[test]
+    fn encode_validates_partial_count() {
+        let scheme = UncodedScheme::new(10, 2);
+        assert!(matches!(
+            scheme.encode(0, &[]),
+            Err(CodingError::MalformedPayload { .. })
+        ));
+        assert!(matches!(
+            scheme.encode(7, &[]),
+            Err(CodingError::UnknownWorker { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_wrong_payload_variant() {
+        let scheme = UncodedScheme::new(4, 2);
+        let mut dec = scheme.decoder();
+        assert!(matches!(
+            dec.receive(0, Payload::Linear { vector: vec![] }),
+            Err(CodingError::MalformedPayload { .. })
+        ));
+    }
+
+    #[test]
+    fn duplicate_worker_rejected() {
+        let scheme = UncodedScheme::new(4, 2);
+        let grads = random_gradients(4, 2, 3);
+        let mut dec = scheme.decoder();
+        let partials = worker_partials(scheme.placement(), 0, &grads);
+        let p = scheme.encode(0, &partials).unwrap();
+        dec.receive(0, p.clone()).unwrap();
+        assert!(matches!(
+            dec.receive(0, p),
+            Err(CodingError::DuplicateWorker { worker: 0 })
+        ));
+    }
+}

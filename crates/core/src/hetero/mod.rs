@@ -1,0 +1,24 @@
+//! §IV — distributed GD over heterogeneous clusters.
+//!
+//! Workers differ in speed: worker `i` processing `rᵢ` examples finishes at
+//! `Tᵢ ~ shift-exp(shift aᵢrᵢ, rate μᵢ/rᵢ)` (eq. (15)). The master runs the
+//! *uncoded communication* scheme of §IV-A (each partial gradient shipped
+//! individually) and finishes at the **coverage time** (eq. (16)) — the
+//! first instant the finished workers' examples union to the full dataset.
+//!
+//! * [`p2`] — the load-allocation problem P2 (`min E[T̂(s)]`), solved with
+//!   the HCMM structure of \[16\]: per-worker closed-form loads via Lambert W
+//!   plus a closed-form target time (deliveries are linear in τ); validated against Monte-Carlo.
+//! * [`coverage`] — simulators for the generalized-BCC random placement and
+//!   the load-balancing (LB) baseline of §IV-C (Fig. 5).
+//! * [`bounds`] — Theorem 2's sandwich on the optimal coverage time.
+
+pub mod bounds;
+pub mod coverage;
+pub mod p2;
+
+pub use bounds::{theorem2_bounds, Theorem2Bounds};
+pub use coverage::{
+    simulate_gbcc_coverage_time, simulate_lb_completion_time, CoverageStats, Fig5Config,
+};
+pub use p2::{expected_t_hat, optimal_loads, t_hat_realization, P2Solution};

@@ -1,0 +1,254 @@
+//! Problem P2: `min_{r₁..rₙ} E[T̂(s)]` — the waiting time for the master to
+//! receive at least `s` partial gradients (eq. (18)–(19)).
+//!
+//! Following the HCMM structure of Reisizadeh–Prakash–Pedarsani–Avestimehr
+//! \[16\], for a target completion time `τ` each worker's load should maximize
+//! its *expected* delivery by `τ`:
+//!
+//! ```text
+//! maximize over r:  e(r) = r · Pr[T ≤ τ] = r·(1 − e^{−(μ/r)(τ − a·r)})
+//! ```
+//!
+//! Substituting `u = μτ/r − μa`, stationarity gives `e^u = u + 1 + μa`,
+//! i.e. `u* = −W₋₁(−e^{−1−μa}) − 1 − μa` (the non-trivial real branch), so
+//!
+//! ```text
+//! r*(τ) = μτ / (u* + μa) ,   e*(τ) = r*(τ)·(1 − 1/(u* + 1 + μa)) ∝ τ.
+//! ```
+//!
+//! Both the optimal load and the expected delivery are *linear in τ*, so the
+//! smallest `τ` with `Σᵢ eᵢ*(τ) ≥ s` is a single division — no bisection is
+//! even needed, though we verify by Monte-Carlo in tests.
+
+use bcc_cluster::WorkerProfile;
+use bcc_stats::lambertw::lambert_wm1;
+use bcc_stats::rng::derive_rng;
+use serde::{Deserialize, Serialize};
+
+/// Per-worker solution of the inner maximization, scaled by `τ`.
+#[derive(Debug, Clone, Copy)]
+struct PerWorkerRates {
+    /// `r*(τ)/τ` — optimal load per unit target time.
+    load_per_tau: f64,
+    /// `e*(τ)/τ` — expected delivery per unit target time.
+    delivery_per_tau: f64,
+}
+
+fn per_worker_rates(p: &WorkerProfile) -> PerWorkerRates {
+    // v = −W₋₁(−e^{−1−μa}) satisfies v·e^{−v}… see module docs; v > 1.
+    let mua = p.mu * p.a;
+    let arg = -(-1.0 - mua).exp();
+    let v = -lambert_wm1(arg);
+    debug_assert!(v > 1.0, "branch solution must exceed 1 (v = {v})");
+    // u* + μa = v − 1 ⇒ r*/τ = μ/(v−1); Pr[T ≤ τ] = 1 − e^{−u*} = 1 − 1/v.
+    let load_per_tau = p.mu / (v - 1.0);
+    let delivery_per_tau = load_per_tau * (1.0 - 1.0 / v);
+    PerWorkerRates {
+        load_per_tau,
+        delivery_per_tau,
+    }
+}
+
+/// Solution of P2.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct P2Solution {
+    /// Integer loads `r₁..rₙ` (examples per worker).
+    pub loads: Vec<usize>,
+    /// The target time `τ*` at which expected deliveries reach `s`.
+    pub tau: f64,
+    /// The budget `s` that was requested.
+    pub s: usize,
+}
+
+/// Solves P2 for a cluster of `workers` and a delivery budget `s`.
+///
+/// Loads are the HCMM fractional optima rounded up (so the expected
+/// delivery stays ≥ `s`) and clamped to `max_load` (the dataset size —
+/// a worker cannot store more than everything).
+///
+/// # Panics
+/// Panics when `workers` is empty, `s == 0`, or `max_load == 0`.
+#[must_use]
+pub fn optimal_loads(workers: &[WorkerProfile], s: usize, max_load: usize) -> P2Solution {
+    assert!(!workers.is_empty(), "need at least one worker");
+    assert!(s > 0, "need a positive delivery budget");
+    assert!(max_load > 0, "need a positive load cap");
+
+    let rates: Vec<PerWorkerRates> = workers.iter().map(per_worker_rates).collect();
+    let total_delivery_per_tau: f64 = rates.iter().map(|r| r.delivery_per_tau).sum();
+    // Smallest τ with Σ e*(τ) = s (deliveries are linear in τ).
+    let tau = s as f64 / total_delivery_per_tau;
+
+    let loads: Vec<usize> = rates
+        .iter()
+        .map(|r| ((r.load_per_tau * tau).ceil() as usize).clamp(1, max_load))
+        .collect();
+    P2Solution { loads, tau, s }
+}
+
+/// One realization of `T̂(s)` (eq. (18)): sample every worker's finish time,
+/// admit workers in finish order, and return the first time the cumulative
+/// delivered gradients reach `s`. Returns `None` when `Σ rᵢ < s` (the budget
+/// can never be met).
+#[must_use]
+pub fn t_hat_realization(
+    workers: &[WorkerProfile],
+    loads: &[usize],
+    s: usize,
+    seed: u64,
+    trial: u64,
+) -> Option<f64> {
+    assert_eq!(workers.len(), loads.len(), "profile/load length mismatch");
+    let mut finish: Vec<(f64, usize)> = workers
+        .iter()
+        .zip(loads)
+        .enumerate()
+        .filter(|(_, (_, &r))| r > 0)
+        .map(|(i, (w, &r))| {
+            let mut rng = derive_rng(seed, trial.wrapping_mul(1_000_003) + i as u64);
+            (w.sample_compute_time(r, &mut rng), r)
+        })
+        .collect();
+    finish.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    let mut acc = 0usize;
+    for (t, r) in finish {
+        acc += r;
+        if acc >= s {
+            return Some(t);
+        }
+    }
+    None
+}
+
+/// Monte-Carlo estimate of `E[T̂(s)]` over `trials` realizations.
+///
+/// Realizations that cannot meet the budget are counted as `f64::INFINITY`,
+/// which surfaces impossible configurations loudly rather than silently.
+#[must_use]
+pub fn expected_t_hat(
+    workers: &[WorkerProfile],
+    loads: &[usize],
+    s: usize,
+    trials: usize,
+    seed: u64,
+) -> f64 {
+    assert!(trials > 0, "need at least one trial");
+    let total: f64 = (0..trials)
+        .map(|t| t_hat_realization(workers, loads, s, seed, t as u64).unwrap_or(f64::INFINITY))
+        .sum();
+    total / trials as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig5_workers() -> Vec<WorkerProfile> {
+        let mut w = vec![WorkerProfile { mu: 1.0, a: 20.0 }; 95];
+        w.extend(vec![WorkerProfile { mu: 20.0, a: 20.0 }; 5]);
+        w
+    }
+
+    #[test]
+    fn per_worker_optimum_matches_grid_search() {
+        // The Lambert-W closed form must match brute-force maximization of
+        // e(r) = r(1 − e^{−(μ/r)(τ − ar)}).
+        for &(mu, a) in &[(1.0, 20.0), (20.0, 20.0), (5.0, 0.5), (0.3, 2.0)] {
+            let p = WorkerProfile { mu, a };
+            let rates = per_worker_rates(&p);
+            let tau = 1000.0;
+            let closed_r = rates.load_per_tau * tau;
+            let e = |r: f64| {
+                if r <= 0.0 || tau <= a * r {
+                    0.0
+                } else {
+                    r * (1.0 - (-(mu / r) * (tau - a * r)).exp())
+                }
+            };
+            // Grid search around the closed form.
+            let mut best_r = 0.0;
+            let mut best_e = 0.0;
+            let upper = tau / a;
+            let mut r = upper / 10_000.0;
+            while r < upper {
+                let v = e(r);
+                if v > best_e {
+                    best_e = v;
+                    best_r = r;
+                }
+                r += upper / 10_000.0;
+            }
+            assert!(
+                (closed_r - best_r).abs() / best_r < 0.01,
+                "μ={mu} a={a}: closed-form r {closed_r} vs grid {best_r}"
+            );
+            assert!(
+                (rates.delivery_per_tau * tau - best_e).abs() / best_e < 0.01,
+                "μ={mu} a={a}: closed-form e vs grid {best_e}"
+            );
+        }
+    }
+
+    #[test]
+    fn faster_workers_get_larger_loads() {
+        let sol = optimal_loads(&fig5_workers(), 3107, 500);
+        // All slow workers share a load; all fast workers share a larger one.
+        let slow = sol.loads[0];
+        let fast = sol.loads[99];
+        assert!(fast > slow, "fast {fast} ≤ slow {slow}");
+        assert!(sol.loads[..95].iter().all(|&l| l == slow));
+        assert!(sol.loads[95..].iter().all(|&l| l == fast));
+    }
+
+    #[test]
+    fn expected_delivery_meets_budget() {
+        let workers = fig5_workers();
+        let s = 3107; // ⌊500·ln 500⌋
+        let sol = optimal_loads(&workers, s, 500);
+        // By construction E[T̂(s)] ≈ τ*: the realized waiting time at τ*
+        // should deliver ≈ s gradients. Check via Monte-Carlo that the
+        // expected T̂ lands within 15% of τ*.
+        let e = expected_t_hat(&workers, &sol.loads, s, 300, 42);
+        assert!(
+            (e - sol.tau).abs() / sol.tau < 0.15,
+            "E[T̂] = {e} vs τ* = {}",
+            sol.tau
+        );
+    }
+
+    #[test]
+    fn monotone_in_s_lemma1() {
+        // Lemma 1: for fixed loads, E[T̂(s₁)] ≤ E[T̂(s₂)] when s₁ ≤ s₂.
+        let workers = fig5_workers();
+        let sol = optimal_loads(&workers, 3107, 500);
+        let e1 = expected_t_hat(&workers, &sol.loads, 500, 300, 7);
+        let e2 = expected_t_hat(&workers, &sol.loads, 2000, 300, 7);
+        let e3 = expected_t_hat(&workers, &sol.loads, 3107, 300, 7);
+        assert!(e1 <= e2 + 1e-9, "{e1} > {e2}");
+        assert!(e2 <= e3 + 1e-9, "{e2} > {e3}");
+    }
+
+    #[test]
+    fn impossible_budget_is_infinite() {
+        let workers = vec![WorkerProfile { mu: 1.0, a: 1.0 }; 2];
+        let loads = vec![1, 1];
+        assert_eq!(t_hat_realization(&workers, &loads, 5, 1, 0), None);
+        assert!(expected_t_hat(&workers, &loads, 5, 10, 1).is_infinite());
+    }
+
+    #[test]
+    fn loads_clamped_to_dataset() {
+        let workers = vec![WorkerProfile { mu: 100.0, a: 1e-6 }];
+        let sol = optimal_loads(&workers, 1_000_000, 50);
+        assert_eq!(sol.loads[0], 50);
+    }
+
+    #[test]
+    fn deterministic_t_hat() {
+        let workers = fig5_workers();
+        let loads = vec![31; 100];
+        let a = t_hat_realization(&workers, &loads, 3000, 5, 9);
+        let b = t_hat_realization(&workers, &loads, 3000, 5, 9);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,33 @@
+//! # bcc-core — the paper's contribution
+//!
+//! *"Near-Optimal Straggler Mitigation for Distributed Gradient Methods"*
+//! (Li, Mousavi Kalan, Avestimehr, Soltanolkotabi).
+//!
+//! This crate glues the substrates into the paper's system:
+//!
+//! * [`theory`] — Theorem 1 quantities: `K_BCC(r) = ⌈m/r⌉·H_{⌈m/r⌉}`, the
+//!   `m/r` lower bound, the randomized scheme's `(m/r)·log m`, the coded
+//!   schemes' `m − r + 1`, and the Fig. 2 tradeoff table (analytic +
+//!   Monte-Carlo).
+//! * [`schemes`] — a registry of every scheme in the comparison, buildable
+//!   by name/config (used by the examples and the bench harness).
+//! * [`driver`] — the distributed-GD training loop: per iteration the
+//!   master broadcasts the evaluation point, the cluster backend runs one
+//!   coded round, the decoded gradient feeds the optimizer (Nesterov in the
+//!   paper's experiments).
+//! * [`hetero`] — §IV, the heterogeneous extension: the shift-exponential
+//!   worker model, the P2 load-allocation solver (Lambert-W closed form per
+//!   worker + a closed-form target time, following the HCMM structure of
+//!   \[16\]), the generalized-BCC coverage process, the LB baseline, and the
+//!   Theorem 2 bounds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod driver;
+pub mod hetero;
+pub mod schemes;
+pub mod theory;
+
+pub use driver::{DistributedGd, TrainingConfig, TrainingReport};
+pub use schemes::SchemeConfig;

@@ -1,0 +1,202 @@
+//! Scheme registry: build any scheme in the paper's comparison by config.
+
+use bcc_coding::{
+    BccScheme, CyclicMdsScheme, CyclicRepetitionScheme, FractionalRepetitionScheme,
+    GradientCodingScheme, RandomSubsetScheme, UncodedScheme, UncompressedBccScheme,
+};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of one scheme in a comparison run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SchemeConfig {
+    /// Uncoded: disjoint shards, wait for all.
+    Uncoded,
+    /// Batched Coupon's Collector at computational load `r`.
+    Bcc {
+        /// Computational load (batch size in units).
+        r: usize,
+    },
+    /// Ablation: BCC placement but per-example messages (no in-worker
+    /// summation) — isolates the contribution of Remark 3's compression.
+    BccUncompressed {
+        /// Computational load (batch size in units).
+        r: usize,
+    },
+    /// Simple randomized scheme at load `r`.
+    Random {
+        /// Computational load (subset size in units).
+        r: usize,
+    },
+    /// Cyclic repetition (Tandon et al.) at load `r` (requires `m = n`).
+    CyclicRepetition {
+        /// Computational load (cyclic window width).
+        r: usize,
+    },
+    /// Cyclic MDS over ℂ (Raviv et al.) at load `r` (requires `m = n`).
+    CyclicMds {
+        /// Computational load (cyclic window width).
+        r: usize,
+    },
+    /// Fractional repetition at load `r` (requires `m = n` and `r | n`).
+    FractionalRepetition {
+        /// Computational load (shard size; must divide `n`).
+        r: usize,
+    },
+}
+
+impl SchemeConfig {
+    /// Scheme name as used in reports.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Uncoded => "uncoded",
+            Self::Bcc { .. } => "bcc",
+            Self::BccUncompressed { .. } => "bcc-uncompressed",
+            Self::Random { .. } => "random",
+            Self::CyclicRepetition { .. } => "cyclic-repetition",
+            Self::CyclicMds { .. } => "cyclic-mds",
+            Self::FractionalRepetition { .. } => "fractional-repetition",
+        }
+    }
+
+    /// Computational load `r` (units per worker) this config implies for a
+    /// problem with `m` units and `n` workers.
+    #[must_use]
+    pub fn load(&self, m: usize, n: usize) -> usize {
+        match *self {
+            Self::Uncoded => m.div_ceil(n).max(1),
+            Self::Bcc { r }
+            | Self::BccUncompressed { r }
+            | Self::Random { r }
+            | Self::CyclicRepetition { r }
+            | Self::CyclicMds { r }
+            | Self::FractionalRepetition { r } => r,
+        }
+    }
+
+    /// Instantiates the scheme for `m` units over `n` workers.
+    ///
+    /// For BCC the data-distribution step retries until every batch is
+    /// chosen by some worker (the paper assumes `n` large enough that the
+    /// uncovered-batch probability vanishes; with finite `n` a re-draw is
+    /// the practical equivalent). For the randomized scheme likewise until
+    /// the subsets cover the dataset.
+    ///
+    /// # Panics
+    /// Panics when the scheme's structural requirements fail permanently
+    /// (e.g. CR with `m ≠ n`, FR with `r ∤ n`).
+    #[must_use]
+    pub fn build<R: Rng + ?Sized>(
+        &self,
+        m: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Box<dyn GradientCodingScheme> {
+        match *self {
+            Self::Uncoded => Box::new(UncodedScheme::new(m, n)),
+            Self::Bcc { r } => {
+                for _ in 0..10_000 {
+                    let s = BccScheme::new(m, n, r, rng);
+                    if s.covers_all_batches() {
+                        return Box::new(s);
+                    }
+                }
+                panic!(
+                    "BCC placement failed to cover {m}/{r} batches with {n} workers \
+                     after 10000 draws — n is too small for this (m, r)"
+                );
+            }
+            Self::BccUncompressed { r } => {
+                for _ in 0..10_000 {
+                    let s = UncompressedBccScheme::new(m, n, r, rng);
+                    if s.covers_all_batches() {
+                        return Box::new(s);
+                    }
+                }
+                panic!(
+                    "BCC placement failed to cover {m}/{r} batches with {n} workers \
+                     after 10000 draws — n is too small for this (m, r)"
+                );
+            }
+            Self::Random { r } => {
+                for _ in 0..10_000 {
+                    let s = RandomSubsetScheme::new(m, n, r, rng);
+                    if s.placement().covers_all() {
+                        return Box::new(s);
+                    }
+                }
+                panic!(
+                    "randomized placement failed to cover {m} examples with {n} workers \
+                     of load {r} after 10000 draws"
+                );
+            }
+            Self::CyclicRepetition { r } => {
+                assert_eq!(m, n, "CR requires m = n (group into super-examples first)");
+                Box::new(CyclicRepetitionScheme::new(n, r, rng))
+            }
+            Self::CyclicMds { r } => {
+                assert_eq!(m, n, "cyclic MDS requires m = n");
+                Box::new(CyclicMdsScheme::new(n, r))
+            }
+            Self::FractionalRepetition { r } => {
+                assert_eq!(m, n, "FR requires m = n");
+                Box::new(FractionalRepetitionScheme::new(n, r))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_stats::rng::derive_rng;
+
+    #[test]
+    fn builds_every_scheme() {
+        let mut rng = derive_rng(1, 0);
+        let configs = [
+            SchemeConfig::Uncoded,
+            SchemeConfig::Bcc { r: 5 },
+            SchemeConfig::Random { r: 5 },
+            SchemeConfig::CyclicRepetition { r: 5 },
+            SchemeConfig::CyclicMds { r: 5 },
+            SchemeConfig::FractionalRepetition { r: 5 },
+        ];
+        for cfg in configs {
+            let scheme = cfg.build(20, 20, &mut rng);
+            assert_eq!(scheme.name(), cfg.name());
+            assert_eq!(scheme.num_workers(), 20);
+            assert!(scheme.placement().covers_all());
+        }
+    }
+
+    #[test]
+    fn load_accounting() {
+        assert_eq!(SchemeConfig::Uncoded.load(100, 50), 2);
+        assert_eq!(SchemeConfig::Uncoded.load(50, 100), 1);
+        assert_eq!(SchemeConfig::Bcc { r: 10 }.load(100, 50), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "m = n")]
+    fn cr_requires_square() {
+        let mut rng = derive_rng(2, 0);
+        let _ = SchemeConfig::CyclicRepetition { r: 2 }.build(10, 5, &mut rng);
+    }
+
+    #[test]
+    fn bcc_retries_until_covered() {
+        // n barely above batch count still succeeds via retry.
+        let mut rng = derive_rng(3, 0);
+        let scheme = SchemeConfig::Bcc { r: 5 }.build(20, 8, &mut rng);
+        assert!(scheme.placement().covers_all());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let cfg = SchemeConfig::Bcc { r: 10 };
+        let json = serde_json::to_string(&cfg).unwrap();
+        assert_eq!(serde_json::from_str::<SchemeConfig>(&json).unwrap(), cfg);
+    }
+}

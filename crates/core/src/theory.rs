@@ -1,0 +1,202 @@
+//! Theorem 1 and the Fig. 2 tradeoff.
+//!
+//! For `m` examples over `n` workers at computational load `r`:
+//!
+//! * lower bound (eq. (13)): `K*(r) ≥ m/r`;
+//! * BCC (eq. (2)): `K_BCC(r) = ⌈m/r⌉·H_{⌈m/r⌉}`;
+//! * simple randomized (eq. (5)): `K_random ≈ (m/r)·log m`;
+//! * CR/RS/CM coded schemes (eq. (7)): `K = m − r + 1`;
+//! * communication loads: `L_BCC = K_BCC` (eq. (14)), `L_random ≈ m·log m`
+//!   (eq. (6)), `L_CR = m − r + 1` (eq. (8)).
+
+use bcc_stats::coupon;
+use bcc_stats::harmonic::harmonic;
+use bcc_stats::rng::derive_rng;
+use serde::{Deserialize, Serialize};
+
+/// Lower bound `m/r` on the minimum recovery threshold (Theorem 1).
+#[must_use]
+pub fn lower_bound(m: usize, r: usize) -> f64 {
+    m as f64 / r as f64
+}
+
+/// `K_BCC(r) = ⌈m/r⌉·H_{⌈m/r⌉}` (eq. (2)).
+#[must_use]
+pub fn k_bcc(m: usize, r: usize) -> f64 {
+    let nb = m.div_ceil(r);
+    nb as f64 * harmonic(nb)
+}
+
+/// `L_BCC(r) = K_BCC(r)` (eq. (14)): every counted worker ships one unit.
+#[must_use]
+pub fn l_bcc(m: usize, r: usize) -> f64 {
+    k_bcc(m, r)
+}
+
+/// `K_random ≈ (m/r)·log m` (eq. (5)).
+#[must_use]
+pub fn k_random_approx(m: usize, r: usize) -> f64 {
+    coupon::random_scheme_approx(m, r)
+}
+
+/// `L_random ≈ m·log m` (eq. (6)).
+#[must_use]
+pub fn l_random_approx(m: usize) -> f64 {
+    m as f64 * (m as f64).ln()
+}
+
+/// Coded schemes' worst-case threshold `K_CR = K_RS = K_CM = m − r + 1`
+/// (eq. (7)); also their communication load (eq. (8)).
+#[must_use]
+pub fn k_coded(m: usize, r: usize) -> f64 {
+    (m - r + 1) as f64
+}
+
+/// The sandwich of eq. (3): `K* ≤ K_BCC ≤ ⌈K*⌉·H_{⌈m/r⌉}`.
+///
+/// Returns `(lower, bcc, upper)` so callers can assert the ordering.
+#[must_use]
+pub fn theorem1_sandwich(m: usize, r: usize) -> (f64, f64, f64) {
+    let lb = lower_bound(m, r);
+    let k = k_bcc(m, r);
+    let ub = lb.ceil() * harmonic(m.div_ceil(r));
+    (lb, k, ub)
+}
+
+/// One row of the Fig. 2 tradeoff: thresholds at computational load `r`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TradeoffPoint {
+    /// Computational load `r`.
+    pub r: usize,
+    /// Lower bound `m/r`.
+    pub lower_bound: f64,
+    /// BCC's analytic threshold.
+    pub bcc: f64,
+    /// Simple randomized scheme's approximate threshold.
+    pub random: f64,
+    /// CR scheme's threshold `m − r + 1`.
+    pub cyclic_repetition: f64,
+    /// Monte-Carlo estimate of BCC's threshold (coupon-collector draws).
+    pub bcc_simulated: f64,
+    /// Monte-Carlo estimate of the randomized scheme's threshold.
+    pub random_simulated: f64,
+}
+
+/// Generates the Fig. 2 curve for `m = n` and the given loads.
+///
+/// `trials` Monte-Carlo runs per point validate the analytic curves; the
+/// simulation seeds derive from `seed` so the table is reproducible.
+#[must_use]
+pub fn fig2_tradeoff(m: usize, loads: &[usize], trials: usize, seed: u64) -> Vec<TradeoffPoint> {
+    loads
+        .iter()
+        .map(|&r| {
+            let nb = m.div_ceil(r);
+            let mut rng = derive_rng(seed, r as u64);
+            let bcc_simulated = coupon::simulate_expected_draws(nb, trials, &mut rng);
+            let random_simulated =
+                coupon::simulate_random_subset_expected(m, r, trials.min(2_000), &mut rng);
+            TradeoffPoint {
+                r,
+                lower_bound: lower_bound(m, r),
+                bcc: k_bcc(m, r),
+                random: k_random_approx(m, r),
+                cyclic_repetition: k_coded(m, r),
+                bcc_simulated,
+                random_simulated,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_paper_fig2_anchor_points() {
+        // m = n = 100 (Fig. 2's setting).
+        let m = 100;
+        // r = 10: lower bound 10, BCC = 10·H_10 ≈ 29.29, CR = 91.
+        assert!((lower_bound(m, 10) - 10.0).abs() < 1e-12);
+        assert!((k_bcc(m, 10) - 29.289_682_539_682_54).abs() < 1e-9);
+        assert_eq!(k_coded(m, 10), 91.0);
+        // r = 50: BCC = 2·H_2 = 3, CR = 51.
+        assert!((k_bcc(m, 50) - 3.0).abs() < 1e-12);
+        assert_eq!(k_coded(m, 50), 51.0);
+        // r = m: everyone computes everything; K_BCC = 1.
+        assert_eq!(k_bcc(m, 100), 1.0);
+    }
+
+    #[test]
+    fn ordering_lower_bcc_random() {
+        // K* ≤ K_BCC ≤ K_random for moderate r (the paper's headline order).
+        let m = 100;
+        for r in [5, 10, 20, 25] {
+            let lb = lower_bound(m, r);
+            let kb = k_bcc(m, r);
+            let kr = k_random_approx(m, r);
+            assert!(lb <= kb + 1e-12, "r={r}");
+            assert!(kb <= kr + 1e-12, "r={r}: BCC {kb} vs random {kr}");
+        }
+    }
+
+    #[test]
+    fn bcc_beats_cr_at_moderate_loads() {
+        // Fig. 2: BCC below CR for small/moderate r; CR wins as r → m where
+        // m − r + 1 → 1 while BCC needs ⌈m/r⌉·H ≳ 1.
+        let m = 100;
+        assert!(k_bcc(m, 10) < k_coded(m, 10));
+        assert!(k_bcc(m, 25) < k_coded(m, 25));
+        // Near r = m the coded bound dips to 1, tied with BCC.
+        assert!(k_coded(m, 100) <= k_bcc(m, 100) + 1e-12);
+    }
+
+    #[test]
+    fn sandwich_holds() {
+        for (m, r) in [(100, 7), (100, 10), (64, 8), (50, 3)] {
+            let (lb, k, ub) = theorem1_sandwich(m, r);
+            assert!(lb <= k + 1e-12, "m={m} r={r}");
+            assert!(k <= ub + 1e-12, "m={m} r={r}: K {k} > upper {ub}");
+        }
+    }
+
+    #[test]
+    fn communication_loads() {
+        assert_eq!(l_bcc(100, 10), k_bcc(100, 10));
+        assert!((l_random_approx(100) - 100.0 * (100.0f64).ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig2_simulation_tracks_analytics() {
+        let points = fig2_tradeoff(100, &[10, 25, 50], 3_000, 99);
+        assert_eq!(points.len(), 3);
+        for p in &points {
+            // Simulated BCC within a few percent of ⌈m/r⌉·H (exact theory).
+            assert!(
+                (p.bcc_simulated - p.bcc).abs() / p.bcc < 0.06,
+                "r={}: sim {} vs exact {}",
+                p.r,
+                p.bcc_simulated,
+                p.bcc
+            );
+            // Randomized simulation in the ballpark of (m/r)·log m.
+            assert!(
+                p.random_simulated > 0.4 * p.random && p.random_simulated < 1.6 * p.random,
+                "r={}: sim {} vs approx {}",
+                p.r,
+                p.random_simulated,
+                p.random
+            );
+            // Everything at least the lower bound.
+            assert!(p.bcc_simulated >= p.lower_bound * 0.99);
+        }
+    }
+
+    #[test]
+    fn fig2_deterministic_in_seed() {
+        let a = fig2_tradeoff(50, &[5, 10], 500, 7);
+        let b = fig2_tradeoff(50, &[5, 10], 500, 7);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,153 @@
+//! In-memory training set.
+
+use bcc_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A supervised dataset: `m` examples of `p` features with labels in `{−1, +1}`
+/// (logistic regression in the paper's convention).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    features: Matrix,
+    labels: Vec<f64>,
+}
+
+impl Dataset {
+    /// Builds a dataset from a feature matrix (one example per row) and a
+    /// label vector.
+    ///
+    /// # Panics
+    /// Panics when row count and label count disagree.
+    #[must_use]
+    pub fn new(features: Matrix, labels: Vec<f64>) -> Self {
+        assert_eq!(
+            features.rows(),
+            labels.len(),
+            "features/labels size mismatch"
+        );
+        Self { features, labels }
+    }
+
+    /// Number of examples `m`.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when the dataset has no examples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Feature dimension `p`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// Feature row of example `j`.
+    #[must_use]
+    pub fn x(&self, j: usize) -> &[f64] {
+        self.features.row(j)
+    }
+
+    /// Label of example `j`.
+    #[must_use]
+    pub fn y(&self, j: usize) -> f64 {
+        self.labels[j]
+    }
+
+    /// The full feature matrix.
+    #[must_use]
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// The full label vector.
+    #[must_use]
+    pub fn labels(&self) -> &[f64] {
+        &self.labels
+    }
+
+    /// Extracts the sub-dataset with the given example indices (cloning rows;
+    /// used to ship per-worker shards in the cluster runtime).
+    ///
+    /// # Panics
+    /// Panics on out-of-range indices.
+    #[must_use]
+    pub fn subset(&self, indices: &[usize]) -> Self {
+        let rows: Vec<&[f64]> = indices.iter().map(|&j| self.x(j)).collect();
+        let features = Matrix::from_rows(&rows).expect("rows share dataset dim");
+        let labels = indices.iter().map(|&j| self.y(j)).collect();
+        Self { features, labels }
+    }
+
+    /// Fraction of examples whose sign(xᵀw) matches the label — a quick
+    /// accuracy proxy used by examples and tests.
+    #[must_use]
+    pub fn sign_accuracy(&self, w: &[f64]) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let correct = (0..self.len())
+            .filter(|&j| {
+                let margin = bcc_linalg::vec_ops::dot(self.x(j), w);
+                margin * self.y(j) > 0.0
+            })
+            .count();
+        correct as f64 / self.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let x = Matrix::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, -1.0, -1.0]).unwrap();
+        Dataset::new(x, vec![1.0, -1.0, -1.0])
+    }
+
+    #[test]
+    fn accessors() {
+        let d = tiny();
+        assert_eq!(d.len(), 3);
+        assert_eq!(d.dim(), 2);
+        assert!(!d.is_empty());
+        assert_eq!(d.x(1), &[0.0, 1.0]);
+        assert_eq!(d.y(2), -1.0);
+        assert_eq!(d.labels(), &[1.0, -1.0, -1.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn size_mismatch_panics() {
+        let x = Matrix::zeros(2, 2);
+        let _ = Dataset::new(x, vec![1.0]);
+    }
+
+    #[test]
+    fn subset_extracts_rows() {
+        let d = tiny();
+        let s = d.subset(&[2, 0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.x(0), &[-1.0, -1.0]);
+        assert_eq!(s.y(1), 1.0);
+    }
+
+    #[test]
+    fn subset_empty() {
+        let d = tiny();
+        let s = d.subset(&[]);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn sign_accuracy_on_separable() {
+        let d = tiny();
+        // w = (1, -0.5): margins 1, -0.5, -0.5 → labels 1, -1, -1 all correct.
+        assert_eq!(d.sign_accuracy(&[1.0, -0.5]), 1.0);
+        // Flipped w misclassifies everything.
+        assert_eq!(d.sign_accuracy(&[-1.0, 0.5]), 0.0);
+    }
+}

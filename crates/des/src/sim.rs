@@ -1,0 +1,211 @@
+//! The simulation driver: pops events, advances the clock, calls a handler.
+
+use crate::queue::EventQueue;
+use crate::time::VirtualTime;
+
+/// Handler's decision after each event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// Keep processing events.
+    Continue,
+    /// Stop the simulation now (e.g. coverage achieved at the master).
+    Stop,
+}
+
+/// A running simulation over events of type `E`.
+///
+/// State lives in the handler closure's environment; the kernel owns only
+/// the clock and the queue. Handlers may schedule further events through the
+/// [`Scheduler`] handle they receive.
+pub struct Simulation<E> {
+    queue: EventQueue<E>,
+    now: VirtualTime,
+    processed: u64,
+}
+
+/// Scheduling handle passed to event handlers.
+pub struct Scheduler<'a, E> {
+    queue: &'a mut EventQueue<E>,
+    now: VirtualTime,
+}
+
+impl<E> Scheduler<'_, E> {
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Schedules `event` after a non-negative delay from now.
+    ///
+    /// # Panics
+    /// Panics on negative delays — events cannot fire in the past.
+    pub fn schedule_in(&mut self, delay: f64, event: E) {
+        assert!(
+            delay >= 0.0,
+            "cannot schedule into the past (delay {delay})"
+        );
+        self.queue.schedule(self.now + delay, event);
+    }
+
+    /// Schedules `event` at an absolute time `at ≥ now`.
+    ///
+    /// # Panics
+    /// Panics when `at` precedes the current time.
+    pub fn schedule_at(&mut self, at: VirtualTime, event: E) {
+        assert!(
+            at >= self.now,
+            "cannot schedule into the past ({at} < {})",
+            self.now
+        );
+        self.queue.schedule(at, event);
+    }
+}
+
+impl<E> Default for Simulation<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> Simulation<E> {
+    /// Fresh simulation at time zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            queue: EventQueue::new(),
+            now: VirtualTime::ZERO,
+            processed: 0,
+        }
+    }
+
+    /// Schedules an initial event at absolute time `at`.
+    pub fn schedule_at(&mut self, at: VirtualTime, event: E) {
+        self.queue.schedule(at, event);
+    }
+
+    /// Current virtual time (the timestamp of the last processed event).
+    #[must_use]
+    pub fn now(&self) -> VirtualTime {
+        self.now
+    }
+
+    /// Number of events processed so far.
+    #[must_use]
+    pub fn processed(&self) -> u64 {
+        self.processed
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Runs until the queue drains or the handler returns [`Verdict::Stop`];
+    /// returns the final virtual time.
+    ///
+    /// The handler receives each event with a [`Scheduler`] for follow-ups.
+    pub fn run(
+        &mut self,
+        mut handler: impl FnMut(&mut Scheduler<'_, E>, E) -> Verdict,
+    ) -> VirtualTime {
+        while let Some((t, event)) = self.queue.pop() {
+            debug_assert!(t >= self.now, "event queue returned out-of-order event");
+            self.now = t;
+            self.processed += 1;
+            let mut sched = Scheduler {
+                queue: &mut self.queue,
+                now: t,
+            };
+            if handler(&mut sched, event) == Verdict::Stop {
+                break;
+            }
+        }
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq)]
+    enum Ev {
+        Ping(u32),
+        Stop,
+    }
+
+    #[test]
+    fn runs_to_drain() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(VirtualTime::new(1.0), Ev::Ping(1));
+        sim.schedule_at(VirtualTime::new(2.5), Ev::Ping(2));
+        let mut seen = Vec::new();
+        let end = sim.run(|_, e| {
+            if let Ev::Ping(k) = e {
+                seen.push(k);
+            }
+            Verdict::Continue
+        });
+        assert_eq!(seen, vec![1, 2]);
+        assert_eq!(end.seconds(), 2.5);
+        assert_eq!(sim.processed(), 2);
+        assert_eq!(sim.pending(), 0);
+    }
+
+    #[test]
+    fn stop_halts_early() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(VirtualTime::new(1.0), Ev::Stop);
+        sim.schedule_at(VirtualTime::new(2.0), Ev::Ping(9));
+        let end = sim.run(|_, e| match e {
+            Ev::Stop => Verdict::Stop,
+            Ev::Ping(_) => panic!("must not run after stop"),
+        });
+        assert_eq!(end.seconds(), 1.0);
+        assert_eq!(sim.pending(), 1);
+    }
+
+    #[test]
+    fn handler_chains_events() {
+        // A cascade: each event schedules the next until a counter runs out.
+        let mut sim = Simulation::new();
+        sim.schedule_at(VirtualTime::ZERO, 5u32);
+        let mut fired = 0;
+        let end = sim.run(|s, remaining| {
+            fired += 1;
+            if remaining > 0 {
+                s.schedule_in(1.0, remaining - 1);
+            }
+            Verdict::Continue
+        });
+        assert_eq!(fired, 6);
+        assert_eq!(end.seconds(), 5.0);
+    }
+
+    #[test]
+    fn clock_is_monotone() {
+        let mut sim = Simulation::new();
+        for i in 0..50 {
+            sim.schedule_at(VirtualTime::new((50 - i) as f64), i);
+        }
+        let mut last = -1.0;
+        sim.run(|s, _| {
+            assert!(s.now().seconds() > last);
+            last = s.now().seconds();
+            Verdict::Continue
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "past")]
+    fn scheduling_into_past_panics() {
+        let mut sim = Simulation::new();
+        sim.schedule_at(VirtualTime::new(1.0), 0u8);
+        sim.run(|s, _| {
+            s.schedule_at(VirtualTime::new(0.5), 1u8);
+            Verdict::Continue
+        });
+    }
+}

@@ -1,0 +1,123 @@
+//! Virtual-time newtype: a finite, totally ordered `f64` in seconds.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in virtual time, in (simulated) seconds.
+///
+/// Construction rejects NaN/infinite values so the event queue's ordering is
+/// total; negative times are allowed (useful for relative offsets) but the
+/// simulation itself starts at [`VirtualTime::ZERO`].
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct VirtualTime(f64);
+
+impl VirtualTime {
+    /// Time zero — the start of every simulation.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates a virtual time.
+    ///
+    /// # Panics
+    /// Panics on NaN or infinite input.
+    #[must_use]
+    pub fn new(seconds: f64) -> Self {
+        assert!(
+            seconds.is_finite(),
+            "virtual time must be finite, got {seconds}"
+        );
+        Self(seconds)
+    }
+
+    /// Seconds since time zero.
+    #[must_use]
+    pub fn seconds(self) -> f64 {
+        self.0
+    }
+
+    /// Saturating maximum of two times.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        if other.0 > self.0 {
+            other
+        } else {
+            self
+        }
+    }
+}
+
+impl Eq for VirtualTime {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for VirtualTime {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Finite by construction, so partial_cmp is total here.
+        self.0.partial_cmp(&other.0).expect("finite by invariant")
+    }
+}
+
+impl Add<f64> for VirtualTime {
+    type Output = Self;
+    fn add(self, rhs: f64) -> Self {
+        Self::new(self.0 + rhs)
+    }
+}
+
+impl AddAssign<f64> for VirtualTime {
+    fn add_assign(&mut self, rhs: f64) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for VirtualTime {
+    type Output = f64;
+    fn sub(self, rhs: Self) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+impl fmt::Display for VirtualTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_is_total() {
+        let a = VirtualTime::new(1.0);
+        let b = VirtualTime::new(2.0);
+        assert!(a < b);
+        assert_eq!(a.max(b), b);
+        assert_eq!(b.max(a), b);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = VirtualTime::new(1.5) + 0.5;
+        assert_eq!(t.seconds(), 2.0);
+        assert_eq!(t - VirtualTime::new(0.5), 1.5);
+        let mut u = VirtualTime::ZERO;
+        u += 3.0;
+        assert_eq!(u.seconds(), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn nan_rejected() {
+        let _ = VirtualTime::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn addition_overflow_to_inf_rejected() {
+        let _ = VirtualTime::new(f64::MAX) + f64::MAX;
+    }
+
+    #[test]
+    fn display_formats_seconds() {
+        assert_eq!(VirtualTime::new(0.25).to_string(), "0.250000s");
+    }
+}

@@ -1,0 +1,88 @@
+//! Property tests for the DES kernel: ordering, determinism, and clock
+//! monotonicity under arbitrary schedules.
+
+use bcc_des::{EventQueue, Simulation, Verdict, VirtualTime};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn queue_pops_sorted_by_time_then_fifo(
+        times in prop::collection::vec(0.0..1e6f64, 1..200),
+    ) {
+        let mut q = EventQueue::new();
+        for (i, t) in times.iter().enumerate() {
+            q.schedule(VirtualTime::new(*t), i);
+        }
+        let mut last_time = f64::NEG_INFINITY;
+        let mut seen_at_time: Vec<usize> = Vec::new();
+        let mut last_exact = f64::NAN;
+        while let Some((t, id)) = q.pop() {
+            prop_assert!(t.seconds() >= last_time, "time went backwards");
+            if t.seconds() == last_exact {
+                // FIFO among equal timestamps: ids increase.
+                prop_assert!(seen_at_time.last().is_none_or(|&prev| prev < id));
+                seen_at_time.push(id);
+            } else {
+                seen_at_time.clear();
+                seen_at_time.push(id);
+                last_exact = t.seconds();
+            }
+            last_time = t.seconds();
+        }
+    }
+
+    #[test]
+    fn simulation_processes_every_event_exactly_once(
+        times in prop::collection::vec(0.0..1e3f64, 1..100),
+    ) {
+        let mut sim = Simulation::new();
+        for (i, t) in times.iter().enumerate() {
+            sim.schedule_at(VirtualTime::new(*t), i);
+        }
+        let mut seen = vec![false; times.len()];
+        sim.run(|_, id: usize| {
+            assert!(!seen[id], "event {id} delivered twice");
+            seen[id] = true;
+            Verdict::Continue
+        });
+        prop_assert!(seen.iter().all(|s| *s), "some event was dropped");
+        prop_assert_eq!(sim.processed(), times.len() as u64);
+    }
+
+    #[test]
+    fn cascades_terminate_and_advance_clock(
+        depth in 1usize..50,
+        step in 0.001..10.0f64,
+    ) {
+        let mut sim = Simulation::new();
+        sim.schedule_at(VirtualTime::ZERO, depth);
+        let end = sim.run(|s, remaining: usize| {
+            if remaining > 0 {
+                s.schedule_in(step, remaining - 1);
+            }
+            Verdict::Continue
+        });
+        prop_assert!((end.seconds() - depth as f64 * step).abs() < 1e-6);
+    }
+
+    #[test]
+    fn stop_verdict_preserves_pending(
+        n_before in 1usize..20,
+        n_after in 1usize..20,
+    ) {
+        let mut sim = Simulation::new();
+        // `n_before` events at t < 100, then a stopper at 100, then more.
+        for i in 0..n_before {
+            sim.schedule_at(VirtualTime::new(i as f64), 0u8);
+        }
+        sim.schedule_at(VirtualTime::new(100.0), 1u8);
+        for i in 0..n_after {
+            sim.schedule_at(VirtualTime::new(200.0 + i as f64), 0u8);
+        }
+        sim.run(|_, kind| if kind == 1 { Verdict::Stop } else { Verdict::Continue });
+        prop_assert_eq!(sim.pending(), n_after);
+        prop_assert_eq!(sim.processed(), n_before as u64 + 1);
+    }
+}

@@ -1,0 +1,177 @@
+//! Cholesky factorization for symmetric positive-definite systems.
+//!
+//! Used for normal-equation solves (an alternative decoder path for the
+//! coded schemes: `aᵀB_F = 1ᵀ` via `B_F B_Fᵀ`) and for the L2-regularized
+//! least-squares tests in `bcc-optim`, where `XᵀX + λI` is SPD by
+//! construction.
+
+use crate::error::LinAlgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` with `A = L·Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+}
+
+impl Cholesky {
+    /// Factors a symmetric positive-definite matrix.
+    ///
+    /// Only the lower triangle of `a` is read; symmetry of the upper part is
+    /// the caller's contract (debug-asserted).
+    ///
+    /// # Errors
+    /// [`LinAlgError::NotSquare`] for rectangular input;
+    /// [`LinAlgError::Singular`] when a pivot is non-positive (the matrix is
+    /// not positive definite).
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinAlgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        debug_assert!(
+            (0..n)
+                .all(|i| (0..i)
+                    .all(|j| (a[(i, j)] - a[(j, i)]).abs() <= 1e-9 * (1.0 + a[(i, j)].abs()))),
+            "Cholesky input must be symmetric"
+        );
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if s <= 1e-14 {
+                        return Err(LinAlgError::Singular { pivot: i });
+                    }
+                    l[(i, i)] = s.sqrt();
+                } else {
+                    l[(i, j)] = s / l[(j, j)];
+                }
+            }
+        }
+        Ok(Self { l })
+    }
+
+    /// The lower-triangular factor.
+    #[must_use]
+    pub fn factor_l(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Solves `A x = b` via forward/backward substitution.
+    ///
+    /// # Errors
+    /// [`LinAlgError::ShapeMismatch`] on a bad `b` length.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "cholesky_solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // L y = b.
+        let mut y = b.to_vec();
+        for i in 0..n {
+            let mut s = y[i];
+            for j in 0..i {
+                s -= self.l[(i, j)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        // Lᵀ x = y.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.l[(j, i)] * y[j];
+            }
+            y[i] = s / self.l[(i, i)];
+        }
+        Ok(y)
+    }
+
+    /// `log det A = 2·Σ log L[i,i]` — numerically stable determinant.
+    #[must_use]
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+}
+
+/// One-shot SPD solve.
+///
+/// # Errors
+/// Propagates factorization and shape errors.
+pub fn solve_spd(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Cholesky::factor(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq_slice;
+
+    fn spd(n: usize) -> Matrix {
+        // XᵀX + I over a deterministic X is SPD.
+        let x = Matrix::from_fn(n + 2, n, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let mut a = x.transpose().matmul(&x).unwrap();
+        for i in 0..n {
+            a[(i, i)] += 1.0;
+        }
+        a
+    }
+
+    #[test]
+    fn reconstructs_input() {
+        let a = spd(6);
+        let ch = Cholesky::factor(&a).unwrap();
+        let l = ch.factor_l();
+        let back = l.matmul(&l.transpose()).unwrap();
+        assert!(back.approx_eq(&a, 1e-8));
+    }
+
+    #[test]
+    fn solve_matches_lu() {
+        let a = spd(5);
+        let b: Vec<f64> = (0..5).map(|i| (i as f64).cos()).collect();
+        let x_ch = solve_spd(&a, &b).unwrap();
+        let x_lu = crate::solve::solve(&a, &b).unwrap();
+        assert!(approx_eq_slice(&x_ch, &x_lu, 1e-8));
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 1.0]).unwrap(); // eigenvalues 3, −1
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinAlgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_rectangular() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::factor(&a),
+            Err(LinAlgError::NotSquare { .. })
+        ));
+    }
+
+    #[test]
+    fn log_det_matches_lu_det() {
+        let a = spd(4);
+        let ch = Cholesky::factor(&a).unwrap();
+        let det = crate::solve::det(&a).unwrap();
+        assert!((ch.log_det() - det.ln()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let ch = Cholesky::factor(&spd(3)).unwrap();
+        assert!(ch.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,486 @@
+//! Minimal complex arithmetic and complex dense matrices.
+//!
+//! The cyclic-MDS gradient code of Raviv et al. is constructed over the
+//! complex roots of unity; decoding solves a complex linear system. We only
+//! need `Complex` scalars, a row-major [`CMatrix`], matrix–vector products and
+//! an LU solve — so those are all that is implemented.
+
+use crate::error::LinAlgError;
+use crate::Result;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Self = Self { re: 0.0, im: 0.0 };
+    /// One.
+    pub const ONE: Self = Self { re: 1.0, im: 0.0 };
+    /// The imaginary unit `i`.
+    pub const I: Self = Self { re: 0.0, im: 1.0 };
+
+    /// Constructs `re + i·im`.
+    #[must_use]
+    pub const fn new(re: f64, im: f64) -> Self {
+        Self { re, im }
+    }
+
+    /// A real number as a complex one.
+    #[must_use]
+    pub const fn from_real(re: f64) -> Self {
+        Self { re, im: 0.0 }
+    }
+
+    /// `e^{iθ}` — point on the unit circle.
+    #[must_use]
+    pub fn cis(theta: f64) -> Self {
+        Self {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// The primitive `n`-th root of unity raised to power `k`: `e^{2πik/n}`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0`.
+    #[must_use]
+    pub fn root_of_unity(n: usize, k: usize) -> Self {
+        assert!(n > 0, "root_of_unity: n must be positive");
+        // Reduce k modulo n first for accuracy with large powers.
+        let k = k % n;
+        Self::cis(2.0 * std::f64::consts::PI * (k as f64) / (n as f64))
+    }
+
+    /// Complex conjugate.
+    #[must_use]
+    pub fn conj(self) -> Self {
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `|z|²`.
+    #[must_use]
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    #[must_use]
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Multiplicative inverse; returns NaN components for zero input.
+    #[must_use]
+    pub fn recip(self) -> Self {
+        let d = self.norm_sq();
+        Self {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Integer power by repeated squaring.
+    #[must_use]
+    pub fn powi(self, mut e: u32) -> Self {
+        let mut base = self;
+        let mut acc = Self::ONE;
+        while e > 0 {
+            if e & 1 == 1 {
+                acc *= base;
+            }
+            base *= base;
+            e >>= 1;
+        }
+        acc
+    }
+}
+
+impl Add for Complex {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl SubAssign for Complex {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Complex {
+    type Output = Self;
+    fn mul(self, rhs: Self) -> Self {
+        Self::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl MulAssign for Complex {
+    fn mul_assign(&mut self, rhs: Self) {
+        *self = *self * rhs;
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self::new(self.re * rhs, self.im * rhs)
+    }
+}
+
+impl Div for Complex {
+    type Output = Self;
+    #[allow(clippy::suspicious_arithmetic_impl)]
+    fn div(self, rhs: Self) -> Self {
+        self * rhs.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Self;
+    fn neg(self) -> Self {
+        Self::new(-self.re, -self.im)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// Row-major dense complex matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex>,
+}
+
+impl CMatrix {
+    /// All-zeros complex matrix.
+    #[must_use]
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![Complex::ZERO; rows * cols],
+        }
+    }
+
+    /// Builds a matrix by evaluating `f(i, j)` at every entry.
+    #[must_use]
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> Complex) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.set(i, j, f(i, j));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    #[must_use]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[must_use]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Entry accessor.
+    #[must_use]
+    pub fn get(&self, i: usize, j: usize) -> Complex {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Entry setter.
+    pub fn set(&mut self, i: usize, j: usize, v: Complex) {
+        assert!(i < self.rows && j < self.cols, "index out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Immutable view of row `i`.
+    #[must_use]
+    pub fn row(&self, i: usize) -> &[Complex] {
+        assert!(i < self.rows, "row out of bounds");
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Selects rows into a fresh matrix.
+    ///
+    /// # Errors
+    /// [`LinAlgError::OutOfBounds`] on a bad row index.
+    pub fn select_rows(&self, indices: &[usize]) -> Result<Self> {
+        let mut out = Self::zeros(indices.len(), self.cols);
+        for (dst, &src) in indices.iter().enumerate() {
+            if src >= self.rows {
+                return Err(LinAlgError::OutOfBounds {
+                    index: src,
+                    len: self.rows,
+                });
+            }
+            let (a, b) = (dst * self.cols, src * self.cols);
+            out.data[a..a + self.cols].copy_from_slice(&self.data[b..b + self.cols]);
+        }
+        Ok(out)
+    }
+
+    /// Conjugate transpose.
+    #[must_use]
+    pub fn hermitian_transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |i, j| self.get(j, i).conj())
+    }
+
+    /// Matrix–vector product `y = A x`.
+    ///
+    /// # Errors
+    /// [`LinAlgError::ShapeMismatch`] when `x.len() != cols`.
+    pub fn gemv(&self, x: &[Complex]) -> Result<Vec<Complex>> {
+        if x.len() != self.cols {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "cgemv",
+                lhs: (self.rows, self.cols),
+                rhs: (x.len(), 1),
+            });
+        }
+        Ok((0..self.rows)
+            .map(|i| {
+                let mut s = Complex::ZERO;
+                for (a, b) in self.row(i).iter().zip(x) {
+                    s += *a * *b;
+                }
+                s
+            })
+            .collect())
+    }
+
+    /// Solves the square complex system `A x = b` by LU with partial
+    /// pivoting (pivot by magnitude).
+    ///
+    /// # Errors
+    /// [`LinAlgError::NotSquare`], [`LinAlgError::ShapeMismatch`], or
+    /// [`LinAlgError::Singular`].
+    pub fn solve(&self, b: &[Complex]) -> Result<Vec<Complex>> {
+        if self.rows != self.cols {
+            return Err(LinAlgError::NotSquare {
+                shape: (self.rows, self.cols),
+            });
+        }
+        let n = self.rows;
+        if b.len() != n {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "csolve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        let mut a = self.clone();
+        let mut x = b.to_vec();
+        for k in 0..n {
+            let mut p = k;
+            let mut pmax = a.get(k, k).abs();
+            for i in k + 1..n {
+                let v = a.get(i, k).abs();
+                if v > pmax {
+                    pmax = v;
+                    p = i;
+                }
+            }
+            if pmax < 1e-12 {
+                return Err(LinAlgError::Singular { pivot: k });
+            }
+            if p != k {
+                for j in 0..n {
+                    let (vk, vp) = (a.get(k, j), a.get(p, j));
+                    a.set(k, j, vp);
+                    a.set(p, j, vk);
+                }
+                x.swap(k, p);
+            }
+            let piv = a.get(k, k).recip();
+            for i in k + 1..n {
+                let f = a.get(i, k) * piv;
+                if f == Complex::ZERO {
+                    continue;
+                }
+                for j in k..n {
+                    let v = a.get(i, j) - f * a.get(k, j);
+                    a.set(i, j, v);
+                }
+                let xi = x[i] - f * x[k];
+                x[i] = xi;
+            }
+        }
+        for i in (0..n).rev() {
+            let mut s = x[i];
+            for j in i + 1..n {
+                s -= a.get(i, j) * x[j];
+            }
+            x[i] = s / a.get(i, i);
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ceq(a: Complex, b: Complex, tol: f64) -> bool {
+        (a - b).abs() < tol
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let z = Complex::new(3.0, -4.0);
+        assert_eq!(z + Complex::ZERO, z);
+        assert_eq!(z * Complex::ONE, z);
+        assert!(ceq(z * z.recip(), Complex::ONE, 1e-12));
+        assert_eq!(z.conj().conj(), z);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sq(), 25.0);
+        assert_eq!(-z, Complex::new(-3.0, 4.0));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(ceq(
+            Complex::I * Complex::I,
+            Complex::from_real(-1.0),
+            1e-15
+        ));
+    }
+
+    #[test]
+    fn roots_of_unity_cycle() {
+        let n = 7;
+        let w = Complex::root_of_unity(n, 1);
+        assert!(ceq(w.powi(n as u32), Complex::ONE, 1e-12));
+        // Sum of all n-th roots is zero.
+        let mut s = Complex::ZERO;
+        for k in 0..n {
+            s += Complex::root_of_unity(n, k);
+        }
+        assert!(s.abs() < 1e-12);
+    }
+
+    #[test]
+    fn powi_matches_repeated_multiplication() {
+        let z = Complex::new(1.1, -0.3);
+        let mut manual = Complex::ONE;
+        for _ in 0..9 {
+            manual *= z;
+        }
+        assert!(ceq(z.powi(9), manual, 1e-10));
+        assert_eq!(z.powi(0), Complex::ONE);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    fn cmatrix_solve_identity() {
+        let i3 = CMatrix::from_fn(
+            3,
+            3,
+            |i, j| {
+                if i == j {
+                    Complex::ONE
+                } else {
+                    Complex::ZERO
+                }
+            },
+        );
+        let b = vec![
+            Complex::new(1.0, 1.0),
+            Complex::new(2.0, -1.0),
+            Complex::new(0.0, 3.0),
+        ];
+        let x = i3.solve(&b).unwrap();
+        for (xi, bi) in x.iter().zip(&b) {
+            assert!(ceq(*xi, *bi, 1e-12));
+        }
+    }
+
+    #[test]
+    fn cmatrix_solve_vandermonde_roots() {
+        // Vandermonde in the 4th roots of unity is unitary-like: solvable.
+        let n = 4;
+        let v = CMatrix::from_fn(n, n, |i, j| Complex::root_of_unity(n, i * j));
+        let b = vec![Complex::ONE; n];
+        let x = v.solve(&b).unwrap();
+        let vx = v.gemv(&x).unwrap();
+        for (a, c) in vx.iter().zip(&b) {
+            assert!(ceq(*a, *c, 1e-10));
+        }
+    }
+
+    #[test]
+    fn cmatrix_singular_detected() {
+        let m = CMatrix::from_fn(2, 2, |_, _| Complex::ONE);
+        assert!(matches!(
+            m.solve(&[Complex::ONE, Complex::ZERO]),
+            Err(LinAlgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn cmatrix_select_and_hermitian() {
+        let m = CMatrix::from_fn(2, 2, |i, j| Complex::new(i as f64, j as f64));
+        let h = m.hermitian_transpose();
+        assert_eq!(h.get(0, 1), Complex::new(1.0, -0.0));
+        assert_eq!(h.get(1, 0), Complex::new(0.0, -1.0));
+        let s = m.select_rows(&[1]).unwrap();
+        assert_eq!(s.rows(), 1);
+        assert_eq!(s.get(0, 1), Complex::new(1.0, 1.0));
+        assert!(m.select_rows(&[7]).is_err());
+    }
+
+    #[test]
+    fn gemv_shape_mismatch() {
+        let m = CMatrix::zeros(2, 3);
+        assert!(m.gemv(&[Complex::ZERO; 2]).is_err());
+    }
+}

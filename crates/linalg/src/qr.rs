@@ -1,0 +1,249 @@
+//! Householder QR and least-squares solves.
+//!
+//! The cyclic-repetition decoder needs the minimum-norm/least-squares solution
+//! of `B_Fᵀ a = 1` when the finished-worker set is larger than strictly
+//! necessary; Householder QR is the numerically stable way to get it.
+
+use crate::error::LinAlgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Threshold below which a diagonal entry of `R` is treated as rank-deficient.
+const RANK_TOL: f64 = 1e-10;
+
+/// Householder QR factorization `A = Q R` for `rows ≥ cols`.
+///
+/// `Q` is stored implicitly as Householder reflectors in the lower trapezoid.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Packed reflectors (below diagonal) and `R` (upper triangle).
+    qr: Matrix,
+    /// Scalar `τ` per reflector.
+    tau: Vec<f64>,
+}
+
+impl Qr {
+    /// Factors a tall (or square) matrix.
+    ///
+    /// # Errors
+    /// [`LinAlgError::Underdetermined`] when `rows < cols`.
+    pub fn factor(a: &Matrix) -> Result<Self> {
+        let (m, n) = a.shape();
+        if m < n {
+            return Err(LinAlgError::Underdetermined { rows: m, cols: n });
+        }
+        let mut qr = a.clone();
+        let mut tau = vec![0.0; n];
+
+        for k in 0..n {
+            // Build the Householder reflector annihilating column k below row k.
+            let mut norm = 0.0f64;
+            for i in k..m {
+                norm = norm.hypot(qr[(i, k)]);
+            }
+            if norm == 0.0 {
+                tau[k] = 0.0;
+                continue;
+            }
+            let alpha = if qr[(k, k)] >= 0.0 { -norm } else { norm };
+            let v0 = qr[(k, k)] - alpha;
+            // v = [v0, qr[k+1..m, k]] with implicit normalization by v0.
+            for i in k + 1..m {
+                qr[(i, k)] /= v0;
+            }
+            tau[k] = -v0 / alpha;
+            qr[(k, k)] = alpha;
+
+            // Apply reflector to trailing columns: A := (I − τ v vᵀ) A.
+            for j in k + 1..n {
+                let mut s = qr[(k, j)];
+                for i in k + 1..m {
+                    s += qr[(i, k)] * qr[(i, j)];
+                }
+                s *= tau[k];
+                qr[(k, j)] -= s;
+                for i in k + 1..m {
+                    let vik = qr[(i, k)];
+                    qr[(i, j)] -= s * vik;
+                }
+            }
+        }
+        Ok(Self { qr, tau })
+    }
+
+    /// Shape of the factored matrix.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        self.qr.shape()
+    }
+
+    /// Numerical rank: count of `|R[k,k]|` above tolerance (relative to the
+    /// largest diagonal magnitude).
+    #[must_use]
+    pub fn rank(&self) -> usize {
+        let n = self.qr.cols();
+        let rmax = (0..n).fold(0.0f64, |acc, k| acc.max(self.qr[(k, k)].abs()));
+        if rmax == 0.0 {
+            return 0;
+        }
+        (0..n)
+            .filter(|&k| self.qr[(k, k)].abs() > RANK_TOL * rmax)
+            .count()
+    }
+
+    /// Least-squares solve `min ‖A x − b‖₂`.
+    ///
+    /// # Errors
+    /// [`LinAlgError::ShapeMismatch`] on a bad `b` length, or
+    /// [`LinAlgError::Singular`] when `R` is rank-deficient.
+    pub fn solve_least_squares(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let (m, n) = self.qr.shape();
+        if b.len() != m {
+            return Err(LinAlgError::ShapeMismatch {
+                op: "qr_solve",
+                lhs: (m, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // y = Qᵀ b, applying reflectors in order.
+        let mut y = b.to_vec();
+        for k in 0..n {
+            if self.tau[k] == 0.0 {
+                continue;
+            }
+            let mut s = y[k];
+            for i in k + 1..m {
+                s += self.qr[(i, k)] * y[i];
+            }
+            s *= self.tau[k];
+            y[k] -= s;
+            for i in k + 1..m {
+                y[i] -= s * self.qr[(i, k)];
+            }
+        }
+        // Back substitution on R x = y[..n].
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= self.qr[(i, j)] * x[j];
+            }
+            let d = self.qr[(i, i)];
+            if d.abs() < RANK_TOL {
+                return Err(LinAlgError::Singular { pivot: i });
+            }
+            x[i] = s / d;
+        }
+        Ok(x)
+    }
+}
+
+/// One-shot least squares `min ‖A x − b‖₂`.
+///
+/// # Errors
+/// Propagates factorization and solve errors.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    Qr::factor(a)?.solve_least_squares(b)
+}
+
+/// Solves the *underdetermined* row system `xᵀ A = cᵀ` (i.e. `Aᵀ x = c`) in
+/// the least-squares sense by factoring `Aᵀ`.
+///
+/// This is exactly the decoder's problem: find combination coefficients over
+/// received worker messages (`x`, one per finished worker) whose combination
+/// of coding rows reproduces the all-ones row `cᵀ`.
+///
+/// # Errors
+/// Propagates factorization and solve errors.
+pub fn solve_row_combination(a: &Matrix, c: &[f64]) -> Result<Vec<f64>> {
+    least_squares(&a.transpose(), c)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::approx_eq_slice;
+
+    fn mat(rows: usize, cols: usize, v: &[f64]) -> Matrix {
+        Matrix::from_vec(rows, cols, v.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn square_solve_matches_lu() {
+        let a = mat(2, 2, &[2.0, 1.0, 1.0, 3.0]);
+        let x = least_squares(&a, &[5.0, 10.0]).unwrap();
+        assert!(approx_eq_slice(&x, &[1.0, 3.0], 1e-10));
+    }
+
+    #[test]
+    fn overdetermined_projects() {
+        // Fit y = c over observations {1, 2, 3}: least-squares c = 2.
+        let a = mat(3, 1, &[1.0, 1.0, 1.0]);
+        let x = least_squares(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn underdetermined_rejected() {
+        let a = mat(1, 2, &[1.0, 1.0]);
+        assert!(matches!(
+            Qr::factor(&a),
+            Err(LinAlgError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        let full = mat(3, 2, &[1.0, 0.0, 0.0, 1.0, 1.0, 1.0]);
+        assert_eq!(Qr::factor(&full).unwrap().rank(), 2);
+        let deficient = mat(3, 2, &[1.0, 2.0, 2.0, 4.0, 3.0, 6.0]);
+        assert_eq!(Qr::factor(&deficient).unwrap().rank(), 1);
+    }
+
+    #[test]
+    fn rank_deficient_solve_errors() {
+        let deficient = mat(3, 2, &[1.0, 2.0, 2.0, 4.0, 3.0, 6.0]);
+        let qr = Qr::factor(&deficient).unwrap();
+        assert!(matches!(
+            qr.solve_least_squares(&[1.0, 1.0, 1.0]),
+            Err(LinAlgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn row_combination_recovers_ones() {
+        // Two rows [1, 1, 0] and [0, 1, 1]; no exact combination gives all
+        // ones, but adding a third row [1, 0, 1] makes (0.5, 0.5, 0.5) exact.
+        let a = mat(3, 3, &[1.0, 1.0, 0.0, 0.0, 1.0, 1.0, 1.0, 0.0, 1.0]);
+        let x = solve_row_combination(&a, &[1.0, 1.0, 1.0]).unwrap();
+        assert!(approx_eq_slice(&x, &[0.5, 0.5, 0.5], 1e-10));
+    }
+
+    #[test]
+    fn residual_orthogonal_to_columns() {
+        let a = mat(4, 2, &[1.0, 0.5, 0.0, 1.0, 1.0, 1.0, 2.0, -1.0]);
+        let b = [1.0, 2.0, 3.0, 4.0];
+        let x = least_squares(&a, &b).unwrap();
+        let ax = a.gemv(&x).unwrap();
+        let r: Vec<f64> = b.iter().zip(&ax).map(|(bi, axi)| bi - axi).collect();
+        // Normal equations: Aᵀ r = 0.
+        let atr = a.gemv_t(&r).unwrap();
+        assert!(atr.iter().all(|v| v.abs() < 1e-10));
+    }
+
+    #[test]
+    fn solve_shape_mismatch() {
+        let a = Matrix::identity(3);
+        let qr = Qr::factor(&a).unwrap();
+        assert!(qr.solve_least_squares(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn zero_column_handled() {
+        // A column that is already zero below the diagonal hits the τ=0 path.
+        let a = mat(3, 2, &[1.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let x = least_squares(&a, &[2.0, 0.0, 4.0]).unwrap();
+        let ax = a.gemv(&x).unwrap();
+        assert!(approx_eq_slice(&ax, &[2.0, 0.0, 4.0], 1e-10));
+    }
+}

@@ -1,0 +1,120 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use bcc_linalg::{qr, solve, vec_ops, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a vector of finite, moderate floats.
+fn vec_f64(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-1e3..1e3f64, len)
+}
+
+/// Strategy: a well-conditioned (diagonally dominant) square matrix.
+fn dd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0..1.0f64, n * n).prop_map(move |data| {
+        let mut m = Matrix::from_vec(n, n, data).unwrap();
+        for i in 0..n {
+            let rowsum: f64 = m.row(i).iter().map(|v| v.abs()).sum();
+            m[(i, i)] += rowsum + 1.0;
+        }
+        m
+    })
+}
+
+proptest! {
+    #[test]
+    fn dot_commutes(x in vec_f64(32), y in vec_f64(32)) {
+        let a = vec_ops::dot(&x, &y);
+        let b = vec_ops::dot(&y, &x);
+        prop_assert!((a - b).abs() <= 1e-6 * (1.0 + a.abs()));
+    }
+
+    #[test]
+    fn dot_linear_in_first_arg(x in vec_f64(16), y in vec_f64(16), c in -10.0..10.0f64) {
+        let scaled: Vec<f64> = x.iter().map(|v| c * v).collect();
+        let lhs = vec_ops::dot(&scaled, &y);
+        let rhs = c * vec_ops::dot(&x, &y);
+        prop_assert!((lhs - rhs).abs() <= 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn axpy_matches_definition(x in vec_f64(24), y in vec_f64(24), a in -5.0..5.0f64) {
+        let mut z = y.clone();
+        vec_ops::axpy(a, &x, &mut z);
+        for i in 0..x.len() {
+            prop_assert!((z[i] - (a * x[i] + y[i])).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn norm2_triangle_inequality(x in vec_f64(16), y in vec_f64(16)) {
+        let s = vec_ops::add(&x, &y);
+        prop_assert!(vec_ops::norm2(&s) <= vec_ops::norm2(&x) + vec_ops::norm2(&y) + 1e-9);
+    }
+
+    #[test]
+    fn sum_vectors_order_independent(a in vec_f64(8), b in vec_f64(8), c in vec_f64(8)) {
+        let s1 = vec_ops::sum_vectors([a.as_slice(), b.as_slice(), c.as_slice()].into_iter()).unwrap();
+        let s2 = vec_ops::sum_vectors([c.as_slice(), a.as_slice(), b.as_slice()].into_iter()).unwrap();
+        prop_assert!(bcc_linalg::approx_eq_slice(&s1, &s2, 1e-9));
+    }
+
+    #[test]
+    fn lu_solve_residual_small(a in dd_matrix(6), b in vec_f64(6)) {
+        let x = solve::solve(&a, &b).unwrap();
+        let ax = a.gemv(&x).unwrap();
+        for i in 0..b.len() {
+            prop_assert!((ax[i] - b[i]).abs() < 1e-6 * (1.0 + b[i].abs()));
+        }
+    }
+
+    #[test]
+    fn lu_det_product_rule(a in dd_matrix(4), b in dd_matrix(4)) {
+        let da = solve::det(&a).unwrap();
+        let db = solve::det(&b).unwrap();
+        let dab = solve::det(&a.matmul(&b).unwrap()).unwrap();
+        prop_assert!((dab - da * db).abs() <= 1e-6 * (1.0 + (da * db).abs()));
+    }
+
+    #[test]
+    fn inverse_is_two_sided(a in dd_matrix(5)) {
+        let inv = solve::inverse(&a).unwrap();
+        let left = inv.matmul(&a).unwrap();
+        let right = a.matmul(&inv).unwrap();
+        let id = Matrix::identity(5);
+        prop_assert!(left.approx_eq(&id, 1e-7));
+        prop_assert!(right.approx_eq(&id, 1e-7));
+    }
+
+    #[test]
+    fn qr_least_squares_residual_orthogonal(
+        data in prop::collection::vec(-10.0..10.0f64, 8 * 3),
+        b in vec_f64(8),
+    ) {
+        let a = Matrix::from_vec(8, 3, data).unwrap();
+        if let Ok(x) = qr::least_squares(&a, &b) {
+            let ax = a.gemv(&x).unwrap();
+            let r: Vec<f64> = b.iter().zip(&ax).map(|(u, v)| u - v).collect();
+            let atr = a.gemv_t(&r).unwrap();
+            let scale = 1.0 + a.norm_max() * vec_ops::norm2(&b);
+            for v in atr {
+                prop_assert!(v.abs() <= 1e-6 * scale);
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_preserves_fro_norm(data in prop::collection::vec(-10.0..10.0f64, 12), _n in 0..1u8) {
+        let a = Matrix::from_vec(3, 4, data).unwrap();
+        prop_assert!((a.norm_fro() - a.transpose().norm_fro()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gemv_distributes_over_addition(a in dd_matrix(5), x in vec_f64(5), y in vec_f64(5)) {
+        let xy = vec_ops::add(&x, &y);
+        let lhs = a.gemv(&xy).unwrap();
+        let ax = a.gemv(&x).unwrap();
+        let ay = a.gemv(&y).unwrap();
+        let rhs = vec_ops::add(&ax, &ay);
+        prop_assert!(bcc_linalg::approx_eq_slice(&lhs, &rhs, 1e-6));
+    }
+}

@@ -1,0 +1,87 @@
+//! Vanilla gradient descent (eq. (1)): `w_{t+1} = w_t − μ_t ∇L(w_t)`.
+
+use crate::schedule::LearningRate;
+use crate::Optimizer;
+use bcc_linalg::vec_ops;
+
+/// Plain gradient descent over an externally supplied gradient oracle.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    w: Vec<f64>,
+    lr: LearningRate,
+    t: usize,
+}
+
+impl GradientDescent {
+    /// Starts from `w0` with the given schedule.
+    #[must_use]
+    pub fn new(w0: Vec<f64>, lr: LearningRate) -> Self {
+        Self { w: w0, lr, t: 0 }
+    }
+}
+
+impl Optimizer for GradientDescent {
+    fn eval_point(&self) -> &[f64] {
+        &self.w
+    }
+
+    fn step(&mut self, gradient: &[f64]) {
+        assert_eq!(gradient.len(), self.w.len(), "gradient dimension mismatch");
+        let mu = self.lr.at(self.t);
+        vec_ops::axpy(-mu, gradient, &mut self.w);
+        self.t += 1;
+    }
+
+    fn iterate(&self) -> &[f64] {
+        &self.w
+    }
+
+    fn iteration(&self) -> usize {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converges_on_quadratic() {
+        // Minimize f(w) = ½‖w − c‖²; ∇f = w − c.
+        let c = [3.0, -1.0, 2.0];
+        let mut gd = GradientDescent::new(vec![0.0; 3], LearningRate::Constant(0.5));
+        for _ in 0..60 {
+            let g: Vec<f64> = gd
+                .eval_point()
+                .iter()
+                .zip(&c)
+                .map(|(w, ci)| w - ci)
+                .collect();
+            gd.step(&g);
+        }
+        for (w, ci) in gd.iterate().iter().zip(&c) {
+            assert!((w - ci).abs() < 1e-6);
+        }
+        assert_eq!(gd.iteration(), 60);
+    }
+
+    #[test]
+    fn eval_point_is_iterate() {
+        let gd = GradientDescent::new(vec![1.0, 2.0], LearningRate::Constant(0.1));
+        assert_eq!(gd.eval_point(), gd.iterate());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_gradient_dim_panics() {
+        let mut gd = GradientDescent::new(vec![0.0; 2], LearningRate::Constant(0.1));
+        gd.step(&[1.0]);
+    }
+
+    #[test]
+    fn single_step_moves_against_gradient() {
+        let mut gd = GradientDescent::new(vec![0.0], LearningRate::Constant(0.25));
+        gd.step(&[2.0]);
+        assert!((gd.iterate()[0] + 0.5).abs() < 1e-15);
+    }
+}

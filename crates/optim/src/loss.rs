@@ -1,0 +1,154 @@
+//! Per-example loss functions and their gradients.
+
+use bcc_linalg::vec_ops;
+
+/// A per-example loss `ℓ(x, y; w)` with gradient `∇_w ℓ`.
+pub trait Loss: Send + Sync {
+    /// Loss value at one example.
+    fn value(&self, x: &[f64], y: f64, w: &[f64]) -> f64;
+
+    /// Writes `∇_w ℓ(x, y; w)` into `out` (accumulating: `out += ∇ℓ`).
+    fn add_gradient(&self, x: &[f64], y: f64, w: &[f64], out: &mut [f64]);
+
+    /// Convenience: gradient into a fresh vector.
+    fn gradient(&self, x: &[f64], y: f64, w: &[f64]) -> Vec<f64> {
+        let mut g = vec![0.0; w.len()];
+        self.add_gradient(x, y, w, &mut g);
+        g
+    }
+}
+
+/// Logistic loss in the paper's `y ∈ {−1, +1}` convention:
+/// `ℓ = ln(1 + exp(−y·xᵀw))`, `∇ℓ = −y·σ(−y·xᵀw)·x`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LogisticLoss;
+
+/// Numerically stable `ln(1 + e^z)`.
+fn log1p_exp(z: f64) -> f64 {
+    if z > 0.0 {
+        z + (-z).exp().ln_1p()
+    } else {
+        z.exp().ln_1p()
+    }
+}
+
+/// Numerically stable logistic sigmoid `σ(z) = 1/(1+e^{−z})`.
+#[must_use]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        1.0 / (1.0 + (-z).exp())
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+impl Loss for LogisticLoss {
+    fn value(&self, x: &[f64], y: f64, w: &[f64]) -> f64 {
+        log1p_exp(-y * vec_ops::dot(x, w))
+    }
+
+    fn add_gradient(&self, x: &[f64], y: f64, w: &[f64], out: &mut [f64]) {
+        let margin = y * vec_ops::dot(x, w);
+        let coeff = -y * sigmoid(-margin);
+        vec_ops::axpy(coeff, x, out);
+    }
+}
+
+/// Squared loss `½(xᵀw − y)²` — linear regression; handy for tests because
+/// the optimum is available in closed form.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SquaredLoss;
+
+impl Loss for SquaredLoss {
+    fn value(&self, x: &[f64], y: f64, w: &[f64]) -> f64 {
+        let e = vec_ops::dot(x, w) - y;
+        0.5 * e * e
+    }
+
+    fn add_gradient(&self, x: &[f64], y: f64, w: &[f64], out: &mut [f64]) {
+        let e = vec_ops::dot(x, w) - y;
+        vec_ops::axpy(e, x, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn numeric_gradient<L: Loss>(loss: &L, x: &[f64], y: f64, w: &[f64]) -> Vec<f64> {
+        let h = 1e-6;
+        (0..w.len())
+            .map(|k| {
+                let mut wp = w.to_vec();
+                let mut wm = w.to_vec();
+                wp[k] += h;
+                wm[k] -= h;
+                (loss.value(x, y, &wp) - loss.value(x, y, &wm)) / (2.0 * h)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sigmoid_limits_and_symmetry() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-15);
+        assert!(sigmoid(40.0) > 1.0 - 1e-12);
+        assert!(sigmoid(-40.0) < 1e-12);
+        for z in [-3.0, -0.5, 0.7, 2.0] {
+            assert!((sigmoid(z) + sigmoid(-z) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn log1p_exp_stable_for_large_args() {
+        assert!((log1p_exp(1000.0) - 1000.0).abs() < 1e-9);
+        assert!(log1p_exp(-1000.0) < 1e-12);
+        assert!((log1p_exp(0.0) - std::f64::consts::LN_2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn logistic_gradient_matches_finite_differences() {
+        let loss = LogisticLoss;
+        let x = [0.5, -1.2, 2.0];
+        let w = [0.1, 0.3, -0.2];
+        for y in [-1.0, 1.0] {
+            let g = loss.gradient(&x, y, &w);
+            let num = numeric_gradient(&loss, &x, y, &w);
+            for (a, b) in g.iter().zip(&num) {
+                assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn squared_gradient_matches_finite_differences() {
+        let loss = SquaredLoss;
+        let x = [1.0, -2.0];
+        let w = [0.7, 0.4];
+        let g = loss.gradient(&x, 3.0, &w);
+        let num = numeric_gradient(&loss, &x, 3.0, &w);
+        for (a, b) in g.iter().zip(&num) {
+            assert!((a - b).abs() < 1e-5, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn logistic_loss_decreases_with_correct_margin() {
+        let loss = LogisticLoss;
+        let x = [1.0];
+        // Larger positive margin with y = +1 → smaller loss.
+        assert!(loss.value(&x, 1.0, &[2.0]) < loss.value(&x, 1.0, &[0.5]));
+        // Wrong-signed w → larger loss.
+        assert!(loss.value(&x, 1.0, &[-1.0]) > loss.value(&x, 1.0, &[1.0]));
+    }
+
+    #[test]
+    fn add_gradient_accumulates() {
+        let loss = SquaredLoss;
+        let x = [1.0, 1.0];
+        let mut acc = vec![10.0, 20.0];
+        let g = loss.gradient(&x, 0.0, &[1.0, 1.0]);
+        loss.add_gradient(&x, 0.0, &[1.0, 1.0], &mut acc);
+        assert_eq!(acc, vec![10.0 + g[0], 20.0 + g[1]]);
+    }
+}

@@ -1,0 +1,149 @@
+//! L2 regularization wrapper — a standard extension the paper's framework
+//! admits without modification: per-example loss becomes
+//! `ℓ(x, y; w) + (λ/2)·‖w‖²` and the gradient gains `λ·w`.
+//!
+//! Because the penalty is added *per example*, the distributed sum over `m`
+//! partial gradients recovers `Σ ∇ℓ + m·λ·w`, i.e. after the master's `1/m`
+//! normalization the usual `∇L + λ·w`. Every coding scheme and both cluster
+//! backends therefore work unchanged — tested in `ridge_training_matches`.
+
+use crate::loss::Loss;
+use bcc_linalg::vec_ops;
+
+/// `base` loss plus an L2 penalty of strength `lambda`.
+#[derive(Debug, Clone, Copy)]
+pub struct L2Regularized<L> {
+    base: L,
+    lambda: f64,
+}
+
+impl<L: Loss> L2Regularized<L> {
+    /// Wraps a loss with ridge strength `lambda ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `lambda`.
+    #[must_use]
+    pub fn new(base: L, lambda: f64) -> Self {
+        assert!(
+            lambda >= 0.0 && lambda.is_finite(),
+            "lambda must be non-negative, got {lambda}"
+        );
+        Self { base, lambda }
+    }
+
+    /// The regularization strength.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl<L: Loss> Loss for L2Regularized<L> {
+    fn value(&self, x: &[f64], y: f64, w: &[f64]) -> f64 {
+        self.base.value(x, y, w) + 0.5 * self.lambda * vec_ops::dot(w, w)
+    }
+
+    fn add_gradient(&self, x: &[f64], y: f64, w: &[f64], out: &mut [f64]) {
+        self.base.add_gradient(x, y, w, out);
+        vec_ops::axpy(self.lambda, w, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::{LogisticLoss, SquaredLoss};
+    use bcc_linalg::cholesky::solve_spd;
+    use bcc_linalg::Matrix;
+
+    #[test]
+    fn zero_lambda_is_identity() {
+        let plain = LogisticLoss;
+        let reg = L2Regularized::new(LogisticLoss, 0.0);
+        let (x, y, w) = ([1.0, -2.0], 1.0, [0.3, 0.7]);
+        assert_eq!(plain.value(&x, y, &w), reg.value(&x, y, &w));
+        assert_eq!(plain.gradient(&x, y, &w), reg.gradient(&x, y, &w));
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let reg = L2Regularized::new(LogisticLoss, 0.3);
+        let (x, y, w) = ([0.5, -1.0, 2.0], -1.0, [0.1, -0.4, 0.2]);
+        let g = reg.gradient(&x, y, &w);
+        let h = 1e-6;
+        for k in 0..w.len() {
+            let mut wp = w;
+            let mut wm = w;
+            wp[k] += h;
+            wm[k] -= h;
+            let num = (reg.value(&x, y, &wp) - reg.value(&x, y, &wm)) / (2.0 * h);
+            assert!((g[k] - num).abs() < 1e-5, "coord {k}: {} vs {num}", g[k]);
+        }
+    }
+
+    #[test]
+    fn ridge_regression_matches_normal_equations() {
+        // GD on L2-regularized squared loss must converge to the ridge
+        // solution (XᵀX + mλI)⁻¹ Xᵀy.
+        let xs = [[1.0, 0.5], [0.0, 1.0], [1.0, 1.0], [2.0, -1.0], [0.5, 0.25]];
+        let ys = [1.0, 0.5, 1.5, 0.5, 0.6];
+        let m = xs.len();
+        let lambda = 0.2;
+        let reg = L2Regularized::new(SquaredLoss, lambda);
+
+        // Closed form via Cholesky on XᵀX + mλI.
+        let x_mat = Matrix::from_fn(m, 2, |i, j| xs[i][j]);
+        let mut normal = x_mat.transpose().matmul(&x_mat).unwrap();
+        for i in 0..2 {
+            normal[(i, i)] += m as f64 * lambda;
+        }
+        let rhs = x_mat.gemv_t(&ys).unwrap();
+        let closed = solve_spd(&normal, &rhs).unwrap();
+
+        // Full-batch GD on the mean regularized loss.
+        let mut w = vec![0.0; 2];
+        for _ in 0..8000 {
+            let mut g = vec![0.0; 2];
+            for (x, y) in xs.iter().zip(&ys) {
+                reg.add_gradient(x, *y, &w, &mut g);
+            }
+            for (wk, gk) in w.iter_mut().zip(&g) {
+                *wk -= 0.02 / m as f64 * gk;
+            }
+        }
+        for (a, b) in w.iter().zip(&closed) {
+            assert!((a - b).abs() < 1e-4, "GD {a} vs closed form {b}");
+        }
+    }
+
+    #[test]
+    fn penalty_shrinks_weights() {
+        // Larger λ ⇒ smaller optimum norm on the same data.
+        let xs = [[1.0], [2.0], [3.0]];
+        let ys = [2.0, 4.0, 6.0];
+        let fit = |lambda: f64| {
+            let reg = L2Regularized::new(SquaredLoss, lambda);
+            let mut w = vec![0.0];
+            for _ in 0..4000 {
+                let mut g = vec![0.0];
+                for (x, y) in xs.iter().zip(&ys) {
+                    reg.add_gradient(x, *y, &w, &mut g);
+                }
+                w[0] -= 0.02 / 3.0 * g[0];
+            }
+            w[0]
+        };
+        let w0 = fit(0.0);
+        let w1 = fit(1.0);
+        let w5 = fit(5.0);
+        assert!((w0 - 2.0).abs() < 1e-3);
+        assert!(w1 < w0);
+        assert!(w5 < w1);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_lambda_panics() {
+        let _ = L2Regularized::new(SquaredLoss, -0.1);
+    }
+}

@@ -1,0 +1,75 @@
+//! Learning-rate schedules `μ_t`.
+
+use serde::{Deserialize, Serialize};
+
+/// Learning-rate schedule evaluated per iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LearningRate {
+    /// Constant rate `μ`.
+    Constant(f64),
+    /// `μ₀ / (1 + t/τ)` decay.
+    InverseTime {
+        /// Initial rate `μ₀`.
+        initial: f64,
+        /// Decay timescale `τ` in iterations.
+        timescale: f64,
+    },
+    /// `μ₀ / √(t+1)` decay (classic SGD schedule).
+    InverseSqrt {
+        /// Initial rate `μ₀`.
+        initial: f64,
+    },
+}
+
+impl LearningRate {
+    /// Rate at iteration `t` (0-based).
+    ///
+    /// # Panics
+    /// Debug-asserts that the configured rates are positive and finite.
+    #[must_use]
+    pub fn at(&self, t: usize) -> f64 {
+        let rate = match *self {
+            Self::Constant(mu) => mu,
+            Self::InverseTime { initial, timescale } => initial / (1.0 + t as f64 / timescale),
+            Self::InverseSqrt { initial } => initial / ((t + 1) as f64).sqrt(),
+        };
+        debug_assert!(rate > 0.0 && rate.is_finite(), "bad learning rate {rate}");
+        rate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let lr = LearningRate::Constant(0.1);
+        assert_eq!(lr.at(0), 0.1);
+        assert_eq!(lr.at(1000), 0.1);
+    }
+
+    #[test]
+    fn inverse_time_decays() {
+        let lr = LearningRate::InverseTime {
+            initial: 1.0,
+            timescale: 10.0,
+        };
+        assert_eq!(lr.at(0), 1.0);
+        assert!((lr.at(10) - 0.5).abs() < 1e-12);
+        assert!(lr.at(100) < lr.at(10));
+    }
+
+    #[test]
+    fn inverse_sqrt_decays() {
+        let lr = LearningRate::InverseSqrt { initial: 2.0 };
+        assert_eq!(lr.at(0), 2.0);
+        assert!((lr.at(3) - 1.0).abs() < 1e-12);
+        let mut prev = f64::INFINITY;
+        for t in 0..50 {
+            let r = lr.at(t);
+            assert!(r < prev);
+            prev = r;
+        }
+    }
+}

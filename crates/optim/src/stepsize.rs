@@ -1,0 +1,113 @@
+//! Principled default step sizes from Lipschitz-constant estimates.
+//!
+//! The paper hand-tunes its Nesterov learning rate; a production library
+//! should offer the standard `1/L` default:
+//!
+//! * logistic loss — `∇²L ⪯ XᵀX/(4m)`, so `L ≤ λ_max(XᵀX)/(4m)`;
+//! * squared loss — `∇²L = XᵀX/m`, so `L = λ_max(XᵀX)/m`.
+//!
+//! `λ_max(XᵀX)` comes from matrix-free power iteration
+//! ([`bcc_linalg::power::gram_spectral_norm`]).
+
+use crate::schedule::LearningRate;
+use bcc_data::Dataset;
+use bcc_linalg::power::gram_spectral_norm;
+
+/// Smoothness profile of the supported losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LossSmoothness {
+    /// Logistic loss: Hessian bounded by `XᵀX/(4m)`.
+    Logistic,
+    /// Squared loss: Hessian exactly `XᵀX/m`.
+    Squared,
+}
+
+/// Estimates the empirical-risk Lipschitz constant `L` for the dataset.
+///
+/// # Panics
+/// Panics on an empty dataset or an all-zero feature matrix (no gradient
+/// information — a data bug upstream).
+#[must_use]
+pub fn lipschitz_constant(data: &Dataset, loss: LossSmoothness) -> f64 {
+    assert!(!data.is_empty(), "cannot bound smoothness of no data");
+    let lambda_max =
+        gram_spectral_norm(data.features(), 1e-10, 10_000).expect("non-degenerate feature matrix");
+    let m = data.len() as f64;
+    match loss {
+        LossSmoothness::Logistic => lambda_max / (4.0 * m),
+        LossSmoothness::Squared => lambda_max / m,
+    }
+}
+
+/// The standard constant step `1/L` for the dataset/loss pair.
+#[must_use]
+pub fn auto_constant_rate(data: &Dataset, loss: LossSmoothness) -> LearningRate {
+    LearningRate::Constant(1.0 / lipschitz_constant(data, loss))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradient::{empirical_risk, full_gradient};
+    use crate::loss::{LogisticLoss, SquaredLoss};
+    use crate::{GradientDescent, Optimizer};
+    use bcc_data::synthetic::{generate, SyntheticConfig};
+    use bcc_linalg::vec_ops;
+
+    #[test]
+    fn logistic_rate_descends_monotonically() {
+        // With μ = 1/L, plain GD on a smooth convex loss never increases.
+        let data = generate(&SyntheticConfig::small(80, 10, 5)).dataset;
+        let lr = auto_constant_rate(&data, LossSmoothness::Logistic);
+        let mut gd = GradientDescent::new(vec![0.0; 10], lr);
+        let mut prev = empirical_risk(&data, &LogisticLoss, gd.iterate());
+        for _ in 0..50 {
+            let g = full_gradient(&data, &LogisticLoss, gd.eval_point());
+            gd.step(&g);
+            let risk = empirical_risk(&data, &LogisticLoss, gd.iterate());
+            assert!(
+                risk <= prev + 1e-12,
+                "1/L step must be monotone: {prev} → {risk}"
+            );
+            prev = risk;
+        }
+    }
+
+    #[test]
+    fn squared_constant_matches_design() {
+        // y = Xw* exactly: squared loss with 1/L steps converges; a 2.5/L
+        // step diverges — brackets the constant from both sides.
+        let data = generate(&SyntheticConfig::small(40, 6, 9)).dataset;
+        let x = data.features();
+        let w_star: Vec<f64> = (0..6).map(|k| ((k + 1) as f64 * 0.3).cos()).collect();
+        let y = x.gemv(&w_star).unwrap();
+        let d = Dataset::new(x.clone(), y);
+
+        let l = lipschitz_constant(&d, LossSmoothness::Squared);
+        let run = |mu: f64| {
+            let mut gd = GradientDescent::new(vec![0.0; 6], LearningRate::Constant(mu));
+            for _ in 0..400 {
+                let g = full_gradient(&d, &SquaredLoss, gd.eval_point());
+                gd.step(&g);
+            }
+            vec_ops::dist2_sq(gd.iterate(), &w_star)
+        };
+        assert!(run(1.0 / l) < 1e-6, "1/L converges");
+        assert!(run(2.5 / l) > run(1.0 / l), "2.5/L must do worse");
+    }
+
+    #[test]
+    fn logistic_smoothness_is_quarter_of_squared() {
+        let data = generate(&SyntheticConfig::small(30, 5, 11)).dataset;
+        let log = lipschitz_constant(&data, LossSmoothness::Logistic);
+        let sq = lipschitz_constant(&data, LossSmoothness::Squared);
+        assert!((sq / log - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no data")]
+    fn empty_dataset_panics() {
+        let d = Dataset::new(bcc_linalg::Matrix::zeros(0, 3), vec![]);
+        let _ = lipschitz_constant(&d, LossSmoothness::Logistic);
+    }
+}

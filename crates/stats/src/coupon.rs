@@ -1,0 +1,242 @@
+//! Coupon-collector analysis — the mathematical heart of BCC.
+//!
+//! The BCC master collects batch results like coupons: each arriving worker
+//! message is a uniformly random batch out of `N = ⌈m/r⌉`, and the master
+//! finishes when all `N` batches are covered. This module provides:
+//!
+//! * the exact expectation `E[M] = N·H_N` (used by Theorem 1),
+//! * the tail bound `Pr[M ≥ (1+ε)·N·ln N] ≤ N^{−ε}` (Lemma 2),
+//! * seeded Monte-Carlo simulators for the batched process and for the
+//!   *simple randomized* scheme (each worker holds a uniform random
+//!   `r`-subset of examples — coverage needs unions of subsets).
+
+use crate::harmonic::harmonic;
+use rand::Rng;
+
+/// Exact expected number of draws to collect all `n` coupon types: `n·H_n`.
+#[must_use]
+pub fn expected_draws(n: usize) -> f64 {
+    n as f64 * harmonic(n)
+}
+
+/// Lemma 2 tail bound: `Pr[M ≥ (1+ε)·n·ln n] ≤ n^{−ε}` for `ε ≥ 0`.
+///
+/// Returns the bound's right-hand side.
+///
+/// # Panics
+/// Panics for negative `ε`.
+#[must_use]
+pub fn tail_bound(n: usize, epsilon: f64) -> f64 {
+    assert!(epsilon >= 0.0, "tail bound requires ε ≥ 0");
+    (n as f64).powf(-epsilon)
+}
+
+/// Variance of the number of draws: `Var[M] = Σ (1−pᵢ)/pᵢ²` with
+/// `pᵢ = (n−i+1)/n`, i.e. `n² Σ_{k=1..n} 1/k² − n·H_n`.
+#[must_use]
+pub fn variance_draws(n: usize) -> f64 {
+    let nf = n as f64;
+    let h2 = crate::harmonic::generalized_harmonic(n, 2.0);
+    nf * nf * h2 - nf * harmonic(n)
+}
+
+/// Simulates one classic coupon-collector run over `n` types; returns the
+/// number of draws needed to see every type.
+///
+/// # Panics
+/// Panics when `n == 0`.
+pub fn simulate_draws<R: Rng + ?Sized>(n: usize, rng: &mut R) -> usize {
+    assert!(n > 0, "cannot collect zero coupon types");
+    let mut seen = vec![false; n];
+    let mut distinct = 0;
+    let mut draws = 0;
+    while distinct < n {
+        let c = rng.gen_range(0..n);
+        draws += 1;
+        if !seen[c] {
+            seen[c] = true;
+            distinct += 1;
+        }
+    }
+    draws
+}
+
+/// Monte-Carlo estimate of the expected draws over `trials` runs.
+pub fn simulate_expected_draws<R: Rng + ?Sized>(n: usize, trials: usize, rng: &mut R) -> f64 {
+    let total: usize = (0..trials).map(|_| simulate_draws(n, rng)).sum();
+    total as f64 / trials as f64
+}
+
+/// One run of the *simple randomized* scheme's collection process: each
+/// arriving worker holds a uniformly random `r`-subset of the `m` examples
+/// (without replacement within a worker); the master finishes when the union
+/// covers all `m` examples. Returns the number of workers heard from.
+///
+/// # Panics
+/// Panics when `r == 0`, `m == 0`, or `r > m`.
+pub fn simulate_random_subset_coverage<R: Rng + ?Sized>(m: usize, r: usize, rng: &mut R) -> usize {
+    assert!(m > 0 && r > 0 && r <= m, "need 0 < r ≤ m (m={m}, r={r})");
+    let mut covered = vec![false; m];
+    let mut remaining = m;
+    let mut workers = 0;
+    // Scratch for per-worker partial Fisher–Yates sampling.
+    let mut pool: Vec<usize> = (0..m).collect();
+    while remaining > 0 {
+        workers += 1;
+        // Draw an r-subset by partial shuffle of the index pool.
+        for k in 0..r {
+            let j = rng.gen_range(k..m);
+            pool.swap(k, j);
+            let ex = pool[k];
+            if !covered[ex] {
+                covered[ex] = true;
+                remaining -= 1;
+            }
+        }
+    }
+    workers
+}
+
+/// Expected number of workers for the simple randomized scheme, estimated by
+/// Monte-Carlo. The paper's approximation is `(m/r)·log m` (eq. (5)).
+pub fn simulate_random_subset_expected<R: Rng + ?Sized>(
+    m: usize,
+    r: usize,
+    trials: usize,
+    rng: &mut R,
+) -> f64 {
+    let total: usize = (0..trials)
+        .map(|_| simulate_random_subset_coverage(m, r, rng))
+        .sum();
+    total as f64 / trials as f64
+}
+
+/// The paper's closed-form approximation `(m/r)·ln m` for the randomized
+/// scheme's recovery threshold (eq. (5)).
+#[must_use]
+pub fn random_scheme_approx(m: usize, r: usize) -> f64 {
+    (m as f64 / r as f64) * (m as f64).ln()
+}
+
+/// Number of distinct coupon types seen after `draws` uniform draws over `n`
+/// types, in expectation: `n·(1 − (1 − 1/n)^draws)`.
+#[must_use]
+pub fn expected_distinct_after(n: usize, draws: usize) -> f64 {
+    let nf = n as f64;
+    nf * (1.0 - (1.0 - 1.0 / nf).powi(draws as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+
+    #[test]
+    fn expected_draws_small_cases() {
+        assert_eq!(expected_draws(1), 1.0);
+        assert!((expected_draws(2) - 3.0).abs() < 1e-12);
+        // n=3: 3·(1 + 1/2 + 1/3) = 5.5.
+        assert!((expected_draws(3) - 5.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn simulation_matches_expectation() {
+        let mut rng = derive_rng(10, 0);
+        for n in [2usize, 5, 10, 25] {
+            let sim = simulate_expected_draws(n, 20_000, &mut rng);
+            let exact = expected_draws(n);
+            let sd = (variance_draws(n) / 20_000.0).sqrt();
+            assert!(
+                (sim - exact).abs() < 5.0 * sd.max(0.05),
+                "n={n}: sim {sim} vs exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn variance_positive_and_growing() {
+        let mut prev = 0.0;
+        for n in 2..40 {
+            let v = variance_draws(n);
+            assert!(v > prev, "variance should grow with n");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn tail_bound_values() {
+        assert_eq!(tail_bound(10, 0.0), 1.0);
+        assert!((tail_bound(10, 1.0) - 0.1).abs() < 1e-12);
+        assert!(tail_bound(100, 2.0) <= 1e-4 + 1e-15);
+    }
+
+    #[test]
+    fn tail_bound_holds_empirically() {
+        // Pr[M ≥ 2·n·ln n] ≤ 1/n for ε = 1.
+        let n = 20;
+        let threshold = (2.0 * n as f64 * (n as f64).ln()).ceil() as usize;
+        let mut rng = derive_rng(11, 0);
+        let trials = 20_000;
+        let exceed = (0..trials)
+            .filter(|_| simulate_draws(n, &mut rng) >= threshold)
+            .count();
+        let freq = exceed as f64 / trials as f64;
+        assert!(
+            freq <= 1.0 / n as f64 + 0.01,
+            "tail frequency {freq} violates Lemma 2 bound {}",
+            1.0 / n as f64
+        );
+    }
+
+    #[test]
+    fn single_type_needs_one_draw() {
+        let mut rng = derive_rng(12, 0);
+        assert_eq!(simulate_draws(1, &mut rng), 1);
+    }
+
+    #[test]
+    fn random_subset_r_equals_m_needs_one_worker() {
+        let mut rng = derive_rng(13, 0);
+        assert_eq!(simulate_random_subset_coverage(10, 10, &mut rng), 1);
+    }
+
+    #[test]
+    fn random_subset_r1_reduces_to_classic() {
+        // With r = 1 each worker is one coupon draw.
+        let mut rng = derive_rng(14, 0);
+        let sim = simulate_random_subset_expected(8, 1, 20_000, &mut rng);
+        let exact = expected_draws(8);
+        assert!((sim - exact).abs() < 0.3, "sim {sim} vs exact {exact}");
+    }
+
+    #[test]
+    fn random_subset_tracks_paper_approximation() {
+        // eq. (5): K_random ≈ (m/r) log m, accurate up to constant-ish slack.
+        let (m, r) = (100, 10);
+        let mut rng = derive_rng(15, 0);
+        let sim = simulate_random_subset_expected(m, r, 3_000, &mut rng);
+        let approx = random_scheme_approx(m, r);
+        // The approximation is a coarse upper-shape; require same ballpark.
+        assert!(
+            sim > 0.5 * approx && sim < 1.5 * approx,
+            "sim {sim} vs approx {approx}"
+        );
+    }
+
+    #[test]
+    fn expected_distinct_after_saturates() {
+        assert!(expected_distinct_after(10, 0) < 1e-12);
+        let d = expected_distinct_after(10, 10_000);
+        assert!((d - 10.0).abs() < 1e-6);
+        // After n draws, roughly n(1 − 1/e) distinct.
+        let d = expected_distinct_after(1000, 1000);
+        assert!((d / 1000.0 - (1.0 - (-1.0f64).exp())).abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero coupon")]
+    fn zero_types_panics() {
+        let mut rng = derive_rng(16, 0);
+        let _ = simulate_draws(0, &mut rng);
+    }
+}

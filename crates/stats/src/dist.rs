@@ -1,0 +1,337 @@
+//! Sampling distributions used across the reproduction.
+//!
+//! The central one is [`ShiftedExponential`], the paper's worker-latency
+//! model (§IV eq. (15)): worker `i` processing `rᵢ` examples finishes at time
+//! `Tᵢ` with `Pr[Tᵢ ≤ t] = 1 − exp(−(μᵢ/rᵢ)(t − aᵢrᵢ))` for `t ≥ aᵢrᵢ`.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution from which `f64` samples can be drawn.
+pub trait Sample {
+    /// Draws one sample.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64;
+
+    /// Mean of the distribution.
+    fn mean(&self) -> f64;
+}
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential with the given rate.
+    ///
+    /// # Panics
+    /// Panics when `rate` is not strictly positive and finite.
+    #[must_use]
+    pub fn new(rate: f64) -> Self {
+        assert!(
+            rate > 0.0 && rate.is_finite(),
+            "exponential rate must be positive and finite, got {rate}"
+        );
+        Self { rate }
+    }
+
+    /// The rate parameter `λ`.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// CDF at `t`.
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-self.rate * t).exp()
+        }
+    }
+
+    /// Inverse CDF (quantile function).
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile needs p in [0,1)");
+        -(-p).ln_1p() / self.rate
+    }
+}
+
+impl Sample for Exponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse-CDF with u in (0,1]; -ln(u) avoids ln(0).
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        -u.ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+}
+
+/// The paper's shift-exponential latency model, eq. (15):
+/// `Pr[T ≤ t] = 1 − exp(−(μ/r)(t − a·r))`, `t ≥ a·r`.
+///
+/// `mu` is the *straggling* parameter (larger ⇒ less straggling), `a` the
+/// deterministic per-example *shift*, and `r` the number of examples the
+/// worker processes. The shift grows linearly in `r` and the exponential tail
+/// flattens as `r` grows — processing more data takes longer and is more
+/// variable.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ShiftedExponential {
+    mu: f64,
+    a: f64,
+    r: f64,
+}
+
+impl ShiftedExponential {
+    /// Builds the model for a worker with straggling parameter `mu ≥ 0`,
+    /// shift parameter `a ≥ 0`, processing `r > 0` examples.
+    ///
+    /// # Panics
+    /// Panics on non-positive `r` or non-finite parameters.
+    #[must_use]
+    pub fn new(mu: f64, a: f64, r: f64) -> Self {
+        assert!(mu > 0.0 && mu.is_finite(), "mu must be positive, got {mu}");
+        assert!(a >= 0.0 && a.is_finite(), "a must be non-negative, got {a}");
+        assert!(r > 0.0 && r.is_finite(), "r must be positive, got {r}");
+        Self { mu, a, r }
+    }
+
+    /// Effective rate `μ/r` of the exponential tail.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.mu / self.r
+    }
+
+    /// Deterministic shift `a·r`.
+    #[must_use]
+    pub fn shift(&self) -> f64 {
+        self.a * self.r
+    }
+
+    /// CDF at `t` per eq. (15).
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= self.shift() {
+            0.0
+        } else {
+            1.0 - (-(self.rate()) * (t - self.shift())).exp()
+        }
+    }
+
+    /// Quantile function: `t` with `CDF(t) = p`.
+    #[must_use]
+    pub fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..1.0).contains(&p), "quantile needs p in [0,1)");
+        self.shift() + -(-p).ln_1p() / self.rate()
+    }
+}
+
+impl Sample for ShiftedExponential {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.shift() + -u.ln() / self.rate()
+    }
+
+    fn mean(&self) -> f64 {
+        self.shift() + 1.0 / self.rate()
+    }
+}
+
+/// Standard-parametrized Gaussian sampled via Box–Muller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Gaussian {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Gaussian {
+    /// Creates `N(mean, std_dev²)`.
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite `std_dev`.
+    #[must_use]
+    pub fn new(mean: f64, std_dev: f64) -> Self {
+        assert!(
+            std_dev >= 0.0 && std_dev.is_finite(),
+            "std_dev must be non-negative, got {std_dev}"
+        );
+        Self { mean, std_dev }
+    }
+
+    /// The standard normal `N(0, 1)`.
+    #[must_use]
+    pub fn standard() -> Self {
+        Self::new(0.0, 1.0)
+    }
+
+    /// Draws one standard-normal variate via Box–Muller.
+    #[must_use]
+    pub fn standard_sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        // u1 in (0,1] to avoid ln(0); u2 in [0,1).
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+}
+
+impl Sample for Gaussian {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * Self::standard_sample(rng)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mean
+    }
+}
+
+/// Bernoulli distribution over `{0, 1}` with success probability `p`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Bernoulli {
+    p: f64,
+}
+
+impl Bernoulli {
+    /// Creates a Bernoulli with success probability `p ∈ [0, 1]`.
+    ///
+    /// # Panics
+    /// Panics when `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        Self { p }
+    }
+
+    /// Success probability.
+    #[must_use]
+    pub fn p(&self) -> f64 {
+        self.p
+    }
+
+    /// Draws `true` with probability `p`.
+    pub fn sample_bool<R: Rng + ?Sized>(&self, rng: &mut R) -> bool {
+        rng.gen::<f64>() < self.p
+    }
+}
+
+impl Sample for Bernoulli {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.sample_bool(rng) {
+            1.0
+        } else {
+            0.0
+        }
+    }
+
+    fn mean(&self) -> f64 {
+        self.p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::derive_rng;
+    use crate::summary::Summary;
+
+    fn empirical_mean<D: Sample>(d: &D, n: usize, seed: u64) -> f64 {
+        let mut rng = derive_rng(seed, 0);
+        let mut s = Summary::new();
+        for _ in 0..n {
+            s.push(d.sample(&mut rng));
+        }
+        s.mean()
+    }
+
+    #[test]
+    fn exponential_mean_matches() {
+        let d = Exponential::new(2.0);
+        let m = empirical_mean(&d, 200_000, 1);
+        assert!((m - 0.5).abs() < 0.01, "mean {m}");
+    }
+
+    #[test]
+    fn exponential_cdf_quantile_roundtrip() {
+        let d = Exponential::new(0.7);
+        for p in [0.0, 0.1, 0.5, 0.9, 0.999] {
+            let t = d.quantile(p);
+            assert!((d.cdf(t) - p).abs() < 1e-12);
+        }
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn exponential_rejects_zero_rate() {
+        let _ = Exponential::new(0.0);
+    }
+
+    #[test]
+    fn shifted_exponential_support_starts_at_shift() {
+        let d = ShiftedExponential::new(1.0, 2.0, 10.0);
+        assert_eq!(d.shift(), 20.0);
+        assert_eq!(d.cdf(19.9), 0.0);
+        assert!(d.cdf(21.0) > 0.0);
+        let mut rng = derive_rng(2, 0);
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 20.0);
+        }
+    }
+
+    #[test]
+    fn shifted_exponential_mean_matches_formula() {
+        // mean = a r + r/μ.
+        let d = ShiftedExponential::new(4.0, 1.5, 8.0);
+        assert!((d.mean() - (12.0 + 2.0)).abs() < 1e-12);
+        let m = empirical_mean(&d, 200_000, 3);
+        assert!((m - d.mean()).abs() < 0.05, "mean {m} vs {}", d.mean());
+    }
+
+    #[test]
+    fn shifted_exponential_quantile_roundtrip() {
+        let d = ShiftedExponential::new(3.0, 0.5, 4.0);
+        for p in [0.0, 0.25, 0.5, 0.75, 0.99] {
+            assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let d = Gaussian::new(3.0, 2.0);
+        let mut rng = derive_rng(4, 0);
+        let mut s = Summary::new();
+        for _ in 0..200_000 {
+            s.push(d.sample(&mut rng));
+        }
+        assert!((s.mean() - 3.0).abs() < 0.02, "mean {}", s.mean());
+        assert!((s.variance().sqrt() - 2.0).abs() < 0.02, "sd");
+    }
+
+    #[test]
+    fn gaussian_zero_std_is_constant() {
+        let d = Gaussian::new(5.0, 0.0);
+        let mut rng = derive_rng(5, 0);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 5.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_frequency() {
+        let d = Bernoulli::new(0.3);
+        let m = empirical_mean(&d, 100_000, 6);
+        assert!((m - 0.3).abs() < 0.01, "freq {m}");
+        assert_eq!(Bernoulli::new(0.0).mean(), 0.0);
+        assert_eq!(Bernoulli::new(1.0).mean(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "[0,1]")]
+    fn bernoulli_rejects_out_of_range() {
+        let _ = Bernoulli::new(1.5);
+    }
+}

@@ -1,0 +1,37 @@
+//! Statistics substrate for the BCC reproduction.
+//!
+//! Everything stochastic in the paper funnels through a handful of
+//! primitives, implemented here from scratch:
+//!
+//! * [`rng`] — deterministic seed derivation so every experiment is
+//!   replayable (worker *i* of trial *t* always sees the same stream).
+//! * [`dist`] — the distributions the paper uses: the shift-exponential
+//!   worker-latency model of §IV eq. (15), exponentials, Bernoulli labels and
+//!   Gaussian features (Box–Muller; no `rand_distr` dependency).
+//! * [`harmonic`] — harmonic numbers `H_n` appearing in Theorem 1.
+//! * [`coupon`] — coupon-collector analysis: exact expectation `N·H_N`, the
+//!   tail bound of Lemma 2, and seeded Monte-Carlo simulators for both the
+//!   batched (BCC) and raw-example (simple randomized) collection processes.
+//! * [`lambertw`] — the Lambert-W function used by the heterogeneous P2 load
+//!   solver (closed-form per-worker optimal loads follow \[16\]'s structure).
+//! * [`order`] — order statistics of (shift-)exponentials: the closed
+//!   forms (`E[max] = H_n/λ` etc.) that anchor the cluster simulators.
+//! * [`summary`] — Welford online moments and quantile summaries for the
+//!   experiment harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod coupon;
+pub mod dist;
+pub mod harmonic;
+pub mod lambertw;
+pub mod order;
+pub mod rng;
+pub mod summary;
+
+pub use dist::{Bernoulli, Exponential, Gaussian, ShiftedExponential};
+pub use harmonic::harmonic;
+pub use lambertw::lambert_w0;
+pub use rng::{derive_rng, derive_seed};
+pub use summary::Summary;

@@ -1,0 +1,77 @@
+//! Tour of every gradient-coding scheme in the library: placement shape,
+//! per-worker message, completion condition, and exact recovery under a
+//! random straggler pattern.
+//!
+//! ```sh
+//! cargo run --example coded_schemes
+//! ```
+
+use bcc::coding::scheme::test_support::{random_gradients, total_sum, worker_partials};
+use bcc::core::schemes::SchemeConfig;
+use bcc::stats::rng::derive_rng;
+use rand::seq::SliceRandom;
+
+fn main() {
+    let (m, n, r) = (12usize, 12usize, 3usize);
+    let grads = random_gradients(m, 4, 7);
+    let expect = total_sum(&grads);
+
+    println!(
+        "{} units over {} workers at computational load r = {}\n",
+        m, n, r
+    );
+    println!(
+        "{:<22} {:>6} {:>12} {:>10} {:>12}",
+        "scheme", "K*", "messages", "units", "max error"
+    );
+
+    for cfg in [
+        SchemeConfig::Uncoded,
+        SchemeConfig::Random { r },
+        SchemeConfig::FractionalRepetition { r },
+        SchemeConfig::CyclicRepetition { r },
+        SchemeConfig::CyclicMds { r },
+        SchemeConfig::Bcc { r },
+    ] {
+        let mut rng = derive_rng(99, 0);
+        let scheme = cfg.build(m, n, &mut rng);
+
+        // Random arrival order = random stragglers.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(&mut derive_rng(99, 1));
+
+        let mut decoder = scheme.decoder();
+        for &i in &order {
+            if scheme.placement().worker_examples(i).is_empty() {
+                continue;
+            }
+            let partials = worker_partials(scheme.placement(), i, &grads);
+            let payload = scheme.encode(i, &partials).expect("encode");
+            if decoder.receive(i, payload).expect("receive") {
+                break;
+            }
+        }
+        let decoded = decoder.decode().expect("decode");
+        let err = decoded
+            .iter()
+            .zip(&expect)
+            .fold(0.0f64, |acc, (a, b)| acc.max((a - b).abs()));
+
+        println!(
+            "{:<22} {:>6} {:>12} {:>10} {:>12.2e}",
+            scheme.name(),
+            scheme
+                .analytic_recovery_threshold()
+                .map_or("—".into(), |k| format!("{k:.1}")),
+            decoder.messages_received(),
+            decoder.communication_units(),
+            err
+        );
+        assert!(err < 1e-4, "every scheme must recover the exact sum");
+    }
+
+    println!(
+        "\nNote the 'units' column: the randomized scheme ships r units per\n\
+         message (eq. (6)'s m·log m blow-up) while every other scheme ships 1."
+    );
+}

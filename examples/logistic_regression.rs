@@ -1,0 +1,78 @@
+//! The paper's EC2 experiment at example scale: train logistic regression
+//! with Nesterov's accelerated gradient method under the uncoded, cyclic
+//! repetition, and BCC schemes — on the **threaded** cluster runtime (real
+//! worker threads, channels, wire-encoded messages, injected stragglers).
+//!
+//! ```sh
+//! cargo run --release --example logistic_regression
+//! ```
+
+use bcc::cluster::{ClusterProfile, ThreadedCluster, UnitMap};
+use bcc::core::driver::{DistributedGd, TrainingConfig};
+use bcc::core::schemes::SchemeConfig;
+use bcc::data::synthetic::{generate, SyntheticConfig};
+use bcc::optim::{LearningRate, LogisticLoss, Nesterov};
+use bcc::stats::rng::derive_rng;
+
+fn main() {
+    // Scaled-down scenario one: 20 workers, 20 units × 50 points, r = 4.
+    let (workers, units_count, pts, dim, r) = (20usize, 20usize, 50usize, 32usize, 4usize);
+    let iterations = 30;
+    let m = units_count * pts;
+
+    let data = generate(&SyntheticConfig::small(m, dim, 2024));
+    let units = UnitMap::grouped(m, units_count);
+
+    println!(
+        "training logistic regression: {m} examples × {dim} features, \
+         {workers} worker threads, {iterations} Nesterov iterations\n"
+    );
+    println!(
+        "{:<20} {:>10} {:>12} {:>12} {:>12} {:>10}",
+        "scheme", "avg K", "comm (s)", "comp (s)", "total (s)", "final risk"
+    );
+
+    for cfg in [
+        SchemeConfig::Uncoded,
+        SchemeConfig::CyclicRepetition { r },
+        SchemeConfig::Bcc { r },
+    ] {
+        let mut rng = derive_rng(2024, 1);
+        let scheme = cfg.build(units_count, workers, &mut rng);
+        // time_scale 0.004: 1 simulated second ≈ 4 ms of wall time.
+        let mut backend = ThreadedCluster::new(ClusterProfile::ec2_like(workers), 99, 0.004);
+        let mut optimizer = Nesterov::new(vec![0.0; dim], LearningRate::Constant(0.5));
+        let mut driver = DistributedGd::new(
+            &mut backend,
+            scheme.as_ref(),
+            &units,
+            &data.dataset,
+            &LogisticLoss,
+        );
+        let report = driver
+            .train(
+                &mut optimizer,
+                &TrainingConfig {
+                    iterations,
+                    record_risk: true,
+                },
+            )
+            .expect("round completes");
+
+        println!(
+            "{:<20} {:>10.1} {:>12.3} {:>12.3} {:>12.3} {:>10.4}",
+            scheme.name(),
+            report.metrics.avg_recovery_threshold(),
+            report.metrics.comm_time,
+            report.metrics.compute_time,
+            report.metrics.total_time,
+            report.trace.final_risk().unwrap(),
+        );
+    }
+
+    println!(
+        "\nAll three schemes compute identical gradients — only the waiting\n\
+         differs. BCC's average recovery threshold tracks ⌈m/r⌉·H_(m/r) = {:.1}.",
+        bcc::core::theory::k_bcc(units_count, r)
+    );
+}

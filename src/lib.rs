@@ -1,0 +1,53 @@
+//! # bcc — Batched Coupon's Collector
+//!
+//! Facade crate for the reproduction of *"Near-Optimal Straggler Mitigation
+//! for Distributed Gradient Methods"* (Li, Mousavi Kalan, Avestimehr,
+//! Soltanolkotabi — IPPS 2018, arXiv:1710.09990).
+//!
+//! Re-exports every subsystem under one namespace; see the README for the
+//! architecture and `DESIGN.md` for the per-experiment index.
+//!
+//! ## One coded gradient round, end to end
+//!
+//! ```
+//! use bcc::cluster::{ClusterBackend, ClusterProfile, UnitMap, VirtualCluster};
+//! use bcc::core::schemes::SchemeConfig;
+//! use bcc::data::synthetic::{generate, SyntheticConfig};
+//! use bcc::optim::gradient::full_gradient;
+//! use bcc::optim::LogisticLoss;
+//! use bcc::stats::rng::derive_rng;
+//!
+//! // The paper's data model, laptop-sized: 100 examples × 8 features.
+//! let data = generate(&SyntheticConfig::small(100, 8, 7));
+//!
+//! // 10 coding units over 10 workers; BCC at computational load r = 2.
+//! let units = UnitMap::grouped(100, 10);
+//! let mut rng = derive_rng(7, 0);
+//! let scheme = SchemeConfig::Bcc { r: 2 }.build(10, 10, &mut rng);
+//!
+//! // A straggler-prone virtual cluster; one gradient round at w = 0.
+//! let mut cluster = VirtualCluster::new(ClusterProfile::ec2_like(10), 1);
+//! let w = vec![0.0; 8];
+//! let out = cluster
+//!     .run_round(scheme.as_ref(), &units, &data.dataset, &LogisticLoss, &w)
+//!     .unwrap();
+//!
+//! // The master did not wait for everyone …
+//! assert!(out.metrics.messages_used <= 10);
+//! // … yet the decoded gradient is exact.
+//! let mut decoded = out.gradient_sum;
+//! bcc::linalg::vec_ops::scale(1.0 / 100.0, &mut decoded);
+//! let exact = full_gradient(&data.dataset, &LogisticLoss, &w);
+//! assert!(bcc::linalg::approx_eq_slice(&decoded, &exact, 1e-9));
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use bcc_cluster as cluster;
+pub use bcc_coding as coding;
+pub use bcc_core as core;
+pub use bcc_data as data;
+pub use bcc_des as des;
+pub use bcc_linalg as linalg;
+pub use bcc_optim as optim;
+pub use bcc_stats as stats;

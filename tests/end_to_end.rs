@@ -1,0 +1,138 @@
+//! End-to-end distributed training across every scheme and both cluster
+//! backends. Because every decoder recovers the *exact* gradient, the
+//! optimization trajectory must be identical across schemes AND backends —
+//! coding changes the waiting, never the math.
+
+use bcc::cluster::{
+    ClusterBackend, ClusterProfile, CommModel, ThreadedCluster, UnitMap, VirtualCluster,
+};
+use bcc::core::driver::{DistributedGd, TrainingConfig};
+use bcc::core::schemes::SchemeConfig;
+use bcc::data::synthetic::{generate, SyntheticConfig};
+use bcc::optim::{LearningRate, LogisticLoss, Nesterov, Optimizer};
+use bcc::stats::rng::derive_rng;
+
+const M_EXAMPLES: usize = 120;
+const UNITS: usize = 12;
+const WORKERS: usize = 12;
+const DIM: usize = 6;
+const ITERS: usize = 15;
+
+fn fast_profile() -> ClusterProfile {
+    ClusterProfile::homogeneous(
+        WORKERS,
+        50.0,
+        0.0002,
+        CommModel {
+            per_message_overhead: 0.0005,
+            per_unit: 0.001,
+        },
+    )
+}
+
+fn all_schemes() -> Vec<SchemeConfig> {
+    vec![
+        SchemeConfig::Uncoded,
+        SchemeConfig::Bcc { r: 3 },
+        SchemeConfig::Random { r: 3 },
+        SchemeConfig::CyclicRepetition { r: 3 },
+        SchemeConfig::CyclicMds { r: 3 },
+        SchemeConfig::FractionalRepetition { r: 3 },
+    ]
+}
+
+fn train(backend: &mut dyn ClusterBackend, cfg: SchemeConfig, seed: u64) -> (Vec<f64>, f64) {
+    let data = generate(&SyntheticConfig::small(M_EXAMPLES, DIM, seed));
+    let units = UnitMap::grouped(M_EXAMPLES, UNITS);
+    let mut rng = derive_rng(seed, 77);
+    let scheme = cfg.build(UNITS, WORKERS, &mut rng);
+    let mut optimizer = Nesterov::new(vec![0.0; DIM], LearningRate::Constant(0.4));
+    let mut driver = DistributedGd::new(
+        backend,
+        scheme.as_ref(),
+        &units,
+        &data.dataset,
+        &LogisticLoss,
+    );
+    let report = driver
+        .train(
+            &mut optimizer,
+            &TrainingConfig {
+                iterations: ITERS,
+                record_risk: true,
+            },
+        )
+        .expect("training completes");
+    assert!(report.trace.improved(), "{}: risk must improve", cfg.name());
+    (report.weights, report.trace.final_risk().unwrap())
+}
+
+#[test]
+fn every_scheme_trains_identically_on_virtual_cluster() {
+    let mut reference: Option<Vec<f64>> = None;
+    for cfg in all_schemes() {
+        let mut backend = VirtualCluster::new(fast_profile(), 5);
+        let (w, _) = train(&mut backend, cfg, 42);
+        match &reference {
+            None => reference = Some(w),
+            Some(r) => assert!(
+                bcc::linalg::approx_eq_slice(r, &w, 1e-6),
+                "{}: weights diverged from reference",
+                cfg.name()
+            ),
+        }
+    }
+}
+
+#[test]
+fn threaded_and_virtual_backends_agree_exactly() {
+    // Timing differs; the decoded gradients — hence the weights — must not.
+    for cfg in [SchemeConfig::Uncoded, SchemeConfig::Bcc { r: 3 }] {
+        let mut virt = VirtualCluster::new(fast_profile(), 7);
+        let (w_virtual, risk_v) = train(&mut virt, cfg, 51);
+        let mut threaded = ThreadedCluster::new(fast_profile(), 7, 0.002);
+        let (w_threaded, risk_t) = train(&mut threaded, cfg, 51);
+        assert!(
+            bcc::linalg::approx_eq_slice(&w_virtual, &w_threaded, 1e-9),
+            "{}: backends must produce identical trajectories",
+            cfg.name()
+        );
+        assert!((risk_v - risk_t).abs() < 1e-12);
+    }
+}
+
+#[test]
+fn distributed_matches_centralized_gradient_descent() {
+    // The distributed run must equal a single-machine Nesterov loop using
+    // exact full gradients.
+    let data = generate(&SyntheticConfig::small(M_EXAMPLES, DIM, 13));
+    let mut centralized = Nesterov::new(vec![0.0; DIM], LearningRate::Constant(0.4));
+    for _ in 0..ITERS {
+        let g = bcc::optim::gradient::full_gradient(
+            &data.dataset,
+            &LogisticLoss,
+            centralized.eval_point(),
+        );
+        centralized.step(&g);
+    }
+
+    let mut backend = VirtualCluster::new(fast_profile(), 9);
+    let (w_distributed, _) = train(&mut backend, SchemeConfig::Bcc { r: 3 }, 13);
+    assert!(
+        bcc::linalg::approx_eq_slice(centralized.iterate(), &w_distributed, 1e-9),
+        "distributed BCC must replicate centralized GD exactly"
+    );
+}
+
+#[test]
+fn training_improves_classification_accuracy() {
+    let data = generate(&SyntheticConfig::small(M_EXAMPLES, DIM, 17));
+    let acc_before = data.dataset.sign_accuracy(&[0.0; DIM]);
+    let mut backend = VirtualCluster::new(fast_profile(), 11);
+    let (w, _) = train(&mut backend, SchemeConfig::Bcc { r: 3 }, 17);
+    let acc_after = data.dataset.sign_accuracy(&w);
+    assert!(
+        acc_after > acc_before.max(0.6),
+        "accuracy should rise: {acc_before} → {acc_after}"
+    );
+}

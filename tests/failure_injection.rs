@@ -1,0 +1,130 @@
+//! Failure injection: dead workers across schemes and backends.
+//!
+//! The paper's motivation is exactly this — "the slowest node may dictate
+//! the overall computational time". A dead worker is the limiting case of a
+//! straggler: schemes with redundancy survive it, the uncoded baseline
+//! cannot.
+
+use bcc::cluster::{
+    ClusterBackend, ClusterError, ClusterProfile, CommModel, ThreadedCluster, UnitMap,
+    VirtualCluster,
+};
+use bcc::coding::{BccScheme, CyclicRepetitionScheme, FractionalRepetitionScheme, UncodedScheme};
+use bcc::data::synthetic::{generate, SyntheticConfig};
+use bcc::optim::LogisticLoss;
+use bcc::stats::rng::derive_rng;
+use std::time::Duration;
+
+const N: usize = 12;
+const M: usize = 60;
+
+fn profile() -> ClusterProfile {
+    ClusterProfile::homogeneous(
+        N,
+        50.0,
+        0.0002,
+        CommModel {
+            per_message_overhead: 0.0005,
+            per_unit: 0.001,
+        },
+    )
+}
+
+fn data_and_units() -> (bcc::data::Dataset, UnitMap) {
+    let g = generate(&SyntheticConfig::small(M, 4, 3));
+    (g.dataset, UnitMap::grouped(M, N))
+}
+
+#[test]
+fn uncoded_cannot_survive_any_death() {
+    let (data, units) = data_and_units();
+    let scheme = UncodedScheme::new(N, N);
+    let mut cluster = VirtualCluster::new(profile(), 1);
+    cluster.kill_workers([4]);
+    let err = cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Stalled { received: 11, .. }));
+}
+
+#[test]
+fn cyclic_repetition_survives_up_to_r_minus_one_deaths() {
+    let (data, units) = data_and_units();
+    let r = 4;
+    let mut rng = derive_rng(5, 0);
+    let scheme = CyclicRepetitionScheme::new(N, r, &mut rng);
+    // Any r−1 = 3 deaths are tolerated by construction.
+    let mut cluster = VirtualCluster::new(profile(), 2);
+    cluster.kill_workers([0, 5, 9]);
+    let out = cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .expect("CR tolerates r-1 deaths");
+    assert_eq!(out.metrics.messages_used, N - (r - 1));
+
+    // r deaths exceed the design point: with only n−r workers alive the
+    // decoder cannot find coefficients → stall.
+    cluster.kill_workers([2]);
+    let err = cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Stalled { .. }));
+}
+
+#[test]
+fn fractional_repetition_survives_when_groups_remain_covered() {
+    let (data, units) = data_and_units();
+    let scheme = FractionalRepetitionScheme::new(N, 3); // 4 shards × 3 replicas
+    let mut cluster = VirtualCluster::new(profile(), 3);
+    // Kill two replicas of shard 0 (workers 0 and 4 hold shard 0): worker 8
+    // still covers it.
+    cluster.kill_workers([0, 4]);
+    cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .expect("one replica per shard suffices");
+
+    // Killing all three replicas of shard 0 (workers 0, 4, 8) stalls.
+    cluster.kill_workers([8]);
+    let err = cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Stalled { .. }));
+}
+
+#[test]
+fn bcc_survives_deaths_that_preserve_batch_coverage() {
+    let (data, units) = data_and_units();
+    // 4 batches (r = 3 over 12 units), each chosen by 3 workers.
+    let choices = vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3];
+    let scheme = BccScheme::from_choices(N, 3, choices);
+    let mut cluster = VirtualCluster::new(profile(), 4);
+    // Kill one worker per batch — still covered.
+    cluster.kill_workers([0, 1, 2, 3]);
+    cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .expect("coverage preserved");
+
+    // Kill every worker holding batch 0 → uncoverable.
+    cluster.kill_workers([4, 8]);
+    let err = cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Stalled { .. }));
+}
+
+#[test]
+fn threaded_backend_reports_stall_on_death() {
+    let (data, units) = data_and_units();
+    let scheme = UncodedScheme::new(N, N);
+    let mut cluster =
+        ThreadedCluster::new(profile(), 5, 0.002).with_recv_timeout(Duration::from_millis(400));
+    cluster.kill_workers([7]);
+    let err = cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Stalled { .. }));
+    // Revived cluster completes again.
+    cluster.revive_all();
+    cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .expect("revived cluster completes");
+}

@@ -1,0 +1,111 @@
+//! §IV end-to-end: generalized BCC running *through the full cluster stack*
+//! (not just the coverage simulator) on a heterogeneous profile — P2 loads,
+//! random placement, uncoded communication, real logistic gradients — and
+//! beating the load-balancing baseline in round time.
+
+use bcc::cluster::{
+    ClusterBackend, ClusterProfile, CommModel, UnitMap, VirtualCluster, WorkerProfile,
+};
+use bcc::coding::{GeneralizedBccScheme, UncodedScheme};
+use bcc::core::hetero::optimal_loads;
+use bcc::data::synthetic::{generate, SyntheticConfig};
+use bcc::optim::gradient::full_gradient;
+use bcc::optim::LogisticLoss;
+use bcc::stats::rng::derive_rng;
+
+/// 1/5-scale Fig. 5 cluster: 19 slow (μ=1) + 1 fast (μ=20), a = 20.
+fn profile() -> ClusterProfile {
+    let mut workers = vec![WorkerProfile { mu: 1.0, a: 20.0 }; 19];
+    workers.push(WorkerProfile { mu: 20.0, a: 20.0 });
+    ClusterProfile {
+        workers,
+        comm: CommModel {
+            per_message_overhead: 0.0,
+            per_unit: 0.0,
+        },
+    }
+}
+
+const M: usize = 100;
+const DIM: usize = 5;
+
+#[test]
+fn generalized_bcc_round_is_exact_and_faster_than_lb_uncoded() {
+    let profile = profile();
+    let data = generate(&SyntheticConfig::small(M, DIM, 1));
+    let units = UnitMap::identity(M);
+    let w = vec![0.0; DIM];
+    let mut exact = full_gradient(&data.dataset, &LogisticLoss, &w);
+    bcc::linalg::vec_ops::scale(M as f64, &mut exact);
+
+    // Generalized BCC with P2-optimal loads for s = ⌊m·log m⌋.
+    let s = (M as f64 * (M as f64).ln()).floor() as usize;
+    let sol = optimal_loads(&profile.workers, s, M);
+    let mut rng = derive_rng(2, 0);
+    let gbcc =
+        GeneralizedBccScheme::new(M, &sol.loads, &mut rng).expect("P2 loads cover the dataset");
+
+    // LB baseline: uncoded scheme over a speed-proportional disjoint split.
+    // (UncodedScheme uses even shards; the LB effect here is the placement's
+    // load on the fast worker, which we emulate by using the paper's LB
+    // placement directly through the generalized scheme's machinery.)
+    let lb_placement = bcc::data::Placement::load_balanced(
+        M,
+        &profile.workers.iter().map(|p| p.mu).collect::<Vec<_>>(),
+    );
+    let lb = GeneralizedBccScheme::from_placement(lb_placement);
+
+    let mut gbcc_total = 0.0;
+    let mut lb_total = 0.0;
+    let rounds = 25;
+    for seed in 0..rounds {
+        let mut cluster = VirtualCluster::new(profile.clone(), seed);
+        let out = cluster
+            .run_round(&gbcc, &units, &data.dataset, &LogisticLoss, &w)
+            .expect("GBCC completes");
+        assert!(
+            bcc::linalg::approx_eq_slice(&out.gradient_sum, &exact, 1e-7),
+            "GBCC decode must be exact"
+        );
+        gbcc_total += out.metrics.total_time;
+
+        let mut cluster = VirtualCluster::new(profile.clone(), seed ^ 0x55);
+        let out = cluster
+            .run_round(&lb, &units, &data.dataset, &LogisticLoss, &w)
+            .expect("LB completes");
+        assert!(bcc::linalg::approx_eq_slice(
+            &out.gradient_sum,
+            &exact,
+            1e-7
+        ));
+        lb_total += out.metrics.total_time;
+    }
+    let (gbcc_avg, lb_avg) = (gbcc_total / rounds as f64, lb_total / rounds as f64);
+    assert!(
+        gbcc_avg < lb_avg,
+        "generalized BCC ({gbcc_avg:.1}) must beat LB placement ({lb_avg:.1})"
+    );
+    // The Fig. 5 mechanism: the reduction is double-digit percent.
+    let reduction = (1.0 - gbcc_avg / lb_avg) * 100.0;
+    assert!(
+        reduction > 10.0,
+        "expected a Fig. 5-sized gain, got {reduction:.1}%"
+    );
+}
+
+#[test]
+fn uncoded_on_heterogeneous_cluster_pays_the_slowest_worker() {
+    // Sanity: a plain uncoded even split on the same cluster waits for the
+    // slow workers' shifted tails every round.
+    let profile = profile();
+    let data = generate(&SyntheticConfig::small(M, DIM, 3));
+    let units = UnitMap::identity(M);
+    let scheme = UncodedScheme::new(M, 20);
+    let mut cluster = VirtualCluster::new(profile, 7);
+    let out = cluster
+        .run_round(&scheme, &units, &data.dataset, &LogisticLoss, &[0.0; DIM])
+        .expect("uncoded completes with all workers live");
+    // Every worker holds 5 examples → shift alone is a·r = 100.
+    assert!(out.metrics.total_time >= 100.0);
+    assert_eq!(out.metrics.messages_used, 20);
+}

@@ -1,0 +1,96 @@
+//! Integration check of Theorem 2 (heterogeneous clusters): the sandwich
+//! `min E[T̂(m)] ≤ min_G E[T] ≤ min E[T̂(⌊c·m·log m⌋)] + 1` holds around the
+//! generalized-BCC simulation, and the Fig. 5 gain materializes.
+
+use bcc::cluster::WorkerProfile;
+use bcc::core::hetero::{
+    expected_t_hat, optimal_loads, simulate_gbcc_coverage_time, simulate_lb_completion_time,
+    theorem2_bounds, Fig5Config,
+};
+
+fn paper_cluster() -> Vec<WorkerProfile> {
+    let mut w = vec![WorkerProfile { mu: 1.0, a: 20.0 }; 95];
+    w.extend(vec![WorkerProfile { mu: 20.0, a: 20.0 }; 5]);
+    w
+}
+
+#[test]
+fn sandwich_holds_around_gbcc() {
+    let workers = paper_cluster();
+    let m = 500;
+    let bounds = theorem2_bounds(&workers, m, 200, 11);
+    assert!(bounds.lower < bounds.upper, "degenerate sandwich");
+
+    let cfg = Fig5Config {
+        num_examples: m,
+        workers: workers.clone(),
+        trials: 150,
+        seed: 13,
+    };
+    let s = (m as f64 * (m as f64).ln()).floor() as usize;
+    let sol = optimal_loads(&workers, s, m);
+    let gbcc = simulate_gbcc_coverage_time(&cfg, &sol.loads);
+    assert!(gbcc.success_rate > 0.9);
+    assert!(
+        bounds.lower <= gbcc.mean_time * 1.02,
+        "lower bound {} above achievable {}",
+        bounds.lower,
+        gbcc.mean_time
+    );
+    assert!(
+        gbcc.mean_time <= bounds.upper * 1.05,
+        "achievable {} above upper bound {}",
+        gbcc.mean_time,
+        bounds.upper
+    );
+}
+
+#[test]
+fn fig5_gain_in_paper_band() {
+    let cfg = Fig5Config::paper(300, 21);
+    let m = cfg.num_examples;
+    let s = (m as f64 * (m as f64).ln()).floor() as usize;
+    let sol = optimal_loads(&cfg.workers, s, m);
+    let gbcc = simulate_gbcc_coverage_time(&cfg, &sol.loads);
+    let lb = simulate_lb_completion_time(&cfg);
+    let reduction = (1.0 - gbcc.mean_time / lb.mean_time) * 100.0;
+    // Paper: 29.28%. Accept a generous band — the shape, not the digit.
+    assert!(
+        (15.0..45.0).contains(&reduction),
+        "reduction {reduction}% outside the paper's ballpark"
+    );
+}
+
+#[test]
+fn lemma1_monotonicity_of_waiting_time() {
+    let workers = paper_cluster();
+    let loads = vec![32; 100];
+    let mut prev = 0.0;
+    for s in [500, 1000, 2000, 3000] {
+        let e = expected_t_hat(&workers, &loads, s, 200, 31);
+        assert!(
+            e >= prev,
+            "E[T̂({s})] = {e} decreased below {prev} — violates Lemma 1"
+        );
+        prev = e;
+    }
+}
+
+#[test]
+fn p2_loads_beat_naive_uniform_for_t_hat() {
+    // The P2 solution should reach the budget sooner (or as soon) in
+    // expectation than a uniform split of the same total storage.
+    let workers = paper_cluster();
+    let m = 500;
+    let s = (m as f64 * (m as f64).ln()).floor() as usize;
+    let sol = optimal_loads(&workers, s, m);
+    let total: usize = sol.loads.iter().sum();
+    let uniform = vec![total / workers.len(); workers.len()];
+
+    let e_opt = expected_t_hat(&workers, &sol.loads, s, 300, 41);
+    let e_uni = expected_t_hat(&workers, &uniform, s, 300, 41);
+    assert!(
+        e_opt <= e_uni * 1.02,
+        "P2 loads ({e_opt}) should not lose to uniform ({e_uni})"
+    );
+}
