@@ -1,20 +1,22 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro all          # every paper artifact (default) + ablations
+//! repro all          # every paper artifact (default) + ablations + engine
 //! repro fig2         # tradeoff curves
 //! repro fig4         # runtime comparison (both scenarios)
 //! repro table1       # scenario-one breakdown
 //! repro table2       # scenario-two breakdown
 //! repro fig5         # heterogeneous cluster
 //! repro ablations    # design-choice ablations (beyond the paper)
+//! repro engine       # round-engine throughput → BENCH_round_engine.json
 //! repro --fast ...   # reduced trial counts for smoke runs
 //! ```
 //!
 //! Results print as console tables and persist as JSON under
-//! `experiments/`.
+//! `experiments/`; the engine benchmark additionally writes the
+//! perf-trajectory file `BENCH_round_engine.json` at the working directory.
 
-use bcc_bench::experiments::{ablation, fig2, fig5, scenario};
+use bcc_bench::experiments::{ablation, engine_bench, fig2, fig5, scenario};
 use bcc_bench::report::{write_json, Table};
 use std::path::PathBuf;
 
@@ -39,7 +41,10 @@ fn parse_args() -> Args {
                 }));
             }
             "-h" | "--help" => {
-                println!("usage: repro [--fast] [--out DIR] [all|fig2|fig4|table1|table2|fig5]...");
+                println!(
+                    "usage: repro [--fast] [--out DIR] \
+                     [all|fig2|fig4|table1|table2|fig5|ablations|engine]..."
+                );
                 std::process::exit(0);
             }
             other => targets.push(other.to_string()),
@@ -132,9 +137,30 @@ fn main() {
         persist(&args.out_dir, "ablation_random_stragglers", &rs);
     }
 
+    if want("engine") {
+        ran_any = true;
+        let cfg = if args.fast {
+            engine_bench::EngineBenchConfig::fast()
+        } else {
+            engine_bench::EngineBenchConfig::default_config()
+        };
+        let result = engine_bench::run(&cfg);
+        print_table(&engine_bench::render(&result));
+        // Perf-trajectory artifact: fixed name at the repo root (not under
+        // --out) so successive PRs overwrite and diff the same file.
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => match std::fs::write("BENCH_round_engine.json", body) {
+                Ok(()) => println!("[saved BENCH_round_engine.json]\n"),
+                Err(e) => eprintln!("[warn] could not write BENCH_round_engine.json: {e}"),
+            },
+            Err(e) => eprintln!("[warn] could not serialize engine bench: {e}"),
+        }
+        persist(&args.out_dir, "bench_round_engine", &result);
+    }
+
     if !ran_any {
         eprintln!(
-            "unknown target(s) {:?}; expected all|fig2|fig4|table1|table2|fig5|ablations",
+            "unknown target(s) {:?}; expected all|fig2|fig4|table1|table2|fig5|ablations|engine",
             args.targets
         );
         std::process::exit(2);

@@ -1,0 +1,230 @@
+//! Round-engine throughput benchmark — the data behind
+//! `BENCH_round_engine.json`.
+//!
+//! Times the shared [`bcc_cluster::RoundEngine`] driving batched
+//! [`run_rounds`] on the virtual backend, per scheme: wall-clock seconds per
+//! round (host cost of encode + DES pump + decode), simulated round latency,
+//! and message/load accounting. Emitted as a machine-readable JSON file so
+//! later changes to the engine or backends have a perf trajectory to compare
+//! against.
+//!
+//! [`run_rounds`]: bcc_cluster::ClusterBackend::run_rounds
+
+use crate::report::{f1, f3, Table};
+use bcc_cluster::backend::FixedPointDriver;
+use bcc_cluster::{ClusterBackend, ClusterProfile, RunMetrics, UnitMap, VirtualCluster};
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_optim::LogisticLoss;
+use bcc_stats::rng::derive_rng;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Configuration of one engine-benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineBenchConfig {
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Number of coding units `m`.
+    pub units: usize,
+    /// Data points per unit.
+    pub points_per_unit: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Computational load for the coded schemes.
+    pub r: usize,
+    /// Rounds per scheme (all through one batched `run_rounds` call).
+    pub rounds: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl EngineBenchConfig {
+    /// Default: scenario-one sized, 50 rounds.
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self {
+            workers: 50,
+            units: 50,
+            points_per_unit: 20,
+            dim: 32,
+            r: 10,
+            rounds: 50,
+            seed: 2024,
+        }
+    }
+
+    /// Reduced trial counts for smoke runs.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            rounds: 10,
+            points_per_unit: 5,
+            ..Self::default_config()
+        }
+    }
+}
+
+/// Per-scheme engine measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineBenchRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Rounds measured.
+    pub rounds: usize,
+    /// Host wall-clock seconds per round (engine + DES + encode + decode).
+    pub wall_seconds_per_round: f64,
+    /// Mean simulated round latency (the paper's total-time axis).
+    pub simulated_seconds_per_round: f64,
+    /// Mean messages consumed per round (empirical recovery threshold `K`).
+    pub avg_messages_used: f64,
+    /// Mean communication units per round (empirical load `L`).
+    pub avg_communication_units: f64,
+}
+
+/// The full benchmark result (serialized to `BENCH_round_engine.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineBenchResult {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Backend measured.
+    pub backend: String,
+    /// The configuration measured.
+    pub config: EngineBenchConfig,
+    /// One row per scheme.
+    pub rows: Vec<EngineBenchRow>,
+}
+
+/// Runs the benchmark over the paper's scheme comparison set.
+#[must_use]
+pub fn run(config: &EngineBenchConfig) -> EngineBenchResult {
+    let data = generate(&SyntheticConfig {
+        num_examples: config.units * config.points_per_unit,
+        dim: config.dim,
+        separation: 1.5,
+        seed: config.seed,
+    });
+    let units = UnitMap::grouped(data.dataset.len(), config.units);
+
+    let rows = super::scenario::paper_schemes(config.r)
+        .into_iter()
+        .map(|scheme_config| {
+            let mut rng = derive_rng(config.seed, 0xE2612E);
+            let scheme = scheme_config.build(config.units, config.workers, &mut rng);
+            let mut backend =
+                VirtualCluster::new(ClusterProfile::ec2_like(config.workers), config.seed);
+            // Fixed broadcast weights: pure engine throughput, no optimizer
+            // in the loop.
+            let mut driver = FixedPointDriver::new(vec![0.0; config.dim]);
+            let start = Instant::now();
+            backend
+                .run_rounds(
+                    config.rounds,
+                    scheme.as_ref(),
+                    &units,
+                    &data.dataset,
+                    &LogisticLoss,
+                    &mut driver,
+                )
+                .expect("benchmark rounds complete");
+            let wall = start.elapsed().as_secs_f64();
+            let mut metrics = RunMetrics::new();
+            for outcome in &driver.outcomes {
+                metrics.absorb(&outcome.metrics);
+            }
+            EngineBenchRow {
+                scheme: scheme.name().to_string(),
+                rounds: config.rounds,
+                wall_seconds_per_round: wall / config.rounds as f64,
+                simulated_seconds_per_round: metrics.avg_round_time(),
+                avg_messages_used: metrics.avg_recovery_threshold(),
+                avg_communication_units: metrics.avg_communication_load(),
+            }
+        })
+        .collect();
+
+    EngineBenchResult {
+        schema: "bcc/bench_round_engine/v1".into(),
+        backend: "virtual-des".into(),
+        config: config.clone(),
+        rows,
+    }
+}
+
+/// Renders the result as a console table.
+#[must_use]
+pub fn render(result: &EngineBenchResult) -> Table {
+    let mut table = Table::new(
+        format!(
+            "round engine, {} workers × {} rounds ({})",
+            result.config.workers, result.config.rounds, result.backend
+        ),
+        &[
+            "scheme",
+            "wall µs/round",
+            "sim s/round",
+            "K (msgs)",
+            "L (units)",
+        ],
+    );
+    for row in &result.rows {
+        table.push_row(vec![
+            row.scheme.clone(),
+            f1(row.wall_seconds_per_round * 1e6),
+            f3(row.simulated_seconds_per_round),
+            f1(row.avg_messages_used),
+            f1(row.avg_communication_units),
+        ]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_bench_produces_sane_rows() {
+        let cfg = EngineBenchConfig {
+            workers: 10,
+            units: 10,
+            points_per_unit: 3,
+            dim: 4,
+            r: 2,
+            rounds: 3,
+            seed: 5,
+        };
+        let result = run(&cfg);
+        assert_eq!(result.rows.len(), 3, "uncoded, CR, BCC");
+        for row in &result.rows {
+            assert_eq!(row.rounds, 3);
+            assert!(row.wall_seconds_per_round > 0.0);
+            assert!(row.simulated_seconds_per_round > 0.0);
+            assert!(row.avg_messages_used >= 1.0);
+            assert!(row.avg_communication_units >= row.avg_messages_used);
+        }
+        let uncoded = &result.rows[0];
+        let bcc = &result.rows[2];
+        assert!(
+            bcc.avg_messages_used < uncoded.avg_messages_used,
+            "BCC must not wait for all workers"
+        );
+        assert_eq!(render(&result).len(), 3);
+    }
+
+    #[test]
+    fn result_serializes_with_schema_tag() {
+        let result = run(&EngineBenchConfig {
+            workers: 6,
+            units: 6,
+            points_per_unit: 2,
+            dim: 3,
+            r: 2,
+            rounds: 2,
+            seed: 9,
+        });
+        let json = serde_json::to_string(&result).unwrap();
+        assert!(json.contains("bcc/bench_round_engine/v1"));
+        let back: EngineBenchResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}

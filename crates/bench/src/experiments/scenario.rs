@@ -4,9 +4,9 @@
 //! Scenario one: `n = 50` workers, `m = 50` data batches of 100 points;
 //! scenario two: `n = 100`, `m = 100` batches of 100 points. CR and BCC run
 //! at computational load `r = 10`. The paper's EC2 cluster is replaced by
-//! the DES virtual cluster with the `ec2_like` latency profile (see
-//! DESIGN.md); times are simulated seconds, so *ratios and ordering* are
-//! the reproduction target, not absolute values.
+//! the DES virtual cluster with the `ec2_like` latency profile (see the
+//! README's engine/adapter notes); times are simulated seconds, so *ratios
+//! and ordering* are the reproduction target, not absolute values.
 
 use crate::report::{f1, f3, Table};
 use bcc_cluster::{ClusterProfile, UnitMap, VirtualCluster};

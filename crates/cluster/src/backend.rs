@@ -17,13 +17,64 @@ pub struct RoundOutcome {
     pub metrics: RoundMetrics,
 }
 
-/// A cluster backend: executes one gradient round under a coding scheme.
+/// Supplies per-round evaluation points to [`ClusterBackend::run_rounds`]
+/// and consumes each round's outcome.
+///
+/// Training loops are inherently sequential — round `t + 1`'s broadcast
+/// weights depend on round `t`'s decoded gradient — so batching across
+/// rounds has to invert control: the backend keeps its expensive per-run
+/// state (worker threads, DES schedules) alive and calls back into the
+/// driver between rounds.
+pub trait RoundDriver {
+    /// The model broadcast for `round` (0-based within this run).
+    fn eval_point(&mut self, round: usize) -> Vec<f64>;
+
+    /// Consumes the finished round's outcome (update the optimizer, record
+    /// metrics, …).
+    fn consume(&mut self, round: usize, outcome: RoundOutcome);
+}
+
+/// The trivial [`RoundDriver`]: broadcasts the same weights every round and
+/// collects the outcomes. The fixture for measurements and tests that want
+/// raw rounds without an optimizer in the loop.
+#[derive(Debug, Clone, Default)]
+pub struct FixedPointDriver {
+    /// Weights broadcast each round.
+    pub weights: Vec<f64>,
+    /// Outcomes in round order.
+    pub outcomes: Vec<RoundOutcome>,
+}
+
+impl FixedPointDriver {
+    /// Driver broadcasting `weights` every round.
+    #[must_use]
+    pub fn new(weights: Vec<f64>) -> Self {
+        Self {
+            weights,
+            outcomes: Vec::new(),
+        }
+    }
+}
+
+impl RoundDriver for FixedPointDriver {
+    fn eval_point(&mut self, _round: usize) -> Vec<f64> {
+        self.weights.clone()
+    }
+
+    fn consume(&mut self, _round: usize, outcome: RoundOutcome) {
+        self.outcomes.push(outcome);
+    }
+}
+
+/// A cluster backend: executes gradient rounds under a coding scheme.
 ///
 /// The scheme codes over [`UnitMap`] units; `data` holds the raw examples.
 /// Implementations must (a) compute each worker's unit partial gradients,
 /// (b) encode them with the scheme, (c) deliver messages to the master under
 /// the backend's timing model, and (d) stop as soon as the scheme's decoder
-/// reports completion.
+/// reports completion. All backends share the protocol logic in
+/// [`crate::engine::RoundEngine`] and differ only in how arrivals are
+/// produced.
 pub trait ClusterBackend {
     /// Runs one round, returning the decoded gradient sum and metrics.
     ///
@@ -38,6 +89,47 @@ pub trait ClusterBackend {
         loss: &dyn Loss,
         weights: &[f64],
     ) -> Result<RoundOutcome, ClusterError>;
+
+    /// Runs `rounds` consecutive rounds, amortizing per-round setup (worker
+    /// thread spawning, schedule construction) across the whole run where
+    /// the backend supports it.
+    ///
+    /// The default implementation simply loops over [`run_round`]; backends
+    /// override it to keep expensive state alive between rounds. Batching
+    /// is a throughput optimization, never a protocol change: rounds use
+    /// the same per-round latency streams and the same engine as
+    /// `rounds` sequential [`run_round`] calls, and a mid-batch failure
+    /// leaves the round counter exactly where the sequential calls would
+    /// have. On deterministic backends the outcomes are bit-identical
+    /// (pinned by tests). On the threaded backend arrival order is subject
+    /// to OS scheduling jitter either way; additionally, a pooled worker
+    /// that is mid-computation when the master finishes its round starts
+    /// the next round late by the leftover compute time (sequential
+    /// `run_round` calls joined every thread between rounds) — workers
+    /// sleep their emulated delay *before* computing precisely to keep that
+    /// window to the cancellation slice in the common case.
+    ///
+    /// [`run_round`]: ClusterBackend::run_round
+    ///
+    /// # Errors
+    /// Propagates the first round failure; earlier rounds' outcomes have
+    /// already been handed to `driver`.
+    fn run_rounds(
+        &mut self,
+        rounds: usize,
+        scheme: &dyn GradientCodingScheme,
+        units: &UnitMap,
+        data: &Dataset,
+        loss: &dyn Loss,
+        driver: &mut dyn RoundDriver,
+    ) -> Result<(), ClusterError> {
+        for round in 0..rounds {
+            let weights = driver.eval_point(round);
+            let outcome = self.run_round(scheme, units, data, loss, &weights)?;
+            driver.consume(round, outcome);
+        }
+        Ok(())
+    }
 
     /// Human-readable backend name for reports.
     fn backend_name(&self) -> &'static str;

@@ -1,0 +1,392 @@
+//! The backend-agnostic round-protocol engine.
+//!
+//! The paper's protocol (§II eq. (9)–(10), §III-C) is one object: workers
+//! encode partial gradients, the master feeds arrivals to the scheme's
+//! decoder and stops the moment the completion condition holds. What differs
+//! between runtimes is only *how messages arrive* — over crossbeam channels
+//! in wall-clock time ([`crate::ThreadedCluster`]) or as discrete events in
+//! virtual time ([`crate::VirtualCluster`]).
+//!
+//! [`RoundEngine`] owns everything backend-independent about one round:
+//! which workers participate, payload-to-decoder feeding, completion
+//! detection, stall handling, and [`RoundMetrics`] accumulation. Backends
+//! implement [`ArrivalSource`] — a pull-based stream of delivered messages —
+//! and collapse to thin arrival adapters. Because both backends run the
+//! *same* engine over the *same* per-worker latency streams, a seed/scheme/
+//! profile triple yields byte-identical decoded gradients and identical
+//! `messages_used` on either backend (pinned by the cross-backend
+//! equivalence test in `tests/backend_equivalence.rs`).
+
+use crate::error::ClusterError;
+use crate::latency::ClusterProfile;
+use crate::metrics::RoundMetrics;
+use crate::units::UnitMap;
+use bcc_coding::{Decoder, GradientCodingScheme, Payload};
+use bcc_data::Dataset;
+use bcc_optim::Loss;
+use bcc_stats::rng::derive_rng;
+use std::collections::HashSet;
+
+/// One worker message delivered to the master.
+#[derive(Debug, Clone)]
+pub struct Arrival {
+    /// Sending worker id.
+    pub worker: usize,
+    /// The coded payload.
+    pub payload: Payload,
+    /// Worker-reported compute duration in simulated seconds.
+    pub compute_seconds: f64,
+    /// Backend clock (simulated seconds since round start) when the
+    /// transfer finished at the master's port.
+    pub at: f64,
+}
+
+/// What an [`ArrivalSource`] reports next.
+#[derive(Debug)]
+pub enum ArrivalEvent {
+    /// A message finished transferring to the master.
+    Delivered(Arrival),
+    /// No further messages will ever arrive (all live workers reported, a
+    /// receive timeout fired, …). The engine turns this into
+    /// [`ClusterError::Stalled`] with its received-message count.
+    Exhausted {
+        /// Human-readable cause for the stall report.
+        reason: String,
+    },
+}
+
+/// A backend's arrival stream for one round.
+///
+/// Implementations own the transport (channel receive + wire decode, or DES
+/// event pump + port serialization) and nothing else: no decoder state, no
+/// completion logic, no metrics.
+pub trait ArrivalSource {
+    /// Blocks (in the backend's notion of time) until the next delivery.
+    ///
+    /// # Errors
+    /// Transport-level failures (wire decode errors, encode failures).
+    fn next_arrival(&mut self) -> Result<ArrivalEvent, ClusterError>;
+}
+
+/// Live workers that hold data under `scheme`, in worker-id order — the
+/// participant set both backends must agree on.
+#[must_use]
+pub fn participants(
+    scheme: &dyn GradientCodingScheme,
+    dead_workers: &HashSet<usize>,
+) -> Vec<usize> {
+    (0..scheme.num_workers())
+        .filter(|w| !dead_workers.contains(w) && scheme.placement().load_of(*w) > 0)
+        .collect()
+}
+
+/// Samples worker `worker`'s compute time for GD round `round` — the one
+/// latency stream both backends share, keyed on `(seed, round, worker)` so
+/// runs replay identically regardless of backend or thread scheduling.
+#[must_use]
+pub fn sample_compute_seconds(
+    profile: &ClusterProfile,
+    seed: u64,
+    round: u64,
+    worker: usize,
+    load: usize,
+) -> f64 {
+    sample_compute_seconds_with(&profile.workers[worker], seed, round, worker, load)
+}
+
+/// [`sample_compute_seconds`] for a single worker's profile (used by worker
+/// threads that only carry their own profile).
+#[must_use]
+pub fn sample_compute_seconds_with(
+    worker_profile: &crate::latency::WorkerProfile,
+    seed: u64,
+    round: u64,
+    worker: usize,
+    load: usize,
+) -> f64 {
+    let mut rng = derive_rng(seed, round.wrapping_mul(1_000_003) + worker as u64);
+    worker_profile.sample_compute_time(load, &mut rng)
+}
+
+/// The immutable problem a run of rounds executes against: the coding
+/// scheme plus the data it codes over. Backends thread one of these through
+/// a whole `run_rounds` call instead of four separate references.
+#[derive(Clone, Copy)]
+pub struct RoundContext<'a> {
+    /// The gradient-coding scheme in force.
+    pub scheme: &'a dyn GradientCodingScheme,
+    /// Unit grouping the scheme codes over.
+    pub units: &'a UnitMap,
+    /// The training examples.
+    pub data: &'a Dataset,
+    /// Per-example loss.
+    pub loss: &'a dyn Loss,
+}
+
+impl RoundContext<'_> {
+    /// Computes worker `worker`'s unit partial gradients at `weights` and
+    /// encodes them with the scheme — the shared worker-side compute path.
+    ///
+    /// # Errors
+    /// Encoding failures ([`bcc_coding::CodingError`]) for malformed
+    /// configs.
+    pub fn compute_and_encode(
+        &self,
+        worker: usize,
+        weights: &[f64],
+    ) -> Result<Payload, ClusterError> {
+        let worker_units = self.scheme.placement().worker_examples(worker);
+        let partials = self
+            .units
+            .worker_partials_dyn(self.data, self.loss, worker_units, weights);
+        self.scheme
+            .encode(worker, &partials)
+            .map_err(ClusterError::from)
+    }
+
+    /// Validates that scheme, unit map, and profile describe the same
+    /// problem.
+    ///
+    /// # Panics
+    /// On worker-count or unit-count mismatches — construction bugs, not
+    /// data conditions. Both legacy backends asserted the worker count; the
+    /// unit count was asserted only by the virtual backend (the threaded
+    /// one surfaced it later as an encode-failure stall). Checking both up
+    /// front on every backend is part of the engine's equal-semantics
+    /// contract.
+    pub fn validate(&self, profile: &ClusterProfile) {
+        assert_eq!(
+            self.scheme.num_workers(),
+            profile.num_workers(),
+            "scheme has {} workers but profile has {}",
+            self.scheme.num_workers(),
+            profile.num_workers()
+        );
+        assert_eq!(
+            self.scheme.num_examples(),
+            self.units.num_units(),
+            "scheme units and unit map disagree"
+        );
+    }
+
+    /// [`participants`] for this context's scheme.
+    #[must_use]
+    pub fn participants(&self, dead_workers: &HashSet<usize>) -> Vec<usize> {
+        participants(self.scheme, dead_workers)
+    }
+}
+
+/// Per-round protocol state shared by every backend.
+pub struct RoundEngine<'a> {
+    decoder: Box<dyn Decoder + 'a>,
+    live_participants: usize,
+    max_compute_used: f64,
+    complete: bool,
+}
+
+impl<'a> RoundEngine<'a> {
+    /// Fresh engine for one round of `scheme` with `live_participants`
+    /// workers able to send.
+    #[must_use]
+    pub fn new(scheme: &'a dyn GradientCodingScheme, live_participants: usize) -> Self {
+        Self {
+            decoder: scheme.decoder(),
+            live_participants,
+            max_compute_used: 0.0,
+            complete: false,
+        }
+    }
+
+    /// Feeds one delivered message to the decoder. Returns `true` when the
+    /// completion condition now holds.
+    ///
+    /// # Errors
+    /// Decoder rejections (unknown/duplicate worker, malformed payload).
+    pub fn feed(&mut self, arrival: Arrival) -> Result<bool, ClusterError> {
+        let done = self.decoder.receive(arrival.worker, arrival.payload)?;
+        self.max_compute_used = self.max_compute_used.max(arrival.compute_seconds);
+        if done {
+            self.complete = true;
+        }
+        Ok(done)
+    }
+
+    /// True once the decoder reported completion.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.complete
+    }
+
+    /// Messages consumed so far (the empirical `|W|`).
+    #[must_use]
+    pub fn messages_received(&self) -> usize {
+        self.decoder.messages_received()
+    }
+
+    /// Builds the stall error for this round, carrying the received count.
+    #[must_use]
+    pub fn stalled(&self, reason: impl Into<String>) -> ClusterError {
+        ClusterError::Stalled {
+            received: self.decoder.messages_received(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Drives the protocol: pulls arrivals from `source` and feeds the
+    /// decoder until completion or exhaustion. Returns the clock reading of
+    /// the completing arrival.
+    ///
+    /// # Errors
+    /// [`ClusterError::Stalled`] when the source exhausts (or no live worker
+    /// holds data) before the completion condition holds, plus any
+    /// transport/decoder failure.
+    pub fn run(&mut self, source: &mut dyn ArrivalSource) -> Result<f64, ClusterError> {
+        if self.live_participants == 0 {
+            return Err(self.stalled("no live workers hold any data"));
+        }
+        loop {
+            match source.next_arrival()? {
+                ArrivalEvent::Delivered(arrival) => {
+                    let at = arrival.at;
+                    if self.feed(arrival)? {
+                        return Ok(at);
+                    }
+                }
+                ArrivalEvent::Exhausted { reason } => return Err(self.stalled(reason)),
+            }
+        }
+    }
+
+    /// Decodes the gradient sum and closes out the round's metrics.
+    /// `total_time` is the backend's clock reading for the whole round
+    /// (virtual: the completing delivery's timestamp; threaded: scaled wall
+    /// clock at completion).
+    ///
+    /// # Errors
+    /// [`bcc_coding::CodingError::NotComplete`] before completion, or
+    /// decoder solve failures.
+    pub fn finish(self, total_time: f64) -> Result<(Vec<f64>, RoundMetrics), ClusterError> {
+        let gradient_sum = self.decoder.decode().map_err(ClusterError::from)?;
+        let metrics = RoundMetrics {
+            messages_used: self.decoder.messages_received(),
+            communication_units: self.decoder.communication_units(),
+            compute_time: self.max_compute_used,
+            comm_time: (total_time - self.max_compute_used).max(0.0),
+            total_time,
+        };
+        Ok((gradient_sum, metrics))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::latency::{ClusterProfile, CommModel};
+    use bcc_coding::scheme::test_support::{random_gradients, total_sum, worker_partials};
+    use bcc_coding::UncodedScheme;
+
+    /// Arrival source replaying a fixed schedule.
+    struct Replay {
+        arrivals: std::vec::IntoIter<Arrival>,
+        end_reason: String,
+    }
+
+    impl ArrivalSource for Replay {
+        fn next_arrival(&mut self) -> Result<ArrivalEvent, ClusterError> {
+            Ok(match self.arrivals.next() {
+                Some(a) => ArrivalEvent::Delivered(a),
+                None => ArrivalEvent::Exhausted {
+                    reason: self.end_reason.clone(),
+                },
+            })
+        }
+    }
+
+    fn uncoded_arrivals(n: usize, take: usize) -> (UncodedScheme, Vec<Vec<f64>>, Vec<Arrival>) {
+        let scheme = UncodedScheme::new(n, n);
+        let grads = random_gradients(n, 3, 7);
+        let arrivals = (0..take)
+            .map(|w| Arrival {
+                worker: w,
+                payload: scheme
+                    .encode(w, &worker_partials(scheme.placement(), w, &grads))
+                    .unwrap(),
+                compute_seconds: 0.1 * (w + 1) as f64,
+                at: 0.2 * (w + 1) as f64,
+            })
+            .collect();
+        (scheme, grads, arrivals)
+    }
+
+    #[test]
+    fn runs_to_completion_and_decodes_exactly() {
+        let (scheme, grads, arrivals) = uncoded_arrivals(4, 4);
+        let mut engine = RoundEngine::new(&scheme, 4);
+        let mut source = Replay {
+            arrivals: arrivals.into_iter(),
+            end_reason: "unreachable".into(),
+        };
+        let end = engine.run(&mut source).unwrap();
+        assert!((end - 0.8).abs() < 1e-12, "completing arrival's clock");
+        let (sum, metrics) = engine.finish(end).unwrap();
+        assert_eq!(sum, total_sum(&grads));
+        assert_eq!(metrics.messages_used, 4);
+        assert!((metrics.compute_time - 0.4).abs() < 1e-12);
+        assert!(metrics.is_consistent());
+    }
+
+    #[test]
+    fn exhaustion_becomes_stall_with_received_count() {
+        let (scheme, _, arrivals) = uncoded_arrivals(4, 2);
+        let mut engine = RoundEngine::new(&scheme, 4);
+        let mut source = Replay {
+            arrivals: arrivals.into_iter(),
+            end_reason: "test exhaustion".into(),
+        };
+        let err = engine.run(&mut source).unwrap_err();
+        assert!(
+            matches!(err, ClusterError::Stalled { received: 2, ref reason } if reason == "test exhaustion"),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn zero_participants_stall_immediately() {
+        let (scheme, _, _) = uncoded_arrivals(4, 0);
+        let mut engine = RoundEngine::new(&scheme, 0);
+        let mut source = Replay {
+            arrivals: Vec::new().into_iter(),
+            end_reason: "unused".into(),
+        };
+        let err = engine.run(&mut source).unwrap_err();
+        assert!(
+            matches!(err, ClusterError::Stalled { received: 0, ref reason }
+                if reason.contains("no live workers")),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn participants_skip_dead_and_unloaded() {
+        let scheme = UncodedScheme::new(6, 6);
+        let dead: HashSet<usize> = [1, 4].into_iter().collect();
+        assert_eq!(participants(&scheme, &dead), vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn latency_stream_is_backend_free_and_replayable() {
+        let profile = ClusterProfile::homogeneous(
+            3,
+            2.0,
+            0.01,
+            CommModel {
+                per_message_overhead: 0.0,
+                per_unit: 0.0,
+            },
+        );
+        let a = sample_compute_seconds(&profile, 9, 4, 1, 5);
+        let b = sample_compute_seconds(&profile, 9, 4, 1, 5);
+        assert_eq!(a, b, "same (seed, round, worker) ⇒ same draw");
+        assert_ne!(a, sample_compute_seconds(&profile, 9, 5, 1, 5));
+    }
+}

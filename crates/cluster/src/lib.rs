@@ -2,7 +2,11 @@
 //!
 //! The paper's experiments ran on Amazon EC2 (MPI over t2.micro instances).
 //! This crate substitutes two interchangeable backends behind one trait
-//! (see DESIGN.md for why the substitution preserves the paper's effects):
+//! (see the workspace README's architecture map for why the substitution
+//! preserves the paper's effects). Both backends delegate every piece of
+//! protocol logic — participant selection, decoder feeding, completion
+//! detection, stall handling, metrics — to the shared [`engine::RoundEngine`]
+//! and implement only an [`engine::ArrivalSource`]:
 //!
 //! * [`ThreadedCluster`] — a *real* concurrent runtime: one OS thread per
 //!   worker, crossbeam channels as the network, a byte-level wire codec
@@ -24,6 +28,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod engine;
 pub mod error;
 pub mod latency;
 pub mod message;
@@ -33,7 +38,8 @@ pub mod units;
 pub mod virtual_cluster;
 pub mod wire;
 
-pub use backend::{ClusterBackend, RoundOutcome};
+pub use backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
+pub use engine::{Arrival, ArrivalEvent, ArrivalSource, RoundEngine};
 pub use error::ClusterError;
 pub use latency::{ClusterProfile, CommModel, WorkerProfile};
 pub use message::Envelope;

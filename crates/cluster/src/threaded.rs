@@ -10,20 +10,28 @@
 //! and sleeping that long (compressed by `time_scale`), so the *relative*
 //! timing behaviour — order statistics of arrivals, serialized receipt —
 //! matches the EC2 experiments at a laptop-friendly wall clock.
+//!
+//! All protocol logic lives in the shared [`RoundEngine`]; this file only
+//! produces arrivals: worker threads push wire-encoded envelopes into a
+//! channel, and [`ThreadedArrivals`] decodes them, models the serialized
+//! receive port, and hands them to the engine. [`ClusterBackend::run_rounds`]
+//! is overridden to keep the worker threads alive across a whole training
+//! run, broadcasting fresh weights each round instead of re-spawning
+//! `n` threads per iteration.
 
-use crate::backend::{ClusterBackend, RoundOutcome};
+use crate::backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
+use crate::engine::{self, Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
-use crate::latency::ClusterProfile;
-use crate::metrics::RoundMetrics;
+use crate::latency::{ClusterProfile, CommModel};
 use crate::units::UnitMap;
 use crate::wire;
 use bcc_coding::GradientCodingScheme;
 use bcc_data::Dataset;
 use bcc_optim::Loss;
-use bcc_stats::rng::derive_rng;
-use crossbeam_channel::{unbounded, RecvTimeoutError};
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashSet;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Granularity of cancellable sleeps.
@@ -86,17 +94,224 @@ impl ThreadedCluster {
     pub fn profile(&self) -> &ClusterProfile {
         &self.profile
     }
+
+    /// Drives `rounds` rounds against a pool of persistent worker threads.
+    ///
+    /// `first_round` is the global round id of the first iteration (used for
+    /// the per-round latency streams and stale-message filtering).
+    /// `attempted` counts rounds started (including a failing one) so the
+    /// caller can advance its round counter exactly as `attempted`
+    /// sequential `run_round` calls would have.
+    fn run_with_worker_pool(
+        &self,
+        first_round: u64,
+        rounds: usize,
+        ctx: RoundContext<'_>,
+        driver: &mut dyn RoundDriver,
+        attempted: &mut u64,
+    ) -> Result<(), ClusterError> {
+        let participants = ctx.participants(&self.dead_workers);
+        let (result_tx, result_rx) = unbounded::<PoolMessage>();
+        // Workers watch this to abandon rounds the master already finished
+        // (or, on `u64::MAX`, to shut down without sending).
+        let finished_before = AtomicU64::new(first_round);
+
+        let outcome: Result<Result<(), ClusterError>, _> = crossbeam::scope(|scope| {
+            let mut weight_txs: Vec<Sender<(u64, Arc<Vec<f64>>)>> = Vec::new();
+            for &worker in &participants {
+                let (weight_tx, weight_rx) = unbounded::<(u64, Arc<Vec<f64>>)>();
+                weight_txs.push(weight_tx);
+                let result_tx = result_tx.clone();
+                let worker_profile = self.profile.workers[worker];
+                let load = ctx.scheme.placement().load_of(worker);
+                let (seed, time_scale) = (self.seed, self.time_scale);
+                let finished_before = &finished_before;
+                scope.spawn(move |_| {
+                    // One thread serves the same worker for every round of
+                    // the run: thread spawn cost is paid once, not per
+                    // iteration. Unless the master cancels the round first,
+                    // every round produces exactly one message (Envelope or
+                    // Skipped), which is what lets the master detect
+                    // "all live workers reported without completing"
+                    // promptly instead of burning the receive timeout.
+                    while let Ok((round, weights)) = weight_rx.recv() {
+                        let delay = engine::sample_compute_seconds_with(
+                            &worker_profile,
+                            seed,
+                            round,
+                            worker,
+                            load,
+                        );
+                        // Emulated straggling first: the sampled delay models
+                        // the worker's compute duration, and sleeping before
+                        // the real work keeps cancellation responsive — a
+                        // straggler whose round the master already finished
+                        // wakes within a sleep slice and never starts
+                        // computing, so its next round is not delayed.
+                        cancellable_sleep(Duration::from_secs_f64(delay * time_scale), || {
+                            finished_before.load(Ordering::Relaxed) > round
+                        });
+                        if finished_before.load(Ordering::Relaxed) > round {
+                            continue; // master completed this round already
+                        }
+                        // Real computation: the worker's unit partial
+                        // gradients, encoded with the scheme.
+                        let message = match ctx.compute_and_encode(worker, &weights) {
+                            Ok(payload) => {
+                                PoolMessage::Envelope(wire::encode(&crate::message::Envelope {
+                                    iteration: round,
+                                    worker,
+                                    compute_seconds: delay,
+                                    payload,
+                                }))
+                            }
+                            // Malformed config: report the round as skipped so
+                            // the master can stall promptly and accurately.
+                            Err(_) => PoolMessage::Skipped { round },
+                        };
+                        if finished_before.load(Ordering::Relaxed) > round {
+                            continue; // round completed while we computed
+                        }
+                        // Receiver may already have hung up — that's fine.
+                        let _ = result_tx.send(message);
+                    }
+                });
+            }
+            drop(result_tx);
+
+            // --- Master: one engine per round over the shared pool -------
+            for index in 0..rounds {
+                let round = first_round + index as u64;
+                *attempted = index as u64 + 1;
+                let weights = Arc::new(driver.eval_point(index));
+                for weight_tx in &weight_txs {
+                    let _ = weight_tx.send((round, Arc::clone(&weights)));
+                }
+                let mut source = ThreadedArrivals {
+                    rx: &result_rx,
+                    round,
+                    comm: self.profile.comm,
+                    time_scale: self.time_scale,
+                    recv_timeout: self.recv_timeout,
+                    start: Instant::now(),
+                    participants: participants.len(),
+                    reports: 0,
+                };
+                let mut engine = RoundEngine::new(ctx.scheme, participants.len());
+                let result = engine.run(&mut source);
+                // Wake sleeping stragglers of this round promptly.
+                finished_before.store(round + 1, Ordering::Relaxed);
+                if let Err(e) = result {
+                    finished_before.store(u64::MAX, Ordering::Relaxed);
+                    return Err(e);
+                }
+                let total_time = source.start.elapsed().as_secs_f64() / self.time_scale;
+                let (gradient_sum, metrics) = engine.finish(total_time)?;
+                driver.consume(
+                    index,
+                    RoundOutcome {
+                        gradient_sum,
+                        metrics,
+                    },
+                );
+            }
+            drop(weight_txs); // workers drain and exit
+            Ok(())
+        });
+
+        outcome.map_err(|_| ClusterError::WorkerFailed { worker: usize::MAX })?
+    }
 }
 
-/// Sleeps `duration`, waking early when `cancel` flips — lets straggler
-/// threads exit as soon as the master completed the round.
-fn cancellable_sleep(duration: Duration, cancel: &AtomicBool) {
+/// Sleeps `duration`, waking early when `cancelled` reports true — lets
+/// straggler threads abandon a round as soon as the master completed it.
+fn cancellable_sleep(duration: Duration, cancelled: impl Fn() -> bool) {
     let deadline = Instant::now() + duration;
     while Instant::now() < deadline {
-        if cancel.load(Ordering::Relaxed) {
+        if cancelled() {
             return;
         }
         std::thread::sleep(SLEEP_SLICE.min(deadline.saturating_duration_since(Instant::now())));
+    }
+}
+
+/// One message from a pool worker to the master.
+enum PoolMessage {
+    /// A wire-encoded [`crate::message::Envelope`] (the data path stays
+    /// byte-level).
+    Envelope(bytes::Bytes),
+    /// Control-plane marker: the worker produced no payload for `round`
+    /// (encode failure). Lets the master distinguish "everyone reported,
+    /// scheme cannot complete" from "still waiting on stragglers".
+    Skipped { round: u64 },
+}
+
+/// Arrival adapter: receives wire-encoded envelopes from the worker pool,
+/// filters stale rounds, and models the master's serialized receive port by
+/// occupying the thread for the scaled transfer duration. Counts per-round
+/// reports so a round that cannot complete stalls as soon as the last live
+/// participant has spoken, not after the receive timeout.
+struct ThreadedArrivals<'a> {
+    rx: &'a Receiver<PoolMessage>,
+    round: u64,
+    comm: CommModel,
+    time_scale: f64,
+    recv_timeout: Duration,
+    start: Instant,
+    /// Live participants this round (upper bound on reports).
+    participants: usize,
+    /// Messages (delivered or skipped) seen for this round so far.
+    reports: usize,
+}
+
+impl ArrivalSource for ThreadedArrivals<'_> {
+    fn next_arrival(&mut self) -> Result<ArrivalEvent, ClusterError> {
+        loop {
+            if self.reports >= self.participants {
+                return Ok(ArrivalEvent::Exhausted {
+                    reason: "all live workers reported without completing the scheme".into(),
+                });
+            }
+            match self.rx.recv_timeout(self.recv_timeout) {
+                Ok(PoolMessage::Envelope(bytes)) => {
+                    let envelope = wire::decode(bytes)?;
+                    if envelope.iteration != self.round {
+                        continue; // stale straggler from a previous round
+                    }
+                    self.reports += 1;
+                    // Serialized receive port: the transfer occupies the
+                    // master for the scaled transfer duration.
+                    let transfer = self.comm.transfer_time(envelope.payload.units());
+                    std::thread::sleep(Duration::from_secs_f64(transfer * self.time_scale));
+                    return Ok(ArrivalEvent::Delivered(Arrival {
+                        worker: envelope.worker,
+                        payload: envelope.payload,
+                        compute_seconds: envelope.compute_seconds,
+                        at: self.start.elapsed().as_secs_f64() / self.time_scale,
+                    }));
+                }
+                Ok(PoolMessage::Skipped { round }) => {
+                    if round == self.round {
+                        self.reports += 1;
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    // Backstop only: pool threads outlive every round, so
+                    // this fires just if the scope is tearing down.
+                    return Ok(ArrivalEvent::Exhausted {
+                        reason: "all live workers reported without completing the scheme".into(),
+                    });
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    return Ok(ArrivalEvent::Exhausted {
+                        reason: format!(
+                            "no message within {:?} (dead workers?)",
+                            self.recv_timeout
+                        ),
+                    });
+                }
+            }
+        }
     }
 }
 
@@ -109,124 +324,49 @@ impl ClusterBackend for ThreadedCluster {
         loss: &dyn Loss,
         weights: &[f64],
     ) -> Result<RoundOutcome, ClusterError> {
-        let n = scheme.num_workers();
-        assert_eq!(
-            n,
-            self.profile.num_workers(),
-            "scheme has {n} workers but profile has {}",
-            self.profile.num_workers()
-        );
+        let ctx = RoundContext {
+            scheme,
+            units,
+            data,
+            loss,
+        };
+        ctx.validate(&self.profile);
         let round = self.round;
         self.round += 1;
-        let time_scale = self.time_scale;
-        let seed = self.seed;
-        let iteration = round;
+        let mut single = FixedPointDriver::new(weights.to_vec());
+        self.run_with_worker_pool(round, 1, ctx, &mut single, &mut 0)?;
+        Ok(single
+            .outcomes
+            .pop()
+            .expect("run_with_worker_pool consumed one round"))
+    }
 
-        let (tx, rx) = unbounded::<bytes::Bytes>();
-        let cancel = AtomicBool::new(false);
-        let start = Instant::now();
-
-        let result: Result<(Vec<f64>, RoundMetrics), ClusterError> = crossbeam::scope(|scope| {
-            // --- Workers -------------------------------------------------
-            for worker in 0..n {
-                if self.dead_workers.contains(&worker) {
-                    continue;
-                }
-                let load = scheme.placement().load_of(worker);
-                if load == 0 {
-                    continue;
-                }
-                let tx = tx.clone();
-                let cancel = &cancel;
-                let profile = self.profile.workers[worker];
-                scope.spawn(move |_| {
-                    let mut rng = derive_rng(seed, round.wrapping_mul(1_000_003) + worker as u64);
-                    let delay = profile.sample_compute_time(load, &mut rng);
-
-                    // Real computation: the worker's unit partial gradients.
-                    let worker_units = scheme.placement().worker_examples(worker);
-                    let partials = units.worker_partials_dyn(data, loss, worker_units, weights);
-                    let Ok(payload) = scheme.encode(worker, &partials) else {
-                        return; // malformed config; master will stall & report
-                    };
-
-                    // Emulated straggling on top of the real compute.
-                    cancellable_sleep(Duration::from_secs_f64(delay * time_scale), cancel);
-                    if cancel.load(Ordering::Relaxed) {
-                        return;
-                    }
-                    let envelope = crate::message::Envelope {
-                        iteration,
-                        worker,
-                        compute_seconds: delay,
-                        payload,
-                    };
-                    // Receiver may already have hung up — that's fine.
-                    let _ = tx.send(wire::encode(&envelope));
-                });
-            }
-            drop(tx);
-
-            // --- Master --------------------------------------------------
-            let mut decoder = scheme.decoder();
-            let mut max_compute_used = 0.0f64;
-            let outcome = loop {
-                match rx.recv_timeout(self.recv_timeout) {
-                    Ok(bytes) => {
-                        // Serialized receive port: transfer occupies the
-                        // master for the scaled transfer duration.
-                        let envelope = wire::decode(bytes)?;
-                        if envelope.iteration != iteration {
-                            continue; // stale message from a previous round
-                        }
-                        let transfer = self.profile.comm.transfer_time(envelope.payload.units());
-                        std::thread::sleep(Duration::from_secs_f64(transfer * time_scale));
-                        let done = decoder.receive(envelope.worker, envelope.payload)?;
-                        max_compute_used = max_compute_used.max(envelope.compute_seconds);
-                        if done {
-                            break Ok(());
-                        }
-                    }
-                    Err(RecvTimeoutError::Disconnected) => {
-                        break Err(ClusterError::Stalled {
-                            received: decoder.messages_received(),
-                            reason: "all live workers reported without completing the scheme"
-                                .into(),
-                        });
-                    }
-                    Err(RecvTimeoutError::Timeout) => {
-                        break Err(ClusterError::Stalled {
-                            received: decoder.messages_received(),
-                            reason: format!(
-                                "no message within {:?} (dead workers?)",
-                                self.recv_timeout
-                            ),
-                        });
-                    }
-                }
-            };
-            // Wake any sleeping stragglers so scope join is prompt.
-            cancel.store(true, Ordering::Relaxed);
-            outcome?;
-
-            let total_time = start.elapsed().as_secs_f64() / time_scale;
-            let gradient_sum = decoder.decode().map_err(ClusterError::from)?;
-            let metrics = RoundMetrics {
-                messages_used: decoder.messages_received(),
-                communication_units: decoder.communication_units(),
-                compute_time: max_compute_used,
-                comm_time: (total_time - max_compute_used).max(0.0),
-                total_time,
-            };
-            Ok((gradient_sum, metrics))
-        })
-        .map_err(|_| ClusterError::WorkerFailed { worker: usize::MAX })?;
-
-        let (gradient_sum, metrics) = result?;
-        Ok(RoundOutcome {
-            gradient_sum,
-            metrics,
-        })
+    fn run_rounds(
+        &mut self,
+        rounds: usize,
+        scheme: &dyn GradientCodingScheme,
+        units: &UnitMap,
+        data: &Dataset,
+        loss: &dyn Loss,
+        driver: &mut dyn RoundDriver,
+    ) -> Result<(), ClusterError> {
+        let ctx = RoundContext {
+            scheme,
+            units,
+            data,
+            loss,
+        };
+        ctx.validate(&self.profile);
+        let first_round = self.round;
+        if rounds == 0 {
+            return Ok(());
+        }
+        // Advance the counter by rounds actually attempted, so a mid-batch
+        // failure leaves it exactly where sequential run_round calls would.
+        let mut attempted = 0;
+        let result = self.run_with_worker_pool(first_round, rounds, ctx, driver, &mut attempted);
+        self.round = first_round + attempted;
+        result
     }
 
     fn backend_name(&self) -> &'static str {
@@ -323,6 +463,55 @@ mod tests {
                 .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
                 .unwrap();
             assert_eq!(out.metrics.messages_used, 5);
+        }
+    }
+
+    #[test]
+    fn incompletable_round_stalls_promptly_not_on_timeout() {
+        // All live workers report but the scheme cannot complete (dead
+        // worker under uncoded). The pool must detect "everyone spoke"
+        // immediately rather than burning the receive timeout.
+        let g = generate(&SyntheticConfig::small(20, 3, 13));
+        let units = UnitMap::grouped(20, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let mut cluster = ThreadedCluster::new(fast_profile(5), 15, SCALE)
+            .with_recv_timeout(Duration::from_secs(60));
+        cluster.kill_workers([3]);
+        let start = Instant::now();
+        let err = cluster
+            .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &[0.0; 3])
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                ClusterError::Stalled { received: 4, ref reason }
+                    if reason.contains("all live workers reported")
+            ),
+            "got {err:?}"
+        );
+        assert!(
+            start.elapsed() < Duration::from_secs(10),
+            "stall must not wait out the 60s receive timeout"
+        );
+    }
+
+    #[test]
+    fn batched_run_rounds_reuses_worker_pool() {
+        let g = generate(&SyntheticConfig::small(30, 4, 6));
+        let units = UnitMap::grouped(30, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let mut cluster = ThreadedCluster::new(fast_profile(5), 11, SCALE);
+        let mut expect = full_gradient(&g.dataset, &LogisticLoss, &[0.2; 4]);
+        bcc_linalg::vec_ops::scale(30.0, &mut expect);
+
+        let mut driver = FixedPointDriver::new(vec![0.2; 4]);
+        cluster
+            .run_rounds(5, &scheme, &units, &g.dataset, &LogisticLoss, &mut driver)
+            .unwrap();
+        assert_eq!(driver.outcomes.len(), 5);
+        for outcome in &driver.outcomes {
+            assert!(approx_eq_slice(&outcome.gradient_sum, &expect, 1e-8));
+            assert_eq!(outcome.metrics.messages_used, 5);
         }
     }
 }

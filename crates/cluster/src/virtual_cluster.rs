@@ -1,23 +1,24 @@
-//! DES-backed virtual cluster: the threaded protocol replayed in virtual
-//! time.
+//! DES-backed virtual cluster: the round protocol replayed in virtual time.
 //!
 //! Per round: every participating worker `i` samples a compute time
 //! `Tᵢ ~ shift-exp(aᵢ·rᵢ, μᵢ/rᵢ)` and "finishes" at `Tᵢ`; its message then
 //! queues for the master's single receive port (transfer time
-//! `overhead + units·per_unit`, one transfer at a time). The master feeds
-//! each arrival to the scheme's decoder and stops at completion. Identical
-//! event semantics to [`crate::ThreadedCluster`], minus the wall clock.
+//! `overhead + units·per_unit`, one transfer at a time). All protocol logic
+//! — decoder feeding, completion, stalls, metrics — lives in the shared
+//! [`RoundEngine`]; this file is only the arrival adapter that turns the
+//! `bcc-des` event queue into the engine's pull-based [`ArrivalSource`].
+//! Identical protocol semantics to [`crate::ThreadedCluster`] by
+//! construction, minus the wall clock.
 
-use crate::backend::{ClusterBackend, RoundOutcome};
+use crate::backend::{ClusterBackend, RoundDriver, RoundOutcome};
+use crate::engine::{self, Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
-use crate::latency::ClusterProfile;
-use crate::metrics::RoundMetrics;
+use crate::latency::{ClusterProfile, CommModel};
 use crate::units::UnitMap;
 use bcc_coding::GradientCodingScheme;
 use bcc_data::Dataset;
-use bcc_des::{Simulation, Verdict, VirtualTime};
+use bcc_des::{EventQueue, VirtualTime};
 use bcc_optim::Loss;
-use bcc_stats::rng::derive_rng;
 use std::collections::HashSet;
 
 /// Virtual (discrete-event) cluster backend.
@@ -27,14 +28,6 @@ pub struct VirtualCluster {
     seed: u64,
     round: u64,
     dead_workers: HashSet<usize>,
-}
-
-/// DES events of one round.
-enum Event {
-    /// Worker finished computing; message joins the master port queue.
-    WorkerDone { worker: usize, compute_seconds: f64 },
-    /// Transfer of this worker's message completed at the master.
-    Delivered { worker: usize, compute_seconds: f64 },
 }
 
 impl VirtualCluster {
@@ -65,6 +58,34 @@ impl VirtualCluster {
     pub fn profile(&self) -> &ClusterProfile {
         &self.profile
     }
+
+    /// Runs one round over a fixed participant set (round id preallocated).
+    fn round_with_participants(
+        &self,
+        round: u64,
+        participants: &[usize],
+        ctx: RoundContext<'_>,
+        weights: &[f64],
+    ) -> Result<RoundOutcome, ClusterError> {
+        let mut source = VirtualArrivals::new(
+            self.profile.comm,
+            participants.iter().map(|&worker| {
+                let load = ctx.scheme.placement().load_of(worker);
+                let t =
+                    engine::sample_compute_seconds(&self.profile, self.seed, round, worker, load);
+                (worker, t)
+            }),
+            ctx,
+            weights,
+        );
+        let mut engine = RoundEngine::new(ctx.scheme, participants.len());
+        let end = engine.run(&mut source)?;
+        let (gradient_sum, metrics) = engine.finish(end)?;
+        Ok(RoundOutcome {
+            gradient_sum,
+            metrics,
+        })
+    }
 }
 
 impl ClusterBackend for VirtualCluster {
@@ -76,37 +97,84 @@ impl ClusterBackend for VirtualCluster {
         loss: &dyn Loss,
         weights: &[f64],
     ) -> Result<RoundOutcome, ClusterError> {
-        let n = scheme.num_workers();
-        assert_eq!(
-            n,
-            self.profile.num_workers(),
-            "scheme has {n} workers but profile has {}",
-            self.profile.num_workers()
-        );
-        assert_eq!(
-            scheme.num_examples(),
-            units.num_units(),
-            "scheme units and unit map disagree"
-        );
-
+        let ctx = RoundContext {
+            scheme,
+            units,
+            data,
+            loss,
+        };
+        ctx.validate(&self.profile);
         let round = self.round;
         self.round += 1;
+        let participants = ctx.participants(&self.dead_workers);
+        self.round_with_participants(round, &participants, ctx, weights)
+    }
 
-        // Sample worker finish times and schedule their events.
-        let mut sim: Simulation<Event> = Simulation::new();
-        let mut live = 0usize;
-        for worker in 0..n {
-            if self.dead_workers.contains(&worker) {
-                continue;
-            }
-            let load = scheme.placement().load_of(worker);
-            if load == 0 {
-                continue;
-            }
-            live += 1;
-            let mut rng = derive_rng(self.seed, round.wrapping_mul(1_000_003) + worker as u64);
-            let t = self.profile.workers[worker].sample_compute_time(load, &mut rng);
-            sim.schedule_at(
+    fn run_rounds(
+        &mut self,
+        rounds: usize,
+        scheme: &dyn GradientCodingScheme,
+        units: &UnitMap,
+        data: &Dataset,
+        loss: &dyn Loss,
+        driver: &mut dyn RoundDriver,
+    ) -> Result<(), ClusterError> {
+        // Amortize round setup: validate and build the participant set once
+        // for the whole run instead of once per round.
+        let ctx = RoundContext {
+            scheme,
+            units,
+            data,
+            loss,
+        };
+        ctx.validate(&self.profile);
+        let participants = ctx.participants(&self.dead_workers);
+        for index in 0..rounds {
+            // Advance per attempted round (failing rounds included), exactly
+            // like sequential run_round calls would.
+            let round = self.round;
+            self.round += 1;
+            let weights = driver.eval_point(index);
+            let outcome = self.round_with_participants(round, &participants, ctx, &weights)?;
+            driver.consume(index, outcome);
+        }
+        Ok(())
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "virtual-des"
+    }
+}
+
+/// DES events of one round.
+enum Event {
+    /// Worker finished computing; message joins the master port queue.
+    WorkerDone { worker: usize, compute_seconds: f64 },
+    /// Transfer of this worker's message completed at the master.
+    Delivered { worker: usize, compute_seconds: f64 },
+}
+
+/// Arrival adapter: pumps the `bcc-des` event queue in pull mode, modelling
+/// the master's serialized receive port, and materializes each worker's
+/// payload at delivery time.
+struct VirtualArrivals<'a> {
+    queue: EventQueue<Event>,
+    port_free_at: VirtualTime,
+    comm: CommModel,
+    ctx: RoundContext<'a>,
+    weights: &'a [f64],
+}
+
+impl<'a> VirtualArrivals<'a> {
+    fn new(
+        comm: CommModel,
+        finish_times: impl Iterator<Item = (usize, f64)>,
+        ctx: RoundContext<'a>,
+        weights: &'a [f64],
+    ) -> Self {
+        let mut queue = EventQueue::new();
+        for (worker, t) in finish_times {
+            queue.schedule(
                 VirtualTime::new(t),
                 Event::WorkerDone {
                     worker,
@@ -114,99 +182,55 @@ impl ClusterBackend for VirtualCluster {
                 },
             );
         }
-        if live == 0 {
-            return Err(ClusterError::Stalled {
-                received: 0,
-                reason: "no live workers hold any data".into(),
-            });
+        Self {
+            queue,
+            port_free_at: VirtualTime::ZERO,
+            comm,
+            ctx,
+            weights,
         }
+    }
+}
 
-        // Run the protocol: serialized master port + incremental decoding.
-        let mut decoder = scheme.decoder();
-        let comm = self.profile.comm;
-        let mut port_free_at = VirtualTime::ZERO;
-        let mut max_compute_used = 0.0f64;
-        let mut decode_error: Option<ClusterError> = None;
-        let mut complete = false;
-
-        let end_time = sim.run(|sched, event| match event {
-            Event::WorkerDone {
-                worker,
-                compute_seconds,
-            } => {
-                // Queue on the single receive port.
-                let payload_units = scheme.message_units(worker);
-                let start = port_free_at.max(sched.now());
-                let done = start + comm.transfer_time(payload_units);
-                port_free_at = done;
-                sched.schedule_at(
-                    done,
-                    Event::Delivered {
+impl ArrivalSource for VirtualArrivals<'_> {
+    fn next_arrival(&mut self) -> Result<ArrivalEvent, ClusterError> {
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::WorkerDone {
+                    worker,
+                    compute_seconds,
+                } => {
+                    // Queue on the single receive port: the transfer starts
+                    // when both the message and the port are ready.
+                    let payload_units = self.ctx.scheme.message_units(worker);
+                    let start = self.port_free_at.max(now);
+                    let done = start + self.comm.transfer_time(payload_units);
+                    self.port_free_at = done;
+                    self.queue.schedule(
+                        done,
+                        Event::Delivered {
+                            worker,
+                            compute_seconds,
+                        },
+                    );
+                }
+                Event::Delivered {
+                    worker,
+                    compute_seconds,
+                } => {
+                    let payload = self.ctx.compute_and_encode(worker, self.weights)?;
+                    return Ok(ArrivalEvent::Delivered(Arrival {
                         worker,
+                        payload,
                         compute_seconds,
-                    },
-                );
-                Verdict::Continue
-            }
-            Event::Delivered {
-                worker,
-                compute_seconds,
-            } => {
-                // Compute the worker's actual partial gradients and encode.
-                let worker_units = scheme.placement().worker_examples(worker);
-                let partials = units.worker_partials_dyn(data, loss, worker_units, weights);
-                let payload = match scheme.encode(worker, &partials) {
-                    Ok(p) => p,
-                    Err(e) => {
-                        decode_error = Some(e.into());
-                        return Verdict::Stop;
-                    }
-                };
-                match decoder.receive(worker, payload) {
-                    Ok(done) => {
-                        max_compute_used = max_compute_used.max(compute_seconds);
-                        if done {
-                            complete = true;
-                            Verdict::Stop
-                        } else {
-                            Verdict::Continue
-                        }
-                    }
-                    Err(e) => {
-                        decode_error = Some(e.into());
-                        Verdict::Stop
-                    }
+                        at: now.seconds(),
+                    }));
                 }
             }
-        });
-
-        if let Some(e) = decode_error {
-            return Err(e);
         }
-        if !complete {
-            return Err(ClusterError::Stalled {
-                received: decoder.messages_received(),
-                reason: "all live workers reported without completing the scheme".into(),
-            });
-        }
-
-        let gradient_sum = decoder.decode().map_err(ClusterError::from)?;
-        let total_time = end_time.seconds();
-        let metrics = RoundMetrics {
-            messages_used: decoder.messages_received(),
-            communication_units: decoder.communication_units(),
-            compute_time: max_compute_used,
-            comm_time: (total_time - max_compute_used).max(0.0),
-            total_time,
-        };
-        Ok(RoundOutcome {
-            gradient_sum,
-            metrics,
+        Ok(ArrivalEvent::Exhausted {
+            reason: "all live workers reported without completing the scheme".into(),
         })
-    }
-
-    fn backend_name(&self) -> &'static str {
-        "virtual-des"
     }
 }
 
@@ -368,5 +392,35 @@ mod tests {
             .metrics
             .total_time;
         assert_ne!(t1, t2, "per-round latency streams must differ");
+    }
+
+    #[test]
+    fn run_rounds_matches_sequential_run_round_calls() {
+        let g = generate(&SyntheticConfig::small(30, 4, 8));
+        let units = UnitMap::grouped(30, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let w = vec![0.1; 4];
+
+        let mut sequential = VirtualCluster::new(profile(5), 33);
+        let mut expected = Vec::new();
+        for _ in 0..4 {
+            expected.push(
+                sequential
+                    .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+                    .unwrap(),
+            );
+        }
+
+        let mut batched = VirtualCluster::new(profile(5), 33);
+        let mut driver = crate::backend::FixedPointDriver::new(w);
+        batched
+            .run_rounds(4, &scheme, &units, &g.dataset, &LogisticLoss, &mut driver)
+            .unwrap();
+
+        assert_eq!(driver.outcomes.len(), expected.len());
+        for (got, want) in driver.outcomes.iter().zip(&expected) {
+            assert_eq!(got.gradient_sum, want.gradient_sum);
+            assert_eq!(got.metrics, want.metrics);
+        }
     }
 }

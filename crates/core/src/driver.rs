@@ -7,7 +7,7 @@
 //! scheme's completion condition holds. The optimizer is pluggable — the
 //! paper uses Nesterov's accelerated gradient method.
 
-use bcc_cluster::{ClusterBackend, ClusterError, RunMetrics, UnitMap};
+use bcc_cluster::{ClusterBackend, ClusterError, RoundDriver, RoundOutcome, RunMetrics, UnitMap};
 use bcc_coding::GradientCodingScheme;
 use bcc_data::Dataset;
 use bcc_linalg::vec_ops;
@@ -90,6 +90,11 @@ impl<'a> DistributedGd<'a> {
 
     /// Runs `config.iterations` rounds driving `optimizer`.
     ///
+    /// All rounds go through the backend's batched
+    /// [`ClusterBackend::run_rounds`], so per-round setup (worker thread
+    /// spawning on the threaded backend, schedule construction on the
+    /// virtual one) is amortized across the whole training run.
+    ///
     /// # Errors
     /// Propagates the first round failure ([`ClusterError::Stalled`] etc.).
     pub fn train(
@@ -97,35 +102,60 @@ impl<'a> DistributedGd<'a> {
         optimizer: &mut dyn Optimizer,
         config: &TrainingConfig,
     ) -> Result<TrainingReport, ClusterError> {
-        let m = self.data.len() as f64;
-        let mut trace = ConvergenceTrace::new();
-        let mut metrics = RunMetrics::new();
-
-        for iter in 0..config.iterations {
-            // Broadcast w (the optimizer's evaluation point) and run a round.
-            let eval = optimizer.eval_point().to_vec();
-            let outcome =
-                self.backend
-                    .run_round(self.scheme, self.units, self.data, self.loss, &eval)?;
-            metrics.absorb(&outcome.metrics);
-
-            // eq. (1): ∇L = (1/m)·Σ g_j.
-            let mut gradient = outcome.gradient_sum;
-            vec_ops::scale(1.0 / m, &mut gradient);
-            let gnorm = vec_ops::norm2(&gradient);
-            optimizer.step(&gradient);
-
-            if config.record_risk {
-                let risk = empirical_risk_dyn(self.data, self.loss, optimizer.iterate());
-                trace.push(iter, risk, gnorm);
-            }
-        }
-
+        let mut loop_driver = TrainingLoop {
+            optimizer,
+            data: self.data,
+            loss: self.loss,
+            record_risk: config.record_risk,
+            trace: ConvergenceTrace::new(),
+            metrics: RunMetrics::new(),
+        };
+        self.backend.run_rounds(
+            config.iterations,
+            self.scheme,
+            self.units,
+            self.data,
+            self.loss,
+            &mut loop_driver,
+        )?;
         Ok(TrainingReport {
-            weights: optimizer.iterate().to_vec(),
-            trace,
-            metrics,
+            weights: loop_driver.optimizer.iterate().to_vec(),
+            trace: loop_driver.trace,
+            metrics: loop_driver.metrics,
         })
+    }
+}
+
+/// The training loop as a [`RoundDriver`]: broadcasts the optimizer's
+/// evaluation point each round and feeds the decoded gradient back into it.
+struct TrainingLoop<'a> {
+    optimizer: &'a mut dyn Optimizer,
+    data: &'a Dataset,
+    loss: &'a dyn Loss,
+    record_risk: bool,
+    trace: ConvergenceTrace,
+    metrics: RunMetrics,
+}
+
+impl RoundDriver for TrainingLoop<'_> {
+    fn eval_point(&mut self, _round: usize) -> Vec<f64> {
+        self.optimizer.eval_point().to_vec()
+    }
+
+    fn consume(&mut self, round: usize, outcome: RoundOutcome) {
+        self.metrics.absorb(&outcome.metrics);
+
+        // eq. (1): ∇L = (1/m)·Σ g_j.
+        let m = self.data.len() as f64;
+        let mut gradient = outcome.gradient_sum;
+        vec_ops::scale(1.0 / m, &mut gradient);
+        let gnorm = vec_ops::norm2(&gradient);
+        self.optimizer.step(&gradient);
+
+        if self.record_risk {
+            let risk = empirical_risk_dyn(self.data, self.loss, self.optimizer.iterate());
+            self.trace.push(round, risk, gnorm);
+        }
     }
 }
 

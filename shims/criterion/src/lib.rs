@@ -1,0 +1,268 @@
+//! In-tree stand-in for `criterion`.
+//!
+//! Provides the API surface this workspace's benches use — `Criterion`,
+//! benchmark groups, `BenchmarkId`, `Bencher::iter`, and the
+//! `criterion_group!`/`criterion_main!` macros — over a simple wall-clock
+//! harness: each benchmark runs a calibration pass to size its batches, then
+//! `sample_size` timed batches, reporting median/min/max per-iteration time.
+//! No statistics beyond that, no HTML reports, no regression baselines.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Target wall-clock budget for one benchmark's measurement phase.
+const MEASURE_BUDGET: Duration = Duration::from_millis(600);
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "need at least two samples");
+        self.sample_size = n;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(&mut self, name: impl Into<String>, mut f: impl FnMut(&mut Bencher)) {
+        run_benchmark(&name.into(), self.sample_size, &mut f);
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<BenchmarkId>, mut f: impl FnMut(&mut Bencher)) {
+        let id = id.into();
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label()),
+            self.criterion.sample_size,
+            &mut f,
+        );
+    }
+
+    /// Runs one parameterized benchmark in the group.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        run_benchmark(
+            &format!("{}/{}", self.name, id.label()),
+            self.criterion.sample_size,
+            &mut |b| f(b, input),
+        );
+    }
+
+    /// Ends the group (kept for API compatibility; prints nothing extra).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            function: function.to_string(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id carrying only a function name.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    fn label(&self) -> String {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => p.clone(),
+            Some(p) => format!("{}/{p}", self.function),
+            None => self.function.clone(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        Self {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        function.to_string().into()
+    }
+}
+
+/// Timing handle handed to benchmark closures.
+pub struct Bencher {
+    /// Iterations per timed batch (set by calibration).
+    batch: u64,
+    /// Per-batch durations, filled by [`Bencher::iter`].
+    samples: Vec<Duration>,
+    /// When true, only calibrate (single iteration, no recording).
+    calibrating: bool,
+    /// Duration of the single calibration iteration.
+    calibration: Duration,
+}
+
+impl Bencher {
+    /// Times `sample_size` batches of the routine.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        if self.calibrating {
+            let start = Instant::now();
+            let _keep = routine();
+            self.calibration = start.elapsed();
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.batch {
+            let _keep = routine();
+        }
+        self.samples.push(start.elapsed());
+    }
+}
+
+fn run_benchmark(label: &str, sample_size: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    // Calibration: one iteration to size batches to the time budget.
+    let mut bencher = Bencher {
+        batch: 1,
+        samples: Vec::new(),
+        calibrating: true,
+        calibration: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let per_iter = bencher.calibration.max(Duration::from_nanos(1));
+    let budget_per_sample = MEASURE_BUDGET / sample_size as u32;
+    let batch = (budget_per_sample.as_nanos() / per_iter.as_nanos()).clamp(1, 1_000_000) as u64;
+
+    bencher.calibrating = false;
+    bencher.batch = batch;
+    bencher.samples = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+
+    let mut per_iter: Vec<f64> = bencher
+        .samples
+        .iter()
+        .map(|d| d.as_secs_f64() / batch as f64)
+        .collect();
+    per_iter.sort_by(f64::total_cmp);
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter.first().copied().unwrap_or(0.0);
+    let max = per_iter.last().copied().unwrap_or(0.0);
+    println!(
+        "bench: {label:<50} time: [{} {} {}] ({} samples × {batch} iters)",
+        format_time(min),
+        format_time(median),
+        format_time(max),
+        per_iter.len(),
+    );
+}
+
+fn format_time(seconds: f64) -> String {
+    if seconds >= 1.0 {
+        format!("{seconds:.3} s")
+    } else if seconds >= 1e-3 {
+        format!("{:.3} ms", seconds * 1e3)
+    } else if seconds >= 1e-6 {
+        format!("{:.3} µs", seconds * 1e6)
+    } else {
+        format!("{:.1} ns", seconds * 1e9)
+    }
+}
+
+/// Declares a benchmark group runner (name/config/targets form).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_runs_and_reports() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut group = c.benchmark_group("shim");
+        let mut count = 0u64;
+        group.bench_function("counter", |b| {
+            b.iter(|| {
+                count += 1;
+                count
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u64, |b, &p| {
+            b.iter(|| p * 2);
+        });
+        group.finish();
+        assert!(count > 0, "routine must have run");
+    }
+
+    #[test]
+    fn id_labels() {
+        assert_eq!(BenchmarkId::new("f", 3).label(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").label(), "x");
+        assert_eq!(BenchmarkId::from("plain").label(), "plain");
+    }
+}

@@ -1,0 +1,108 @@
+//! In-tree stand-in for the `crossbeam` crate's scoped-thread API.
+//!
+//! Implemented on `std::thread::scope` (stable since 1.63), which provides
+//! the same structured-concurrency guarantee crossbeam pioneered. The one
+//! semantic difference from upstream is preserved at the API level: a panic
+//! in an unjoined scoped thread surfaces as `Err` from [`scope`] rather than
+//! unwinding through the caller.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Panic payload of a failed scope or join.
+pub type Payload = Box<dyn std::any::Any + Send + 'static>;
+
+/// Scope handle passed to [`scope`]'s closure and to spawned threads.
+///
+/// Mirrors `crossbeam::thread::Scope`: spawned closures receive a `&Scope`
+/// so they can spawn further siblings.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread; the closure receives the scope handle.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        ScopedJoinHandle {
+            inner: inner.spawn(move || f(&Scope { inner })),
+        }
+    }
+}
+
+/// Handle to a scoped thread.
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result or the panic
+    /// payload.
+    ///
+    /// # Errors
+    /// The thread's panic payload when it panicked.
+    pub fn join(self) -> Result<T, Payload> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope in which borrowing, non-`'static` threads can be
+/// spawned; all spawned threads are joined before `scope` returns.
+///
+/// # Errors
+/// Returns the panic payload when the closure or any unjoined spawned
+/// thread panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Payload>
+where
+    F: FnOnce(&Scope<'_, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| f(&Scope { inner: s }))
+    }))
+}
+
+/// `crossbeam::thread` module alias for upstream-compatible paths.
+pub mod thread {
+    pub use super::{scope, Payload, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_and_join() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let mut handles = Vec::new();
+            for chunk in data.chunks(2) {
+                handles.push(s.spawn(move |_| chunk.iter().sum::<u64>()));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_handle() {
+        let n = scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn panicked_thread_yields_err() {
+        let result = scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,314 @@
+//! In-tree stand-in for the `rand` crate (0.8-style API surface).
+//!
+//! No registry access in this environment, so the workspace ships its own
+//! small PRNG stack: [`rngs::StdRng`] is xoshiro256** seeded through
+//! SplitMix64 (`seed_from_u64`), with the [`Rng`] / [`SeedableRng`] /
+//! [`seq::SliceRandom`] surface the reproduction uses. Streams are
+//! deterministic and high-quality for simulation purposes, but the exact
+//! values differ from upstream `rand` — nothing in this repo depends on
+//! upstream streams.
+
+/// Low-level entropy source: everything derives from `next_u64`.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// User-facing sampling methods, in the style of `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value of `T` from its standard distribution
+    /// (uniform bits for integers, uniform `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Samples uniformly from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p must be in [0,1], got {p}");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable RNGs (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    /// Constructs the RNG from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Standard-distribution sampling for primitive types.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u16 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 48) as u16
+    }
+}
+
+impl Standard for u8 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for usize {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for i64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as i64
+    }
+}
+
+impl Standard for i32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as i32
+    }
+}
+
+impl Standard for bool {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform bits → [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn from_rng<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as u128).wrapping_sub(self.start as u128) as u64;
+                // Multiply-shift bounded sampling (Lemire); bias is < 2^-64
+                // per draw, far below anything the simulations can resolve.
+                let hi = ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64;
+                self.start + hi as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (s, e) = self.into_inner();
+                assert!(s <= e, "cannot sample empty range");
+                if s == 0 && e as u128 == <$t>::MAX as u128 {
+                    return rng.next_u64() as $t;
+                }
+                (s..e + 1).sample_from(rng)
+            }
+        }
+    )*};
+}
+
+int_range_impls!(usize, u64, u32, u16, u8);
+
+macro_rules! float_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let u: f64 = f64::from_rng(rng);
+                self.start + (u as $t) * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_impls!(f64, f32);
+
+/// Concrete RNG implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard RNG: xoshiro256** with SplitMix64 seeding.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Slice helpers (`rand::seq` subset).
+pub mod seq {
+    use super::Rng;
+
+    /// Random slice operations, in the style of `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly random element, `None` on an empty slice.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+    }
+
+    impl StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn gen_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            seen[rng.gen_range(0usize..10)] = true;
+            let f = rng.gen_range(-1.0..1.0f64);
+            assert!((-1.0..1.0).contains(&f));
+        }
+        assert!(seen.iter().all(|s| *s), "all buckets should be hit");
+    }
+
+    #[test]
+    fn shuffle_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements virtually never shuffle to identity");
+    }
+
+    #[test]
+    fn unsized_rng_works_through_references() {
+        fn takes_dynish<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen()
+        }
+        let mut rng = StdRng::seed_from_u64(4);
+        let _ = takes_dynish(&mut rng);
+    }
+}

@@ -1,0 +1,370 @@
+//! In-tree stand-in for the `serde` crate.
+//!
+//! This build environment has no access to crates.io, so the workspace ships
+//! a minimal serialization facade under the same crate name. Instead of
+//! serde's visitor-based data model, types convert to and from a concrete
+//! [`Value`] tree; the sibling `serde_json` shim renders that tree as JSON.
+//! The derive macros (`#[derive(Serialize, Deserialize)]`) are provided by
+//! the `serde_derive` proc-macro crate and generate `to_value`/`from_value`
+//! implementations matching serde's externally-tagged enum representation.
+//!
+//! Supported surface (grown on demand): named-field structs, enums with
+//! unit/newtype/struct variants, the std scalar types, `String`, `Vec<T>`,
+//! `Option<T>`, and small tuples.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing serialized value (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Floating-point number.
+    Num(f64),
+    /// Non-negative integer, exact over the full `u64` range.
+    Uint(u64),
+    /// Negative integer, exact over the full `i64` range.
+    Int(i64),
+    /// String.
+    Str(String),
+    /// Sequence.
+    Array(Vec<Value>),
+    /// Map with insertion-ordered keys.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a key in an object value.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Like [`Value::get`] but returns a descriptive error for derives.
+    ///
+    /// # Errors
+    /// When `self` is not an object or the key is absent.
+    pub fn field(&self, key: &str) -> Result<&Value, Error> {
+        self.get(key)
+            .ok_or_else(|| Error::msg(format!("missing field `{key}`")))
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error from a message.
+    #[must_use]
+    pub fn msg(m: impl Into<String>) -> Self {
+        Self(m.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can convert themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the shim data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from the shim data model.
+    ///
+    /// # Errors
+    /// On shape or type mismatches.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// --- scalar impls ----------------------------------------------------------
+
+macro_rules! uint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Uint(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match v {
+                    Value::Uint(u) => <$t>::try_from(*u).ok(),
+                    Value::Int(i) => u64::try_from(*i).ok().and_then(|u| <$t>::try_from(u).ok()),
+                    // Floats only when integral and exactly representable.
+                    Value::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                        <$t>::try_from(*n as u64).ok()
+                    }
+                    _ => None,
+                };
+                out.ok_or_else(|| Error::msg(format!(
+                    "expected {} in range, got {v:?}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+uint_impls!(u8, u16, u32, u64, usize);
+
+macro_rules! sint_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i >= 0 {
+                    Value::Uint(i as u64)
+                } else {
+                    Value::Int(i)
+                }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let out = match v {
+                    Value::Uint(u) => i64::try_from(*u).ok().and_then(|i| <$t>::try_from(i).ok()),
+                    Value::Int(i) => <$t>::try_from(*i).ok(),
+                    Value::Num(n) if n.fract() == 0.0 && n.abs() <= 9.007_199_254_740_992e15 => {
+                        <$t>::try_from(*n as i64).ok()
+                    }
+                    _ => None,
+                };
+                out.ok_or_else(|| Error::msg(format!(
+                    "expected {} in range, got {v:?}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+sint_impls!(i8, i16, i32, i64, isize);
+
+macro_rules! float_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Num(f64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Num(n) => Ok(*n as $t),
+                    Value::Uint(u) => Ok(*u as $t),
+                    Value::Int(i) => Ok(*i as $t),
+                    other => Err(Error::msg(format!("expected number, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+float_impls!(f32, f64);
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::msg(format!("expected string, got {other:?}"))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+// --- container impls -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            other => Err(Error::msg(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(x) => x.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($t:ident : $idx:tt),+)),*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v {
+                    Value::Array(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(Error::msg(format!(
+                                "expected {expected}-tuple, got {} elements",
+                                items.len()
+                            )));
+                        }
+                        Ok(($($t::from_value(&items[$idx])?,)+))
+                    }
+                    other => Err(Error::msg(format!("expected array, got {other:?}"))),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_roundtrip() {
+        assert_eq!(u32::from_value(&42u32.to_value()).unwrap(), 42);
+        assert_eq!(f64::from_value(&1.5f64.to_value()).unwrap(), 1.5);
+        assert!(bool::from_value(&true.to_value()).unwrap());
+    }
+
+    #[test]
+    fn integers_exact_beyond_2_53() {
+        // Full-range u64 (e.g. derived RNG seeds) must round-trip exactly.
+        let big = (1u64 << 53) + 1;
+        assert_eq!(u64::from_value(&big.to_value()).unwrap(), big);
+        assert_eq!(u64::from_value(&u64::MAX.to_value()).unwrap(), u64::MAX);
+        assert_eq!(i64::from_value(&i64::MIN.to_value()).unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u64::from_value(&(-1i64).to_value()).is_err());
+        assert!(u8::from_value(&300u32.to_value()).is_err());
+        assert!(i8::from_value(&Value::Uint(200)).is_err());
+        // Integral floats still accepted for integer fields.
+        assert_eq!(u32::from_value(&Value::Num(7.0)).unwrap(), 7);
+        assert!(u32::from_value(&Value::Num(7.5)).is_err());
+    }
+
+    #[test]
+    fn vec_and_tuple_roundtrip() {
+        let v = vec![(1usize, vec![1.0f64, 2.0])];
+        let back: Vec<(usize, Vec<f64>)> = Deserialize::from_value(&v.to_value()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn option_null() {
+        let none: Option<u8> = None;
+        assert_eq!(none.to_value(), Value::Null);
+        assert_eq!(Option::<u8>::from_value(&Value::Null).unwrap(), None);
+    }
+
+    #[test]
+    fn field_lookup_errors() {
+        let obj = Value::Object(vec![("a".into(), Value::Num(1.0))]);
+        assert!(obj.field("a").is_ok());
+        assert!(obj.field("b").is_err());
+    }
+}

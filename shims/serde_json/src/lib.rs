@@ -1,0 +1,424 @@
+//! In-tree stand-in for `serde_json`, rendering and parsing the serde shim's
+//! [`Value`] tree as JSON text.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serializes `value` to compact JSON.
+///
+/// # Errors
+/// Currently infallible for the shim data model; kept fallible for API
+/// compatibility.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` to pretty-printed JSON (two-space indent).
+///
+/// # Errors
+/// Currently infallible; kept fallible for API compatibility.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+/// On malformed JSON or shape mismatches with `T`.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::msg(format!("trailing characters at byte {}", p.pos)));
+    }
+    T::from_value(&v)
+}
+
+// --- writer ----------------------------------------------------------------
+
+fn write_value(v: &Value, out: &mut String, indent: Option<usize>, depth: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Num(n) => write_number(*n, out),
+        Value::Uint(u) => out.push_str(&u.to_string()),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Str(s) => write_string(s, out),
+        Value::Array(items) => write_seq(
+            items.iter(),
+            out,
+            indent,
+            depth,
+            ('[', ']'),
+            |item, out, d| {
+                write_value(item, out, indent, d);
+            },
+        ),
+        Value::Object(fields) => {
+            write_seq(
+                fields.iter(),
+                out,
+                indent,
+                depth,
+                ('{', '}'),
+                |(k, val), out, d| {
+                    write_string(k, out);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    write_value(val, out, indent, d);
+                },
+            );
+        }
+    }
+}
+
+fn write_seq<I: ExactSizeIterator>(
+    items: I,
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(I::Item, &mut String, usize),
+) {
+    let n = items.len();
+    out.push(brackets.0);
+    if n == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(item, out, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if let Some(step) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', step * depth));
+    }
+    out.push(brackets.1);
+}
+
+fn write_number(n: f64, out: &mut String) {
+    if !n.is_finite() {
+        // JSON has no non-finite numbers; mirror serde_json's strictness as
+        // closely as a panic-free writer can.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// --- parser ----------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::msg(format!(
+                "expected `{}` at byte {}",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn eat_literal(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') if self.eat_literal("null") => Ok(Value::Null),
+            Some(b't') if self.eat_literal("true") => Ok(Value::Bool(true)),
+            Some(b'f') if self.eat_literal("false") => Ok(Value::Bool(false)),
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Value::Array(items));
+                        }
+                        _ => return Err(Error::msg(format!("bad array at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut fields = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let val = self.parse_value()?;
+                    fields.push((key, val));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Value::Object(fields));
+                        }
+                        _ => return Err(Error::msg(format!("bad object at byte {}", self.pos))),
+                    }
+                }
+            }
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::msg(format!(
+                "unexpected {other:?} at byte {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut s = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::msg("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(s);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => s.push('"'),
+                        Some(b'\\') => s.push('\\'),
+                        Some(b'/') => s.push('/'),
+                        Some(b'n') => s.push('\n'),
+                        Some(b'r') => s.push('\r'),
+                        Some(b't') => s.push('\t'),
+                        Some(b'b') => s.push('\u{8}'),
+                        Some(b'f') => s.push('\u{c}'),
+                        Some(b'u') => {
+                            let mut code = self.read_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            // UTF-16 surrogate pair: a high surrogate must be
+                            // followed by an escaped low surrogate.
+                            if (0xD800..0xDC00).contains(&code) {
+                                if self.bytes.get(self.pos + 1..self.pos + 3)
+                                    != Some(b"\\u".as_slice())
+                                {
+                                    return Err(Error::msg("unpaired high surrogate"));
+                                }
+                                let low = self.read_hex4(self.pos + 3)?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(Error::msg("invalid low surrogate"));
+                                }
+                                self.pos += 6;
+                                code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                            }
+                            s.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::msg("bad \\u code point"))?,
+                            );
+                        }
+                        other => return Err(Error::msg(format!("bad escape {other:?}"))),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::msg("invalid UTF-8 in string"))?;
+                    let c = rest.chars().next().expect("non-empty by peek");
+                    s.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads four hex digits starting at byte offset `at`.
+    fn read_hex4(&self, at: usize) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| Error::msg("short \\u escape"))?;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error::msg("bad \\u escape"))?,
+            16,
+        )
+        .map_err(|_| Error::msg("bad \\u escape"))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'.' | b'e' | b'E' | b'+' => integral = false,
+                b'-' if self.pos > start => integral = false,
+                b'-' => {}
+                _ if b.is_ascii_digit() => {}
+                _ => break,
+            }
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::msg("invalid number"))?;
+        // Integer literals keep full 64-bit precision (Uint/Int); anything
+        // with a fraction or exponent becomes a float.
+        if integral {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::Uint(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Num)
+            .map_err(|_| Error::msg(format!("invalid number `{text}`")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_vec() {
+        let v = vec![1i32, 2, 3];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,2,3]");
+        let back: Vec<i32> = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_has_newlines() {
+        let v = vec![1i32, 2];
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(s, "[\n  1,\n  2\n]");
+    }
+
+    #[test]
+    fn parses_nested_objects() {
+        let v: Value = from_str(r#"{"a": [1.5, null, true], "b": "x\"y"}"#).unwrap();
+        assert_eq!(v.get("b"), Some(&Value::Str("x\"y".into())));
+        match v.get("a") {
+            Some(Value::Array(items)) => assert_eq!(items.len(), 3),
+            other => panic!("bad parse: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{oops}").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("12 34").is_err());
+    }
+
+    #[test]
+    fn negative_and_float_numbers() {
+        let v: Vec<f64> = from_str("[-2.5, 1e3, -7]").unwrap();
+        assert_eq!(v, vec![-2.5, 1000.0, -7.0]);
+    }
+
+    #[test]
+    fn u64_round_trips_at_full_precision() {
+        let seeds = vec![u64::MAX, (1u64 << 53) + 1, 0];
+        let s = to_string(&seeds).unwrap();
+        assert_eq!(s, format!("[{},{},0]", u64::MAX, (1u64 << 53) + 1));
+        let back: Vec<u64> = from_str(&s).unwrap();
+        assert_eq!(back, seeds);
+        assert!(from_str::<u64>("-1").is_err(), "negatives must not wrap");
+        let neg: i64 = from_str(&i64::MIN.to_string()).unwrap();
+        assert_eq!(neg, i64::MIN);
+    }
+
+    #[test]
+    fn surrogate_pair_escapes_parse() {
+        let s: String = from_str(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(s, "😀", "escaped surrogate pair combines to U+1F600");
+        let raw: String = from_str("\"😀\"").unwrap();
+        assert_eq!(raw, "😀", "raw UTF-8 path unaffected");
+        assert!(from_str::<String>(r#""\ud83d""#).is_err(), "unpaired high");
+        assert!(
+            from_str::<String>(r#""\ud83dA""#).is_err(),
+            "bad low surrogate"
+        );
+    }
+}

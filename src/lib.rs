@@ -5,7 +5,8 @@
 //! Soltanolkotabi — IPPS 2018, arXiv:1710.09990).
 //!
 //! Re-exports every subsystem under one namespace; see the README for the
-//! architecture and `DESIGN.md` for the per-experiment index.
+//! architecture map (crate graph, engine/adapter split) and the `bcc_bench`
+//! crate docs for the per-experiment index.
 //!
 //! ## One coded gradient round, end to end
 //!
