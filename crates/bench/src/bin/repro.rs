@@ -1,33 +1,43 @@
-//! `repro` — regenerates every table and figure of the paper.
+//! `repro` — regenerates every table and figure of the paper, and replays
+//! arbitrary scenarios from spec files.
 //!
 //! ```text
-//! repro all          # every paper artifact (default) + ablations + engine
-//! repro fig2         # tradeoff curves
-//! repro fig4         # runtime comparison (both scenarios)
-//! repro table1       # scenario-one breakdown
-//! repro table2       # scenario-two breakdown
-//! repro fig5         # heterogeneous cluster
-//! repro ablations    # design-choice ablations (beyond the paper)
-//! repro engine       # round-engine throughput → BENCH_round_engine.json
-//! repro --fast ...   # reduced trial counts for smoke runs
+//! repro all                  # every paper artifact (default) + ablations + engine
+//! repro fig2                 # tradeoff curves
+//! repro fig4                 # runtime comparison (both scenarios)
+//! repro table1               # scenario-one breakdown
+//! repro table2               # scenario-two breakdown
+//! repro fig5                 # heterogeneous cluster
+//! repro ablations            # design-choice ablations (beyond the paper)
+//! repro engine               # round-engine throughput → BENCH_round_engine.json
+//! repro scenario SPEC.json   # replay a spec file (table row or custom scenario)
+//! repro --fast ...           # reduced trial counts for smoke runs
 //! ```
 //!
 //! Results print as console tables and persist as JSON under
-//! `experiments/`; the engine benchmark additionally writes the
-//! perf-trajectory file `BENCH_round_engine.json` at the working directory.
+//! `experiments/`. Every experiment that runs gradient rounds additionally
+//! writes its **resolved `ExperimentSpec`s** as `<name>.spec.json` next to
+//! its results, so each artifact is replayable byte-for-byte via
+//! `repro scenario experiments/<name>.spec.json`. The engine benchmark
+//! writes the perf-trajectory file `BENCH_round_engine.json` at the working
+//! directory.
 
-use bcc_bench::experiments::{ablation, engine_bench, fig2, fig5, scenario};
+use bcc_bench::experiments::spec_run::ScenarioSpec;
+use bcc_bench::experiments::{ablation, engine_bench, fig2, fig5, scenario, spec_run};
 use bcc_bench::report::{write_json, Table};
+use bcc_core::experiment::ExperimentSpec;
 use std::path::PathBuf;
 
 struct Args {
     targets: Vec<String>,
+    spec_files: Vec<PathBuf>,
     fast: bool,
     out_dir: PathBuf,
 }
 
 fn parse_args() -> Args {
     let mut targets = Vec::new();
+    let mut spec_files = Vec::new();
     let mut fast = false;
     let mut out_dir = PathBuf::from("experiments");
     let mut args = std::env::args().skip(1);
@@ -40,21 +50,30 @@ fn parse_args() -> Args {
                     std::process::exit(2);
                 }));
             }
+            "scenario" => {
+                let path = args.next().unwrap_or_else(|| {
+                    eprintln!("scenario requires a spec file (JSON)");
+                    std::process::exit(2);
+                });
+                spec_files.push(PathBuf::from(path));
+            }
             "-h" | "--help" => {
                 println!(
                     "usage: repro [--fast] [--out DIR] \
-                     [all|fig2|fig4|table1|table2|fig5|ablations|engine]..."
+                     [all|fig2|fig4|table1|table2|fig5|ablations|engine]... \
+                     [scenario SPEC.json]..."
                 );
                 std::process::exit(0);
             }
             other => targets.push(other.to_string()),
         }
     }
-    if targets.is_empty() {
+    if targets.is_empty() && spec_files.is_empty() {
         targets.push("all".into());
     }
     Args {
         targets,
+        spec_files,
         fast,
         out_dir,
     }
@@ -64,11 +83,40 @@ fn print_table(t: &Table) {
     println!("{}", t.render());
 }
 
+/// Every named artifact target.
+const KNOWN_TARGETS: [&str; 8] = [
+    "all",
+    "fig2",
+    "fig4",
+    "table1",
+    "table2",
+    "fig5",
+    "ablations",
+    "engine",
+];
+
 fn main() {
     let args = parse_args();
+    let unknown: Vec<&String> = args
+        .targets
+        .iter()
+        .filter(|t| !KNOWN_TARGETS.contains(&t.as_str()))
+        .collect();
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown target(s) {unknown:?}; expected {} or `scenario SPEC.json`",
+            KNOWN_TARGETS.join("|")
+        );
+        std::process::exit(2);
+    }
     let all = args.targets.iter().any(|t| t == "all");
     let want = |name: &str| all || args.targets.iter().any(|t| t == name);
     let mut ran_any = false;
+
+    for path in &args.spec_files {
+        ran_any = true;
+        run_scenario_file(path, &args.out_dir);
+    }
 
     if want("fig2") {
         ran_any = true;
@@ -88,28 +136,31 @@ fn main() {
     if want("fig4") || want("table1") {
         let mut cfg = scenario::ScenarioConfig::scenario_one();
         cfg.iterations = iterations;
-        one = Some(scenario::run(&cfg, false));
+        one = Some((scenario::run(&cfg, false), cfg));
     }
     if want("fig4") || want("table2") {
         let mut cfg = scenario::ScenarioConfig::scenario_two();
         cfg.iterations = iterations;
-        two = Some(scenario::run(&cfg, false));
+        two = Some((scenario::run(&cfg, false), cfg));
     }
     if want("table1") {
         ran_any = true;
-        let one = one.as_ref().expect("computed above");
+        let (one, cfg) = one.as_ref().expect("computed above");
         print_table(&scenario::render(one));
         persist(&args.out_dir, "table1_scenario_one", one);
+        persist_scenario_spec(&args.out_dir, "table1_scenario_one", cfg);
     }
     if want("table2") {
         ran_any = true;
-        let two = two.as_ref().expect("computed above");
+        let (two, cfg) = two.as_ref().expect("computed above");
         print_table(&scenario::render(two));
         persist(&args.out_dir, "table2_scenario_two", two);
+        persist_scenario_spec(&args.out_dir, "table2_scenario_two", cfg);
     }
     if want("fig4") {
         ran_any = true;
-        let (one, two) = (one.as_ref().unwrap(), two.as_ref().unwrap());
+        let (one, _) = one.as_ref().unwrap();
+        let (two, _) = two.as_ref().unwrap();
         print_table(&scenario::render_figure4(one, two));
         persist(&args.out_dir, "fig4_runtime", &(one.clone(), two.clone()));
     }
@@ -135,6 +186,9 @@ fn main() {
         persist(&args.out_dir, "ablation_bandwidth", &bw);
         persist(&args.out_dir, "ablation_batch_count", &batches);
         persist(&args.out_dir, "ablation_random_stragglers", &rs);
+        for (name, spec) in ablation_specs(2024) {
+            persist_spec(&args.out_dir, name, &spec);
+        }
     }
 
     if want("engine") {
@@ -156,15 +210,73 @@ fn main() {
             Err(e) => eprintln!("[warn] could not serialize engine bench: {e}"),
         }
         persist(&args.out_dir, "bench_round_engine", &result);
+        persist_spec(
+            &args.out_dir,
+            "bench_round_engine",
+            &ScenarioSpec {
+                name: "round-engine throughput".into(),
+                experiments: cfg.specs(),
+            },
+        );
     }
 
-    if !ran_any {
-        eprintln!(
-            "unknown target(s) {:?}; expected all|fig2|fig4|table1|table2|fig5|ablations|engine",
-            args.targets
-        );
+    // Unreachable unless the target list and the dispatch above drift.
+    assert!(ran_any, "validated targets must all dispatch");
+}
+
+/// Replays one spec file and persists the rows next to it-style results.
+fn run_scenario_file(path: &std::path::Path, out_dir: &std::path::Path) {
+    let spec = spec_run::load(path).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(2);
-    }
+    });
+    println!(
+        "replaying `{}` ({} experiments) from {}\n",
+        spec.name,
+        spec.experiments.len(),
+        path.display()
+    );
+    let result = spec_run::run(&spec).unwrap_or_else(|e| {
+        eprintln!("scenario failed: {e}");
+        std::process::exit(1);
+    });
+    print_table(&spec_run::render(&result));
+    let stem = path
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("scenario")
+        .trim_end_matches(".spec");
+    persist(out_dir, &format!("{stem}.result"), &result);
+}
+
+/// The resolved specs behind each ablation artifact — the *same* lists the
+/// ablation run functions consume, so replay cannot drift from the
+/// artifacts. (The batch-count scan is excepted: it averages over fresh
+/// placements with a distinct seed per round, so it has no single spec.)
+fn ablation_specs(seed: u64) -> Vec<(&'static str, ScenarioSpec)> {
+    vec![
+        (
+            "ablation_compression",
+            ScenarioSpec {
+                name: "ablation: in-worker summation".into(),
+                experiments: ablation::compression_specs(seed),
+            },
+        ),
+        (
+            "ablation_bandwidth",
+            ScenarioSpec {
+                name: "ablation: master bandwidth sweep".into(),
+                experiments: ablation::bandwidth_specs(seed),
+            },
+        ),
+        (
+            "ablation_random_stragglers",
+            ScenarioSpec {
+                name: "ablation: random stragglers".into(),
+                experiments: ablation::straggler_specs(seed),
+            },
+        ),
+    ]
 }
 
 fn persist<T: serde::Serialize>(dir: &std::path::Path, name: &str, value: &T) {
@@ -172,4 +284,25 @@ fn persist<T: serde::Serialize>(dir: &std::path::Path, name: &str, value: &T) {
         Ok(path) => println!("[saved {}]\n", path.display()),
         Err(e) => eprintln!("[warn] could not write {name}.json: {e}"),
     }
+}
+
+/// Writes the scenario's resolved experiment specs as `<name>.spec.json`.
+fn persist_spec(dir: &std::path::Path, name: &str, spec: &ScenarioSpec) {
+    persist(dir, &format!("{name}.spec"), spec);
+}
+
+/// The resolved spec group for one Table I/II scenario.
+fn persist_scenario_spec(dir: &std::path::Path, name: &str, cfg: &scenario::ScenarioConfig) {
+    let experiments: Vec<ExperimentSpec> = scenario::paper_schemes(cfg.r)
+        .into_iter()
+        .map(|s| cfg.experiment_spec(s, false))
+        .collect();
+    persist_spec(
+        dir,
+        name,
+        &ScenarioSpec {
+            name: cfg.name.clone(),
+            experiments,
+        },
+    );
 }

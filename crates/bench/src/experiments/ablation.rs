@@ -13,16 +13,16 @@
 //!    stays above BCC.
 
 use crate::report::{f1, f3, Table};
-use bcc_cluster::{ClusterBackend, ClusterProfile, CommModel, UnitMap, VirtualCluster};
+use bcc_cluster::{ClusterProfile, CommModel};
+use bcc_core::experiment::{
+    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
+};
 use bcc_core::schemes::SchemeConfig;
 use bcc_core::theory;
-use bcc_data::synthetic::{generate, SyntheticConfig};
-use bcc_optim::LogisticLoss;
-use bcc_stats::rng::derive_rng;
 use serde::{Deserialize, Serialize};
 
 /// Rounds used by each ablation arm.
-const ROUNDS: usize = 40;
+pub const ROUNDS: usize = 40;
 
 /// Measured behaviour of one scheme under one cluster profile.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -37,6 +37,48 @@ pub struct ArmResult {
     pub avg_round_time: f64,
 }
 
+/// The resolved spec for one ablation arm: `rounds` fixed-point gradient
+/// rounds (no optimizer in the loop) of one scheme under `profile`.
+#[must_use]
+pub fn arm_spec(
+    scheme_cfg: SchemeConfig,
+    m_units: usize,
+    workers: usize,
+    profile: &ClusterProfile,
+    rounds: usize,
+    seed: u64,
+) -> ExperimentSpec {
+    ExperimentSpec {
+        name: format!("ablation / {}", scheme_cfg.name()),
+        workers,
+        units: m_units,
+        scheme: scheme_cfg.spec(),
+        data: DataSpec::synthetic(10, 16),
+        latency: LatencySpec::from_profile(profile),
+        backend: BackendSpec::Virtual,
+        loss: LossSpec::Logistic,
+        optimizer: OptimizerSpec::FixedPoint,
+        iterations: rounds,
+        record_risk: false,
+        seed,
+    }
+}
+
+/// Runs one resolved ablation arm.
+#[must_use]
+pub fn measure_spec(spec: &ExperimentSpec) -> ArmResult {
+    let report = Experiment::from_spec(spec.clone())
+        .expect("ablation specs are structurally valid")
+        .run()
+        .expect("ablation rounds complete");
+    ArmResult {
+        scheme: report.scheme,
+        avg_recovery_threshold: report.metrics.avg_recovery_threshold(),
+        avg_communication_load: report.metrics.avg_communication_load(),
+        avg_round_time: report.metrics.avg_round_time(),
+    }
+}
+
 /// Runs `rounds` single gradient rounds of one scheme under `profile`.
 #[must_use]
 pub fn measure(
@@ -47,31 +89,9 @@ pub fn measure(
     rounds: usize,
     seed: u64,
 ) -> ArmResult {
-    let examples = m_units * 10;
-    let data = generate(&SyntheticConfig::small(examples, 16, seed));
-    let units = UnitMap::grouped(examples, m_units);
-    let w = vec![0.0; 16];
-    let mut rng = derive_rng(seed, 0xAB1A);
-    let scheme = scheme_cfg.build(m_units, workers, &mut rng);
-    let mut backend = VirtualCluster::new(profile.clone(), seed ^ 0x5EED);
-
-    let mut k = 0usize;
-    let mut l = 0usize;
-    let mut t = 0.0f64;
-    for _ in 0..rounds {
-        let out = backend
-            .run_round(scheme.as_ref(), &units, &data.dataset, &LogisticLoss, &w)
-            .expect("ablation rounds complete");
-        k += out.metrics.messages_used;
-        l += out.metrics.communication_units;
-        t += out.metrics.total_time;
-    }
-    ArmResult {
-        scheme: scheme.name().to_string(),
-        avg_recovery_threshold: k as f64 / rounds as f64,
-        avg_communication_load: l as f64 / rounds as f64,
-        avg_round_time: t / rounds as f64,
-    }
+    measure_spec(&arm_spec(
+        scheme_cfg, m_units, workers, profile, rounds, seed,
+    ))
 }
 
 // ---------------------------------------------------------------------
@@ -91,20 +111,32 @@ pub struct CompressionAblation {
     pub time_ratio: f64,
 }
 
+/// The two compression-ablation arms (`m = 50` units, `n = 50`, `r = 10`):
+/// compressed BCC, then the uncompressed variant. Persisted by `repro` as
+/// the replayable spec of [`compression`].
+#[must_use]
+pub fn compression_specs(seed: u64) -> Vec<ExperimentSpec> {
+    let (m, n, r) = (50, 50, 10);
+    let profile = ClusterProfile::ec2_like(n);
+    vec![
+        arm_spec(SchemeConfig::Bcc { r }, m, n, &profile, ROUNDS, seed),
+        arm_spec(
+            SchemeConfig::BccUncompressed { r },
+            m,
+            n,
+            &profile,
+            ROUNDS,
+            seed,
+        ),
+    ]
+}
+
 /// Runs the compression ablation at `m = 50` units, `n = 50`, `r = 10`.
 #[must_use]
 pub fn compression(seed: u64) -> CompressionAblation {
-    let (m, n, r) = (50, 50, 10);
-    let profile = ClusterProfile::ec2_like(n);
-    let bcc = measure(SchemeConfig::Bcc { r }, m, n, &profile, ROUNDS, seed);
-    let uncompressed = measure(
-        SchemeConfig::BccUncompressed { r },
-        m,
-        n,
-        &profile,
-        ROUNDS,
-        seed,
-    );
+    let specs = compression_specs(seed);
+    let bcc = measure_spec(&specs[0]);
+    let uncompressed = measure_spec(&specs[1]);
     CompressionAblation {
         load_ratio: uncompressed.avg_communication_load / bcc.avg_communication_load,
         time_ratio: uncompressed.avg_round_time / bcc.avg_round_time,
@@ -130,14 +162,18 @@ pub struct BandwidthPoint {
     pub gain_percent: f64,
 }
 
-/// Sweeps the master's per-unit transfer cost from compute-dominated to
-/// communication-dominated.
+/// The swept per-unit transfer costs of the bandwidth ablation.
+const BANDWIDTH_SWEEP_PER_UNIT: [f64; 5] = [0.0, 0.0002, 0.001, 0.004, 0.016];
+
+/// The bandwidth-sweep arms, flat in sweep order: `(uncoded, bcc)` per
+/// swept per-unit cost. Persisted by `repro` as the replayable spec of
+/// [`bandwidth_sweep`].
 #[must_use]
-pub fn bandwidth_sweep(seed: u64) -> Vec<BandwidthPoint> {
+pub fn bandwidth_specs(seed: u64) -> Vec<ExperimentSpec> {
     let (m, n, r) = (50, 50, 10);
-    [0.0, 0.0002, 0.001, 0.004, 0.016]
+    BANDWIDTH_SWEEP_PER_UNIT
         .into_iter()
-        .map(|per_unit| {
+        .flat_map(|per_unit| {
             let profile = ClusterProfile::homogeneous(
                 n,
                 1000.0,
@@ -147,8 +183,24 @@ pub fn bandwidth_sweep(seed: u64) -> Vec<BandwidthPoint> {
                     per_unit,
                 },
             );
-            let uncoded = measure(SchemeConfig::Uncoded, m, n, &profile, ROUNDS, seed);
-            let bcc = measure(SchemeConfig::Bcc { r }, m, n, &profile, ROUNDS, seed);
+            [
+                arm_spec(SchemeConfig::Uncoded, m, n, &profile, ROUNDS, seed),
+                arm_spec(SchemeConfig::Bcc { r }, m, n, &profile, ROUNDS, seed),
+            ]
+        })
+        .collect()
+}
+
+/// Sweeps the master's per-unit transfer cost from compute-dominated to
+/// communication-dominated.
+#[must_use]
+pub fn bandwidth_sweep(seed: u64) -> Vec<BandwidthPoint> {
+    bandwidth_specs(seed)
+        .chunks(2)
+        .zip(BANDWIDTH_SWEEP_PER_UNIT)
+        .map(|(pair, per_unit)| {
+            let uncoded = measure_spec(&pair[0]);
+            let bcc = measure_spec(&pair[1]);
             BandwidthPoint {
                 per_unit,
                 uncoded_time: uncoded.avg_round_time,
@@ -223,34 +275,30 @@ pub struct RandomStragglerResult {
     pub coded_worst_case: f64,
 }
 
+/// The random-straggler arms (FR, CR, BCC at `m = n = 60`, `r = 6`).
+/// Persisted by `repro` as the replayable spec of [`random_stragglers`].
+#[must_use]
+pub fn straggler_specs(seed: u64) -> Vec<ExperimentSpec> {
+    let (m, n, r) = (60, 60, 6);
+    let profile = ClusterProfile::ec2_like(n);
+    [
+        SchemeConfig::FractionalRepetition { r },
+        SchemeConfig::CyclicRepetition { r },
+        SchemeConfig::Bcc { r },
+    ]
+    .into_iter()
+    .map(|cfg| arm_spec(cfg, m, n, &profile, ROUNDS, seed))
+    .collect()
+}
+
 /// Compares FR, CR, and BCC at `m = n = 60`, `r = 6` under the same
 /// straggler distribution.
 #[must_use]
 pub fn random_stragglers(seed: u64) -> RandomStragglerResult {
-    let (m, n, r) = (60, 60, 6);
-    let profile = ClusterProfile::ec2_like(n);
-    let arms = vec![
-        measure(
-            SchemeConfig::FractionalRepetition { r },
-            m,
-            n,
-            &profile,
-            ROUNDS,
-            seed,
-        ),
-        measure(
-            SchemeConfig::CyclicRepetition { r },
-            m,
-            n,
-            &profile,
-            ROUNDS,
-            seed,
-        ),
-        measure(SchemeConfig::Bcc { r }, m, n, &profile, ROUNDS, seed),
-    ];
+    let arms = straggler_specs(seed).iter().map(measure_spec).collect();
     RandomStragglerResult {
         arms,
-        coded_worst_case: theory::k_coded(m, r),
+        coded_worst_case: theory::k_coded(60, 6),
     }
 }
 

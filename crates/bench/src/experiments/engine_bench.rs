@@ -11,13 +11,10 @@
 //! [`run_rounds`]: bcc_cluster::ClusterBackend::run_rounds
 
 use crate::report::{f1, f3, Table};
-use bcc_cluster::backend::FixedPointDriver;
-use bcc_cluster::{ClusterBackend, ClusterProfile, RunMetrics, UnitMap, VirtualCluster};
-use bcc_data::synthetic::{generate, SyntheticConfig};
-use bcc_optim::LogisticLoss;
-use bcc_stats::rng::derive_rng;
+use bcc_core::experiment::{
+    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
+};
 use serde::{Deserialize, Serialize};
-use std::time::Instant;
 
 /// Configuration of one engine-benchmark run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -94,50 +91,50 @@ pub struct EngineBenchResult {
     pub rows: Vec<EngineBenchRow>,
 }
 
+impl EngineBenchConfig {
+    /// The resolved specs this benchmark measures: fixed-point rounds
+    /// (no optimizer in the loop — pure engine throughput), one per paper
+    /// scheme.
+    #[must_use]
+    pub fn specs(&self) -> Vec<ExperimentSpec> {
+        super::scenario::paper_schemes(self.r)
+            .into_iter()
+            .map(|scheme| ExperimentSpec {
+                name: format!("engine bench / {}", scheme.name()),
+                workers: self.workers,
+                units: self.units,
+                scheme: scheme.spec(),
+                data: DataSpec::synthetic(self.points_per_unit, self.dim),
+                latency: LatencySpec::Ec2Like,
+                backend: BackendSpec::Virtual,
+                loss: LossSpec::Logistic,
+                optimizer: OptimizerSpec::FixedPoint,
+                iterations: self.rounds,
+                record_risk: false,
+                seed: self.seed,
+            })
+            .collect()
+    }
+}
+
 /// Runs the benchmark over the paper's scheme comparison set.
 #[must_use]
 pub fn run(config: &EngineBenchConfig) -> EngineBenchResult {
-    let data = generate(&SyntheticConfig {
-        num_examples: config.units * config.points_per_unit,
-        dim: config.dim,
-        separation: 1.5,
-        seed: config.seed,
-    });
-    let units = UnitMap::grouped(data.dataset.len(), config.units);
-
-    let rows = super::scenario::paper_schemes(config.r)
+    let rows = config
+        .specs()
         .into_iter()
-        .map(|scheme_config| {
-            let mut rng = derive_rng(config.seed, 0xE2612E);
-            let scheme = scheme_config.build(config.units, config.workers, &mut rng);
-            let mut backend =
-                VirtualCluster::new(ClusterProfile::ec2_like(config.workers), config.seed);
-            // Fixed broadcast weights: pure engine throughput, no optimizer
-            // in the loop.
-            let mut driver = FixedPointDriver::new(vec![0.0; config.dim]);
-            let start = Instant::now();
-            backend
-                .run_rounds(
-                    config.rounds,
-                    scheme.as_ref(),
-                    &units,
-                    &data.dataset,
-                    &LogisticLoss,
-                    &mut driver,
-                )
+        .map(|spec| {
+            let report = Experiment::from_spec(spec)
+                .expect("engine bench specs are structurally valid")
+                .run()
                 .expect("benchmark rounds complete");
-            let wall = start.elapsed().as_secs_f64();
-            let mut metrics = RunMetrics::new();
-            for outcome in &driver.outcomes {
-                metrics.absorb(&outcome.metrics);
-            }
             EngineBenchRow {
-                scheme: scheme.name().to_string(),
+                scheme: report.scheme,
                 rounds: config.rounds,
-                wall_seconds_per_round: wall / config.rounds as f64,
-                simulated_seconds_per_round: metrics.avg_round_time(),
-                avg_messages_used: metrics.avg_recovery_threshold(),
-                avg_communication_units: metrics.avg_communication_load(),
+                wall_seconds_per_round: report.wall_seconds / config.rounds as f64,
+                simulated_seconds_per_round: report.metrics.avg_round_time(),
+                avg_messages_used: report.metrics.avg_recovery_threshold(),
+                avg_communication_units: report.metrics.avg_communication_load(),
             }
         })
         .collect();

@@ -5,3 +5,4 @@ pub mod engine_bench;
 pub mod fig2;
 pub mod fig5;
 pub mod scenario;
+pub mod spec_run;

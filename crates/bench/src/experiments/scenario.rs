@@ -9,12 +9,11 @@
 //! and ordering* are the reproduction target, not absolute values.
 
 use crate::report::{f1, f3, Table};
-use bcc_cluster::{ClusterProfile, UnitMap, VirtualCluster};
-use bcc_core::driver::{DistributedGd, TrainingConfig};
+use bcc_core::experiment::{
+    BackendSpec, DataSpec, Experiment, ExperimentReport, ExperimentSpec, LatencySpec, LossSpec,
+    OptimizerSpec,
+};
 use bcc_core::schemes::SchemeConfig;
-use bcc_data::synthetic::{generate, SyntheticConfig};
-use bcc_optim::{LearningRate, LogisticLoss, Nesterov};
-use bcc_stats::rng::derive_rng;
 use serde::{Deserialize, Serialize};
 
 /// One scenario of the paper's EC2 evaluation.
@@ -90,6 +89,26 @@ impl ScenarioConfig {
     pub fn num_examples(&self) -> usize {
         self.units * self.points_per_unit
     }
+
+    /// The resolved [`ExperimentSpec`] for one scheme of this scenario —
+    /// the declarative form `repro scenario` replays from JSON.
+    #[must_use]
+    pub fn experiment_spec(&self, scheme: SchemeConfig, record_risk: bool) -> ExperimentSpec {
+        ExperimentSpec {
+            name: format!("{} / {}", self.name, scheme.name()),
+            workers: self.workers,
+            units: self.units,
+            scheme: scheme.spec(),
+            data: DataSpec::synthetic(self.points_per_unit, self.dim),
+            latency: LatencySpec::Ec2Like,
+            backend: BackendSpec::Virtual,
+            loss: LossSpec::Logistic,
+            optimizer: OptimizerSpec::nesterov(0.5),
+            iterations: self.iterations,
+            record_risk,
+            seed: self.seed,
+        }
+    }
 }
 
 /// One row of Table I/II.
@@ -120,6 +139,22 @@ pub struct ScenarioResult {
     pub rows: Vec<SchemeRow>,
 }
 
+impl SchemeRow {
+    /// Extracts the Table I/II columns from an experiment report.
+    #[must_use]
+    pub fn from_report(report: &ExperimentReport) -> Self {
+        Self {
+            scheme: report.scheme.clone(),
+            recovery_threshold: report.metrics.avg_recovery_threshold(),
+            communication_load: report.metrics.avg_communication_load(),
+            communication_time: report.metrics.comm_time,
+            computation_time: report.metrics.compute_time,
+            total_time: report.metrics.total_time,
+            final_risk: report.trace.final_risk(),
+        }
+    }
+}
+
 impl ScenarioResult {
     /// Row lookup by scheme name.
     #[must_use]
@@ -137,51 +172,15 @@ impl ScenarioResult {
     }
 }
 
-/// Runs one scheme through the full training loop on the virtual cluster.
+/// Runs one scheme of the scenario through the declarative experiment API
+/// (the paper trains logistic regression with Nesterov's method).
 fn run_scheme(config: &ScenarioConfig, scheme_cfg: SchemeConfig, record_risk: bool) -> SchemeRow {
-    let data = generate(&SyntheticConfig {
-        num_examples: config.num_examples(),
-        dim: config.dim,
-        separation: 1.5,
-        seed: config.seed,
-    });
-    let units = UnitMap::grouped(config.num_examples(), config.units);
-    let mut rng = derive_rng(config.seed, 0xC0DE);
-    let scheme = scheme_cfg.build(config.units, config.workers, &mut rng);
-    let mut backend = VirtualCluster::new(
-        ClusterProfile::ec2_like(config.workers),
-        bcc_stats::derive_seed(config.seed, 0x5EED),
-    );
-
-    // The paper trains logistic regression with Nesterov's method; the
-    // learning rate follows 1/L scaling for the scaled-down dataset.
-    let mut optimizer = Nesterov::new(vec![0.0; config.dim], LearningRate::Constant(0.5));
-    let mut driver = DistributedGd::new(
-        &mut backend,
-        scheme.as_ref(),
-        &units,
-        &data.dataset,
-        &LogisticLoss,
-    );
-    let report = driver
-        .train(
-            &mut optimizer,
-            &TrainingConfig {
-                iterations: config.iterations,
-                record_risk,
-            },
-        )
+    let spec = config.experiment_spec(scheme_cfg, record_risk);
+    let report = Experiment::from_spec(spec)
+        .expect("scenario specs are structurally valid")
+        .run()
         .expect("scenario schemes complete every round");
-
-    SchemeRow {
-        scheme: scheme.name().to_string(),
-        recovery_threshold: report.metrics.avg_recovery_threshold(),
-        communication_load: report.metrics.avg_communication_load(),
-        communication_time: report.metrics.comm_time,
-        computation_time: report.metrics.compute_time,
-        total_time: report.metrics.total_time,
-        final_risk: report.trace.final_risk(),
-    }
+    SchemeRow::from_report(&report)
 }
 
 /// The scheme set the paper's EC2 experiments compare.

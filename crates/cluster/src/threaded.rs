@@ -13,7 +13,7 @@
 //!
 //! All protocol logic lives in the shared [`RoundEngine`]; this file only
 //! produces arrivals: worker threads push wire-encoded envelopes into a
-//! channel, and [`ThreadedArrivals`] decodes them, models the serialized
+//! channel, and the internal `ThreadedArrivals` source decodes them, models the serialized
 //! receive port, and hands them to the engine. [`ClusterBackend::run_rounds`]
 //! is overridden to keep the worker threads alive across a whole training
 //! run, broadcasting fresh weights each round instead of re-spawning

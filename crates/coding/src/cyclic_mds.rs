@@ -43,14 +43,28 @@ impl CyclicMdsScheme {
     /// Builds the deterministic code for `n` workers/units and load `r`.
     ///
     /// # Panics
-    /// Panics when `r == 0` or `r > n`.
+    /// Panics when `r == 0` or `r > n`; [`Self::try_new`] is the fallible
+    /// form.
     #[must_use]
     pub fn new(n: usize, r: usize) -> Self {
-        assert!(r > 0 && r <= n, "need 0 < r ≤ n (n={n}, r={r})");
+        Self::try_new(n, r).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns [`CodingError::InvalidConfig`] instead
+    /// of panicking when the load is outside `0 < r ≤ n`.
+    ///
+    /// # Errors
+    /// [`CodingError::InvalidConfig`] when `r == 0` or `r > n`.
+    pub fn try_new(n: usize, r: usize) -> Result<Self, CodingError> {
+        if r == 0 || r > n {
+            return Err(CodingError::InvalidConfig {
+                reason: format!("cyclic MDS needs 0 < r ≤ n (n={n}, r={r})"),
+            });
+        }
         let s = r - 1;
         let b = Self::build_coding_matrix(n, s);
         let placement = Placement::cyclic(n, r);
-        Self { placement, b, n, r }
+        Ok(Self { placement, b, n, r })
     }
 
     fn build_coding_matrix(n: usize, s: usize) -> CMatrix {

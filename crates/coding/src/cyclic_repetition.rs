@@ -42,14 +42,28 @@ impl CyclicRepetitionScheme {
     /// Constructs the scheme via Algorithm 1 of \[7\].
     ///
     /// # Panics
-    /// Panics when `r == 0` or `r > n`.
+    /// Panics when `r == 0` or `r > n`; [`Self::try_new`] is the fallible
+    /// form.
     #[must_use]
     pub fn new<R: Rng + ?Sized>(n: usize, r: usize, rng: &mut R) -> Self {
-        assert!(r > 0 && r <= n, "need 0 < r ≤ n (n={n}, r={r})");
+        Self::try_new(n, r, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns [`CodingError::InvalidConfig`] instead
+    /// of panicking when the load is outside `0 < r ≤ n`.
+    ///
+    /// # Errors
+    /// [`CodingError::InvalidConfig`] when `r == 0` or `r > n`.
+    pub fn try_new<R: Rng + ?Sized>(n: usize, r: usize, rng: &mut R) -> Result<Self, CodingError> {
+        if r == 0 || r > n {
+            return Err(CodingError::InvalidConfig {
+                reason: format!("cyclic repetition needs 0 < r ≤ n (n={n}, r={r})"),
+            });
+        }
         let s = r - 1;
         let b = Self::build_coding_matrix(n, s, rng);
         let placement = Placement::cyclic(n, r);
-        Self { placement, b, n, r }
+        Ok(Self { placement, b, n, r })
     }
 
     /// Algorithm 1: random `H` with zero column sums, then per-row solves.

@@ -5,6 +5,13 @@ use std::fmt;
 /// Errors surfaced by gradient-coding schemes.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CodingError {
+    /// A scheme's structural requirements do not hold for the requested
+    /// `(m, n, r)` (e.g. cyclic codes need `m = n`, fractional repetition
+    /// needs `r | n`). Returned by the fallible `try_new` constructors.
+    InvalidConfig {
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
     /// Decode was requested before the scheme's completion condition held.
     NotComplete {
         /// Messages received so far.
@@ -38,6 +45,7 @@ pub enum CodingError {
 impl fmt::Display for CodingError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            Self::InvalidConfig { reason } => write!(f, "invalid scheme config: {reason}"),
             Self::NotComplete { received } => {
                 write!(f, "decode before completion ({received} messages received)")
             }
@@ -64,6 +72,11 @@ mod tests {
 
     #[test]
     fn display_mentions_details() {
+        assert!(CodingError::InvalidConfig {
+            reason: "needs r | n".into()
+        }
+        .to_string()
+        .contains("r | n"));
         assert!(CodingError::NotComplete { received: 3 }
             .to_string()
             .contains('3'));

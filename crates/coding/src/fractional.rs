@@ -29,20 +29,31 @@ impl FractionalRepetitionScheme {
     /// Builds the FR scheme.
     ///
     /// # Panics
-    /// Panics unless `r > 0` and `r` divides `n`.
+    /// Panics unless `r > 0` and `r` divides `n`; [`Self::try_new`] is the
+    /// fallible form.
     #[must_use]
     pub fn new(n: usize, r: usize) -> Self {
-        assert!(
-            r > 0 && n.is_multiple_of(r),
-            "fractional repetition needs r | n"
-        );
+        Self::try_new(n, r).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor: returns [`CodingError::InvalidConfig`] instead
+    /// of panicking when `r` does not divide `n`.
+    ///
+    /// # Errors
+    /// [`CodingError::InvalidConfig`] unless `r > 0` and `r | n`.
+    pub fn try_new(n: usize, r: usize) -> Result<Self, CodingError> {
+        if r == 0 || !n.is_multiple_of(r) {
+            return Err(CodingError::InvalidConfig {
+                reason: format!("fractional repetition needs r | n (n={n}, r={r})"),
+            });
+        }
         let placement = Placement::fractional_repetition(n, r);
-        Self {
+        Ok(Self {
             placement,
             n,
             r,
             shards: n / r,
-        }
+        })
     }
 
     /// Shard id stored by a worker.

@@ -10,7 +10,7 @@ use bcc_data::Placement;
 /// Encoders receive the worker's partial gradients **in the order of
 /// [`Placement::worker_examples`]** for that worker; decoders recover the
 /// exact sum `Σ_{j=1}^{m} g_j` over all examples.
-pub trait GradientCodingScheme: Send + Sync {
+pub trait GradientCodingScheme: std::fmt::Debug + Send + Sync {
     /// Human-readable scheme name (used in reports and benches).
     fn name(&self) -> &'static str;
 

@@ -1,0 +1,77 @@
+//! The unified error type of the facade: everything a declarative
+//! experiment can fail with, in one matchable enum.
+
+use crate::experiment::BuildError;
+use bcc_cluster::ClusterError;
+use bcc_coding::CodingError;
+use std::fmt;
+
+/// Any failure from building, loading, or running an experiment.
+///
+/// Callers of the `bcc` facade match this single type instead of juggling
+/// the per-layer errors; the variants keep the layer information for
+/// programmatic handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BccError {
+    /// Spec/builder validation failed (constraints, unknown scheme, …).
+    Build(BuildError),
+    /// A round could not complete (stall, worker failure, wire error).
+    Cluster(ClusterError),
+    /// A coding-layer encode/decode failure outside a round.
+    Coding(CodingError),
+    /// A spec file could not be read or parsed.
+    Spec(String),
+}
+
+impl fmt::Display for BccError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Build(e) => write!(f, "build error: {e}"),
+            Self::Cluster(e) => write!(f, "cluster error: {e}"),
+            Self::Coding(e) => write!(f, "coding error: {e}"),
+            Self::Spec(msg) => write!(f, "spec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BccError {}
+
+impl From<BuildError> for BccError {
+    fn from(e: BuildError) -> Self {
+        Self::Build(e)
+    }
+}
+
+impl From<ClusterError> for BccError {
+    fn from(e: ClusterError) -> Self {
+        Self::Cluster(e)
+    }
+}
+
+impl From<CodingError> for BccError {
+    fn from(e: CodingError) -> Self {
+        Self::Coding(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layers_convert_and_display() {
+        let e: BccError = BuildError::MissingField { field: "workers" }.into();
+        assert!(e.to_string().contains("workers"));
+        let e: BccError = ClusterError::Stalled {
+            received: 3,
+            reason: "dead worker".into(),
+        }
+        .into();
+        assert!(e.to_string().contains("dead worker"));
+        let e: BccError = CodingError::NotComplete { received: 1 }.into();
+        assert!(matches!(e, BccError::Coding(_)));
+        assert!(BccError::Spec("bad json".into())
+            .to_string()
+            .contains("bad json"));
+    }
+}

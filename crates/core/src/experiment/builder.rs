@@ -1,0 +1,593 @@
+//! The typed [`Experiment`] builder: validate a spec, resolve its scheme
+//! through the registry, and run it end to end.
+
+use super::error::BuildError;
+use super::registry::SchemeRegistry;
+use super::spec::{
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, SchemeSpec,
+};
+use crate::driver::{DistributedGd, TrainingConfig};
+use crate::error::BccError;
+use bcc_cluster::{
+    ClusterBackend, ClusterProfile, CommModel, RoundDriver, RoundOutcome, RunMetrics,
+    ThreadedCluster, UnitMap, VirtualCluster,
+};
+use bcc_coding::GradientCodingScheme;
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_optim::{
+    ConvergenceTrace, GradientDescent, LogisticLoss, Loss, Nesterov, Optimizer, SquaredLoss,
+};
+use bcc_stats::derive_seed;
+use bcc_stats::rng::derive_rng;
+use std::time::Instant;
+
+/// Stream tag for the scheme-placement RNG derived from the spec seed.
+const SCHEME_STREAM: u64 = 0xC0DE;
+/// Stream tag for the backend latency seed derived from the spec seed.
+const BACKEND_STREAM: u64 = 0x5EED;
+
+/// Outcome of running one [`Experiment`].
+#[derive(Debug, Clone)]
+pub struct ExperimentReport {
+    /// The resolved spec that produced this report (write it next to the
+    /// results and the run replays via `repro scenario`).
+    pub spec: ExperimentSpec,
+    /// Resolved scheme name.
+    pub scheme: String,
+    /// Final model iterate (all zeros under
+    /// [`OptimizerSpec::FixedPoint`]).
+    pub weights: Vec<f64>,
+    /// Convergence trace (empty when risk recording is off).
+    pub trace: ConvergenceTrace,
+    /// Aggregated round metrics — the Tables I/II quantities.
+    pub metrics: RunMetrics,
+    /// Host wall-clock seconds spent inside the round loop (excludes data
+    /// generation and scheme construction).
+    pub wall_seconds: f64,
+}
+
+/// A validated, ready-to-run experiment.
+///
+/// Construct through [`Experiment::builder`] or [`Experiment::from_spec`];
+/// both resolve the scheme through a [`SchemeRegistry`] and surface every
+/// structural constraint as a [`BuildError`] instead of a panic.
+pub struct Experiment {
+    spec: ExperimentSpec,
+    scheme: Box<dyn GradientCodingScheme>,
+    profile: ClusterProfile,
+}
+
+impl std::fmt::Debug for Experiment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Experiment")
+            .field("spec", &self.spec)
+            .field("scheme", &self.scheme.name())
+            .finish()
+    }
+}
+
+impl Experiment {
+    /// Starts a builder with every optional field at its default.
+    #[must_use]
+    pub fn builder() -> ExperimentBuilder {
+        ExperimentBuilder::default()
+    }
+
+    /// Validates `spec` against the built-in registry.
+    ///
+    /// # Errors
+    /// Any [`BuildError`] the builder reports.
+    pub fn from_spec(spec: ExperimentSpec) -> Result<Self, BuildError> {
+        Self::from_spec_with(spec, &SchemeRegistry::builtin())
+    }
+
+    /// Validates `spec`, resolving its scheme through `registry`.
+    ///
+    /// # Errors
+    /// Any [`BuildError`] the builder reports.
+    pub fn from_spec_with(
+        spec: ExperimentSpec,
+        registry: &SchemeRegistry,
+    ) -> Result<Self, BuildError> {
+        validate_spec(&spec)?;
+        let profile = resolve_profile(&spec.latency, spec.workers)?;
+        let mut rng = derive_rng(spec.seed, SCHEME_STREAM);
+        let scheme = registry.build(&spec.scheme, spec.units, spec.workers, &mut rng)?;
+        Ok(Self {
+            spec,
+            scheme,
+            profile,
+        })
+    }
+
+    /// The resolved spec.
+    #[must_use]
+    pub fn spec(&self) -> &ExperimentSpec {
+        &self.spec
+    }
+
+    /// The resolved scheme.
+    #[must_use]
+    pub fn scheme(&self) -> &dyn GradientCodingScheme {
+        self.scheme.as_ref()
+    }
+
+    /// The resolved cluster profile.
+    #[must_use]
+    pub fn profile(&self) -> &ClusterProfile {
+        &self.profile
+    }
+
+    /// Runs the experiment: generate data, spin up the backend, and drive
+    /// `iterations` rounds through the optimizer.
+    ///
+    /// Deterministic on the virtual backend: the dataset derives from the
+    /// spec seed, the scheme placement from `derive(seed, 0xC0DE)`, and the
+    /// backend latency stream from `derive(seed, 0x5EED)`.
+    ///
+    /// # Errors
+    /// [`BccError::Cluster`] when a round cannot complete (stall, worker
+    /// failure, wire error).
+    pub fn run(&self) -> Result<ExperimentReport, BccError> {
+        let spec = &self.spec;
+        let (num_examples, dim) = spec.data.shape(spec.units);
+        let DataSpec::Synthetic { separation, .. } = spec.data;
+        let data = generate(&SyntheticConfig {
+            num_examples,
+            dim,
+            separation,
+            seed: spec.seed,
+        });
+        let units = UnitMap::grouped(num_examples, spec.units);
+        let loss: &dyn Loss = match spec.loss {
+            LossSpec::Logistic => &LogisticLoss,
+            LossSpec::Squared => &SquaredLoss,
+        };
+        let backend_seed = derive_seed(spec.seed, BACKEND_STREAM);
+        let mut backend: Box<dyn ClusterBackend> = match spec.backend {
+            BackendSpec::Virtual => {
+                Box::new(VirtualCluster::new(self.profile.clone(), backend_seed))
+            }
+            BackendSpec::Threaded { time_scale } => Box::new(ThreadedCluster::new(
+                self.profile.clone(),
+                backend_seed,
+                time_scale,
+            )),
+        };
+
+        let mut optimizer: Option<Box<dyn Optimizer>> = match spec.optimizer {
+            OptimizerSpec::Nesterov { rate } => Some(Box::new(Nesterov::new(vec![0.0; dim], rate))),
+            OptimizerSpec::GradientDescent { rate } => {
+                Some(Box::new(GradientDescent::new(vec![0.0; dim], rate)))
+            }
+            OptimizerSpec::FixedPoint => None,
+        };
+
+        let start = Instant::now();
+        let (weights, trace, metrics) = match optimizer.as_mut() {
+            Some(opt) => {
+                let mut driver = DistributedGd::new(
+                    backend.as_mut(),
+                    self.scheme.as_ref(),
+                    &units,
+                    &data.dataset,
+                    loss,
+                );
+                let report = driver.train(
+                    opt.as_mut(),
+                    &TrainingConfig {
+                        iterations: spec.iterations,
+                        record_risk: spec.record_risk,
+                    },
+                )?;
+                (report.weights, report.trace, report.metrics)
+            }
+            None => {
+                // Fixed-point mode: broadcast w = 0 every round and only
+                // collect metrics — the round process without optimization.
+                let mut driver = MetricsDriver {
+                    weights: vec![0.0; dim],
+                    metrics: RunMetrics::new(),
+                };
+                backend.run_rounds(
+                    spec.iterations,
+                    self.scheme.as_ref(),
+                    &units,
+                    &data.dataset,
+                    loss,
+                    &mut driver,
+                )?;
+                (driver.weights, ConvergenceTrace::new(), driver.metrics)
+            }
+        };
+        let wall_seconds = start.elapsed().as_secs_f64();
+
+        Ok(ExperimentReport {
+            spec: spec.clone(),
+            scheme: self.scheme.name().to_string(),
+            weights,
+            trace,
+            metrics,
+            wall_seconds,
+        })
+    }
+}
+
+/// [`RoundDriver`] for fixed-point mode: constant broadcast, metrics only.
+struct MetricsDriver {
+    weights: Vec<f64>,
+    metrics: RunMetrics,
+}
+
+impl RoundDriver for MetricsDriver {
+    fn eval_point(&mut self, _round: usize) -> Vec<f64> {
+        self.weights.clone()
+    }
+
+    fn consume(&mut self, _round: usize, outcome: RoundOutcome) {
+        self.metrics.absorb(&outcome.metrics);
+    }
+}
+
+/// Typed builder over [`ExperimentSpec`] — see the crate-level example.
+///
+/// `workers`, `units`, and `scheme` are required; everything else defaults
+/// to the paper's scenario settings (synthetic data, EC2-like latency,
+/// virtual backend, logistic loss, Nesterov at 0.5, 100 iterations).
+#[derive(Debug, Default)]
+pub struct ExperimentBuilder {
+    name: Option<String>,
+    workers: Option<usize>,
+    units: Option<usize>,
+    scheme: Option<SchemeSpec>,
+    data: Option<DataSpec>,
+    latency: Option<LatencySpec>,
+    backend: Option<BackendSpec>,
+    loss: Option<LossSpec>,
+    optimizer: Option<OptimizerSpec>,
+    iterations: Option<usize>,
+    record_risk: Option<bool>,
+    seed: Option<u64>,
+    registry: Option<SchemeRegistry>,
+}
+
+impl ExperimentBuilder {
+    /// Display name for reports and artifacts.
+    #[must_use]
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.name = Some(name.into());
+        self
+    }
+
+    /// Number of workers `n` (required).
+    #[must_use]
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = Some(n);
+        self
+    }
+
+    /// Number of coding units `m` (required).
+    #[must_use]
+    pub fn units(mut self, m: usize) -> Self {
+        self.units = Some(m);
+        self
+    }
+
+    /// The scheme (required): a [`SchemeSpec`] or anything convertible
+    /// (e.g. a [`SchemeConfig`](crate::schemes::SchemeConfig)).
+    #[must_use]
+    pub fn scheme(mut self, scheme: impl Into<SchemeSpec>) -> Self {
+        self.scheme = Some(scheme.into());
+        self
+    }
+
+    /// Dataset shape.
+    #[must_use]
+    pub fn data(mut self, data: DataSpec) -> Self {
+        self.data = Some(data);
+        self
+    }
+
+    /// Worker-latency and link model.
+    #[must_use]
+    pub fn latency(mut self, latency: LatencySpec) -> Self {
+        self.latency = Some(latency);
+        self
+    }
+
+    /// Cluster runtime.
+    #[must_use]
+    pub fn backend(mut self, backend: BackendSpec) -> Self {
+        self.backend = Some(backend);
+        self
+    }
+
+    /// Per-example loss.
+    #[must_use]
+    pub fn loss(mut self, loss: LossSpec) -> Self {
+        self.loss = Some(loss);
+        self
+    }
+
+    /// Gradient consumer.
+    #[must_use]
+    pub fn optimizer(mut self, optimizer: OptimizerSpec) -> Self {
+        self.optimizer = Some(optimizer);
+        self
+    }
+
+    /// GD iterations / measured rounds.
+    #[must_use]
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = Some(iterations);
+        self
+    }
+
+    /// Whether to record the empirical risk each iteration.
+    #[must_use]
+    pub fn record_risk(mut self, record: bool) -> Self {
+        self.record_risk = Some(record);
+        self
+    }
+
+    /// Master seed for data, placement, and latency streams.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Resolve the scheme through a custom registry instead of the
+    /// built-ins.
+    #[must_use]
+    pub fn registry(mut self, registry: SchemeRegistry) -> Self {
+        self.registry = Some(registry);
+        self
+    }
+
+    /// Validates and assembles the experiment.
+    ///
+    /// # Errors
+    /// [`BuildError::MissingField`] for unset required fields, then every
+    /// structural check [`Experiment::from_spec_with`] performs.
+    pub fn build(self) -> Result<Experiment, BuildError> {
+        let defaults = ExperimentSpec::with_required(
+            self.workers
+                .ok_or(BuildError::MissingField { field: "workers" })?,
+            self.units
+                .ok_or(BuildError::MissingField { field: "units" })?,
+            self.scheme
+                .ok_or(BuildError::MissingField { field: "scheme" })?,
+        );
+        let spec = ExperimentSpec {
+            name: self.name.unwrap_or(defaults.name),
+            data: self.data.unwrap_or(defaults.data),
+            latency: self.latency.unwrap_or(defaults.latency),
+            backend: self.backend.unwrap_or(defaults.backend),
+            loss: self.loss.unwrap_or(defaults.loss),
+            optimizer: self.optimizer.unwrap_or(defaults.optimizer),
+            iterations: self.iterations.unwrap_or(defaults.iterations),
+            record_risk: self.record_risk.unwrap_or(defaults.record_risk),
+            seed: self.seed.unwrap_or(defaults.seed),
+            workers: defaults.workers,
+            units: defaults.units,
+            scheme: defaults.scheme,
+        };
+        match self.registry {
+            Some(reg) => Experiment::from_spec_with(spec, &reg),
+            None => Experiment::from_spec(spec),
+        }
+    }
+}
+
+/// Structural checks that do not need the registry.
+fn validate_spec(spec: &ExperimentSpec) -> Result<(), BuildError> {
+    let positive = |field: &'static str, value: usize| {
+        if value == 0 {
+            Err(BuildError::InvalidValue {
+                field,
+                reason: "must be positive".into(),
+            })
+        } else {
+            Ok(())
+        }
+    };
+    positive("workers", spec.workers)?;
+    positive("units", spec.units)?;
+    positive("iterations", spec.iterations)?;
+    let DataSpec::Synthetic {
+        points_per_unit,
+        dim,
+        separation,
+    } = spec.data;
+    positive("data.points_per_unit", points_per_unit)?;
+    positive("data.dim", dim)?;
+    if !separation.is_finite() || separation <= 0.0 {
+        return Err(BuildError::InvalidValue {
+            field: "data.separation",
+            reason: format!("must be positive and finite, got {separation}"),
+        });
+    }
+    if let BackendSpec::Threaded { time_scale } = spec.backend {
+        if !time_scale.is_finite() || time_scale <= 0.0 {
+            return Err(BuildError::InvalidValue {
+                field: "backend.time_scale",
+                reason: format!("must be positive and finite, got {time_scale}"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Resolves the latency spec into a concrete profile for `n` workers.
+fn resolve_profile(latency: &LatencySpec, n: usize) -> Result<ClusterProfile, BuildError> {
+    match latency {
+        LatencySpec::Ec2Like => Ok(ClusterProfile::ec2_like(n)),
+        LatencySpec::Fig5Heterogeneous => {
+            let profile = ClusterProfile::fig5_heterogeneous();
+            if profile.num_workers() != n {
+                return Err(BuildError::WorkerCountMismatch {
+                    profile: profile.num_workers(),
+                    workers: n,
+                });
+            }
+            Ok(profile)
+        }
+        LatencySpec::Homogeneous {
+            mu,
+            a,
+            per_message_overhead,
+            per_unit,
+        } => {
+            if !mu.is_finite() || *mu <= 0.0 {
+                return Err(BuildError::InvalidValue {
+                    field: "latency.mu",
+                    reason: format!("must be positive and finite, got {mu}"),
+                });
+            }
+            Ok(ClusterProfile::homogeneous(
+                n,
+                *mu,
+                *a,
+                CommModel {
+                    per_message_overhead: *per_message_overhead,
+                    per_unit: *per_unit,
+                },
+            ))
+        }
+        LatencySpec::Explicit { workers, comm } => {
+            if workers.len() != n {
+                return Err(BuildError::WorkerCountMismatch {
+                    profile: workers.len(),
+                    workers: n,
+                });
+            }
+            Ok(ClusterProfile {
+                workers: workers.clone(),
+                comm: *comm,
+            })
+        }
+    }
+}
+
+impl From<crate::schemes::SchemeConfig> for SchemeSpec {
+    fn from(cfg: crate::schemes::SchemeConfig) -> Self {
+        cfg.spec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::SchemeConfig;
+
+    fn tiny_builder() -> ExperimentBuilder {
+        Experiment::builder()
+            .name("tiny")
+            .workers(10)
+            .units(10)
+            .scheme(SchemeConfig::Bcc { r: 2 })
+            .data(DataSpec::synthetic(5, 4))
+            .iterations(8)
+            .seed(7)
+    }
+
+    #[test]
+    fn builder_runs_and_improves_risk() {
+        let report = tiny_builder().build().unwrap().run().unwrap();
+        assert_eq!(report.scheme, "bcc");
+        assert_eq!(report.metrics.rounds, 8);
+        assert!(report.trace.improved());
+        assert!(report.metrics.avg_recovery_threshold() <= 10.0);
+        assert!(report.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn fixed_point_mode_only_measures() {
+        let report = tiny_builder()
+            .optimizer(OptimizerSpec::FixedPoint)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(report.trace.is_empty());
+        assert!(report.weights.iter().all(|&w| w == 0.0));
+        assert_eq!(report.metrics.rounds, 8);
+    }
+
+    #[test]
+    fn runs_are_deterministic_on_the_virtual_backend() {
+        let a = tiny_builder().build().unwrap().run().unwrap();
+        let b = tiny_builder().build().unwrap().run().unwrap();
+        assert_eq!(a.metrics.messages_used, b.metrics.messages_used);
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.metrics.total_time, b.metrics.total_time);
+    }
+
+    #[test]
+    fn spec_and_builder_paths_agree() {
+        let built = tiny_builder().build().unwrap();
+        let from_spec = Experiment::from_spec(built.spec().clone()).unwrap();
+        let a = built.run().unwrap();
+        let b = from_spec.run().unwrap();
+        assert_eq!(a.metrics.messages_used, b.metrics.messages_used);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn json_spec_drives_the_same_run() {
+        let built = tiny_builder().build().unwrap();
+        let json = built.spec().to_json_pretty().unwrap();
+        let reloaded = Experiment::from_spec(ExperimentSpec::from_json(&json).unwrap()).unwrap();
+        let a = built.run().unwrap();
+        let b = reloaded.run().unwrap();
+        assert_eq!(a.metrics.messages_used, b.metrics.messages_used);
+        assert_eq!(a.weights, b.weights);
+    }
+
+    #[test]
+    fn missing_required_fields_are_typed() {
+        let err = Experiment::builder().build().unwrap_err();
+        assert_eq!(err, BuildError::MissingField { field: "workers" });
+        let err = Experiment::builder().workers(4).build().unwrap_err();
+        assert_eq!(err, BuildError::MissingField { field: "units" });
+        let err = Experiment::builder()
+            .workers(4)
+            .units(4)
+            .build()
+            .unwrap_err();
+        assert_eq!(err, BuildError::MissingField { field: "scheme" });
+    }
+
+    #[test]
+    fn explicit_profile_must_match_workers() {
+        let err = tiny_builder()
+            .latency(LatencySpec::from_profile(&ClusterProfile::ec2_like(3)))
+            .build()
+            .unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::WorkerCountMismatch {
+                profile: 3,
+                workers: 10
+            }
+        );
+    }
+
+    #[test]
+    fn custom_registry_schemes_run() {
+        let mut reg = SchemeRegistry::builtin();
+        reg.register("everyone", |_spec, m, n, _rng| {
+            Ok(Box::new(bcc_coding::UncodedScheme::new(m, n)) as Box<dyn GradientCodingScheme>)
+        });
+        let report = tiny_builder()
+            .scheme(SchemeSpec::named("everyone"))
+            .registry(reg)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        // Uncoded waits for every worker.
+        assert_eq!(report.metrics.avg_recovery_threshold(), 10.0);
+    }
+}

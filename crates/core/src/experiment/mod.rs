@@ -1,0 +1,45 @@
+//! The declarative experiment API.
+//!
+//! Three pieces, layered:
+//!
+//! * [`ExperimentSpec`] — the serde-able description of one experiment
+//!   (workers, units, scheme-by-name, data, latency, backend, loss,
+//!   optimizer, seed). Specs round-trip through JSON, so scenarios are
+//!   *data*: `repro scenario <spec.json>` replays any of them with no Rust
+//!   changes.
+//! * [`SchemeRegistry`] — an open name → factory map. The built-in
+//!   registrations are the paper's comparison set
+//!   ([`SchemeConfig`](crate::schemes::SchemeConfig)); downstream code
+//!   registers custom schemes under new names.
+//! * [`Experiment`] / [`ExperimentBuilder`] — typed wiring + validation.
+//!   Every structural constraint (`m = n` for the cyclic codes, `r | n` for
+//!   fractional repetition, placement coverage, profile/worker agreement)
+//!   surfaces as a [`BuildError`] variant instead of a panic.
+//!
+//! ```
+//! use bcc_core::experiment::{DataSpec, Experiment, SchemeSpec};
+//!
+//! let report = Experiment::builder()
+//!     .workers(10)
+//!     .units(10)
+//!     .scheme(SchemeSpec::with_load("bcc", 2))
+//!     .data(DataSpec::synthetic(5, 4))
+//!     .iterations(5)
+//!     .seed(7)
+//!     .build()?
+//!     .run()?;
+//! assert!(report.metrics.avg_recovery_threshold() <= 10.0);
+//! # Ok::<(), bcc_core::BccError>(())
+//! ```
+
+mod builder;
+mod error;
+mod registry;
+mod spec;
+
+pub use builder::{Experiment, ExperimentBuilder, ExperimentReport};
+pub use error::BuildError;
+pub use registry::{SchemeFactory, SchemeRegistry};
+pub use spec::{
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, SchemeSpec,
+};

@@ -1,0 +1,169 @@
+//! The open scheme registry: name → factory.
+//!
+//! The built-in registrations are the paper's comparison set (everything
+//! [`SchemeConfig`] can describe). Downstream code extends the set by
+//! registering its own factory under a new name and handing the registry to
+//! [`ExperimentBuilder::registry`](super::ExperimentBuilder::registry) —
+//! spec files can then name custom schemes with no changes here.
+
+use super::error::BuildError;
+use super::spec::SchemeSpec;
+use crate::schemes::SchemeConfig;
+use bcc_coding::GradientCodingScheme;
+use rand::RngCore;
+use std::collections::BTreeMap;
+
+/// A scheme factory: builds a scheme for `m` units over `n` workers from a
+/// spec, drawing any randomized placement from `rng`.
+pub type SchemeFactory = Box<
+    dyn Fn(
+            &SchemeSpec,
+            usize,
+            usize,
+            &mut dyn RngCore,
+        ) -> Result<Box<dyn GradientCodingScheme>, BuildError>
+        + Send
+        + Sync,
+>;
+
+/// Name → factory map resolving [`SchemeSpec`]s to scheme instances.
+pub struct SchemeRegistry {
+    factories: BTreeMap<String, SchemeFactory>,
+}
+
+impl SchemeRegistry {
+    /// A registry with no registrations.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// The registry with every scheme in the paper's comparison registered
+    /// under its report name (see [`SchemeConfig::name`]).
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut reg = Self::empty();
+        for name in SchemeConfig::BUILTIN_NAMES {
+            reg.register(name, |spec, m, n, rng| {
+                SchemeConfig::from_spec(spec)?.try_build(m, n, rng)
+            });
+        }
+        reg
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn(
+                &SchemeSpec,
+                usize,
+                usize,
+                &mut dyn RngCore,
+            ) -> Result<Box<dyn GradientCodingScheme>, BuildError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Whether `name` resolves.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Every registered name, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// Resolves and builds the scheme for `m` units over `n` workers.
+    ///
+    /// # Errors
+    /// [`BuildError::UnknownScheme`] when the name has no registration, plus
+    /// whatever constraint error the factory reports.
+    pub fn build(
+        &self,
+        spec: &SchemeSpec,
+        m: usize,
+        n: usize,
+        rng: &mut dyn RngCore,
+    ) -> Result<Box<dyn GradientCodingScheme>, BuildError> {
+        let factory = self
+            .factories
+            .get(&spec.name)
+            .ok_or_else(|| BuildError::UnknownScheme {
+                name: spec.name.clone(),
+                known: self.names(),
+            })?;
+        factory(spec, m, n, rng)
+    }
+}
+
+impl Default for SchemeRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl std::fmt::Debug for SchemeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SchemeRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_coding::UncodedScheme;
+    use bcc_stats::rng::derive_rng;
+
+    #[test]
+    fn builtin_covers_the_paper_comparison() {
+        let reg = SchemeRegistry::builtin();
+        for name in SchemeConfig::BUILTIN_NAMES {
+            assert!(reg.contains(name), "missing builtin `{name}`");
+        }
+        let mut rng = derive_rng(1, 0);
+        let scheme = reg
+            .build(&SchemeSpec::with_load("bcc", 4), 20, 20, &mut rng)
+            .unwrap();
+        assert_eq!(scheme.name(), "bcc");
+    }
+
+    #[test]
+    fn unknown_name_lists_registrations() {
+        let reg = SchemeRegistry::builtin();
+        let mut rng = derive_rng(1, 0);
+        let err = reg
+            .build(&SchemeSpec::named("lt-codes"), 10, 10, &mut rng)
+            .unwrap_err();
+        match err {
+            BuildError::UnknownScheme { name, known } => {
+                assert_eq!(name, "lt-codes");
+                assert!(known.contains(&"uncoded".to_string()));
+            }
+            other => panic!("expected UnknownScheme, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_registrations_resolve() {
+        let mut reg = SchemeRegistry::builtin();
+        reg.register("everyone", |_spec, m, n, _rng| {
+            Ok(Box::new(UncodedScheme::new(m, n)) as Box<dyn GradientCodingScheme>)
+        });
+        let mut rng = derive_rng(2, 0);
+        let scheme = reg
+            .build(&SchemeSpec::named("everyone"), 8, 4, &mut rng)
+            .unwrap();
+        assert_eq!(scheme.num_workers(), 4);
+        assert!(reg.names().contains(&"everyone".to_string()));
+    }
+}

@@ -1,0 +1,400 @@
+//! The serde-able description of one experiment.
+//!
+//! An [`ExperimentSpec`] is the declarative form of everything the
+//! [`Experiment`](super::Experiment) builder wires: worker/unit counts, the
+//! scheme (by registry name), the dataset, the latency profile, the cluster
+//! backend, the loss, and the optimizer. Specs round-trip through JSON, so
+//! every scenario is reproducible from a file (`repro scenario <spec.json>`)
+//! with no Rust changes.
+//!
+//! Deserialization is forgiving: only `workers`, `units`, and `scheme` are
+//! required; every other field falls back to the paper's scenario defaults
+//! (see [`ExperimentSpec`] field docs). Serialization always writes every
+//! field, so a *resolved* spec written next to an artifact replays exactly.
+
+use bcc_cluster::{ClusterProfile, CommModel, WorkerProfile};
+use bcc_optim::LearningRate;
+use serde::{Deserialize, Serialize, Value};
+
+/// A scheme reference: registry name plus the optional computational load.
+///
+/// In JSON either a bare string (`"uncoded"`) or an object
+/// (`{"name": "bcc", "r": 10}`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct SchemeSpec {
+    /// Registry name (`"bcc"`, `"uncoded"`, `"cyclic-repetition"`, … or a
+    /// custom registration).
+    pub name: String,
+    /// Computational load `r` in units per worker; `None` for schemes that
+    /// derive it (uncoded).
+    pub r: Option<usize>,
+}
+
+impl SchemeSpec {
+    /// A scheme referenced by name alone.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            r: None,
+        }
+    }
+
+    /// A scheme at computational load `r`.
+    #[must_use]
+    pub fn with_load(name: impl Into<String>, r: usize) -> Self {
+        Self {
+            name: name.into(),
+            r: Some(r),
+        }
+    }
+}
+
+impl Deserialize for SchemeSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Str(name) => Ok(Self::named(name.clone())),
+            Value::Object(_) => Ok(Self {
+                name: String::from_value(v.field("name")?)?,
+                r: opt_field(v, "r")?,
+            }),
+            other => Err(serde::Error::msg(format!(
+                "expected scheme name or {{name, r}} object, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Where the training data comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DataSpec {
+    /// The paper's synthetic logistic model (§III-C), sized per coding unit.
+    Synthetic {
+        /// Data points per coding unit (paper: 100).
+        points_per_unit: usize,
+        /// Feature dimension.
+        dim: usize,
+        /// Class separation of the generative model.
+        separation: f64,
+    },
+}
+
+impl DataSpec {
+    /// The paper's per-unit batch shape at a laptop-friendly dimension.
+    #[must_use]
+    pub fn synthetic(points_per_unit: usize, dim: usize) -> Self {
+        Self::Synthetic {
+            points_per_unit,
+            dim,
+            separation: 1.5,
+        }
+    }
+
+    /// `(num_examples, dim)` for a problem with `units` coding units.
+    #[must_use]
+    pub fn shape(&self, units: usize) -> (usize, usize) {
+        match *self {
+            Self::Synthetic {
+                points_per_unit,
+                dim,
+                ..
+            } => (units * points_per_unit, dim),
+        }
+    }
+}
+
+impl Default for DataSpec {
+    fn default() -> Self {
+        Self::synthetic(100, 100)
+    }
+}
+
+/// The worker-latency and master-link model.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub enum LatencySpec {
+    /// [`ClusterProfile::ec2_like`] — the Tables I/II regime.
+    #[default]
+    Ec2Like,
+    /// [`ClusterProfile::fig5_heterogeneous`] — §IV's 95-slow/5-fast cluster.
+    Fig5Heterogeneous,
+    /// Homogeneous workers with an explicit link model.
+    Homogeneous {
+        /// Straggling parameter `μ` (larger ⇒ lighter tail).
+        mu: f64,
+        /// Deterministic per-unit shift `a`.
+        a: f64,
+        /// Fixed per-message overhead at the master (seconds).
+        per_message_overhead: f64,
+        /// Seconds per communication unit at the master.
+        per_unit: f64,
+    },
+    /// Fully explicit per-worker profiles (must match the spec's worker
+    /// count).
+    Explicit {
+        /// One profile per worker.
+        workers: Vec<WorkerProfile>,
+        /// The master's receive link.
+        comm: CommModel,
+    },
+}
+
+impl LatencySpec {
+    /// Captures an existing [`ClusterProfile`] as an explicit spec.
+    #[must_use]
+    pub fn from_profile(profile: &ClusterProfile) -> Self {
+        Self::Explicit {
+            workers: profile.workers.clone(),
+            comm: profile.comm,
+        }
+    }
+}
+
+/// Which cluster runtime executes the rounds.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub enum BackendSpec {
+    /// The deterministic DES runtime (`VirtualCluster`) — figures/sweeps.
+    #[default]
+    Virtual,
+    /// The OS-thread runtime (`ThreadedCluster`) with real wire messages.
+    Threaded {
+        /// Wall seconds per simulated second of injected latency.
+        time_scale: f64,
+    },
+}
+
+/// The per-example loss.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LossSpec {
+    /// Logistic loss in the paper's ±1 convention.
+    #[default]
+    Logistic,
+    /// Squared loss.
+    Squared,
+}
+
+/// The gradient consumer driving the rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerSpec {
+    /// Nesterov's accelerated method (the paper's optimizer).
+    Nesterov {
+        /// Learning-rate schedule.
+        rate: LearningRate,
+    },
+    /// Vanilla gradient descent.
+    GradientDescent {
+        /// Learning-rate schedule.
+        rate: LearningRate,
+    },
+    /// No optimizer: broadcast `w = 0` every round. Isolates the round
+    /// process itself — recovery thresholds, loads, and times — from the
+    /// optimization trajectory (the ablations' measurement mode).
+    FixedPoint,
+}
+
+impl OptimizerSpec {
+    /// Nesterov at a constant rate — the paper's configuration.
+    #[must_use]
+    pub fn nesterov(rate: f64) -> Self {
+        Self::Nesterov {
+            rate: LearningRate::Constant(rate),
+        }
+    }
+}
+
+impl Default for OptimizerSpec {
+    fn default() -> Self {
+        Self::nesterov(0.5)
+    }
+}
+
+/// Declarative description of one experiment — the unit `repro scenario`
+/// replays from JSON and the [`Experiment`](super::Experiment) builder
+/// validates and runs.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ExperimentSpec {
+    /// Display name (defaults to `"experiment"`).
+    pub name: String,
+    /// Number of workers `n` (required).
+    pub workers: usize,
+    /// Number of coding units `m` (required).
+    pub units: usize,
+    /// The scheme, by registry name (required).
+    pub scheme: SchemeSpec,
+    /// Dataset (default: synthetic, 100 points/unit × 100 features).
+    pub data: DataSpec,
+    /// Latency model (default: EC2-like).
+    pub latency: LatencySpec,
+    /// Cluster runtime (default: virtual DES).
+    pub backend: BackendSpec,
+    /// Loss (default: logistic).
+    pub loss: LossSpec,
+    /// Optimizer (default: Nesterov at constant rate 0.5).
+    pub optimizer: OptimizerSpec,
+    /// GD iterations / measured rounds (default: 100, the paper's count).
+    pub iterations: usize,
+    /// Record the empirical risk each iteration (default: true).
+    pub record_risk: bool,
+    /// Master seed; data, scheme placement, and backend latency streams all
+    /// derive deterministically from it (default: 2024).
+    pub seed: u64,
+}
+
+impl ExperimentSpec {
+    /// Default display name.
+    pub const DEFAULT_NAME: &'static str = "experiment";
+    /// Default iteration count (the paper runs 100).
+    pub const DEFAULT_ITERATIONS: usize = 100;
+    /// Risk recording defaults to on.
+    pub const DEFAULT_RECORD_RISK: bool = true;
+    /// Default master seed.
+    pub const DEFAULT_SEED: u64 = 2024;
+
+    /// A spec from the three required fields, everything else at the paper
+    /// defaults — the single source both the builder and the JSON
+    /// deserializer fill from.
+    #[must_use]
+    pub fn with_required(workers: usize, units: usize, scheme: SchemeSpec) -> Self {
+        Self {
+            name: Self::DEFAULT_NAME.into(),
+            workers,
+            units,
+            scheme,
+            data: DataSpec::default(),
+            latency: LatencySpec::default(),
+            backend: BackendSpec::default(),
+            loss: LossSpec::default(),
+            optimizer: OptimizerSpec::default(),
+            iterations: Self::DEFAULT_ITERATIONS,
+            record_risk: Self::DEFAULT_RECORD_RISK,
+            seed: Self::DEFAULT_SEED,
+        }
+    }
+
+    /// Serializes to pretty-printed JSON.
+    ///
+    /// # Errors
+    /// Propagates serializer failures.
+    pub fn to_json_pretty(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a spec from JSON (missing optional fields take defaults).
+    ///
+    /// # Errors
+    /// On malformed JSON or a shape that misses a required field.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+impl Deserialize for ExperimentSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        if !matches!(v, Value::Object(_)) {
+            return Err(serde::Error::msg(format!(
+                "expected experiment object, got {v:?}"
+            )));
+        }
+        let defaults = Self::with_required(
+            required(v, "workers")?,
+            required(v, "units")?,
+            required(v, "scheme")?,
+        );
+        Ok(Self {
+            name: opt_field(v, "name")?.unwrap_or(defaults.name),
+            data: opt_field(v, "data")?.unwrap_or(defaults.data),
+            latency: opt_field(v, "latency")?.unwrap_or(defaults.latency),
+            backend: opt_field(v, "backend")?.unwrap_or(defaults.backend),
+            loss: opt_field(v, "loss")?.unwrap_or(defaults.loss),
+            optimizer: opt_field(v, "optimizer")?.unwrap_or(defaults.optimizer),
+            iterations: opt_field(v, "iterations")?.unwrap_or(defaults.iterations),
+            record_risk: opt_field(v, "record_risk")?.unwrap_or(defaults.record_risk),
+            seed: opt_field(v, "seed")?.unwrap_or(defaults.seed),
+            workers: defaults.workers,
+            units: defaults.units,
+            scheme: defaults.scheme,
+        })
+    }
+}
+
+/// A required spec field: absent or null is an error.
+fn required<T: Deserialize>(v: &Value, key: &str) -> Result<T, serde::Error> {
+    opt_field(v, key)?.ok_or_else(|| serde::Error::msg(format!("missing field `{key}`")))
+}
+
+/// An optional spec field: absent and `null` both read as `None`.
+fn opt_field<T: Deserialize>(v: &Value, key: &str) -> Result<Option<T>, serde::Error> {
+    match v.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(x) => T::from_value(x).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_spec_takes_defaults() {
+        let spec =
+            ExperimentSpec::from_json(r#"{"workers": 10, "units": 10, "scheme": "uncoded"}"#)
+                .unwrap();
+        assert_eq!(spec.workers, 10);
+        assert_eq!(spec.scheme, SchemeSpec::named("uncoded"));
+        assert_eq!(spec.name, "experiment");
+        assert_eq!(spec.iterations, 100);
+        assert_eq!(spec.latency, LatencySpec::Ec2Like);
+        assert_eq!(spec.backend, BackendSpec::Virtual);
+        assert!(spec.record_risk);
+        assert_eq!(spec.seed, 2024);
+    }
+
+    #[test]
+    fn scheme_accepts_string_or_object() {
+        let s: SchemeSpec = serde_json::from_str(r#""bcc""#).unwrap();
+        assert_eq!(s, SchemeSpec::named("bcc"));
+        let s: SchemeSpec = serde_json::from_str(r#"{"name": "bcc", "r": 10}"#).unwrap();
+        assert_eq!(s, SchemeSpec::with_load("bcc", 10));
+    }
+
+    #[test]
+    fn missing_required_field_is_an_error() {
+        let err = ExperimentSpec::from_json(r#"{"workers": 10, "units": 10}"#).unwrap_err();
+        assert!(err.to_string().contains("scheme"));
+    }
+
+    #[test]
+    fn full_spec_roundtrips() {
+        let spec = ExperimentSpec {
+            name: "rt".into(),
+            workers: 12,
+            units: 12,
+            scheme: SchemeSpec::with_load("cyclic-mds", 3),
+            data: DataSpec::synthetic(7, 5),
+            latency: LatencySpec::Homogeneous {
+                mu: 2.0,
+                a: 0.01,
+                per_message_overhead: 0.001,
+                per_unit: 0.004,
+            },
+            backend: BackendSpec::Threaded { time_scale: 0.01 },
+            loss: LossSpec::Squared,
+            optimizer: OptimizerSpec::GradientDescent {
+                rate: LearningRate::InverseSqrt { initial: 0.2 },
+            },
+            iterations: 17,
+            record_risk: false,
+            seed: u64::MAX,
+        };
+        let json = spec.to_json_pretty().unwrap();
+        let back = ExperimentSpec::from_json(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn explicit_latency_roundtrips() {
+        let spec = LatencySpec::from_profile(&ClusterProfile::ec2_like(3));
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: LatencySpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, spec);
+    }
+}

@@ -5,12 +5,17 @@
 //!
 //! This crate glues the substrates into the paper's system:
 //!
+//! * [`experiment`] — **the declarative API**: a serde-able
+//!   [`ExperimentSpec`], the typed [`Experiment`] builder that owns all
+//!   wiring and validation, and the open [`SchemeRegistry`] (name →
+//!   factory). Scenarios are data: any experiment replays from a JSON spec
+//!   file.
 //! * [`theory`] — Theorem 1 quantities: `K_BCC(r) = ⌈m/r⌉·H_{⌈m/r⌉}`, the
 //!   `m/r` lower bound, the randomized scheme's `(m/r)·log m`, the coded
 //!   schemes' `m − r + 1`, and the Fig. 2 tradeoff table (analytic +
 //!   Monte-Carlo).
-//! * [`schemes`] — a registry of every scheme in the comparison, buildable
-//!   by name/config (used by the examples and the bench harness).
+//! * [`schemes`] — the built-in scheme configurations (every scheme in the
+//!   paper's comparison), registered by name in the registry.
 //! * [`driver`] — the distributed-GD training loop: per iteration the
 //!   master broadcasts the evaluation point, the cluster backend runs one
 //!   coded round, the decoded gradient feeds the optimizer (Nesterov in the
@@ -20,14 +25,22 @@
 //!   worker + a closed-form target time, following the HCMM structure of
 //!   \[16\]), the generalized-BCC coverage process, the LB baseline, and the
 //!   Theorem 2 bounds.
+//! * [`error`] — [`BccError`], the one error type facade callers match.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod driver;
+pub mod error;
+pub mod experiment;
 pub mod hetero;
 pub mod schemes;
 pub mod theory;
 
 pub use driver::{DistributedGd, TrainingConfig, TrainingReport};
+pub use error::BccError;
+pub use experiment::{
+    BackendSpec, BuildError, DataSpec, Experiment, ExperimentBuilder, ExperimentReport,
+    ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, SchemeRegistry, SchemeSpec,
+};
 pub use schemes::SchemeConfig;

@@ -1,11 +1,18 @@
-//! Scheme registry: build any scheme in the paper's comparison by config.
+//! The built-in scheme configurations: every scheme in the paper's
+//! comparison, buildable by config or by registry name (see
+//! [`crate::experiment::SchemeRegistry`]).
 
+use crate::experiment::{BuildError, SchemeSpec};
 use bcc_coding::{
     BccScheme, CyclicMdsScheme, CyclicRepetitionScheme, FractionalRepetitionScheme,
     GradientCodingScheme, RandomSubsetScheme, UncodedScheme, UncompressedBccScheme,
 };
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+
+/// Placement redraws before a randomized scheme reports
+/// [`BuildError::CoverageFailed`].
+const COVERAGE_ATTEMPTS: usize = 10_000;
 
 /// Configuration of one scheme in a comparison run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -46,7 +53,18 @@ pub enum SchemeConfig {
 }
 
 impl SchemeConfig {
-    /// Scheme name as used in reports.
+    /// Every built-in registry name, in registration order.
+    pub const BUILTIN_NAMES: [&'static str; 7] = [
+        "uncoded",
+        "bcc",
+        "bcc-uncompressed",
+        "random",
+        "cyclic-repetition",
+        "cyclic-mds",
+        "fractional-repetition",
+    ];
+
+    /// Scheme name as used in reports and the registry.
     #[must_use]
     pub fn name(&self) -> &'static str {
         match self {
@@ -57,6 +75,50 @@ impl SchemeConfig {
             Self::CyclicRepetition { .. } => "cyclic-repetition",
             Self::CyclicMds { .. } => "cyclic-mds",
             Self::FractionalRepetition { .. } => "fractional-repetition",
+        }
+    }
+
+    /// The declarative form of this config (registry name + load).
+    #[must_use]
+    pub fn spec(&self) -> SchemeSpec {
+        match *self {
+            Self::Uncoded => SchemeSpec::named("uncoded"),
+            Self::Bcc { r }
+            | Self::BccUncompressed { r }
+            | Self::Random { r }
+            | Self::CyclicRepetition { r }
+            | Self::CyclicMds { r }
+            | Self::FractionalRepetition { r } => SchemeSpec::with_load(self.name(), r),
+        }
+    }
+
+    /// Resolves a [`SchemeSpec`] against the built-in names.
+    ///
+    /// # Errors
+    /// [`BuildError::UnknownScheme`] for a name outside
+    /// [`Self::BUILTIN_NAMES`]; [`BuildError::MissingLoad`] when a loaded
+    /// scheme comes without `r`.
+    pub fn from_spec(spec: &SchemeSpec) -> Result<Self, BuildError> {
+        let r = || {
+            spec.r.ok_or_else(|| BuildError::MissingLoad {
+                scheme: spec.name.clone(),
+            })
+        };
+        match spec.name.as_str() {
+            "uncoded" => Ok(Self::Uncoded),
+            "bcc" => Ok(Self::Bcc { r: r()? }),
+            "bcc-uncompressed" => Ok(Self::BccUncompressed { r: r()? }),
+            "random" => Ok(Self::Random { r: r()? }),
+            "cyclic-repetition" => Ok(Self::CyclicRepetition { r: r()? }),
+            "cyclic-mds" => Ok(Self::CyclicMds { r: r()? }),
+            "fractional-repetition" => Ok(Self::FractionalRepetition { r: r()? }),
+            other => Err(BuildError::UnknownScheme {
+                name: other.to_string(),
+                known: Self::BUILTIN_NAMES
+                    .iter()
+                    .map(ToString::to_string)
+                    .collect(),
+            }),
         }
     }
 
@@ -83,9 +145,81 @@ impl SchemeConfig {
     /// the practical equivalent). For the randomized scheme likewise until
     /// the subsets cover the dataset.
     ///
+    /// # Errors
+    /// [`BuildError::SquareRequired`] for the `m = n` schemes,
+    /// [`BuildError::LoadOutOfRange`] / [`BuildError::LoadNotDivisor`] for
+    /// bad loads, and [`BuildError::CoverageFailed`] when a randomized
+    /// placement cannot cover the batches.
+    pub fn try_build<R: Rng + ?Sized>(
+        &self,
+        m: usize,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<Box<dyn GradientCodingScheme>, BuildError> {
+        match *self {
+            Self::Uncoded => Ok(Box::new(UncodedScheme::new(m, n))),
+            Self::Bcc { r } => {
+                self.check_load_range(r, m)?;
+                for _ in 0..COVERAGE_ATTEMPTS {
+                    let s = BccScheme::new(m, n, r, rng);
+                    if s.covers_all_batches() {
+                        return Ok(Box::new(s));
+                    }
+                }
+                Err(self.coverage_failed(m, n, r))
+            }
+            Self::BccUncompressed { r } => {
+                self.check_load_range(r, m)?;
+                for _ in 0..COVERAGE_ATTEMPTS {
+                    let s = UncompressedBccScheme::new(m, n, r, rng);
+                    if s.covers_all_batches() {
+                        return Ok(Box::new(s));
+                    }
+                }
+                Err(self.coverage_failed(m, n, r))
+            }
+            Self::Random { r } => {
+                self.check_load_range(r, m)?;
+                for _ in 0..COVERAGE_ATTEMPTS {
+                    let s = RandomSubsetScheme::new(m, n, r, rng);
+                    if s.placement().covers_all() {
+                        return Ok(Box::new(s));
+                    }
+                }
+                Err(self.coverage_failed(m, n, r))
+            }
+            Self::CyclicRepetition { r } => {
+                self.check_square(m, n)?;
+                self.check_load_range(r, n)?;
+                Ok(Box::new(CyclicRepetitionScheme::try_new(n, r, rng)?))
+            }
+            Self::CyclicMds { r } => {
+                self.check_square(m, n)?;
+                self.check_load_range(r, n)?;
+                Ok(Box::new(CyclicMdsScheme::try_new(n, r)?))
+            }
+            Self::FractionalRepetition { r } => {
+                self.check_square(m, n)?;
+                if r == 0 || !n.is_multiple_of(r) {
+                    return Err(BuildError::LoadNotDivisor {
+                        scheme: self.name().to_string(),
+                        r,
+                        n,
+                    });
+                }
+                Ok(Box::new(FractionalRepetitionScheme::try_new(n, r)?))
+            }
+        }
+    }
+
+    /// Instantiates the scheme, panicking on constraint violations.
+    ///
+    /// [`Self::try_build`] is the fallible form; this wrapper keeps simple
+    /// call sites (tests, one-off scripts) ergonomic.
+    ///
     /// # Panics
-    /// Panics when the scheme's structural requirements fail permanently
-    /// (e.g. CR with `m ≠ n`, FR with `r ∤ n`).
+    /// Panics with the [`BuildError`] message when the scheme's structural
+    /// requirements fail (e.g. CR with `m ≠ n`, FR with `r ∤ n`).
     #[must_use]
     pub fn build<R: Rng + ?Sized>(
         &self,
@@ -93,56 +227,40 @@ impl SchemeConfig {
         n: usize,
         rng: &mut R,
     ) -> Box<dyn GradientCodingScheme> {
-        match *self {
-            Self::Uncoded => Box::new(UncodedScheme::new(m, n)),
-            Self::Bcc { r } => {
-                for _ in 0..10_000 {
-                    let s = BccScheme::new(m, n, r, rng);
-                    if s.covers_all_batches() {
-                        return Box::new(s);
-                    }
-                }
-                panic!(
-                    "BCC placement failed to cover {m}/{r} batches with {n} workers \
-                     after 10000 draws — n is too small for this (m, r)"
-                );
-            }
-            Self::BccUncompressed { r } => {
-                for _ in 0..10_000 {
-                    let s = UncompressedBccScheme::new(m, n, r, rng);
-                    if s.covers_all_batches() {
-                        return Box::new(s);
-                    }
-                }
-                panic!(
-                    "BCC placement failed to cover {m}/{r} batches with {n} workers \
-                     after 10000 draws — n is too small for this (m, r)"
-                );
-            }
-            Self::Random { r } => {
-                for _ in 0..10_000 {
-                    let s = RandomSubsetScheme::new(m, n, r, rng);
-                    if s.placement().covers_all() {
-                        return Box::new(s);
-                    }
-                }
-                panic!(
-                    "randomized placement failed to cover {m} examples with {n} workers \
-                     of load {r} after 10000 draws"
-                );
-            }
-            Self::CyclicRepetition { r } => {
-                assert_eq!(m, n, "CR requires m = n (group into super-examples first)");
-                Box::new(CyclicRepetitionScheme::new(n, r, rng))
-            }
-            Self::CyclicMds { r } => {
-                assert_eq!(m, n, "cyclic MDS requires m = n");
-                Box::new(CyclicMdsScheme::new(n, r))
-            }
-            Self::FractionalRepetition { r } => {
-                assert_eq!(m, n, "FR requires m = n");
-                Box::new(FractionalRepetitionScheme::new(n, r))
-            }
+        self.try_build(m, n, rng).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    fn check_square(&self, m: usize, n: usize) -> Result<(), BuildError> {
+        if m == n {
+            Ok(())
+        } else {
+            Err(BuildError::SquareRequired {
+                scheme: self.name().to_string(),
+                m,
+                n,
+            })
+        }
+    }
+
+    fn check_load_range(&self, r: usize, bound: usize) -> Result<(), BuildError> {
+        if r == 0 || r > bound {
+            Err(BuildError::LoadOutOfRange {
+                scheme: self.name().to_string(),
+                r,
+                bound,
+            })
+        } else {
+            Ok(())
+        }
+    }
+
+    fn coverage_failed(&self, m: usize, n: usize, r: usize) -> BuildError {
+        BuildError::CoverageFailed {
+            scheme: self.name().to_string(),
+            m,
+            n,
+            r,
+            attempts: COVERAGE_ATTEMPTS,
         }
     }
 }
@@ -179,10 +297,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "m = n")]
     fn cr_requires_square() {
         let mut rng = derive_rng(2, 0);
-        let _ = SchemeConfig::CyclicRepetition { r: 2 }.build(10, 5, &mut rng);
+        let err = SchemeConfig::CyclicRepetition { r: 2 }
+            .try_build(10, 5, &mut rng)
+            .unwrap_err();
+        assert!(
+            matches!(err, BuildError::SquareRequired { m: 10, n: 5, .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "m = n")]
+    fn panicking_build_keeps_the_message() {
+        let mut rng = derive_rng(2, 1);
+        let _ = SchemeConfig::CyclicMds { r: 2 }.build(10, 5, &mut rng);
     }
 
     #[test]
@@ -191,6 +321,51 @@ mod tests {
         let mut rng = derive_rng(3, 0);
         let scheme = SchemeConfig::Bcc { r: 5 }.build(20, 8, &mut rng);
         assert!(scheme.placement().covers_all());
+    }
+
+    #[test]
+    fn impossible_coverage_is_typed() {
+        // 20 batches can never be covered by 2 single-batch draws.
+        let mut rng = derive_rng(4, 0);
+        let err = SchemeConfig::Bcc { r: 1 }
+            .try_build(20, 2, &mut rng)
+            .unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BuildError::CoverageFailed {
+                    m: 20,
+                    n: 2,
+                    r: 1,
+                    ..
+                }
+            ),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn spec_conversions_roundtrip() {
+        for cfg in [
+            SchemeConfig::Uncoded,
+            SchemeConfig::Bcc { r: 5 },
+            SchemeConfig::BccUncompressed { r: 5 },
+            SchemeConfig::Random { r: 5 },
+            SchemeConfig::CyclicRepetition { r: 5 },
+            SchemeConfig::CyclicMds { r: 5 },
+            SchemeConfig::FractionalRepetition { r: 5 },
+        ] {
+            let spec = cfg.spec();
+            assert_eq!(spec.name, cfg.name());
+            assert_eq!(SchemeConfig::from_spec(&spec).unwrap(), cfg);
+        }
+    }
+
+    #[test]
+    fn from_spec_requires_load_where_needed() {
+        let err = SchemeConfig::from_spec(&SchemeSpec::named("bcc")).unwrap_err();
+        assert!(matches!(err, BuildError::MissingLoad { .. }));
+        assert!(SchemeConfig::from_spec(&SchemeSpec::named("uncoded")).is_ok());
     }
 
     #[test]

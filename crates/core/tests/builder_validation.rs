@@ -1,0 +1,199 @@
+//! Builder validation: every invalid `(m, n, r)` combination yields the
+//! *right* `BuildError` variant — the constraints that used to be scattered
+//! panics.
+
+use bcc_core::experiment::{
+    BuildError, DataSpec, Experiment, ExperimentSpec, LatencySpec, SchemeSpec,
+};
+
+fn builder_for(m: usize, n: usize, scheme: SchemeSpec) -> Result<Experiment, BuildError> {
+    Experiment::builder()
+        .workers(n)
+        .units(m)
+        .scheme(scheme)
+        .data(DataSpec::synthetic(2, 3))
+        .iterations(2)
+        .seed(1)
+        .build()
+}
+
+#[test]
+fn cyclic_repetition_needs_m_equals_n() {
+    let err = builder_for(10, 5, SchemeSpec::with_load("cyclic-repetition", 2)).unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::SquareRequired {
+            scheme: "cyclic-repetition".into(),
+            m: 10,
+            n: 5,
+        }
+    );
+}
+
+#[test]
+fn cyclic_mds_needs_m_equals_n() {
+    let err = builder_for(8, 12, SchemeSpec::with_load("cyclic-mds", 3)).unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::SquareRequired {
+            scheme: "cyclic-mds".into(),
+            m: 8,
+            n: 12,
+        }
+    );
+}
+
+#[test]
+fn fractional_repetition_needs_m_equals_n() {
+    let err = builder_for(9, 12, SchemeSpec::with_load("fractional-repetition", 3)).unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::SquareRequired {
+            scheme: "fractional-repetition".into(),
+            m: 9,
+            n: 12,
+        }
+    );
+}
+
+#[test]
+fn fractional_repetition_needs_r_dividing_n() {
+    let err = builder_for(10, 10, SchemeSpec::with_load("fractional-repetition", 3)).unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::LoadNotDivisor {
+            scheme: "fractional-repetition".into(),
+            r: 3,
+            n: 10,
+        }
+    );
+    // r | n builds fine.
+    assert!(builder_for(10, 10, SchemeSpec::with_load("fractional-repetition", 5)).is_ok());
+}
+
+#[test]
+fn cyclic_loads_are_range_checked() {
+    for (r, name) in [
+        (0usize, "cyclic-repetition"),
+        (11, "cyclic-repetition"),
+        (0, "cyclic-mds"),
+    ] {
+        let err = builder_for(10, 10, SchemeSpec::with_load(name, r)).unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::LoadOutOfRange {
+                scheme: name.into(),
+                r,
+                bound: 10,
+            },
+            "({name}, r={r})"
+        );
+    }
+}
+
+#[test]
+fn bcc_load_is_bounded_by_units() {
+    let err = builder_for(10, 20, SchemeSpec::with_load("bcc", 11)).unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::LoadOutOfRange {
+            scheme: "bcc".into(),
+            r: 11,
+            bound: 10,
+        }
+    );
+}
+
+#[test]
+fn bcc_impossible_coverage_is_typed() {
+    // 20 single-unit batches can never be covered by 2 draws.
+    let err = builder_for(20, 2, SchemeSpec::with_load("bcc", 1)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            BuildError::CoverageFailed {
+                m: 20,
+                n: 2,
+                r: 1,
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn loaded_schemes_require_r() {
+    for name in ["bcc", "random", "cyclic-repetition", "cyclic-mds"] {
+        let err = builder_for(10, 10, SchemeSpec::named(name)).unwrap_err();
+        assert_eq!(
+            err,
+            BuildError::MissingLoad {
+                scheme: name.into()
+            },
+            "{name}"
+        );
+    }
+}
+
+#[test]
+fn unknown_scheme_is_typed() {
+    let err = builder_for(10, 10, SchemeSpec::named("lt-codes")).unwrap_err();
+    assert!(matches!(err, BuildError::UnknownScheme { .. }));
+}
+
+#[test]
+fn zero_sizes_are_rejected() {
+    let err = builder_for(0, 10, SchemeSpec::named("uncoded")).unwrap_err();
+    assert!(matches!(
+        err,
+        BuildError::InvalidValue { field: "units", .. }
+    ));
+    let err = builder_for(10, 0, SchemeSpec::named("uncoded")).unwrap_err();
+    assert!(matches!(
+        err,
+        BuildError::InvalidValue {
+            field: "workers",
+            ..
+        }
+    ));
+}
+
+#[test]
+fn spec_path_reports_the_same_errors_as_the_builder() {
+    // from_spec and the builder share validation: the same invalid combo
+    // fails identically from a deserialized spec file.
+    let json = r#"{
+        "workers": 10,
+        "units": 20,
+        "scheme": {"name": "cyclic-repetition", "r": 2}
+    }"#;
+    let spec = ExperimentSpec::from_json(json).unwrap();
+    let err = Experiment::from_spec(spec).unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::SquareRequired {
+            scheme: "cyclic-repetition".into(),
+            m: 20,
+            n: 10,
+        }
+    );
+}
+
+#[test]
+fn fig5_profile_requires_its_worker_count() {
+    let err = Experiment::builder()
+        .workers(10)
+        .units(10)
+        .scheme(SchemeSpec::named("uncoded"))
+        .latency(LatencySpec::Fig5Heterogeneous)
+        .build()
+        .unwrap_err();
+    assert_eq!(
+        err,
+        BuildError::WorkerCountMismatch {
+            profile: 100,
+            workers: 10,
+        }
+    );
+}

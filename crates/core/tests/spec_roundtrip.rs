@@ -1,0 +1,98 @@
+//! Property test: `ExperimentSpec` serde round-trip. For random specs,
+//! spec → JSON → spec must reproduce the identical spec, and in particular
+//! an identical resolved scheme name, computational load, and seed.
+
+use bcc_core::experiment::{
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, SchemeSpec,
+};
+use bcc_core::schemes::SchemeConfig;
+use bcc_optim::LearningRate;
+use proptest::prelude::*;
+
+/// Any builtin scheme spec (loads need not fit any particular `n`; the
+/// round-trip is about serialization, not construction).
+fn scheme_strategy() -> impl Strategy<Value = SchemeSpec> {
+    let r_max = 64usize;
+    prop_oneof![
+        Just(SchemeSpec::named("uncoded")),
+        (1usize..r_max).prop_map(|r| SchemeSpec::with_load("bcc", r)),
+        (1usize..r_max).prop_map(|r| SchemeSpec::with_load("bcc-uncompressed", r)),
+        (1usize..r_max).prop_map(|r| SchemeSpec::with_load("random", r)),
+        (1usize..r_max).prop_map(|r| SchemeSpec::with_load("cyclic-repetition", r)),
+        (1usize..r_max).prop_map(|r| SchemeSpec::with_load("cyclic-mds", r)),
+        (1usize..r_max).prop_map(|r| SchemeSpec::with_load("fractional-repetition", r)),
+    ]
+}
+
+fn latency_strategy() -> impl Strategy<Value = LatencySpec> {
+    prop_oneof![
+        Just(LatencySpec::Ec2Like),
+        (0.5f64..100.0, 0.0f64..0.01).prop_map(|(mu, a)| LatencySpec::Homogeneous {
+            mu,
+            a,
+            per_message_overhead: 0.001,
+            per_unit: 0.004,
+        }),
+    ]
+}
+
+fn optimizer_strategy() -> impl Strategy<Value = OptimizerSpec> {
+    prop_oneof![
+        (0.01f64..1.0).prop_map(OptimizerSpec::nesterov),
+        (0.01f64..1.0).prop_map(|rate| OptimizerSpec::GradientDescent {
+            rate: LearningRate::InverseSqrt { initial: rate },
+        }),
+        Just(OptimizerSpec::FixedPoint),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn spec_roundtrips_through_json(
+        n in 4usize..64,
+        scheme in scheme_strategy(),
+        latency in latency_strategy(),
+        optimizer in optimizer_strategy(),
+        threaded in proptest::prelude::any::<bool>(),
+        squared in proptest::prelude::any::<bool>(),
+        record_risk in proptest::prelude::any::<bool>(),
+        iterations in 1usize..500,
+        seed in proptest::prelude::any::<u64>(),
+    ) {
+        let spec = ExperimentSpec {
+            name: format!("prop-{n}-{seed}"),
+            workers: n,
+            units: n,
+            scheme,
+            data: DataSpec::synthetic(3, 4),
+            latency,
+            backend: if threaded {
+                BackendSpec::Threaded { time_scale: 0.25 }
+            } else {
+                BackendSpec::Virtual
+            },
+            loss: if squared { LossSpec::Squared } else { LossSpec::Logistic },
+            optimizer,
+            iterations,
+            record_risk,
+            seed,
+        };
+
+        let json = spec.to_json_pretty().expect("specs serialize");
+        let back = ExperimentSpec::from_json(&json).expect("round-trip parses");
+        prop_assert_eq!(&back, &spec);
+
+        // The round-tripped spec resolves to the identical scheme name,
+        // computational load, and seed.
+        prop_assert_eq!(back.seed, spec.seed);
+        let cfg = SchemeConfig::from_spec(&spec.scheme).expect("valid builtin");
+        let cfg_back = SchemeConfig::from_spec(&back.scheme).expect("valid builtin");
+        prop_assert_eq!(cfg_back.name(), cfg.name());
+        prop_assert_eq!(
+            cfg_back.load(back.units, back.workers),
+            cfg.load(spec.units, spec.workers)
+        );
+    }
+}

@@ -8,7 +8,7 @@
 //! * [`dist`] — the distributions the paper uses: the shift-exponential
 //!   worker-latency model of §IV eq. (15), exponentials, Bernoulli labels and
 //!   Gaussian features (Box–Muller; no `rand_distr` dependency).
-//! * [`harmonic`] — harmonic numbers `H_n` appearing in Theorem 1.
+//! * [`harmonic`](mod@harmonic) — harmonic numbers `H_n` appearing in Theorem 1.
 //! * [`coupon`] — coupon-collector analysis: exact expectation `N·H_N`, the
 //!   tail bound of Lemma 2, and seeded Monte-Carlo simulators for both the
 //!   batched (BCC) and raw-example (simple randomized) collection processes.

@@ -1,27 +1,22 @@
-//! Demonstrates the engine/adapter split: the threaded backend (real OS
-//! threads, wire messages, injected straggler sleeps) and the DES virtual
-//! backend run the *same* shared round engine, so under an unambiguous
-//! arrival order they produce byte-identical results.
+//! Demonstrates the engine/adapter split through the declarative API: the
+//! same `ExperimentSpec` runs on the threaded backend (real OS threads,
+//! wire messages, injected straggler sleeps) and the DES virtual backend,
+//! and — because both drive the same shared round engine — produces
+//! byte-identical trained weights and identical message counts.
 //!
 //! ```bash
 //! cargo run --release --example dual_backend
 //! ```
 
-use bcc::cluster::{
-    ClusterBackend, ClusterProfile, CommModel, ThreadedCluster, UnitMap, VirtualCluster,
-    WorkerProfile,
-};
-use bcc::coding::UncodedScheme;
-use bcc::data::synthetic::{generate, SyntheticConfig};
-use bcc::optim::LogisticLoss;
+use bcc::cluster::{CommModel, WorkerProfile};
+use bcc::experiment::{BackendSpec, DataSpec, Experiment, LatencySpec, SchemeSpec};
 
 fn main() {
     // A "staircase" of per-worker shifts: worker finish order is fixed by
     // construction (gaps ≫ OS jitter, microsecond exponential tail), so the
     // wall-clock backend's arrival order matches the virtual one.
-    let shifts = [0.025, 0.005, 0.020, 0.010, 0.015];
-    let profile = ClusterProfile {
-        workers: shifts
+    let latency = LatencySpec::Explicit {
+        workers: [0.025, 0.005, 0.020, 0.010, 0.015]
             .iter()
             .map(|&a| WorkerProfile { mu: 1e4, a })
             .collect(),
@@ -31,44 +26,45 @@ fn main() {
         },
     };
 
-    let data = generate(&SyntheticConfig::small(30, 4, 17));
-    let units = UnitMap::grouped(30, 10);
-    let scheme = UncodedScheme::new(10, 5);
-    let w = vec![0.05; 4];
+    let base = |backend: BackendSpec| {
+        Experiment::builder()
+            .name("dual backend")
+            .workers(5)
+            .units(10)
+            .scheme(SchemeSpec::named("uncoded"))
+            .data(DataSpec::synthetic(3, 4))
+            .latency(latency.clone())
+            .backend(backend)
+            .iterations(3)
+            .seed(17)
+            .build()
+            .expect("valid on both backends")
+    };
 
-    let mut virtual_cluster = VirtualCluster::new(profile.clone(), 17);
-    let virtual_out = virtual_cluster
-        .run_round(&scheme, &units, &data.dataset, &LogisticLoss, &w)
-        .expect("virtual round completes");
-
-    let mut threaded_cluster = ThreadedCluster::new(profile, 17, 1.0);
-    let threaded_out = threaded_cluster
-        .run_round(&scheme, &units, &data.dataset, &LogisticLoss, &w)
-        .expect("threaded round completes");
+    let virtual_report = base(BackendSpec::Virtual).run().expect("virtual rounds");
+    let threaded_report = base(BackendSpec::Threaded { time_scale: 1.0 })
+        .run()
+        .expect("threaded rounds");
 
     println!(
-        "virtual-des : K = {:>2} messages, compute {:.4}s, total {:.4}s (virtual)",
-        virtual_out.metrics.messages_used,
-        virtual_out.metrics.compute_time,
-        virtual_out.metrics.total_time,
+        "virtual-des : K = {:>2} messages, total {:.4}s (virtual)",
+        virtual_report.metrics.messages_used, virtual_report.metrics.total_time,
     );
     println!(
-        "threaded    : K = {:>2} messages, compute {:.4}s, total {:.4}s (wall)",
-        threaded_out.metrics.messages_used,
-        threaded_out.metrics.compute_time,
-        threaded_out.metrics.total_time,
+        "threaded    : K = {:>2} messages, total {:.4}s (wall)",
+        threaded_report.metrics.messages_used, threaded_report.metrics.total_time,
     );
 
-    let identical = virtual_out.gradient_sum.len() == threaded_out.gradient_sum.len()
-        && virtual_out
-            .gradient_sum
+    let identical = virtual_report.weights.len() == threaded_report.weights.len()
+        && virtual_report
+            .weights
             .iter()
-            .zip(&threaded_out.gradient_sum)
+            .zip(&threaded_report.weights)
             .all(|(a, b)| a.to_bits() == b.to_bits());
     assert!(identical, "backends diverged!");
     assert_eq!(
-        virtual_out.metrics.messages_used,
-        threaded_out.metrics.messages_used
+        virtual_report.metrics.messages_used,
+        threaded_report.metrics.messages_used
     );
-    println!("ok: byte-identical decoded gradients from one shared RoundEngine.");
+    println!("ok: byte-identical trained weights from one shared RoundEngine.");
 }

@@ -7,25 +7,18 @@
 //! cargo run --release --example logistic_regression
 //! ```
 
-use bcc::cluster::{ClusterProfile, ThreadedCluster, UnitMap};
-use bcc::core::driver::{DistributedGd, TrainingConfig};
 use bcc::core::schemes::SchemeConfig;
-use bcc::data::synthetic::{generate, SyntheticConfig};
-use bcc::optim::{LearningRate, LogisticLoss, Nesterov};
-use bcc::stats::rng::derive_rng;
+use bcc::core::theory;
+use bcc::experiment::{BackendSpec, DataSpec, Experiment};
 
 fn main() {
     // Scaled-down scenario one: 20 workers, 20 units × 50 points, r = 4.
-    let (workers, units_count, pts, dim, r) = (20usize, 20usize, 50usize, 32usize, 4usize);
-    let iterations = 30;
-    let m = units_count * pts;
-
-    let data = generate(&SyntheticConfig::small(m, dim, 2024));
-    let units = UnitMap::grouped(m, units_count);
+    let (workers, units, r, iterations) = (20usize, 20usize, 4usize, 30usize);
 
     println!(
-        "training logistic regression: {m} examples × {dim} features, \
-         {workers} worker threads, {iterations} Nesterov iterations\n"
+        "training logistic regression: {} examples × 32 features, \
+         {workers} worker threads, {iterations} Nesterov iterations\n",
+        units * 50
     );
     println!(
         "{:<20} {:>10} {:>12} {:>12} {:>12} {:>10}",
@@ -37,42 +30,35 @@ fn main() {
         SchemeConfig::CyclicRepetition { r },
         SchemeConfig::Bcc { r },
     ] {
-        let mut rng = derive_rng(2024, 1);
-        let scheme = cfg.build(units_count, workers, &mut rng);
-        // time_scale 0.004: 1 simulated second ≈ 4 ms of wall time.
-        let mut backend = ThreadedCluster::new(ClusterProfile::ec2_like(workers), 99, 0.004);
-        let mut optimizer = Nesterov::new(vec![0.0; dim], LearningRate::Constant(0.5));
-        let mut driver = DistributedGd::new(
-            &mut backend,
-            scheme.as_ref(),
-            &units,
-            &data.dataset,
-            &LogisticLoss,
-        );
-        let report = driver
-            .train(
-                &mut optimizer,
-                &TrainingConfig {
-                    iterations,
-                    record_risk: true,
-                },
-            )
-            .expect("round completes");
+        let report = Experiment::builder()
+            .name("logistic regression")
+            .workers(workers)
+            .units(units)
+            .scheme(cfg)
+            .data(DataSpec::synthetic(50, 32))
+            // time_scale 0.004: 1 simulated second ≈ 4 ms of wall time.
+            .backend(BackendSpec::Threaded { time_scale: 0.004 })
+            .iterations(iterations)
+            .seed(2024)
+            .build()
+            .expect("paper schemes build at (20, 20, 4)")
+            .run()
+            .expect("rounds complete");
 
         println!(
             "{:<20} {:>10.1} {:>12.3} {:>12.3} {:>12.3} {:>10.4}",
-            scheme.name(),
+            report.scheme,
             report.metrics.avg_recovery_threshold(),
             report.metrics.comm_time,
             report.metrics.compute_time,
             report.metrics.total_time,
-            report.trace.final_risk().unwrap(),
+            report.trace.final_risk().expect("risk recorded"),
         );
     }
 
     println!(
         "\nAll three schemes compute identical gradients — only the waiting\n\
          differs. BCC's average recovery threshold tracks ⌈m/r⌉·H_(m/r) = {:.1}.",
-        bcc::core::theory::k_bcc(units_count, r)
+        theory::k_bcc(units, r)
     );
 }

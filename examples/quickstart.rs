@@ -1,66 +1,67 @@
-//! Quickstart: one distributed gradient-descent round with BCC.
+//! Quickstart: a straggler-tolerant distributed training run, declared in
+//! one builder chain.
 //!
 //! ```sh
 //! cargo run --example quickstart
 //! ```
 //!
-//! Builds a small synthetic logistic-regression problem, distributes it over
-//! a simulated 20-worker cluster with the Batched Coupon's Collector scheme,
-//! runs one coded gradient round, and shows what the master saw.
+//! Describes a small logistic-regression scenario — 20 simulated workers,
+//! the Batched Coupon's Collector scheme at load r = 4, EC2-like
+//! stragglers — and lets the `Experiment` builder own all wiring. The same
+//! scenario serializes to JSON and replays via `repro scenario`.
 
-use bcc::cluster::{ClusterBackend, ClusterProfile, UnitMap, VirtualCluster};
-use bcc::core::schemes::SchemeConfig;
-use bcc::data::synthetic::{generate, SyntheticConfig};
-use bcc::optim::gradient::full_gradient;
-use bcc::optim::LogisticLoss;
-use bcc::stats::rng::derive_rng;
+use bcc::experiment::{DataSpec, Experiment, SchemeSpec};
 
 fn main() {
-    // 200 examples, 16 features — the paper's data model at laptop scale.
-    let data = generate(&SyntheticConfig::small(200, 16, 42));
-    println!(
-        "dataset: {} examples × {} features",
-        data.dataset.len(),
-        data.dataset.dim()
-    );
+    let experiment = Experiment::builder()
+        .name("quickstart")
+        .workers(20)
+        .units(20)
+        .scheme(SchemeSpec::with_load("bcc", 4))
+        .data(DataSpec::synthetic(10, 16)) // 200 examples × 16 features
+        .iterations(30)
+        .seed(42)
+        .build()
+        .expect("a structurally valid scenario");
 
-    // Group the examples into 20 coding units (10 examples each), and build
-    // the BCC scheme at computational load r = 4 → ⌈20/4⌉ = 5 batches.
-    let units = UnitMap::grouped(200, 20);
-    let mut rng = derive_rng(42, 0);
-    let scheme = SchemeConfig::Bcc { r: 4 }.build(20, 20, &mut rng);
     println!(
         "scheme: {} | analytic recovery threshold K = {:.2} (lower bound {})",
-        scheme.name(),
-        scheme.analytic_recovery_threshold().unwrap(),
+        experiment.scheme().name(),
+        experiment
+            .scheme()
+            .analytic_recovery_threshold()
+            .expect("BCC has an analytic K"),
         20 / 4
     );
 
-    // A 20-worker virtual cluster with EC2-like stragglers.
-    let mut cluster = VirtualCluster::new(ClusterProfile::ec2_like(20), 7);
-
-    // One gradient round at w = 0.
-    let w = vec![0.0; 16];
-    let outcome = cluster
-        .run_round(scheme.as_ref(), &units, &data.dataset, &LogisticLoss, &w)
-        .expect("BCC round completes");
+    let report = experiment.run().expect("BCC rounds complete");
 
     println!(
-        "round: master waited for {} of 20 workers ({} communication units), \
-         {:.1} ms simulated",
-        outcome.metrics.messages_used,
-        outcome.metrics.communication_units,
-        outcome.metrics.total_time * 1e3,
+        "training: {} iterations, avg K = {:.1} of 20 workers, \
+         {:.1} ms simulated total",
+        report.metrics.rounds,
+        report.metrics.avg_recovery_threshold(),
+        report.metrics.total_time * 1e3,
+    );
+    println!(
+        "risk: {:.4} → {:.4}",
+        report.trace.initial_risk().expect("risk recorded"),
+        report.trace.final_risk().expect("risk recorded"),
+    );
+    assert!(
+        report.trace.improved(),
+        "exact decoded gradients must descend"
+    );
+    assert!(
+        report.metrics.avg_recovery_threshold() < 20.0,
+        "the master must not wait for every worker"
     );
 
-    // The decoded gradient is EXACT — compare against the serial one.
-    let mut decoded = outcome.gradient_sum;
-    bcc::linalg::vec_ops::scale(1.0 / 200.0, &mut decoded);
-    let exact = full_gradient(&data.dataset, &LogisticLoss, &w);
-    let err = bcc::linalg::vec_ops::sub(&decoded, &exact)
-        .iter()
-        .fold(0.0f64, |m, v| m.max(v.abs()));
-    println!("decoded gradient max error vs serial computation: {err:.2e}");
-    assert!(err < 1e-9, "BCC must recover the exact gradient");
-    println!("ok: straggler-tolerant round recovered the exact gradient.");
+    // The whole scenario is data: save this next to your results and
+    // `repro scenario quickstart.json` replays it byte-for-byte.
+    println!(
+        "\nthis exact scenario as a replayable spec:\n{}",
+        report.spec.to_json_pretty().expect("specs serialize")
+    );
+    println!("ok: straggler-tolerant training without waiting for stragglers.");
 }

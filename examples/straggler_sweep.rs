@@ -2,40 +2,38 @@
 //!
 //! Sweeps the straggling intensity (smaller μ ⇒ heavier latency tail) and
 //! the master's link speed, printing BCC's gain over the uncoded baseline in
-//! each regime — the two knobs the ablation study isolates.
+//! each regime — the two knobs the ablation study isolates. Each arm is one
+//! declarative fixed-point experiment (no optimizer in the loop).
 //!
 //! ```sh
 //! cargo run --release --example straggler_sweep
 //! ```
 
-use bcc::cluster::{ClusterBackend, ClusterProfile, CommModel, UnitMap, VirtualCluster};
-use bcc::core::schemes::SchemeConfig;
-use bcc::data::synthetic::{generate, SyntheticConfig};
-use bcc::optim::LogisticLoss;
-use bcc::stats::rng::derive_rng;
+use bcc::experiment::{DataSpec, Experiment, LatencySpec, OptimizerSpec, SchemeSpec};
 
 const M_UNITS: usize = 40;
 const WORKERS: usize = 40;
 const R: usize = 8;
 const ROUNDS: usize = 30;
 
-fn avg_round_time(profile: &ClusterProfile, cfg: SchemeConfig, seed: u64) -> f64 {
-    let examples = M_UNITS * 10;
-    let data = generate(&SyntheticConfig::small(examples, 16, seed));
-    let units = UnitMap::grouped(examples, M_UNITS);
-    let mut rng = derive_rng(seed, 1);
-    let scheme = cfg.build(M_UNITS, WORKERS, &mut rng);
-    let mut backend = VirtualCluster::new(profile.clone(), seed);
-    let w = vec![0.0; 16];
-    let mut total = 0.0;
-    for _ in 0..ROUNDS {
-        total += backend
-            .run_round(scheme.as_ref(), &units, &data.dataset, &LogisticLoss, &w)
-            .expect("rounds complete")
-            .metrics
-            .total_time;
-    }
-    total / ROUNDS as f64
+fn avg_round_time(latency: &LatencySpec, scheme: SchemeSpec, seed: u64) -> f64 {
+    Experiment::builder()
+        .name("straggler sweep")
+        .workers(WORKERS)
+        .units(M_UNITS)
+        .scheme(scheme)
+        .data(DataSpec::synthetic(10, 16))
+        .latency(latency.clone())
+        .optimizer(OptimizerSpec::FixedPoint)
+        .iterations(ROUNDS)
+        .record_risk(false)
+        .seed(seed)
+        .build()
+        .expect("sweep arms are structurally valid")
+        .run()
+        .expect("rounds complete")
+        .metrics
+        .avg_round_time()
 }
 
 fn main() {
@@ -50,17 +48,14 @@ fn main() {
 
     for mu in [0.5, 2.0, 10.0, 100.0] {
         for per_unit in [0.0005, 0.004] {
-            let profile = ClusterProfile::homogeneous(
-                WORKERS,
+            let latency = LatencySpec::Homogeneous {
                 mu,
-                0.001,
-                CommModel {
-                    per_message_overhead: 0.001,
-                    per_unit,
-                },
-            );
-            let uncoded = avg_round_time(&profile, SchemeConfig::Uncoded, 7);
-            let bcc = avg_round_time(&profile, SchemeConfig::Bcc { r: R }, 7);
+                a: 0.001,
+                per_message_overhead: 0.001,
+                per_unit,
+            };
+            let uncoded = avg_round_time(&latency, SchemeSpec::named("uncoded"), 7);
+            let bcc = avg_round_time(&latency, SchemeSpec::with_load("bcc", R), 7);
             println!(
                 "{mu:>8.1} {per_unit:>12.4} | {uncoded:>12.4} {bcc:>12.4} {:>7.1}%",
                 (1.0 - bcc / uncoded) * 100.0

@@ -284,7 +284,7 @@ pub mod collection {
     use super::{StdRng, Strategy};
     use rand::Rng;
 
-    /// Size specification for [`vec`]: an exact length or a range.
+    /// Size specification for [`vec`](fn@vec): an exact length or a range.
     #[derive(Debug, Clone)]
     pub struct SizeRange {
         min: usize,
@@ -318,7 +318,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy returned by [`vec`].
+    /// Strategy returned by [`vec`](fn@vec).
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -8,38 +8,48 @@
 //! architecture map (crate graph, engine/adapter split) and the `bcc_bench`
 //! crate docs for the per-experiment index.
 //!
-//! ## One coded gradient round, end to end
+//! ## One experiment, declaratively
+//!
+//! The public API is the typed [`Experiment`](experiment::Experiment)
+//! builder: describe the scenario, let the library own all wiring and
+//! validation, run it. Every builder chain resolves to a serde-able
+//! [`ExperimentSpec`](experiment::ExperimentSpec), so the same scenario
+//! replays from a JSON file via `repro scenario <spec.json>` — scenarios
+//! are data, not code.
 //!
 //! ```
-//! use bcc::cluster::{ClusterBackend, ClusterProfile, UnitMap, VirtualCluster};
-//! use bcc::core::schemes::SchemeConfig;
-//! use bcc::data::synthetic::{generate, SyntheticConfig};
-//! use bcc::optim::gradient::full_gradient;
-//! use bcc::optim::LogisticLoss;
-//! use bcc::stats::rng::derive_rng;
+//! use bcc::experiment::{BackendSpec, DataSpec, Experiment, LatencySpec};
+//! use bcc::experiment::{LossSpec, OptimizerSpec, SchemeSpec};
 //!
-//! // The paper's data model, laptop-sized: 100 examples × 8 features.
-//! let data = generate(&SyntheticConfig::small(100, 8, 7));
+//! # fn main() -> Result<(), bcc::BccError> {
+//! // The paper's comparison at laptop scale: 10 workers, 10 coding units,
+//! // BCC at computational load r = 2, EC2-like stragglers.
+//! let experiment = Experiment::builder()
+//!     .name("quick tour")
+//!     .workers(10)
+//!     .units(10)
+//!     .scheme(SchemeSpec::with_load("bcc", 2))
+//!     .data(DataSpec::synthetic(10, 8))
+//!     .latency(LatencySpec::Ec2Like)
+//!     .backend(BackendSpec::Virtual)
+//!     .loss(LossSpec::Logistic)
+//!     .optimizer(OptimizerSpec::nesterov(0.5))
+//!     .iterations(10)
+//!     .seed(7)
+//!     .build()?; // constraint violations are typed `BuildError`s, not panics
 //!
-//! // 10 coding units over 10 workers; BCC at computational load r = 2.
-//! let units = UnitMap::grouped(100, 10);
-//! let mut rng = derive_rng(7, 0);
-//! let scheme = SchemeConfig::Bcc { r: 2 }.build(10, 10, &mut rng);
-//!
-//! // A straggler-prone virtual cluster; one gradient round at w = 0.
-//! let mut cluster = VirtualCluster::new(ClusterProfile::ec2_like(10), 1);
-//! let w = vec![0.0; 8];
-//! let out = cluster
-//!     .run_round(scheme.as_ref(), &units, &data.dataset, &LogisticLoss, &w)
-//!     .unwrap();
+//! let report = experiment.run()?;
 //!
 //! // The master did not wait for everyone …
-//! assert!(out.metrics.messages_used <= 10);
-//! // … yet the decoded gradient is exact.
-//! let mut decoded = out.gradient_sum;
-//! bcc::linalg::vec_ops::scale(1.0 / 100.0, &mut decoded);
-//! let exact = full_gradient(&data.dataset, &LogisticLoss, &w);
-//! assert!(bcc::linalg::approx_eq_slice(&decoded, &exact, 1e-9));
+//! assert!(report.metrics.avg_recovery_threshold() < 10.0);
+//! // … yet training converged: the decoded gradients are exact.
+//! assert!(report.trace.improved());
+//!
+//! // The scenario as data — replayable via `repro scenario`:
+//! let json = report.spec.to_json_pretty().expect("specs serialize");
+//! assert_eq!(bcc::experiment::ExperimentSpec::from_json(&json).unwrap(), report.spec);
+//! # Ok(())
+//! # }
 //! ```
 
 #![forbid(unsafe_code)]
@@ -52,3 +62,6 @@ pub use bcc_des as des;
 pub use bcc_linalg as linalg;
 pub use bcc_optim as optim;
 pub use bcc_stats as stats;
+
+pub use bcc_core::experiment;
+pub use bcc_core::BccError;
