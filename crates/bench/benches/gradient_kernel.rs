@@ -1,0 +1,44 @@
+//! Criterion bench: packed blocked gradient kernels vs the per-example
+//! gather path, worker-shaped (the hot path `BENCH_gradient_kernel.json`
+//! tracks; this bench gives it a criterion harness for local iteration).
+
+use bcc_bench::experiments::engine_bench::{GradientKernelConfig, GradientKernelSetup};
+use bcc_optim::{GradScratch, LogisticLoss, Loss};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn gradient_kernels(c: &mut Criterion) {
+    // One shared setup with the JSON-artifact bench, so the two measure
+    // the same workload by construction.
+    let GradientKernelSetup {
+        data,
+        worker_units,
+        unit_ranges,
+        w,
+        units,
+    } = GradientKernelConfig::default_config().setup();
+    let loss: &dyn Loss = &LogisticLoss;
+
+    let mut group = c.benchmark_group("gradient_kernel");
+    group.bench_function("per_example", |b| {
+        b.iter(|| {
+            for list in &worker_units {
+                let partials = units.worker_partials_dyn(&data, loss, list, &w);
+                std::hint::black_box(&partials);
+            }
+        });
+    });
+    let mut scratch = GradScratch::new();
+    group.bench_function("packed", |b| {
+        b.iter(|| {
+            for ranges in &unit_ranges {
+                let partials =
+                    scratch.worker_partials(loss, data.features(), data.labels(), ranges, &w);
+                std::hint::black_box(&partials);
+            }
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, gradient_kernels);
+criterion_main!(benches);

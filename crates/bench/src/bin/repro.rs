@@ -200,8 +200,8 @@ fn main() {
         };
         let result = engine_bench::run(&cfg);
         print_table(&engine_bench::render(&result));
-        // Perf-trajectory artifact: fixed name at the repo root (not under
-        // --out) so successive PRs overwrite and diff the same file.
+        // Perf-trajectory artifacts: fixed names at the repo root (not under
+        // --out) so successive PRs overwrite and diff the same files.
         match serde_json::to_string_pretty(&result) {
             Ok(body) => match std::fs::write("BENCH_round_engine.json", body) {
                 Ok(()) => println!("[saved BENCH_round_engine.json]\n"),
@@ -209,6 +209,21 @@ fn main() {
             },
             Err(e) => eprintln!("[warn] could not serialize engine bench: {e}"),
         }
+        let kernel_cfg = if args.fast {
+            engine_bench::GradientKernelConfig::fast()
+        } else {
+            engine_bench::GradientKernelConfig::default_config()
+        };
+        let kernels = engine_bench::run_gradient_kernel(&kernel_cfg);
+        print_table(&engine_bench::render_gradient_kernel(&kernels));
+        match serde_json::to_string_pretty(&kernels) {
+            Ok(body) => match std::fs::write("BENCH_gradient_kernel.json", body) {
+                Ok(()) => println!("[saved BENCH_gradient_kernel.json]\n"),
+                Err(e) => eprintln!("[warn] could not write BENCH_gradient_kernel.json: {e}"),
+            },
+            Err(e) => eprintln!("[warn] could not serialize kernel bench: {e}"),
+        }
+        persist(&args.out_dir, "bench_gradient_kernel", &kernels);
         persist(&args.out_dir, "bench_round_engine", &result);
         persist_spec(
             &args.out_dir,

@@ -1,20 +1,35 @@
-//! Round-engine throughput benchmark — the data behind
-//! `BENCH_round_engine.json`.
+//! Round-engine and gradient-kernel throughput benchmarks — the data behind
+//! `BENCH_round_engine.json` and `BENCH_gradient_kernel.json`.
 //!
-//! Times the shared [`bcc_cluster::RoundEngine`] driving batched
-//! [`run_rounds`] on the virtual backend, per scheme: wall-clock seconds per
-//! round (host cost of encode + DES pump + decode), simulated round latency,
-//! and message/load accounting. Emitted as a machine-readable JSON file so
-//! later changes to the engine or backends have a perf trajectory to compare
-//! against.
+//! The engine section times the shared [`bcc_cluster::RoundEngine`] driving
+//! batched [`run_rounds`] on the virtual backend, per scheme: wall-clock
+//! seconds per round (host cost of compute + encode + DES pump + decode),
+//! simulated round latency, and message/load accounting. Methodology: one
+//! untimed warmup run per spec (faults pages, settles the allocator), then
+//! the **minimum** wall time over [`MEASURE_RUNS`] identical runs — the
+//! standard least-noise estimator for steady-state cost on a shared host.
+//!
+//! The gradient-kernel section isolates the worker compute hot path: packed
+//! blocked kernels ([`bcc_optim::GradScratch::worker_partials`]) versus the
+//! legacy per-example gather path ([`bcc_cluster::UnitMap::worker_partials_dyn`]),
+//! over the same placement and weights. Both results are emitted as
+//! machine-readable JSON so later changes to the engine, kernels, or
+//! backends have a perf trajectory to compare against.
 //!
 //! [`run_rounds`]: bcc_cluster::ClusterBackend::run_rounds
 
 use crate::report::{f1, f3, Table};
+use bcc_cluster::UnitMap;
 use bcc_core::experiment::{
     BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
 };
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_optim::{GradScratch, LogisticLoss, Loss};
 use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+/// Timed runs per spec; the minimum is reported.
+pub const MEASURE_RUNS: usize = 3;
 
 /// Configuration of one engine-benchmark run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -118,23 +133,35 @@ impl EngineBenchConfig {
 }
 
 /// Runs the benchmark over the paper's scheme comparison set.
+///
+/// Each spec gets one untimed warmup run, then [`MEASURE_RUNS`] timed runs;
+/// the row reports the fastest (runs are seeded, so every repetition
+/// produces identical gradients and metrics — only host noise varies).
 #[must_use]
 pub fn run(config: &EngineBenchConfig) -> EngineBenchResult {
     let rows = config
         .specs()
         .into_iter()
         .map(|spec| {
-            let report = Experiment::from_spec(spec)
-                .expect("engine bench specs are structurally valid")
-                .run()
-                .expect("benchmark rounds complete");
+            let experiment =
+                Experiment::from_spec(spec).expect("engine bench specs are structurally valid");
+            // Warmup is discarded: its wall time includes page faults and
+            // cold caches, which the methodology promises to exclude.
+            let _ = experiment.run().expect("benchmark rounds complete");
+            let mut best = experiment.run().expect("benchmark rounds complete");
+            for _ in 1..MEASURE_RUNS {
+                let report = experiment.run().expect("benchmark rounds complete");
+                if report.wall_seconds < best.wall_seconds {
+                    best = report;
+                }
+            }
             EngineBenchRow {
-                scheme: report.scheme,
+                scheme: best.scheme,
                 rounds: config.rounds,
-                wall_seconds_per_round: report.wall_seconds / config.rounds as f64,
-                simulated_seconds_per_round: report.metrics.avg_round_time(),
-                avg_messages_used: report.metrics.avg_recovery_threshold(),
-                avg_communication_units: report.metrics.avg_communication_load(),
+                wall_seconds_per_round: best.wall_seconds / config.rounds as f64,
+                simulated_seconds_per_round: best.metrics.avg_round_time(),
+                avg_messages_used: best.metrics.avg_recovery_threshold(),
+                avg_communication_units: best.metrics.avg_communication_load(),
             }
         })
         .collect();
@@ -145,6 +172,231 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchResult {
         config: config.clone(),
         rows,
     }
+}
+
+// ---------------------------------------------------------------------
+// Gradient-kernel benchmark: packed vs per-example worker compute.
+// ---------------------------------------------------------------------
+
+/// Configuration of the gradient-kernel comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientKernelConfig {
+    /// Number of coding units the dataset is grouped into.
+    pub units: usize,
+    /// Data points per unit.
+    pub points_per_unit: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Units per simulated worker (the BCC load `r`).
+    pub units_per_worker: usize,
+    /// Timed repetitions (minimum is reported).
+    pub reps: usize,
+    /// Seed for data and weights.
+    pub seed: u64,
+}
+
+impl GradientKernelConfig {
+    /// Default: scenario-one sized (matches [`EngineBenchConfig::default_config`]).
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self {
+            units: 50,
+            points_per_unit: 20,
+            dim: 32,
+            units_per_worker: 10,
+            reps: 200,
+            seed: 2024,
+        }
+    }
+
+    /// Reduced repetitions for smoke runs.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            reps: 20,
+            ..Self::default_config()
+        }
+    }
+}
+
+/// One loss's packed-vs-per-example measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientKernelRow {
+    /// Loss measured.
+    pub loss: String,
+    /// Per-example path: ns per full sweep (all workers' partials once).
+    pub per_example_ns_per_sweep: f64,
+    /// Packed path: ns per full sweep of the same work.
+    pub packed_ns_per_sweep: f64,
+    /// `per_example / packed`.
+    pub speedup: f64,
+}
+
+/// The gradient-kernel result (serialized to `BENCH_gradient_kernel.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GradientKernelResult {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// The configuration measured.
+    pub config: GradientKernelConfig,
+    /// One row per loss.
+    pub rows: Vec<GradientKernelRow>,
+}
+
+/// Materialized inputs of one gradient-kernel comparison, shared by
+/// [`run_gradient_kernel`] and the criterion bench so the two cannot
+/// drift apart.
+pub struct GradientKernelSetup {
+    /// The synthetic dataset.
+    pub data: bcc_data::Dataset,
+    /// Per simulated worker: assigned unit ids (consecutive, BCC-style).
+    pub worker_units: Vec<Vec<usize>>,
+    /// Per simulated worker: the unit row ranges, aligned with
+    /// `worker_units`.
+    pub unit_ranges: Vec<Vec<std::ops::Range<usize>>>,
+    /// The evaluation point.
+    pub w: Vec<f64>,
+    /// The unit map behind the ranges.
+    pub units: UnitMap,
+}
+
+impl GradientKernelConfig {
+    /// Builds the dataset, worker layout, and weights this config measures.
+    ///
+    /// # Panics
+    /// Panics when `units` does not tile evenly across workers.
+    #[must_use]
+    pub fn setup(&self) -> GradientKernelSetup {
+        assert!(
+            self.units.is_multiple_of(self.units_per_worker),
+            "units must tile evenly across workers"
+        );
+        let num_examples = self.units * self.points_per_unit;
+        let data = generate(&SyntheticConfig {
+            num_examples,
+            dim: self.dim,
+            separation: 1.5,
+            seed: self.seed,
+        })
+        .dataset;
+        let units = UnitMap::grouped(num_examples, self.units);
+        let workers = self.units / self.units_per_worker;
+        // Worker w owns units [w*upw, (w+1)*upw) — a BCC batch layout.
+        let worker_units: Vec<Vec<usize>> = (0..workers)
+            .map(|w| (w * self.units_per_worker..(w + 1) * self.units_per_worker).collect())
+            .collect();
+        let unit_ranges = worker_units
+            .iter()
+            .map(|list| list.iter().map(|&u| units.unit_range(u)).collect())
+            .collect();
+        let w = (0..self.dim)
+            .map(|k| 0.05 * ((k as f64) * 0.7).sin())
+            .collect();
+        GradientKernelSetup {
+            data,
+            worker_units,
+            unit_ranges,
+            w,
+            units,
+        }
+    }
+}
+
+/// Runs the packed-vs-per-example kernel comparison.
+///
+/// Both paths compute the same per-unit partial gradients for every
+/// simulated worker (BCC-style: `units_per_worker` consecutive units per
+/// worker, all units covered): the per-example path is the pre-packing hot
+/// path — index gather through `Dataset::x(j)` and one `add_gradient` call
+/// per example through `&dyn Loss`, with fresh per-unit buffers — and the
+/// packed path streams the shared arena through reused scratch. The two
+/// results are asserted bit-identical before timing.
+///
+/// # Panics
+/// Panics when the paths disagree (the packed-kernel contract is broken)
+/// or the config does not tile its units evenly across workers.
+#[must_use]
+pub fn run_gradient_kernel(config: &GradientKernelConfig) -> GradientKernelResult {
+    let GradientKernelSetup {
+        data,
+        worker_units,
+        unit_ranges,
+        w,
+        units,
+    } = config.setup();
+
+    // Logistic only: it is the loss of every paper experiment and the one
+    // with the vectorizable coefficient map; SquaredLoss's packed kernels
+    // are pinned by the optim property tests instead.
+    let losses: [(&str, &dyn Loss); 1] = [("logistic", &LogisticLoss)];
+    let rows = losses
+        .iter()
+        .map(|(name, loss)| {
+            let mut scratch = GradScratch::new();
+            // Correctness gate: packed must equal per-example bit for bit.
+            for (list, ranges) in worker_units.iter().zip(&unit_ranges) {
+                let reference = units.worker_partials_dyn(&data, *loss, list, &w);
+                let packed =
+                    scratch.worker_partials(*loss, data.features(), data.labels(), ranges, &w);
+                assert_eq!(
+                    reference, packed,
+                    "packed kernels must match the per-example path bit for bit"
+                );
+            }
+
+            let mut per_example_best = f64::INFINITY;
+            let mut packed_best = f64::INFINITY;
+            for _ in 0..config.reps {
+                let t = Instant::now();
+                for list in &worker_units {
+                    let partials = units.worker_partials_dyn(&data, *loss, list, &w);
+                    std::hint::black_box(&partials);
+                }
+                per_example_best = per_example_best.min(t.elapsed().as_secs_f64());
+
+                let t = Instant::now();
+                for ranges in &unit_ranges {
+                    let partials =
+                        scratch.worker_partials(*loss, data.features(), data.labels(), ranges, &w);
+                    std::hint::black_box(&partials);
+                }
+                packed_best = packed_best.min(t.elapsed().as_secs_f64());
+            }
+            GradientKernelRow {
+                loss: (*name).to_string(),
+                per_example_ns_per_sweep: per_example_best * 1e9,
+                packed_ns_per_sweep: packed_best * 1e9,
+                speedup: per_example_best / packed_best,
+            }
+        })
+        .collect();
+
+    GradientKernelResult {
+        schema: "bcc/bench_gradient_kernel/v1".into(),
+        config: config.clone(),
+        rows,
+    }
+}
+
+/// Renders the gradient-kernel result as a console table.
+#[must_use]
+pub fn render_gradient_kernel(result: &GradientKernelResult) -> Table {
+    let mut table = Table::new(
+        format!(
+            "gradient kernels, {} units x {} pts, dim {} (packed vs per-example)",
+            result.config.units, result.config.points_per_unit, result.config.dim
+        ),
+        &["loss", "per-example us", "packed us", "speedup"],
+    );
+    for row in &result.rows {
+        table.push_row(vec![
+            row.loss.clone(),
+            f1(row.per_example_ns_per_sweep / 1e3),
+            f1(row.packed_ns_per_sweep / 1e3),
+            format!("{:.2}x", row.speedup),
+        ]);
+    }
+    table
 }
 
 /// Renders the result as a console table.

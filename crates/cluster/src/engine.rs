@@ -20,10 +20,11 @@
 use crate::error::ClusterError;
 use crate::latency::ClusterProfile;
 use crate::metrics::RoundMetrics;
+use crate::packed::WorkerBlocks;
 use crate::units::UnitMap;
 use bcc_coding::{Decoder, GradientCodingScheme, Payload};
 use bcc_data::Dataset;
-use bcc_optim::Loss;
+use bcc_optim::{GradScratch, Loss};
 use bcc_stats::rng::derive_rng;
 use std::collections::HashSet;
 
@@ -121,11 +122,19 @@ pub struct RoundContext<'a> {
     pub data: &'a Dataset,
     /// Per-example loss.
     pub loss: &'a dyn Loss,
+    /// Per-worker packed unit blocks (built once per run; see
+    /// [`WorkerBlocks::build`]).
+    pub packed: &'a WorkerBlocks,
 }
 
 impl RoundContext<'_> {
     /// Computes worker `worker`'s unit partial gradients at `weights` and
     /// encodes them with the scheme — the shared worker-side compute path.
+    ///
+    /// Streams the worker's packed blocks through `scratch`'s blocked
+    /// kernels: bit-identical to the per-example path (pinned by
+    /// `crates/optim/tests/packed_kernels.rs`), but a linear scan with no
+    /// per-round allocation.
     ///
     /// # Errors
     /// Encoding failures ([`bcc_coding::CodingError`]) for malformed
@@ -134,13 +143,13 @@ impl RoundContext<'_> {
         &self,
         worker: usize,
         weights: &[f64],
+        scratch: &mut GradScratch,
     ) -> Result<Payload, ClusterError> {
-        let worker_units = self.scheme.placement().worker_examples(worker);
-        let partials = self
-            .units
-            .worker_partials_dyn(self.data, self.loss, worker_units, weights);
+        let (x, y) = self.packed.arena(self.data);
+        let partials =
+            scratch.worker_partials(self.loss, x, y, self.packed.worker(worker), weights);
         self.scheme
-            .encode(worker, &partials)
+            .encode(worker, partials)
             .map_err(ClusterError::from)
     }
 

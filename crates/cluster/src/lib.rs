@@ -13,10 +13,11 @@
 //!   ([`wire`]) for every message, and injected shift-exponential latencies
 //!   (the model the paper itself adopts in §IV eq. (15)) emulating EC2
 //!   stragglers at a configurable time scale.
-//! * [`VirtualCluster`] — the same protocol replayed on the `bcc-des`
-//!   discrete-event kernel in virtual time: deterministic, seedable, and
-//!   thousands of times faster — used for the Monte-Carlo parameter sweeps
-//!   behind every figure.
+//! * [`VirtualCluster`] — the same protocol replayed in virtual time over a
+//!   sorted finish-time schedule (event-for-event equal to a discrete-event
+//!   queue, because the master's receive port is strictly serial):
+//!   deterministic, seedable, and thousands of times faster — used for the
+//!   Monte-Carlo parameter sweeps behind every figure.
 //!
 //! Both backends serialize message receipt at the master (one transfer at a
 //! time, duration proportional to message units), which is what makes total
@@ -33,6 +34,7 @@ pub mod error;
 pub mod latency;
 pub mod message;
 pub mod metrics;
+pub mod packed;
 pub mod threaded;
 pub mod units;
 pub mod virtual_cluster;
@@ -44,6 +46,7 @@ pub use error::ClusterError;
 pub use latency::{ClusterProfile, CommModel, WorkerProfile};
 pub use message::Envelope;
 pub use metrics::{RoundMetrics, RunMetrics};
+pub use packed::WorkerBlocks;
 pub use threaded::ThreadedCluster;
 pub use units::UnitMap;
 pub use virtual_cluster::VirtualCluster;

@@ -1,0 +1,237 @@
+//! Per-worker packed data for the round hot path.
+//!
+//! Built once per training run from the scheme's placement and the unit
+//! map: the dataset's rows are gathered **once** into a single contiguous
+//! arena [`PackedBlock`] in unit order, and each worker's assignment
+//! becomes a list of row *ranges* into that arena. Replicated units (the
+//! redundancy every coded scheme relies on) therefore cost no extra memory,
+//! every round streams one contiguous allocation instead of scattered
+//! per-worker copies, and round-time access is a linear scan — "pack once,
+//! stream forever".
+
+use crate::units::UnitMap;
+use bcc_coding::GradientCodingScheme;
+use bcc_data::{Dataset, PackedBlock};
+use bcc_linalg::Matrix;
+use std::ops::Range;
+
+/// The shared arena (all units back to back) plus every worker's unit
+/// ranges into it.
+#[derive(Debug, Clone)]
+pub struct WorkerBlocks {
+    /// Materialized arena for unit maps that permute the dataset. `None`
+    /// when units tile the dataset in order (the standard grouped map) —
+    /// then the arena *is* the dataset, borrowed with zero copies.
+    gathered: Option<PackedBlock>,
+    /// Arena row range of each unit id.
+    unit_ranges: Vec<Range<usize>>,
+    /// Per worker: the arena range of each assigned unit, in placement
+    /// order.
+    per_worker: Vec<Vec<Range<usize>>>,
+}
+
+impl WorkerBlocks {
+    /// Packs the dataset in unit order and indexes each worker's assigned
+    /// units as ranges into the arena.
+    ///
+    /// Range `k` of worker `i` holds the rows of unit
+    /// `placement.worker_examples(i)[k]`, in row order — the same order the
+    /// per-example path visits, so blocked kernels stay bit-identical. When
+    /// the units already tile the dataset front to back (always true for
+    /// [`UnitMap::grouped`]) nothing is copied at all.
+    #[must_use]
+    pub fn build(scheme: &dyn GradientCodingScheme, units: &UnitMap, data: &Dataset) -> Self {
+        let mut rows = Vec::with_capacity(data.len());
+        let mut unit_ranges = Vec::with_capacity(units.num_units());
+        for unit in 0..units.num_units() {
+            let start = rows.len();
+            rows.extend(units.unit_range(unit));
+            unit_ranges.push(start..rows.len());
+        }
+        let identity = rows.len() == data.len() && rows.iter().enumerate().all(|(i, &r)| i == r);
+        let gathered = (!identity).then(|| PackedBlock::gather(data, &rows));
+        let placement = scheme.placement();
+        let per_worker = (0..placement.num_workers())
+            .map(|worker| {
+                placement
+                    .worker_examples(worker)
+                    .iter()
+                    .map(|&unit| unit_ranges[unit].clone())
+                    .collect()
+            })
+            .collect();
+        Self {
+            gathered,
+            unit_ranges,
+            per_worker,
+        }
+    }
+
+    /// The arena's feature matrix and labels: the materialized gather, or
+    /// the dataset itself when no gather was needed.
+    #[must_use]
+    pub fn arena<'a>(&'a self, data: &'a Dataset) -> (&'a Matrix, &'a [f64]) {
+        match &self.gathered {
+            Some(block) => (block.features(), block.labels()),
+            None => (data.features(), data.labels()),
+        }
+    }
+
+    /// The dataset row behind an arena row (the placement round-trip).
+    #[must_use]
+    pub fn src_row(&self, arena_row: usize) -> usize {
+        match &self.gathered {
+            Some(block) => block.src_rows()[arena_row],
+            None => arena_row,
+        }
+    }
+
+    /// Arena row range of unit `unit`.
+    #[must_use]
+    pub fn unit_range(&self, unit: usize) -> Range<usize> {
+        self.unit_ranges[unit].clone()
+    }
+
+    /// Worker `i`'s arena ranges, aligned with its placement unit list.
+    #[must_use]
+    pub fn worker(&self, i: usize) -> &[Range<usize>] {
+        &self.per_worker[i]
+    }
+
+    /// Number of workers covered.
+    #[must_use]
+    pub fn num_workers(&self) -> usize {
+        self.per_worker.len()
+    }
+}
+
+/// Per-round memoization of unit partial gradients for single-threaded
+/// backends.
+///
+/// Coded schemes replicate units across workers (that is the whole point of
+/// the redundancy), so within one round several simulated workers compute
+/// the *same* unit gradient at the same weights. A real cluster pays that
+/// cost in parallel on separate machines; a single-threaded simulator pays
+/// it serially — and needlessly, because the result is bit-identical. The
+/// cache remembers each unit's gradient for the current round; it must be
+/// [`UnitGradientCache::begin_round`]-reset whenever the weights change.
+#[derive(Debug)]
+pub struct UnitGradientCache {
+    grads: Vec<Vec<f64>>,
+    filled: Vec<bool>,
+}
+
+impl UnitGradientCache {
+    /// Cache over `units` unit ids, initially empty.
+    #[must_use]
+    pub fn new(units: usize) -> Self {
+        Self {
+            grads: vec![Vec::new(); units],
+            filled: vec![false; units],
+        }
+    }
+
+    /// Invalidates every entry (call at the start of each round — the
+    /// evaluation point changed).
+    pub fn begin_round(&mut self) {
+        self.filled.fill(false);
+    }
+
+    /// The memoized gradient of `unit`, if this round already computed it.
+    #[must_use]
+    pub fn get(&self, unit: usize) -> Option<&[f64]> {
+        self.filled[unit].then(|| self.grads[unit].as_slice())
+    }
+
+    /// Memoizes `grad` for `unit` (reusing the entry's allocation).
+    pub fn store(&mut self, unit: usize, grad: &[f64]) {
+        self.grads[unit].clear();
+        self.grads[unit].extend_from_slice(grad);
+        self.filled[unit] = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_coding::{BccScheme, UncodedScheme};
+    use bcc_data::synthetic::{generate, SyntheticConfig};
+
+    #[test]
+    fn src_rows_round_trip_placement() {
+        // Regression: packing must remember exactly which dataset rows each
+        // worker-unit range came from, i.e. the placement × unit map.
+        let g = generate(&SyntheticConfig::small(40, 4, 2));
+        let units = UnitMap::grouped(40, 8);
+        let choices = vec![0, 1, 2, 3, 0, 1, 2, 3];
+        let scheme = BccScheme::from_choices(8, 2, choices);
+        let blocks = WorkerBlocks::build(&scheme, &units, &g.dataset);
+        assert_eq!(blocks.num_workers(), scheme.num_workers());
+        for worker in 0..scheme.num_workers() {
+            let unit_list = scheme.placement().worker_examples(worker);
+            let ranges = blocks.worker(worker);
+            assert_eq!(ranges.len(), unit_list.len());
+            let (x, y) = blocks.arena(&g.dataset);
+            for (range, &unit) in ranges.iter().zip(unit_list) {
+                let expect: Vec<usize> = units.unit_range(unit).collect();
+                let src: Vec<usize> = range.clone().map(|i| blocks.src_row(i)).collect();
+                assert_eq!(
+                    src, expect,
+                    "worker {worker} unit {unit} must pack its placement rows"
+                );
+                for (i, &j) in range.clone().zip(&src) {
+                    assert_eq!(x.row(i), g.dataset.x(j));
+                    assert_eq!(y[i], g.dataset.y(j));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arena_is_contiguous_and_covers_units_in_order() {
+        let g = generate(&SyntheticConfig::small(30, 3, 5));
+        let units = UnitMap::grouped(30, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let blocks = WorkerBlocks::build(&scheme, &units, &g.dataset);
+        let (x, _y) = blocks.arena(&g.dataset);
+        assert_eq!(x.rows(), 30, "arena holds every row once");
+        let mut next = 0;
+        for unit in 0..10 {
+            let r = blocks.unit_range(unit);
+            assert_eq!(r.start, next, "units pack back to back");
+            next = r.end;
+        }
+        assert_eq!(next, 30);
+    }
+
+    #[test]
+    fn uncoded_ranges_partition_the_arena() {
+        let g = generate(&SyntheticConfig::small(30, 3, 5));
+        let units = UnitMap::grouped(30, 10);
+        let scheme = UncodedScheme::new(10, 5);
+        let blocks = WorkerBlocks::build(&scheme, &units, &g.dataset);
+        let mut seen = [false; 30];
+        for worker in 0..5 {
+            for range in blocks.worker(worker) {
+                for i in range.clone() {
+                    assert!(!seen[i], "arena row {i} assigned twice under uncoded");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(
+            seen.iter().all(|s| *s),
+            "uncoded packing must cover all rows"
+        );
+    }
+
+    #[test]
+    fn unit_cache_round_trips() {
+        let mut cache = UnitGradientCache::new(3);
+        assert!(cache.get(1).is_none());
+        cache.store(1, &[1.0, 2.0]);
+        assert_eq!(cache.get(1), Some(&[1.0, 2.0][..]));
+        cache.begin_round();
+        assert!(cache.get(1).is_none(), "begin_round invalidates");
+    }
+}

@@ -23,11 +23,12 @@ use crate::backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome
 use crate::engine::{self, Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
 use crate::latency::{ClusterProfile, CommModel};
+use crate::packed::WorkerBlocks;
 use crate::units::UnitMap;
 use crate::wire;
 use bcc_coding::GradientCodingScheme;
 use bcc_data::Dataset;
-use bcc_optim::Loss;
+use bcc_optim::{GradScratch, Loss};
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -134,6 +135,12 @@ impl ThreadedCluster {
                     // Skipped), which is what lets the master detect
                     // "all live workers reported without completing"
                     // promptly instead of burning the receive timeout.
+                    // Per-thread reusable state: gradient scratch and the
+                    // wire staging buffer live for the whole run, so the
+                    // steady-state round loop allocates only the outgoing
+                    // `Bytes` itself.
+                    let mut scratch = GradScratch::new();
+                    let mut wire_buf = bytes::BytesMut::with_capacity(0);
                     while let Ok((round, weights)) = weight_rx.recv() {
                         let delay = engine::sample_compute_seconds_with(
                             &worker_profile,
@@ -155,15 +162,22 @@ impl ThreadedCluster {
                             continue; // master completed this round already
                         }
                         // Real computation: the worker's unit partial
-                        // gradients, encoded with the scheme.
-                        let message = match ctx.compute_and_encode(worker, &weights) {
+                        // gradients (packed-kernel path), encoded with the
+                        // scheme and staged through the reused wire buffer.
+                        let message = match ctx.compute_and_encode(worker, &weights, &mut scratch) {
                             Ok(payload) => {
-                                PoolMessage::Envelope(wire::encode(&crate::message::Envelope {
-                                    iteration: round,
-                                    worker,
-                                    compute_seconds: delay,
-                                    payload,
-                                }))
+                                wire::encode_into(
+                                    &crate::message::Envelope {
+                                        iteration: round,
+                                        worker,
+                                        compute_seconds: delay,
+                                        payload,
+                                    },
+                                    &mut wire_buf,
+                                );
+                                PoolMessage::Envelope(bytes::Bytes::copy_from_slice(
+                                    wire_buf.as_ref(),
+                                ))
                             }
                             // Malformed config: report the round as skipped so
                             // the master can stall promptly and accurately.
@@ -324,11 +338,13 @@ impl ClusterBackend for ThreadedCluster {
         loss: &dyn Loss,
         weights: &[f64],
     ) -> Result<RoundOutcome, ClusterError> {
+        let packed = WorkerBlocks::build(scheme, units, data);
         let ctx = RoundContext {
             scheme,
             units,
             data,
             loss,
+            packed: &packed,
         };
         ctx.validate(&self.profile);
         let round = self.round;
@@ -350,11 +366,15 @@ impl ClusterBackend for ThreadedCluster {
         loss: &dyn Loss,
         driver: &mut dyn RoundDriver,
     ) -> Result<(), ClusterError> {
+        // Pack once per training run; worker threads stream these blocks
+        // every round.
+        let packed = WorkerBlocks::build(scheme, units, data);
         let ctx = RoundContext {
             scheme,
             units,
             data,
             loss,
+            packed: &packed,
         };
         ctx.validate(&self.profile);
         let first_round = self.round;

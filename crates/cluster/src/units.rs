@@ -65,6 +65,13 @@ impl UnitMap {
         self.batching.batch_indices(unit)
     }
 
+    /// Dataset row range of a unit, without materializing an index vector
+    /// (units are contiguous by construction).
+    #[must_use]
+    pub fn unit_range(&self, unit: usize) -> std::ops::Range<usize> {
+        self.batching.batch_range(unit)
+    }
+
     /// Partial gradient of one unit: `Σ_{j∈unit} g_j(w)`.
     #[must_use]
     pub fn unit_gradient<L: Loss>(
@@ -90,6 +97,29 @@ impl UnitMap {
         units
             .iter()
             .map(|&u| self.unit_gradient(data, loss, u, w))
+            .collect()
+    }
+
+    /// Like [`UnitMap::worker_partials`] but callable with `&dyn Loss` —
+    /// the per-example reference path the packed kernels are pinned against
+    /// (see `bcc_optim::GradScratch::worker_partials` for the hot path).
+    #[must_use]
+    pub fn worker_partials_dyn(
+        &self,
+        data: &Dataset,
+        loss: &dyn Loss,
+        units: &[usize],
+        w: &[f64],
+    ) -> Vec<Vec<f64>> {
+        units
+            .iter()
+            .map(|&u| {
+                let mut acc = vec![0.0; w.len()];
+                for j in self.unit_range(u) {
+                    loss.add_gradient(data.x(j), data.y(j), w, &mut acc);
+                }
+                acc
+            })
             .collect()
     }
 }

@@ -1,24 +1,30 @@
-//! DES-backed virtual cluster: the round protocol replayed in virtual time.
+//! Virtual cluster: the round protocol replayed in virtual time.
 //!
 //! Per round: every participating worker `i` samples a compute time
 //! `Tᵢ ~ shift-exp(aᵢ·rᵢ, μᵢ/rᵢ)` and "finishes" at `Tᵢ`; its message then
 //! queues for the master's single receive port (transfer time
 //! `overhead + units·per_unit`, one transfer at a time). All protocol logic
 //! — decoder feeding, completion, stalls, metrics — lives in the shared
-//! [`RoundEngine`]; this file is only the arrival adapter that turns the
-//! `bcc-des` event queue into the engine's pull-based [`ArrivalSource`].
-//! Identical protocol semantics to [`crate::ThreadedCluster`] by
-//! construction, minus the wall clock.
+//! [`RoundEngine`]; this file is only the arrival adapter that feeds the
+//! engine's pull-based [`ArrivalSource`]. Identical protocol semantics to
+//! [`crate::ThreadedCluster`] by construction, minus the wall clock.
+//!
+//! Because every finish time is known when the round starts and the
+//! receive port is strictly serial, the event calendar collapses to a
+//! stable sort of `(finish time, worker)` walked in order — delivery
+//! timestamps and arrival order are event-for-event identical to pumping a
+//! general discrete-event queue (which the `bcc-des` crate still provides
+//! for models with feedback), at a fraction of the per-round cost.
 
 use crate::backend::{ClusterBackend, RoundDriver, RoundOutcome};
 use crate::engine::{self, Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
 use crate::latency::{ClusterProfile, CommModel};
+use crate::packed::{UnitGradientCache, WorkerBlocks};
 use crate::units::UnitMap;
-use bcc_coding::GradientCodingScheme;
+use bcc_coding::{GradientCodingScheme, Payload};
 use bcc_data::Dataset;
-use bcc_des::{EventQueue, VirtualTime};
-use bcc_optim::Loss;
+use bcc_optim::{GradScratch, Loss};
 use std::collections::HashSet;
 
 /// Virtual (discrete-event) cluster backend.
@@ -60,13 +66,22 @@ impl VirtualCluster {
     }
 
     /// Runs one round over a fixed participant set (round id preallocated).
+    /// `scratch` carries the reusable gradient buffers across rounds.
+    #[allow(clippy::too_many_arguments)] // per-run reusable state, one arg each
     fn round_with_participants(
         &self,
         round: u64,
         participants: &[usize],
         ctx: RoundContext<'_>,
         weights: &[f64],
+        scratch: &mut GradScratch,
+        cache: Option<&mut UnitGradientCache>,
+        schedule: &mut Vec<(usize, f64)>,
     ) -> Result<RoundOutcome, ClusterError> {
+        let mut cache = cache;
+        if let Some(c) = cache.as_deref_mut() {
+            c.begin_round();
+        }
         let mut source = VirtualArrivals::new(
             self.profile.comm,
             participants.iter().map(|&worker| {
@@ -77,6 +92,9 @@ impl VirtualCluster {
             }),
             ctx,
             weights,
+            scratch,
+            cache,
+            schedule,
         );
         let mut engine = RoundEngine::new(ctx.scheme, participants.len());
         let end = engine.run(&mut source)?;
@@ -97,17 +115,30 @@ impl ClusterBackend for VirtualCluster {
         loss: &dyn Loss,
         weights: &[f64],
     ) -> Result<RoundOutcome, ClusterError> {
+        let packed = WorkerBlocks::build(scheme, units, data);
         let ctx = RoundContext {
             scheme,
             units,
             data,
             loss,
+            packed: &packed,
         };
         ctx.validate(&self.profile);
         let round = self.round;
         self.round += 1;
         let participants = ctx.participants(&self.dead_workers);
-        self.round_with_participants(round, &participants, ctx, weights)
+        let mut scratch = GradScratch::new();
+        let mut cache = use_cache(scheme).then(|| UnitGradientCache::new(units.num_units()));
+        let mut schedule = Vec::new();
+        self.round_with_participants(
+            round,
+            &participants,
+            ctx,
+            weights,
+            &mut scratch,
+            cache.as_mut(),
+            &mut schedule,
+        )
     }
 
     fn run_rounds(
@@ -119,23 +150,40 @@ impl ClusterBackend for VirtualCluster {
         loss: &dyn Loss,
         driver: &mut dyn RoundDriver,
     ) -> Result<(), ClusterError> {
-        // Amortize round setup: validate and build the participant set once
-        // for the whole run instead of once per round.
+        // Amortize round setup: validate, build the participant set, pack
+        // each worker's data, and allocate the gradient scratch once for
+        // the whole run instead of once per round.
+        let packed = WorkerBlocks::build(scheme, units, data);
         let ctx = RoundContext {
             scheme,
             units,
             data,
             loss,
+            packed: &packed,
         };
         ctx.validate(&self.profile);
         let participants = ctx.participants(&self.dead_workers);
+        let mut scratch = GradScratch::new();
+        // Replication-free schemes (uncoded) never share a unit across
+        // workers, so memoization would be pure copy overhead — decided
+        // once per run, not per round.
+        let mut cache = use_cache(scheme).then(|| UnitGradientCache::new(units.num_units()));
+        let mut schedule = Vec::new();
         for index in 0..rounds {
             // Advance per attempted round (failing rounds included), exactly
             // like sequential run_round calls would.
             let round = self.round;
             self.round += 1;
             let weights = driver.eval_point(index);
-            let outcome = self.round_with_participants(round, &participants, ctx, &weights)?;
+            let outcome = self.round_with_participants(
+                round,
+                &participants,
+                ctx,
+                &weights,
+                &mut scratch,
+                cache.as_mut(),
+                &mut schedule,
+            )?;
             driver.consume(index, outcome);
         }
         Ok(())
@@ -146,23 +194,30 @@ impl ClusterBackend for VirtualCluster {
     }
 }
 
-/// DES events of one round.
-enum Event {
-    /// Worker finished computing; message joins the master port queue.
-    WorkerDone { worker: usize, compute_seconds: f64 },
-    /// Transfer of this worker's message completed at the master.
-    Delivered { worker: usize, compute_seconds: f64 },
+/// True when any unit is stored by more than one worker (per-round unit
+/// memoization pays off).
+fn use_cache(scheme: &dyn GradientCodingScheme) -> bool {
+    scheme
+        .placement()
+        .replication_counts()
+        .iter()
+        .any(|&c| c > 1)
 }
 
-/// Arrival adapter: pumps the `bcc-des` event queue in pull mode, modelling
-/// the master's serialized receive port, and materializes each worker's
-/// payload at delivery time.
+/// Arrival adapter: walks the round's finish-time schedule in order,
+/// modelling the master's serialized receive port, and materializes each
+/// worker's payload at delivery time.
 struct VirtualArrivals<'a> {
-    queue: EventQueue<Event>,
-    port_free_at: VirtualTime,
+    /// `(worker, finish_time)` stably sorted by finish time — FIFO port
+    /// order; the buffer is reused across rounds.
+    schedule: &'a [(usize, f64)],
+    next: usize,
+    port_free_at: f64,
     comm: CommModel,
     ctx: RoundContext<'a>,
     weights: &'a [f64],
+    scratch: &'a mut GradScratch,
+    cache: Option<&'a mut UnitGradientCache>,
 }
 
 impl<'a> VirtualArrivals<'a> {
@@ -171,91 +226,80 @@ impl<'a> VirtualArrivals<'a> {
         finish_times: impl Iterator<Item = (usize, f64)>,
         ctx: RoundContext<'a>,
         weights: &'a [f64],
+        scratch: &'a mut GradScratch,
+        cache: Option<&'a mut UnitGradientCache>,
+        schedule: &'a mut Vec<(usize, f64)>,
     ) -> Self {
-        let mut queue = EventQueue::new();
-        for (worker, t) in finish_times {
-            queue.schedule(
-                VirtualTime::new(t),
-                Event::WorkerDone {
-                    worker,
-                    compute_seconds: t,
-                },
-            );
-        }
+        schedule.clear();
+        schedule.extend(finish_times);
+        // Stable: simultaneous finishers keep participant order, exactly
+        // like the FIFO tie-breaking of a discrete-event calendar.
+        schedule.sort_by(|a, b| a.1.total_cmp(&b.1));
         Self {
-            queue,
-            port_free_at: VirtualTime::ZERO,
+            schedule,
+            next: 0,
+            port_free_at: 0.0,
             comm,
             ctx,
             weights,
+            scratch,
+            cache,
         }
+    }
+
+    /// [`RoundContext::compute_and_encode`] with per-round unit
+    /// memoization: units already computed this round (by a replica worker)
+    /// are copied from the cache instead of recomputed — bit-identical by
+    /// construction, since every replica computes the same block at the
+    /// same weights.
+    fn compute_and_encode_cached(&mut self, worker: usize) -> Result<Payload, ClusterError> {
+        let Some(cache) = self.cache.as_mut() else {
+            return self
+                .ctx
+                .compute_and_encode(worker, self.weights, self.scratch);
+        };
+        let unit_ids = self.ctx.scheme.placement().worker_examples(worker);
+        let ranges = self.ctx.packed.worker(worker);
+        let (x, y) = self.ctx.packed.arena(self.ctx.data);
+        self.scratch.ensure_slots(ranges.len(), self.weights.len());
+        for (slot, (&unit, rows)) in unit_ids.iter().zip(ranges).enumerate() {
+            if let Some(grad) = cache.get(unit) {
+                self.scratch.copy_partial_from(slot, grad);
+            } else {
+                self.scratch
+                    .fill_partial(slot, self.ctx.loss, x, y, rows.clone(), self.weights);
+                cache.store(unit, self.scratch.partial(slot));
+            }
+        }
+        self.ctx
+            .scheme
+            .encode(worker, self.scratch.partials(ranges.len()))
+            .map_err(ClusterError::from)
     }
 }
 
 impl ArrivalSource for VirtualArrivals<'_> {
     fn next_arrival(&mut self) -> Result<ArrivalEvent, ClusterError> {
-        while let Some((now, event)) = self.queue.pop() {
-            match event {
-                Event::WorkerDone {
-                    worker,
-                    compute_seconds,
-                } => {
-                    // Queue on the single receive port: the transfer starts
-                    // when both the message and the port are ready.
-                    let payload_units = self.ctx.scheme.message_units(worker);
-                    let start = self.port_free_at.max(now);
-                    let done = start + self.comm.transfer_time(payload_units);
-                    self.port_free_at = done;
-                    self.queue.schedule(
-                        done,
-                        Event::Delivered {
-                            worker,
-                            compute_seconds,
-                        },
-                    );
-                }
-                Event::Delivered {
-                    worker,
-                    compute_seconds,
-                } => {
-                    let payload = self.ctx.compute_and_encode(worker, self.weights)?;
-                    return Ok(ArrivalEvent::Delivered(Arrival {
-                        worker,
-                        payload,
-                        compute_seconds,
-                        at: now.seconds(),
-                    }));
-                }
-            }
-        }
-        Ok(ArrivalEvent::Exhausted {
-            reason: "all live workers reported without completing the scheme".into(),
-        })
-    }
-}
-
-// Object-safe helper mirroring `UnitMap::worker_partials` for `dyn Loss`.
-impl UnitMap {
-    /// Like [`UnitMap::worker_partials`] but callable with `&dyn Loss`.
-    #[must_use]
-    pub fn worker_partials_dyn(
-        &self,
-        data: &Dataset,
-        loss: &dyn Loss,
-        units: &[usize],
-        w: &[f64],
-    ) -> Vec<Vec<f64>> {
-        units
-            .iter()
-            .map(|&u| {
-                let idx = self.unit_examples(u);
-                let mut acc = vec![0.0; w.len()];
-                for j in idx {
-                    loss.add_gradient(data.x(j), data.y(j), w, &mut acc);
-                }
-                acc
-            })
-            .collect()
+        let Some(&(worker, finish)) = self.schedule.get(self.next) else {
+            return Ok(ArrivalEvent::Exhausted {
+                reason: "all live workers reported without completing the scheme".into(),
+            });
+        };
+        self.next += 1;
+        // Queue on the single receive port: the transfer starts when both
+        // the message and the port are ready. Port order is finish order,
+        // so delivery times are nondecreasing.
+        let payload_units = self.ctx.scheme.message_units(worker);
+        let start = self.port_free_at.max(finish);
+        let done = start + self.comm.transfer_time(payload_units);
+        self.port_free_at = done;
+        let payload = self.compute_and_encode_cached(worker)?;
+        Ok(ArrivalEvent::Delivered(Arrival {
+            worker,
+            payload,
+            compute_seconds: finish,
+            at: done,
+        }))
     }
 }
 

@@ -26,18 +26,53 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 const MAGIC: u32 = 0xBCC0_17E5;
 const VERSION: u8 = 1;
 
-/// Serializes an envelope to bytes.
+/// Header size: magic + version + kind + iter + worker + compute_seconds.
+const HEADER_LEN: usize = 4 + 1 + 1 + 8 + 8 + 8;
+
+/// Exact wire size of a payload body, so encode buffers reserve once and
+/// never grow mid-message.
+#[must_use]
+fn payload_body_len(p: &Payload) -> usize {
+    match p {
+        Payload::Sum { vector, .. } => 8 + 8 + 8 * vector.len(),
+        Payload::Linear { vector } => 8 + 8 * vector.len(),
+        Payload::LinearComplex { vector } => 8 + 16 * vector.len(),
+        Payload::PerExample { entries } => {
+            8 + entries
+                .iter()
+                .map(|(_, g)| 8 + 8 + 8 * g.len())
+                .sum::<usize>()
+        }
+    }
+}
+
+/// Serializes an envelope to bytes (fresh exact-size buffer).
 #[must_use]
 pub fn encode(envelope: &Envelope) -> Bytes {
-    let mut buf = BytesMut::with_capacity(64 + 8 * envelope.payload.dim());
+    let mut buf = BytesMut::with_capacity(HEADER_LEN + payload_body_len(&envelope.payload));
+    encode_into(envelope, &mut buf);
+    buf.freeze()
+}
+
+/// Serializes an envelope into a reusable staging buffer: clears `buf`,
+/// reserves the exact message size, and writes the envelope. Workers keep
+/// one `BytesMut` alive across rounds so steady-state encoding never grows
+/// a buffer.
+pub fn encode_into(envelope: &Envelope, buf: &mut BytesMut) {
+    buf.clear();
+    buf.reserve(HEADER_LEN + payload_body_len(&envelope.payload));
     buf.put_u32_le(MAGIC);
     buf.put_u8(VERSION);
     buf.put_u8(payload_kind(&envelope.payload));
     buf.put_u64_le(envelope.iteration);
     buf.put_u64_le(envelope.worker as u64);
     buf.put_f64_le(envelope.compute_seconds);
-    encode_payload(&envelope.payload, &mut buf);
-    buf.freeze()
+    encode_payload(&envelope.payload, buf);
+    debug_assert_eq!(
+        buf.len(),
+        HEADER_LEN + payload_body_len(&envelope.payload),
+        "payload_body_len must stay in sync with encode_payload"
+    );
 }
 
 fn payload_kind(p: &Payload) -> u8 {
@@ -167,10 +202,12 @@ fn get_vec(bytes: &mut Bytes) -> Result<Vec<f64>, ClusterError> {
 }
 
 /// Size in bytes an envelope occupies on the wire — used by tests to check
-/// the unit-based load accounting against physical bytes.
+/// the unit-based load accounting against physical bytes. Computed
+/// arithmetically (no encoding pass); `encode_into` debug-asserts the two
+/// stay in sync.
 #[must_use]
 pub fn encoded_len(envelope: &Envelope) -> usize {
-    encode(envelope).len()
+    HEADER_LEN + payload_body_len(&envelope.payload)
 }
 
 #[cfg(test)]
@@ -263,6 +300,43 @@ mod tests {
             decode(Bytes::from(bytes)),
             Err(ClusterError::Wire(msg)) if msg.contains("version")
         ));
+    }
+
+    #[test]
+    fn encoded_len_matches_actual_encoding() {
+        for payload in [
+            Payload::Sum {
+                unit: 3,
+                vector: vec![1.0; 7],
+            },
+            Payload::Linear { vector: vec![] },
+            Payload::LinearComplex {
+                vector: vec![Complex::new(1.0, 2.0); 3],
+            },
+            Payload::PerExample {
+                entries: vec![(0, vec![1.0; 4]), (2, vec![2.0; 4])],
+            },
+        ] {
+            let e = env(payload);
+            assert_eq!(encoded_len(&e), encode(&e).len());
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_buffer_across_messages() {
+        let mut buf = BytesMut::with_capacity(0);
+        let big = env(Payload::Linear {
+            vector: vec![1.5; 64],
+        });
+        let small = env(Payload::Sum {
+            unit: 1,
+            vector: vec![-2.0; 3],
+        });
+        for e in [&big, &small, &big] {
+            encode_into(e, &mut buf);
+            let bytes = Bytes::copy_from_slice(buf.as_ref());
+            assert_eq!(&decode(bytes).unwrap(), e, "reused buffer round-trips");
+        }
     }
 
     #[test]

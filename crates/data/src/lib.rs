@@ -11,6 +11,9 @@
 //! * [`placement`] — data-placement bipartite graph (§II): which worker
 //!   stores which examples, with coverage/load/replication accounting, and
 //!   builders for every placement the paper compares.
+//! * [`packed`] — contiguous per-worker row blocks: each worker's assigned
+//!   index set gathered once at setup so the round-time gradient kernels
+//!   stream linearly instead of gathering by index every iteration.
 
 #![forbid(unsafe_code)]
 // Index loops are kept where they mirror the papers' matrix/recurrence
@@ -20,10 +23,12 @@
 
 pub mod batching;
 pub mod dataset;
+pub mod packed;
 pub mod placement;
 pub mod synthetic;
 
 pub use batching::Batching;
 pub use dataset::Dataset;
+pub use packed::PackedBlock;
 pub use placement::Placement;
 pub use synthetic::SyntheticConfig;

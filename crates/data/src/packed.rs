@@ -1,0 +1,170 @@
+//! Packed per-worker data blocks.
+//!
+//! The round hot path used to gather examples row by row through
+//! [`Dataset::x`] on every iteration. A [`PackedBlock`] materializes an
+//! index set **once** into a contiguous row-major block, so round-time
+//! access is a linear scan the blocked gradient kernels can stream:
+//! "pack once, stream forever". `src_rows` remembers where each packed row
+//! came from, so placements round-trip and debugging stays possible.
+
+use crate::dataset::Dataset;
+use bcc_linalg::Matrix;
+
+/// A contiguous row-major copy of a set of dataset rows, in gather order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedBlock {
+    /// Packed feature rows (one gathered example per row).
+    x: Matrix,
+    /// Labels aligned with the packed rows.
+    y: Vec<f64>,
+    /// For each packed row, the dataset row it was gathered from.
+    src_rows: Vec<usize>,
+}
+
+impl PackedBlock {
+    /// Gathers `rows` (in order) from `data` into one contiguous block.
+    ///
+    /// The packed row order **is** the gather order — summing gradients over
+    /// the block in row order is bit-identical to summing over `rows` in
+    /// their given order, which is what keeps packed kernels equal to the
+    /// per-example path.
+    ///
+    /// # Panics
+    /// Panics on out-of-range row indices.
+    #[must_use]
+    pub fn gather(data: &Dataset, rows: &[usize]) -> Self {
+        let dim = data.dim();
+        // Consecutive runs bulk-copy whole stretches of the row-major
+        // feature buffer instead of row-by-row gathers — for the common
+        // contiguous-unit layout the entire pack is a handful of memcpys.
+        let mut flat = Vec::with_capacity(rows.len() * dim);
+        let mut y = Vec::with_capacity(rows.len());
+        let features = data.features().as_slice();
+        let mut i = 0;
+        while i < rows.len() {
+            let start = rows[i];
+            let mut end = i + 1;
+            while end < rows.len() && rows[end] == rows[end - 1] + 1 {
+                end += 1;
+            }
+            let run = end - i;
+            flat.extend_from_slice(&features[start * dim..(start + run) * dim]);
+            y.extend_from_slice(&data.labels()[start..start + run]);
+            i = end;
+        }
+        let x = Matrix::from_vec(rows.len(), dim, flat).expect("gathered rows share dataset dim");
+        Self {
+            x,
+            y,
+            src_rows: rows.to_vec(),
+        }
+    }
+
+    /// Gathers a contiguous dataset range `start..end` (the common case:
+    /// units are contiguous row ranges).
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the dataset.
+    #[must_use]
+    pub fn from_range(data: &Dataset, range: std::ops::Range<usize>) -> Self {
+        let rows: Vec<usize> = range.collect();
+        Self::gather(data, &rows)
+    }
+
+    /// Number of packed examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// True when the block holds no examples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimension `p`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Packed feature row `i`.
+    #[must_use]
+    pub fn x(&self, i: usize) -> &[f64] {
+        self.x.row(i)
+    }
+
+    /// Label of packed row `i`.
+    #[must_use]
+    pub fn y(&self, i: usize) -> f64 {
+        self.y[i]
+    }
+
+    /// The packed feature matrix (row-major, contiguous).
+    #[must_use]
+    pub fn features(&self) -> &Matrix {
+        &self.x
+    }
+
+    /// All labels, aligned with the packed rows.
+    #[must_use]
+    pub fn labels(&self) -> &[f64] {
+        &self.y
+    }
+
+    /// The dataset row each packed row was gathered from, in pack order.
+    #[must_use]
+    pub fn src_rows(&self) -> &[usize] {
+        &self.src_rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data() -> Dataset {
+        let x = Matrix::from_fn(6, 3, |i, j| (i * 10 + j) as f64);
+        Dataset::new(x, vec![1.0, -1.0, 1.0, 1.0, -1.0, -1.0])
+    }
+
+    #[test]
+    fn gather_copies_rows_in_order() {
+        let d = data();
+        let b = PackedBlock::gather(&d, &[4, 1, 5]);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dim(), 3);
+        assert_eq!(b.x(0), d.x(4));
+        assert_eq!(b.x(1), d.x(1));
+        assert_eq!(b.x(2), d.x(5));
+        assert_eq!(b.labels(), &[-1.0, -1.0, -1.0]);
+        assert_eq!(b.src_rows(), &[4, 1, 5]);
+    }
+
+    #[test]
+    fn from_range_matches_gather() {
+        let d = data();
+        let a = PackedBlock::from_range(&d, 2..5);
+        let b = PackedBlock::gather(&d, &[2, 3, 4]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rows_are_contiguous_in_memory() {
+        let d = data();
+        let b = PackedBlock::gather(&d, &[5, 0]);
+        assert_eq!(b.features().as_slice().len(), 2 * 3);
+        assert_eq!(&b.features().as_slice()[0..3], d.x(5));
+        assert_eq!(&b.features().as_slice()[3..6], d.x(0));
+    }
+
+    #[test]
+    fn empty_gather() {
+        let d = data();
+        let b = PackedBlock::gather(&d, &[]);
+        assert!(b.is_empty());
+        assert_eq!(b.len(), 0);
+        assert!(b.src_rows().is_empty());
+    }
+}

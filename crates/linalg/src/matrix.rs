@@ -182,6 +182,154 @@ impl Matrix {
             .collect())
     }
 
+    /// Matrix–vector product `out = A x` into a reused buffer, register-
+    /// blocked four rows at a time.
+    ///
+    /// Each output element is **bit-identical** to `vec_ops::dot(row, x)` —
+    /// the blocked loop keeps the exact 4-lane + tail accumulation structure
+    /// of [`vec_ops::dot`] per row, it only shares the loads of `x` across
+    /// rows. This is the margins kernel of the packed gradient path, where
+    /// bit-equality with the per-example path is a contract.
+    ///
+    /// # Panics
+    /// Panics when `x.len() != cols` (caller bug in the hot path; the
+    /// fallible API is [`Matrix::gemv`]).
+    pub fn gemv_into(&self, x: &[f64], out: &mut Vec<f64>) {
+        self.gemv_rows_into(0..self.rows, x, out);
+    }
+
+    /// [`Matrix::gemv_into`] over a row range: `out[k] = row_{rows.start+k}·x`
+    /// for each row of the range, same bit-equality contract.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the matrix or `x.len() != cols`.
+    pub fn gemv_rows_into(&self, rows: std::ops::Range<usize>, x: &[f64], out: &mut Vec<f64>) {
+        assert!(rows.end <= self.rows, "gemv_rows_into: rows out of range");
+        assert_eq!(x.len(), self.cols, "gemv_rows_into: dimension mismatch");
+        out.clear();
+        out.resize(rows.len(), 0.0);
+        let mut i = 0;
+        while i + 4 <= rows.len() {
+            out[i..i + 4].copy_from_slice(&self.dot_rows4(rows.start + i, x));
+            i += 4;
+        }
+        while i < rows.len() {
+            out[i] = vec_ops::dot(self.row(rows.start + i), x);
+            i += 1;
+        }
+    }
+
+    /// Blocked 4-row dot: `[dot(row_{i}, x), …, dot(row_{i+3}, x)]`, each
+    /// result bit-identical to [`vec_ops::dot`] (same 4-lane + tail
+    /// structure), sharing the loads of `x` across the four rows.
+    ///
+    /// # Panics
+    /// Panics when fewer than four rows start at `first_row` or
+    /// `x.len() != cols`.
+    #[must_use]
+    #[inline]
+    pub fn dot_rows4(&self, first_row: usize, x: &[f64]) -> [f64; 4] {
+        assert!(first_row + 4 <= self.rows, "dot_rows4: rows out of range");
+        assert_eq!(x.len(), self.cols, "dot_rows4: dimension mismatch");
+        let cols = self.cols;
+        let base = first_row * cols;
+        let (r0, rest) = self.data[base..base + 4 * cols].split_at(cols);
+        let (r1, rest) = rest.split_at(cols);
+        let (r2, r3) = rest.split_at(cols);
+        // Two explicit 4-lane halves per row (each maps onto one 256-bit
+        // register) interleaved across four rows: eight independent FMA
+        // chains, no cross-lane shuffles. The lane assignment and the
+        // half-pairwise reduction match vec_ops::dot exactly (the
+        // bit-equality contract).
+        let mut lo = [[0.0f64; 4]; 4];
+        let mut hi = [[0.0f64; 4]; 4];
+        let (q0s, rem0) = r0.as_chunks::<8>();
+        let (q1s, rem1) = r1.as_chunks::<8>();
+        let (q2s, rem2) = r2.as_chunks::<8>();
+        let (q3s, rem3) = r3.as_chunks::<8>();
+        let (qxs, remx) = x.as_chunks::<8>();
+        for ((((q0, q1), q2), q3), qx) in q0s.iter().zip(q1s).zip(q2s).zip(q3s).zip(qxs) {
+            for l in 0..4 {
+                lo[0][l] = q0[l].mul_add(qx[l], lo[0][l]);
+                lo[1][l] = q1[l].mul_add(qx[l], lo[1][l]);
+                lo[2][l] = q2[l].mul_add(qx[l], lo[2][l]);
+                lo[3][l] = q3[l].mul_add(qx[l], lo[3][l]);
+                hi[0][l] = q0[4 + l].mul_add(qx[4 + l], hi[0][l]);
+                hi[1][l] = q1[4 + l].mul_add(qx[4 + l], hi[1][l]);
+                hi[2][l] = q2[4 + l].mul_add(qx[4 + l], hi[2][l]);
+                hi[3][l] = q3[4 + l].mul_add(qx[4 + l], hi[3][l]);
+            }
+        }
+        let mut tails = [0.0f64; 4];
+        for ((((v0, v1), v2), v3), vx) in rem0.iter().zip(rem1).zip(rem2).zip(rem3).zip(remx) {
+            tails[0] = v0.mul_add(*vx, tails[0]);
+            tails[1] = v1.mul_add(*vx, tails[1]);
+            tails[2] = v2.mul_add(*vx, tails[2]);
+            tails[3] = v3.mul_add(*vx, tails[3]);
+        }
+        let mut out = [0.0f64; 4];
+        for r in 0..4 {
+            out[r] = ((lo[r][0] + lo[r][1]) + (lo[r][2] + lo[r][3]))
+                + ((hi[r][0] + hi[r][1]) + (hi[r][2] + hi[r][3]))
+                + tails[r];
+        }
+        out
+    }
+
+    /// Rank-1 row reduction `acc[j] += Σᵢ coeffs[i]·A[first_row + i, j]`,
+    /// accumulated in **row order per element** — bit-identical to calling
+    /// `vec_ops::axpy(coeffs[i], row_i, acc)` for `i = 0, 1, …` — but
+    /// column-tiled so the accumulator stays in registers instead of being
+    /// loaded and stored once per row. This is the accumulation kernel of
+    /// the packed gradient path; preserving the per-element summation order
+    /// is what keeps packed and per-example gradients byte-identical.
+    ///
+    /// # Panics
+    /// Panics when the rows exceed the matrix or `acc.len() != cols`.
+    #[inline]
+    pub fn accumulate_scaled_rows_from(&self, first_row: usize, coeffs: &[f64], acc: &mut [f64]) {
+        assert!(
+            first_row + coeffs.len() <= self.rows,
+            "accumulate: rows out of range"
+        );
+        assert_eq!(acc.len(), self.cols, "accumulate: dimension mismatch");
+        const TILE: usize = 8;
+        let cols = self.cols;
+        let base = first_row * cols;
+        let mut j0 = 0;
+        while j0 + TILE <= cols {
+            let mut t = [0.0f64; TILE];
+            t.copy_from_slice(&acc[j0..j0 + TILE]);
+            for (i, &c) in coeffs.iter().enumerate() {
+                let row = &self.data[base + i * cols + j0..base + i * cols + j0 + TILE];
+                for l in 0..TILE {
+                    // Same fused kernel as vec_ops::axpy, so the packed and
+                    // per-example accumulations stay bit-identical.
+                    t[l] = row[l].mul_add(c, t[l]);
+                }
+            }
+            acc[j0..j0 + TILE].copy_from_slice(&t);
+            j0 += TILE;
+        }
+        if j0 < cols {
+            for (i, &c) in coeffs.iter().enumerate() {
+                let row = &self.data[base + i * cols..base + (i + 1) * cols];
+                for (a, x) in acc[j0..].iter_mut().zip(&row[j0..]) {
+                    *a = x.mul_add(c, *a);
+                }
+            }
+        }
+    }
+
+    /// [`Matrix::accumulate_scaled_rows_from`] over all rows.
+    ///
+    /// # Panics
+    /// Panics when `coeffs.len() != rows` or `acc.len() != cols`.
+    pub fn accumulate_scaled_rows(&self, coeffs: &[f64], acc: &mut [f64]) {
+        assert_eq!(coeffs.len(), self.rows, "accumulate: row count mismatch");
+        self.accumulate_scaled_rows_from(0, coeffs, acc);
+    }
+
     /// Transposed matrix–vector product `y = Aᵀ x` without materializing `Aᵀ`.
     ///
     /// # Errors
@@ -373,6 +521,45 @@ mod tests {
         let y = m.gemv(&[1.0, 0.0, -1.0]).unwrap();
         assert_eq!(y, vec![-2.0, -2.0]);
         assert!(m.gemv(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn gemv_into_bit_equals_per_row_dot() {
+        // Ragged shapes exercise both the 4-row block and the scalar tail,
+        // and both the 4-lane chunks and the in-row tail.
+        for (rows, cols) in [(1, 1), (3, 5), (4, 4), (7, 32), (10, 33), (13, 6)] {
+            let m = Matrix::from_fn(rows, cols, |i, j| {
+                ((i * 31 + j * 7) as f64).sin() * 1.5 - 0.3
+            });
+            let x: Vec<f64> = (0..cols).map(|j| (j as f64 * 0.37).cos()).collect();
+            let mut out = Vec::new();
+            m.gemv_into(&x, &mut out);
+            for i in 0..rows {
+                let expect = vec_ops::dot(m.row(i), &x);
+                assert_eq!(
+                    out[i].to_bits(),
+                    expect.to_bits(),
+                    "row {i} of {rows}x{cols} must be bit-identical to dot"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accumulate_scaled_rows_bit_equals_sequential_axpy() {
+        for (rows, cols) in [(1, 1), (5, 3), (4, 8), (9, 32), (6, 35), (20, 17)] {
+            let m = Matrix::from_fn(rows, cols, |i, j| ((i * 13 + j) as f64).cos() * 2.0);
+            let coeffs: Vec<f64> = (0..rows).map(|i| (i as f64 * 0.11).sin() - 0.4).collect();
+            let mut tiled: Vec<f64> = (0..cols).map(|j| j as f64 * 0.01).collect();
+            let mut reference = tiled.clone();
+            m.accumulate_scaled_rows(&coeffs, &mut tiled);
+            for (i, &c) in coeffs.iter().enumerate() {
+                vec_ops::axpy(c, m.row(i), &mut reference);
+            }
+            for (a, b) in tiled.iter().zip(&reference) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{rows}x{cols} accumulation");
+            }
+        }
     }
 
     #[test]

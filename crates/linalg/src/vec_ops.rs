@@ -10,35 +10,50 @@
 /// Panics when the slices have different lengths (a programming error in the
 /// caller, not a data-dependent condition).
 #[must_use]
+#[inline]
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch");
-    // Accumulate in four independent lanes so LLVM can vectorize without
-    // reassociation flags; exactness is not required here.
-    let mut acc = [0.0f64; 4];
-    let chunks = x.len() / 4;
-    for i in 0..chunks {
-        let b = i * 4;
-        acc[0] += x[b] * y[b];
-        acc[1] += x[b + 1] * y[b + 1];
-        acc[2] += x[b + 2] * y[b + 2];
-        acc[3] += x[b + 3] * y[b + 3];
+    // Accumulate in eight independent lanes — two 4-wide vector chains —
+    // so the loop vectorizes *and* the FMA dependency chain halves (one
+    // chain is latency-bound). chunks_exact hoists the bounds checks that
+    // would otherwise keep the loop scalar. The lane count and reduction
+    // order are a cross-kernel contract: `Matrix::dot_rows4` replicates
+    // them exactly so blocked and per-example gradients stay bit-identical.
+    let mut acc = [0.0f64; 8];
+    let (qxs, rx) = x.as_chunks::<8>();
+    let (qys, ry) = y.as_chunks::<8>();
+    for (qx, qy) in qxs.iter().zip(qys) {
+        for l in 0..8 {
+            acc[l] = qx[l].mul_add(qy[l], acc[l]);
+        }
     }
     let mut tail = 0.0;
-    for i in chunks * 4..x.len() {
-        tail += x[i] * y[i];
+    for (a, b) in rx.iter().zip(ry) {
+        tail = a.mul_add(*b, tail);
     }
-    acc[0] + acc[1] + acc[2] + acc[3] + tail
+    reduce8(&acc) + tail
+}
+
+/// The 8-lane reduction shared by [`dot`] and `Matrix::dot_rows4`: pairwise
+/// within each 4-lane half, then across halves — part of the bit-equality
+/// contract between the two.
+#[inline]
+#[must_use]
+pub fn reduce8(acc: &[f64; 8]) -> f64 {
+    ((acc[0] + acc[1]) + (acc[2] + acc[3])) + ((acc[4] + acc[5]) + (acc[6] + acc[7]))
 }
 
 /// `y += alpha * x` (the classic axpy).
+#[inline]
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
     for (yi, xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
+        *yi = xi.mul_add(alpha, *yi);
     }
 }
 
 /// `y = alpha * x + beta * y`.
+#[inline]
 pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpby: length mismatch");
     for (yi, xi) in y.iter_mut().zip(x) {
@@ -47,6 +62,7 @@ pub fn axpby(alpha: f64, x: &[f64], beta: f64, y: &mut [f64]) {
 }
 
 /// In-place scaling `x *= alpha`.
+#[inline]
 pub fn scale(alpha: f64, x: &mut [f64]) {
     for xi in x {
         *xi *= alpha;
@@ -68,6 +84,7 @@ pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
 }
 
 /// Accumulate `acc += x` element-wise.
+#[inline]
 pub fn add_assign(acc: &mut [f64], x: &[f64]) {
     assert_eq!(acc.len(), x.len(), "add_assign: length mismatch");
     for (a, b) in acc.iter_mut().zip(x) {

@@ -33,11 +33,26 @@ pub fn sum_partial_gradients<L: Loss>(
     acc
 }
 
+/// Sum of partial gradients over a contiguous index range, without
+/// materializing an index vector.
+#[must_use]
+pub fn sum_partial_gradients_range<L: Loss>(
+    data: &Dataset,
+    loss: &L,
+    range: std::ops::Range<usize>,
+    w: &[f64],
+) -> Vec<f64> {
+    let mut acc = vec![0.0; w.len()];
+    for j in range {
+        loss.add_gradient(data.x(j), data.y(j), w, &mut acc);
+    }
+    acc
+}
+
 /// Full empirical-risk gradient `(1/m) Σ_j g_j(w)`.
 #[must_use]
 pub fn full_gradient<L: Loss>(data: &Dataset, loss: &L, w: &[f64]) -> Vec<f64> {
-    let all: Vec<usize> = (0..data.len()).collect();
-    let mut g = sum_partial_gradients(data, loss, &all, w);
+    let mut g = sum_partial_gradients_range(data, loss, 0..data.len(), w);
     vec_ops::scale(1.0 / data.len() as f64, &mut g);
     g
 }
@@ -51,9 +66,23 @@ pub fn full_gradient_parallel<L: Loss>(
     w: &[f64],
     par: Parallelism,
 ) -> Vec<f64> {
-    let indices: Vec<usize> = (0..data.len()).collect();
-    let mut g = par_sum_vectors(par, &indices, w.len(), |_, chunk| {
-        sum_partial_gradients(data, loss, chunk, w)
+    // One range per thread instead of one index per example: the only
+    // allocation proportional to anything is the (thread-count-sized) range
+    // list.
+    let threads = par.get().min(data.len()).max(1);
+    let chunk = data.len().div_ceil(threads).max(1);
+    let ranges: Vec<std::ops::Range<usize>> = (0..data.len())
+        .step_by(chunk)
+        .map(|start| start..(start + chunk).min(data.len()))
+        .collect();
+    let mut g = par_sum_vectors(par, &ranges, w.len(), |_, rs| {
+        let mut acc = vec![0.0; w.len()];
+        for r in rs {
+            for j in r.clone() {
+                loss.add_gradient(data.x(j), data.y(j), w, &mut acc);
+            }
+        }
+        acc
     });
     vec_ops::scale(1.0 / data.len() as f64, &mut g);
     g

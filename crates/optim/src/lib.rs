@@ -8,7 +8,10 @@
 //! and distributed (decoded gradient) without modification.
 //!
 //! * [`loss`] — per-example losses and their gradients (logistic in the
-//!   paper's ±1 convention, plus squared loss for tests).
+//!   paper's ±1 convention, plus squared loss for tests), with blocked
+//!   packed-kernel specializations for the round hot path.
+//! * [`scratch`] — reusable margins/accumulator buffers so the blocked
+//!   kernels allocate nothing per round.
 //! * [`gradient`] — full/partial-gradient kernels over a [`bcc_data::Dataset`],
 //!   sequential and chunk-parallel.
 //! * [`schedule`] — learning-rate schedules.
@@ -29,6 +32,7 @@ pub mod loss;
 pub mod nesterov;
 pub mod regularized;
 pub mod schedule;
+pub mod scratch;
 pub mod stepsize;
 pub mod trace;
 
@@ -37,6 +41,7 @@ pub use loss::{LogisticLoss, Loss, SquaredLoss};
 pub use nesterov::Nesterov;
 pub use regularized::L2Regularized;
 pub use schedule::LearningRate;
+pub use scratch::GradScratch;
 pub use stepsize::{auto_constant_rate, LossSmoothness};
 pub use trace::ConvergenceTrace;
 

@@ -53,6 +53,20 @@ impl Bytes {
         self.as_slice().to_vec()
     }
 
+    /// Copies a slice into a fresh `Bytes` (one copy, straight into the
+    /// shared allocation) — the reuse-friendly way to ship a staging
+    /// buffer's contents without consuming the buffer.
+    #[must_use]
+    pub fn copy_from_slice(data: &[u8]) -> Bytes {
+        let data: Arc<[u8]> = Arc::from(data);
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
+        }
+    }
+
     fn as_slice(&self) -> &[u8] {
         &self.data[self.start..self.end]
     }
@@ -72,7 +86,7 @@ impl From<Vec<u8>> for Bytes {
 
 impl From<&[u8]> for Bytes {
     fn from(v: &[u8]) -> Self {
-        v.to_vec().into()
+        Bytes::copy_from_slice(v)
     }
 }
 
@@ -121,6 +135,23 @@ impl BytesMut {
     #[must_use]
     pub fn freeze(self) -> Bytes {
         self.buf.into()
+    }
+
+    /// Clears the buffer, keeping its capacity — the reuse primitive for
+    /// per-worker staging buffers.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+    }
+
+    /// Reserves capacity for at least `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.buf.reserve(additional);
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.buf
     }
 }
 
