@@ -2,7 +2,7 @@
 //! arbitrary scenarios from spec files.
 //!
 //! ```text
-//! repro all                  # every paper artifact (default) + ablations + engine
+//! repro all                  # every paper artifact (default) + ablations + engine + sweep
 //! repro fig2                 # tradeoff curves
 //! repro fig4                 # runtime comparison (both scenarios)
 //! repro table1               # scenario-one breakdown
@@ -10,7 +10,10 @@
 //! repro fig5                 # heterogeneous cluster
 //! repro ablations            # design-choice ablations (beyond the paper)
 //! repro engine               # round-engine throughput → BENCH_round_engine.json
+//! repro sweep                # straggler-model sweep → BENCH_straggler_sweep.json
 //! repro scenario SPEC.json   # replay a spec file (table row or custom scenario)
+//! repro gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]
+//!                            # perf-regression gate over the BENCH files
 //! repro --fast ...           # reduced trial counts for smoke runs
 //! ```
 //!
@@ -23,7 +26,8 @@
 //! directory.
 
 use bcc_bench::experiments::spec_run::ScenarioSpec;
-use bcc_bench::experiments::{ablation, engine_bench, fig2, fig5, scenario, spec_run};
+use bcc_bench::experiments::{ablation, engine_bench, fig2, fig5, scenario, spec_run, sweep};
+use bcc_bench::gate;
 use bcc_bench::report::{write_json, Table};
 use bcc_core::experiment::ExperimentSpec;
 use std::path::PathBuf;
@@ -33,6 +37,9 @@ struct Args {
     spec_files: Vec<PathBuf>,
     fast: bool,
     out_dir: PathBuf,
+    baseline_dir: Option<PathBuf>,
+    current_dir: PathBuf,
+    max_slowdown: f64,
 }
 
 fn parse_args() -> Args {
@@ -40,15 +47,30 @@ fn parse_args() -> Args {
     let mut spec_files = Vec::new();
     let mut fast = false;
     let mut out_dir = PathBuf::from("experiments");
+    let mut baseline_dir = None;
+    let mut current_dir = PathBuf::from(".");
+    let mut max_slowdown = gate::DEFAULT_MAX_SLOWDOWN;
     let mut args = std::env::args().skip(1);
+    let next_value = |args: &mut dyn Iterator<Item = String>, flag: &str| {
+        args.next().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value");
+            std::process::exit(2);
+        })
+    };
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fast" => fast = true,
-            "--out" => {
-                out_dir = PathBuf::from(args.next().unwrap_or_else(|| {
-                    eprintln!("--out requires a directory");
+            "--out" => out_dir = PathBuf::from(next_value(&mut args, "--out")),
+            "--baseline-dir" => {
+                baseline_dir = Some(PathBuf::from(next_value(&mut args, "--baseline-dir")));
+            }
+            "--current-dir" => current_dir = PathBuf::from(next_value(&mut args, "--current-dir")),
+            "--max-slowdown" => {
+                let raw = next_value(&mut args, "--max-slowdown");
+                max_slowdown = raw.parse().unwrap_or_else(|_| {
+                    eprintln!("--max-slowdown needs a number, got `{raw}`");
                     std::process::exit(2);
-                }));
+                });
             }
             "scenario" => {
                 let path = args.next().unwrap_or_else(|| {
@@ -60,8 +82,9 @@ fn parse_args() -> Args {
             "-h" | "--help" => {
                 println!(
                     "usage: repro [--fast] [--out DIR] \
-                     [all|fig2|fig4|table1|table2|fig5|ablations|engine]... \
-                     [scenario SPEC.json]..."
+                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep]... \
+                     [scenario SPEC.json]... \
+                     [gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]]"
                 );
                 std::process::exit(0);
             }
@@ -76,6 +99,9 @@ fn parse_args() -> Args {
         spec_files,
         fast,
         out_dir,
+        baseline_dir,
+        current_dir,
+        max_slowdown,
     }
 }
 
@@ -84,7 +110,7 @@ fn print_table(t: &Table) {
 }
 
 /// Every named artifact target.
-const KNOWN_TARGETS: [&str; 8] = [
+const KNOWN_TARGETS: [&str; 9] = [
     "all",
     "fig2",
     "fig4",
@@ -93,10 +119,20 @@ const KNOWN_TARGETS: [&str; 8] = [
     "fig5",
     "ablations",
     "engine",
+    "sweep",
 ];
 
 fn main() {
     let args = parse_args();
+    // `gate` is a verdict, not an artifact: it runs alone and its exit
+    // code is the result.
+    if args.targets.iter().any(|t| t == "gate") {
+        if args.targets.len() > 1 || !args.spec_files.is_empty() {
+            eprintln!("`gate` cannot be combined with other targets");
+            std::process::exit(2);
+        }
+        run_gate(&args);
+    }
     let unknown: Vec<&String> = args
         .targets
         .iter()
@@ -104,7 +140,7 @@ fn main() {
         .collect();
     if !unknown.is_empty() {
         eprintln!(
-            "unknown target(s) {unknown:?}; expected {} or `scenario SPEC.json`",
+            "unknown target(s) {unknown:?}; expected {} or `scenario SPEC.json` or `gate`",
             KNOWN_TARGETS.join("|")
         );
         std::process::exit(2);
@@ -235,8 +271,91 @@ fn main() {
         );
     }
 
+    if want("sweep") {
+        ran_any = true;
+        let cfg = if args.fast {
+            sweep::SweepConfig::fast()
+        } else {
+            sweep::SweepConfig::default_config()
+        };
+        let result = sweep::run(&cfg);
+        print_table(&sweep::render(&result));
+        // Perf/scenario-trajectory artifact: fixed name at the repo root,
+        // like the other BENCH files.
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => match std::fs::write("BENCH_straggler_sweep.json", body) {
+                Ok(()) => println!("[saved BENCH_straggler_sweep.json]\n"),
+                Err(e) => eprintln!("[warn] could not write BENCH_straggler_sweep.json: {e}"),
+            },
+            Err(e) => eprintln!("[warn] could not serialize sweep: {e}"),
+        }
+        persist(&args.out_dir, "bench_straggler_sweep", &result);
+        // Per-cell spec files: each (model × scheme × seed) cell replays
+        // standalone via `repro scenario experiments/sweep/<cell>.spec.json`.
+        // Skipped for --fast: the checked-in cell specs describe the full
+        // configuration, and a smoke run must not overwrite them with its
+        // trimmed variants.
+        if args.fast {
+            println!("[--fast: skipping per-cell sweep specs (checked-in specs are full-config)]");
+        } else {
+            let sweep_dir = args.out_dir.join("sweep");
+            for (name, spec) in cfg.cells() {
+                persist_spec(
+                    &sweep_dir,
+                    &name,
+                    &ScenarioSpec {
+                        name: spec.name.clone(),
+                        experiments: vec![spec],
+                    },
+                );
+            }
+        }
+    }
+
     // Unreachable unless the target list and the dispatch above drift.
     assert!(ran_any, "validated targets must all dispatch");
+}
+
+/// Runs the perf-regression gate and exits with its verdict (0 pass,
+/// 1 regression, 2 usage error, 3 unreadable/incomparable inputs).
+fn run_gate(args: &Args) -> ! {
+    let Some(baseline_dir) = &args.baseline_dir else {
+        eprintln!("gate requires --baseline-dir DIR (directory holding the baseline BENCH files)");
+        std::process::exit(2);
+    };
+    match gate::run(baseline_dir, &args.current_dir, args.max_slowdown) {
+        Ok(report) => {
+            print_table(&gate::render(&report));
+            if report.passed() {
+                println!(
+                    "perf gate passed: every entry within {:.2}x",
+                    report.max_slowdown
+                );
+                std::process::exit(0);
+            }
+            eprintln!(
+                "perf gate FAILED: {} entr{} regressed beyond {:.2}x:",
+                report.failures().len(),
+                if report.failures().len() == 1 {
+                    "y"
+                } else {
+                    "ies"
+                },
+                report.max_slowdown
+            );
+            for f in report.failures() {
+                eprintln!(
+                    "  {} / {}: {:.3e} -> {:.3e} ({:.2}x)",
+                    f.artifact, f.entry, f.baseline, f.current, f.ratio
+                );
+            }
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("perf gate could not compare: {e}");
+            std::process::exit(3);
+        }
+    }
 }
 
 /// Replays one spec file and persists the rows next to it-style results.

@@ -6,3 +6,4 @@ pub mod fig2;
 pub mod fig5;
 pub mod scenario;
 pub mod spec_run;
+pub mod sweep;

@@ -1,0 +1,405 @@
+//! The perf-regression gate behind `repro gate`.
+//!
+//! Compares freshly measured `BENCH_round_engine.json` /
+//! `BENCH_gradient_kernel.json` files against checked-in baselines and
+//! fails (non-zero exit in the CLI) when any per-entry wall-clock metric
+//! slowed down by more than the allowed factor. CI runs it right after the
+//! engine snapshot, so a PR that regresses the round hot path or the
+//! packed gradient kernels cannot merge silently.
+//!
+//! Two safeguards keep the comparison honest:
+//!
+//! * **Config equality.** A baseline measured at one workload cannot be
+//!   compared against a snapshot of another (e.g. `--fast` vs full); the
+//!   gate rejects mismatched configs with a readable error instead of
+//!   passing vacuously.
+//! * **Entry alignment.** Every baseline entry must exist in the current
+//!   measurement (keyed by scheme / loss); a missing entry is an error,
+//!   not a pass.
+//!
+//! Wall-clock ratios are only meaningful within one machine class; the
+//! default `1.5×` threshold leaves headroom for runner noise while still
+//! catching the step-function regressions that matter (a lost
+//! vectorization, an accidental per-round allocation, a dropped cache).
+
+use crate::experiments::engine_bench::{EngineBenchResult, GradientKernelResult};
+use crate::report::Table;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Default failure threshold: a per-entry slowdown beyond 1.5× fails.
+pub const DEFAULT_MAX_SLOWDOWN: f64 = 1.5;
+
+/// One gated metric comparison.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateEntry {
+    /// Which artifact the entry comes from (`round_engine` /
+    /// `gradient_kernel`).
+    pub artifact: String,
+    /// Entry key within the artifact (scheme or loss name + metric).
+    pub entry: String,
+    /// Baseline measurement (seconds or nanoseconds — ratio-compared, so
+    /// units only need to agree between the two files).
+    pub baseline: f64,
+    /// Fresh measurement.
+    pub current: f64,
+    /// `current / baseline` (> 1 ⇒ slower).
+    pub ratio: f64,
+    /// Whether the entry stays within the allowed slowdown.
+    pub ok: bool,
+}
+
+/// The gate's full verdict.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GateReport {
+    /// The threshold applied.
+    pub max_slowdown: f64,
+    /// Every compared entry, in artifact order.
+    pub entries: Vec<GateEntry>,
+}
+
+impl GateReport {
+    /// True when every entry is within the allowed slowdown.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.entries.iter().all(|e| e.ok)
+    }
+
+    /// The entries that breached the threshold.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&GateEntry> {
+        self.entries.iter().filter(|e| !e.ok).collect()
+    }
+}
+
+fn entry(
+    artifact: &str,
+    name: String,
+    baseline: f64,
+    current: f64,
+    max_slowdown: f64,
+) -> Result<GateEntry, String> {
+    if !(baseline.is_finite() && baseline > 0.0) {
+        return Err(format!(
+            "{artifact}: baseline entry `{name}` has non-positive measurement {baseline}"
+        ));
+    }
+    if !(current.is_finite() && current > 0.0) {
+        return Err(format!(
+            "{artifact}: current entry `{name}` has non-positive measurement {current}"
+        ));
+    }
+    let ratio = current / baseline;
+    Ok(GateEntry {
+        artifact: artifact.to_string(),
+        entry: name,
+        baseline,
+        current,
+        ratio,
+        ok: ratio <= max_slowdown,
+    })
+}
+
+/// Compares two round-engine results per scheme
+/// (`wall_seconds_per_round`).
+///
+/// # Errors
+/// A readable message when the configs differ or a baseline scheme is
+/// missing from the current measurement.
+pub fn compare_engine(
+    baseline: &EngineBenchResult,
+    current: &EngineBenchResult,
+    max_slowdown: f64,
+) -> Result<Vec<GateEntry>, String> {
+    if baseline.config != current.config {
+        return Err(format!(
+            "round_engine: baseline and current configs differ — baseline {:?} vs current {:?}; \
+             measure with the same configuration (did one side run --fast?)",
+            baseline.config, current.config
+        ));
+    }
+    baseline
+        .rows
+        .iter()
+        .map(|b| {
+            let c = current
+                .rows
+                .iter()
+                .find(|c| c.scheme == b.scheme)
+                .ok_or_else(|| {
+                    format!(
+                        "round_engine: scheme `{}` missing from current measurement",
+                        b.scheme
+                    )
+                })?;
+            entry(
+                "round_engine",
+                format!("{} wall s/round", b.scheme),
+                b.wall_seconds_per_round,
+                c.wall_seconds_per_round,
+                max_slowdown,
+            )
+        })
+        .collect()
+}
+
+/// Compares two gradient-kernel results per loss (`packed_ns_per_sweep` —
+/// the shipped hot path).
+///
+/// # Errors
+/// A readable message when the configs differ or a baseline loss is
+/// missing from the current measurement.
+pub fn compare_kernel(
+    baseline: &GradientKernelResult,
+    current: &GradientKernelResult,
+    max_slowdown: f64,
+) -> Result<Vec<GateEntry>, String> {
+    if baseline.config != current.config {
+        return Err(format!(
+            "gradient_kernel: baseline and current configs differ — baseline {:?} vs current \
+             {:?}; measure with the same configuration (did one side run --fast?)",
+            baseline.config, current.config
+        ));
+    }
+    baseline
+        .rows
+        .iter()
+        .map(|b| {
+            let c = current
+                .rows
+                .iter()
+                .find(|c| c.loss == b.loss)
+                .ok_or_else(|| {
+                    format!(
+                        "gradient_kernel: loss `{}` missing from current measurement",
+                        b.loss
+                    )
+                })?;
+            entry(
+                "gradient_kernel",
+                format!("{} packed ns/sweep", b.loss),
+                b.packed_ns_per_sweep,
+                c.packed_ns_per_sweep,
+                max_slowdown,
+            )
+        })
+        .collect()
+}
+
+fn read_json<T: Deserialize>(path: &Path) -> Result<T, String> {
+    let body = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    serde_json::from_str(&body).map_err(|e| format!("cannot parse {}: {e}", path.display()))
+}
+
+/// Runs the full gate: reads `BENCH_round_engine.json` and
+/// `BENCH_gradient_kernel.json` from both directories and compares every
+/// entry.
+///
+/// # Errors
+/// A readable message on missing/unparsable files, config mismatches, or
+/// missing entries — all conditions under which a pass would be
+/// meaningless.
+pub fn run(
+    baseline_dir: &Path,
+    current_dir: &Path,
+    max_slowdown: f64,
+) -> Result<GateReport, String> {
+    if !(max_slowdown.is_finite() && max_slowdown >= 1.0) {
+        return Err(format!(
+            "max slowdown must be a finite factor ≥ 1, got {max_slowdown}"
+        ));
+    }
+    let mut entries = Vec::new();
+    {
+        let baseline: EngineBenchResult = read_json(&baseline_dir.join("BENCH_round_engine.json"))?;
+        let current: EngineBenchResult = read_json(&current_dir.join("BENCH_round_engine.json"))?;
+        entries.extend(compare_engine(&baseline, &current, max_slowdown)?);
+    }
+    {
+        let baseline: GradientKernelResult =
+            read_json(&baseline_dir.join("BENCH_gradient_kernel.json"))?;
+        let current: GradientKernelResult =
+            read_json(&current_dir.join("BENCH_gradient_kernel.json"))?;
+        entries.extend(compare_kernel(&baseline, &current, max_slowdown)?);
+    }
+    Ok(GateReport {
+        max_slowdown,
+        entries,
+    })
+}
+
+/// Renders the verdict as a console table.
+#[must_use]
+pub fn render(report: &GateReport) -> Table {
+    let mut t = Table::new(
+        format!(
+            "perf gate — fail beyond {:.2}x per-entry slowdown",
+            report.max_slowdown
+        ),
+        &[
+            "artifact", "entry", "baseline", "current", "ratio", "verdict",
+        ],
+    );
+    for e in &report.entries {
+        t.push_row(vec![
+            e.artifact.clone(),
+            e.entry.clone(),
+            format!("{:.3e}", e.baseline),
+            format!("{:.3e}", e.current),
+            format!("{:.2}x", e.ratio),
+            if e.ok {
+                "ok".into()
+            } else {
+                "REGRESSED".into()
+            },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::engine_bench::{
+        EngineBenchConfig, EngineBenchRow, GradientKernelConfig, GradientKernelRow,
+    };
+
+    fn engine_result(wall: f64) -> EngineBenchResult {
+        EngineBenchResult {
+            schema: "bcc/bench_round_engine/v1".into(),
+            backend: "virtual-des".into(),
+            config: EngineBenchConfig::default_config(),
+            rows: vec![EngineBenchRow {
+                scheme: "bcc".into(),
+                rounds: 50,
+                wall_seconds_per_round: wall,
+                simulated_seconds_per_round: 0.4,
+                avg_messages_used: 11.0,
+                avg_communication_units: 11.0,
+            }],
+        }
+    }
+
+    fn kernel_result(packed_ns: f64) -> GradientKernelResult {
+        GradientKernelResult {
+            schema: "bcc/bench_gradient_kernel/v1".into(),
+            config: GradientKernelConfig::default_config(),
+            rows: vec![GradientKernelRow {
+                loss: "logistic".into(),
+                per_example_ns_per_sweep: 2.0 * packed_ns,
+                packed_ns_per_sweep: packed_ns,
+                speedup: 2.0,
+            }],
+        }
+    }
+
+    #[test]
+    fn within_threshold_passes() {
+        let entries = compare_engine(&engine_result(1e-5), &engine_result(1.4e-5), 1.5).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].ok);
+        assert!((entries[0].ratio - 1.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn injected_slowdown_fails_the_gate() {
+        // The acceptance scenario: a 2x regression on one entry must flip
+        // the verdict.
+        let entries = compare_engine(&engine_result(1e-5), &engine_result(2e-5), 1.5).unwrap();
+        assert!(!entries[0].ok, "2x slowdown must fail a 1.5x gate");
+        let report = GateReport {
+            max_slowdown: 1.5,
+            entries,
+        };
+        assert!(!report.passed());
+        assert_eq!(report.failures().len(), 1);
+        assert!(render(&report).render().contains("REGRESSED"));
+    }
+
+    #[test]
+    fn speedups_always_pass() {
+        let entries = compare_kernel(&kernel_result(1000.0), &kernel_result(300.0), 1.5).unwrap();
+        assert!(entries[0].ok);
+        assert!(entries[0].ratio < 1.0);
+    }
+
+    #[test]
+    fn config_mismatch_is_an_error_not_a_pass() {
+        let baseline = engine_result(1e-5);
+        let mut current = engine_result(1e-5);
+        current.config.rounds = 10; // e.g. baseline full, current --fast
+        let err = compare_engine(&baseline, &current, 1.5).unwrap_err();
+        assert!(err.contains("configs differ"), "{err}");
+    }
+
+    #[test]
+    fn non_positive_measurements_are_errors_on_either_side() {
+        // A zeroed current reading must not slip through as a "speedup".
+        let err = compare_engine(&engine_result(1e-5), &engine_result(0.0), 1.5).unwrap_err();
+        assert!(
+            err.contains("current") && err.contains("non-positive"),
+            "{err}"
+        );
+        let err = compare_engine(&engine_result(0.0), &engine_result(1e-5), 1.5).unwrap_err();
+        assert!(
+            err.contains("baseline") && err.contains("non-positive"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn missing_entry_is_an_error() {
+        let baseline = engine_result(1e-5);
+        let mut current = engine_result(1e-5);
+        current.rows.clear();
+        let err = compare_engine(&baseline, &current, 1.5).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn full_gate_reads_directories_and_flags_regressions() {
+        let dir = std::env::temp_dir().join(format!("bcc_gate_test_{}", std::process::id()));
+        let baseline_dir = dir.join("baseline");
+        let current_dir = dir.join("current");
+        std::fs::create_dir_all(&baseline_dir).unwrap();
+        std::fs::create_dir_all(&current_dir).unwrap();
+        let write = |dir: &Path, engine: &EngineBenchResult, kernel: &GradientKernelResult| {
+            std::fs::write(
+                dir.join("BENCH_round_engine.json"),
+                serde_json::to_string_pretty(engine).unwrap(),
+            )
+            .unwrap();
+            std::fs::write(
+                dir.join("BENCH_gradient_kernel.json"),
+                serde_json::to_string_pretty(kernel).unwrap(),
+            )
+            .unwrap();
+        };
+        write(&baseline_dir, &engine_result(1e-5), &kernel_result(1000.0));
+        // Engine fine, kernel injected 1.6x slower: the gate must fail on
+        // exactly that entry.
+        write(&current_dir, &engine_result(1.1e-5), &kernel_result(1600.0));
+
+        let report = run(&baseline_dir, &current_dir, 1.5).unwrap();
+        assert_eq!(report.entries.len(), 2);
+        assert!(!report.passed());
+        let failures = report.failures();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].artifact, "gradient_kernel");
+
+        // Missing files are errors, not passes.
+        let empty = dir.join("empty");
+        std::fs::create_dir_all(&empty).unwrap();
+        let err = run(&empty, &current_dir, 1.5).unwrap_err();
+        assert!(err.contains("cannot read"), "{err}");
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn nonsensical_threshold_is_rejected() {
+        let err = run(Path::new("."), Path::new("."), 0.5).unwrap_err();
+        assert!(err.contains("≥ 1"), "{err}");
+    }
+}

@@ -18,4 +18,5 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod gate;
 pub mod report;

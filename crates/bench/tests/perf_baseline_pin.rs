@@ -1,0 +1,52 @@
+//! Regression pin: the shifted-exponential path under the new
+//! `StragglerModel` trait must reproduce the *checked-in* engine-bench
+//! artifact's simulated metrics byte-for-byte.
+//!
+//! `BENCH_round_engine.json` was generated before the straggler-model
+//! refactor, so its `simulated_seconds_per_round` / message counts are a
+//! fossil of the legacy hardcoded sampling path (wall-clock fields are
+//! host-dependent and excluded). Running the same specs today must land on
+//! exactly the same simulated numbers — this is the end-to-end guarantee
+//! that the trait indirection changed no Table I/II behaviour.
+
+use bcc_bench::experiments::engine_bench::EngineBenchResult;
+use bcc_core::experiment::Experiment;
+use std::path::PathBuf;
+
+fn checked_in_artifact() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_round_engine.json")
+}
+
+#[test]
+fn engine_artifact_simulated_metrics_replay_byte_identically() {
+    let body = std::fs::read_to_string(checked_in_artifact()).expect("artifact is checked in");
+    let artifact: EngineBenchResult = serde_json::from_str(&body).expect("artifact parses");
+    let specs = artifact.config.specs();
+    assert_eq!(specs.len(), artifact.rows.len(), "one spec per row");
+
+    for (spec, row) in specs.into_iter().zip(&artifact.rows) {
+        let report = Experiment::from_spec(spec)
+            .expect("artifact specs build")
+            .run()
+            .expect("artifact specs complete");
+        assert_eq!(report.scheme, row.scheme);
+        assert_eq!(
+            report.metrics.avg_round_time().to_bits(),
+            row.simulated_seconds_per_round.to_bits(),
+            "{}: simulated round time drifted from the checked-in artifact",
+            row.scheme
+        );
+        assert_eq!(
+            report.metrics.avg_recovery_threshold().to_bits(),
+            row.avg_messages_used.to_bits(),
+            "{}: recovery threshold drifted",
+            row.scheme
+        );
+        assert_eq!(
+            report.metrics.avg_communication_load().to_bits(),
+            row.avg_communication_units.to_bits(),
+            "{}: communication load drifted",
+            row.scheme
+        );
+    }
+}

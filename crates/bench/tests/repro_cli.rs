@@ -1,0 +1,157 @@
+//! CLI error-path tests for the `repro` binary: bad inputs must exit
+//! non-zero with a readable message, never a panic, and the perf gate's
+//! exit code must track its verdict.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn repro(args: &[&str], cwd: &Path) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .current_dir(cwd)
+        .output()
+        .expect("repro binary runs")
+}
+
+fn stderr(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// A fresh scratch directory under the system temp dir.
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("bcc_repro_cli_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn unknown_scheme_in_spec_file_is_a_readable_error() {
+    let dir = scratch("scheme");
+    let spec = dir.join("bad_scheme.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "lt-codes", "iterations": 2}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert!(!out.status.success(), "unknown scheme must exit non-zero");
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown scheme") && err.contains("lt-codes"),
+        "stderr must name the bad scheme: {err}"
+    );
+    assert!(
+        err.contains("uncoded"),
+        "stderr must list the registered schemes: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_straggler_model_in_spec_file_is_a_readable_error() {
+    let dir = scratch("model");
+    let spec = dir.join("bad_model.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "uncoded", "latency": "HeavyTail"}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert!(!out.status.success(), "unknown model must exit non-zero");
+    let err = stderr(&out);
+    assert!(
+        err.contains("HeavyTail") && err.contains("LatencySpec"),
+        "stderr must name the bad latency variant: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn missing_spec_file_is_a_readable_error() {
+    let dir = scratch("missing");
+    let out = repro(&["scenario", "does_not_exist.json"], &dir);
+    assert!(!out.status.success());
+    let err = stderr(&out);
+    assert!(err.contains("does_not_exist.json"), "{err}");
+    assert!(!err.contains("panicked"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_target_is_a_usage_error() {
+    let dir = scratch("target");
+    let out = repro(&["fig7"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("unknown target"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gate_requires_a_baseline_dir() {
+    let dir = scratch("gate_usage");
+    let out = repro(&["gate"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(stderr(&out).contains("--baseline-dir"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn gate_exit_code_tracks_the_verdict() {
+    // Build a baseline + current pair from the repo's checked-in BENCH
+    // files, then inject a >1.5x slowdown and watch the exit code flip.
+    let repo_root = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let dir = scratch("gate_verdict");
+    let (baseline, current) = (dir.join("baseline"), dir.join("current"));
+    std::fs::create_dir_all(&baseline).unwrap();
+    std::fs::create_dir_all(&current).unwrap();
+    for name in ["BENCH_round_engine.json", "BENCH_gradient_kernel.json"] {
+        std::fs::copy(repo_root.join(name), baseline.join(name)).unwrap();
+        std::fs::copy(repo_root.join(name), current.join(name)).unwrap();
+    }
+
+    // Identical measurements: pass, exit 0.
+    let out = repro(
+        &[
+            "gate",
+            "--baseline-dir",
+            baseline.to_str().unwrap(),
+            "--current-dir",
+            current.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+
+    // Inject a relative 2x slowdown: halve every wall reading in the
+    // baseline copy, making `current` twice as slow per entry.
+    let engine = baseline.join("BENCH_round_engine.json");
+    let mut doc: bcc_bench::experiments::engine_bench::EngineBenchResult =
+        serde_json::from_str(&std::fs::read_to_string(&engine).unwrap()).unwrap();
+    for row in &mut doc.rows {
+        row.wall_seconds_per_round /= 2.0;
+    }
+    std::fs::write(&engine, serde_json::to_string_pretty(&doc).unwrap()).unwrap();
+
+    let out = repro(
+        &[
+            "gate",
+            "--baseline-dir",
+            baseline.to_str().unwrap(),
+            "--current-dir",
+            current.to_str().unwrap(),
+        ],
+        &dir,
+    );
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "2x slowdown must fail the gate: {}",
+        stderr(&out)
+    );
+    assert!(stderr(&out).contains("FAILED"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -81,9 +81,13 @@ pub fn participants(
         .collect()
 }
 
-/// Samples worker `worker`'s compute time for GD round `round` — the one
-/// latency stream both backends share, keyed on `(seed, round, worker)` so
-/// runs replay identically regardless of backend or thread scheduling.
+/// Samples worker `worker`'s shift-exponential compute time for GD round
+/// `round` — the baseline latency stream, keyed on `(seed, round, worker)`
+/// so runs replay identically regardless of backend or thread scheduling.
+/// Backends actually sample through a pluggable
+/// [`StragglerModel`](crate::straggler::StragglerModel); the default model
+/// ([`ShiftedExpModel`](crate::straggler::ShiftedExpModel)) routes through
+/// this exact stream, keeping legacy behaviour byte-identical.
 #[must_use]
 pub fn sample_compute_seconds(
     profile: &ClusterProfile,
@@ -105,8 +109,17 @@ pub fn sample_compute_seconds_with(
     worker: usize,
     load: usize,
 ) -> f64 {
-    let mut rng = derive_rng(seed, round.wrapping_mul(1_000_003) + worker as u64);
+    let mut rng = derive_rng(seed, latency_stream(round, worker));
     worker_profile.sample_compute_time(load, &mut rng)
+}
+
+/// The per-`(round, worker)` latency-stream label every sampler keys its
+/// RNG with — the single source of truth for the derivation the
+/// byte-identical replay contract rests on (the straggler zoo's stateless
+/// draws and salted coins all route through it).
+#[must_use]
+pub(crate) fn latency_stream(round: u64, worker: usize) -> u64 {
+    round.wrapping_mul(1_000_003) + worker as u64
 }
 
 /// The immutable problem a run of rounds executes against: the coding

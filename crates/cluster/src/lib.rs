@@ -35,6 +35,7 @@ pub mod latency;
 pub mod message;
 pub mod metrics;
 pub mod packed;
+pub mod straggler;
 pub mod threaded;
 pub mod units;
 pub mod virtual_cluster;
@@ -45,8 +46,11 @@ pub use engine::{Arrival, ArrivalEvent, ArrivalSource, RoundEngine};
 pub use error::ClusterError;
 pub use latency::{ClusterProfile, CommModel, WorkerProfile};
 pub use message::Envelope;
-pub use metrics::{RoundMetrics, RunMetrics};
+pub use metrics::{RoundMetrics, RoundSample, RunMetrics};
 pub use packed::WorkerBlocks;
+pub use straggler::{
+    BimodalModel, MarkovModel, ParetoModel, ShiftedExpModel, StragglerModel, WeibullModel,
+};
 pub use threaded::ThreadedCluster;
 pub use units::UnitMap;
 pub use virtual_cluster::VirtualCluster;

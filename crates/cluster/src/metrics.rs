@@ -32,6 +32,28 @@ impl RoundMetrics {
     }
 }
 
+/// The per-round observables distribution-level analyses need (percentiles
+/// of round time, per-round message counts) — what [`RunMetrics`] sums
+/// away. One per round, in round order.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundSample {
+    /// Wall/virtual-clock duration of the round.
+    pub total_time: f64,
+    /// Messages the master consumed before completing (the empirical `|W|`).
+    pub messages_used: usize,
+}
+
+impl RoundSample {
+    /// Extracts the sample from one round's metrics.
+    #[must_use]
+    pub fn from_metrics(metrics: &RoundMetrics) -> Self {
+        Self {
+            total_time: metrics.total_time,
+            messages_used: metrics.messages_used,
+        }
+    }
+}
+
 /// Aggregated metrics over a training run (e.g. 100 iterations), with the
 /// same breakdown the paper reports per scheme.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]

@@ -6,10 +6,12 @@
 //! asynchronously; the master consumes messages from its single receive
 //! queue (each transfer occupying the port for `overhead + units·per_unit`
 //! scaled seconds) and stops as soon as the scheme's decoder completes.
-//! Straggling is emulated by sampling the paper's shift-exponential model
-//! and sleeping that long (compressed by `time_scale`), so the *relative*
-//! timing behaviour — order statistics of arrivals, serialized receipt —
-//! matches the EC2 experiments at a laptop-friendly wall clock.
+//! Straggling is emulated by sampling the installed
+//! [`StragglerModel`] (by default the
+//! paper's shift-exponential) and sleeping that long (compressed by
+//! `time_scale`), so the *relative* timing behaviour — order statistics of
+//! arrivals, serialized receipt — matches the EC2 experiments at a
+//! laptop-friendly wall clock.
 //!
 //! All protocol logic lives in the shared [`RoundEngine`]; this file only
 //! produces arrivals: worker threads push wire-encoded envelopes into a
@@ -20,10 +22,11 @@
 //! `n` threads per iteration.
 
 use crate::backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
-use crate::engine::{self, Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
+use crate::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
 use crate::latency::{ClusterProfile, CommModel};
 use crate::packed::WorkerBlocks;
+use crate::straggler::{self, StragglerModel};
 use crate::units::UnitMap;
 use crate::wire;
 use bcc_coding::GradientCodingScheme;
@@ -42,6 +45,7 @@ const SLEEP_SLICE: Duration = Duration::from_millis(2);
 #[derive(Debug)]
 pub struct ThreadedCluster {
     profile: ClusterProfile,
+    model: Arc<dyn StragglerModel>,
     seed: u64,
     round: u64,
     /// Real seconds slept per simulated second (e.g. `0.01` compresses a
@@ -63,14 +67,25 @@ impl ThreadedCluster {
             time_scale > 0.0 && time_scale.is_finite(),
             "time_scale must be positive"
         );
+        let model = straggler::default_model(&profile);
         Self {
             profile,
+            model,
             seed,
             round: 0,
             time_scale,
             recv_timeout: Duration::from_secs(5),
             dead_workers: HashSet::new(),
         }
+    }
+
+    /// Replaces the worker-latency model (see the
+    /// [zoo](crate::straggler)). The profile keeps supplying the comm model
+    /// and worker count; compute times come from `model`.
+    #[must_use]
+    pub fn with_straggler_model(mut self, model: Arc<dyn StragglerModel>) -> Self {
+        self.model = model;
+        self
     }
 
     /// Sets the master's stall-detection timeout (real time).
@@ -123,7 +138,7 @@ impl ThreadedCluster {
                 let (weight_tx, weight_rx) = unbounded::<(u64, Arc<Vec<f64>>)>();
                 weight_txs.push(weight_tx);
                 let result_tx = result_tx.clone();
-                let worker_profile = self.profile.workers[worker];
+                let model = Arc::clone(&self.model);
                 let load = ctx.scheme.placement().load_of(worker);
                 let (seed, time_scale) = (self.seed, self.time_scale);
                 let finished_before = &finished_before;
@@ -142,13 +157,7 @@ impl ThreadedCluster {
                     let mut scratch = GradScratch::new();
                     let mut wire_buf = bytes::BytesMut::with_capacity(0);
                     while let Ok((round, weights)) = weight_rx.recv() {
-                        let delay = engine::sample_compute_seconds_with(
-                            &worker_profile,
-                            seed,
-                            round,
-                            worker,
-                            load,
-                        );
+                        let delay = model.compute_seconds(seed, round, worker, load);
                         // Emulated straggling first: the sampled delay models
                         // the worker's compute duration, and sleeping before
                         // the real work keeps cancellation responsive — a

@@ -1,7 +1,8 @@
 //! Virtual cluster: the round protocol replayed in virtual time.
 //!
-//! Per round: every participating worker `i` samples a compute time
-//! `Tᵢ ~ shift-exp(aᵢ·rᵢ, μᵢ/rᵢ)` and "finishes" at `Tᵢ`; its message then
+//! Per round: every participating worker `i` samples a compute time from
+//! the installed [`StragglerModel`] (default: the paper's
+//! `shift-exp(aᵢ·rᵢ, μᵢ/rᵢ)`) and "finishes" at `Tᵢ`; its message then
 //! queues for the master's single receive port (transfer time
 //! `overhead + units·per_unit`, one transfer at a time). All protocol logic
 //! — decoder feeding, completion, stalls, metrics — lives in the shared
@@ -17,35 +18,51 @@
 //! for models with feedback), at a fraction of the per-round cost.
 
 use crate::backend::{ClusterBackend, RoundDriver, RoundOutcome};
-use crate::engine::{self, Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
+use crate::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
 use crate::latency::{ClusterProfile, CommModel};
 use crate::packed::{UnitGradientCache, WorkerBlocks};
+use crate::straggler::{self, StragglerModel};
 use crate::units::UnitMap;
 use bcc_coding::{GradientCodingScheme, Payload};
 use bcc_data::Dataset;
 use bcc_optim::{GradScratch, Loss};
 use std::collections::HashSet;
+use std::sync::Arc;
 
 /// Virtual (discrete-event) cluster backend.
 #[derive(Debug, Clone)]
 pub struct VirtualCluster {
     profile: ClusterProfile,
+    model: Arc<dyn StragglerModel>,
     seed: u64,
     round: u64,
     dead_workers: HashSet<usize>,
 }
 
 impl VirtualCluster {
-    /// Creates a virtual cluster with the given latency profile and seed.
+    /// Creates a virtual cluster with the given latency profile and seed,
+    /// sampling compute times from the paper's shift-exponential model over
+    /// the profile's per-worker parameters.
     #[must_use]
     pub fn new(profile: ClusterProfile, seed: u64) -> Self {
+        let model = straggler::default_model(&profile);
         Self {
             profile,
+            model,
             seed,
             round: 0,
             dead_workers: HashSet::new(),
         }
+    }
+
+    /// Replaces the worker-latency model (see the
+    /// [zoo](crate::straggler)). The profile keeps supplying the comm model
+    /// and worker count; compute times come from `model`.
+    #[must_use]
+    pub fn with_straggler_model(mut self, model: Arc<dyn StragglerModel>) -> Self {
+        self.model = model;
+        self
     }
 
     /// Marks workers as dead for failure-injection experiments; they never
@@ -86,8 +103,7 @@ impl VirtualCluster {
             self.profile.comm,
             participants.iter().map(|&worker| {
                 let load = ctx.scheme.placement().load_of(worker);
-                let t =
-                    engine::sample_compute_seconds(&self.profile, self.seed, round, worker, load);
+                let t = self.model.compute_seconds(self.seed, round, worker, load);
                 (worker, t)
             }),
             ctx,

@@ -7,7 +7,9 @@
 //! scheme's completion condition holds. The optimizer is pluggable — the
 //! paper uses Nesterov's accelerated gradient method.
 
-use bcc_cluster::{ClusterBackend, ClusterError, RoundDriver, RoundOutcome, RunMetrics, UnitMap};
+use bcc_cluster::{
+    ClusterBackend, ClusterError, RoundDriver, RoundOutcome, RoundSample, RunMetrics, UnitMap,
+};
 use bcc_coding::GradientCodingScheme;
 use bcc_data::Dataset;
 use bcc_linalg::vec_ops;
@@ -42,6 +44,8 @@ pub struct TrainingReport {
     pub trace: ConvergenceTrace,
     /// Aggregated round metrics — the Tables I/II quantities.
     pub metrics: RunMetrics,
+    /// Per-round observables in round order (for percentile analyses).
+    pub round_samples: Vec<RoundSample>,
 }
 
 /// Distributed GD driver binding scheme + backend + data + optimizer.
@@ -109,6 +113,7 @@ impl<'a> DistributedGd<'a> {
             record_risk: config.record_risk,
             trace: ConvergenceTrace::new(),
             metrics: RunMetrics::new(),
+            round_samples: Vec::with_capacity(config.iterations),
         };
         self.backend.run_rounds(
             config.iterations,
@@ -122,6 +127,7 @@ impl<'a> DistributedGd<'a> {
             weights: loop_driver.optimizer.iterate().to_vec(),
             trace: loop_driver.trace,
             metrics: loop_driver.metrics,
+            round_samples: loop_driver.round_samples,
         })
     }
 }
@@ -135,6 +141,7 @@ struct TrainingLoop<'a> {
     record_risk: bool,
     trace: ConvergenceTrace,
     metrics: RunMetrics,
+    round_samples: Vec<RoundSample>,
 }
 
 impl RoundDriver for TrainingLoop<'_> {
@@ -144,6 +151,8 @@ impl RoundDriver for TrainingLoop<'_> {
 
     fn consume(&mut self, round: usize, outcome: RoundOutcome) {
         self.metrics.absorb(&outcome.metrics);
+        self.round_samples
+            .push(RoundSample::from_metrics(&outcome.metrics));
 
         // eq. (1): ∇L = (1/m)·Σ g_j.
         let m = self.data.len() as f64;

@@ -9,8 +9,9 @@ use super::spec::{
 use crate::driver::{DistributedGd, TrainingConfig};
 use crate::error::BccError;
 use bcc_cluster::{
-    ClusterBackend, ClusterProfile, CommModel, RoundDriver, RoundOutcome, RunMetrics,
-    ThreadedCluster, UnitMap, VirtualCluster,
+    BimodalModel, ClusterBackend, ClusterProfile, CommModel, MarkovModel, ParetoModel, RoundDriver,
+    RoundOutcome, RoundSample, RunMetrics, ShiftedExpModel, StragglerModel, ThreadedCluster,
+    UnitMap, VirtualCluster, WeibullModel,
 };
 use bcc_coding::GradientCodingScheme;
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -19,6 +20,7 @@ use bcc_optim::{
 };
 use bcc_stats::derive_seed;
 use bcc_stats::rng::derive_rng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Stream tag for the scheme-placement RNG derived from the spec seed.
@@ -41,6 +43,10 @@ pub struct ExperimentReport {
     pub trace: ConvergenceTrace,
     /// Aggregated round metrics — the Tables I/II quantities.
     pub metrics: RunMetrics,
+    /// Per-round observables in round order (round time, messages used) —
+    /// what percentile/distribution analyses need beyond the sums in
+    /// `metrics`.
+    pub round_samples: Vec<RoundSample>,
     /// Host wall-clock seconds spent inside the round loop (excludes data
     /// generation and scheme construction).
     pub wall_seconds: f64,
@@ -55,6 +61,7 @@ pub struct Experiment {
     spec: ExperimentSpec,
     scheme: Box<dyn GradientCodingScheme>,
     profile: ClusterProfile,
+    model: Arc<dyn StragglerModel>,
 }
 
 impl std::fmt::Debug for Experiment {
@@ -90,13 +97,14 @@ impl Experiment {
         registry: &SchemeRegistry,
     ) -> Result<Self, BuildError> {
         validate_spec(&spec)?;
-        let profile = resolve_profile(&spec.latency, spec.workers)?;
+        let (profile, model) = resolve_latency(&spec.latency, spec.workers)?;
         let mut rng = derive_rng(spec.seed, SCHEME_STREAM);
         let scheme = registry.build(&spec.scheme, spec.units, spec.workers, &mut rng)?;
         Ok(Self {
             spec,
             scheme,
             profile,
+            model,
         })
     }
 
@@ -112,10 +120,20 @@ impl Experiment {
         self.scheme.as_ref()
     }
 
-    /// The resolved cluster profile.
+    /// The resolved cluster profile (worker count and master link; when
+    /// the spec selects a non-shift-exponential straggler model, compute
+    /// times come from [`Self::straggler_model`], not the profile's
+    /// per-worker parameters).
     #[must_use]
     pub fn profile(&self) -> &ClusterProfile {
         &self.profile
+    }
+
+    /// The resolved worker-straggling model the backends sample compute
+    /// times from.
+    #[must_use]
+    pub fn straggler_model(&self) -> &dyn StragglerModel {
+        self.model.as_ref()
     }
 
     /// Runs the experiment: generate data, spin up the backend, and drive
@@ -145,14 +163,14 @@ impl Experiment {
         };
         let backend_seed = derive_seed(spec.seed, BACKEND_STREAM);
         let mut backend: Box<dyn ClusterBackend> = match spec.backend {
-            BackendSpec::Virtual => {
-                Box::new(VirtualCluster::new(self.profile.clone(), backend_seed))
-            }
-            BackendSpec::Threaded { time_scale } => Box::new(ThreadedCluster::new(
-                self.profile.clone(),
-                backend_seed,
-                time_scale,
-            )),
+            BackendSpec::Virtual => Box::new(
+                VirtualCluster::new(self.profile.clone(), backend_seed)
+                    .with_straggler_model(Arc::clone(&self.model)),
+            ),
+            BackendSpec::Threaded { time_scale } => Box::new(
+                ThreadedCluster::new(self.profile.clone(), backend_seed, time_scale)
+                    .with_straggler_model(Arc::clone(&self.model)),
+            ),
         };
 
         let mut optimizer: Option<Box<dyn Optimizer>> = match spec.optimizer {
@@ -164,7 +182,7 @@ impl Experiment {
         };
 
         let start = Instant::now();
-        let (weights, trace, metrics) = match optimizer.as_mut() {
+        let (weights, trace, metrics, round_samples) = match optimizer.as_mut() {
             Some(opt) => {
                 let mut driver = DistributedGd::new(
                     backend.as_mut(),
@@ -180,7 +198,12 @@ impl Experiment {
                         record_risk: spec.record_risk,
                     },
                 )?;
-                (report.weights, report.trace, report.metrics)
+                (
+                    report.weights,
+                    report.trace,
+                    report.metrics,
+                    report.round_samples,
+                )
             }
             None => {
                 // Fixed-point mode: broadcast w = 0 every round and only
@@ -188,6 +211,7 @@ impl Experiment {
                 let mut driver = MetricsDriver {
                     weights: vec![0.0; dim],
                     metrics: RunMetrics::new(),
+                    round_samples: Vec::with_capacity(spec.iterations),
                 };
                 backend.run_rounds(
                     spec.iterations,
@@ -197,7 +221,12 @@ impl Experiment {
                     loss,
                     &mut driver,
                 )?;
-                (driver.weights, ConvergenceTrace::new(), driver.metrics)
+                (
+                    driver.weights,
+                    ConvergenceTrace::new(),
+                    driver.metrics,
+                    driver.round_samples,
+                )
             }
         };
         let wall_seconds = start.elapsed().as_secs_f64();
@@ -208,6 +237,7 @@ impl Experiment {
             weights,
             trace,
             metrics,
+            round_samples,
             wall_seconds,
         })
     }
@@ -217,6 +247,7 @@ impl Experiment {
 struct MetricsDriver {
     weights: Vec<f64>,
     metrics: RunMetrics,
+    round_samples: Vec<RoundSample>,
 }
 
 impl RoundDriver for MetricsDriver {
@@ -226,6 +257,8 @@ impl RoundDriver for MetricsDriver {
 
     fn consume(&mut self, _round: usize, outcome: RoundOutcome) {
         self.metrics.absorb(&outcome.metrics);
+        self.round_samples
+            .push(RoundSample::from_metrics(&outcome.metrics));
     }
 }
 
@@ -419,10 +452,47 @@ fn validate_spec(spec: &ExperimentSpec) -> Result<(), BuildError> {
     Ok(())
 }
 
-/// Resolves the latency spec into a concrete profile for `n` workers.
-fn resolve_profile(latency: &LatencySpec, n: usize) -> Result<ClusterProfile, BuildError> {
+/// A positive-and-finite check shared by the latency validators.
+fn positive_finite(field: &'static str, value: f64) -> Result<(), BuildError> {
+    if !value.is_finite() || value <= 0.0 {
+        return Err(BuildError::InvalidValue {
+            field,
+            reason: format!("must be positive and finite, got {value}"),
+        });
+    }
+    Ok(())
+}
+
+/// A probability-in-`[0, 1]` check shared by the latency validators.
+fn probability(field: &'static str, value: f64) -> Result<(), BuildError> {
+    if !value.is_finite() || !(0.0..=1.0).contains(&value) {
+        return Err(BuildError::InvalidValue {
+            field,
+            reason: format!("must be a probability in [0, 1], got {value}"),
+        });
+    }
+    Ok(())
+}
+
+/// Resolves the latency spec into a concrete profile and straggler model
+/// for `n` workers.
+///
+/// The profile always carries the master link and worker count. For the
+/// shift-exponential variants the model wraps the profile's per-worker
+/// `(mu, a)` parameters (byte-identical to the pre-trait backends); for
+/// the zoo variants the model owns the compute-time distribution and the
+/// profile's per-worker entries are placeholders the backends never
+/// sample from.
+fn resolve_latency(
+    latency: &LatencySpec,
+    n: usize,
+) -> Result<(ClusterProfile, Arc<dyn StragglerModel>), BuildError> {
+    let shifted = |profile: ClusterProfile| {
+        let model: Arc<dyn StragglerModel> = Arc::new(ShiftedExpModel::from_profile(&profile));
+        (profile, model)
+    };
     match latency {
-        LatencySpec::Ec2Like => Ok(ClusterProfile::ec2_like(n)),
+        LatencySpec::Ec2Like => Ok(shifted(ClusterProfile::ec2_like(n))),
         LatencySpec::Fig5Heterogeneous => {
             let profile = ClusterProfile::fig5_heterogeneous();
             if profile.num_workers() != n {
@@ -431,7 +501,7 @@ fn resolve_profile(latency: &LatencySpec, n: usize) -> Result<ClusterProfile, Bu
                     workers: n,
                 });
             }
-            Ok(profile)
+            Ok(shifted(profile))
         }
         LatencySpec::Homogeneous {
             mu,
@@ -439,13 +509,8 @@ fn resolve_profile(latency: &LatencySpec, n: usize) -> Result<ClusterProfile, Bu
             per_message_overhead,
             per_unit,
         } => {
-            if !mu.is_finite() || *mu <= 0.0 {
-                return Err(BuildError::InvalidValue {
-                    field: "latency.mu",
-                    reason: format!("must be positive and finite, got {mu}"),
-                });
-            }
-            Ok(ClusterProfile::homogeneous(
+            positive_finite("latency.mu", *mu)?;
+            Ok(shifted(ClusterProfile::homogeneous(
                 n,
                 *mu,
                 *a,
@@ -453,7 +518,7 @@ fn resolve_profile(latency: &LatencySpec, n: usize) -> Result<ClusterProfile, Bu
                     per_message_overhead: *per_message_overhead,
                     per_unit: *per_unit,
                 },
-            ))
+            )))
         }
         LatencySpec::Explicit { workers, comm } => {
             if workers.len() != n {
@@ -462,10 +527,107 @@ fn resolve_profile(latency: &LatencySpec, n: usize) -> Result<ClusterProfile, Bu
                     workers: n,
                 });
             }
-            Ok(ClusterProfile {
+            Ok(shifted(ClusterProfile {
                 workers: workers.clone(),
                 comm: *comm,
-            })
+            }))
+        }
+        LatencySpec::Pareto {
+            shape,
+            scale,
+            per_message_overhead,
+            per_unit,
+        } => {
+            positive_finite("latency.shape", *shape)?;
+            positive_finite("latency.scale", *scale)?;
+            let comm = CommModel {
+                per_message_overhead: *per_message_overhead,
+                per_unit: *per_unit,
+            };
+            Ok((
+                ClusterProfile::homogeneous(n, 1.0, 0.0, comm),
+                Arc::new(ParetoModel::new(*scale, *shape)),
+            ))
+        }
+        LatencySpec::Weibull {
+            shape,
+            scale,
+            shift,
+            per_message_overhead,
+            per_unit,
+        } => {
+            positive_finite("latency.shape", *shape)?;
+            positive_finite("latency.scale", *scale)?;
+            if !shift.is_finite() || *shift < 0.0 {
+                return Err(BuildError::InvalidValue {
+                    field: "latency.shift",
+                    reason: format!("must be non-negative and finite, got {shift}"),
+                });
+            }
+            let comm = CommModel {
+                per_message_overhead: *per_message_overhead,
+                per_unit: *per_unit,
+            };
+            Ok((
+                ClusterProfile::homogeneous(n, 1.0, 0.0, comm),
+                Arc::new(WeibullModel::new(*scale, *shape, *shift)),
+            ))
+        }
+        LatencySpec::Bimodal {
+            mu,
+            a,
+            slow_workers,
+            slow_probability,
+            slowdown,
+            per_message_overhead,
+            per_unit,
+        } => {
+            positive_finite("latency.mu", *mu)?;
+            probability("latency.slow_probability", *slow_probability)?;
+            positive_finite("latency.slowdown", *slowdown)?;
+            if *slow_workers > n {
+                return Err(BuildError::InvalidValue {
+                    field: "latency.slow_workers",
+                    reason: format!("slow subset ({slow_workers}) exceeds the worker count ({n})"),
+                });
+            }
+            let comm = CommModel {
+                per_message_overhead: *per_message_overhead,
+                per_unit: *per_unit,
+            };
+            Ok((
+                ClusterProfile::homogeneous(n, *mu, *a, comm),
+                Arc::new(BimodalModel::homogeneous(
+                    n,
+                    *mu,
+                    *a,
+                    *slow_workers,
+                    *slow_probability,
+                    *slowdown,
+                )),
+            ))
+        }
+        LatencySpec::Markov {
+            mu,
+            a,
+            p_slow,
+            p_recover,
+            slowdown,
+            per_message_overhead,
+            per_unit,
+        } => {
+            positive_finite("latency.mu", *mu)?;
+            probability("latency.p_slow", *p_slow)?;
+            probability("latency.p_recover", *p_recover)?;
+            positive_finite("latency.slowdown", *slowdown)?;
+            let comm = CommModel {
+                per_message_overhead: *per_message_overhead,
+                per_unit: *per_unit,
+            };
+            Ok((
+                ClusterProfile::homogeneous(n, *mu, *a, comm),
+                Arc::new(MarkovModel::new(*mu, *a, *p_slow, *p_recover, *slowdown)),
+            ))
         }
     }
 }

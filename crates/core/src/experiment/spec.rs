@@ -110,6 +110,12 @@ impl Default for DataSpec {
 }
 
 /// The worker-latency and master-link model.
+///
+/// The first four variants describe the paper's shift-exponential family
+/// over different cluster shapes; the remaining four select members of the
+/// [straggler-model zoo](bcc_cluster::straggler) — alternative compute-time
+/// distributions evaluated under the same protocol, link model, and seeded
+/// streams.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub enum LatencySpec {
     /// [`ClusterProfile::ec2_like`] — the Tables I/II regime.
@@ -136,6 +142,76 @@ pub enum LatencySpec {
         /// The master's receive link.
         comm: CommModel,
     },
+    /// Heavy-tailed Pareto compute
+    /// ([`ParetoModel`](bcc_cluster::ParetoModel)):
+    /// `T = load · Pareto(scale, shape)`.
+    Pareto {
+        /// Tail index `α > 0` (smaller ⇒ heavier tail; mean finite only
+        /// for `shape > 1`).
+        shape: f64,
+        /// Minimum compute seconds per unit of load (`scale > 0`).
+        scale: f64,
+        /// Fixed per-message overhead at the master (seconds).
+        per_message_overhead: f64,
+        /// Seconds per communication unit at the master.
+        per_unit: f64,
+    },
+    /// Weibull compute ([`WeibullModel`](bcc_cluster::WeibullModel)):
+    /// `T = load · (shift + Weibull(scale, shape))`.
+    Weibull {
+        /// Shape `k > 0` (`k < 1` stretches the tail, `k ≫ 1` is
+        /// near-deterministic).
+        shape: f64,
+        /// Weibull scale `λ > 0`, seconds per unit of load.
+        scale: f64,
+        /// Deterministic per-unit shift (seconds, `≥ 0`).
+        shift: f64,
+        /// Fixed per-message overhead at the master (seconds).
+        per_message_overhead: f64,
+        /// Seconds per communication unit at the master.
+        per_unit: f64,
+    },
+    /// Bimodal persistent stragglers
+    /// ([`BimodalModel`](bcc_cluster::BimodalModel)): workers
+    /// `0..slow_workers` straggle with probability `slow_probability` per
+    /// round at factor `slowdown` over a homogeneous shift-exponential
+    /// base.
+    Bimodal {
+        /// Base straggling parameter `μ` of every worker.
+        mu: f64,
+        /// Base deterministic per-unit shift `a`.
+        a: f64,
+        /// Size of the fixed slow subset (`≤` the spec's worker count).
+        slow_workers: usize,
+        /// Per-round probability a slow-set worker straggles (`[0, 1]`).
+        slow_probability: f64,
+        /// Compute-time multiplier in a slow round (`> 0`).
+        slowdown: f64,
+        /// Fixed per-message overhead at the master (seconds).
+        per_message_overhead: f64,
+        /// Seconds per communication unit at the master.
+        per_unit: f64,
+    },
+    /// Markov time-correlated stragglers
+    /// ([`MarkovModel`](bcc_cluster::MarkovModel)): each worker carries a
+    /// fast/slow two-state chain across rounds over a homogeneous
+    /// shift-exponential base.
+    Markov {
+        /// Base straggling parameter `μ` of every worker.
+        mu: f64,
+        /// Base deterministic per-unit shift `a`.
+        a: f64,
+        /// Transition probability fast→slow (`[0, 1]`).
+        p_slow: f64,
+        /// Transition probability slow→fast (`[0, 1]`).
+        p_recover: f64,
+        /// Compute-time multiplier while slow (`> 0`).
+        slowdown: f64,
+        /// Fixed per-message overhead at the master (seconds).
+        per_message_overhead: f64,
+        /// Seconds per communication unit at the master.
+        per_unit: f64,
+    },
 }
 
 impl LatencySpec {
@@ -145,6 +221,24 @@ impl LatencySpec {
         Self::Explicit {
             workers: profile.workers.clone(),
             comm: profile.comm,
+        }
+    }
+
+    /// Short zoo name of the latency family (`"shifted-exp"`, `"pareto"`,
+    /// `"weibull"`, `"bimodal"`, `"markov"`) — matches
+    /// [`StragglerModel::name`](bcc_cluster::StragglerModel::name) of the
+    /// resolved model.
+    #[must_use]
+    pub fn model_name(&self) -> &'static str {
+        match self {
+            Self::Ec2Like
+            | Self::Fig5Heterogeneous
+            | Self::Homogeneous { .. }
+            | Self::Explicit { .. } => "shifted-exp",
+            Self::Pareto { .. } => "pareto",
+            Self::Weibull { .. } => "weibull",
+            Self::Bimodal { .. } => "bimodal",
+            Self::Markov { .. } => "markov",
         }
     }
 }

@@ -197,3 +197,162 @@ fn fig5_profile_requires_its_worker_count() {
         }
     );
 }
+
+/// Builder with a given latency spec over a valid 10×10 uncoded scenario.
+fn latency_builder(latency: LatencySpec) -> Result<Experiment, BuildError> {
+    Experiment::builder()
+        .workers(10)
+        .units(10)
+        .scheme(SchemeSpec::named("uncoded"))
+        .data(DataSpec::synthetic(2, 3))
+        .latency(latency)
+        .iterations(2)
+        .seed(1)
+        .build()
+}
+
+/// Asserts the build fails with `InvalidValue` on exactly `field`.
+fn assert_invalid(latency: LatencySpec, field: &str) {
+    match latency_builder(latency).unwrap_err() {
+        BuildError::InvalidValue { field: got, .. } => assert_eq!(got, field),
+        other => panic!("expected InvalidValue on `{field}`, got {other:?}"),
+    }
+}
+
+#[test]
+fn straggler_model_specs_build_and_run() {
+    for latency in [
+        LatencySpec::Pareto {
+            shape: 2.0,
+            scale: 0.002,
+            per_message_overhead: 0.001,
+            per_unit: 0.004,
+        },
+        LatencySpec::Weibull {
+            shape: 0.8,
+            scale: 0.002,
+            shift: 0.001,
+            per_message_overhead: 0.001,
+            per_unit: 0.004,
+        },
+        LatencySpec::Bimodal {
+            mu: 100.0,
+            a: 0.001,
+            slow_workers: 2,
+            slow_probability: 0.5,
+            slowdown: 5.0,
+            per_message_overhead: 0.001,
+            per_unit: 0.004,
+        },
+        LatencySpec::Markov {
+            mu: 100.0,
+            a: 0.001,
+            p_slow: 0.2,
+            p_recover: 0.5,
+            slowdown: 5.0,
+            per_message_overhead: 0.001,
+            per_unit: 0.004,
+        },
+    ] {
+        let name = latency.model_name();
+        let experiment = latency_builder(latency).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(experiment.straggler_model().name(), name);
+        let report = experiment.run().unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(report.metrics.rounds, 2);
+        assert_eq!(report.round_samples.len(), 2);
+        assert!(report.round_samples.iter().all(|s| s.total_time > 0.0));
+    }
+}
+
+#[test]
+fn straggler_model_parameters_are_validated() {
+    let comm = (0.001, 0.004);
+    assert_invalid(
+        LatencySpec::Pareto {
+            shape: 0.0,
+            scale: 0.002,
+            per_message_overhead: comm.0,
+            per_unit: comm.1,
+        },
+        "latency.shape",
+    );
+    assert_invalid(
+        LatencySpec::Pareto {
+            shape: 2.0,
+            scale: -1.0,
+            per_message_overhead: comm.0,
+            per_unit: comm.1,
+        },
+        "latency.scale",
+    );
+    assert_invalid(
+        LatencySpec::Weibull {
+            shape: 1.0,
+            scale: 0.002,
+            shift: -0.1,
+            per_message_overhead: comm.0,
+            per_unit: comm.1,
+        },
+        "latency.shift",
+    );
+    assert_invalid(
+        LatencySpec::Bimodal {
+            mu: 100.0,
+            a: 0.001,
+            slow_workers: 11, // > the 10 workers
+            slow_probability: 0.5,
+            slowdown: 5.0,
+            per_message_overhead: comm.0,
+            per_unit: comm.1,
+        },
+        "latency.slow_workers",
+    );
+    assert_invalid(
+        LatencySpec::Bimodal {
+            mu: 100.0,
+            a: 0.001,
+            slow_workers: 2,
+            slow_probability: 1.5,
+            slowdown: 5.0,
+            per_message_overhead: comm.0,
+            per_unit: comm.1,
+        },
+        "latency.slow_probability",
+    );
+    assert_invalid(
+        LatencySpec::Markov {
+            mu: 100.0,
+            a: 0.001,
+            p_slow: 0.2,
+            p_recover: -0.1,
+            slowdown: 5.0,
+            per_message_overhead: comm.0,
+            per_unit: comm.1,
+        },
+        "latency.p_recover",
+    );
+    assert_invalid(
+        LatencySpec::Markov {
+            mu: 100.0,
+            a: 0.001,
+            p_slow: 0.2,
+            p_recover: 0.5,
+            slowdown: 0.0,
+            per_message_overhead: comm.0,
+            per_unit: comm.1,
+        },
+        "latency.slowdown",
+    );
+}
+
+#[test]
+fn shifted_exp_specs_keep_reporting_the_baseline_model() {
+    let experiment = latency_builder(LatencySpec::Ec2Like).unwrap();
+    assert_eq!(experiment.straggler_model().name(), "shifted-exp");
+    // The default model's mean matches the profile's closed form.
+    let expect = experiment.profile().workers[0].mean_compute_time(3);
+    assert_eq!(
+        experiment.straggler_model().mean_compute_seconds(0, 3),
+        Some(expect)
+    );
+}

@@ -33,6 +33,43 @@ fn latency_strategy() -> impl Strategy<Value = LatencySpec> {
             per_message_overhead: 0.001,
             per_unit: 0.004,
         }),
+        (1.1f64..4.0, 0.0005f64..0.01).prop_map(|(shape, scale)| LatencySpec::Pareto {
+            shape,
+            scale,
+            per_message_overhead: 0.001,
+            per_unit: 0.004,
+        }),
+        (0.5f64..3.0, 0.0005f64..0.01, 0.0f64..0.005).prop_map(|(shape, scale, shift)| {
+            LatencySpec::Weibull {
+                shape,
+                scale,
+                shift,
+                per_message_overhead: 0.001,
+                per_unit: 0.004,
+            }
+        }),
+        (1usize..4, 0.0f64..1.0, 1.0f64..20.0).prop_map(|(slow_workers, p, slowdown)| {
+            LatencySpec::Bimodal {
+                mu: 100.0,
+                a: 0.001,
+                slow_workers,
+                slow_probability: p,
+                slowdown,
+                per_message_overhead: 0.001,
+                per_unit: 0.004,
+            }
+        }),
+        (0.0f64..1.0, 0.0f64..1.0, 1.0f64..20.0).prop_map(|(p_slow, p_recover, slowdown)| {
+            LatencySpec::Markov {
+                mu: 100.0,
+                a: 0.001,
+                p_slow,
+                p_recover,
+                slowdown,
+                per_message_overhead: 0.001,
+                per_unit: 0.004,
+            }
+        }),
     ]
 }
 

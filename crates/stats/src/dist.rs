@@ -142,6 +142,162 @@ impl Sample for ShiftedExponential {
     }
 }
 
+/// Pareto (type I) distribution: `Pr[T > t] = (scale/t)^shape` for
+/// `t ≥ scale`.
+///
+/// The classic heavy-tailed straggler model (Bitar et al. evaluate gradient
+/// coding under exactly this family): most draws sit near `scale`, but the
+/// polynomial tail produces rare order-of-magnitude outliers. The mean is
+/// finite only for `shape > 1`, the variance only for `shape > 2`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pareto {
+    scale: f64,
+    shape: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto with minimum value `scale > 0` and tail index
+    /// `shape > 0` (smaller ⇒ heavier tail).
+    ///
+    /// # Panics
+    /// Panics when either parameter is not strictly positive and finite.
+    #[must_use]
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "Pareto scale must be positive and finite, got {scale}"
+        );
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "Pareto shape must be positive and finite, got {shape}"
+        );
+        Self { scale, shape }
+    }
+
+    /// The minimum value (`x_m`).
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The tail index `α`.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// CDF at `t`.
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= self.scale {
+            0.0
+        } else {
+            1.0 - (self.scale / t).powf(self.shape)
+        }
+    }
+
+    /// Variance `scale²·α / ((α−1)²(α−2))`; infinite for `shape ≤ 2`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        if self.shape <= 2.0 {
+            f64::INFINITY
+        } else {
+            self.scale * self.scale * self.shape
+                / ((self.shape - 1.0) * (self.shape - 1.0) * (self.shape - 2.0))
+        }
+    }
+}
+
+impl Sample for Pareto {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: scale · u^{-1/shape} with u in (0, 1].
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.scale * u.powf(-1.0 / self.shape)
+    }
+
+    /// Mean `scale·α/(α−1)`; infinite for `shape ≤ 1`.
+    fn mean(&self) -> f64 {
+        if self.shape <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.scale * self.shape / (self.shape - 1.0)
+        }
+    }
+}
+
+/// Weibull distribution: `Pr[T ≤ t] = 1 − exp(−(t/scale)^shape)`, `t ≥ 0`.
+///
+/// Interpolates between heavy-ish tails (`shape < 1`, service times with
+/// occasional long stalls) and near-deterministic compute (`shape ≫ 1`) —
+/// the family Karakus et al. use for worker-latency sensitivity studies.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Weibull {
+    scale: f64,
+    shape: f64,
+}
+
+impl Weibull {
+    /// Creates a Weibull with scale `λ > 0` and shape `k > 0`.
+    ///
+    /// # Panics
+    /// Panics when either parameter is not strictly positive and finite.
+    #[must_use]
+    pub fn new(scale: f64, shape: f64) -> Self {
+        assert!(
+            scale > 0.0 && scale.is_finite(),
+            "Weibull scale must be positive and finite, got {scale}"
+        );
+        assert!(
+            shape > 0.0 && shape.is_finite(),
+            "Weibull shape must be positive and finite, got {shape}"
+        );
+        Self { scale, shape }
+    }
+
+    /// The scale parameter `λ`.
+    #[must_use]
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// The shape parameter `k`.
+    #[must_use]
+    pub fn shape(&self) -> f64 {
+        self.shape
+    }
+
+    /// CDF at `t`.
+    #[must_use]
+    pub fn cdf(&self, t: f64) -> f64 {
+        if t <= 0.0 {
+            0.0
+        } else {
+            1.0 - (-(t / self.scale).powf(self.shape)).exp()
+        }
+    }
+
+    /// Variance `scale²·(Γ(1 + 2/k) − Γ(1 + 1/k)²)`.
+    #[must_use]
+    pub fn variance(&self) -> f64 {
+        let g1 = crate::gamma::gamma(1.0 + 1.0 / self.shape);
+        let g2 = crate::gamma::gamma(1.0 + 2.0 / self.shape);
+        self.scale * self.scale * (g2 - g1 * g1)
+    }
+}
+
+impl Sample for Weibull {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        // Inverse CDF: scale · (−ln u)^{1/shape} with u in (0, 1].
+        let u: f64 = 1.0 - rng.gen::<f64>();
+        self.scale * (-u.ln()).powf(1.0 / self.shape)
+    }
+
+    /// Mean `scale·Γ(1 + 1/k)`.
+    fn mean(&self) -> f64 {
+        self.scale * crate::gamma::gamma(1.0 + 1.0 / self.shape)
+    }
+}
+
 /// Standard-parametrized Gaussian sampled via Box–Muller.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Gaussian {
@@ -297,6 +453,82 @@ mod tests {
         for p in [0.0, 0.25, 0.5, 0.75, 0.99] {
             assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-12);
         }
+    }
+
+    #[test]
+    fn pareto_support_and_moments() {
+        let d = Pareto::new(2.0, 3.0);
+        // mean = 2·3/2 = 3; variance = 4·3/(4·1) = 3.
+        assert!((d.mean() - 3.0).abs() < 1e-12);
+        assert!((d.variance() - 3.0).abs() < 1e-12);
+        let mut rng = derive_rng(7, 0);
+        let mut s = Summary::new();
+        for _ in 0..200_000 {
+            let t = d.sample(&mut rng);
+            assert!(t >= 2.0, "support starts at scale");
+            s.push(t);
+        }
+        assert!((s.mean() - 3.0).abs() < 0.02, "mean {}", s.mean());
+        assert!((s.variance() - 3.0).abs() < 0.25, "var {}", s.variance());
+    }
+
+    #[test]
+    fn pareto_heavy_tail_has_infinite_moments() {
+        assert_eq!(Pareto::new(1.0, 1.0).mean(), f64::INFINITY);
+        assert_eq!(Pareto::new(1.0, 1.5).variance(), f64::INFINITY);
+        assert!(Pareto::new(1.0, 1.5).mean().is_finite());
+    }
+
+    #[test]
+    fn pareto_cdf_matches_closed_form() {
+        let d = Pareto::new(1.0, 2.0);
+        assert_eq!(d.cdf(0.5), 0.0);
+        assert!((d.cdf(2.0) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn pareto_rejects_zero_shape() {
+        let _ = Pareto::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn weibull_moments_match_gamma_forms() {
+        // k = 2 (Rayleigh): mean = λ·Γ(1.5) = λ·√π/2.
+        let d = Weibull::new(2.0, 2.0);
+        let expect_mean = 2.0 * std::f64::consts::PI.sqrt() / 2.0;
+        assert!((d.mean() - expect_mean).abs() < 1e-12);
+        let mut rng = derive_rng(8, 0);
+        let mut s = Summary::new();
+        for _ in 0..200_000 {
+            let t = d.sample(&mut rng);
+            assert!(t >= 0.0);
+            s.push(t);
+        }
+        assert!((s.mean() - expect_mean).abs() < 0.01, "mean {}", s.mean());
+        assert!(
+            (s.variance() - d.variance()).abs() < 0.02,
+            "var {} vs {}",
+            s.variance(),
+            d.variance()
+        );
+    }
+
+    #[test]
+    fn weibull_shape_one_is_exponential() {
+        // k = 1 reduces to Exponential(1/scale): same mean and CDF.
+        let w = Weibull::new(0.5, 1.0);
+        let e = Exponential::new(2.0);
+        assert!((w.mean() - e.mean()).abs() < 1e-12);
+        for t in [0.1, 0.5, 1.0, 3.0] {
+            assert!((w.cdf(t) - e.cdf(t)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn weibull_rejects_negative_scale() {
+        let _ = Weibull::new(-1.0, 1.0);
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! The gamma function `Γ(x)` for positive real arguments.
+//!
+//! Needed by the Weibull latency model, whose mean is `scale·Γ(1 + 1/k)`,
+//! and by moment checks for the other heavy-tailed straggler distributions.
+//! Implemented with the Lanczos approximation (`g = 7`, 9 coefficients) —
+//! ~15 significant digits over the range the harness uses, with the
+//! reflection formula extending it below `x = 0.5`.
+
+use std::f64::consts::PI;
+
+/// Lanczos coefficients for `g = 7`, `n = 9` (Godfrey's tabulation).
+const LANCZOS_G: f64 = 7.0;
+const LANCZOS_COEF: [f64; 9] = [
+    0.999_999_999_999_809_9,
+    676.520_368_121_885_1,
+    -1_259.139_216_722_402_8,
+    771.323_428_777_653_1,
+    -176.615_029_162_140_6,
+    12.507_343_278_686_905,
+    -0.138_571_095_265_720_12,
+    9.984_369_578_019_572e-6,
+    1.505_632_735_149_311_6e-7,
+];
+
+/// `Γ(x)` for finite `x > 0` (extended to non-integer `x < 0` by
+/// reflection).
+///
+/// # Panics
+/// Panics on a non-finite argument or a non-positive integer (a pole of
+/// `Γ`).
+#[must_use]
+pub fn gamma(x: f64) -> f64 {
+    assert!(x.is_finite(), "gamma needs a finite argument, got {x}");
+    assert!(
+        x > 0.0 || x.fract() != 0.0,
+        "gamma has a pole at the non-positive integer {x}"
+    );
+    if x < 0.5 {
+        // Reflection: Γ(x)·Γ(1−x) = π / sin(πx).
+        PI / ((PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let z = x - 1.0;
+        let mut acc = LANCZOS_COEF[0];
+        for (i, &c) in LANCZOS_COEF.iter().enumerate().skip(1) {
+            acc += c / (z + i as f64);
+        }
+        let t = z + LANCZOS_G + 0.5;
+        (2.0 * PI).sqrt() * t.powf(z + 0.5) * (-t).exp() * acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn integer_arguments_are_factorials() {
+        let mut factorial = 1.0;
+        for n in 1..15 {
+            assert!(
+                (gamma(n as f64) - factorial).abs() / factorial < 1e-12,
+                "Γ({n}) = {} but (n-1)! = {factorial}",
+                gamma(n as f64)
+            );
+            factorial *= n as f64;
+        }
+    }
+
+    #[test]
+    fn half_integer_values() {
+        // Γ(1/2) = √π, Γ(3/2) = √π/2.
+        assert!((gamma(0.5) - PI.sqrt()).abs() < 1e-12);
+        assert!((gamma(1.5) - PI.sqrt() / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recurrence_holds() {
+        // Γ(x+1) = x·Γ(x) across the range the Weibull mean uses.
+        for &x in &[0.3, 0.9, 1.4, 2.4, 3.7, 10.2] {
+            let lhs = gamma(x + 1.0);
+            let rhs = x * gamma(x);
+            assert!((lhs - rhs).abs() / rhs.abs() < 1e-12, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn reflection_extends_below_half() {
+        // Γ(-0.5) = -2√π.
+        assert!((gamma(-0.5) + 2.0 * PI.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "pole")]
+    fn poles_panic() {
+        let _ = gamma(0.0);
+    }
+}

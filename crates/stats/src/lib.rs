@@ -5,9 +5,12 @@
 //!
 //! * [`rng`] — deterministic seed derivation so every experiment is
 //!   replayable (worker *i* of trial *t* always sees the same stream).
-//! * [`dist`] — the distributions the paper uses: the shift-exponential
+//! * [`dist`] — the distributions the paper uses — the shift-exponential
 //!   worker-latency model of §IV eq. (15), exponentials, Bernoulli labels and
-//!   Gaussian features (Box–Muller; no `rand_distr` dependency).
+//!   Gaussian features (Box–Muller; no `rand_distr` dependency) — plus the
+//!   Pareto and Weibull families behind the heavy-tailed straggler models.
+//! * [`gamma`](mod@gamma) — the gamma function `Γ(x)` (Lanczos), for Weibull
+//!   moments.
 //! * [`harmonic`](mod@harmonic) — harmonic numbers `H_n` appearing in Theorem 1.
 //! * [`coupon`] — coupon-collector analysis: exact expectation `N·H_N`, the
 //!   tail bound of Lemma 2, and seeded Monte-Carlo simulators for both the
@@ -24,13 +27,15 @@
 
 pub mod coupon;
 pub mod dist;
+pub mod gamma;
 pub mod harmonic;
 pub mod lambertw;
 pub mod order;
 pub mod rng;
 pub mod summary;
 
-pub use dist::{Bernoulli, Exponential, Gaussian, ShiftedExponential};
+pub use dist::{Bernoulli, Exponential, Gaussian, Pareto, ShiftedExponential, Weibull};
+pub use gamma::gamma;
 pub use harmonic::harmonic;
 pub use lambertw::lambert_w0;
 pub use rng::{derive_rng, derive_seed};
