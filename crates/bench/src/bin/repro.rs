@@ -11,6 +11,8 @@
 //! repro ablations            # design-choice ablations (beyond the paper)
 //! repro engine               # round-engine throughput → BENCH_round_engine.json
 //! repro sweep                # straggler-model sweep → BENCH_straggler_sweep.json
+//! repro policy               # aggregation-policy tradeoff → BENCH_policy_tradeoff.json
+//! repro list                 # registered schemes, straggler models, policies
 //! repro scenario SPEC.json   # replay a spec file (table row or custom scenario)
 //! repro gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]
 //!                            # perf-regression gate over the BENCH files
@@ -26,10 +28,13 @@
 //! directory.
 
 use bcc_bench::experiments::spec_run::ScenarioSpec;
-use bcc_bench::experiments::{ablation, engine_bench, fig2, fig5, scenario, spec_run, sweep};
+use bcc_bench::experiments::{
+    ablation, engine_bench, fig2, fig5, policy_sweep, scenario, spec_run, sweep,
+};
 use bcc_bench::gate;
 use bcc_bench::report::{write_json, Table};
-use bcc_core::experiment::ExperimentSpec;
+use bcc_core::experiment::{ExperimentSpec, PolicyRegistry, SchemeRegistry};
+use bcc_core::schemes::SchemeConfig;
 use std::path::PathBuf;
 
 struct Args {
@@ -82,8 +87,9 @@ fn parse_args() -> Args {
             "-h" | "--help" => {
                 println!(
                     "usage: repro [--fast] [--out DIR] \
-                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep]... \
+                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy]... \
                      [scenario SPEC.json]... \
+                     [list] \
                      [gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]]"
                 );
                 std::process::exit(0);
@@ -110,7 +116,7 @@ fn print_table(t: &Table) {
 }
 
 /// Every named artifact target.
-const KNOWN_TARGETS: [&str; 9] = [
+const KNOWN_TARGETS: [&str; 10] = [
     "all",
     "fig2",
     "fig4",
@@ -120,6 +126,7 @@ const KNOWN_TARGETS: [&str; 9] = [
     "ablations",
     "engine",
     "sweep",
+    "policy",
 ];
 
 fn main() {
@@ -132,6 +139,16 @@ fn main() {
             std::process::exit(2);
         }
         run_gate(&args);
+    }
+    // `list` is a discovery surface, not an artifact: print the
+    // registries and exit.
+    if args.targets.iter().any(|t| t == "list") {
+        if args.targets.len() > 1 || !args.spec_files.is_empty() {
+            eprintln!("`list` cannot be combined with other targets");
+            std::process::exit(2);
+        }
+        run_list();
+        std::process::exit(0);
     }
     let unknown: Vec<&String> = args
         .targets
@@ -312,8 +329,82 @@ fn main() {
         }
     }
 
+    if want("policy") {
+        ran_any = true;
+        let cfg = if args.fast {
+            policy_sweep::PolicySweepConfig::fast()
+        } else {
+            policy_sweep::PolicySweepConfig::default_config()
+        };
+        let result = policy_sweep::run(&cfg);
+        print_table(&policy_sweep::render(&result));
+        // Perf/scenario-trajectory artifact: fixed name at the repo root,
+        // like the other BENCH files.
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => match std::fs::write("BENCH_policy_tradeoff.json", body) {
+                Ok(()) => println!("[saved BENCH_policy_tradeoff.json]\n"),
+                Err(e) => eprintln!("[warn] could not write BENCH_policy_tradeoff.json: {e}"),
+            },
+            Err(e) => eprintln!("[warn] could not serialize policy tradeoff: {e}"),
+        }
+        persist(&args.out_dir, "bench_policy_tradeoff", &result);
+        // Per-cell spec files: each (model × scheme × policy) cell replays
+        // standalone via `repro scenario experiments/policy/<cell>.spec.json`.
+        // Skipped for --fast, mirroring the sweep: smoke runs must not
+        // overwrite the checked-in full-config specs.
+        if args.fast {
+            println!("[--fast: skipping per-cell policy specs (checked-in specs are full-config)]");
+        } else {
+            let policy_dir = args.out_dir.join("policy");
+            for (name, spec) in cfg.cells() {
+                persist_spec(
+                    &policy_dir,
+                    &name,
+                    &ScenarioSpec {
+                        name: spec.name.clone(),
+                        experiments: vec![spec],
+                    },
+                );
+            }
+        }
+    }
+
     // Unreachable unless the target list and the dispatch above drift.
     assert!(ran_any, "validated targets must all dispatch");
+}
+
+/// Prints every registered scheme, straggler model, and aggregation
+/// policy with a one-line description — the spec-author's discovery
+/// surface.
+fn run_list() {
+    let mut schemes = Table::new("schemes (SchemeSpec name)", &["name", "description"]);
+    for name in SchemeRegistry::builtin().names() {
+        schemes.push_row(vec![
+            name.clone(),
+            SchemeConfig::description(&name)
+                .unwrap_or("custom registration")
+                .to_string(),
+        ]);
+    }
+    print_table(&schemes);
+
+    let mut models = Table::new(
+        "straggler models (LatencySpec family)",
+        &["name", "description"],
+    );
+    for (name, description) in bcc_cluster::straggler::ZOO {
+        models.push_row(vec![name.to_string(), description.to_string()]);
+    }
+    print_table(&models);
+
+    let mut policies = Table::new(
+        "aggregation policies (PolicySpec name)",
+        &["name", "description"],
+    );
+    for (name, description) in PolicyRegistry::builtin().descriptions() {
+        policies.push_row(vec![name, description]);
+    }
+    print_table(&policies);
 }
 
 /// Runs the perf-regression gate and exits with its verdict (0 pass,

@@ -16,6 +16,7 @@ use crate::report::{f1, f3, Table};
 use bcc_cluster::{ClusterProfile, CommModel};
 use bcc_core::experiment::{
     BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
+    PolicySpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use bcc_core::theory;
@@ -58,6 +59,7 @@ pub fn arm_spec(
         backend: BackendSpec::Virtual,
         loss: LossSpec::Logistic,
         optimizer: OptimizerSpec::FixedPoint,
+        policy: PolicySpec::default(),
         iterations: rounds,
         record_risk: false,
         seed,

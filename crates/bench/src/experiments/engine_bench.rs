@@ -22,6 +22,7 @@ use crate::report::{f1, f3, Table};
 use bcc_cluster::UnitMap;
 use bcc_core::experiment::{
     BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
+    PolicySpec,
 };
 use bcc_data::synthetic::{generate, SyntheticConfig};
 use bcc_optim::{GradScratch, LogisticLoss, Loss};
@@ -124,6 +125,7 @@ impl EngineBenchConfig {
                 backend: BackendSpec::Virtual,
                 loss: LossSpec::Logistic,
                 optimizer: OptimizerSpec::FixedPoint,
+                policy: PolicySpec::default(),
                 iterations: self.rounds,
                 record_risk: false,
                 seed: self.seed,

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod engine_bench;
 pub mod fig2;
 pub mod fig5;
+pub mod policy_sweep;
 pub mod scenario;
 pub mod spec_run;
 pub mod sweep;

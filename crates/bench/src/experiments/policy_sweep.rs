@@ -1,0 +1,443 @@
+//! The aggregation-policy tradeoff grid: policy × scheme × straggler
+//! model — the data behind `BENCH_policy_tradeoff.json`.
+//!
+//! The paper's master always decodes exactly; the
+//! [policy layer](bcc_cluster::policy) opens the other half of the design
+//! space (fastest-k, deadline-bounded, drain-all rounds). This grid runs
+//! full Nesterov training under every builtin policy and reports, per
+//! cell, the **risk-vs-wallclock tradeoff**: total simulated time, final
+//! empirical risk, mean unit coverage, and the mean gradient-error norm of
+//! the approximate rounds — exact rounds are free of error by
+//! construction, approximate rounds buy their speed with it.
+//!
+//! Every cell is an independent seeded [`Experiment`] on the virtual
+//! backend (so all times are deterministic simulated seconds), fanned over
+//! a crossbeam pool exactly like the
+//! [straggler sweep](super::sweep), and each cell's resolved
+//! [`ExperimentSpec`] is written under `experiments/policy/` — any cell
+//! replays standalone via `repro scenario`.
+
+use crate::report::{f1, f3, Table};
+use bcc_core::experiment::{
+    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
+    PolicySpec,
+};
+use bcc_core::schemes::SchemeConfig;
+use bcc_stats::summary::quantile;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration of one policy-tradeoff run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySweepConfig {
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Number of coding units `m`.
+    pub units: usize,
+    /// Data points per unit.
+    pub points_per_unit: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Computational load for the coded schemes.
+    pub r: usize,
+    /// Training iterations per cell (Nesterov, risk recorded).
+    pub iterations: usize,
+    /// Arrival count of the `fastest-k` column.
+    pub fastest_k: usize,
+    /// Simulated-seconds budget of the `deadline` column.
+    pub deadline_seconds: f64,
+    /// Cell seed.
+    pub seed: u64,
+    /// Worker threads for the cell pool (`0` ⇒ available parallelism).
+    pub threads: usize,
+}
+
+impl PolicySweepConfig {
+    /// Default: scenario-one sized, 40 training iterations per cell.
+    ///
+    /// `fastest_k = 30` stops uncoded rounds at 60 % of the cluster;
+    /// `deadline_seconds = 0.15` sits between BCC's (≈ 0.08 s) and
+    /// uncoded's (≈ 0.30 s) mean round times under the Tables I/II
+    /// latency regime, so it truncates the slow schemes and leaves the
+    /// fast one exact.
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self {
+            workers: 50,
+            units: 50,
+            points_per_unit: 20,
+            dim: 32,
+            r: 10,
+            iterations: 40,
+            fastest_k: 30,
+            deadline_seconds: 0.15,
+            seed: 2024,
+            threads: 0,
+        }
+    }
+
+    /// Smoke configuration: full policy × scheme × model grid, trimmed
+    /// data and iteration counts (what CI-adjacent smoke runs use).
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            points_per_unit: 5,
+            iterations: 10,
+            ..Self::default_config()
+        }
+    }
+
+    /// The straggler models this grid crosses: the paper's baseline and
+    /// the heavy tail, calibrated like the
+    /// [straggler sweep](super::sweep::SweepConfig::model_zoo)'s members.
+    #[must_use]
+    pub fn models(&self) -> Vec<(&'static str, LatencySpec)> {
+        let (per_message_overhead, per_unit) = (0.002, 0.004);
+        vec![
+            ("shifted-exp", LatencySpec::Ec2Like),
+            (
+                "pareto",
+                LatencySpec::Pareto {
+                    shape: 1.5,
+                    scale: 0.0015,
+                    per_message_overhead,
+                    per_unit,
+                },
+            ),
+        ]
+    }
+
+    /// The schemes this grid crosses — the ones whose decoders support
+    /// partial readout (sum/coverage structure), so every policy is
+    /// meaningful on every row.
+    #[must_use]
+    pub fn schemes(&self) -> Vec<SchemeConfig> {
+        vec![
+            SchemeConfig::Uncoded,
+            SchemeConfig::Bcc { r: self.r },
+            SchemeConfig::FractionalRepetition { r: self.r },
+        ]
+    }
+
+    /// The policy columns: every builtin, parameterized from the config.
+    #[must_use]
+    pub fn policies(&self) -> Vec<PolicySpec> {
+        vec![
+            PolicySpec::default(),
+            PolicySpec::fastest_k(self.fastest_k),
+            PolicySpec::deadline(self.deadline_seconds),
+            PolicySpec::named("best-effort-all"),
+        ]
+    }
+
+    /// The full cell grid in row order: model-major, then scheme, then
+    /// policy. Each entry is `(cell name, resolved spec)`; the name
+    /// doubles as the per-cell spec-file stem.
+    #[must_use]
+    pub fn cells(&self) -> Vec<(String, ExperimentSpec)> {
+        let mut cells = Vec::new();
+        for (model, latency) in self.models() {
+            for scheme in self.schemes() {
+                for policy in self.policies() {
+                    let name = format!("{model}_{}_{}", scheme.name(), policy.name);
+                    let spec = ExperimentSpec {
+                        name: format!("policy / {model} / {} / {}", scheme.name(), policy.name),
+                        workers: self.workers,
+                        units: self.units,
+                        scheme: scheme.spec(),
+                        data: DataSpec::synthetic(self.points_per_unit, self.dim),
+                        latency: latency.clone(),
+                        backend: BackendSpec::Virtual,
+                        loss: LossSpec::Logistic,
+                        optimizer: OptimizerSpec::nesterov(0.5),
+                        policy: policy.clone(),
+                        iterations: self.iterations,
+                        record_risk: true,
+                        seed: self.seed,
+                    };
+                    cells.push((name, spec));
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One (model × scheme × policy) cell's aggregated measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyCellRow {
+    /// Straggler-model name.
+    pub model: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Aggregation-policy name.
+    pub policy: String,
+    /// Training iterations measured.
+    pub rounds: usize,
+    /// Total simulated time of the run — the wallclock axis of the
+    /// tradeoff.
+    pub total_time: f64,
+    /// Mean simulated round time.
+    pub mean_round_time: f64,
+    /// 99th-percentile simulated round time.
+    pub p99_round_time: f64,
+    /// Mean messages consumed per round (empirical `K`).
+    pub avg_messages_used: f64,
+    /// Mean covered-unit fraction per round (`1.0` under exact policies).
+    pub avg_coverage: f64,
+    /// Rounds whose gradient was the exact decode.
+    pub exact_rounds: usize,
+    /// Mean `‖ĝ − g‖₂` of the mean gradient over the approximate rounds
+    /// (`0.0` when every round was exact) — the risk axis's per-round
+    /// driver.
+    pub mean_gradient_error: f64,
+    /// Final empirical risk after training — the risk axis of the
+    /// tradeoff.
+    pub final_risk: f64,
+    /// Host wall-clock seconds for the cell's round loop.
+    pub wall_seconds: f64,
+}
+
+/// The full grid result (serialized to `BENCH_policy_tradeoff.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySweepResult {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Backend measured.
+    pub backend: String,
+    /// The configuration measured.
+    pub config: PolicySweepConfig,
+    /// Worker threads the cell pool actually used.
+    pub threads_used: usize,
+    /// One row per cell, in grid order (model-major, then scheme, then
+    /// policy).
+    pub rows: Vec<PolicyCellRow>,
+}
+
+impl PolicySweepResult {
+    /// Row lookup by `(model, scheme, policy)`.
+    #[must_use]
+    pub fn row(&self, model: &str, scheme: &str, policy: &str) -> Option<&PolicyCellRow> {
+        self.rows
+            .iter()
+            .find(|r| r.model == model && r.scheme == scheme && r.policy == policy)
+    }
+}
+
+/// Runs one cell: build the experiment, train, reduce the per-round
+/// samples to the cell row.
+fn run_cell(model: &str, policy: &str, spec: &ExperimentSpec) -> PolicyCellRow {
+    let report = Experiment::from_spec(spec.clone())
+        .expect("policy cells are structurally valid")
+        .run()
+        .expect("policy cells complete every round (no dead workers)");
+    let times: Vec<f64> = report.round_samples.iter().map(|s| s.total_time).collect();
+    let coverage: f64 = report
+        .round_samples
+        .iter()
+        .map(bcc_cluster::RoundSample::coverage_fraction)
+        .sum::<f64>()
+        / report.round_samples.len().max(1) as f64;
+    let exact_rounds = report.round_samples.iter().filter(|s| s.exact).count();
+    let errors: Vec<f64> = report
+        .round_samples
+        .iter()
+        .filter_map(|s| s.gradient_error)
+        .collect();
+    let mean_gradient_error = if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    };
+    PolicyCellRow {
+        model: model.to_string(),
+        scheme: report.scheme,
+        policy: policy.to_string(),
+        rounds: spec.iterations,
+        total_time: report.metrics.total_time,
+        mean_round_time: report.metrics.avg_round_time(),
+        p99_round_time: quantile(&times, 0.99),
+        avg_messages_used: report.metrics.avg_recovery_threshold(),
+        avg_coverage: coverage,
+        exact_rounds,
+        mean_gradient_error,
+        final_risk: report.trace.final_risk().unwrap_or(f64::NAN),
+        wall_seconds: report.wall_seconds,
+    }
+}
+
+/// Runs the whole grid across a scoped worker pool (one atomic work
+/// index; results re-sorted into grid order, so the output is identical
+/// for any thread count).
+///
+/// # Panics
+/// Panics when a cell fails to build or complete (the grid keeps every
+/// worker alive, and every scheme supports every policy's readout).
+#[must_use]
+pub fn run(config: &PolicySweepConfig) -> PolicySweepResult {
+    let cells = config.cells();
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        config.threads
+    }
+    .min(cells.len())
+    .max(1);
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam_channel::unbounded::<(usize, PolicyCellRow)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, cells) = (&next, &cells);
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, spec)) = cells.get(i) else { break };
+                let row = run_cell(spec.latency.model_name(), &spec.policy.name, spec);
+                if tx.send((i, row)).is_err() {
+                    break;
+                }
+            });
+        }
+    })
+    .expect("policy-sweep worker panicked");
+    drop(tx);
+
+    let mut indexed: Vec<(usize, PolicyCellRow)> = Vec::with_capacity(cells.len());
+    while let Ok(pair) = rx.try_recv() {
+        indexed.push(pair);
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    assert_eq!(indexed.len(), cells.len(), "every cell must report");
+
+    PolicySweepResult {
+        schema: "bcc/bench_policy_tradeoff/v1".into(),
+        backend: "virtual-des".into(),
+        config: config.clone(),
+        threads_used: threads,
+        rows: indexed.into_iter().map(|(_, row)| row).collect(),
+    }
+}
+
+/// Renders the grid as a console table — each (model, scheme) block reads
+/// as one risk-vs-wallclock curve across the policy column.
+#[must_use]
+pub fn render(result: &PolicySweepResult) -> Table {
+    let mut t = Table::new(
+        format!(
+            "aggregation-policy tradeoff — {} workers, {} iterations/cell, {} threads",
+            result.config.workers, result.config.iterations, result.threads_used
+        ),
+        &[
+            "model",
+            "scheme",
+            "policy",
+            "K (msgs)",
+            "coverage",
+            "grad err",
+            "total s",
+            "final risk",
+        ],
+    );
+    for row in &result.rows {
+        t.push_row(vec![
+            row.model.clone(),
+            row.scheme.clone(),
+            row.policy.clone(),
+            f1(row.avg_messages_used),
+            format!("{:.2}", row.avg_coverage),
+            format!("{:.2e}", row.mean_gradient_error),
+            f3(row.total_time),
+            format!("{:.4}", row.final_risk),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> PolicySweepConfig {
+        PolicySweepConfig {
+            workers: 10,
+            units: 10,
+            points_per_unit: 3,
+            dim: 4,
+            r: 2,
+            iterations: 4,
+            fastest_k: 6,
+            deadline_seconds: 0.05,
+            seed: 5,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn grid_covers_models_times_schemes_times_policies() {
+        let cfg = tiny();
+        let result = run(&cfg);
+        assert_eq!(
+            result.rows.len(),
+            2 * 3 * 4,
+            "2 models × 3 schemes × 4 policies"
+        );
+        for row in &result.rows {
+            assert_eq!(row.rounds, 4);
+            assert!(row.total_time > 0.0);
+            assert!(row.avg_coverage > 0.0 && row.avg_coverage <= 1.0);
+            assert!(row.final_risk.is_finite());
+            assert!(row.exact_rounds <= row.rounds);
+        }
+        for policy in ["wait-decodable", "fastest-k", "deadline", "best-effort-all"] {
+            assert!(result.rows.iter().any(|r| r.policy == policy), "{policy}");
+        }
+        assert_eq!(render(&result).len(), result.rows.len());
+    }
+
+    #[test]
+    fn wait_decodable_cells_are_exact_and_error_free() {
+        let result = run(&tiny());
+        for row in result.rows.iter().filter(|r| r.policy == "wait-decodable") {
+            assert_eq!(row.exact_rounds, row.rounds, "{}/{}", row.model, row.scheme);
+            assert_eq!(row.mean_gradient_error, 0.0);
+            assert_eq!(row.avg_coverage, 1.0);
+        }
+    }
+
+    #[test]
+    fn fastest_k_trades_error_for_time_on_uncoded() {
+        // On uncoded, fastest-k waits for 6 of 10 workers: strictly fewer
+        // messages and strictly less time than the exact policy, at a
+        // nonzero gradient error.
+        let result = run(&tiny());
+        let exact = result
+            .row("shifted-exp", "uncoded", "wait-decodable")
+            .unwrap();
+        let fast = result.row("shifted-exp", "uncoded", "fastest-k").unwrap();
+        assert!(fast.avg_messages_used < exact.avg_messages_used);
+        assert!(fast.total_time < exact.total_time);
+        assert!(fast.mean_gradient_error > 0.0);
+        assert!(fast.avg_coverage < 1.0);
+        assert_eq!(exact.mean_gradient_error, 0.0);
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let strip = |mut rows: Vec<PolicyCellRow>| {
+            for row in &mut rows {
+                row.wall_seconds = 0.0;
+            }
+            rows
+        };
+        let serial = run(&PolicySweepConfig {
+            threads: 1,
+            ..tiny()
+        });
+        let parallel = run(&PolicySweepConfig {
+            threads: 4,
+            ..tiny()
+        });
+        assert_eq!(strip(serial.rows), strip(parallel.rows));
+    }
+}

@@ -11,7 +11,7 @@
 use crate::report::{f1, f3, Table};
 use bcc_core::experiment::{
     BackendSpec, DataSpec, Experiment, ExperimentReport, ExperimentSpec, LatencySpec, LossSpec,
-    OptimizerSpec,
+    OptimizerSpec, PolicySpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use serde::{Deserialize, Serialize};
@@ -104,6 +104,7 @@ impl ScenarioConfig {
             backend: BackendSpec::Virtual,
             loss: LossSpec::Logistic,
             optimizer: OptimizerSpec::nesterov(0.5),
+            policy: PolicySpec::default(),
             iterations: self.iterations,
             record_risk,
             seed: self.seed,

@@ -21,6 +21,7 @@
 use crate::report::{f1, Table};
 use bcc_core::experiment::{
     BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
+    PolicySpec,
 };
 use bcc_stats::summary::quantile;
 use serde::{Deserialize, Serialize};
@@ -156,6 +157,7 @@ impl SweepConfig {
                         backend: BackendSpec::Virtual,
                         loss: LossSpec::Logistic,
                         optimizer: OptimizerSpec::FixedPoint,
+                        policy: PolicySpec::default(),
                         iterations: self.rounds,
                         record_risk: false,
                         seed,

@@ -23,6 +23,7 @@
 //! vectorization, an accidental per-round allocation, a dropped cache).
 
 use crate::experiments::engine_bench::{EngineBenchResult, GradientKernelResult};
+use crate::experiments::policy_sweep::PolicySweepResult;
 use crate::report::Table;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -186,6 +187,46 @@ pub fn compare_kernel(
         .collect()
 }
 
+/// Compares two policy-tradeoff results per cell (`mean_round_time` —
+/// simulated seconds, so on the virtual backend any drift is a *behaviour*
+/// change, not host noise).
+///
+/// # Errors
+/// A readable message when the configs differ or a baseline cell is
+/// missing from the current measurement.
+pub fn compare_policy(
+    baseline: &PolicySweepResult,
+    current: &PolicySweepResult,
+    max_slowdown: f64,
+) -> Result<Vec<GateEntry>, String> {
+    if baseline.config != current.config {
+        return Err(format!(
+            "policy_tradeoff: baseline and current configs differ — baseline {:?} vs current \
+             {:?}; measure with the same configuration (did one side run --fast?)",
+            baseline.config, current.config
+        ));
+    }
+    baseline
+        .rows
+        .iter()
+        .map(|b| {
+            let c = current.row(&b.model, &b.scheme, &b.policy).ok_or_else(|| {
+                format!(
+                    "policy_tradeoff: cell `{}/{}/{}` missing from current measurement",
+                    b.model, b.scheme, b.policy
+                )
+            })?;
+            entry(
+                "policy_tradeoff",
+                format!("{}/{}/{} simulated s/round", b.model, b.scheme, b.policy),
+                b.mean_round_time,
+                c.mean_round_time,
+                max_slowdown,
+            )
+        })
+        .collect()
+}
+
 fn read_json<T: Deserialize>(path: &Path) -> Result<T, String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -222,6 +263,13 @@ pub fn run(
         let current: GradientKernelResult =
             read_json(&current_dir.join("BENCH_gradient_kernel.json"))?;
         entries.extend(compare_kernel(&baseline, &current, max_slowdown)?);
+    }
+    {
+        let baseline: PolicySweepResult =
+            read_json(&baseline_dir.join("BENCH_policy_tradeoff.json"))?;
+        let current: PolicySweepResult =
+            read_json(&current_dir.join("BENCH_policy_tradeoff.json"))?;
+        entries.extend(compare_policy(&baseline, &current, max_slowdown)?);
     }
     Ok(GateReport {
         max_slowdown,
@@ -290,6 +338,31 @@ mod tests {
                 per_example_ns_per_sweep: 2.0 * packed_ns,
                 packed_ns_per_sweep: packed_ns,
                 speedup: 2.0,
+            }],
+        }
+    }
+
+    fn policy_result(mean_round: f64) -> PolicySweepResult {
+        use crate::experiments::policy_sweep::{PolicyCellRow, PolicySweepConfig};
+        PolicySweepResult {
+            schema: "bcc/bench_policy_tradeoff/v1".into(),
+            backend: "virtual-des".into(),
+            config: PolicySweepConfig::default_config(),
+            threads_used: 1,
+            rows: vec![PolicyCellRow {
+                model: "shifted-exp".into(),
+                scheme: "uncoded".into(),
+                policy: "fastest-k".into(),
+                rounds: 40,
+                total_time: 40.0 * mean_round,
+                mean_round_time: mean_round,
+                p99_round_time: 2.0 * mean_round,
+                avg_messages_used: 30.0,
+                avg_coverage: 0.6,
+                exact_rounds: 0,
+                mean_gradient_error: 0.05,
+                final_risk: 0.2,
+                wall_seconds: 0.01,
             }],
         }
     }
@@ -364,7 +437,10 @@ mod tests {
         let current_dir = dir.join("current");
         std::fs::create_dir_all(&baseline_dir).unwrap();
         std::fs::create_dir_all(&current_dir).unwrap();
-        let write = |dir: &Path, engine: &EngineBenchResult, kernel: &GradientKernelResult| {
+        let write = |dir: &Path,
+                     engine: &EngineBenchResult,
+                     kernel: &GradientKernelResult,
+                     policy: &PolicySweepResult| {
             std::fs::write(
                 dir.join("BENCH_round_engine.json"),
                 serde_json::to_string_pretty(engine).unwrap(),
@@ -375,14 +451,29 @@ mod tests {
                 serde_json::to_string_pretty(kernel).unwrap(),
             )
             .unwrap();
+            std::fs::write(
+                dir.join("BENCH_policy_tradeoff.json"),
+                serde_json::to_string_pretty(policy).unwrap(),
+            )
+            .unwrap();
         };
-        write(&baseline_dir, &engine_result(1e-5), &kernel_result(1000.0));
+        write(
+            &baseline_dir,
+            &engine_result(1e-5),
+            &kernel_result(1000.0),
+            &policy_result(0.2),
+        );
         // Engine fine, kernel injected 1.6x slower: the gate must fail on
         // exactly that entry.
-        write(&current_dir, &engine_result(1.1e-5), &kernel_result(1600.0));
+        write(
+            &current_dir,
+            &engine_result(1.1e-5),
+            &kernel_result(1600.0),
+            &policy_result(0.2),
+        );
 
         let report = run(&baseline_dir, &current_dir, 1.5).unwrap();
-        assert_eq!(report.entries.len(), 2);
+        assert_eq!(report.entries.len(), 3);
         assert!(!report.passed());
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
@@ -401,5 +492,29 @@ mod tests {
     fn nonsensical_threshold_is_rejected() {
         let err = run(Path::new("."), Path::new("."), 0.5).unwrap_err();
         assert!(err.contains("≥ 1"), "{err}");
+    }
+
+    #[test]
+    fn policy_config_mismatch_is_an_error_not_a_pass() {
+        let baseline = policy_result(0.2);
+        let mut current = policy_result(0.2);
+        current.config.iterations = 10; // e.g. baseline full, current --fast
+        let err = compare_policy(&baseline, &current, 1.5).unwrap_err();
+        assert!(err.contains("configs differ"), "{err}");
+    }
+
+    #[test]
+    fn policy_drift_fails_the_gate() {
+        // Simulated round times are deterministic on the virtual backend:
+        // anything beyond the threshold is a behaviour change.
+        let entries = compare_policy(&policy_result(0.2), &policy_result(0.5), 1.5).unwrap();
+        assert!(!entries[0].ok);
+        assert!(entries[0].entry.contains("fastest-k"));
+        let missing = PolicySweepResult {
+            rows: Vec::new(),
+            ..policy_result(0.2)
+        };
+        let err = compare_policy(&policy_result(0.2), &missing, 1.5).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
     }
 }

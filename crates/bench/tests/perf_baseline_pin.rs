@@ -50,3 +50,87 @@ fn engine_artifact_simulated_metrics_replay_byte_identically() {
         );
     }
 }
+
+/// The checked-in straggler-sweep artifact's simulated statistics must
+/// replay bit-for-bit under the policy-layer engine: the sweep runs with
+/// no `PolicySpec` (⇒ `wait-decodable`), so its cells are part of the
+/// "every existing artifact is byte-identical" contract.
+#[test]
+fn sweep_artifact_shifted_exp_cells_replay_byte_identically() {
+    use bcc_bench::experiments::sweep::SweepResult;
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_straggler_sweep.json");
+    let body = std::fs::read_to_string(path).expect("artifact is checked in");
+    let artifact: SweepResult = serde_json::from_str(&body).expect("artifact parses");
+
+    let first_seed = artifact.config.seeds[0];
+    let mut checked = 0;
+    for (name, spec) in artifact.config.cells() {
+        if !name.starts_with("shifted-exp") || spec.seed != first_seed {
+            continue;
+        }
+        let report = Experiment::from_spec(spec)
+            .expect("sweep cell builds")
+            .run()
+            .expect("sweep cell completes");
+        let row = artifact
+            .row("shifted-exp", &report.scheme, first_seed)
+            .expect("cell row present");
+        assert_eq!(
+            report.metrics.avg_round_time().to_bits(),
+            row.mean_round_time.to_bits(),
+            "{name}: simulated round time drifted from the checked-in artifact"
+        );
+        assert_eq!(
+            report.metrics.avg_recovery_threshold().to_bits(),
+            row.avg_messages_used.to_bits(),
+            "{name}: recovery threshold drifted"
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 3, "one cell per paper scheme");
+}
+
+/// The committed policy-tradeoff artifact replays from its own config:
+/// simulated times, coverage, and final risk are deterministic on the
+/// virtual backend, so any drift is a behaviour change in the policy
+/// layer itself.
+#[test]
+fn policy_artifact_cells_replay_byte_identically() {
+    use bcc_bench::experiments::policy_sweep::PolicySweepResult;
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_policy_tradeoff.json");
+    let body = std::fs::read_to_string(path).expect("artifact is checked in");
+    let artifact: PolicySweepResult = serde_json::from_str(&body).expect("artifact parses");
+
+    // One exact and one approximate cell keep the debug-mode cost modest.
+    for (model, scheme, policy) in [
+        ("shifted-exp", "uncoded", "fastest-k"),
+        ("shifted-exp", "bcc", "wait-decodable"),
+    ] {
+        let (name, spec) = artifact
+            .config
+            .cells()
+            .into_iter()
+            .find(|(name, _)| name == &format!("{model}_{scheme}_{policy}"))
+            .expect("cell in grid");
+        let report = Experiment::from_spec(spec)
+            .expect("policy cell builds")
+            .run()
+            .expect("policy cell completes");
+        let row = artifact.row(model, scheme, policy).expect("row present");
+        assert_eq!(
+            report.metrics.avg_round_time().to_bits(),
+            row.mean_round_time.to_bits(),
+            "{name}: simulated round time drifted"
+        );
+        assert_eq!(
+            report.metrics.total_time.to_bits(),
+            row.total_time.to_bits(),
+            "{name}: total simulated time drifted"
+        );
+        assert_eq!(
+            report.trace.final_risk().expect("risk recorded").to_bits(),
+            row.final_risk.to_bits(),
+            "{name}: final risk drifted"
+        );
+    }
+}

@@ -108,7 +108,11 @@ fn gate_exit_code_tracks_the_verdict() {
     let (baseline, current) = (dir.join("baseline"), dir.join("current"));
     std::fs::create_dir_all(&baseline).unwrap();
     std::fs::create_dir_all(&current).unwrap();
-    for name in ["BENCH_round_engine.json", "BENCH_gradient_kernel.json"] {
+    for name in [
+        "BENCH_round_engine.json",
+        "BENCH_gradient_kernel.json",
+        "BENCH_policy_tradeoff.json",
+    ] {
         std::fs::copy(repo_root.join(name), baseline.join(name)).unwrap();
         std::fs::copy(repo_root.join(name), current.join(name)).unwrap();
     }
@@ -153,5 +157,66 @@ fn gate_exit_code_tracks_the_verdict() {
         stderr(&out)
     );
     assert!(stderr(&out).contains("FAILED"), "{}", stderr(&out));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn list_enumerates_schemes_models_and_policies() {
+    let dir = scratch("list");
+    let out = repro(&["list"], &dir);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr(&out));
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    for expected in [
+        "bcc",
+        "cyclic-repetition",
+        "shifted-exp",
+        "pareto",
+        "markov",
+        "wait-decodable",
+        "fastest-k",
+        "deadline",
+        "best-effort-all",
+        "Batched Coupon's Collector",
+    ] {
+        assert!(stdout.contains(expected), "`{expected}` missing:\n{stdout}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn list_cannot_be_combined_with_targets() {
+    let dir = scratch("list_combined");
+    let out = repro(&["list", "engine"], &dir);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        stderr(&out).contains("cannot be combined"),
+        "{}",
+        stderr(&out)
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_policy_in_spec_file_is_a_readable_error() {
+    let dir = scratch("policy");
+    let spec = dir.join("bad_policy.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "uncoded", "policy": "vote-majority", "iterations": 2}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert!(!out.status.success(), "unknown policy must exit non-zero");
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown aggregation policy") && err.contains("vote-majority"),
+        "stderr must name the bad policy: {err}"
+    );
+    assert!(
+        err.contains("wait-decodable"),
+        "stderr must list the registered policies: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
     std::fs::remove_dir_all(&dir).unwrap();
 }

@@ -1,20 +1,58 @@
 //! The backend trait both runtimes implement.
 
 use crate::error::ClusterError;
-use crate::metrics::RoundMetrics;
+use crate::metrics::{RoundMetrics, RoundSample};
+use crate::policy::AggregatedGradient;
 use crate::units::UnitMap;
-use bcc_coding::GradientCodingScheme;
+use bcc_coding::{Coverage, GradientCodingScheme};
 use bcc_data::Dataset;
 use bcc_optim::Loss;
 
 /// Result of one distributed-GD round.
 #[derive(Debug, Clone)]
 pub struct RoundOutcome {
-    /// The exact gradient **sum** over all units `Σ_u g_u = Σ_j g_j`
-    /// (the caller divides by the example count).
+    /// The gradient **sum** over all units `Σ_u g_u = Σ_j g_j` (the caller
+    /// divides by the example count). Exact under the default
+    /// [`WaitDecodable`](crate::policy::WaitDecodable) policy; an
+    /// approximate policy's coverage-rescaled estimate otherwise (see
+    /// [`Self::exact`]).
     pub gradient_sum: Vec<f64>,
+    /// How many coding units back the gradient.
+    pub coverage: Coverage,
+    /// `true` when `gradient_sum` is the exact decode.
+    pub exact: bool,
     /// Timing and load metrics for the round.
     pub metrics: RoundMetrics,
+}
+
+impl RoundOutcome {
+    /// Assembles the outcome from a policy's aggregate and the round's
+    /// metrics.
+    #[must_use]
+    pub fn new(aggregate: AggregatedGradient, metrics: RoundMetrics) -> Self {
+        Self {
+            gradient_sum: aggregate.gradient_sum,
+            coverage: aggregate.coverage,
+            exact: aggregate.exact,
+            metrics,
+        }
+    }
+
+    /// The per-round observable sample for this outcome;
+    /// `gradient_error` is the caller-computed `‖ĝ − g‖₂` of the mean
+    /// gradient (`None` when not measured — exact rounds have none to
+    /// measure).
+    #[must_use]
+    pub fn sample(&self, gradient_error: Option<f64>) -> RoundSample {
+        RoundSample {
+            total_time: self.metrics.total_time,
+            messages_used: self.metrics.messages_used,
+            covered_units: self.coverage.covered_units,
+            total_units: self.coverage.total_units,
+            exact: self.exact,
+            gradient_error,
+        }
+    }
 }
 
 /// Supplies per-round evaluation points to [`ClusterBackend::run_rounds`]

@@ -20,7 +20,9 @@
 use crate::error::ClusterError;
 use crate::latency::ClusterProfile;
 use crate::metrics::RoundMetrics;
+use crate::observer::{NullObserver, RoundEvent, RoundObserver};
 use crate::packed::WorkerBlocks;
+use crate::policy::{AggregatedGradient, AggregationPolicy, RoundVerdict, RoundView};
 use crate::units::UnitMap;
 use bcc_coding::{Decoder, GradientCodingScheme, Payload};
 use bcc_data::Dataset;
@@ -201,39 +203,68 @@ impl RoundContext<'_> {
 /// Per-round protocol state shared by every backend.
 pub struct RoundEngine<'a> {
     decoder: Box<dyn Decoder + 'a>,
+    policy: &'a dyn AggregationPolicy,
     live_participants: usize,
     max_compute_used: f64,
+    /// Clock of the latest delivery (the completion timestamp when the
+    /// policy finishes a round on exhaustion).
+    last_at: f64,
     complete: bool,
 }
 
 impl<'a> RoundEngine<'a> {
     /// Fresh engine for one round of `scheme` with `live_participants`
-    /// workers able to send.
+    /// workers able to send, under the legacy exact policy
+    /// ([`crate::policy::WaitDecodable`]).
     #[must_use]
     pub fn new(scheme: &'a dyn GradientCodingScheme, live_participants: usize) -> Self {
+        Self::with_policy(scheme, live_participants, &crate::policy::DEFAULT_POLICY)
+    }
+
+    /// Fresh engine consulting `policy` for round completion and gradient
+    /// aggregation.
+    #[must_use]
+    pub fn with_policy(
+        scheme: &'a dyn GradientCodingScheme,
+        live_participants: usize,
+        policy: &'a dyn AggregationPolicy,
+    ) -> Self {
         Self {
             decoder: scheme.decoder(),
+            policy,
             live_participants,
             max_compute_used: 0.0,
+            last_at: 0.0,
             complete: false,
         }
     }
 
-    /// Feeds one delivered message to the decoder. Returns `true` when the
-    /// completion condition now holds.
+    /// The policy's read-only view of the round.
+    fn view(&self) -> RoundView<'_> {
+        RoundView {
+            decoder: &*self.decoder,
+            live_participants: self.live_participants,
+            now: self.last_at,
+        }
+    }
+
+    /// Feeds one delivered message to the decoder and consults the policy.
+    /// Returns `true` when the policy declared the round complete.
     ///
     /// # Errors
     /// Decoder rejections (unknown/duplicate worker, malformed payload).
     pub fn feed(&mut self, arrival: Arrival) -> Result<bool, ClusterError> {
-        let done = self.decoder.receive(arrival.worker, arrival.payload)?;
+        self.decoder.receive(arrival.worker, arrival.payload)?;
         self.max_compute_used = self.max_compute_used.max(arrival.compute_seconds);
+        self.last_at = self.last_at.max(arrival.at);
+        let done = matches!(self.policy.on_arrival(&self.view()), RoundVerdict::Complete);
         if done {
             self.complete = true;
         }
         Ok(done)
     }
 
-    /// True once the decoder reported completion.
+    /// True once the policy declared the round complete.
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.complete
@@ -255,40 +286,132 @@ impl<'a> RoundEngine<'a> {
     }
 
     /// Drives the protocol: pulls arrivals from `source` and feeds the
-    /// decoder until completion or exhaustion. Returns the clock reading of
-    /// the completing arrival.
+    /// decoder until the policy completes the round or the source
+    /// exhausts. Returns the clock reading of the completing arrival.
     ///
     /// # Errors
     /// [`ClusterError::Stalled`] when the source exhausts (or no live worker
-    /// holds data) before the completion condition holds, plus any
-    /// transport/decoder failure.
+    /// holds data) before the policy completes the round — unless the
+    /// policy accepts exhaustion ([`AggregationPolicy::complete_on_exhausted`]
+    /// with at least one message in hand) — plus any transport/decoder
+    /// failure.
     pub fn run(&mut self, source: &mut dyn ArrivalSource) -> Result<f64, ClusterError> {
+        self.run_observed(source, 0, &mut NullObserver)
+    }
+
+    /// [`Self::run`], emitting one [`RoundEvent`] per protocol transition
+    /// to `observer` (`round` labels the events; it does not affect the
+    /// protocol).
+    ///
+    /// # Errors
+    /// Exactly [`Self::run`]'s.
+    pub fn run_observed(
+        &mut self,
+        source: &mut dyn ArrivalSource,
+        round: u64,
+        observer: &mut dyn RoundObserver,
+    ) -> Result<f64, ClusterError> {
+        observer.on_event(&RoundEvent::Broadcast {
+            round,
+            participants: self.live_participants,
+        });
         if self.live_participants == 0 {
-            return Err(self.stalled("no live workers hold any data"));
+            let err = self.stalled("no live workers hold any data");
+            observer.on_event(&RoundEvent::Stalled {
+                round,
+                received: 0,
+                reason: "no live workers hold any data".into(),
+            });
+            return Err(err);
+        }
+        // Transport/decoder failures also terminate the round: emit the
+        // terminal event before propagating, so subscribers never see a
+        // round that neither completed nor stalled.
+        fn fail(
+            observer: &mut dyn RoundObserver,
+            round: u64,
+            received: usize,
+            err: ClusterError,
+        ) -> ClusterError {
+            observer.on_event(&RoundEvent::Stalled {
+                round,
+                received,
+                reason: format!("round failed: {err}"),
+            });
+            err
         }
         loop {
-            match source.next_arrival()? {
+            let event = match source.next_arrival() {
+                Ok(event) => event,
+                Err(e) => return Err(fail(observer, round, self.decoder.messages_received(), e)),
+            };
+            match event {
                 ArrivalEvent::Delivered(arrival) => {
-                    let at = arrival.at;
-                    if self.feed(arrival)? {
+                    let (worker, at) = (arrival.worker, arrival.at);
+                    let done = match self.feed(arrival) {
+                        Ok(done) => done,
+                        Err(e) => {
+                            return Err(fail(observer, round, self.decoder.messages_received(), e))
+                        }
+                    };
+                    observer.on_event(&RoundEvent::Arrival {
+                        round,
+                        worker,
+                        at,
+                        messages: self.decoder.messages_received(),
+                        coverage: self.decoder.coverage(),
+                    });
+                    if done {
+                        observer.on_event(&RoundEvent::Complete {
+                            round,
+                            at,
+                            messages: self.decoder.messages_received(),
+                            coverage: self.decoder.coverage(),
+                        });
                         return Ok(at);
                     }
                 }
-                ArrivalEvent::Exhausted { reason } => return Err(self.stalled(reason)),
+                ArrivalEvent::Exhausted { reason } => {
+                    if self.policy.complete_on_exhausted() && self.decoder.messages_received() > 0 {
+                        self.complete = true;
+                        observer.on_event(&RoundEvent::Complete {
+                            round,
+                            at: self.last_at,
+                            messages: self.decoder.messages_received(),
+                            coverage: self.decoder.coverage(),
+                        });
+                        return Ok(self.last_at);
+                    }
+                    observer.on_event(&RoundEvent::Stalled {
+                        round,
+                        received: self.decoder.messages_received(),
+                        reason: reason.clone(),
+                    });
+                    return Err(self.stalled(reason));
+                }
             }
         }
     }
 
-    /// Decodes the gradient sum and closes out the round's metrics.
-    /// `total_time` is the backend's clock reading for the whole round
-    /// (virtual: the completing delivery's timestamp; threaded: scaled wall
-    /// clock at completion).
+    /// Hands the round to the policy's aggregation and closes out the
+    /// metrics. `total_time` is the backend's clock reading for the whole
+    /// round (virtual: the completing delivery's timestamp; threaded:
+    /// scaled wall clock at completion).
     ///
     /// # Errors
-    /// [`bcc_coding::CodingError::NotComplete`] before completion, or
+    /// Whatever the policy's [`AggregationPolicy::finish`] reports — for
+    /// the default exact policy,
+    /// [`bcc_coding::CodingError::NotComplete`] before completion or
     /// decoder solve failures.
-    pub fn finish(self, total_time: f64) -> Result<(Vec<f64>, RoundMetrics), ClusterError> {
-        let gradient_sum = self.decoder.decode().map_err(ClusterError::from)?;
+    pub fn finish(
+        self,
+        total_time: f64,
+    ) -> Result<(AggregatedGradient, RoundMetrics), ClusterError> {
+        let aggregate = self.policy.finish(&RoundView {
+            decoder: &*self.decoder,
+            live_participants: self.live_participants,
+            now: self.last_at,
+        })?;
         let metrics = RoundMetrics {
             messages_used: self.decoder.messages_received(),
             communication_units: self.decoder.communication_units(),
@@ -296,7 +419,7 @@ impl<'a> RoundEngine<'a> {
             comm_time: (total_time - self.max_compute_used).max(0.0),
             total_time,
         };
-        Ok((gradient_sum, metrics))
+        Ok((aggregate, metrics))
     }
 }
 
@@ -350,8 +473,10 @@ mod tests {
         };
         let end = engine.run(&mut source).unwrap();
         assert!((end - 0.8).abs() < 1e-12, "completing arrival's clock");
-        let (sum, metrics) = engine.finish(end).unwrap();
-        assert_eq!(sum, total_sum(&grads));
+        let (agg, metrics) = engine.finish(end).unwrap();
+        assert_eq!(agg.gradient_sum, total_sum(&grads));
+        assert!(agg.exact, "default policy decodes exactly");
+        assert!(agg.coverage.is_full());
         assert_eq!(metrics.messages_used, 4);
         assert!((metrics.compute_time - 0.4).abs() < 1e-12);
         assert!(metrics.is_consistent());

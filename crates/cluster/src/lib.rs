@@ -34,7 +34,9 @@ pub mod error;
 pub mod latency;
 pub mod message;
 pub mod metrics;
+pub mod observer;
 pub mod packed;
+pub mod policy;
 pub mod straggler;
 pub mod threaded;
 pub mod units;
@@ -47,7 +49,12 @@ pub use error::ClusterError;
 pub use latency::{ClusterProfile, CommModel, WorkerProfile};
 pub use message::Envelope;
 pub use metrics::{RoundMetrics, RoundSample, RunMetrics};
+pub use observer::{EventLog, NullObserver, RoundEvent, RoundObserver, SharedObserver};
 pub use packed::WorkerBlocks;
+pub use policy::{
+    AggregatedGradient, AggregationPolicy, BestEffortAll, Deadline, FastestK, RoundVerdict,
+    RoundView, WaitDecodable,
+};
 pub use straggler::{
     BimodalModel, MarkovModel, ParetoModel, ShiftedExpModel, StragglerModel, WeibullModel,
 };

@@ -33,7 +33,8 @@ impl RoundMetrics {
 }
 
 /// The per-round observables distribution-level analyses need (percentiles
-/// of round time, per-round message counts) — what [`RunMetrics`] sums
+/// of round time, per-round message counts, coverage and gradient quality
+/// under approximate aggregation policies) — what [`RunMetrics`] sums
 /// away. One per round, in round order.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct RoundSample {
@@ -41,16 +42,24 @@ pub struct RoundSample {
     pub total_time: f64,
     /// Messages the master consumed before completing (the empirical `|W|`).
     pub messages_used: usize,
+    /// Coding units the round's gradient covers.
+    pub covered_units: usize,
+    /// Coding units the scheme codes over (`m`).
+    pub total_units: usize,
+    /// Whether the round's gradient was the exact decode.
+    pub exact: bool,
+    /// `‖ĝ − g‖₂` of the round's **mean** gradient against the exact one —
+    /// `Some` only when the driver measured it (non-exact rounds), `None`
+    /// otherwise (exact rounds have zero error by construction).
+    pub gradient_error: Option<f64>,
 }
 
 impl RoundSample {
-    /// Extracts the sample from one round's metrics.
+    /// Covered fraction of the scheme's units in `[0, 1]` (the
+    /// [`bcc_coding::Coverage::fraction`] convention).
     #[must_use]
-    pub fn from_metrics(metrics: &RoundMetrics) -> Self {
-        Self {
-            total_time: metrics.total_time,
-            messages_used: metrics.messages_used,
-        }
+    pub fn coverage_fraction(&self) -> f64 {
+        bcc_coding::Coverage::new(self.covered_units, self.total_units).fraction()
     }
 }
 

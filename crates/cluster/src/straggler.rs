@@ -403,6 +403,31 @@ impl StragglerModel for MarkovModel {
     }
 }
 
+/// The zoo's members as `(name, one-line description)` pairs — the
+/// discovery surface `repro list` prints.
+pub const ZOO: [(&str, &str); 5] = [
+    (
+        "shifted-exp",
+        "the paper's shift-exponential (eq. 15): deterministic per-unit shift + exponential tail (default)",
+    ),
+    (
+        "pareto",
+        "heavy polynomial tail: rare order-of-magnitude stragglers (Bitar et al.'s regime)",
+    ),
+    (
+        "weibull",
+        "stretched-exponential tail between shift-exp and Pareto (Karakus et al.'s regime)",
+    ),
+    (
+        "bimodal",
+        "fixed slow subset straggling by a slowdown factor with per-round coin flips",
+    ),
+    (
+        "markov",
+        "per-worker fast/slow 2-state chain: time-correlated straggling across rounds",
+    ),
+];
+
 /// The default model for a profile: the paper's shift-exponential over the
 /// profile's per-worker `(mu, a)` parameters — what both backends install
 /// unless given another model.

@@ -25,7 +25,9 @@ use crate::backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome
 use crate::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
 use crate::latency::{ClusterProfile, CommModel};
+use crate::observer::{NullObserver, RoundObserver, SharedObserver};
 use crate::packed::WorkerBlocks;
+use crate::policy::AggregationPolicy;
 use crate::straggler::{self, StragglerModel};
 use crate::units::UnitMap;
 use crate::wire;
@@ -46,6 +48,8 @@ const SLEEP_SLICE: Duration = Duration::from_millis(2);
 pub struct ThreadedCluster {
     profile: ClusterProfile,
     model: Arc<dyn StragglerModel>,
+    policy: Arc<dyn AggregationPolicy>,
+    observer: Option<SharedObserver>,
     seed: u64,
     round: u64,
     /// Real seconds slept per simulated second (e.g. `0.01` compresses a
@@ -71,6 +75,8 @@ impl ThreadedCluster {
         Self {
             profile,
             model,
+            policy: crate::policy::default_policy(),
+            observer: None,
             seed,
             round: 0,
             time_scale,
@@ -85,6 +91,23 @@ impl ThreadedCluster {
     #[must_use]
     pub fn with_straggler_model(mut self, model: Arc<dyn StragglerModel>) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Replaces the aggregation policy deciding round completion and the
+    /// returned gradient (default:
+    /// [`WaitDecodable`](crate::policy::WaitDecodable)).
+    #[must_use]
+    pub fn with_aggregation_policy(mut self, policy: Arc<dyn AggregationPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a subscriber for the per-round
+    /// [`RoundEvent`](crate::observer::RoundEvent) stream.
+    #[must_use]
+    pub fn with_observer(mut self, observer: SharedObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -220,8 +243,20 @@ impl ThreadedCluster {
                     participants: participants.len(),
                     reports: 0,
                 };
-                let mut engine = RoundEngine::new(ctx.scheme, participants.len());
-                let result = engine.run(&mut source);
+                let mut engine =
+                    RoundEngine::with_policy(ctx.scheme, participants.len(), &*self.policy);
+                let result = {
+                    let mut null = NullObserver;
+                    let mut guard = self
+                        .observer
+                        .as_ref()
+                        .map(|o| o.lock().expect("round observer lock poisoned"));
+                    let observer: &mut dyn RoundObserver = match guard.as_deref_mut() {
+                        Some(o) => o,
+                        None => &mut null,
+                    };
+                    engine.run_observed(&mut source, round, observer)
+                };
                 // Wake sleeping stragglers of this round promptly.
                 finished_before.store(round + 1, Ordering::Relaxed);
                 if let Err(e) = result {
@@ -229,14 +264,8 @@ impl ThreadedCluster {
                     return Err(e);
                 }
                 let total_time = source.start.elapsed().as_secs_f64() / self.time_scale;
-                let (gradient_sum, metrics) = engine.finish(total_time)?;
-                driver.consume(
-                    index,
-                    RoundOutcome {
-                        gradient_sum,
-                        metrics,
-                    },
-                );
+                let (aggregate, metrics) = engine.finish(total_time)?;
+                driver.consume(index, RoundOutcome::new(aggregate, metrics));
             }
             drop(weight_txs); // workers drain and exit
             Ok(())

@@ -21,7 +21,9 @@ use crate::backend::{ClusterBackend, RoundDriver, RoundOutcome};
 use crate::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
 use crate::latency::{ClusterProfile, CommModel};
+use crate::observer::{NullObserver, RoundObserver, SharedObserver};
 use crate::packed::{UnitGradientCache, WorkerBlocks};
+use crate::policy::AggregationPolicy;
 use crate::straggler::{self, StragglerModel};
 use crate::units::UnitMap;
 use bcc_coding::{GradientCodingScheme, Payload};
@@ -35,6 +37,8 @@ use std::sync::Arc;
 pub struct VirtualCluster {
     profile: ClusterProfile,
     model: Arc<dyn StragglerModel>,
+    policy: Arc<dyn AggregationPolicy>,
+    observer: Option<SharedObserver>,
     seed: u64,
     round: u64,
     dead_workers: HashSet<usize>,
@@ -50,6 +54,8 @@ impl VirtualCluster {
         Self {
             profile,
             model,
+            policy: crate::policy::default_policy(),
+            observer: None,
             seed,
             round: 0,
             dead_workers: HashSet::new(),
@@ -62,6 +68,23 @@ impl VirtualCluster {
     #[must_use]
     pub fn with_straggler_model(mut self, model: Arc<dyn StragglerModel>) -> Self {
         self.model = model;
+        self
+    }
+
+    /// Replaces the aggregation policy deciding round completion and the
+    /// returned gradient (default:
+    /// [`WaitDecodable`](crate::policy::WaitDecodable)).
+    #[must_use]
+    pub fn with_aggregation_policy(mut self, policy: Arc<dyn AggregationPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a subscriber for the per-round
+    /// [`RoundEvent`](crate::observer::RoundEvent) stream.
+    #[must_use]
+    pub fn with_observer(mut self, observer: SharedObserver) -> Self {
+        self.observer = Some(observer);
         self
     }
 
@@ -112,13 +135,19 @@ impl VirtualCluster {
             cache,
             schedule,
         );
-        let mut engine = RoundEngine::new(ctx.scheme, participants.len());
-        let end = engine.run(&mut source)?;
-        let (gradient_sum, metrics) = engine.finish(end)?;
-        Ok(RoundOutcome {
-            gradient_sum,
-            metrics,
-        })
+        let mut engine = RoundEngine::with_policy(ctx.scheme, participants.len(), &*self.policy);
+        let mut null = NullObserver;
+        let mut guard = self
+            .observer
+            .as_ref()
+            .map(|o| o.lock().expect("round observer lock poisoned"));
+        let observer: &mut dyn RoundObserver = match guard.as_deref_mut() {
+            Some(o) => o,
+            None => &mut null,
+        };
+        let end = engine.run_observed(&mut source, round, observer)?;
+        let (aggregate, metrics) = engine.finish(end)?;
+        Ok(RoundOutcome::new(aggregate, metrics))
     }
 }
 

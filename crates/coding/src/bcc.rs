@@ -15,7 +15,7 @@
 
 use crate::error::CodingError;
 use crate::payload::Payload;
-use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use crate::scheme::{Coverage, Decoder, GradientCodingScheme, ReceiveLog};
 use bcc_data::{Batching, Placement};
 use bcc_linalg::vec_ops;
 use bcc_stats::harmonic::harmonic;
@@ -144,6 +144,7 @@ impl GradientCodingScheme for BccScheme {
             log: ReceiveLog::new(self.num_workers()),
             batch_sums: vec![None; self.batching.num_batches()],
             covered: 0,
+            covered_units: 0,
         })
     }
 
@@ -162,6 +163,8 @@ struct BccDecoder<'a> {
     log: ReceiveLog,
     batch_sums: Vec<Option<Vec<f64>>>,
     covered: usize,
+    /// Units inside the covered batches (the last batch may be ragged).
+    covered_units: usize,
 }
 
 impl Decoder for BccDecoder<'_> {
@@ -188,6 +191,7 @@ impl Decoder for BccDecoder<'_> {
         // "it discards the message if the master has received the result
         //  from processing the same batch before, and keeps it otherwise."
         if self.batch_sums[unit].is_none() {
+            self.covered_units += self.scheme.batching.batch_indices(unit).len();
             self.batch_sums[unit] = Some(vector);
             self.covered += 1;
         }
@@ -217,6 +221,18 @@ impl Decoder for BccDecoder<'_> {
 
     fn communication_units(&self) -> usize {
         self.log.units()
+    }
+
+    fn coverage(&self) -> Coverage {
+        Coverage::new(self.covered_units, self.scheme.num_examples())
+    }
+
+    fn decode_partial(&self) -> Result<Vec<f64>, CodingError> {
+        vec_ops::sum_vectors(self.batch_sums.iter().flatten().map(Vec::as_slice)).ok_or(
+            CodingError::NotComplete {
+                received: self.log.messages(),
+            },
+        )
     }
 }
 

@@ -20,7 +20,7 @@
 
 use crate::error::CodingError;
 use crate::payload::Payload;
-use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use crate::scheme::{Coverage, Decoder, GradientCodingScheme, ReceiveLog};
 use bcc_data::Placement;
 use bcc_linalg::{CMatrix, Complex};
 
@@ -257,6 +257,12 @@ impl Decoder for CmDecoder<'_> {
 
     fn communication_units(&self) -> usize {
         self.log.units()
+    }
+
+    fn coverage(&self) -> Coverage {
+        // A linear-combination code recovers nothing until the received
+        // rows span the decoding space, then everything at once.
+        Coverage::all_or_nothing(self.is_complete(), self.scheme.num_examples())
     }
 }
 

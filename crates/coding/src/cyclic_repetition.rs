@@ -19,7 +19,7 @@
 
 use crate::error::CodingError;
 use crate::payload::Payload;
-use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use crate::scheme::{Coverage, Decoder, GradientCodingScheme, ReceiveLog};
 use bcc_data::Placement;
 use bcc_linalg::{qr, solve, vec_ops, Matrix};
 use bcc_stats::dist::Gaussian;
@@ -244,6 +244,12 @@ impl Decoder for CrDecoder<'_> {
 
     fn communication_units(&self) -> usize {
         self.log.units()
+    }
+
+    fn coverage(&self) -> Coverage {
+        // A linear-combination code recovers nothing until the received
+        // rows span the decoding space, then everything at once.
+        Coverage::all_or_nothing(self.is_complete(), self.scheme.num_examples())
     }
 }
 

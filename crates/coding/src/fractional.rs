@@ -12,7 +12,7 @@
 
 use crate::error::CodingError;
 use crate::payload::Payload;
-use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use crate::scheme::{Coverage, Decoder, GradientCodingScheme, ReceiveLog};
 use bcc_data::Placement;
 use bcc_linalg::vec_ops;
 
@@ -235,6 +235,19 @@ impl Decoder for FrDecoder<'_> {
 
     fn communication_units(&self) -> usize {
         self.log.units()
+    }
+
+    fn coverage(&self) -> Coverage {
+        // Every shard holds exactly `r` of the `n` units.
+        Coverage::new(self.covered * self.scheme.r, self.scheme.n)
+    }
+
+    fn decode_partial(&self) -> Result<Vec<f64>, CodingError> {
+        vec_ops::sum_vectors(self.shard_sums.iter().flatten().map(Vec::as_slice)).ok_or(
+            CodingError::NotComplete {
+                received: self.log.messages(),
+            },
+        )
     }
 }
 

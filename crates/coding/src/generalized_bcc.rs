@@ -9,7 +9,7 @@
 
 use crate::error::CodingError;
 use crate::payload::Payload;
-use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use crate::scheme::{Coverage, Decoder, GradientCodingScheme, ReceiveLog};
 use bcc_data::Placement;
 use bcc_linalg::vec_ops;
 use rand::Rng;
@@ -156,6 +156,18 @@ impl Decoder for CoverageDecoder {
 
     fn communication_units(&self) -> usize {
         self.log.units()
+    }
+
+    fn coverage(&self) -> Coverage {
+        Coverage::new(self.covered, self.grads.len())
+    }
+
+    fn decode_partial(&self) -> Result<Vec<f64>, CodingError> {
+        vec_ops::sum_vectors(self.grads.iter().flatten().map(Vec::as_slice)).ok_or(
+            CodingError::NotComplete {
+                received: self.log.messages(),
+            },
+        )
     }
 }
 

@@ -52,5 +52,5 @@ pub use fractional::FractionalRepetitionScheme;
 pub use generalized_bcc::GeneralizedBccScheme;
 pub use payload::Payload;
 pub use random::RandomSubsetScheme;
-pub use scheme::{Decoder, GradientCodingScheme};
+pub use scheme::{Coverage, Decoder, GradientCodingScheme};
 pub use uncoded::UncodedScheme;

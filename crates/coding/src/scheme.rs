@@ -55,6 +55,58 @@ pub trait GradientCodingScheme: std::fmt::Debug + Send + Sync {
     }
 }
 
+/// How much of the gradient sum a decoder has recovered so far, counted in
+/// coding units (Definition 1's `m`).
+///
+/// Exact decoders report all-or-nothing coverage; sum/coverage-structured
+/// decoders (uncoded shards, BCC batches, fractional-repetition groups,
+/// per-example schemes) report the exact number of units whose partial sums
+/// are already in hand. Aggregation policies use these counts to rescale
+/// partial gradients into unbiased estimates (see
+/// `bcc_cluster::policy::FastestK`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Coverage {
+    /// Units whose partial-gradient information is recovered.
+    pub covered_units: usize,
+    /// Units the scheme codes over (`m`).
+    pub total_units: usize,
+}
+
+impl Coverage {
+    /// Coverage of `covered` out of `total` units.
+    #[must_use]
+    pub fn new(covered: usize, total: usize) -> Self {
+        Self {
+            covered_units: covered,
+            total_units: total,
+        }
+    }
+
+    /// All-or-nothing coverage: everything when `complete`, else nothing —
+    /// the shape exact linear decoders (CR, cyclic-MDS) report.
+    #[must_use]
+    pub fn all_or_nothing(complete: bool, total: usize) -> Self {
+        Self::new(if complete { total } else { 0 }, total)
+    }
+
+    /// Covered fraction in `[0, 1]` (`1.0` for the degenerate zero-unit
+    /// problem).
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.total_units == 0 {
+            1.0
+        } else {
+            self.covered_units as f64 / self.total_units as f64
+        }
+    }
+
+    /// Whether every unit is covered.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        self.covered_units == self.total_units
+    }
+}
+
 /// Incremental master-side decoder for one iteration.
 pub trait Decoder {
     /// Feeds one worker message. Returns `true` when the master can now
@@ -80,6 +132,29 @@ pub trait Decoder {
 
     /// Total communication units received so far (Definition 3 accounting).
     fn communication_units(&self) -> usize;
+
+    /// How many coding units the messages received so far cover.
+    ///
+    /// Must be monotone in received messages and reach
+    /// [`Coverage::is_full`] no later than [`Decoder::is_complete`].
+    fn coverage(&self) -> Coverage;
+
+    /// Recovers the **partial** gradient sum over the covered units only —
+    /// what approximate aggregation policies consume before the completion
+    /// condition holds.
+    ///
+    /// The default routes through [`Decoder::decode`]: exact decoders whose
+    /// intermediate state is not a per-unit sum (the linear-combination
+    /// codes) support no partial readout, so before completion they report
+    /// [`CodingError::NotComplete`]. Sum-structured decoders override this
+    /// with the running sum of their covered units.
+    ///
+    /// # Errors
+    /// [`CodingError::NotComplete`] when nothing recoverable has arrived
+    /// (or, for the default, before completion), plus any decode failure.
+    fn decode_partial(&self) -> Result<Vec<f64>, CodingError> {
+        self.decode()
+    }
 }
 
 /// Shared bookkeeping for decoders: tracks seen workers and unit counts.

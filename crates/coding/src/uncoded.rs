@@ -5,7 +5,7 @@
 
 use crate::error::CodingError;
 use crate::payload::Payload;
-use crate::scheme::{Decoder, GradientCodingScheme, ReceiveLog};
+use crate::scheme::{Coverage, Decoder, GradientCodingScheme, ReceiveLog};
 use bcc_data::Placement;
 use bcc_linalg::vec_ops;
 
@@ -76,6 +76,7 @@ impl GradientCodingScheme for UncodedScheme {
             log: ReceiveLog::new(self.num_workers()),
             sums: vec![None; self.num_workers()],
             have: 0,
+            covered_units: 0,
         })
     }
 
@@ -89,6 +90,8 @@ struct UncodedDecoder<'a> {
     log: ReceiveLog,
     sums: Vec<Option<Vec<f64>>>,
     have: usize,
+    /// Units (examples) covered by the shard sums kept so far.
+    covered_units: usize,
 }
 
 impl Decoder for UncodedDecoder<'_> {
@@ -105,6 +108,7 @@ impl Decoder for UncodedDecoder<'_> {
         }
         self.log.record(worker, 1)?;
         if self.scheme.placement.load_of(worker) > 0 && self.sums[worker].is_none() {
+            self.covered_units += self.scheme.placement.load_of(worker);
             self.sums[worker] = Some(vector);
             self.have += 1;
         }
@@ -134,6 +138,18 @@ impl Decoder for UncodedDecoder<'_> {
 
     fn communication_units(&self) -> usize {
         self.log.units()
+    }
+
+    fn coverage(&self) -> Coverage {
+        Coverage::new(self.covered_units, self.scheme.num_examples())
+    }
+
+    fn decode_partial(&self) -> Result<Vec<f64>, CodingError> {
+        vec_ops::sum_vectors(self.sums.iter().flatten().map(Vec::as_slice)).ok_or(
+            CodingError::NotComplete {
+                received: self.log.messages(),
+            },
+        )
     }
 }
 

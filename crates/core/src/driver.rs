@@ -7,6 +7,7 @@
 //! scheme's completion condition holds. The optimizer is pluggable — the
 //! paper uses Nesterov's accelerated gradient method.
 
+use crate::experiment::BuildError;
 use bcc_cluster::{
     ClusterBackend, ClusterError, RoundDriver, RoundOutcome, RoundSample, RunMetrics, UnitMap,
 };
@@ -58,38 +59,40 @@ pub struct DistributedGd<'a> {
 }
 
 impl<'a> DistributedGd<'a> {
-    /// Assembles a driver.
+    /// Assembles a driver, validating that scheme, unit map, and dataset
+    /// describe the same problem.
     ///
-    /// # Panics
-    /// Panics when the scheme's unit count disagrees with the unit map.
+    /// # Errors
+    /// [`BuildError::UnitCountMismatch`] when the scheme's unit count
+    /// disagrees with the unit map, [`BuildError::ExampleCountMismatch`]
+    /// when the unit map does not cover the dataset — the fallible-
+    /// constructor convention the coding crate's `try_new`s established.
     pub fn new(
         backend: &'a mut dyn ClusterBackend,
         scheme: &'a dyn GradientCodingScheme,
         units: &'a UnitMap,
         data: &'a Dataset,
         loss: &'a dyn Loss,
-    ) -> Self {
-        assert_eq!(
-            scheme.num_examples(),
-            units.num_units(),
-            "scheme codes over {} units but the unit map has {}",
-            scheme.num_examples(),
-            units.num_units()
-        );
-        assert_eq!(
-            units.num_examples(),
-            data.len(),
-            "unit map covers {} examples but dataset has {}",
-            units.num_examples(),
-            data.len()
-        );
-        Self {
+    ) -> Result<Self, BuildError> {
+        if scheme.num_examples() != units.num_units() {
+            return Err(BuildError::UnitCountMismatch {
+                scheme_units: scheme.num_examples(),
+                map_units: units.num_units(),
+            });
+        }
+        if units.num_examples() != data.len() {
+            return Err(BuildError::ExampleCountMismatch {
+                map_examples: units.num_examples(),
+                data_examples: data.len(),
+            });
+        }
+        Ok(Self {
             backend,
             scheme,
             units,
             data,
             loss,
-        }
+        })
     }
 
     /// Runs `config.iterations` rounds driving `optimizer`.
@@ -151,13 +154,23 @@ impl RoundDriver for TrainingLoop<'_> {
 
     fn consume(&mut self, round: usize, outcome: RoundOutcome) {
         self.metrics.absorb(&outcome.metrics);
-        self.round_samples
-            .push(RoundSample::from_metrics(&outcome.metrics));
 
         // eq. (1): ∇L = (1/m)·Σ g_j.
         let m = self.data.len() as f64;
+        let mut sample = outcome.sample(None);
         let mut gradient = outcome.gradient_sum;
         vec_ops::scale(1.0 / m, &mut gradient);
+
+        // Exact rounds have zero gradient error by construction; only an
+        // approximate policy's rounds pay the extra data pass to measure
+        // `‖ĝ − g‖₂` of the mean gradient. The optimizer has not stepped
+        // yet, so its evaluation point is still this round's broadcast.
+        sample.gradient_error = (!sample.exact).then(|| {
+            let exact = exact_mean_gradient(self.data, self.loss, self.optimizer.eval_point());
+            gradient_error_norm(&exact, &gradient)
+        });
+        self.round_samples.push(sample);
+
         let gnorm = vec_ops::norm2(&gradient);
         self.optimizer.step(&gradient);
 
@@ -166,6 +179,28 @@ impl RoundDriver for TrainingLoop<'_> {
             self.trace.push(round, risk, gnorm);
         }
     }
+}
+
+/// The exact mean gradient `(1/m)·Σ_j ∇ℓ_j(w)` for `&dyn Loss` — the
+/// reference an approximate round's gradient is priced against.
+#[must_use]
+pub(crate) fn exact_mean_gradient(data: &Dataset, loss: &dyn Loss, w: &[f64]) -> Vec<f64> {
+    let mut g = vec![0.0; w.len()];
+    for j in 0..data.len() {
+        loss.add_gradient(data.x(j), data.y(j), w, &mut g);
+    }
+    vec_ops::scale(1.0 / data.len() as f64, &mut g);
+    g
+}
+
+/// `‖ĝ − g‖₂` between an estimated and the exact **mean** gradient — the
+/// one definition of the `RoundSample::gradient_error` norm, shared by the
+/// training loop and the fixed-point metrics driver.
+#[must_use]
+pub(crate) fn gradient_error_norm(exact_mean: &[f64], estimate_mean: &[f64]) -> f64 {
+    let mut diff = exact_mean.to_vec();
+    vec_ops::axpy(-1.0, estimate_mean, &mut diff);
+    vec_ops::norm2(&diff)
 }
 
 /// `bcc_optim::gradient::empirical_risk` for `&dyn Loss` (the generic
@@ -212,7 +247,8 @@ mod tests {
             &units,
             &g.dataset,
             &LogisticLoss,
-        );
+        )
+        .expect("matched problem dimensions");
         let mut opt = Nesterov::new(vec![0.0; 8], LearningRate::Constant(0.5));
         driver
             .train(
@@ -294,7 +330,8 @@ mod tests {
             &units,
             &g.dataset,
             &LogisticLoss,
-        );
+        )
+        .expect("matched problem dimensions");
         let mut opt = Nesterov::new(vec![0.0; 4], LearningRate::Constant(0.1));
         let report = driver
             .train(
@@ -310,20 +347,54 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "units")]
-    fn unit_mismatch_panics() {
+    fn unit_mismatch_is_a_typed_error() {
         let n = 10;
         let g = generate(&SyntheticConfig::small(50, 4, 29));
         let units = UnitMap::grouped(50, 25); // 25 units
         let mut rng = derive_rng(29, 1);
         let scheme = SchemeConfig::Uncoded.build(10, n, &mut rng); // 10 units
         let mut backend = VirtualCluster::new(profile(n), 29);
-        let _ = DistributedGd::new(
+        let err = DistributedGd::new(
             &mut backend,
             scheme.as_ref(),
             &units,
             &g.dataset,
             &LogisticLoss,
+        )
+        .err()
+        .expect("mismatched unit counts must be rejected");
+        assert_eq!(
+            err,
+            BuildError::UnitCountMismatch {
+                scheme_units: 10,
+                map_units: 25
+            }
+        );
+    }
+
+    #[test]
+    fn example_mismatch_is_a_typed_error() {
+        let n = 10;
+        let g = generate(&SyntheticConfig::small(40, 4, 31)); // 40 examples
+        let units = UnitMap::grouped(50, 10); // covers 50
+        let mut rng = derive_rng(31, 1);
+        let scheme = SchemeConfig::Uncoded.build(10, n, &mut rng);
+        let mut backend = VirtualCluster::new(profile(n), 31);
+        let err = DistributedGd::new(
+            &mut backend,
+            scheme.as_ref(),
+            &units,
+            &g.dataset,
+            &LogisticLoss,
+        )
+        .err()
+        .expect("mismatched example counts must be rejected");
+        assert_eq!(
+            err,
+            BuildError::ExampleCountMismatch {
+                map_examples: 50,
+                data_examples: 40
+            }
         );
     }
 }

@@ -2,16 +2,17 @@
 //! through the registry, and run it end to end.
 
 use super::error::BuildError;
-use super::registry::SchemeRegistry;
+use super::registry::{PolicyRegistry, SchemeRegistry};
 use super::spec::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, SchemeSpec,
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, PolicySpec,
+    SchemeSpec,
 };
-use crate::driver::{DistributedGd, TrainingConfig};
+use crate::driver::{exact_mean_gradient, gradient_error_norm, DistributedGd, TrainingConfig};
 use crate::error::BccError;
 use bcc_cluster::{
-    BimodalModel, ClusterBackend, ClusterProfile, CommModel, MarkovModel, ParetoModel, RoundDriver,
-    RoundOutcome, RoundSample, RunMetrics, ShiftedExpModel, StragglerModel, ThreadedCluster,
-    UnitMap, VirtualCluster, WeibullModel,
+    AggregationPolicy, BimodalModel, ClusterBackend, ClusterProfile, CommModel, MarkovModel,
+    ParetoModel, RoundDriver, RoundOutcome, RoundSample, RunMetrics, ShiftedExpModel,
+    StragglerModel, ThreadedCluster, UnitMap, VirtualCluster, WeibullModel,
 };
 use bcc_coding::GradientCodingScheme;
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -62,6 +63,7 @@ pub struct Experiment {
     scheme: Box<dyn GradientCodingScheme>,
     profile: ClusterProfile,
     model: Arc<dyn StragglerModel>,
+    policy: Arc<dyn AggregationPolicy>,
 }
 
 impl std::fmt::Debug for Experiment {
@@ -80,7 +82,7 @@ impl Experiment {
         ExperimentBuilder::default()
     }
 
-    /// Validates `spec` against the built-in registry.
+    /// Validates `spec` against the built-in registries.
     ///
     /// # Errors
     /// Any [`BuildError`] the builder reports.
@@ -88,7 +90,8 @@ impl Experiment {
         Self::from_spec_with(spec, &SchemeRegistry::builtin())
     }
 
-    /// Validates `spec`, resolving its scheme through `registry`.
+    /// Validates `spec`, resolving its scheme through `registry` (policies
+    /// through the built-in [`PolicyRegistry`]).
     ///
     /// # Errors
     /// Any [`BuildError`] the builder reports.
@@ -96,8 +99,22 @@ impl Experiment {
         spec: ExperimentSpec,
         registry: &SchemeRegistry,
     ) -> Result<Self, BuildError> {
+        Self::from_spec_with_registries(spec, registry, &PolicyRegistry::builtin())
+    }
+
+    /// Validates `spec`, resolving its scheme through `registry` and its
+    /// aggregation policy through `policies`.
+    ///
+    /// # Errors
+    /// Any [`BuildError`] the builder reports.
+    pub fn from_spec_with_registries(
+        spec: ExperimentSpec,
+        registry: &SchemeRegistry,
+        policies: &PolicyRegistry,
+    ) -> Result<Self, BuildError> {
         validate_spec(&spec)?;
         let (profile, model) = resolve_latency(&spec.latency, spec.workers)?;
+        let policy = policies.build(&spec.policy)?;
         let mut rng = derive_rng(spec.seed, SCHEME_STREAM);
         let scheme = registry.build(&spec.scheme, spec.units, spec.workers, &mut rng)?;
         Ok(Self {
@@ -105,6 +122,7 @@ impl Experiment {
             scheme,
             profile,
             model,
+            policy,
         })
     }
 
@@ -136,6 +154,12 @@ impl Experiment {
         self.model.as_ref()
     }
 
+    /// The resolved aggregation policy the backends consult per arrival.
+    #[must_use]
+    pub fn aggregation_policy(&self) -> &dyn AggregationPolicy {
+        self.policy.as_ref()
+    }
+
     /// Runs the experiment: generate data, spin up the backend, and drive
     /// `iterations` rounds through the optimizer.
     ///
@@ -165,11 +189,13 @@ impl Experiment {
         let mut backend: Box<dyn ClusterBackend> = match spec.backend {
             BackendSpec::Virtual => Box::new(
                 VirtualCluster::new(self.profile.clone(), backend_seed)
-                    .with_straggler_model(Arc::clone(&self.model)),
+                    .with_straggler_model(Arc::clone(&self.model))
+                    .with_aggregation_policy(Arc::clone(&self.policy)),
             ),
             BackendSpec::Threaded { time_scale } => Box::new(
                 ThreadedCluster::new(self.profile.clone(), backend_seed, time_scale)
-                    .with_straggler_model(Arc::clone(&self.model)),
+                    .with_straggler_model(Arc::clone(&self.model))
+                    .with_aggregation_policy(Arc::clone(&self.policy)),
             ),
         };
 
@@ -190,7 +216,7 @@ impl Experiment {
                     &units,
                     &data.dataset,
                     loss,
-                );
+                )?;
                 let report = driver.train(
                     opt.as_mut(),
                     &TrainingConfig {
@@ -212,6 +238,9 @@ impl Experiment {
                     weights: vec![0.0; dim],
                     metrics: RunMetrics::new(),
                     round_samples: Vec::with_capacity(spec.iterations),
+                    data: &data.dataset,
+                    loss,
+                    exact_mean: None,
                 };
                 backend.run_rounds(
                     spec.iterations,
@@ -243,22 +272,39 @@ impl Experiment {
     }
 }
 
-/// [`RoundDriver`] for fixed-point mode: constant broadcast, metrics only.
-struct MetricsDriver {
+/// [`RoundDriver`] for fixed-point mode: constant broadcast, metrics only
+/// (plus per-round coverage and — under approximate aggregation policies —
+/// gradient-error norms, with the exact mean gradient computed once since
+/// the broadcast never changes).
+struct MetricsDriver<'a> {
     weights: Vec<f64>,
     metrics: RunMetrics,
     round_samples: Vec<RoundSample>,
+    data: &'a bcc_data::Dataset,
+    loss: &'a dyn Loss,
+    /// Exact mean gradient at the fixed broadcast, computed lazily on the
+    /// first non-exact round.
+    exact_mean: Option<Vec<f64>>,
 }
 
-impl RoundDriver for MetricsDriver {
+impl RoundDriver for MetricsDriver<'_> {
     fn eval_point(&mut self, _round: usize) -> Vec<f64> {
         self.weights.clone()
     }
 
     fn consume(&mut self, _round: usize, outcome: RoundOutcome) {
         self.metrics.absorb(&outcome.metrics);
-        self.round_samples
-            .push(RoundSample::from_metrics(&outcome.metrics));
+        let gradient_error = if outcome.exact {
+            None
+        } else {
+            let exact = self
+                .exact_mean
+                .get_or_insert_with(|| exact_mean_gradient(self.data, self.loss, &self.weights));
+            let mut est = outcome.gradient_sum.clone();
+            bcc_linalg::vec_ops::scale(1.0 / self.data.len() as f64, &mut est);
+            Some(gradient_error_norm(exact, &est))
+        };
+        self.round_samples.push(outcome.sample(gradient_error));
     }
 }
 
@@ -278,10 +324,12 @@ pub struct ExperimentBuilder {
     backend: Option<BackendSpec>,
     loss: Option<LossSpec>,
     optimizer: Option<OptimizerSpec>,
+    policy: Option<PolicySpec>,
     iterations: Option<usize>,
     record_risk: Option<bool>,
     seed: Option<u64>,
     registry: Option<SchemeRegistry>,
+    policy_registry: Option<PolicyRegistry>,
 }
 
 impl ExperimentBuilder {
@@ -349,6 +397,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Aggregation policy deciding round completion and the returned
+    /// gradient (default: `wait-decodable`, the paper's exact master).
+    #[must_use]
+    pub fn policy(mut self, policy: impl Into<PolicySpec>) -> Self {
+        self.policy = Some(policy.into());
+        self
+    }
+
     /// GD iterations / measured rounds.
     #[must_use]
     pub fn iterations(mut self, iterations: usize) -> Self {
@@ -378,6 +434,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Resolve the aggregation policy through a custom registry instead of
+    /// the built-ins.
+    #[must_use]
+    pub fn policy_registry(mut self, registry: PolicyRegistry) -> Self {
+        self.policy_registry = Some(registry);
+        self
+    }
+
     /// Validates and assembles the experiment.
     ///
     /// # Errors
@@ -399,6 +463,7 @@ impl ExperimentBuilder {
             backend: self.backend.unwrap_or(defaults.backend),
             loss: self.loss.unwrap_or(defaults.loss),
             optimizer: self.optimizer.unwrap_or(defaults.optimizer),
+            policy: self.policy.unwrap_or(defaults.policy),
             iterations: self.iterations.unwrap_or(defaults.iterations),
             record_risk: self.record_risk.unwrap_or(defaults.record_risk),
             seed: self.seed.unwrap_or(defaults.seed),
@@ -406,10 +471,9 @@ impl ExperimentBuilder {
             units: defaults.units,
             scheme: defaults.scheme,
         };
-        match self.registry {
-            Some(reg) => Experiment::from_spec_with(spec, &reg),
-            None => Experiment::from_spec(spec),
-        }
+        let schemes = self.registry.unwrap_or_else(SchemeRegistry::builtin);
+        let policies = self.policy_registry.unwrap_or_else(PolicyRegistry::builtin);
+        Experiment::from_spec_with_registries(spec, &schemes, &policies)
     }
 }
 

@@ -85,6 +85,29 @@ pub enum BuildError {
         /// Workers in the spec.
         workers: usize,
     },
+    /// The spec named an aggregation policy the registry does not know.
+    UnknownPolicy {
+        /// The requested name.
+        name: String,
+        /// Every name the policy registry can resolve.
+        known: Vec<String>,
+    },
+    /// The scheme's unit count disagrees with the unit map it is asked to
+    /// code over (the [`DistributedGd`](crate::driver::DistributedGd)
+    /// assembly check).
+    UnitCountMismatch {
+        /// Units the scheme codes over.
+        scheme_units: usize,
+        /// Units in the unit map.
+        map_units: usize,
+    },
+    /// The unit map's example count disagrees with the dataset.
+    ExampleCountMismatch {
+        /// Examples the unit map covers.
+        map_examples: usize,
+        /// Examples in the dataset.
+        data_examples: usize,
+    },
     /// A coding-layer construction failure not covered by the structured
     /// variants above.
     Coding(CodingError),
@@ -134,6 +157,27 @@ impl fmt::Display for BuildError {
             Self::WorkerCountMismatch { profile, workers } => write!(
                 f,
                 "latency profile has {profile} workers but the spec asks for {workers}"
+            ),
+            Self::UnknownPolicy { name, known } => {
+                write!(
+                    f,
+                    "unknown aggregation policy `{name}` (registered: {})",
+                    known.join(", ")
+                )
+            }
+            Self::UnitCountMismatch {
+                scheme_units,
+                map_units,
+            } => write!(
+                f,
+                "scheme codes over {scheme_units} units but the unit map has {map_units}"
+            ),
+            Self::ExampleCountMismatch {
+                map_examples,
+                data_examples,
+            } => write!(
+                f,
+                "unit map covers {map_examples} examples but the dataset has {data_examples}"
             ),
             Self::Coding(e) => write!(f, "scheme construction failed: {e}"),
         }

@@ -39,7 +39,8 @@ mod spec;
 
 pub use builder::{Experiment, ExperimentBuilder, ExperimentReport};
 pub use error::BuildError;
-pub use registry::{SchemeFactory, SchemeRegistry};
+pub use registry::{PolicyFactory, PolicyRegistry, SchemeFactory, SchemeRegistry};
 pub use spec::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, SchemeSpec,
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, PolicySpec,
+    SchemeSpec,
 };

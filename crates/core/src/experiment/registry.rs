@@ -1,17 +1,23 @@
-//! The open scheme registry: name → factory.
+//! The open scheme and aggregation-policy registries: name → factory.
 //!
-//! The built-in registrations are the paper's comparison set (everything
-//! [`SchemeConfig`] can describe). Downstream code extends the set by
+//! The built-in scheme registrations are the paper's comparison set
+//! (everything [`SchemeConfig`] can describe); the built-in policy
+//! registrations are the four members of
+//! [`bcc_cluster::policy`]. Downstream code extends either set by
 //! registering its own factory under a new name and handing the registry to
-//! [`ExperimentBuilder::registry`](super::ExperimentBuilder::registry) —
-//! spec files can then name custom schemes with no changes here.
+//! [`ExperimentBuilder::registry`](super::ExperimentBuilder::registry) /
+//! [`ExperimentBuilder::policy_registry`](super::ExperimentBuilder::policy_registry)
+//! — spec files can then name custom schemes and policies with no changes
+//! here.
 
 use super::error::BuildError;
-use super::spec::SchemeSpec;
+use super::spec::{PolicySpec, SchemeSpec};
 use crate::schemes::SchemeConfig;
+use bcc_cluster::{AggregationPolicy, BestEffortAll, Deadline, FastestK, WaitDecodable};
 use bcc_coding::GradientCodingScheme;
 use rand::RngCore;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A scheme factory: builds a scheme for `m` units over `n` workers from a
 /// spec, drawing any randomized placement from `rng`.
@@ -118,6 +124,162 @@ impl std::fmt::Debug for SchemeRegistry {
     }
 }
 
+/// An aggregation-policy factory: builds the policy a [`PolicySpec`]
+/// describes, validating its parameters.
+pub type PolicyFactory =
+    Box<dyn Fn(&PolicySpec) -> Result<Arc<dyn AggregationPolicy>, BuildError> + Send + Sync>;
+
+/// Name → (description, factory) map resolving [`PolicySpec`]s to
+/// [`AggregationPolicy`] instances.
+pub struct PolicyRegistry {
+    factories: BTreeMap<String, (String, PolicyFactory)>,
+}
+
+/// A positive-parameter check the built-in policy factories share.
+fn require_param<T: Copy>(
+    spec: &PolicySpec,
+    field: &'static str,
+    value: Option<T>,
+    ok: impl Fn(T) -> bool,
+    expect: &str,
+) -> Result<T, BuildError> {
+    let value = value.ok_or_else(|| BuildError::InvalidValue {
+        field,
+        reason: format!("policy `{}` requires it ({expect})", spec.name),
+    })?;
+    if !ok(value) {
+        return Err(BuildError::InvalidValue {
+            field,
+            reason: format!("policy `{}` needs {expect}", spec.name),
+        });
+    }
+    Ok(value)
+}
+
+impl PolicyRegistry {
+    /// A registry with no registrations.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// The registry with the four built-in policies of
+    /// [`bcc_cluster::policy`] registered under their report names.
+    #[must_use]
+    pub fn builtin() -> Self {
+        let mut reg = Self::empty();
+        reg.register(
+            "wait-decodable",
+            "exact decode: stop at the scheme's completion condition (the paper's master; default)",
+            |_spec| Ok(Arc::new(WaitDecodable) as Arc<dyn AggregationPolicy>),
+        );
+        reg.register(
+            "fastest-k",
+            "stop after the fastest k arrivals; coverage-rescaled unbiased estimate (requires `k`)",
+            |spec| {
+                let k = require_param(
+                    spec,
+                    "policy.k",
+                    spec.k,
+                    |k| k >= 1,
+                    "an arrival count k >= 1",
+                )?;
+                Ok(Arc::new(FastestK::new(k)) as Arc<dyn AggregationPolicy>)
+            },
+        );
+        reg.register(
+            "deadline",
+            "cut the round off at a simulated-time budget; rescaled partial gradient (requires `deadline`)",
+            |spec| {
+                let d = require_param(
+                    spec,
+                    "policy.deadline",
+                    spec.deadline,
+                    |d: f64| d.is_finite() && d > 0.0,
+                    "a positive finite budget in simulated seconds",
+                )?;
+                Ok(Arc::new(Deadline::new(d)) as Arc<dyn AggregationPolicy>)
+            },
+        );
+        reg.register(
+            "best-effort-all",
+            "drain every live worker before finishing; the oracle coverage baseline",
+            |_spec| Ok(Arc::new(BestEffortAll) as Arc<dyn AggregationPolicy>),
+        );
+        reg
+    }
+
+    /// Registers (or replaces) a factory under `name` with a one-line
+    /// `description` (shown by `repro list`).
+    pub fn register<F>(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        factory: F,
+    ) where
+        F: Fn(&PolicySpec) -> Result<Arc<dyn AggregationPolicy>, BuildError>
+            + Send
+            + Sync
+            + 'static,
+    {
+        self.factories
+            .insert(name.into(), (description.into(), Box::new(factory)));
+    }
+
+    /// Whether `name` resolves.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Every registered name, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// Every `(name, description)` pair, sorted by name.
+    #[must_use]
+    pub fn descriptions(&self) -> Vec<(String, String)> {
+        self.factories
+            .iter()
+            .map(|(name, (desc, _))| (name.clone(), desc.clone()))
+            .collect()
+    }
+
+    /// Resolves and builds the policy `spec` describes.
+    ///
+    /// # Errors
+    /// [`BuildError::UnknownPolicy`] when the name has no registration,
+    /// plus whatever parameter validation the factory reports.
+    pub fn build(&self, spec: &PolicySpec) -> Result<Arc<dyn AggregationPolicy>, BuildError> {
+        let (_, factory) =
+            self.factories
+                .get(&spec.name)
+                .ok_or_else(|| BuildError::UnknownPolicy {
+                    name: spec.name.clone(),
+                    known: self.names(),
+                })?;
+        factory(spec)
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl std::fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -165,5 +327,94 @@ mod tests {
             .unwrap();
         assert_eq!(scheme.num_workers(), 4);
         assert!(reg.names().contains(&"everyone".to_string()));
+    }
+
+    #[test]
+    fn builtin_policies_resolve_with_descriptions() {
+        let reg = PolicyRegistry::builtin();
+        for name in ["wait-decodable", "fastest-k", "deadline", "best-effort-all"] {
+            assert!(reg.contains(name), "missing builtin policy `{name}`");
+        }
+        assert_eq!(reg.descriptions().len(), 4);
+        assert!(reg.descriptions().iter().all(|(_, desc)| !desc.is_empty()));
+        let p = reg.build(&PolicySpec::fastest_k(5)).unwrap();
+        assert_eq!(p.name(), "fastest-k");
+        let p = reg.build(&PolicySpec::deadline(0.3)).unwrap();
+        assert_eq!(p.name(), "deadline");
+        let p = reg.build(&PolicySpec::default()).unwrap();
+        assert_eq!(p.name(), "wait-decodable");
+    }
+
+    #[test]
+    fn policy_parameter_validation_is_typed() {
+        let reg = PolicyRegistry::builtin();
+        let err = reg.build(&PolicySpec::named("fastest-k")).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BuildError::InvalidValue {
+                    field: "policy.k",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let err = reg.build(&PolicySpec::fastest_k(0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BuildError::InvalidValue {
+                    field: "policy.k",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let err = reg.build(&PolicySpec::named("deadline")).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BuildError::InvalidValue {
+                    field: "policy.deadline",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+        let err = reg.build(&PolicySpec::deadline(-1.0)).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                BuildError::InvalidValue {
+                    field: "policy.deadline",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_policy_lists_registrations() {
+        let reg = PolicyRegistry::builtin();
+        let err = reg.build(&PolicySpec::named("vote-majority")).unwrap_err();
+        match err {
+            BuildError::UnknownPolicy { name, known } => {
+                assert_eq!(name, "vote-majority");
+                assert!(known.contains(&"wait-decodable".to_string()));
+            }
+            other => panic!("expected UnknownPolicy, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_policy_registrations_resolve() {
+        let mut reg = PolicyRegistry::builtin();
+        reg.register("always-two", "stop after two arrivals", |_spec| {
+            Ok(Arc::new(FastestK::new(2)) as Arc<dyn AggregationPolicy>)
+        });
+        let p = reg.build(&PolicySpec::named("always-two")).unwrap();
+        assert_eq!(p.name(), "fastest-k");
+        assert!(reg.names().contains(&"always-two".to_string()));
     }
 }

@@ -65,6 +65,89 @@ impl Deserialize for SchemeSpec {
     }
 }
 
+/// An aggregation-policy reference: registry name plus the optional
+/// parameters the built-ins take.
+///
+/// In JSON either a bare string (`"wait-decodable"`) or an object
+/// (`{"name": "fastest-k", "k": 30}` /
+/// `{"name": "deadline", "deadline": 0.15}`).
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PolicySpec {
+    /// Registry name (`"wait-decodable"`, `"fastest-k"`, `"deadline"`,
+    /// `"best-effort-all"`, or a custom registration).
+    pub name: String,
+    /// Arrival count for `fastest-k`-style policies.
+    pub k: Option<usize>,
+    /// Simulated-seconds budget for `deadline`-style policies.
+    pub deadline: Option<f64>,
+}
+
+impl PolicySpec {
+    /// The default policy's registry name (the paper's exact master).
+    pub const DEFAULT_NAME: &'static str = "wait-decodable";
+
+    /// A policy referenced by name alone.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            k: None,
+            deadline: None,
+        }
+    }
+
+    /// The built-in `fastest-k` policy at `k` arrivals.
+    #[must_use]
+    pub fn fastest_k(k: usize) -> Self {
+        Self {
+            name: "fastest-k".into(),
+            k: Some(k),
+            deadline: None,
+        }
+    }
+
+    /// The built-in `deadline` policy with a budget of `seconds` simulated
+    /// seconds.
+    #[must_use]
+    pub fn deadline(seconds: f64) -> Self {
+        Self {
+            name: "deadline".into(),
+            k: None,
+            deadline: Some(seconds),
+        }
+    }
+
+    /// Whether this is the legacy default ([`Self::DEFAULT_NAME`]) — the
+    /// configuration under which every artifact replays byte-identically
+    /// to the pre-policy engine.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.name == Self::DEFAULT_NAME
+    }
+}
+
+impl Default for PolicySpec {
+    fn default() -> Self {
+        Self::named(Self::DEFAULT_NAME)
+    }
+}
+
+impl Deserialize for PolicySpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Str(name) => Ok(Self::named(name.clone())),
+            Value::Object(_) => Ok(Self {
+                name: String::from_value(v.field("name")?)?,
+                k: opt_field(v, "k")?,
+                deadline: opt_field(v, "deadline")?,
+            }),
+            other => Err(serde::Error::msg(format!(
+                "expected policy name or {{name, k?, deadline?}} object, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Where the training data comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub enum DataSpec {
@@ -324,6 +407,10 @@ pub struct ExperimentSpec {
     pub loss: LossSpec,
     /// Optimizer (default: Nesterov at constant rate 0.5).
     pub optimizer: OptimizerSpec,
+    /// Aggregation policy deciding round completion and the returned
+    /// gradient (default: `wait-decodable`, the paper's exact master —
+    /// byte-identical to the pre-policy engine).
+    pub policy: PolicySpec,
     /// GD iterations / measured rounds (default: 100, the paper's count).
     pub iterations: usize,
     /// Record the empirical risk each iteration (default: true).
@@ -358,6 +445,7 @@ impl ExperimentSpec {
             backend: BackendSpec::default(),
             loss: LossSpec::default(),
             optimizer: OptimizerSpec::default(),
+            policy: PolicySpec::default(),
             iterations: Self::DEFAULT_ITERATIONS,
             record_risk: Self::DEFAULT_RECORD_RISK,
             seed: Self::DEFAULT_SEED,
@@ -400,6 +488,7 @@ impl Deserialize for ExperimentSpec {
             backend: opt_field(v, "backend")?.unwrap_or(defaults.backend),
             loss: opt_field(v, "loss")?.unwrap_or(defaults.loss),
             optimizer: opt_field(v, "optimizer")?.unwrap_or(defaults.optimizer),
+            policy: opt_field(v, "policy")?.unwrap_or(defaults.policy),
             iterations: opt_field(v, "iterations")?.unwrap_or(defaults.iterations),
             record_risk: opt_field(v, "record_risk")?.unwrap_or(defaults.record_risk),
             seed: opt_field(v, "seed")?.unwrap_or(defaults.seed),
@@ -440,6 +529,19 @@ mod tests {
         assert_eq!(spec.backend, BackendSpec::Virtual);
         assert!(spec.record_risk);
         assert_eq!(spec.seed, 2024);
+        assert_eq!(spec.policy, PolicySpec::named("wait-decodable"));
+        assert!(spec.policy.is_default());
+    }
+
+    #[test]
+    fn policy_accepts_string_or_object() {
+        let p: PolicySpec = serde_json::from_str(r#""best-effort-all""#).unwrap();
+        assert_eq!(p, PolicySpec::named("best-effort-all"));
+        let p: PolicySpec = serde_json::from_str(r#"{"name": "fastest-k", "k": 12}"#).unwrap();
+        assert_eq!(p, PolicySpec::fastest_k(12));
+        let p: PolicySpec =
+            serde_json::from_str(r#"{"name": "deadline", "deadline": 0.25}"#).unwrap();
+        assert_eq!(p, PolicySpec::deadline(0.25));
     }
 
     #[test]
@@ -475,6 +577,7 @@ mod tests {
             optimizer: OptimizerSpec::GradientDescent {
                 rate: LearningRate::InverseSqrt { initial: 0.2 },
             },
+            policy: PolicySpec::fastest_k(7),
             iterations: 17,
             record_risk: false,
             seed: u64::MAX,

@@ -356,3 +356,64 @@ fn shifted_exp_specs_keep_reporting_the_baseline_model() {
         Some(expect)
     );
 }
+
+#[test]
+fn policy_validation_flows_through_the_builder() {
+    use bcc_core::experiment::PolicySpec;
+    let with_policy = |policy: PolicySpec| {
+        Experiment::builder()
+            .workers(6)
+            .units(6)
+            .scheme(SchemeSpec::named("uncoded"))
+            .data(DataSpec::synthetic(2, 3))
+            .policy(policy)
+            .iterations(2)
+            .seed(1)
+            .build()
+    };
+    // Builtins resolve...
+    assert_eq!(
+        with_policy(PolicySpec::fastest_k(3))
+            .unwrap()
+            .aggregation_policy()
+            .name(),
+        "fastest-k"
+    );
+    // ...unknown names are typed with the registration list...
+    let err = with_policy(PolicySpec::named("vote-majority")).unwrap_err();
+    assert!(
+        matches!(err, BuildError::UnknownPolicy { ref name, ref known }
+            if name == "vote-majority" && known.iter().any(|k| k == "deadline")),
+        "got {err:?}"
+    );
+    // ...and parameter constraints surface as InvalidValue.
+    let err = with_policy(PolicySpec::named("fastest-k")).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            BuildError::InvalidValue {
+                field: "policy.k",
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+    let err = with_policy(PolicySpec::deadline(f64::NAN)).unwrap_err();
+    assert!(
+        matches!(
+            err,
+            BuildError::InvalidValue {
+                field: "policy.deadline",
+                ..
+            }
+        ),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn default_policy_is_wait_decodable() {
+    let experiment = builder_for(6, 6, SchemeSpec::named("uncoded")).unwrap();
+    assert_eq!(experiment.aggregation_policy().name(), "wait-decodable");
+    assert!(experiment.spec().policy.is_default());
+}

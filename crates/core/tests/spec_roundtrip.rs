@@ -3,7 +3,8 @@
 //! an identical resolved scheme name, computational load, and seed.
 
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, SchemeSpec,
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, PolicySpec,
+    SchemeSpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use bcc_optim::LearningRate;
@@ -73,6 +74,15 @@ fn latency_strategy() -> impl Strategy<Value = LatencySpec> {
     ]
 }
 
+fn policy_strategy() -> impl Strategy<Value = PolicySpec> {
+    prop_oneof![
+        Just(PolicySpec::default()),
+        Just(PolicySpec::named("best-effort-all")),
+        (1usize..64).prop_map(PolicySpec::fastest_k),
+        (0.01f64..2.0).prop_map(PolicySpec::deadline),
+    ]
+}
+
 fn optimizer_strategy() -> impl Strategy<Value = OptimizerSpec> {
     prop_oneof![
         (0.01f64..1.0).prop_map(OptimizerSpec::nesterov),
@@ -92,6 +102,7 @@ proptest! {
         scheme in scheme_strategy(),
         latency in latency_strategy(),
         optimizer in optimizer_strategy(),
+        policy in policy_strategy(),
         threaded in proptest::prelude::any::<bool>(),
         squared in proptest::prelude::any::<bool>(),
         record_risk in proptest::prelude::any::<bool>(),
@@ -112,6 +123,7 @@ proptest! {
             },
             loss: if squared { LossSpec::Squared } else { LossSpec::Logistic },
             optimizer,
+            policy,
             iterations,
             record_risk,
             seed,

@@ -19,7 +19,7 @@
 //!
 //! ```
 //! use bcc::experiment::{BackendSpec, DataSpec, Experiment, LatencySpec};
-//! use bcc::experiment::{LossSpec, OptimizerSpec, SchemeSpec};
+//! use bcc::experiment::{LossSpec, OptimizerSpec, PolicySpec, SchemeSpec};
 //!
 //! # fn main() -> Result<(), bcc::BccError> {
 //! // The paper's comparison at laptop scale: 10 workers, 10 coding units,
@@ -48,6 +48,26 @@
 //! // The scenario as data — replayable via `repro scenario`:
 //! let json = report.spec.to_json_pretty().expect("specs serialize");
 //! assert_eq!(bcc::experiment::ExperimentSpec::from_json(&json).unwrap(), report.spec);
+//!
+//! // Round completion is a pluggable *aggregation policy*. The default is
+//! // the paper's exact master (`wait-decodable`); here the master instead
+//! // stops after the fastest 6 workers and trains on an unbiased,
+//! // coverage-rescaled estimate (see `repro list` for all builtins).
+//! let fastest = Experiment::builder()
+//!     .workers(10)
+//!     .units(10)
+//!     .scheme(SchemeSpec::named("uncoded"))
+//!     .data(DataSpec::synthetic(10, 8))
+//!     .policy(PolicySpec::fastest_k(6))
+//!     .iterations(10)
+//!     .seed(7)
+//!     .build()?
+//!     .run()?;
+//! assert_eq!(fastest.metrics.avg_recovery_threshold(), 6.0);
+//! // Per-round coverage and gradient-error norms land in the samples:
+//! assert!(fastest.round_samples.iter().all(|s| !s.exact));
+//! assert!(fastest.round_samples.iter().all(|s| s.covered_units == 6));
+//! assert!(fastest.round_samples.iter().all(|s| s.gradient_error.unwrap() > 0.0));
 //! # Ok(())
 //! # }
 //! ```

@@ -53,7 +53,8 @@ fn train(backend: &mut dyn ClusterBackend, cfg: SchemeConfig, seed: u64) -> (Vec
         &units,
         &data.dataset,
         &LogisticLoss,
-    );
+    )
+    .expect("matched problem dimensions");
     let report = driver
         .train(
             &mut optimizer,
