@@ -12,7 +12,8 @@
 //! repro engine               # round-engine throughput → BENCH_round_engine.json
 //! repro sweep                # straggler-model sweep → BENCH_straggler_sweep.json
 //! repro policy               # aggregation-policy tradeoff → BENCH_policy_tradeoff.json
-//! repro list                 # registered schemes, straggler models, policies
+//! repro scale                # data-path scaling grid → BENCH_scale.json
+//! repro list                 # registered schemes, models, policies, data paths
 //! repro scenario SPEC.json   # replay a spec file (table row or custom scenario)
 //! repro gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]
 //!                            # perf-regression gate over the BENCH files
@@ -29,7 +30,7 @@
 
 use bcc_bench::experiments::spec_run::ScenarioSpec;
 use bcc_bench::experiments::{
-    ablation, engine_bench, fig2, fig5, policy_sweep, scenario, spec_run, sweep,
+    ablation, engine_bench, fig2, fig5, policy_sweep, scale, scenario, spec_run, sweep,
 };
 use bcc_bench::gate;
 use bcc_bench::report::{write_json, Table};
@@ -87,7 +88,7 @@ fn parse_args() -> Args {
             "-h" | "--help" => {
                 println!(
                     "usage: repro [--fast] [--out DIR] \
-                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy]... \
+                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy|scale]... \
                      [scenario SPEC.json]... \
                      [list] \
                      [gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]]"
@@ -116,7 +117,7 @@ fn print_table(t: &Table) {
 }
 
 /// Every named artifact target.
-const KNOWN_TARGETS: [&str; 10] = [
+const KNOWN_TARGETS: [&str; 11] = [
     "all",
     "fig2",
     "fig4",
@@ -127,6 +128,7 @@ const KNOWN_TARGETS: [&str; 10] = [
     "engine",
     "sweep",
     "policy",
+    "scale",
 ];
 
 fn main() {
@@ -369,6 +371,44 @@ fn main() {
         }
     }
 
+    if want("scale") {
+        ran_any = true;
+        let cfg = if args.fast {
+            scale::ScaleBenchConfig::fast()
+        } else {
+            scale::ScaleBenchConfig::default_config()
+        };
+        let result = scale::run(&cfg);
+        print_table(&scale::render(&result));
+        // Perf-trajectory artifact: fixed name at the repo root, like the
+        // other BENCH files.
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => match std::fs::write("BENCH_scale.json", body) {
+                Ok(()) => println!("[saved BENCH_scale.json]\n"),
+                Err(e) => eprintln!("[warn] could not write BENCH_scale.json: {e}"),
+            },
+            Err(e) => eprintln!("[warn] could not serialize scale bench: {e}"),
+        }
+        persist(&args.out_dir, "bench_scale", &result);
+        // Per-cell spec files: each (n × dim × mode) cell replays standalone
+        // via `repro scenario experiments/scale/<cell>.spec.json`. Unlike the
+        // sweeps, these are NOT skipped for --fast: the grid (and with it
+        // every spec) is identical between fast and full runs — only the
+        // host-timing repetitions differ.
+        let scale_dir = args.out_dir.join("scale");
+        for cell in cfg.grid.cells() {
+            let spec = cfg.grid.cell_spec(&cell);
+            persist_spec(
+                &scale_dir,
+                &cell.name(),
+                &ScenarioSpec {
+                    name: spec.name.clone(),
+                    experiments: vec![spec],
+                },
+            );
+        }
+    }
+
     // Unreachable unless the target list and the dispatch above drift.
     assert!(ran_any, "validated targets must all dispatch");
 }
@@ -405,6 +445,25 @@ fn run_list() {
         policies.push_row(vec![name, description]);
     }
     print_table(&policies);
+
+    let mut data = Table::new("data paths (DataSpec)", &["name", "description"]);
+    data.push_row(vec![
+        "in-memory".into(),
+        "resident Dataset + packed worker arena; the default for every experiment".into(),
+    ]);
+    data.push_row(vec![
+        "chunked".into(),
+        "ChunkedDataset: fixed-size row chunks materialized on demand behind an LRU \
+         window — bounded peak memory; drives `repro scale`"
+            .into(),
+    ]);
+    data.push_row(vec![
+        "minibatch knob".into(),
+        "data.minibatch = k: each round samples k of the coding units (seeded, \
+         replayable); 1 ≤ k ≤ units"
+            .into(),
+    ]);
+    print_table(&data);
 }
 
 /// Runs the perf-regression gate and exits with its verdict (0 pass,

@@ -148,7 +148,9 @@ pub fn run(config: &EngineBenchConfig) -> EngineBenchResult {
             let experiment =
                 Experiment::from_spec(spec).expect("engine bench specs are structurally valid");
             // Warmup is discarded: its wall time includes page faults and
-            // cold caches, which the methodology promises to exclude.
+            // cold caches, which the methodology promises to exclude. It
+            // also materializes the experiment's cached dataset, so the
+            // timed runs never re-allocate it.
             let _ = experiment.run().expect("benchmark rounds complete");
             let mut best = experiment.run().expect("benchmark rounds complete");
             for _ in 1..MEASURE_RUNS {

@@ -5,6 +5,7 @@ pub mod engine_bench;
 pub mod fig2;
 pub mod fig5;
 pub mod policy_sweep;
+pub mod scale;
 pub mod scenario;
 pub mod spec_run;
 pub mod sweep;

@@ -24,6 +24,7 @@
 
 use crate::experiments::engine_bench::{EngineBenchResult, GradientKernelResult};
 use crate::experiments::policy_sweep::PolicySweepResult;
+use crate::experiments::scale::ScaleBenchResult;
 use crate::report::Table;
 use serde::{Deserialize, Serialize};
 use std::path::Path;
@@ -227,6 +228,52 @@ pub fn compare_policy(
         .collect()
 }
 
+/// Compares two scale-benchmark results per grid cell
+/// (`simulated_seconds_per_round` — deterministic on the virtual backend,
+/// so any drift is a behaviour change, not host noise).
+///
+/// Config equality is keyed on [`ScaleGrid`] alone: the host-timing knobs
+/// (`stream_reps` / `decode_reps`) differ between `--fast` and full runs
+/// by design and never influence the gated metrics.
+///
+/// [`ScaleGrid`]: crate::experiments::scale::ScaleGrid
+///
+/// # Errors
+/// A readable message when the grids differ or a baseline cell is missing
+/// from the current measurement.
+pub fn compare_scale(
+    baseline: &ScaleBenchResult,
+    current: &ScaleBenchResult,
+    max_slowdown: f64,
+) -> Result<Vec<GateEntry>, String> {
+    if baseline.config.grid != current.config.grid {
+        return Err(format!(
+            "scale: baseline and current grids differ — baseline {:?} vs current {:?}; \
+             the swept grid must match for cells to compare",
+            baseline.config.grid, current.config.grid
+        ));
+    }
+    baseline
+        .rows
+        .iter()
+        .map(|b| {
+            let c = current.row(b.workers, b.dim, &b.mode).ok_or_else(|| {
+                format!(
+                    "scale: cell `n{} d{} {}` missing from current measurement",
+                    b.workers, b.dim, b.mode
+                )
+            })?;
+            entry(
+                "scale",
+                format!("n{} d{} {} simulated s/round", b.workers, b.dim, b.mode),
+                b.simulated_seconds_per_round,
+                c.simulated_seconds_per_round,
+                max_slowdown,
+            )
+        })
+        .collect()
+}
+
 fn read_json<T: Deserialize>(path: &Path) -> Result<T, String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -270,6 +317,11 @@ pub fn run(
         let current: PolicySweepResult =
             read_json(&current_dir.join("BENCH_policy_tradeoff.json"))?;
         entries.extend(compare_policy(&baseline, &current, max_slowdown)?);
+    }
+    {
+        let baseline: ScaleBenchResult = read_json(&baseline_dir.join("BENCH_scale.json"))?;
+        let current: ScaleBenchResult = read_json(&current_dir.join("BENCH_scale.json"))?;
+        entries.extend(compare_scale(&baseline, &current, max_slowdown)?);
     }
     Ok(GateReport {
         max_slowdown,
@@ -338,6 +390,33 @@ mod tests {
                 per_example_ns_per_sweep: 2.0 * packed_ns,
                 packed_ns_per_sweep: packed_ns,
                 speedup: 2.0,
+            }],
+        }
+    }
+
+    fn scale_result(sim_round: f64) -> ScaleBenchResult {
+        use crate::experiments::scale::{ScaleBenchConfig, ScaleCellRow};
+        ScaleBenchResult {
+            schema: "bcc/bench_scale/v1".into(),
+            backend: "virtual-des".into(),
+            host_threads: 1,
+            config: ScaleBenchConfig::default_config(),
+            rows: vec![ScaleCellRow {
+                workers: 50,
+                dim: 32,
+                mode: "full".into(),
+                examples: 200,
+                minibatch_units: None,
+                rows_per_sweep: 1000,
+                stream_seconds_per_sweep: 1e-3,
+                stream_examples_per_sec: 1e6,
+                chunk_materializations: 13,
+                live_chunks: 8,
+                serial_decode_seconds: 1e-4,
+                parallel_decode_seconds: 1e-4,
+                decode_speedup: 1.0,
+                simulated_seconds_per_round: sim_round,
+                avg_messages_used: 46.0,
             }],
         }
     }
@@ -440,7 +519,8 @@ mod tests {
         let write = |dir: &Path,
                      engine: &EngineBenchResult,
                      kernel: &GradientKernelResult,
-                     policy: &PolicySweepResult| {
+                     policy: &PolicySweepResult,
+                     scale: &ScaleBenchResult| {
             std::fs::write(
                 dir.join("BENCH_round_engine.json"),
                 serde_json::to_string_pretty(engine).unwrap(),
@@ -456,12 +536,18 @@ mod tests {
                 serde_json::to_string_pretty(policy).unwrap(),
             )
             .unwrap();
+            std::fs::write(
+                dir.join("BENCH_scale.json"),
+                serde_json::to_string_pretty(scale).unwrap(),
+            )
+            .unwrap();
         };
         write(
             &baseline_dir,
             &engine_result(1e-5),
             &kernel_result(1000.0),
             &policy_result(0.2),
+            &scale_result(0.3),
         );
         // Engine fine, kernel injected 1.6x slower: the gate must fail on
         // exactly that entry.
@@ -470,10 +556,11 @@ mod tests {
             &engine_result(1.1e-5),
             &kernel_result(1600.0),
             &policy_result(0.2),
+            &scale_result(0.3),
         );
 
         let report = run(&baseline_dir, &current_dir, 1.5).unwrap();
-        assert_eq!(report.entries.len(), 3);
+        assert_eq!(report.entries.len(), 4);
         assert!(!report.passed());
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
@@ -501,6 +588,38 @@ mod tests {
         current.config.iterations = 10; // e.g. baseline full, current --fast
         let err = compare_policy(&baseline, &current, 1.5).unwrap_err();
         assert!(err.contains("configs differ"), "{err}");
+    }
+
+    #[test]
+    fn scale_grid_mismatch_is_an_error_but_rep_counts_are_not() {
+        let baseline = scale_result(0.3);
+        // Timing-rep knobs may differ (--fast vs full): still comparable.
+        let mut current = scale_result(0.3);
+        current.config.stream_reps = 1;
+        current.config.decode_reps = 1;
+        let entries = compare_scale(&baseline, &current, 1.5).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(entries[0].ok);
+        // A different grid is not comparable.
+        let mut other_grid = scale_result(0.3);
+        other_grid.config.grid.rounds = 7;
+        let err = compare_scale(&baseline, &other_grid, 1.5).unwrap_err();
+        assert!(err.contains("grids differ"), "{err}");
+    }
+
+    #[test]
+    fn scale_drift_fails_the_gate() {
+        // Simulated round times are deterministic: drift beyond the
+        // threshold is a behaviour change.
+        let entries = compare_scale(&scale_result(0.3), &scale_result(0.6), 1.5).unwrap();
+        assert!(!entries[0].ok);
+        assert!(entries[0].entry.contains("n50 d32 full"));
+        let missing = ScaleBenchResult {
+            rows: Vec::new(),
+            ..scale_result(0.3)
+        };
+        let err = compare_scale(&scale_result(0.3), &missing, 1.5).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
     }
 
     #[test]

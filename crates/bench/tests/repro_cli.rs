@@ -112,6 +112,7 @@ fn gate_exit_code_tracks_the_verdict() {
         "BENCH_round_engine.json",
         "BENCH_gradient_kernel.json",
         "BENCH_policy_tradeoff.json",
+        "BENCH_scale.json",
     ] {
         std::fs::copy(repo_root.join(name), baseline.join(name)).unwrap();
         std::fs::copy(repo_root.join(name), current.join(name)).unwrap();
@@ -177,6 +178,9 @@ fn list_enumerates_schemes_models_and_policies() {
         "deadline",
         "best-effort-all",
         "Batched Coupon's Collector",
+        "in-memory",
+        "chunked",
+        "minibatch",
     ] {
         assert!(stdout.contains(expected), "`{expected}` missing:\n{stdout}");
     }
@@ -193,6 +197,60 @@ fn list_cannot_be_combined_with_targets() {
         "{}",
         stderr(&out)
     );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn zero_minibatch_in_spec_file_is_a_readable_error() {
+    let dir = scratch("minibatch_zero");
+    let spec = dir.join("zero_minibatch.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "uncoded", "iterations": 2,
+            "data": {"Synthetic": {"points_per_unit": 5, "dim": 4, "minibatch": 0}}}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "zero minibatch must fail the run: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("data.minibatch"),
+        "stderr must name the bad field: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn oversized_minibatch_in_spec_file_is_a_readable_error() {
+    let dir = scratch("minibatch_oversized");
+    let spec = dir.join("oversized_minibatch.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "uncoded", "iterations": 2,
+            "data": {"Synthetic": {"points_per_unit": 5, "dim": 4, "minibatch": 11}}}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "oversized minibatch must fail the run: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("data.minibatch") && err.contains("exceeds"),
+        "stderr must explain the bound: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
     std::fs::remove_dir_all(&dir).unwrap();
 }
 

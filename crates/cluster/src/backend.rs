@@ -23,11 +23,15 @@ pub struct RoundOutcome {
     pub exact: bool,
     /// Timing and load metrics for the round.
     pub metrics: RoundMetrics,
+    /// Dataset examples the round's gradient sums over: `Some(count)` on
+    /// minibatch rounds (divide `gradient_sum` by this, not the dataset
+    /// size), `None` on full-partition rounds.
+    pub examples_used: Option<usize>,
 }
 
 impl RoundOutcome {
     /// Assembles the outcome from a policy's aggregate and the round's
-    /// metrics.
+    /// metrics (full-partition round: no example subsetting).
     #[must_use]
     pub fn new(aggregate: AggregatedGradient, metrics: RoundMetrics) -> Self {
         Self {
@@ -35,7 +39,15 @@ impl RoundOutcome {
             coverage: aggregate.coverage,
             exact: aggregate.exact,
             metrics,
+            examples_used: None,
         }
+    }
+
+    /// Tags the outcome with the minibatch's backing example count.
+    #[must_use]
+    pub fn with_examples_used(mut self, examples_used: Option<usize>) -> Self {
+        self.examples_used = examples_used;
+        self
     }
 
     /// The per-round observable sample for this outcome;

@@ -17,9 +17,11 @@
 //! `messages_used` on either backend (pinned by the cross-backend
 //! equivalence test in `tests/backend_equivalence.rs`).
 
+use crate::decode::DecodePool;
 use crate::error::ClusterError;
 use crate::latency::ClusterProfile;
 use crate::metrics::RoundMetrics;
+use crate::minibatch::{Minibatch, UnitSelection};
 use crate::observer::{NullObserver, RoundEvent, RoundObserver};
 use crate::packed::WorkerBlocks;
 use crate::policy::{AggregatedGradient, AggregationPolicy, RoundVerdict, RoundView};
@@ -140,6 +142,11 @@ pub struct RoundContext<'a> {
     /// Per-worker packed unit blocks (built once per run; see
     /// [`WorkerBlocks::build`]).
     pub packed: &'a WorkerBlocks,
+    /// Per-round unit-subset sampler for minibatch rounds (`None` = the
+    /// paper's full-partition rounds). Both backends — and every worker
+    /// thread — derive round `t`'s selection independently from this
+    /// config, so no selection is ever communicated.
+    pub minibatch: Option<Minibatch>,
 }
 
 impl RoundContext<'_> {
@@ -166,6 +173,59 @@ impl RoundContext<'_> {
         self.scheme
             .encode(worker, partials)
             .map_err(ClusterError::from)
+    }
+
+    /// [`Self::compute_and_encode`] restricted to a round's sampled unit
+    /// set: assigned units outside `selection` contribute **zero** partial
+    /// gradients (the slot [`GradScratch::ensure_slots`] zeroed), so every
+    /// linear scheme encodes/decodes the minibatch sum unchanged.
+    ///
+    /// `selection: None` is the full-partition path, byte-identical to
+    /// [`Self::compute_and_encode`].
+    ///
+    /// # Errors
+    /// Encoding failures ([`bcc_coding::CodingError`]) for malformed
+    /// configs.
+    pub fn compute_and_encode_selected(
+        &self,
+        worker: usize,
+        weights: &[f64],
+        scratch: &mut GradScratch,
+        selection: Option<&UnitSelection>,
+    ) -> Result<Payload, ClusterError> {
+        let Some(sel) = selection else {
+            return self.compute_and_encode(worker, weights, scratch);
+        };
+        let (x, y) = self.packed.arena(self.data);
+        let unit_ids = self.scheme.placement().worker_examples(worker);
+        let ranges = self.packed.worker(worker);
+        scratch.ensure_slots(ranges.len(), weights.len());
+        for (slot, (&unit, rows)) in unit_ids.iter().zip(ranges).enumerate() {
+            if sel.contains(unit) {
+                scratch.fill_partial(slot, self.loss, x, y, rows.clone(), weights);
+            }
+        }
+        self.scheme
+            .encode(worker, scratch.partials(ranges.len()))
+            .map_err(ClusterError::from)
+    }
+
+    /// Round `round`'s sampled unit set, or `None` on full-partition runs.
+    #[must_use]
+    pub fn selection_for(&self, round: u64) -> Option<UnitSelection> {
+        self.minibatch
+            .map(|mb| mb.select(round, self.units.num_units()))
+    }
+
+    /// Dataset examples backing `selection` — what the master divides the
+    /// decoded minibatch sum by.
+    #[must_use]
+    pub fn examples_in(&self, selection: &UnitSelection) -> usize {
+        selection
+            .units()
+            .iter()
+            .map(|&u| self.units.unit_range(u).len())
+            .sum()
     }
 
     /// Validates that scheme, unit map, and profile describe the same
@@ -210,6 +270,7 @@ pub struct RoundEngine<'a> {
     /// policy finishes a round on exhaustion).
     last_at: f64,
     complete: bool,
+    pool: DecodePool,
 }
 
 impl<'a> RoundEngine<'a> {
@@ -236,7 +297,17 @@ impl<'a> RoundEngine<'a> {
             max_compute_used: 0.0,
             last_at: 0.0,
             complete: false,
+            pool: DecodePool::default(),
         }
+    }
+
+    /// Overrides the decode/aggregate thread budget (default: all
+    /// available cores — safe because the parallel fold is bit-identical
+    /// to the serial one, see [`crate::decode`]).
+    #[must_use]
+    pub fn with_decode_pool(mut self, pool: DecodePool) -> Self {
+        self.pool = pool;
+        self
     }
 
     /// The policy's read-only view of the round.
@@ -245,6 +316,7 @@ impl<'a> RoundEngine<'a> {
             decoder: &*self.decoder,
             live_participants: self.live_participants,
             now: self.last_at,
+            pool: self.pool,
         }
     }
 
@@ -411,6 +483,7 @@ impl<'a> RoundEngine<'a> {
             decoder: &*self.decoder,
             live_participants: self.live_participants,
             now: self.last_at,
+            pool: self.pool,
         })?;
         let metrics = RoundMetrics {
             messages_used: self.decoder.messages_received(),

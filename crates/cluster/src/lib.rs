@@ -29,26 +29,31 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod decode;
 pub mod engine;
 pub mod error;
 pub mod latency;
 pub mod message;
 pub mod metrics;
+pub mod minibatch;
 pub mod observer;
 pub mod packed;
 pub mod policy;
 pub mod straggler;
+pub mod streamed;
 pub mod threaded;
 pub mod units;
 pub mod virtual_cluster;
 pub mod wire;
 
 pub use backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
+pub use decode::DecodePool;
 pub use engine::{Arrival, ArrivalEvent, ArrivalSource, RoundEngine};
 pub use error::ClusterError;
 pub use latency::{ClusterProfile, CommModel, WorkerProfile};
 pub use message::Envelope;
 pub use metrics::{RoundMetrics, RoundSample, RunMetrics};
+pub use minibatch::{Minibatch, UnitSelection};
 pub use observer::{EventLog, NullObserver, RoundEvent, RoundObserver, SharedObserver};
 pub use packed::WorkerBlocks;
 pub use policy::{
@@ -58,6 +63,7 @@ pub use policy::{
 pub use straggler::{
     BimodalModel, MarkovModel, ParetoModel, ShiftedExpModel, StragglerModel, WeibullModel,
 };
+pub use streamed::StreamedContext;
 pub use threaded::ThreadedCluster;
 pub use units::UnitMap;
 pub use virtual_cluster::VirtualCluster;

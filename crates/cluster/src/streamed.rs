@@ -1,0 +1,79 @@
+//! Chunk-streamed worker compute: the bounded-memory twin of
+//! [`RoundContext::compute_and_encode`](crate::engine::RoundContext).
+//!
+//! The arena path ([`WorkerBlocks`](crate::packed::WorkerBlocks)) holds
+//! every unit's rows resident for the whole run — the right trade at paper
+//! scale, but at the scale-grid extremes (`n = 1000 × dim = 10240`) the
+//! arena alone is gigabytes. [`StreamedContext`] instead pulls each unit's
+//! rows from a [`ChunkedDataset`] at compute time and drops them after the
+//! partial gradient is accumulated: peak memory is the chunk LRU window
+//! plus one scratch partial per assigned unit, independent of `m`. When
+//! the chunk size equals the unit size every read is a zero-copy alias of
+//! a live chunk.
+//!
+//! Bit-identity contract: [`GradScratch::fill_partial`] sums the same rows
+//! in the same order as the arena path, and
+//! [`ChunkedDataset::read`] returns bytes identical to the resident
+//! dataset, so the encoded payloads are bit-for-bit equal to
+//! `RoundContext::compute_and_encode_selected` (pinned by
+//! `tests/streamed_compute.rs`).
+
+use crate::error::ClusterError;
+use crate::minibatch::UnitSelection;
+use crate::units::UnitMap;
+use bcc_coding::{GradientCodingScheme, Payload};
+use bcc_data::ChunkedDataset;
+use bcc_optim::{GradScratch, Loss};
+
+/// Everything a streamed worker-side compute step needs. The borrowed
+/// twin of [`RoundContext`](crate::engine::RoundContext) for runs whose
+/// data never lives in a resident [`Dataset`](bcc_data::Dataset).
+#[derive(Clone, Copy)]
+pub struct StreamedContext<'a> {
+    /// The gradient-coding scheme in force.
+    pub scheme: &'a dyn GradientCodingScheme,
+    /// Unit grouping the scheme codes over.
+    pub units: &'a UnitMap,
+    /// The chunk-streamed training examples.
+    pub data: &'a ChunkedDataset,
+    /// Per-example loss.
+    pub loss: &'a dyn Loss,
+}
+
+impl StreamedContext<'_> {
+    /// Computes worker `worker`'s unit partial gradients at `weights`,
+    /// streaming each unit's rows from the chunked dataset, and encodes
+    /// them with the scheme. `selection` restricts a minibatch round to
+    /// the sampled units — unselected slots stay zero, exactly like the
+    /// arena path.
+    ///
+    /// # Errors
+    /// Propagates the scheme's encoding errors.
+    pub fn compute_and_encode(
+        &self,
+        worker: usize,
+        weights: &[f64],
+        scratch: &mut GradScratch,
+        selection: Option<&UnitSelection>,
+    ) -> Result<Payload, ClusterError> {
+        let unit_ids = self.scheme.placement().worker_examples(worker);
+        scratch.ensure_slots(unit_ids.len(), weights.len());
+        for (slot, &unit) in unit_ids.iter().enumerate() {
+            if selection.is_some_and(|sel| !sel.contains(unit)) {
+                continue;
+            }
+            let block = self.data.read(self.units.unit_range(unit));
+            scratch.fill_partial(
+                slot,
+                self.loss,
+                block.features(),
+                block.labels(),
+                0..block.len(),
+                weights,
+            );
+        }
+        self.scheme
+            .encode(worker, scratch.partials(unit_ids.len()))
+            .map_err(ClusterError::from)
+    }
+}

@@ -22,9 +22,11 @@
 //! `n` threads per iteration.
 
 use crate::backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
+use crate::decode::DecodePool;
 use crate::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
 use crate::latency::{ClusterProfile, CommModel};
+use crate::minibatch::Minibatch;
 use crate::observer::{NullObserver, RoundObserver, SharedObserver};
 use crate::packed::WorkerBlocks;
 use crate::policy::AggregationPolicy;
@@ -58,6 +60,8 @@ pub struct ThreadedCluster {
     /// Master receive timeout in *real* time before declaring a stall.
     recv_timeout: Duration,
     dead_workers: HashSet<usize>,
+    decode_pool: DecodePool,
+    minibatch: Option<Minibatch>,
 }
 
 impl ThreadedCluster {
@@ -82,7 +86,29 @@ impl ThreadedCluster {
             time_scale,
             recv_timeout: Duration::from_secs(5),
             dead_workers: HashSet::new(),
+            decode_pool: DecodePool::default(),
+            minibatch: None,
         }
+    }
+
+    /// Installs a per-round unit-subset sampler: each round trains on a
+    /// sampled minibatch instead of the full partition (see
+    /// [`crate::minibatch`]). Worker threads derive each round's selection
+    /// locally from the sampler seed — nothing extra goes over the wire.
+    /// `None` restores full-partition rounds.
+    #[must_use]
+    pub fn with_minibatch(mut self, minibatch: Option<Minibatch>) -> Self {
+        self.minibatch = minibatch;
+        self
+    }
+
+    /// Overrides the master's decode/aggregate thread budget (default:
+    /// all available cores). Bit-identical results at any setting — see
+    /// [`crate::decode`]'s determinism contract.
+    #[must_use]
+    pub fn with_decode_pool(mut self, pool: DecodePool) -> Self {
+        self.decode_pool = pool;
+        self
     }
 
     /// Replaces the worker-latency model (see the
@@ -162,7 +188,7 @@ impl ThreadedCluster {
                 weight_txs.push(weight_tx);
                 let result_tx = result_tx.clone();
                 let model = Arc::clone(&self.model);
-                let load = ctx.scheme.placement().load_of(worker);
+                let full_load = ctx.scheme.placement().load_of(worker);
                 let (seed, time_scale) = (self.seed, self.time_scale);
                 let finished_before = &finished_before;
                 scope.spawn(move |_| {
@@ -180,7 +206,27 @@ impl ThreadedCluster {
                     let mut scratch = GradScratch::new();
                     let mut wire_buf = bytes::BytesMut::with_capacity(0);
                     while let Ok((round, weights)) = weight_rx.recv() {
-                        let delay = model.compute_seconds(seed, round, worker, load);
+                        // Round-local: minibatch rounds sample a fresh unit
+                        // subset each round, so the latency-relevant load is
+                        // the worker's *selected* unit count. Deriving the
+                        // selection here (not at the master) keeps the wire
+                        // format unchanged.
+                        let selection = ctx.selection_for(round);
+                        let load = match &selection {
+                            Some(sel) => {
+                                sel.selected_load(ctx.scheme.placement().worker_examples(worker))
+                            }
+                            None => full_load,
+                        };
+                        // Zero selected load: the worker still encodes and
+                        // sends (coded messages mix selected and unselected
+                        // units) but computes nothing, and the latency model
+                        // is undefined at zero load.
+                        let delay = if load == 0 {
+                            0.0
+                        } else {
+                            model.compute_seconds(seed, round, worker, load)
+                        };
                         // Emulated straggling first: the sampled delay models
                         // the worker's compute duration, and sleeping before
                         // the real work keeps cancellation responsive — a
@@ -196,7 +242,12 @@ impl ThreadedCluster {
                         // Real computation: the worker's unit partial
                         // gradients (packed-kernel path), encoded with the
                         // scheme and staged through the reused wire buffer.
-                        let message = match ctx.compute_and_encode(worker, &weights, &mut scratch) {
+                        let message = match ctx.compute_and_encode_selected(
+                            worker,
+                            &weights,
+                            &mut scratch,
+                            selection.as_ref(),
+                        ) {
                             Ok(payload) => {
                                 wire::encode_into(
                                     &crate::message::Envelope {
@@ -244,7 +295,8 @@ impl ThreadedCluster {
                     reports: 0,
                 };
                 let mut engine =
-                    RoundEngine::with_policy(ctx.scheme, participants.len(), &*self.policy);
+                    RoundEngine::with_policy(ctx.scheme, participants.len(), &*self.policy)
+                        .with_decode_pool(self.decode_pool);
                 let result = {
                     let mut null = NullObserver;
                     let mut guard = self
@@ -265,7 +317,11 @@ impl ThreadedCluster {
                 }
                 let total_time = source.start.elapsed().as_secs_f64() / self.time_scale;
                 let (aggregate, metrics) = engine.finish(total_time)?;
-                driver.consume(index, RoundOutcome::new(aggregate, metrics));
+                let examples_used = ctx.selection_for(round).map(|sel| ctx.examples_in(&sel));
+                driver.consume(
+                    index,
+                    RoundOutcome::new(aggregate, metrics).with_examples_used(examples_used),
+                );
             }
             drop(weight_txs); // workers drain and exit
             Ok(())
@@ -383,6 +439,7 @@ impl ClusterBackend for ThreadedCluster {
             data,
             loss,
             packed: &packed,
+            minibatch: self.minibatch,
         };
         ctx.validate(&self.profile);
         let round = self.round;
@@ -413,6 +470,7 @@ impl ClusterBackend for ThreadedCluster {
             data,
             loss,
             packed: &packed,
+            minibatch: self.minibatch,
         };
         ctx.validate(&self.profile);
         let first_round = self.round;

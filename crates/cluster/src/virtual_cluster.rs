@@ -18,9 +18,11 @@
 //! for models with feedback), at a fraction of the per-round cost.
 
 use crate::backend::{ClusterBackend, RoundDriver, RoundOutcome};
+use crate::decode::DecodePool;
 use crate::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
 use crate::latency::{ClusterProfile, CommModel};
+use crate::minibatch::{Minibatch, UnitSelection};
 use crate::observer::{NullObserver, RoundObserver, SharedObserver};
 use crate::packed::{UnitGradientCache, WorkerBlocks};
 use crate::policy::AggregationPolicy;
@@ -42,6 +44,8 @@ pub struct VirtualCluster {
     seed: u64,
     round: u64,
     dead_workers: HashSet<usize>,
+    decode_pool: DecodePool,
+    minibatch: Option<Minibatch>,
 }
 
 impl VirtualCluster {
@@ -59,7 +63,27 @@ impl VirtualCluster {
             seed,
             round: 0,
             dead_workers: HashSet::new(),
+            decode_pool: DecodePool::default(),
+            minibatch: None,
         }
+    }
+
+    /// Installs a per-round unit-subset sampler: each round trains on a
+    /// sampled minibatch instead of the full partition (see
+    /// [`crate::minibatch`]). `None` restores full-partition rounds.
+    #[must_use]
+    pub fn with_minibatch(mut self, minibatch: Option<Minibatch>) -> Self {
+        self.minibatch = minibatch;
+        self
+    }
+
+    /// Overrides the master's decode/aggregate thread budget (default:
+    /// all available cores). Bit-identical results at any setting — see
+    /// [`crate::decode`]'s determinism contract.
+    #[must_use]
+    pub fn with_decode_pool(mut self, pool: DecodePool) -> Self {
+        self.decode_pool = pool;
+        self
     }
 
     /// Replaces the worker-latency model (see the
@@ -122,11 +146,26 @@ impl VirtualCluster {
         if let Some(c) = cache.as_deref_mut() {
             c.begin_round();
         }
+        let selection = ctx.selection_for(round);
+        let examples_used = selection.as_ref().map(|sel| ctx.examples_in(sel));
         let mut source = VirtualArrivals::new(
             self.profile.comm,
             participants.iter().map(|&worker| {
-                let load = ctx.scheme.placement().load_of(worker);
-                let t = self.model.compute_seconds(self.seed, round, worker, load);
+                // Minibatch rounds only charge compute for the worker's
+                // units that fall in the sample.
+                let load = match &selection {
+                    Some(sel) => sel.selected_load(ctx.scheme.placement().worker_examples(worker)),
+                    None => ctx.scheme.placement().load_of(worker),
+                };
+                // A worker whose units all fell outside the minibatch still
+                // encodes and sends (coded messages mix selected and
+                // unselected units), but computes nothing — the latency
+                // model is undefined at zero load, so charge zero compute.
+                let t = if load == 0 {
+                    0.0
+                } else {
+                    self.model.compute_seconds(self.seed, round, worker, load)
+                };
                 (worker, t)
             }),
             ctx,
@@ -134,8 +173,10 @@ impl VirtualCluster {
             scratch,
             cache,
             schedule,
+            selection.as_ref(),
         );
-        let mut engine = RoundEngine::with_policy(ctx.scheme, participants.len(), &*self.policy);
+        let mut engine = RoundEngine::with_policy(ctx.scheme, participants.len(), &*self.policy)
+            .with_decode_pool(self.decode_pool);
         let mut null = NullObserver;
         let mut guard = self
             .observer
@@ -147,7 +188,7 @@ impl VirtualCluster {
         };
         let end = engine.run_observed(&mut source, round, observer)?;
         let (aggregate, metrics) = engine.finish(end)?;
-        Ok(RoundOutcome::new(aggregate, metrics))
+        Ok(RoundOutcome::new(aggregate, metrics).with_examples_used(examples_used))
     }
 }
 
@@ -167,6 +208,7 @@ impl ClusterBackend for VirtualCluster {
             data,
             loss,
             packed: &packed,
+            minibatch: self.minibatch,
         };
         ctx.validate(&self.profile);
         let round = self.round;
@@ -205,6 +247,7 @@ impl ClusterBackend for VirtualCluster {
             data,
             loss,
             packed: &packed,
+            minibatch: self.minibatch,
         };
         ctx.validate(&self.profile);
         let participants = ctx.participants(&self.dead_workers);
@@ -263,9 +306,11 @@ struct VirtualArrivals<'a> {
     weights: &'a [f64],
     scratch: &'a mut GradScratch,
     cache: Option<&'a mut UnitGradientCache>,
+    selection: Option<&'a UnitSelection>,
 }
 
 impl<'a> VirtualArrivals<'a> {
+    #[allow(clippy::too_many_arguments)] // per-round reusable state, one arg each
     fn new(
         comm: CommModel,
         finish_times: impl Iterator<Item = (usize, f64)>,
@@ -274,6 +319,7 @@ impl<'a> VirtualArrivals<'a> {
         scratch: &'a mut GradScratch,
         cache: Option<&'a mut UnitGradientCache>,
         schedule: &'a mut Vec<(usize, f64)>,
+        selection: Option<&'a UnitSelection>,
     ) -> Self {
         schedule.clear();
         schedule.extend(finish_times);
@@ -289,6 +335,7 @@ impl<'a> VirtualArrivals<'a> {
             weights,
             scratch,
             cache,
+            selection,
         }
     }
 
@@ -299,15 +346,23 @@ impl<'a> VirtualArrivals<'a> {
     /// same weights.
     fn compute_and_encode_cached(&mut self, worker: usize) -> Result<Payload, ClusterError> {
         let Some(cache) = self.cache.as_mut() else {
-            return self
-                .ctx
-                .compute_and_encode(worker, self.weights, self.scratch);
+            return self.ctx.compute_and_encode_selected(
+                worker,
+                self.weights,
+                self.scratch,
+                self.selection,
+            );
         };
         let unit_ids = self.ctx.scheme.placement().worker_examples(worker);
         let ranges = self.ctx.packed.worker(worker);
         let (x, y) = self.ctx.packed.arena(self.ctx.data);
         self.scratch.ensure_slots(ranges.len(), self.weights.len());
         for (slot, (&unit, rows)) in unit_ids.iter().zip(ranges).enumerate() {
+            // Units outside the round's minibatch keep the zero vector
+            // `ensure_slots` left in the slot.
+            if self.selection.is_some_and(|sel| !sel.contains(unit)) {
+                continue;
+            }
             if let Some(grad) = cache.get(unit) {
                 self.scratch.copy_partial_from(slot, grad);
             } else {

@@ -1,0 +1,161 @@
+//! Minibatch contract suite.
+//!
+//! 1. **Sampler properties** (proptest): each round's selection is a
+//!    permutation-free subset — sorted, duplicate-free, in range, exactly
+//!    `units_per_round` long — and a pure function of `(seed, round)`.
+//! 2. **Round semantics**: a minibatch round's decoded gradient equals the
+//!    exact sum over the sampled units only, `examples_used` reports the
+//!    minibatch's backing row count, and full-partition rounds keep
+//!    `examples_used = None`.
+//! 3. **Cross-backend byte-identity**: under a deterministic latency
+//!    staircase the virtual and threaded backends agree bit-for-bit on
+//!    minibatch rounds, because both derive the same per-round selection
+//!    from the sampler seed.
+
+use bcc_cluster::backend::FixedPointDriver;
+use bcc_cluster::{
+    ClusterBackend, ClusterProfile, CommModel, Minibatch, ThreadedCluster, UnitMap, VirtualCluster,
+    WorkerProfile,
+};
+use bcc_coding::UncodedScheme;
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_optim::LogisticLoss;
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn selection_is_a_deterministic_sorted_subset(
+        seed in 0u64..1_000_000,
+        round in 0u64..10_000,
+        k in 1usize..40,
+        extra in 0usize..60,
+    ) {
+        let num_units = k + extra;
+        let mb = Minibatch::new(k, seed);
+        let sel = mb.select(round, num_units);
+        prop_assert_eq!(sel.len(), k);
+        prop_assert!(sel.units().windows(2).all(|w| w[0] < w[1]),
+            "sorted and duplicate-free");
+        prop_assert!(sel.units().iter().all(|&u| u < num_units), "in range");
+        prop_assert_eq!(sel, mb.select(round, num_units));
+    }
+
+    #[test]
+    fn different_rounds_resample(seed in 0u64..100_000) {
+        let mb = Minibatch::new(3, seed);
+        let all_equal = (1..30u64).all(|r| mb.select(r, 30) == mb.select(0, 30));
+        prop_assert!(!all_equal, "30 rounds of C(30,3) draws cannot all collide");
+    }
+}
+
+fn staircase(n: usize) -> ClusterProfile {
+    ClusterProfile {
+        workers: (0..n)
+            .map(|i| WorkerProfile {
+                mu: 1e4,
+                a: 0.01 * (i + 1) as f64,
+            })
+            .collect(),
+        comm: CommModel {
+            per_message_overhead: 0.001,
+            per_unit: 0.001,
+        },
+    }
+}
+
+#[test]
+fn minibatch_gradient_sums_selected_units_only() {
+    let g = generate(&SyntheticConfig::small(40, 5, 21));
+    let units = UnitMap::grouped(40, 10);
+    let scheme = UncodedScheme::new(10, 10);
+    let w = vec![0.07; 5];
+    let mb = Minibatch::new(4, 77);
+
+    let mut cluster = VirtualCluster::new(staircase(10), 5).with_minibatch(Some(mb));
+    let out = cluster
+        .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+        .expect("minibatch round completes");
+
+    // The backend ran round id 0; recompute its selection independently.
+    let sel = mb.select(0, units.num_units());
+    let mut expect = vec![0.0; 5];
+    let mut rows = 0usize;
+    for &u in sel.units() {
+        let gu = units.unit_gradient(&g.dataset, &LogisticLoss, u, &w);
+        bcc_linalg::vec_ops::add_assign(&mut expect, &gu);
+        rows += units.unit_range(u).len();
+    }
+    assert_eq!(out.examples_used, Some(rows));
+    assert!(out.exact, "uncoded decode is exact w.r.t. the minibatch");
+    assert!(
+        bcc_linalg::approx_eq_slice(&out.gradient_sum, &expect, 1e-9),
+        "decoded minibatch gradient must equal the sampled units' sum"
+    );
+}
+
+#[test]
+fn full_rounds_report_no_examples_used() {
+    let g = generate(&SyntheticConfig::small(20, 4, 22));
+    let units = UnitMap::grouped(20, 10);
+    let scheme = UncodedScheme::new(10, 5);
+    let mut cluster = VirtualCluster::new(staircase(5), 6);
+    let out = cluster
+        .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &[0.0; 4])
+        .expect("full round completes");
+    assert_eq!(out.examples_used, None);
+}
+
+#[test]
+fn minibatch_rounds_replay_and_resample() {
+    let g = generate(&SyntheticConfig::small(40, 4, 23));
+    let units = UnitMap::grouped(40, 10);
+    let scheme = UncodedScheme::new(10, 10);
+    let w = vec![0.02; 4];
+    let run = |seed: u64| {
+        let mut c =
+            VirtualCluster::new(staircase(10), seed).with_minibatch(Some(Minibatch::new(3, 9)));
+        let mut driver = FixedPointDriver::new(w.clone());
+        c.run_rounds(3, &scheme, &units, &g.dataset, &LogisticLoss, &mut driver)
+            .expect("rounds complete");
+        driver.outcomes
+    };
+    let (a, b) = (run(42), run(42));
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.gradient_sum, y.gradient_sum, "same seed must replay");
+        assert_eq!(x.examples_used, y.examples_used);
+    }
+    assert!(
+        a.windows(2).any(|w| w[0].gradient_sum != w[1].gradient_sum),
+        "rounds must resample the unit subset"
+    );
+}
+
+#[test]
+fn minibatch_is_backend_invariant() {
+    let g = generate(&SyntheticConfig::small(30, 4, 24));
+    let units = UnitMap::grouped(30, 10);
+    let scheme = UncodedScheme::new(10, 10);
+    let w = vec![0.05; 4];
+    let mb = Some(Minibatch::new(5, 31));
+
+    let mut virtual_cluster = VirtualCluster::new(staircase(10), 8).with_minibatch(mb);
+    let v = virtual_cluster
+        .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+        .expect("virtual minibatch round completes");
+
+    let mut threaded_cluster = ThreadedCluster::new(staircase(10), 8, 1.0).with_minibatch(mb);
+    let t = threaded_cluster
+        .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
+        .expect("threaded minibatch round completes");
+
+    assert_eq!(v.metrics.messages_used, t.metrics.messages_used);
+    assert_eq!(
+        v.metrics.compute_time.to_bits(),
+        t.metrics.compute_time.to_bits(),
+        "same selected-load latency stream on both backends"
+    );
+    assert_eq!(v.examples_used, t.examples_used);
+    for (i, (a, b)) in v.gradient_sum.iter().zip(&t.gradient_sum).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "gradient component {i}");
+    }
+}

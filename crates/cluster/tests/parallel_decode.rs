@@ -1,0 +1,144 @@
+//! Pin: the master's parallel decode/aggregate is **thread-count
+//! invariant** — rounds folded through [`DecodePool::threads`] at 1, 2,
+//! and 8 threads produce gradients bit-identical to each other (and to the
+//! serial pool), on full and minibatch rounds, exact and partial decodes.
+//!
+//! This is the determinism contract of
+//! [`bcc_linalg::parallel::par_weighted_sum`]: the reduction partitions
+//! columns, never the per-element accumulation chain, so the thread budget
+//! is a pure throughput knob with zero numeric surface.
+
+use bcc_cluster::backend::FixedPointDriver;
+use bcc_cluster::{
+    ClusterBackend, ClusterProfile, CommModel, DecodePool, FastestK, Minibatch, RoundOutcome,
+    UnitMap, VirtualCluster, WorkerProfile,
+};
+use bcc_coding::{BccScheme, CyclicRepetitionScheme, GradientCodingScheme, UncodedScheme};
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_optim::LogisticLoss;
+use bcc_stats::rng::derive_rng;
+use std::sync::Arc;
+
+fn staircase(n: usize) -> ClusterProfile {
+    ClusterProfile {
+        workers: (0..n)
+            .map(|i| WorkerProfile {
+                mu: 1e4,
+                a: 0.01 * (i + 1) as f64,
+            })
+            .collect(),
+        comm: CommModel {
+            per_message_overhead: 0.001,
+            per_unit: 0.001,
+        },
+    }
+}
+
+/// Schemes spanning the three decode routes: uncoded (identity terms),
+/// BCC (weighted terms), cyclic repetition (coefficient terms).
+fn schemes() -> Vec<Box<dyn GradientCodingScheme>> {
+    let (m, n, r) = (10usize, 10usize, 2usize);
+    let mut rng = derive_rng(91, 0);
+    let bcc = loop {
+        let s = BccScheme::new(m, n, r, &mut rng);
+        if s.covers_all_batches() {
+            break s;
+        }
+    };
+    vec![
+        Box::new(UncodedScheme::new(m, n)),
+        Box::new(bcc),
+        Box::new(CyclicRepetitionScheme::new(n, r, &mut rng)),
+    ]
+}
+
+fn run_rounds(
+    scheme: &dyn GradientCodingScheme,
+    pool: DecodePool,
+    minibatch: Option<Minibatch>,
+    fastest_k: Option<usize>,
+) -> Vec<RoundOutcome> {
+    let units = UnitMap::grouped(40, 10);
+    let data = generate(&SyntheticConfig::small(40, 5, 29));
+    let mut cluster = VirtualCluster::new(staircase(10), 29)
+        .with_decode_pool(pool)
+        .with_minibatch(minibatch);
+    if let Some(k) = fastest_k {
+        cluster = cluster.with_aggregation_policy(Arc::new(FastestK::new(k)));
+    }
+    let mut driver = FixedPointDriver::new(vec![0.05; 5]);
+    cluster
+        .run_rounds(3, scheme, &units, &data.dataset, &LogisticLoss, &mut driver)
+        .expect("rounds complete");
+    driver.outcomes
+}
+
+fn assert_identical(a: &[RoundOutcome], b: &[RoundOutcome], tag: &str) {
+    assert_eq!(a.len(), b.len(), "{tag}: round counts");
+    for (round, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.metrics, y.metrics, "{tag}/round {round}: metrics");
+        assert_eq!(x.exact, y.exact, "{tag}/round {round}: exactness");
+        assert_eq!(
+            x.examples_used, y.examples_used,
+            "{tag}/round {round}: examples_used"
+        );
+        for (i, (g, h)) in x.gradient_sum.iter().zip(&y.gradient_sum).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                h.to_bits(),
+                "{tag}/round {round}: gradient component {i} ({g} vs {h})"
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_decode_is_thread_count_invariant() {
+    for scheme in schemes() {
+        let baseline = run_rounds(scheme.as_ref(), DecodePool::serial(), None, None);
+        for threads in [1, 2, 8] {
+            let parallel = run_rounds(scheme.as_ref(), DecodePool::threads(threads), None, None);
+            assert_identical(
+                &baseline,
+                &parallel,
+                &format!("{}/threads {threads}", scheme.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn minibatch_decode_is_thread_count_invariant() {
+    for scheme in schemes() {
+        let mb = || Some(Minibatch::new(4, 77));
+        let baseline = run_rounds(scheme.as_ref(), DecodePool::serial(), mb(), None);
+        assert!(
+            baseline.iter().all(|o| o.examples_used.is_some()),
+            "minibatch rounds report their sampled example count"
+        );
+        for threads in [1, 2, 8] {
+            let parallel = run_rounds(scheme.as_ref(), DecodePool::threads(threads), mb(), None);
+            assert_identical(
+                &baseline,
+                &parallel,
+                &format!("{}/minibatch/threads {threads}", scheme.name()),
+            );
+        }
+    }
+}
+
+#[test]
+fn partial_decode_is_thread_count_invariant() {
+    // FastestK(6) cuts before exactness on the uncoded shards, forcing the
+    // approximate `decode_partial` route through the pool.
+    let scheme = UncodedScheme::new(10, 10);
+    let baseline = run_rounds(&scheme, DecodePool::serial(), None, Some(6));
+    assert!(
+        baseline.iter().all(|o| !o.exact),
+        "6 of 10 shards cannot decode exactly"
+    );
+    for threads in [1, 2, 8] {
+        let parallel = run_rounds(&scheme, DecodePool::threads(threads), None, Some(6));
+        assert_identical(&baseline, &parallel, &format!("partial/threads {threads}"));
+    }
+}

@@ -15,12 +15,16 @@
 //!    as in `backend_equivalence.rs`), the threaded and virtual backends
 //!    must agree byte-for-byte under *every* builtin policy, not just the
 //!    exact one.
+//! 3. **Parallel-decode equivalence.** The master's parallel
+//!    decode/aggregate fold ([`bcc_cluster::DecodePool`]) must replay the
+//!    serial fold bit-for-bit on every builtin scheme under every builtin
+//!    policy — exact decodes and partial (approximate) readouts alike.
 
 use bcc_cluster::backend::FixedPointDriver;
 use bcc_cluster::{
     AggregationPolicy, BestEffortAll, ClusterBackend, ClusterProfile, CommModel, Deadline,
-    EventLog, FastestK, RoundEvent, RoundOutcome, ThreadedCluster, UnitMap, VirtualCluster,
-    WaitDecodable, WorkerProfile,
+    DecodePool, EventLog, FastestK, RoundEvent, RoundOutcome, ThreadedCluster, UnitMap,
+    VirtualCluster, WaitDecodable, WorkerProfile,
 };
 use bcc_coding::{
     BccScheme, CyclicMdsScheme, CyclicRepetitionScheme, FractionalRepetitionScheme,
@@ -197,6 +201,69 @@ fn assert_backend_agreement(v: &RoundOutcome, t: &RoundOutcome, tag: &str) {
     assert_eq!(v.exact, t.exact, "{tag}: exactness diverged");
     for (i, (a, b)) in v.gradient_sum.iter().zip(&t.gradient_sum).enumerate() {
         assert_eq!(a.to_bits(), b.to_bits(), "{tag}: gradient component {i}");
+    }
+}
+
+#[test]
+fn parallel_decode_replays_the_serial_fold_on_every_scheme_and_policy() {
+    // A coarse staircase fixes the arrival order, so every policy's cut
+    // point — and with it the decoded/partially-decoded unit set — is
+    // identical between the two pools; the only degree of freedom left is
+    // the fold itself.
+    let shifts: Vec<f64> = (0..10).map(|i| 0.04 * (i + 1) as f64).collect();
+    let profile = staircase_profile(&shifts);
+    let units = UnitMap::grouped(40, 10);
+    let data = generate(&SyntheticConfig::small(40, 5, 83));
+    let w = vec![0.05; 5];
+    let policies: Vec<(&str, Arc<dyn AggregationPolicy>)> = vec![
+        ("wait-decodable", Arc::new(WaitDecodable)),
+        ("fastest-k", Arc::new(FastestK::new(6))),
+        ("deadline", Arc::new(Deadline::new(0.19))),
+        ("best-effort-all", Arc::new(BestEffortAll)),
+    ];
+    for scheme in builtin_schemes() {
+        for (policy_name, policy) in &policies {
+            // Some combinations legitimately cannot finish (e.g. a
+            // fastest-k cut below cyclic-MDS's solve threshold): then both
+            // pools must fail identically, never just one of them.
+            let run = |pool: DecodePool| {
+                let mut cluster = VirtualCluster::new(profile.clone(), 83)
+                    .with_aggregation_policy(Arc::clone(policy))
+                    .with_decode_pool(pool);
+                let mut driver = FixedPointDriver::new(w.clone());
+                cluster
+                    .run_rounds(
+                        3,
+                        scheme.as_ref(),
+                        &units,
+                        &data.dataset,
+                        &LogisticLoss,
+                        &mut driver,
+                    )
+                    .map(|()| driver.outcomes)
+            };
+            let tag = format!("{}/{policy_name}", scheme.name());
+            match (run(DecodePool::serial()), run(DecodePool::threads(8))) {
+                (Ok(serial), Ok(parallel)) => {
+                    assert_eq!(serial.len(), parallel.len(), "{tag}");
+                    for (round, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+                        assert_outcomes_identical(s, p, &format!("{tag}/round {round}"));
+                    }
+                }
+                (Err(serial), Err(parallel)) => {
+                    assert_eq!(
+                        serial.to_string(),
+                        parallel.to_string(),
+                        "{tag}: pools must fail identically"
+                    );
+                }
+                (serial, parallel) => panic!(
+                    "{tag}: pools diverged — serial {:?} vs parallel {:?}",
+                    serial.map(|o| o.len()),
+                    parallel.map(|o| o.len())
+                ),
+            }
+        }
     }
 }
 

@@ -234,6 +234,16 @@ impl Decoder for BccDecoder<'_> {
             },
         )
     }
+
+    fn partial_sum_terms(&self) -> Option<Vec<(f64, &[f64])>> {
+        let terms: Vec<_> = self
+            .batch_sums
+            .iter()
+            .flatten()
+            .map(|v| (1.0, v.as_slice()))
+            .collect();
+        (!terms.is_empty()).then_some(terms)
+    }
 }
 
 #[cfg(test)]

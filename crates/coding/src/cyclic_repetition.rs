@@ -251,6 +251,18 @@ impl Decoder for CrDecoder<'_> {
         // rows span the decoding space, then everything at once.
         Coverage::all_or_nothing(self.is_complete(), self.scheme.num_examples())
     }
+
+    fn partial_sum_terms(&self) -> Option<Vec<(f64, &[f64])>> {
+        // Only meaningful once the decoding coefficients exist; before
+        // completion the serial path must surface `NotComplete`.
+        let a = self.coefficients.as_ref()?;
+        let terms: Vec<_> = a
+            .iter()
+            .copied()
+            .zip(self.messages.iter().map(Vec::as_slice))
+            .collect();
+        (!terms.is_empty()).then_some(terms)
+    }
 }
 
 #[cfg(test)]

@@ -155,8 +155,9 @@ impl RoundDriver for TrainingLoop<'_> {
     fn consume(&mut self, round: usize, outcome: RoundOutcome) {
         self.metrics.absorb(&outcome.metrics);
 
-        // eq. (1): ∇L = (1/m)·Σ g_j.
-        let m = self.data.len() as f64;
+        // eq. (1): ∇L = (1/m)·Σ g_j — on a minibatch round, m is the
+        // sampled example count, so the estimate stays an unbiased mean.
+        let m = outcome.examples_used.unwrap_or(self.data.len()) as f64;
         let mut sample = outcome.sample(None);
         let mut gradient = outcome.gradient_sum;
         vec_ops::scale(1.0 / m, &mut gradient);

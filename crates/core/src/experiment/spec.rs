@@ -149,7 +149,7 @@ impl Deserialize for PolicySpec {
 }
 
 /// Where the training data comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub enum DataSpec {
     /// The paper's synthetic logistic model (§III-C), sized per coding unit.
     Synthetic {
@@ -159,6 +159,12 @@ pub enum DataSpec {
         dim: usize,
         /// Class separation of the generative model.
         separation: f64,
+        /// Units sampled per round: `Some(k)` makes every round a
+        /// stochastic minibatch over `k` of the `units` coding units
+        /// (seeded, replayable — see [`bcc_cluster::Minibatch`]); `None`
+        /// is the paper's full-partition round. Validated against the
+        /// spec's unit count (`1 ≤ k ≤ units`).
+        minibatch: Option<usize>,
     },
 }
 
@@ -170,6 +176,26 @@ impl DataSpec {
             points_per_unit,
             dim,
             separation: 1.5,
+            minibatch: None,
+        }
+    }
+
+    /// The same data, with rounds sampling `units_per_round` units instead
+    /// of the full partition.
+    #[must_use]
+    pub fn with_minibatch(self, units_per_round: usize) -> Self {
+        match self {
+            Self::Synthetic {
+                points_per_unit,
+                dim,
+                separation,
+                ..
+            } => Self::Synthetic {
+                points_per_unit,
+                dim,
+                separation,
+                minibatch: Some(units_per_round),
+            },
         }
     }
 
@@ -184,11 +210,42 @@ impl DataSpec {
             } => (units * points_per_unit, dim),
         }
     }
+
+    /// Units sampled per round; `None` for full-partition rounds.
+    #[must_use]
+    pub fn minibatch(&self) -> Option<usize> {
+        match *self {
+            Self::Synthetic { minibatch, .. } => minibatch,
+        }
+    }
 }
 
 impl Default for DataSpec {
     fn default() -> Self {
         Self::synthetic(100, 100)
+    }
+}
+
+// Manual impl so pre-minibatch spec files (no `minibatch` key) keep
+// parsing — the derived impl errors on absent fields.
+impl Deserialize for DataSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let inner = match v {
+            Value::Object(fields) if fields.len() == 1 && fields[0].0 == "Synthetic" => {
+                &fields[0].1
+            }
+            other => {
+                return Err(serde::Error::msg(format!(
+                    "expected {{Synthetic: {{…}}}} data spec, got {other:?}"
+                )))
+            }
+        };
+        Ok(Self::Synthetic {
+            points_per_unit: required(inner, "points_per_unit")?,
+            dim: required(inner, "dim")?,
+            separation: opt_field(inner, "separation")?.unwrap_or(1.5),
+            minibatch: opt_field(inner, "minibatch")?,
+        })
     }
 }
 
@@ -550,6 +607,26 @@ mod tests {
         assert_eq!(s, SchemeSpec::named("bcc"));
         let s: SchemeSpec = serde_json::from_str(r#"{"name": "bcc", "r": 10}"#).unwrap();
         assert_eq!(s, SchemeSpec::with_load("bcc", 10));
+    }
+
+    #[test]
+    fn data_spec_without_minibatch_key_parses() {
+        // Pre-minibatch spec files must keep replaying unchanged.
+        let d: DataSpec = serde_json::from_str(
+            r#"{"Synthetic": {"points_per_unit": 100, "dim": 50, "separation": 1.5}}"#,
+        )
+        .unwrap();
+        assert_eq!(d, DataSpec::synthetic(100, 50));
+        assert_eq!(d.minibatch(), None);
+    }
+
+    #[test]
+    fn data_spec_minibatch_roundtrips() {
+        let d = DataSpec::synthetic(100, 50).with_minibatch(7);
+        let json = serde_json::to_string(&d).unwrap();
+        let back: DataSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.minibatch(), Some(7));
     }
 
     #[test]

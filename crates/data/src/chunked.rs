@@ -1,0 +1,470 @@
+//! Chunk-streamed datasets: bounded-memory access to arbitrarily large
+//! training sets.
+//!
+//! The scale grids (`repro scale`) run `n × dim` combinations whose full
+//! feature matrix would dwarf the working set actually touched per round —
+//! especially on minibatch rounds, where each round reads only a sampled
+//! unit subset. A [`ChunkedDataset`] never holds the full matrix: it splits
+//! the example index space into fixed-size row chunks and materializes each
+//! chunk **on demand** from a [`RowSource`] (a seeded generator or a
+//! resident [`Dataset`]), keeping at most `max_live_chunks` alive under LRU
+//! eviction. Peak memory is `max_live_chunks · chunk_rows · dim` doubles
+//! regardless of the dataset's nominal size.
+//!
+//! Reads come back as [`BlockRead`]s: when the requested range tiles a
+//! chunk exactly, the read is a zero-copy `Arc` clone of the live chunk
+//! (pin: [`BlockRead::is_shared`]); otherwise the rows are assembled across
+//! chunk boundaries into a fresh [`PackedBlock`]. Either way the bytes are
+//! bit-identical to the equivalent in-memory [`Dataset`] rows — the
+//! synthetic generator draws every example from its own derived RNG stream
+//! (see [`crate::synthetic::generate_rows`]), so chunking can never change
+//! the data (pinned by `tests/chunked_equivalence.rs`).
+
+use crate::dataset::Dataset;
+use crate::packed::PackedBlock;
+use crate::synthetic::{self, SyntheticConfig};
+use bcc_linalg::Matrix;
+use std::collections::VecDeque;
+use std::ops::{Deref, Range};
+use std::sync::{Arc, Mutex};
+
+/// Something that can materialize any contiguous row range of a fixed-size
+/// dataset. Implementations must be pure: the same range always yields the
+/// same bytes, independent of materialization order (that is what makes
+/// chunked reads bit-identical to in-memory reads).
+pub trait RowSource: Send + Sync {
+    /// Total number of examples `m`.
+    fn num_examples(&self) -> usize;
+
+    /// Feature dimension `p`.
+    fn dim(&self) -> usize;
+
+    /// Materializes rows `range` as a packed block whose `src_rows` are the
+    /// dataset row ids.
+    fn materialize(&self, range: Range<usize>) -> PackedBlock;
+}
+
+/// The paper's synthetic model as a [`RowSource`]: rows are regenerated on
+/// demand from the config seed, bit-identical to
+/// [`crate::synthetic::generate`] because each example draws from its own
+/// derived stream.
+#[derive(Debug, Clone)]
+pub struct SyntheticSource {
+    config: SyntheticConfig,
+    true_weights: Vec<f64>,
+}
+
+impl SyntheticSource {
+    /// Source for `config`; draws `w*` once up front (its own RNG stream).
+    ///
+    /// # Panics
+    /// Panics when `config.dim == 0`.
+    #[must_use]
+    pub fn new(config: SyntheticConfig) -> Self {
+        let true_weights = synthetic::generate_true_weights(&config);
+        Self {
+            config,
+            true_weights,
+        }
+    }
+
+    /// The ground-truth weight vector `w*`.
+    #[must_use]
+    pub fn true_weights(&self) -> &[f64] {
+        &self.true_weights
+    }
+
+    /// The generating config.
+    #[must_use]
+    pub fn config(&self) -> &SyntheticConfig {
+        &self.config
+    }
+}
+
+impl RowSource for SyntheticSource {
+    fn num_examples(&self) -> usize {
+        self.config.num_examples
+    }
+
+    fn dim(&self) -> usize {
+        self.config.dim
+    }
+
+    fn materialize(&self, range: Range<usize>) -> PackedBlock {
+        let src_rows: Vec<usize> = range.clone().collect();
+        let (x, y) = synthetic::generate_rows(&self.config, &self.true_weights, range);
+        PackedBlock::from_parts(x, y, src_rows)
+    }
+}
+
+/// A resident [`Dataset`] as a [`RowSource`] — lets every chunked-path test
+/// and tool run against in-memory data, and makes `ChunkedDataset` a strict
+/// superset of the old access pattern.
+#[derive(Debug, Clone)]
+pub struct InMemorySource {
+    data: Dataset,
+}
+
+impl InMemorySource {
+    /// Wraps `data`.
+    #[must_use]
+    pub fn new(data: Dataset) -> Self {
+        Self { data }
+    }
+}
+
+impl RowSource for InMemorySource {
+    fn num_examples(&self) -> usize {
+        self.data.len()
+    }
+
+    fn dim(&self) -> usize {
+        self.data.dim()
+    }
+
+    fn materialize(&self, range: Range<usize>) -> PackedBlock {
+        PackedBlock::from_range(&self.data, range)
+    }
+}
+
+/// The result of a chunked read: a zero-copy handle to a live chunk when
+/// the range tiled one exactly, or freshly assembled rows otherwise.
+/// Derefs to [`PackedBlock`] either way.
+#[derive(Debug, Clone)]
+pub enum BlockRead {
+    /// The range was exactly one chunk: shares the cached block, no copy.
+    Shared(Arc<PackedBlock>),
+    /// The range crossed chunk boundaries (or was a strict sub-range):
+    /// rows were copied out of the live chunks.
+    Owned(PackedBlock),
+}
+
+impl BlockRead {
+    /// `true` for the zero-copy fast path (pins the tiling optimization).
+    #[must_use]
+    pub fn is_shared(&self) -> bool {
+        matches!(self, Self::Shared(_))
+    }
+}
+
+impl Deref for BlockRead {
+    type Target = PackedBlock;
+
+    fn deref(&self) -> &PackedBlock {
+        match self {
+            Self::Shared(arc) => arc,
+            Self::Owned(block) => block,
+        }
+    }
+}
+
+/// LRU bookkeeping for the live chunks. `order` holds chunk ids from
+/// least- to most-recently used; `slots[c]` is `Some` iff `c ∈ order`.
+#[derive(Debug, Default)]
+struct ChunkCache {
+    slots: Vec<Option<Arc<PackedBlock>>>,
+    order: VecDeque<usize>,
+    misses: u64,
+}
+
+/// Fixed-size row chunks over a [`RowSource`], materialized on demand with
+/// an LRU bound on live chunks. See the module docs for the memory model.
+///
+/// All reads take `&self` (the cache sits behind a mutex), so one
+/// `ChunkedDataset` can back concurrent worker loops.
+pub struct ChunkedDataset {
+    source: Box<dyn RowSource>,
+    chunk_rows: usize,
+    max_live: usize,
+    cache: Mutex<ChunkCache>,
+}
+
+impl std::fmt::Debug for ChunkedDataset {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChunkedDataset")
+            .field("num_examples", &self.num_examples())
+            .field("dim", &self.dim())
+            .field("chunk_rows", &self.chunk_rows)
+            .field("max_live", &self.max_live)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ChunkedDataset {
+    /// Chunks `source` into `chunk_rows`-row chunks, keeping at most
+    /// `max_live_chunks` materialized at once.
+    ///
+    /// # Panics
+    /// Panics when `chunk_rows == 0`, `max_live_chunks == 0`, or the source
+    /// is empty.
+    #[must_use]
+    pub fn new(source: Box<dyn RowSource>, chunk_rows: usize, max_live_chunks: usize) -> Self {
+        assert!(chunk_rows > 0, "chunks need at least one row");
+        assert!(max_live_chunks > 0, "need at least one live chunk");
+        assert!(source.num_examples() > 0, "need at least one example");
+        let num_chunks = source.num_examples().div_ceil(chunk_rows);
+        Self {
+            source,
+            chunk_rows,
+            max_live: max_live_chunks,
+            cache: Mutex::new(ChunkCache {
+                slots: vec![None; num_chunks],
+                ..ChunkCache::default()
+            }),
+        }
+    }
+
+    /// Chunked view of the synthetic model (the scale grids' data path).
+    #[must_use]
+    pub fn synthetic(config: SyntheticConfig, chunk_rows: usize, max_live_chunks: usize) -> Self {
+        Self::new(
+            Box::new(SyntheticSource::new(config)),
+            chunk_rows,
+            max_live_chunks,
+        )
+    }
+
+    /// Total number of examples `m`.
+    #[must_use]
+    pub fn num_examples(&self) -> usize {
+        self.source.num_examples()
+    }
+
+    /// Feature dimension `p`.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.source.dim()
+    }
+
+    /// Rows per chunk (the last chunk may be shorter).
+    #[must_use]
+    pub fn chunk_rows(&self) -> usize {
+        self.chunk_rows
+    }
+
+    /// Number of chunks `⌈m / chunk_rows⌉`.
+    #[must_use]
+    pub fn num_chunks(&self) -> usize {
+        self.num_examples().div_ceil(self.chunk_rows)
+    }
+
+    /// The dataset row span of chunk `c`.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range.
+    #[must_use]
+    pub fn chunk_span(&self, c: usize) -> Range<usize> {
+        assert!(c < self.num_chunks(), "chunk {c} out of range");
+        let start = c * self.chunk_rows;
+        start..((start + self.chunk_rows).min(self.num_examples()))
+    }
+
+    /// Number of chunks currently materialized (≤ `max_live_chunks`).
+    #[must_use]
+    pub fn live_chunks(&self) -> usize {
+        self.cache.lock().expect("chunk cache poisoned").order.len()
+    }
+
+    /// How many chunk materializations have run so far (cache misses —
+    /// repeat reads of a live chunk do not re-generate).
+    #[must_use]
+    pub fn materializations(&self) -> u64 {
+        self.cache.lock().expect("chunk cache poisoned").misses
+    }
+
+    /// Chunk `c`, materializing it on a miss and marking it most recently
+    /// used. Handles returned earlier stay valid after eviction (they share
+    /// ownership); eviction only drops the cache's own reference.
+    ///
+    /// # Panics
+    /// Panics when `c` is out of range.
+    #[must_use]
+    pub fn chunk(&self, c: usize) -> Arc<PackedBlock> {
+        let span = self.chunk_span(c);
+        let mut cache = self.cache.lock().expect("chunk cache poisoned");
+        if let Some(block) = &cache.slots[c] {
+            let block = Arc::clone(block);
+            // Refresh recency.
+            if let Some(pos) = cache.order.iter().position(|&id| id == c) {
+                cache.order.remove(pos);
+            }
+            cache.order.push_back(c);
+            return block;
+        }
+        let block = Arc::new(self.source.materialize(span));
+        cache.misses += 1;
+        cache.slots[c] = Some(Arc::clone(&block));
+        cache.order.push_back(c);
+        while cache.order.len() > self.max_live {
+            let evict = cache.order.pop_front().expect("order non-empty");
+            cache.slots[evict] = None;
+        }
+        block
+    }
+
+    /// Rows `range`, bit-identical to the same rows of the backing source.
+    /// Zero-copy when `range` is exactly one chunk's span; assembled across
+    /// the overlapped chunks otherwise.
+    ///
+    /// # Panics
+    /// Panics when the range exceeds the dataset.
+    #[must_use]
+    pub fn read(&self, range: Range<usize>) -> BlockRead {
+        assert!(
+            range.end <= self.num_examples(),
+            "row range {range:?} exceeds the {}-example dataset",
+            self.num_examples()
+        );
+        if !range.is_empty()
+            && range.start.is_multiple_of(self.chunk_rows)
+            && range == self.chunk_span(range.start / self.chunk_rows)
+        {
+            return BlockRead::Shared(self.chunk(range.start / self.chunk_rows));
+        }
+
+        let dim = self.dim();
+        let mut flat = Vec::with_capacity(range.len() * dim);
+        let mut y = Vec::with_capacity(range.len());
+        let mut row = range.start;
+        while row < range.end {
+            let c = row / self.chunk_rows;
+            let span = self.chunk_span(c);
+            let chunk = self.chunk(c);
+            let lo = row - span.start;
+            let hi = range.end.min(span.end) - span.start;
+            flat.extend_from_slice(&chunk.features().as_slice()[lo * dim..hi * dim]);
+            y.extend_from_slice(&chunk.labels()[lo..hi]);
+            row = span.start + hi;
+        }
+        let x = Matrix::from_vec(range.len(), dim, flat).expect("assembled rows share dim");
+        BlockRead::Owned(PackedBlock::from_parts(x, y, range.collect()))
+    }
+
+    /// Materializes the whole dataset as a resident [`Dataset`] — the
+    /// compatibility bridge for code paths that still need the full matrix
+    /// (and the oracle the equivalence tests compare against).
+    #[must_use]
+    pub fn materialize_all(&self) -> Dataset {
+        let dim = self.dim();
+        let m = self.num_examples();
+        let mut flat = Vec::with_capacity(m * dim);
+        let mut labels = Vec::with_capacity(m);
+        for c in 0..self.num_chunks() {
+            let chunk = self.chunk(c);
+            flat.extend_from_slice(chunk.features().as_slice());
+            labels.extend_from_slice(chunk.labels());
+        }
+        let features = Matrix::from_vec(m, dim, flat).expect("chunks share dim");
+        Dataset::new(features, labels)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synthetic::generate;
+
+    fn cfg() -> SyntheticConfig {
+        SyntheticConfig::small(23, 4, 17)
+    }
+
+    fn chunked(chunk_rows: usize, max_live: usize) -> ChunkedDataset {
+        ChunkedDataset::synthetic(cfg(), chunk_rows, max_live)
+    }
+
+    #[test]
+    fn chunk_spans_tile_the_dataset() {
+        let d = chunked(5, 2);
+        assert_eq!(d.num_chunks(), 5);
+        assert_eq!(d.chunk_span(0), 0..5);
+        assert_eq!(d.chunk_span(4), 20..23, "last chunk is the remainder");
+    }
+
+    #[test]
+    fn chunks_match_full_generation() {
+        let d = chunked(5, 2);
+        let full = generate(&cfg());
+        for c in 0..d.num_chunks() {
+            let block = d.chunk(c);
+            for (i, j) in d.chunk_span(c).enumerate() {
+                assert_eq!(block.x(i), full.dataset.x(j), "row {j}");
+                assert_eq!(block.y(i), full.dataset.y(j));
+                assert_eq!(block.src_rows()[i], j);
+            }
+        }
+    }
+
+    #[test]
+    fn lru_bounds_live_chunks_and_rereads_are_hits() {
+        let d = chunked(5, 2);
+        let _ = d.chunk(0);
+        let _ = d.chunk(1);
+        assert_eq!(d.live_chunks(), 2);
+        assert_eq!(d.materializations(), 2);
+        let _ = d.chunk(0); // hit: no new materialization
+        assert_eq!(d.materializations(), 2);
+        let _ = d.chunk(2); // evicts chunk 1 (0 was refreshed)
+        assert_eq!(d.live_chunks(), 2);
+        let _ = d.chunk(0); // still live → hit
+        assert_eq!(d.materializations(), 3);
+        let _ = d.chunk(1); // was evicted → miss
+        assert_eq!(d.materializations(), 4);
+    }
+
+    #[test]
+    fn evicted_chunks_rematerialize_identically() {
+        let d = chunked(5, 1);
+        let first = d.chunk(3);
+        let _ = d.chunk(0); // evicts 3 (max_live = 1)
+        let again = d.chunk(3);
+        assert!(!Arc::ptr_eq(&first, &again), "chunk was re-materialized");
+        assert_eq!(*first, *again, "regeneration is bit-identical");
+    }
+
+    #[test]
+    fn tiling_read_is_zero_copy() {
+        let d = chunked(5, 2);
+        let read = d.read(5..10);
+        assert!(read.is_shared(), "exact chunk span must share the cache");
+        match read {
+            BlockRead::Shared(arc) => assert!(Arc::ptr_eq(&arc, &d.chunk(1))),
+            BlockRead::Owned(_) => unreachable!(),
+        }
+        // The remainder chunk tiles too, at its shorter length.
+        assert!(d.read(20..23).is_shared());
+    }
+
+    #[test]
+    fn straddling_reads_assemble_bit_identically() {
+        let d = chunked(5, 2);
+        let full = generate(&cfg());
+        for range in [0..23, 3..8, 4..21, 7..9, 0..5, 22..23, 11..11] {
+            let read = d.read(range.clone());
+            assert_eq!(read.len(), range.len());
+            for (i, j) in range.enumerate() {
+                assert_eq!(read.x(i), full.dataset.x(j), "row {j}");
+                assert_eq!(read.y(i), full.dataset.y(j));
+            }
+        }
+        assert!(!d.read(3..8).is_shared(), "sub-range reads are copies");
+    }
+
+    #[test]
+    fn materialize_all_equals_in_memory_generation() {
+        let d = chunked(4, 3);
+        assert_eq!(d.materialize_all(), generate(&cfg()).dataset);
+    }
+
+    #[test]
+    fn in_memory_source_round_trips() {
+        let data = generate(&cfg()).dataset;
+        let d = ChunkedDataset::new(Box::new(InMemorySource::new(data.clone())), 7, 2);
+        assert_eq!(d.materialize_all(), data);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn out_of_range_read_panics() {
+        let _ = chunked(5, 2).read(20..24);
+    }
+}

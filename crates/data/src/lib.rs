@@ -14,6 +14,9 @@
 //! * [`packed`] — contiguous per-worker row blocks: each worker's assigned
 //!   index set gathered once at setup so the round-time gradient kernels
 //!   stream linearly instead of gathering by index every iteration.
+//! * [`chunked`] — bounded-memory datasets: fixed-size row chunks
+//!   materialized on demand from a seeded source with LRU eviction, so the
+//!   scale grids never hold the full feature matrix resident.
 
 #![forbid(unsafe_code)]
 // Index loops are kept where they mirror the papers' matrix/recurrence
@@ -22,12 +25,14 @@
 #![warn(missing_docs)]
 
 pub mod batching;
+pub mod chunked;
 pub mod dataset;
 pub mod packed;
 pub mod placement;
 pub mod synthetic;
 
 pub use batching::Batching;
+pub use chunked::{BlockRead, ChunkedDataset, InMemorySource, RowSource, SyntheticSource};
 pub use dataset::Dataset;
 pub use packed::PackedBlock;
 pub use placement::Placement;

@@ -60,6 +60,20 @@ impl PackedBlock {
         }
     }
 
+    /// Assembles a block from already-materialized parts: a packed feature
+    /// matrix, aligned labels, and the source row each packed row came from.
+    /// The constructor for rows that never lived in a [`Dataset`] — e.g.
+    /// chunk-streamed generation (see [`crate::chunked`]).
+    ///
+    /// # Panics
+    /// Panics when `x.rows()`, `y.len()` and `src_rows.len()` disagree.
+    #[must_use]
+    pub fn from_parts(x: Matrix, y: Vec<f64>, src_rows: Vec<usize>) -> Self {
+        assert_eq!(x.rows(), y.len(), "features/labels size mismatch");
+        assert_eq!(x.rows(), src_rows.len(), "features/src_rows size mismatch");
+        Self { x, y, src_rows }
+    }
+
     /// Gathers a contiguous dataset range `start..end` (the common case:
     /// units are contiguous row ranges).
     ///

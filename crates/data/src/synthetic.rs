@@ -74,41 +74,78 @@ pub struct SyntheticDataset {
 #[must_use]
 pub fn generate(config: &SyntheticConfig) -> SyntheticDataset {
     assert!(config.num_examples > 0, "need at least one example");
+    let true_weights = generate_true_weights(config);
+    let (features, labels) = generate_rows(config, &true_weights, 0..config.num_examples);
+    SyntheticDataset {
+        dataset: Dataset::new(features, labels),
+        true_weights,
+    }
+}
+
+/// The ground-truth weight draw `w* ∈ {±1}^p` (its own RNG stream, so it
+/// does not depend on how many examples are ever materialized).
+///
+/// # Panics
+/// Panics when `dim == 0`.
+#[must_use]
+pub fn generate_true_weights(config: &SyntheticConfig) -> Vec<f64> {
     assert!(config.dim > 0, "need at least one feature");
+    let mut wrng = derive_rng(config.seed, WEIGHT_STREAM);
+    (0..config.dim)
+        .map(|_| if wrng.gen::<bool>() { 1.0 } else { -1.0 })
+        .collect()
+}
+
+/// Generates the example rows `range` only, bit-identical to the same rows
+/// of [`generate`]: each example draws from its own derived stream
+/// (`1 + j`), so any sub-range can be materialized independently — the
+/// primitive behind chunk-streamed datasets.
+///
+/// # Panics
+/// Panics when `range` exceeds `config.num_examples` or
+/// `true_weights.len() != config.dim`.
+#[must_use]
+pub fn generate_rows(
+    config: &SyntheticConfig,
+    true_weights: &[f64],
+    range: std::ops::Range<usize>,
+) -> (Matrix, Vec<f64>) {
+    assert!(
+        range.end <= config.num_examples,
+        "row range {range:?} exceeds the {}-example config",
+        config.num_examples
+    );
+    assert_eq!(
+        true_weights.len(),
+        config.dim,
+        "true weights must match dim"
+    );
 
     let p = config.dim;
-    let mut wrng = derive_rng(config.seed, WEIGHT_STREAM);
-    let true_weights: Vec<f64> = (0..p)
-        .map(|_| if wrng.gen::<bool>() { 1.0 } else { -1.0 })
-        .collect();
-
     let scale = config.separation / p as f64;
     let gauss = Gaussian::standard();
-    let mut features = Matrix::zeros(config.num_examples, p);
-    let mut labels = vec![0.0; config.num_examples];
+    let mut features = Matrix::zeros(range.len(), p);
+    let mut labels = vec![0.0; range.len()];
 
-    for j in 0..config.num_examples {
+    for (i, j) in range.enumerate() {
         let mut xrng = derive_rng(config.seed, 1 + j as u64);
         // Mixture component: ±1 with equal probability.
         let sign = if xrng.gen::<bool>() { 1.0 } else { -1.0 };
-        let row = features.row_mut(j);
+        let row = features.row_mut(i);
         for (k, wk) in true_weights.iter().enumerate() {
             row[k] = sign * scale * wk + bcc_stats::dist::Sample::sample(&gauss, &mut xrng);
         }
-        let margin = vec_ops::dot(row, &true_weights);
+        let margin = vec_ops::dot(row, true_weights);
         // κ = 1/(exp(xᵀw*) + 1) = σ(−margin), labels in {−1, +1}.
         let kappa = 1.0 / (margin.exp() + 1.0);
-        labels[j] = if Bernoulli::new(kappa).sample_bool(&mut xrng) {
+        labels[i] = if Bernoulli::new(kappa).sample_bool(&mut xrng) {
             1.0
         } else {
             -1.0
         };
     }
 
-    SyntheticDataset {
-        dataset: Dataset::new(features, labels),
-        true_weights,
-    }
+    (features, labels)
 }
 
 /// Stream label reserved for the `w*` draw; example streams are `1 + j`.
@@ -133,6 +170,30 @@ mod tests {
         other.seed = 8;
         let c = generate(&other);
         assert_ne!(a.dataset.labels(), c.dataset.labels());
+    }
+
+    #[test]
+    fn generate_rows_matches_full_generation() {
+        let c = cfg();
+        let full = generate(&c);
+        let w = generate_true_weights(&c);
+        assert_eq!(w, full.true_weights);
+        for range in [0..200, 0..1, 37..118, 199..200, 50..50] {
+            let (x, y) = generate_rows(&c, &w, range.clone());
+            assert_eq!(x.rows(), range.len());
+            for (i, j) in range.clone().enumerate() {
+                assert_eq!(x.row(i), full.dataset.x(j), "row {j} must be bit-identical");
+                assert_eq!(y[i], full.dataset.y(j));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn generate_rows_out_of_range_panics() {
+        let c = cfg();
+        let w = generate_true_weights(&c);
+        let _ = generate_rows(&c, &w, 150..201);
     }
 
     #[test]
