@@ -13,7 +13,8 @@
 //! repro sweep                # straggler-model sweep → BENCH_straggler_sweep.json
 //! repro policy               # aggregation-policy tradeoff → BENCH_policy_tradeoff.json
 //! repro scale                # data-path scaling grid → BENCH_scale.json
-//! repro list                 # registered schemes, models, policies, data paths
+//! repro net                  # loopback-TCP backend grid → BENCH_net.json
+//! repro list                 # registered schemes, models, policies, data paths, backends
 //! repro scenario SPEC.json   # replay a spec file (table row or custom scenario)
 //! repro gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]
 //!                            # perf-regression gate over the BENCH files
@@ -30,7 +31,7 @@
 
 use bcc_bench::experiments::spec_run::ScenarioSpec;
 use bcc_bench::experiments::{
-    ablation, engine_bench, fig2, fig5, policy_sweep, scale, scenario, spec_run, sweep,
+    ablation, engine_bench, fig2, fig5, net_bench, policy_sweep, scale, scenario, spec_run, sweep,
 };
 use bcc_bench::gate;
 use bcc_bench::report::{write_json, Table};
@@ -88,7 +89,7 @@ fn parse_args() -> Args {
             "-h" | "--help" => {
                 println!(
                     "usage: repro [--fast] [--out DIR] \
-                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy|scale]... \
+                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy|scale|net]... \
                      [scenario SPEC.json]... \
                      [list] \
                      [gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]]"
@@ -117,7 +118,7 @@ fn print_table(t: &Table) {
 }
 
 /// Every named artifact target.
-const KNOWN_TARGETS: [&str; 11] = [
+const KNOWN_TARGETS: [&str; 12] = [
     "all",
     "fig2",
     "fig4",
@@ -129,6 +130,7 @@ const KNOWN_TARGETS: [&str; 11] = [
     "sweep",
     "policy",
     "scale",
+    "net",
 ];
 
 fn main() {
@@ -409,6 +411,28 @@ fn main() {
         }
     }
 
+    if want("net") {
+        ran_any = true;
+        let cfg = if args.fast {
+            net_bench::NetBenchConfig::fast()
+        } else {
+            net_bench::NetBenchConfig::default_config()
+        };
+        let result = net_bench::run(&cfg);
+        print_table(&net_bench::render(&result));
+        // Perf-trajectory artifact: fixed name at the repo root, like the
+        // other BENCH files. Only the simulated metrics are gated; wall
+        // times and byte counts ride along for trajectory plots.
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => match std::fs::write("BENCH_net.json", body) {
+                Ok(()) => println!("[saved BENCH_net.json]\n"),
+                Err(e) => eprintln!("[warn] could not write BENCH_net.json: {e}"),
+            },
+            Err(e) => eprintln!("[warn] could not serialize net bench: {e}"),
+        }
+        persist(&args.out_dir, "bench_net", &result);
+    }
+
     // Unreachable unless the target list and the dispatch above drift.
     assert!(ran_any, "validated targets must all dispatch");
 }
@@ -464,6 +488,25 @@ fn run_list() {
             .into(),
     ]);
     print_table(&data);
+
+    let mut backends = Table::new("backends (BackendSpec)", &["name", "description"]);
+    backends.push_row(vec![
+        "Virtual".into(),
+        "discrete-event simulation; deterministic reference timing, no threads".into(),
+    ]);
+    backends.push_row(vec![
+        "Threaded".into(),
+        "one OS thread per worker, channel transport; real concurrency, emulated \
+         latency via time_scale"
+            .into(),
+    ]);
+    backends.push_row(vec![
+        "Tcp".into(),
+        "TCP master/worker round protocol; addr = null spawns a loopback fleet \
+         in-process, addr = \"host:port\" listens for external bcc-worker processes"
+            .into(),
+    ]);
+    print_table(&backends);
 }
 
 /// Runs the perf-regression gate and exits with its verdict (0 pass,

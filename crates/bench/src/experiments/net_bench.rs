@@ -1,0 +1,385 @@
+//! The networked-backend benchmark behind `repro net` —
+//! `BENCH_net.json`.
+//!
+//! Runs a small round grid on [`bcc_net::LocalNetCluster`] (real loopback
+//! TCP sockets, one worker thread per participant) and its virtual twin,
+//! and records two kinds of numbers per cell:
+//!
+//! * **Simulated metrics** — messages used, communication units, and a
+//!   `gradients_match_virtual` flag pinned against the virtual backend.
+//!   On the staircase latency profile these are deterministic, so the
+//!   perf gate compares them exactly like the policy/scale artifacts:
+//!   drift is a *behaviour* change, not host noise.
+//! * **Transport observables** — per-round wall times, bytes and frames
+//!   on the wire, death/reconnect counts. These describe the TCP stack
+//!   and the host; they are recorded for trajectory plots but never
+//!   gated.
+//!
+//! Three cells: the uncoded baseline, BCC at `r = 2` (early stopping over
+//! a real socket), and a mid-round worker death under `best-effort-all` —
+//! the fault path as a measured artifact, not just a test.
+
+use crate::report::{f1, f3, Table};
+use bcc_cluster::backend::FixedPointDriver;
+use bcc_cluster::{
+    BestEffortAll, ClusterBackend, ClusterProfile, CommModel, RoundOutcome, UnitMap,
+    VirtualCluster, WorkerProfile,
+};
+use bcc_coding::{BccScheme, GradientCodingScheme, UncodedScheme};
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_net::LocalNetCluster;
+use bcc_optim::LogisticLoss;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Configuration of one networked-backend benchmark run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetBenchConfig {
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Number of coding units `m`.
+    pub units: usize,
+    /// Data points per unit.
+    pub points_per_unit: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Rounds per cell (one worker fleet serves all of them).
+    pub rounds: usize,
+    /// Wall seconds per simulated second of injected latency.
+    pub time_scale: f64,
+    /// Master seed shared by the TCP run and its virtual twin.
+    pub seed: u64,
+}
+
+impl NetBenchConfig {
+    /// Default: 6 workers × 8 rounds at a 0.2 time scale (≲ 1 s of
+    /// injected latency per cell).
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self {
+            workers: 6,
+            units: 6,
+            points_per_unit: 10,
+            dim: 8,
+            rounds: 8,
+            time_scale: 0.2,
+            seed: 2024,
+        }
+    }
+
+    /// Smoke configuration: same grid, fewer rounds.
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            rounds: 3,
+            ..Self::default_config()
+        }
+    }
+
+    /// Deterministic staircase latency: per-worker shifts spaced 0.05
+    /// simulated seconds apart in scrambled order, exponential tail
+    /// negligible (`mu = 1e4`) — real-time arrival order is unambiguous,
+    /// which is what makes the simulated metrics gateable.
+    #[must_use]
+    pub fn profile(&self) -> ClusterProfile {
+        ClusterProfile {
+            workers: (0..self.workers)
+                .map(|i| WorkerProfile {
+                    mu: 1e4,
+                    a: 0.05 * (((i * 5) % self.workers) + 1) as f64,
+                })
+                .collect(),
+            comm: CommModel {
+                per_message_overhead: 0.001,
+                per_unit: 0.001,
+            },
+        }
+    }
+}
+
+/// One benchmark cell: a (scheme, policy, fault) point measured over TCP.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetCellRow {
+    /// Cell name (`uncoded` / `bcc-r2` / `death-best-effort`).
+    pub cell: String,
+    /// Scheme in force.
+    pub scheme: String,
+    /// Aggregation policy in force.
+    pub policy: String,
+    /// Rounds measured.
+    pub rounds: usize,
+    /// Mean messages used per round — **gated** (deterministic on the
+    /// staircase profile).
+    pub avg_messages_used: f64,
+    /// Mean communication units per round — deterministic companion.
+    pub avg_communication_units: f64,
+    /// Whether every round's decoded gradient matched the virtual twin
+    /// bit for bit — the cross-backend equivalence contract as data.
+    pub gradients_match_virtual: bool,
+    /// Per-round wall seconds at the master (host time; not gated).
+    pub round_wall_seconds: Vec<f64>,
+    /// Mean of [`Self::round_wall_seconds`].
+    pub mean_round_wall_seconds: f64,
+    /// Bytes the master wrote to worker sockets.
+    pub bytes_sent: u64,
+    /// Bytes the master read from worker sockets.
+    pub bytes_received: u64,
+    /// Frames the master sent.
+    pub frames_sent: u64,
+    /// Frames the master received.
+    pub frames_received: u64,
+    /// Worker deaths detected during the cell.
+    pub deaths: u64,
+    /// Worker reconnects admitted during the cell.
+    pub reconnects: u64,
+}
+
+/// The artifact behind `BENCH_net.json`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetBenchResult {
+    /// Schema tag (`bcc/bench_net/v1`).
+    pub schema: String,
+    /// Backend the cells ran on.
+    pub backend: String,
+    /// The configuration measured.
+    pub config: NetBenchConfig,
+    /// One row per cell.
+    pub rows: Vec<NetCellRow>,
+}
+
+impl NetBenchResult {
+    /// The row for `cell`, if measured.
+    #[must_use]
+    pub fn row(&self, cell: &str) -> Option<&NetCellRow> {
+        self.rows.iter().find(|r| r.cell == cell)
+    }
+}
+
+struct Cell {
+    name: &'static str,
+    scheme: Box<dyn GradientCodingScheme>,
+    policy: &'static str,
+    /// `(worker, round)` at which a worker drops its connection.
+    fail_at: Option<(usize, u64)>,
+}
+
+fn cells(cfg: &NetBenchConfig) -> Vec<Cell> {
+    // 3 batches at r = 2: workers 0..3 pick batches 0,1,2 and workers
+    // 3..6 pick 2,1,0 — every batch double-covered.
+    let bcc_choices: Vec<usize> = (0..cfg.workers)
+        .map(|w| {
+            if w < cfg.workers / 2 {
+                w % 3
+            } else {
+                2 - (w % 3)
+            }
+        })
+        .collect();
+    vec![
+        Cell {
+            name: "uncoded",
+            scheme: Box::new(UncodedScheme::new(cfg.units, cfg.workers)),
+            policy: "wait-decodable",
+            fail_at: None,
+        },
+        Cell {
+            name: "bcc-r2",
+            scheme: Box::new(BccScheme::from_choices(cfg.workers, 2, bcc_choices)),
+            policy: "wait-decodable",
+            fail_at: None,
+        },
+        Cell {
+            name: "death-best-effort",
+            scheme: Box::new(UncodedScheme::new(cfg.units, cfg.workers)),
+            policy: "best-effort-all",
+            fail_at: Some((3, 0)),
+        },
+    ]
+}
+
+fn gradients_match(net: &[RoundOutcome], virt: &[RoundOutcome]) -> bool {
+    net.len() == virt.len()
+        && net.iter().zip(virt).all(|(n, v)| {
+            n.gradient_sum.len() == v.gradient_sum.len()
+                && n.gradient_sum
+                    .iter()
+                    .zip(&v.gradient_sum)
+                    .all(|(a, b)| a.to_bits() == b.to_bits())
+        })
+}
+
+/// Runs the full grid: every cell on loopback TCP plus its virtual twin.
+///
+/// # Panics
+/// Panics when a cell cannot complete — a benchmark that cannot run its
+/// own cells has no artifact to write.
+#[must_use]
+pub fn run(cfg: &NetBenchConfig) -> NetBenchResult {
+    let num_examples = cfg.units * cfg.points_per_unit;
+    let data = generate(&SyntheticConfig::small(num_examples, cfg.dim, cfg.seed));
+    let units = UnitMap::grouped(num_examples, cfg.units);
+    let profile = cfg.profile();
+    let weights = vec![0.0; cfg.dim];
+
+    let mut rows = Vec::new();
+    for cell in cells(cfg) {
+        let mut net = LocalNetCluster::new(profile.clone(), cfg.seed, cfg.time_scale);
+        let mut virt = VirtualCluster::new(profile.clone(), cfg.seed);
+        if cell.policy == "best-effort-all" {
+            net = net.with_aggregation_policy(Arc::new(BestEffortAll));
+            virt = virt.with_aggregation_policy(Arc::new(BestEffortAll));
+        }
+        if let Some((worker, round)) = cell.fail_at {
+            net.fail_worker_at(worker, round);
+            // The virtual twin has no mid-round socket to drop; killing
+            // the worker up front yields the same per-round message sets
+            // under best-effort aggregation (see tests).
+            virt.kill_workers([worker]);
+        }
+
+        let mut net_driver = FixedPointDriver::new(weights.clone());
+        net.run_rounds(
+            cfg.rounds,
+            cell.scheme.as_ref(),
+            &units,
+            &data.dataset,
+            &LogisticLoss,
+            &mut net_driver,
+        )
+        .unwrap_or_else(|e| panic!("net cell `{}` failed: {e}", cell.name));
+        let stats = net.last_net_stats().expect("stats after a run");
+
+        let mut virt_driver = FixedPointDriver::new(weights.clone());
+        virt.run_rounds(
+            cfg.rounds,
+            cell.scheme.as_ref(),
+            &units,
+            &data.dataset,
+            &LogisticLoss,
+            &mut virt_driver,
+        )
+        .unwrap_or_else(|e| panic!("virtual twin of `{}` failed: {e}", cell.name));
+
+        let outcomes = &net_driver.outcomes;
+        let n = outcomes.len() as f64;
+        let round_wall_seconds: Vec<f64> = outcomes
+            .iter()
+            .map(|o| o.metrics.total_time * cfg.time_scale)
+            .collect();
+        rows.push(NetCellRow {
+            cell: cell.name.to_string(),
+            scheme: cell.scheme.name().to_string(),
+            policy: cell.policy.to_string(),
+            rounds: outcomes.len(),
+            avg_messages_used: outcomes
+                .iter()
+                .map(|o| o.metrics.messages_used as f64)
+                .sum::<f64>()
+                / n,
+            avg_communication_units: outcomes
+                .iter()
+                .map(|o| o.metrics.communication_units as f64)
+                .sum::<f64>()
+                / n,
+            gradients_match_virtual: gradients_match(outcomes, &virt_driver.outcomes),
+            mean_round_wall_seconds: round_wall_seconds.iter().sum::<f64>() / n,
+            round_wall_seconds,
+            bytes_sent: stats.bytes_sent,
+            bytes_received: stats.bytes_received,
+            frames_sent: stats.frames_sent,
+            frames_received: stats.frames_received,
+            deaths: stats.deaths,
+            reconnects: stats.reconnects,
+        });
+    }
+
+    NetBenchResult {
+        schema: "bcc/bench_net/v1".into(),
+        backend: "tcp-local".into(),
+        config: cfg.clone(),
+        rows,
+    }
+}
+
+/// Renders the result as a console table.
+#[must_use]
+pub fn render(result: &NetBenchResult) -> Table {
+    let mut t = Table::new(
+        format!(
+            "networked backend — {} rounds/cell over loopback TCP (time scale {})",
+            result.config.rounds, result.config.time_scale
+        ),
+        &[
+            "cell",
+            "scheme",
+            "policy",
+            "msgs/round",
+            "wall s/round",
+            "bytes tx",
+            "bytes rx",
+            "deaths",
+            "grad = virtual",
+        ],
+    );
+    for r in &result.rows {
+        t.push_row(vec![
+            r.cell.clone(),
+            r.scheme.clone(),
+            r.policy.clone(),
+            f1(r.avg_messages_used),
+            f3(r.mean_round_wall_seconds),
+            r.bytes_sent.to_string(),
+            r.bytes_received.to_string(),
+            r.deaths.to_string(),
+            if r.gradients_match_virtual {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_grid_measures_all_cells_and_matches_virtual() {
+        let cfg = NetBenchConfig::fast();
+        let result = run(&cfg);
+        assert_eq!(result.schema, "bcc/bench_net/v1");
+        assert_eq!(result.rows.len(), 3);
+        for row in &result.rows {
+            assert_eq!(row.rounds, cfg.rounds);
+            assert!(
+                row.gradients_match_virtual,
+                "cell `{}` must match the virtual twin",
+                row.cell
+            );
+            assert!(row.bytes_sent > 0 && row.bytes_received > 0);
+            assert_eq!(row.round_wall_seconds.len(), cfg.rounds);
+        }
+        // The uncoded baseline uses everyone; BCC stops early.
+        let uncoded = result.row("uncoded").unwrap();
+        assert!((uncoded.avg_messages_used - cfg.workers as f64).abs() < 1e-12);
+        let bcc = result.row("bcc-r2").unwrap();
+        assert!(bcc.avg_messages_used < cfg.workers as f64);
+        // The death cell actually died.
+        let death = result.row("death-best-effort").unwrap();
+        assert_eq!(death.deaths, 1);
+        assert!((death.avg_messages_used - (cfg.workers - 1) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn result_roundtrips_through_json() {
+        let result = run(&NetBenchConfig {
+            rounds: 1,
+            ..NetBenchConfig::fast()
+        });
+        let json = serde_json::to_string_pretty(&result).unwrap();
+        let back: NetBenchResult = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, result);
+    }
+}

@@ -23,6 +23,7 @@
 //! vectorization, an accidental per-round allocation, a dropped cache).
 
 use crate::experiments::engine_bench::{EngineBenchResult, GradientKernelResult};
+use crate::experiments::net_bench::NetBenchResult;
 use crate::experiments::policy_sweep::PolicySweepResult;
 use crate::experiments::scale::ScaleBenchResult;
 use crate::report::Table;
@@ -274,6 +275,57 @@ pub fn compare_scale(
         .collect()
 }
 
+/// Compares two networked-backend results per cell (`avg_messages_used` —
+/// deterministic on the staircase latency profile, so any drift is a
+/// protocol-behaviour change, not host noise). Wall times and byte counts
+/// are recorded in the artifact but deliberately **not** gated: loopback
+/// TCP timing is host property, not protocol property.
+///
+/// Additionally fails when any current cell lost bit-equivalence with the
+/// virtual backend (`gradients_match_virtual == false`) — the gate's one
+/// non-ratio check, because a backend that diverges from the simulation
+/// has no baseline worth comparing against.
+///
+/// # Errors
+/// A readable message when the configs differ, a baseline cell is missing
+/// from the current measurement, or a current cell broke equivalence.
+pub fn compare_net(
+    baseline: &NetBenchResult,
+    current: &NetBenchResult,
+    max_slowdown: f64,
+) -> Result<Vec<GateEntry>, String> {
+    if baseline.config != current.config {
+        return Err(format!(
+            "net: baseline and current configs differ — baseline {:?} vs current {:?}; \
+             measure with the same configuration (did one side run --fast?)",
+            baseline.config, current.config
+        ));
+    }
+    if let Some(broken) = current.rows.iter().find(|r| !r.gradients_match_virtual) {
+        return Err(format!(
+            "net: cell `{}` no longer matches the virtual backend bit for bit — \
+             cross-backend equivalence must hold before perf is worth comparing",
+            broken.cell
+        ));
+    }
+    baseline
+        .rows
+        .iter()
+        .map(|b| {
+            let c = current.row(&b.cell).ok_or_else(|| {
+                format!("net: cell `{}` missing from current measurement", b.cell)
+            })?;
+            entry(
+                "net",
+                format!("{} messages/round", b.cell),
+                b.avg_messages_used,
+                c.avg_messages_used,
+                max_slowdown,
+            )
+        })
+        .collect()
+}
+
 fn read_json<T: Deserialize>(path: &Path) -> Result<T, String> {
     let body = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
@@ -322,6 +374,11 @@ pub fn run(
         let baseline: ScaleBenchResult = read_json(&baseline_dir.join("BENCH_scale.json"))?;
         let current: ScaleBenchResult = read_json(&current_dir.join("BENCH_scale.json"))?;
         entries.extend(compare_scale(&baseline, &current, max_slowdown)?);
+    }
+    {
+        let baseline: NetBenchResult = read_json(&baseline_dir.join("BENCH_net.json"))?;
+        let current: NetBenchResult = read_json(&current_dir.join("BENCH_net.json"))?;
+        entries.extend(compare_net(&baseline, &current, max_slowdown)?);
     }
     Ok(GateReport {
         max_slowdown,
@@ -446,6 +503,32 @@ mod tests {
         }
     }
 
+    fn net_result(avg_messages: f64) -> NetBenchResult {
+        use crate::experiments::net_bench::{NetBenchConfig, NetCellRow};
+        NetBenchResult {
+            schema: "bcc/bench_net/v1".into(),
+            backend: "tcp-local".into(),
+            config: NetBenchConfig::default_config(),
+            rows: vec![NetCellRow {
+                cell: "uncoded".into(),
+                scheme: "uncoded".into(),
+                policy: "wait-decodable".into(),
+                rounds: 8,
+                avg_messages_used: avg_messages,
+                avg_communication_units: avg_messages,
+                gradients_match_virtual: true,
+                round_wall_seconds: vec![0.07; 8],
+                mean_round_wall_seconds: 0.07,
+                bytes_sent: 4096,
+                bytes_received: 2048,
+                frames_sent: 64,
+                frames_received: 56,
+                deaths: 0,
+                reconnects: 0,
+            }],
+        }
+    }
+
     #[test]
     fn within_threshold_passes() {
         let entries = compare_engine(&engine_result(1e-5), &engine_result(1.4e-5), 1.5).unwrap();
@@ -520,7 +603,8 @@ mod tests {
                      engine: &EngineBenchResult,
                      kernel: &GradientKernelResult,
                      policy: &PolicySweepResult,
-                     scale: &ScaleBenchResult| {
+                     scale: &ScaleBenchResult,
+                     net: &NetBenchResult| {
             std::fs::write(
                 dir.join("BENCH_round_engine.json"),
                 serde_json::to_string_pretty(engine).unwrap(),
@@ -541,6 +625,11 @@ mod tests {
                 serde_json::to_string_pretty(scale).unwrap(),
             )
             .unwrap();
+            std::fs::write(
+                dir.join("BENCH_net.json"),
+                serde_json::to_string_pretty(net).unwrap(),
+            )
+            .unwrap();
         };
         write(
             &baseline_dir,
@@ -548,6 +637,7 @@ mod tests {
             &kernel_result(1000.0),
             &policy_result(0.2),
             &scale_result(0.3),
+            &net_result(6.0),
         );
         // Engine fine, kernel injected 1.6x slower: the gate must fail on
         // exactly that entry.
@@ -557,10 +647,11 @@ mod tests {
             &kernel_result(1600.0),
             &policy_result(0.2),
             &scale_result(0.3),
+            &net_result(6.0),
         );
 
         let report = run(&baseline_dir, &current_dir, 1.5).unwrap();
-        assert_eq!(report.entries.len(), 4);
+        assert_eq!(report.entries.len(), 5);
         assert!(!report.passed());
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
@@ -620,6 +711,37 @@ mod tests {
         };
         let err = compare_scale(&scale_result(0.3), &missing, 1.5).unwrap_err();
         assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn net_drift_fails_the_gate() {
+        // Messages per round are deterministic on the staircase profile:
+        // drift beyond the threshold is a protocol-behaviour change.
+        let entries = compare_net(&net_result(4.0), &net_result(6.0), 1.4).unwrap();
+        assert!(!entries[0].ok);
+        assert!(entries[0].entry.contains("uncoded"));
+        let missing = NetBenchResult {
+            rows: Vec::new(),
+            ..net_result(6.0)
+        };
+        let err = compare_net(&net_result(6.0), &missing, 1.5).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+    }
+
+    #[test]
+    fn net_equivalence_break_is_an_error_not_a_pass() {
+        let baseline = net_result(6.0);
+        let mut current = net_result(6.0);
+        current.rows[0].gradients_match_virtual = false;
+        let err = compare_net(&baseline, &current, 1.5).unwrap_err();
+        assert!(
+            err.contains("no longer matches the virtual backend"),
+            "{err}"
+        );
+        let mut other_cfg = net_result(6.0);
+        other_cfg.config.rounds = 3;
+        let err = compare_net(&baseline, &other_cfg, 1.5).unwrap_err();
+        assert!(err.contains("configs differ"), "{err}");
     }
 
     #[test]

@@ -113,6 +113,7 @@ fn gate_exit_code_tracks_the_verdict() {
         "BENCH_gradient_kernel.json",
         "BENCH_policy_tradeoff.json",
         "BENCH_scale.json",
+        "BENCH_net.json",
     ] {
         std::fs::copy(repo_root.join(name), baseline.join(name)).unwrap();
         std::fs::copy(repo_root.join(name), current.join(name)).unwrap();
@@ -181,6 +182,10 @@ fn list_enumerates_schemes_models_and_policies() {
         "in-memory",
         "chunked",
         "minibatch",
+        "Virtual",
+        "Threaded",
+        "Tcp",
+        "bcc-worker",
     ] {
         assert!(stdout.contains(expected), "`{expected}` missing:\n{stdout}");
     }
@@ -249,6 +254,37 @@ fn oversized_minibatch_in_spec_file_is_a_readable_error() {
     assert!(
         err.contains("data.minibatch") && err.contains("exceeds"),
         "stderr must explain the bound: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_backend_in_spec_file_is_a_readable_error() {
+    let dir = scratch("backend");
+    let spec = dir.join("bad_backend.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "uncoded", "iterations": 2,
+            "backend": "Grpc"}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown backend is a spec error (usage exit code): {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown backend") && err.contains("Grpc"),
+        "stderr must name the bad backend: {err}"
+    );
+    assert!(
+        err.contains("Virtual, Threaded, Tcp"),
+        "stderr must list the valid backends: {err}"
     );
     assert!(!err.contains("panicked"), "must not panic: {err}");
     std::fs::remove_dir_all(&dir).unwrap();

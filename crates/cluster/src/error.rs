@@ -24,6 +24,9 @@ pub enum ClusterError {
     },
     /// A wire-format encode/decode failure.
     Wire(String),
+    /// A networking/transport failure: socket IO, handshake, or framing
+    /// errors from the TCP backend.
+    Net(String),
 }
 
 impl fmt::Display for ClusterError {
@@ -35,6 +38,7 @@ impl fmt::Display for ClusterError {
             }
             Self::WorkerFailed { worker } => write!(f, "worker {worker} failed"),
             Self::Wire(msg) => write!(f, "wire error: {msg}"),
+            Self::Net(msg) => write!(f, "network error: {msg}"),
         }
     }
 }
@@ -67,5 +71,8 @@ mod tests {
         assert!(ClusterError::Wire("truncated".into())
             .to_string()
             .contains("truncated"));
+        assert!(ClusterError::Net("connection refused".into())
+            .to_string()
+            .contains("connection refused"));
     }
 }

@@ -16,6 +16,7 @@ use bcc_cluster::{
 };
 use bcc_coding::GradientCodingScheme;
 use bcc_data::synthetic::{generate, SyntheticConfig, SyntheticDataset};
+use bcc_net::{LocalNetCluster, TcpCluster};
 use bcc_optim::{
     ConvergenceTrace, GradientDescent, LogisticLoss, Loss, Nesterov, Optimizer, SquaredLoss,
 };
@@ -168,6 +169,40 @@ impl Experiment {
         self.policy.as_ref()
     }
 
+    /// The per-round minibatch sampler this spec resolves to (`None` for
+    /// the paper's full-partition rounds). Derived from the spec seed
+    /// exactly as [`Self::run`] derives it, so an external worker process
+    /// samples the same unit selections as the master.
+    #[must_use]
+    pub fn minibatch(&self) -> Option<Minibatch> {
+        self.spec
+            .data
+            .minibatch()
+            .map(|k| Minibatch::new(k, derive_seed(self.spec.seed, MINIBATCH_STREAM)))
+    }
+
+    /// The materialized dataset (generated from the spec seed on first
+    /// call, cached for later runs). External workers regenerate the same
+    /// bytes from the same resolved spec — data is never shipped.
+    #[must_use]
+    pub fn dataset(&self) -> &bcc_data::Dataset {
+        &self.synthetic().dataset
+    }
+
+    fn synthetic(&self) -> &SyntheticDataset {
+        let spec = &self.spec;
+        let (num_examples, dim) = spec.data.shape(spec.units);
+        let DataSpec::Synthetic { separation, .. } = spec.data;
+        self.data.get_or_init(|| {
+            generate(&SyntheticConfig {
+                num_examples,
+                dim,
+                separation,
+                seed: spec.seed,
+            })
+        })
+    }
+
     /// Runs the experiment: generate data, spin up the backend, and drive
     /// `iterations` rounds through the optimizer.
     ///
@@ -181,15 +216,7 @@ impl Experiment {
     pub fn run(&self) -> Result<ExperimentReport, BccError> {
         let spec = &self.spec;
         let (num_examples, dim) = spec.data.shape(spec.units);
-        let DataSpec::Synthetic { separation, .. } = spec.data;
-        let data = self.data.get_or_init(|| {
-            generate(&SyntheticConfig {
-                num_examples,
-                dim,
-                separation,
-                seed: spec.seed,
-            })
-        });
+        let data = self.synthetic();
         let units = UnitMap::grouped(num_examples, spec.units);
         let loss: &dyn Loss = match spec.loss {
             LossSpec::Logistic => &LogisticLoss,
@@ -199,11 +226,8 @@ impl Experiment {
         // Minibatch rounds sample their unit subset from a dedicated
         // derived stream, so full and minibatch runs of the same seed
         // share data, placement, and latency draws.
-        let minibatch = spec
-            .data
-            .minibatch()
-            .map(|k| Minibatch::new(k, derive_seed(spec.seed, MINIBATCH_STREAM)));
-        let mut backend: Box<dyn ClusterBackend> = match spec.backend {
+        let minibatch = self.minibatch();
+        let mut backend: Box<dyn ClusterBackend> = match &spec.backend {
             BackendSpec::Virtual => Box::new(
                 VirtualCluster::new(self.profile.clone(), backend_seed)
                     .with_straggler_model(Arc::clone(&self.model))
@@ -211,11 +235,39 @@ impl Experiment {
                     .with_minibatch(minibatch),
             ),
             BackendSpec::Threaded { time_scale } => Box::new(
-                ThreadedCluster::new(self.profile.clone(), backend_seed, time_scale)
+                ThreadedCluster::new(self.profile.clone(), backend_seed, *time_scale)
                     .with_straggler_model(Arc::clone(&self.model))
                     .with_aggregation_policy(Arc::clone(&self.policy))
                     .with_minibatch(minibatch),
             ),
+            // Loopback TCP: an in-process worker fleet over real kernel
+            // sockets — `Experiment::run` stays a one-call entry point.
+            BackendSpec::Tcp {
+                time_scale,
+                addr: None,
+            } => Box::new(
+                LocalNetCluster::new(self.profile.clone(), backend_seed, *time_scale)
+                    .with_straggler_model(Arc::clone(&self.model))
+                    .with_aggregation_policy(Arc::clone(&self.policy))
+                    .with_minibatch(minibatch),
+            ),
+            // Bound TCP: listen for external `bcc-worker` processes and
+            // hand them the resolved spec as their job description.
+            BackendSpec::Tcp {
+                time_scale,
+                addr: Some(addr),
+            } => {
+                let job = spec
+                    .to_json_pretty()
+                    .map_err(|e| BccError::Spec(format!("serializing worker job: {e}")))?;
+                Box::new(
+                    TcpCluster::bind(addr, self.profile.clone(), backend_seed, *time_scale)?
+                        .with_job(job)
+                        .with_straggler_model(Arc::clone(&self.model))
+                        .with_aggregation_policy(Arc::clone(&self.policy))
+                        .with_minibatch(minibatch),
+                )
+            }
         };
 
         let mut optimizer: Option<Box<dyn Optimizer>> = match spec.optimizer {
@@ -538,12 +590,15 @@ fn validate_spec(spec: &ExperimentSpec) -> Result<(), BuildError> {
             });
         }
     }
-    if let BackendSpec::Threaded { time_scale } = spec.backend {
-        if !time_scale.is_finite() || time_scale <= 0.0 {
-            return Err(BuildError::InvalidValue {
-                field: "backend.time_scale",
-                reason: format!("must be positive and finite, got {time_scale}"),
-            });
+    match &spec.backend {
+        BackendSpec::Virtual => {}
+        BackendSpec::Threaded { time_scale } | BackendSpec::Tcp { time_scale, .. } => {
+            if !time_scale.is_finite() || *time_scale <= 0.0 {
+                return Err(BuildError::InvalidValue {
+                    field: "backend.time_scale",
+                    reason: format!("must be positive and finite, got {time_scale}"),
+                });
+            }
         }
     }
     Ok(())

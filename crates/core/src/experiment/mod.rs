@@ -34,11 +34,13 @@
 
 mod builder;
 mod error;
+pub mod net_worker;
 mod registry;
 mod spec;
 
 pub use builder::{Experiment, ExperimentBuilder, ExperimentReport};
 pub use error::BuildError;
+pub use net_worker::run_worker;
 pub use registry::{PolicyFactory, PolicyRegistry, SchemeFactory, SchemeRegistry};
 pub use spec::{
     BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, PolicySpec,

@@ -1,0 +1,83 @@
+//! The worker side of the networked backend, at the experiment layer.
+//!
+//! A [`TcpCluster`](bcc_net::TcpCluster) master sends each connecting
+//! worker a *job*: the resolved [`ExperimentSpec`] as JSON. This module
+//! turns that job back into the worker's share of the computation —
+//! regenerate the dataset from the spec seed (data never crosses the
+//! wire), rebuild the scheme placement from the derived placement stream,
+//! and serve rounds until the master says shutdown. It is the library
+//! entry point behind the `bcc-worker` binary, and usable directly by
+//! anything that wants to embed a worker (tests spawn it in threads).
+//!
+//! Because every input is derived from the spec, a worker process started
+//! with nothing but `(master address, worker id)` computes bit-identical
+//! partial gradients to the simulated backends — the cross-backend
+//! equivalence contract extends across process boundaries.
+
+use super::spec::{BackendSpec, ExperimentSpec, LossSpec};
+use super::Experiment;
+use crate::error::BccError;
+use bcc_cluster::engine::RoundContext;
+use bcc_cluster::{UnitMap, WorkerBlocks};
+use bcc_net::{connect_with_retry, handshake, serve_rounds, WorkerConfig};
+use bcc_optim::{LogisticLoss, Loss, SquaredLoss};
+use std::time::Duration;
+
+/// Default time a worker keeps retrying the master's address before
+/// giving up (workers often start before the master binds).
+pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Connects to a master at `addr`, receives the job spec, and serves
+/// rounds as worker `worker` until the master shuts the run down.
+///
+/// Blocks for the lifetime of the run. Returns `Ok(())` on an orderly
+/// shutdown (master sent `Shutdown` or closed the connection after the
+/// final round).
+///
+/// # Errors
+/// - [`BccError::Cluster`] on connect/handshake/socket failures;
+/// - [`BccError::Spec`] when the master's job JSON does not parse;
+/// - [`BccError::Build`] when the job spec fails validation.
+pub fn run_worker(addr: &str, worker: usize) -> Result<(), BccError> {
+    run_worker_with_timeout(addr, worker, DEFAULT_CONNECT_TIMEOUT)
+}
+
+/// [`run_worker`] with an explicit connect/retry budget.
+///
+/// # Errors
+/// As [`run_worker`].
+pub fn run_worker_with_timeout(
+    addr: &str,
+    worker: usize,
+    connect_timeout: Duration,
+) -> Result<(), BccError> {
+    let mut stream = connect_with_retry(addr, connect_timeout)?;
+    let job = handshake(&mut stream, worker)?;
+    let spec = ExperimentSpec::from_json(&job)
+        .map_err(|e| BccError::Spec(format!("parsing job spec from master: {e}")))?;
+    let time_scale = match &spec.backend {
+        BackendSpec::Tcp { time_scale, .. } | BackendSpec::Threaded { time_scale } => *time_scale,
+        BackendSpec::Virtual => 1.0,
+    };
+    let experiment = Experiment::from_spec(spec)?;
+    let spec = experiment.spec();
+    let (num_examples, _) = spec.data.shape(spec.units);
+    let loss: &dyn Loss = match spec.loss {
+        LossSpec::Logistic => &LogisticLoss,
+        LossSpec::Squared => &SquaredLoss,
+    };
+    let data = experiment.dataset();
+    let units = UnitMap::grouped(num_examples, spec.units);
+    let packed = WorkerBlocks::build(experiment.scheme(), &units, data);
+    let ctx = RoundContext {
+        scheme: experiment.scheme(),
+        units: &units,
+        data,
+        loss,
+        packed: &packed,
+        minibatch: experiment.minibatch(),
+    };
+    let cfg = WorkerConfig::new(worker, time_scale);
+    serve_rounds(stream, &ctx, &cfg)?;
+    Ok(())
+}

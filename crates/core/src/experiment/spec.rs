@@ -384,7 +384,7 @@ impl LatencySpec {
 }
 
 /// Which cluster runtime executes the rounds.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub enum BackendSpec {
     /// The deterministic DES runtime (`VirtualCluster`) — figures/sweeps.
     #[default]
@@ -394,6 +394,65 @@ pub enum BackendSpec {
         /// Wall seconds per simulated second of injected latency.
         time_scale: f64,
     },
+    /// The networked runtime (`bcc_net`): a TCP master speaking the
+    /// length-prefixed frame protocol to workers over real sockets.
+    Tcp {
+        /// Wall seconds per simulated second of injected latency.
+        time_scale: f64,
+        /// Listen address for external `bcc-worker` processes
+        /// (e.g. `"127.0.0.1:4400"`). `None` runs an in-process loopback
+        /// fleet (`bcc_net::LocalNetCluster`) — every byte still crosses
+        /// a kernel TCP socket, but no processes need launching.
+        addr: Option<String>,
+    },
+}
+
+impl BackendSpec {
+    /// The valid backend names, for error messages and `repro list`.
+    pub const VARIANTS: &'static str = "Virtual, Threaded, Tcp";
+
+    /// The loopback TCP backend (in-process worker fleet on `127.0.0.1`).
+    #[must_use]
+    pub fn tcp_loopback(time_scale: f64) -> Self {
+        Self::Tcp {
+            time_scale,
+            addr: None,
+        }
+    }
+}
+
+// Manual impl so an unknown backend names the valid variants instead of
+// the derive's generic error, and so `addr` stays optional in JSON.
+impl Deserialize for BackendSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        let unknown = |other: &str| {
+            serde::Error::msg(format!(
+                "unknown backend `{other}`: expected one of {}",
+                Self::VARIANTS
+            ))
+        };
+        match v {
+            Value::Str(name) if name == "Virtual" => Ok(Self::Virtual),
+            Value::Str(other) => Err(unknown(other)),
+            Value::Object(fields) if fields.len() == 1 => {
+                let (tag, inner) = &fields[0];
+                match tag.as_str() {
+                    "Virtual" => Ok(Self::Virtual),
+                    "Threaded" => Ok(Self::Threaded {
+                        time_scale: required(inner, "time_scale")?,
+                    }),
+                    "Tcp" => Ok(Self::Tcp {
+                        time_scale: required(inner, "time_scale")?,
+                        addr: opt_field(inner, "addr")?,
+                    }),
+                    other => Err(unknown(other)),
+                }
+            }
+            other => Err(serde::Error::msg(format!(
+                "expected backend name or single-variant object, got {other:?}"
+            ))),
+        }
+    }
 }
 
 /// The per-example loss.
@@ -662,6 +721,41 @@ mod tests {
         let json = spec.to_json_pretty().unwrap();
         let back = ExperimentSpec::from_json(&json).unwrap();
         assert_eq!(back, spec);
+    }
+
+    #[test]
+    fn tcp_backend_roundtrips_with_and_without_addr() {
+        let loopback = BackendSpec::tcp_loopback(0.02);
+        let json = serde_json::to_string(&loopback).unwrap();
+        let back: BackendSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, loopback);
+
+        let bound = BackendSpec::Tcp {
+            time_scale: 1.0,
+            addr: Some("127.0.0.1:4400".into()),
+        };
+        let json = serde_json::to_string(&bound).unwrap();
+        let back: BackendSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, bound);
+
+        // `addr` is optional in hand-written spec files.
+        let b: BackendSpec = serde_json::from_str(r#"{"Tcp": {"time_scale": 1.0}}"#).unwrap();
+        assert_eq!(b, BackendSpec::tcp_loopback(1.0));
+    }
+
+    #[test]
+    fn unknown_backend_error_names_valid_variants() {
+        for json in [r#""Quantum""#, r#"{"Quantum": {"time_scale": 1.0}}"#] {
+            let err = serde_json::from_str::<BackendSpec>(json).unwrap_err();
+            let msg = err.to_string();
+            assert!(msg.contains("unknown backend `Quantum`"), "got: {msg}");
+            assert!(msg.contains("Virtual, Threaded, Tcp"), "got: {msg}");
+        }
+        let err = ExperimentSpec::from_json(
+            r#"{"workers": 4, "units": 4, "scheme": "uncoded", "backend": "Quantum"}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("Virtual, Threaded, Tcp"));
     }
 
     #[test]

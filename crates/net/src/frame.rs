@@ -1,0 +1,412 @@
+//! Length-prefixed control/data frames for the TCP round protocol.
+//!
+//! Every message on a master↔worker socket is one frame:
+//!
+//! ```text
+//! len  u32 le   — length of tag + body, 1 ..= MAX_FRAME_LEN
+//! tag  u8       — message discriminant (see NetMessage)
+//! body per tag  — little-endian fields, exact length (no trailing bytes)
+//! ```
+//!
+//! The codec is split in two layers so hardening tests hit pure functions:
+//! [`encode`]/[`decode_frame`] translate between [`NetMessage`] and bytes
+//! with no IO, and [`read_message`]/[`write_message`] move whole frames
+//! over any `Read`/`Write`. Corrupted input — truncated bodies, trailing
+//! garbage, absurd length claims — always returns
+//! [`ClusterError::Net`]; the length prefix is capped at
+//! [`MAX_FRAME_LEN`] before any allocation, so a hostile length can never
+//! over-allocate or over-read (pinned by `tests/frame_proptests.rs`).
+//!
+//! Gradient payloads are **not** re-encoded here: a [`NetMessage::Data`]
+//! body is byte-for-byte a [`bcc_cluster::wire`] envelope, the same codec
+//! the threaded backend ships through its channels.
+
+use bcc_cluster::ClusterError;
+use bytes::{Buf, Bytes};
+use std::io::{ErrorKind, Read, Write};
+
+/// Hard cap on a frame's tag+body length (64 MiB) — far above any real
+/// gradient message, low enough that a corrupted length prefix cannot
+/// drive an allocation.
+pub const MAX_FRAME_LEN: usize = 64 << 20;
+
+/// One protocol message between master and worker.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetMessage {
+    /// Worker → master, first frame on a connection: announces the worker
+    /// id the registry keys on.
+    Hello {
+        /// The sender's worker id.
+        worker: u64,
+    },
+    /// Master → worker, handshake reply: the job assignment as a JSON
+    /// experiment spec. Empty when the worker already holds the problem
+    /// in-process (the loopback harness).
+    Job(String),
+    /// Master → worker: start round `round` at the broadcast weights,
+    /// emulating `delay_seconds` of compute (sampled at the master from
+    /// the shared latency stream so every backend replays identically).
+    Round {
+        /// Global round id.
+        round: u64,
+        /// Simulated compute duration to emulate before sending.
+        delay_seconds: f64,
+        /// The evaluation point `w`.
+        weights: Vec<f64>,
+    },
+    /// Worker → master: a wire-encoded [`bcc_cluster::Envelope`] carrying
+    /// the coded gradient payload.
+    Data(Bytes),
+    /// Worker → master: no payload for `round` (encode failure) — lets the
+    /// master count the worker as reported instead of waiting it out.
+    Skipped {
+        /// The round the worker is skipping.
+        round: u64,
+    },
+    /// Worker → master: liveness beacon.
+    Heartbeat {
+        /// The sender's worker id.
+        worker: u64,
+    },
+    /// Master → worker: every round below `before_round` is settled —
+    /// abandon their sleeps/compute.
+    Finished {
+        /// First round that is still (or not yet) in flight.
+        before_round: u64,
+    },
+    /// Master → worker: the run is over; exit cleanly.
+    Shutdown,
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_JOB: u8 = 1;
+const TAG_ROUND: u8 = 2;
+const TAG_DATA: u8 = 3;
+const TAG_SKIPPED: u8 = 4;
+const TAG_HEARTBEAT: u8 = 5;
+const TAG_FINISHED: u8 = 6;
+const TAG_SHUTDOWN: u8 = 7;
+
+fn err(msg: impl Into<String>) -> ClusterError {
+    ClusterError::Net(msg.into())
+}
+
+/// Serializes a message to one complete frame (length prefix included).
+#[must_use]
+pub fn encode(msg: &NetMessage) -> Vec<u8> {
+    let body_len = match msg {
+        NetMessage::Hello { .. } | NetMessage::Heartbeat { .. } => 8,
+        NetMessage::Job(job) => job.len(),
+        NetMessage::Round { weights, .. } => 8 + 8 + 8 + 8 * weights.len(),
+        NetMessage::Data(bytes) => bytes.len(),
+        NetMessage::Skipped { .. } | NetMessage::Finished { .. } => 8,
+        NetMessage::Shutdown => 0,
+    };
+    let mut out = Vec::with_capacity(4 + 1 + body_len);
+    out.extend_from_slice(
+        &u32::try_from(1 + body_len)
+            .expect("frame fits u32")
+            .to_le_bytes(),
+    );
+    match msg {
+        NetMessage::Hello { worker } => {
+            out.push(TAG_HELLO);
+            out.extend_from_slice(&worker.to_le_bytes());
+        }
+        NetMessage::Job(job) => {
+            out.push(TAG_JOB);
+            out.extend_from_slice(job.as_bytes());
+        }
+        NetMessage::Round {
+            round,
+            delay_seconds,
+            weights,
+        } => {
+            out.push(TAG_ROUND);
+            out.extend_from_slice(&round.to_le_bytes());
+            out.extend_from_slice(&delay_seconds.to_le_bytes());
+            out.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+            for w in weights {
+                out.extend_from_slice(&w.to_le_bytes());
+            }
+        }
+        NetMessage::Data(bytes) => {
+            out.push(TAG_DATA);
+            out.extend_from_slice(bytes.as_ref());
+        }
+        NetMessage::Skipped { round } => {
+            out.push(TAG_SKIPPED);
+            out.extend_from_slice(&round.to_le_bytes());
+        }
+        NetMessage::Heartbeat { worker } => {
+            out.push(TAG_HEARTBEAT);
+            out.extend_from_slice(&worker.to_le_bytes());
+        }
+        NetMessage::Finished { before_round } => {
+            out.push(TAG_FINISHED);
+            out.extend_from_slice(&before_round.to_le_bytes());
+        }
+        NetMessage::Shutdown => out.push(TAG_SHUTDOWN),
+    }
+    debug_assert_eq!(out.len(), 4 + 1 + body_len);
+    out
+}
+
+/// Decodes one frame's payload (tag + body, the bytes *after* the length
+/// prefix).
+///
+/// # Errors
+/// [`ClusterError::Net`] on an empty payload, unknown tag, truncated body,
+/// trailing bytes, or invalid UTF-8 in a job string — never a panic, and
+/// never a read past `payload`.
+pub fn decode_frame(payload: &[u8]) -> Result<NetMessage, ClusterError> {
+    let (&tag, body) = payload
+        .split_first()
+        .ok_or_else(|| err("empty frame (missing tag)"))?;
+    let mut body = Bytes::copy_from_slice(body);
+    let take_u64 = |b: &mut Bytes, what: &str| -> Result<u64, ClusterError> {
+        if b.remaining() < 8 {
+            return Err(err(format!("truncated frame reading {what}")));
+        }
+        Ok(b.get_u64_le())
+    };
+    let msg = match tag {
+        TAG_HELLO => NetMessage::Hello {
+            worker: take_u64(&mut body, "hello worker id")?,
+        },
+        TAG_JOB => {
+            let job = String::from_utf8(body.to_vec())
+                .map_err(|_| err("job frame is not valid UTF-8"))?;
+            body.advance(body.remaining());
+            NetMessage::Job(job)
+        }
+        TAG_ROUND => {
+            let round = take_u64(&mut body, "round id")?;
+            if body.remaining() < 8 {
+                return Err(err("truncated frame reading round delay"));
+            }
+            let delay_seconds = body.get_f64_le();
+            let len = take_u64(&mut body, "weight count")? as usize;
+            if body.remaining() != len.saturating_mul(8) {
+                return Err(err(format!(
+                    "round frame claims {len} weights but carries {} bytes",
+                    body.remaining()
+                )));
+            }
+            let mut weights = Vec::with_capacity(len);
+            for _ in 0..len {
+                weights.push(body.get_f64_le());
+            }
+            NetMessage::Round {
+                round,
+                delay_seconds,
+                weights,
+            }
+        }
+        TAG_DATA => {
+            let bytes = body.clone();
+            body.advance(body.remaining());
+            NetMessage::Data(bytes)
+        }
+        TAG_SKIPPED => NetMessage::Skipped {
+            round: take_u64(&mut body, "skipped round id")?,
+        },
+        TAG_HEARTBEAT => NetMessage::Heartbeat {
+            worker: take_u64(&mut body, "heartbeat worker id")?,
+        },
+        TAG_FINISHED => NetMessage::Finished {
+            before_round: take_u64(&mut body, "finished round id")?,
+        },
+        TAG_SHUTDOWN => NetMessage::Shutdown,
+        other => return Err(err(format!("unknown frame tag {other}"))),
+    };
+    if body.remaining() != 0 {
+        return Err(err(format!(
+            "{} trailing bytes after frame body",
+            body.remaining()
+        )));
+    }
+    Ok(msg)
+}
+
+/// Reads one complete frame from `r`.
+///
+/// Returns `Ok(None)` on a clean end-of-stream (EOF exactly at a frame
+/// boundary — how a peer's orderly close appears).
+///
+/// # Errors
+/// [`ClusterError::Net`] on mid-frame EOF, socket errors, a zero or
+/// over-[`MAX_FRAME_LEN`] length prefix, or a malformed payload. The
+/// length check happens before any allocation.
+pub fn read_message(r: &mut impl Read) -> Result<Option<NetMessage>, ClusterError> {
+    let mut len_buf = [0u8; 4];
+    match read_exact_or_eof(r, &mut len_buf)? {
+        ReadOutcome::Eof => return Ok(None),
+        ReadOutcome::Filled => {}
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 {
+        return Err(err("zero-length frame"));
+    }
+    if len > MAX_FRAME_LEN {
+        return Err(err(format!(
+            "frame length {len} exceeds the {MAX_FRAME_LEN}-byte cap"
+        )));
+    }
+    let mut payload = vec![0u8; len];
+    r.read_all(&mut payload)?;
+    decode_frame(&payload).map(Some)
+}
+
+/// Writes one complete frame to `w`, returning the bytes put on the wire.
+///
+/// # Errors
+/// [`ClusterError::Net`] wrapping the underlying IO error.
+pub fn write_message(w: &mut impl Write, msg: &NetMessage) -> Result<usize, ClusterError> {
+    let frame = encode(msg);
+    w.write_all(&frame)
+        .and_then(|()| w.flush())
+        .map_err(|e| err(format!("send failed: {e}")))?;
+    Ok(frame.len())
+}
+
+enum ReadOutcome {
+    Filled,
+    Eof,
+}
+
+/// Fills `buf` completely, reporting a clean EOF only when zero bytes were
+/// read; EOF mid-buffer is a framing error.
+fn read_exact_or_eof<R: Read + ?Sized>(
+    r: &mut R,
+    buf: &mut [u8],
+) -> Result<ReadOutcome, ClusterError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) if filled == 0 => return Ok(ReadOutcome::Eof),
+            Ok(0) => return Err(err("connection closed mid-frame")),
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(err(format!("receive failed: {e}"))),
+        }
+    }
+    Ok(ReadOutcome::Filled)
+}
+
+/// `read_exact` with [`ClusterError::Net`] errors (EOF here is always a
+/// truncation, the length prefix already promised more bytes).
+trait ReadAll: Read {
+    fn read_all(&mut self, buf: &mut [u8]) -> Result<(), ClusterError> {
+        match read_exact_or_eof(self, buf)? {
+            ReadOutcome::Filled => Ok(()),
+            ReadOutcome::Eof => Err(err("connection closed mid-frame")),
+        }
+    }
+}
+
+impl<R: Read> ReadAll for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn examples() -> Vec<NetMessage> {
+        vec![
+            NetMessage::Hello { worker: 7 },
+            NetMessage::Job(String::new()),
+            NetMessage::Job("{\"workers\": 4}".into()),
+            NetMessage::Round {
+                round: 12,
+                delay_seconds: 0.75,
+                weights: vec![1.0, -2.5, 0.0],
+            },
+            NetMessage::Round {
+                round: 0,
+                delay_seconds: 0.0,
+                weights: vec![],
+            },
+            NetMessage::Data(Bytes::copy_from_slice(&[0xBC, 0xC0, 0x17, 0xE5, 1])),
+            NetMessage::Skipped { round: 3 },
+            NetMessage::Heartbeat { worker: 11 },
+            NetMessage::Finished { before_round: 42 },
+            NetMessage::Shutdown,
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in examples() {
+            let frame = encode(&msg);
+            let decoded = decode_frame(&frame[4..]).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn stream_of_frames_reads_back_in_order() {
+        let mut wire = Vec::new();
+        for msg in examples() {
+            let n = write_message(&mut wire, &msg).unwrap();
+            assert_eq!(n, encode(&msg).len());
+        }
+        let mut cursor = Cursor::new(wire);
+        for expected in examples() {
+            assert_eq!(read_message(&mut cursor).unwrap().unwrap(), expected);
+        }
+        assert!(read_message(&mut cursor).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn truncated_frames_error_at_every_cut() {
+        let frame = encode(&NetMessage::Round {
+            round: 5,
+            delay_seconds: 1.5,
+            weights: vec![3.0, 4.0],
+        });
+        for cut in 1..frame.len() {
+            let mut cursor = Cursor::new(frame[..cut].to_vec());
+            let result = read_message(&mut cursor);
+            assert!(result.is_err(), "cut at {cut} must be a framing error");
+        }
+    }
+
+    #[test]
+    fn oversized_length_prefix_rejected_before_allocation() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        wire.push(TAG_SHUTDOWN);
+        let e = read_message(&mut Cursor::new(wire)).unwrap_err();
+        assert!(matches!(e, ClusterError::Net(msg) if msg.contains("cap")));
+    }
+
+    #[test]
+    fn zero_length_and_unknown_tag_rejected() {
+        let e = read_message(&mut Cursor::new(0u32.to_le_bytes().to_vec())).unwrap_err();
+        assert!(matches!(e, ClusterError::Net(msg) if msg.contains("zero-length")));
+        let e = decode_frame(&[99]).unwrap_err();
+        assert!(matches!(e, ClusterError::Net(msg) if msg.contains("unknown frame tag")));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut payload = encode(&NetMessage::Skipped { round: 1 })[4..].to_vec();
+        payload.push(0xAB);
+        let e = decode_frame(&payload).unwrap_err();
+        assert!(matches!(e, ClusterError::Net(msg) if msg.contains("trailing")));
+    }
+
+    #[test]
+    fn round_weight_count_must_match_body() {
+        let mut payload = encode(&NetMessage::Round {
+            round: 1,
+            delay_seconds: 0.5,
+            weights: vec![1.0, 2.0],
+        })[4..]
+            .to_vec();
+        // Claim 3 weights while carrying 2.
+        payload[17..25].copy_from_slice(&3u64.to_le_bytes());
+        assert!(decode_frame(&payload).is_err());
+    }
+}

@@ -1,0 +1,41 @@
+//! Networked cluster backend: a TCP master/worker runtime.
+//!
+//! The two in-process backends ([`bcc_cluster::ThreadedCluster`] and
+//! [`bcc_cluster::VirtualCluster`]) simulate arrivals; this crate makes
+//! them *genuine network events*. The master ([`TcpCluster`]) binds a
+//! `std::net` TCP listener, registers workers through a `Hello`/`Job`
+//! handshake, broadcasts per-round weight frames, and feeds the shared
+//! [`bcc_cluster::RoundEngine`] from one reader thread per worker. Workers
+//! — OS processes running the `bcc-worker` binary, or loopback threads
+//! spawned by [`LocalNetCluster`] — compute partial gradients, encode them
+//! with the scheme, and ship the exact [`bcc_cluster::wire`] envelope bytes
+//! inside length-prefixed frames ([`frame`]).
+//!
+//! Fault tolerance maps worker death onto the policy layer's exhaustion
+//! path: a disconnect (EOF/reset) or heartbeat timeout removes the worker
+//! from the live set, and once every remaining live worker has reported the
+//! round exhausts — [`bcc_cluster::BestEffortAll`] completes with whatever
+//! coverage is in hand, while the default
+//! [`bcc_cluster::WaitDecodable`] surfaces a typed
+//! [`bcc_cluster::ClusterError::Stalled`] instead of hanging.
+//!
+//! The replay contract is unchanged: compute delays are sampled at the
+//! master from the same `(seed, round, worker)` latency streams the other
+//! backends use and shipped to workers inside the round frame, so a
+//! loopback TCP run reproduces the virtual backend's gradients
+//! byte-identically (pinned by `tests/net_equivalence.rs`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod local;
+pub mod master;
+pub mod stats;
+pub mod worker;
+
+pub use frame::{NetMessage, MAX_FRAME_LEN};
+pub use local::LocalNetCluster;
+pub use master::TcpCluster;
+pub use stats::NetStats;
+pub use worker::{connect_with_retry, handshake, serve_rounds, WorkerConfig};

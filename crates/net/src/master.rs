@@ -1,0 +1,808 @@
+//! The TCP master: listener, worker registry, and the networked round
+//! driver.
+//!
+//! [`TcpCluster`] binds a listener, admits workers through the
+//! `Hello`/`Job` handshake (an acceptor thread feeds a registration
+//! channel), and spawns **one reader thread per worker** that turns
+//! incoming frames into `MasterEvent`s on a single shared channel. The
+//! round loop is the same shape as every other backend: sample each live
+//! worker's compute delay from the shared `(seed, round, worker)` latency
+//! stream, broadcast `Round` frames, and feed the shared
+//! [`RoundEngine`] from a private `NetArrivals` source until the
+//! aggregation policy completes the round.
+//!
+//! **Death detection** has two tiers: a disconnect (EOF/reset seen by the
+//! reader thread) produces an immediate `Down` event, and a worker whose
+//! socket stays silent past the heartbeat timeout is declared dead at the
+//! next poll. Either way the worker leaves the round's live set, and once
+//! every remaining live worker has reported the source exhausts — which
+//! the policy layer turns into best-effort completion
+//! ([`bcc_cluster::BestEffortAll`]) or a typed
+//! [`ClusterError::Stalled`] ([`bcc_cluster::WaitDecodable`]). The master
+//! never hangs on a dead worker.
+
+use crate::frame::{self, NetMessage};
+use crate::stats::{CountingReader, NetStats, SharedStats};
+use bcc_cluster::backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
+use bcc_cluster::decode::DecodePool;
+use bcc_cluster::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
+use bcc_cluster::latency::{ClusterProfile, CommModel};
+use bcc_cluster::minibatch::Minibatch;
+use bcc_cluster::observer::{NullObserver, RoundObserver, SharedObserver};
+use bcc_cluster::packed::WorkerBlocks;
+use bcc_cluster::policy::AggregationPolicy;
+use bcc_cluster::straggler::{self, StragglerModel};
+use bcc_cluster::units::UnitMap;
+use bcc_cluster::{wire, ClusterError, Envelope};
+use bcc_coding::GradientCodingScheme;
+use bcc_data::Dataset;
+use bcc_optim::Loss;
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::io::ErrorKind;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Accept-loop poll cadence and the arrival loop's channel poll slice.
+const POLL_SLICE: Duration = Duration::from_millis(10);
+
+/// How long the acceptor waits for a freshly connected socket to speak
+/// its `Hello` before dropping it.
+const HELLO_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// A registration produced by the acceptor thread: a socket that
+/// completed its `Hello`.
+struct Registration {
+    worker: usize,
+    stream: TcpStream,
+}
+
+/// What per-worker reader threads feed the round loop.
+enum MasterEvent {
+    /// A decoded frame from `worker`.
+    Frame { worker: usize, msg: NetMessage },
+    /// `worker`'s connection dropped (EOF, reset, or framing error).
+    Down { worker: usize },
+}
+
+/// Networked master/worker backend over real TCP sockets.
+///
+/// Construction binds the listener immediately ([`TcpCluster::bind`]), so
+/// `local_addr` is known before any worker starts; workers register
+/// asynchronously and the first round blocks (up to the connect timeout)
+/// until every live participant has completed its handshake.
+pub struct TcpCluster {
+    profile: ClusterProfile,
+    model: Arc<dyn StragglerModel>,
+    policy: Arc<dyn AggregationPolicy>,
+    observer: Option<SharedObserver>,
+    seed: u64,
+    round: u64,
+    time_scale: f64,
+    /// Real time without *any* progress (message or death) before a round
+    /// exhausts with "no message".
+    recv_timeout: Duration,
+    /// Real silence (no frame of any kind) before a worker is declared
+    /// dead. Must comfortably exceed the workers' heartbeat cadence.
+    heartbeat_timeout: Duration,
+    /// How long the first round waits for missing participants to
+    /// register.
+    connect_timeout: Duration,
+    dead_workers: HashSet<usize>,
+    decode_pool: DecodePool,
+    minibatch: Option<Minibatch>,
+    /// Handshake payload for registering workers (a JSON experiment spec;
+    /// empty for the loopback harness).
+    job: String,
+    local_addr: std::net::SocketAddr,
+    conns: BTreeMap<usize, TcpStream>,
+    ever_registered: HashSet<usize>,
+    reg_rx: Receiver<Registration>,
+    events_tx: Sender<MasterEvent>,
+    events_rx: Receiver<MasterEvent>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    readers: Vec<JoinHandle<()>>,
+    stats: SharedStats,
+    shut_down: bool,
+}
+
+impl TcpCluster {
+    /// Binds a listener on `addr` (e.g. `"127.0.0.1:0"` for an ephemeral
+    /// loopback port) and starts accepting worker registrations.
+    ///
+    /// # Errors
+    /// [`ClusterError::Net`] when the bind fails.
+    ///
+    /// # Panics
+    /// Panics on a non-positive `time_scale`.
+    pub fn bind(
+        addr: &str,
+        profile: ClusterProfile,
+        seed: u64,
+        time_scale: f64,
+    ) -> Result<Self, ClusterError> {
+        assert!(
+            time_scale > 0.0 && time_scale.is_finite(),
+            "time_scale must be positive"
+        );
+        let listener = TcpListener::bind(addr)
+            .map_err(|e| ClusterError::Net(format!("bind {addr} failed: {e}")))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| ClusterError::Net(format!("local_addr failed: {e}")))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| ClusterError::Net(format!("set_nonblocking failed: {e}")))?;
+        let (reg_tx, reg_rx) = unbounded::<Registration>();
+        let (events_tx, events_rx) = unbounded::<MasterEvent>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let acceptor = spawn_acceptor(listener, reg_tx, Arc::clone(&stop), profile.num_workers());
+        let model = straggler::default_model(&profile);
+        Ok(Self {
+            profile,
+            model,
+            policy: bcc_cluster::policy::default_policy(),
+            observer: None,
+            seed,
+            round: 0,
+            time_scale,
+            recv_timeout: Duration::from_secs(5),
+            heartbeat_timeout: Duration::from_secs(2),
+            connect_timeout: Duration::from_secs(30),
+            dead_workers: HashSet::new(),
+            decode_pool: DecodePool::default(),
+            minibatch: None,
+            job: String::new(),
+            local_addr,
+            conns: BTreeMap::new(),
+            ever_registered: HashSet::new(),
+            reg_rx,
+            events_tx,
+            events_rx,
+            stop,
+            acceptor: Some(acceptor),
+            readers: Vec::new(),
+            stats: SharedStats::default(),
+            shut_down: false,
+        })
+    }
+
+    /// The bound listener address (resolves `:0` to the actual port).
+    #[must_use]
+    pub fn local_addr(&self) -> std::net::SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the transport counters so far.
+    #[must_use]
+    pub fn stats(&self) -> NetStats {
+        self.stats.snapshot()
+    }
+
+    /// Sets the job string shipped to each registering worker (a JSON
+    /// experiment spec for `bcc-worker` processes; leave empty for
+    /// loopback workers that already hold the problem).
+    #[must_use]
+    pub fn with_job(mut self, job: String) -> Self {
+        self.job = job;
+        self
+    }
+
+    /// See [`bcc_cluster::ThreadedCluster::with_minibatch`].
+    #[must_use]
+    pub fn with_minibatch(mut self, minibatch: Option<Minibatch>) -> Self {
+        self.minibatch = minibatch;
+        self
+    }
+
+    /// Overrides the master's decode/aggregate thread budget.
+    #[must_use]
+    pub fn with_decode_pool(mut self, pool: DecodePool) -> Self {
+        self.decode_pool = pool;
+        self
+    }
+
+    /// Replaces the worker-latency model (see the straggler zoo).
+    #[must_use]
+    pub fn with_straggler_model(mut self, model: Arc<dyn StragglerModel>) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Replaces the aggregation policy deciding round completion.
+    #[must_use]
+    pub fn with_aggregation_policy(mut self, policy: Arc<dyn AggregationPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Installs a subscriber for the per-round event stream.
+    #[must_use]
+    pub fn with_observer(mut self, observer: SharedObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
+    /// Sets the no-progress timeout (real time) before a round exhausts.
+    #[must_use]
+    pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
+        self.recv_timeout = timeout;
+        self
+    }
+
+    /// Sets the silence threshold (real time) for declaring a worker dead.
+    #[must_use]
+    pub fn with_heartbeat_timeout(mut self, timeout: Duration) -> Self {
+        self.heartbeat_timeout = timeout;
+        self
+    }
+
+    /// Sets how long the master waits for missing participants to
+    /// register before failing the run.
+    #[must_use]
+    pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
+        self.connect_timeout = timeout;
+        self
+    }
+
+    /// Marks workers as dead up front (failure injection): they are
+    /// excluded from the participant set and never waited on.
+    pub fn kill_workers(&mut self, workers: impl IntoIterator<Item = usize>) {
+        self.dead_workers.extend(workers);
+    }
+
+    /// The profile in force.
+    #[must_use]
+    pub fn profile(&self) -> &ClusterProfile {
+        &self.profile
+    }
+
+    /// Sends `Shutdown` to every registered worker and tears down the
+    /// acceptor and reader threads. Called by `Drop`; call it explicitly
+    /// when worker threads must exit before a scope join.
+    pub fn shutdown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        self.stop.store(true, Ordering::Relaxed);
+        for stream in self.conns.values() {
+            let _ = send_frame(stream, &NetMessage::Shutdown, &self.stats);
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        self.conns.clear();
+        if let Some(handle) = self.acceptor.take() {
+            let _ = handle.join();
+        }
+        for handle in self.readers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Admits a registration: store the connection, ship the job, spawn
+    /// the reader. A re-registration of a previously seen worker counts
+    /// as a reconnect and clears its death mark.
+    fn register(&mut self, reg: Registration) {
+        let Registration { worker, stream } = reg;
+        if worker >= self.profile.num_workers() {
+            return; // unknown id: drop the socket
+        }
+        if send_frame(&stream, &NetMessage::Job(self.job.clone()), &self.stats).is_err() {
+            return; // died during the handshake; the worker can retry
+        }
+        if self.ever_registered.contains(&worker) {
+            self.stats.record_reconnect();
+            self.dead_workers.remove(&worker);
+        }
+        self.ever_registered.insert(worker);
+        let reader_stream = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => return,
+        };
+        self.readers.push(spawn_reader(
+            reader_stream,
+            worker,
+            self.events_tx.clone(),
+            self.stats.clone(),
+        ));
+        // Replacing an existing entry drops the old socket, which also
+        // unblocks its reader thread.
+        self.conns.insert(worker, stream);
+    }
+
+    /// Drains pending registrations without blocking — reconnects are
+    /// admitted at round boundaries.
+    fn admit_reconnects(&mut self) {
+        while let Ok(reg) = self.reg_rx.try_recv() {
+            self.register(reg);
+        }
+    }
+
+    /// Blocks until every worker in `participants` has registered, up to
+    /// the connect timeout.
+    fn ensure_registered(&mut self, participants: &[usize]) -> Result<(), ClusterError> {
+        let deadline = Instant::now() + self.connect_timeout;
+        loop {
+            let missing: Vec<usize> = participants
+                .iter()
+                .copied()
+                .filter(|w| !self.conns.contains_key(w))
+                .collect();
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(ClusterError::Net(format!(
+                    "workers {missing:?} did not register within {:?}",
+                    self.connect_timeout
+                )));
+            }
+            match self
+                .reg_rx
+                .recv_timeout(POLL_SLICE.max(Duration::from_millis(20)))
+            {
+                Ok(reg) => self.register(reg),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(ClusterError::Net("acceptor thread died".into()));
+                }
+            }
+        }
+    }
+
+    /// Drives `rounds` rounds over the registered workers — the networked
+    /// analogue of the threaded backend's worker-pool loop. `attempted`
+    /// counts rounds started so the caller can advance its round counter
+    /// exactly as sequential `run_round` calls would.
+    pub(crate) fn run_batch(
+        &mut self,
+        first_round: u64,
+        rounds: usize,
+        ctx: RoundContext<'_>,
+        driver: &mut dyn RoundDriver,
+        attempted: &mut u64,
+    ) -> Result<(), ClusterError> {
+        self.ensure_registered(&ctx.participants(&self.dead_workers))?;
+        // Clone the shared handles up front so the engine and the arrival
+        // source never borrow `self` mutably mid-round.
+        let policy = Arc::clone(&self.policy);
+        let model = Arc::clone(&self.model);
+        for index in 0..rounds {
+            let round = first_round + index as u64;
+            *attempted = index as u64 + 1;
+            self.admit_reconnects();
+            let live = ctx.participants(&self.dead_workers);
+            let weights = driver.eval_point(index);
+            let selection = ctx.selection_for(round);
+            let mut live_sent = Vec::with_capacity(live.len());
+            for &worker in &live {
+                // The master samples the worker's simulated compute delay
+                // from the shared latency stream and ships it — the load
+                // is selection-aware exactly like the in-process backends.
+                let load = match &selection {
+                    Some(sel) => sel.selected_load(ctx.scheme.placement().worker_examples(worker)),
+                    None => ctx.scheme.placement().load_of(worker),
+                };
+                let delay = if load == 0 {
+                    0.0
+                } else {
+                    model.compute_seconds(self.seed, round, worker, load)
+                };
+                let msg = NetMessage::Round {
+                    round,
+                    delay_seconds: delay,
+                    weights: weights.clone(),
+                };
+                let sent = self
+                    .conns
+                    .get(&worker)
+                    .is_some_and(|stream| send_frame(stream, &msg, &self.stats).is_ok());
+                if sent {
+                    live_sent.push(worker);
+                } else {
+                    // Already-dead socket: record the death now so the
+                    // round never waits on it.
+                    self.dead_workers.insert(worker);
+                    self.stats.record_death();
+                }
+            }
+            let now = Instant::now();
+            let mut source = NetArrivals {
+                rx: &self.events_rx,
+                round,
+                comm: self.profile.comm,
+                time_scale: self.time_scale,
+                recv_timeout: self.recv_timeout,
+                heartbeat_timeout: self.heartbeat_timeout,
+                start: now,
+                live: live_sent.iter().copied().collect(),
+                reported: HashSet::new(),
+                last_seen: live_sent.iter().map(|&w| (w, now)).collect(),
+                deaths: Vec::new(),
+                last_progress: now,
+                stats: &self.stats,
+            };
+            let mut engine = RoundEngine::with_policy(ctx.scheme, live_sent.len(), &*policy)
+                .with_decode_pool(self.decode_pool);
+            let result = {
+                let mut null = NullObserver;
+                let mut guard = self
+                    .observer
+                    .as_ref()
+                    .map(|o| o.lock().expect("round observer lock poisoned"));
+                let observer: &mut dyn RoundObserver = match guard.as_deref_mut() {
+                    Some(o) => o,
+                    None => &mut null,
+                };
+                engine.run_observed(&mut source, round, observer)
+            };
+            let start = source.start;
+            let deaths = std::mem::take(&mut source.deaths);
+            drop(source);
+            // Wake sleeping stragglers of this round promptly, dead or
+            // not (sends to dead sockets are ignored).
+            for stream in self.conns.values() {
+                let _ = send_frame(
+                    stream,
+                    &NetMessage::Finished {
+                        before_round: round + 1,
+                    },
+                    &self.stats,
+                );
+            }
+            self.dead_workers.extend(deaths);
+            result?;
+            let total_time = start.elapsed().as_secs_f64() / self.time_scale;
+            let (aggregate, metrics) = engine.finish(total_time)?;
+            let examples_used = ctx.selection_for(round).map(|sel| ctx.examples_in(&sel));
+            driver.consume(
+                index,
+                RoundOutcome::new(aggregate, metrics).with_examples_used(examples_used),
+            );
+        }
+        Ok(())
+    }
+}
+
+impl Drop for TcpCluster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl std::fmt::Debug for TcpCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TcpCluster")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.profile.num_workers())
+            .field("registered", &self.conns.len())
+            .field("seed", &self.seed)
+            .field("round", &self.round)
+            .field("time_scale", &self.time_scale)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Writes one frame to a registered connection, crediting the counters.
+/// Takes `&TcpStream` (std implements `Write` for it) so the registry
+/// needs no locking.
+fn send_frame(
+    stream: &TcpStream,
+    msg: &NetMessage,
+    stats: &SharedStats,
+) -> Result<(), ClusterError> {
+    let mut w = stream;
+    let n = frame::write_message(&mut w, msg)?;
+    stats.record_send(n);
+    Ok(())
+}
+
+/// Acceptor thread: polls the nonblocking listener, completes the `Hello`
+/// half of the handshake, and forwards registrations. Sockets that claim
+/// an out-of-range worker id or stay silent past [`HELLO_TIMEOUT`] are
+/// dropped.
+fn spawn_acceptor(
+    listener: TcpListener,
+    reg_tx: Sender<Registration>,
+    stop: Arc<AtomicBool>,
+    num_workers: usize,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            match listener.accept() {
+                Ok((mut stream, _)) => {
+                    // Accepted sockets may inherit the listener's
+                    // nonblocking flag on some platforms; force blocking.
+                    if stream.set_nonblocking(false).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if stream.set_read_timeout(Some(HELLO_TIMEOUT)).is_err() {
+                        continue;
+                    }
+                    let worker = match frame::read_message(&mut stream) {
+                        Ok(Some(NetMessage::Hello { worker })) => worker as usize,
+                        _ => continue, // silent, malformed, or closed
+                    };
+                    if worker >= num_workers || stream.set_read_timeout(None).is_err() {
+                        continue;
+                    }
+                    if reg_tx.send(Registration { worker, stream }).is_err() {
+                        return;
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_SLICE);
+                }
+                Err(_) => std::thread::sleep(POLL_SLICE),
+            }
+        }
+    })
+}
+
+/// Per-worker reader thread: decodes frames into [`MasterEvent`]s until
+/// the socket closes, then reports the worker down. All received bytes
+/// are credited through [`CountingReader`].
+fn spawn_reader(
+    stream: TcpStream,
+    worker: usize,
+    events_tx: Sender<MasterEvent>,
+    stats: SharedStats,
+) -> JoinHandle<()> {
+    std::thread::spawn(move || {
+        let mut reader = CountingReader::new(stream, stats.clone());
+        loop {
+            match frame::read_message(&mut reader) {
+                Ok(Some(msg)) => {
+                    stats.record_frame_received();
+                    if events_tx.send(MasterEvent::Frame { worker, msg }).is_err() {
+                        return;
+                    }
+                }
+                Ok(None) | Err(_) => {
+                    let _ = events_tx.send(MasterEvent::Down { worker });
+                    return;
+                }
+            }
+        }
+    })
+}
+
+/// Arrival adapter for one round: consumes [`MasterEvent`]s, filters
+/// stale iterations, models the master's serialized receive port, tracks
+/// per-round reports, and maps disconnects and heartbeat silence onto the
+/// live set. Exhausts when every remaining live worker has reported or
+/// when no progress happens within the receive timeout.
+struct NetArrivals<'a> {
+    rx: &'a Receiver<MasterEvent>,
+    round: u64,
+    comm: CommModel,
+    time_scale: f64,
+    recv_timeout: Duration,
+    heartbeat_timeout: Duration,
+    start: Instant,
+    /// Workers still able to report this round.
+    live: BTreeSet<usize>,
+    /// Workers that reported (data or skip) this round.
+    reported: HashSet<usize>,
+    /// Last frame of any kind per live worker (heartbeats count).
+    last_seen: HashMap<usize, Instant>,
+    /// Workers declared dead during this round.
+    deaths: Vec<usize>,
+    /// Last delivery or death — the no-progress clock.
+    last_progress: Instant,
+    stats: &'a SharedStats,
+}
+
+impl NetArrivals<'_> {
+    fn mark_dead(&mut self, worker: usize) {
+        if self.live.remove(&worker) {
+            self.deaths.push(worker);
+            self.stats.record_death();
+            self.last_progress = Instant::now();
+        }
+    }
+
+    fn exhausted_reason(&self) -> String {
+        if self.deaths.is_empty() {
+            "all live workers reported without completing the scheme".into()
+        } else {
+            format!(
+                "all live workers reported without completing the scheme ({} died mid-round)",
+                self.deaths.len()
+            )
+        }
+    }
+}
+
+impl ArrivalSource for NetArrivals<'_> {
+    fn next_arrival(&mut self) -> Result<ArrivalEvent, ClusterError> {
+        loop {
+            if self.live.iter().all(|w| self.reported.contains(w)) {
+                return Ok(ArrivalEvent::Exhausted {
+                    reason: self.exhausted_reason(),
+                });
+            }
+            match self.rx.recv_timeout(POLL_SLICE) {
+                Ok(MasterEvent::Frame { worker, msg }) => {
+                    self.last_seen.insert(worker, Instant::now());
+                    match msg {
+                        NetMessage::Data(bytes) => {
+                            let envelope: Envelope = wire::decode(bytes)?;
+                            if envelope.iteration != self.round
+                                || !self.live.contains(&envelope.worker)
+                                || !self.reported.insert(envelope.worker)
+                            {
+                                continue; // stale round, dead sender, or duplicate
+                            }
+                            self.last_progress = Instant::now();
+                            // Serialized receive port, same as the other
+                            // backends: the transfer occupies the master.
+                            let transfer = self.comm.transfer_time(envelope.payload.units());
+                            std::thread::sleep(Duration::from_secs_f64(transfer * self.time_scale));
+                            return Ok(ArrivalEvent::Delivered(Arrival {
+                                worker: envelope.worker,
+                                payload: envelope.payload,
+                                compute_seconds: envelope.compute_seconds,
+                                at: self.start.elapsed().as_secs_f64() / self.time_scale,
+                            }));
+                        }
+                        NetMessage::Skipped { round }
+                            if round == self.round && self.live.contains(&worker) =>
+                        {
+                            self.reported.insert(worker);
+                            self.last_progress = Instant::now();
+                        }
+                        // Heartbeats only refresh `last_seen`; everything
+                        // else on a worker socket is a protocol mixup we
+                        // tolerate.
+                        _ => {}
+                    }
+                }
+                Ok(MasterEvent::Down { worker }) => {
+                    // Disconnect: the fast path of death detection.
+                    self.mark_dead(worker);
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    // Slow path: declare silence past the heartbeat
+                    // timeout a death (covers frozen-but-connected peers).
+                    let now = Instant::now();
+                    let stale: Vec<usize> =
+                        self.live
+                            .iter()
+                            .copied()
+                            .filter(|w| {
+                                !self.reported.contains(w)
+                                    && self.last_seen.get(w).is_none_or(|t| {
+                                        now.duration_since(*t) > self.heartbeat_timeout
+                                    })
+                            })
+                            .collect();
+                    for worker in stale {
+                        self.mark_dead(worker);
+                    }
+                    if self.last_progress.elapsed() > self.recv_timeout {
+                        return Ok(ArrivalEvent::Exhausted {
+                            reason: format!(
+                                "no message within {:?} (dead workers?)",
+                                self.recv_timeout
+                            ),
+                        });
+                    }
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Ok(ArrivalEvent::Exhausted {
+                        reason: "master event channel closed".into(),
+                    });
+                }
+            }
+        }
+    }
+}
+
+impl ClusterBackend for TcpCluster {
+    fn run_round(
+        &mut self,
+        scheme: &dyn GradientCodingScheme,
+        units: &UnitMap,
+        data: &Dataset,
+        loss: &dyn Loss,
+        weights: &[f64],
+    ) -> Result<RoundOutcome, ClusterError> {
+        let packed = WorkerBlocks::build(scheme, units, data);
+        let ctx = RoundContext {
+            scheme,
+            units,
+            data,
+            loss,
+            packed: &packed,
+            minibatch: self.minibatch,
+        };
+        ctx.validate(&self.profile);
+        let round = self.round;
+        self.round += 1;
+        let mut single = FixedPointDriver::new(weights.to_vec());
+        self.run_batch(round, 1, ctx, &mut single, &mut 0)?;
+        Ok(single.outcomes.pop().expect("run_batch consumed one round"))
+    }
+
+    fn run_rounds(
+        &mut self,
+        rounds: usize,
+        scheme: &dyn GradientCodingScheme,
+        units: &UnitMap,
+        data: &Dataset,
+        loss: &dyn Loss,
+        driver: &mut dyn RoundDriver,
+    ) -> Result<(), ClusterError> {
+        let packed = WorkerBlocks::build(scheme, units, data);
+        let ctx = RoundContext {
+            scheme,
+            units,
+            data,
+            loss,
+            packed: &packed,
+            minibatch: self.minibatch,
+        };
+        ctx.validate(&self.profile);
+        if rounds == 0 {
+            return Ok(());
+        }
+        let first_round = self.round;
+        let mut attempted = 0;
+        let result = self.run_batch(first_round, rounds, ctx, driver, &mut attempted);
+        self.round = first_round + attempted;
+        result
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "tcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_resolves_ephemeral_port_and_shuts_down() {
+        let profile = ClusterProfile::homogeneous(
+            2,
+            4.0,
+            0.001,
+            CommModel {
+                per_message_overhead: 0.001,
+                per_unit: 0.001,
+            },
+        );
+        let mut master = TcpCluster::bind("127.0.0.1:0", profile, 1, 1.0).unwrap();
+        assert_ne!(master.local_addr().port(), 0);
+        master.shutdown();
+        master.shutdown(); // idempotent
+    }
+
+    #[test]
+    fn missing_workers_fail_registration_within_timeout() {
+        let profile = ClusterProfile::homogeneous(
+            2,
+            4.0,
+            0.001,
+            CommModel {
+                per_message_overhead: 0.001,
+                per_unit: 0.001,
+            },
+        );
+        let mut master = TcpCluster::bind("127.0.0.1:0", profile, 1, 1.0)
+            .unwrap()
+            .with_connect_timeout(Duration::from_millis(100));
+        let err = master.ensure_registered(&[0, 1]).unwrap_err();
+        assert!(
+            matches!(err, ClusterError::Net(ref msg) if msg.contains("did not register")),
+            "got {err:?}"
+        );
+    }
+}

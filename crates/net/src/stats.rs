@@ -1,0 +1,132 @@
+//! Transport accounting for the TCP backend.
+//!
+//! The master tracks actual bytes/frames on the wire plus fault-protocol
+//! events (deaths, reconnects); `repro net` publishes a [`NetStats`]
+//! snapshot per cell in `BENCH_net.json` so the simulated
+//! communication-load accounting can be cross-checked against physical
+//! traffic.
+
+use serde::{Deserialize, Serialize};
+use std::io::Read;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Point-in-time snapshot of a cluster's transport counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Bytes the master wrote to worker sockets.
+    pub bytes_sent: u64,
+    /// Bytes the master read from worker sockets.
+    pub bytes_received: u64,
+    /// Frames the master sent.
+    pub frames_sent: u64,
+    /// Frames the master received.
+    pub frames_received: u64,
+    /// Workers declared dead (disconnect or heartbeat timeout).
+    pub deaths: u64,
+    /// Workers re-admitted after a disconnect.
+    pub reconnects: u64,
+}
+
+/// Shared, thread-safe counters behind a [`NetStats`] snapshot. Reader
+/// threads and the master all hold clones of one `SharedStats`.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SharedStats {
+    inner: Arc<StatsInner>,
+}
+
+#[derive(Debug, Default)]
+struct StatsInner {
+    bytes_sent: AtomicU64,
+    bytes_received: AtomicU64,
+    frames_sent: AtomicU64,
+    frames_received: AtomicU64,
+    deaths: AtomicU64,
+    reconnects: AtomicU64,
+}
+
+impl SharedStats {
+    pub(crate) fn record_send(&self, bytes: usize) {
+        self.inner
+            .bytes_sent
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.inner.frames_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_frame_received(&self) {
+        self.inner.frames_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_bytes_received(&self, bytes: usize) {
+        self.inner
+            .bytes_received
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_death(&self) {
+        self.inner.deaths.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_reconnect(&self) {
+        self.inner.reconnects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn snapshot(&self) -> NetStats {
+        NetStats {
+            bytes_sent: self.inner.bytes_sent.load(Ordering::Relaxed),
+            bytes_received: self.inner.bytes_received.load(Ordering::Relaxed),
+            frames_sent: self.inner.frames_sent.load(Ordering::Relaxed),
+            frames_received: self.inner.frames_received.load(Ordering::Relaxed),
+            deaths: self.inner.deaths.load(Ordering::Relaxed),
+            reconnects: self.inner.reconnects.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// `Read` adapter crediting every byte read to the shared counters — how
+/// per-worker reader threads account received traffic without re-counting
+/// inside the frame codec.
+pub(crate) struct CountingReader<R> {
+    inner: R,
+    stats: SharedStats,
+}
+
+impl<R: Read> CountingReader<R> {
+    pub(crate) fn new(inner: R, stats: SharedStats) -> Self {
+        Self { inner, stats }
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.stats.record_bytes_received(n);
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn counters_accumulate_and_snapshot() {
+        let stats = SharedStats::default();
+        stats.record_send(10);
+        stats.record_send(5);
+        stats.record_frame_received();
+        stats.record_death();
+        stats.record_reconnect();
+        let mut reader = CountingReader::new(Cursor::new(vec![0u8; 7]), stats.clone());
+        let mut buf = [0u8; 7];
+        reader.read_exact(&mut buf).unwrap();
+        let snap = stats.snapshot();
+        assert_eq!(snap.bytes_sent, 15);
+        assert_eq!(snap.frames_sent, 2);
+        assert_eq!(snap.frames_received, 1);
+        assert_eq!(snap.bytes_received, 7);
+        assert_eq!(snap.deaths, 1);
+        assert_eq!(snap.reconnects, 1);
+    }
+}

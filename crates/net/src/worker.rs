@@ -1,0 +1,385 @@
+//! Worker side of the TCP round protocol.
+//!
+//! A worker is one socket plus three concerns:
+//!
+//! 1. a **reader thread** that turns incoming frames into channel events
+//!    and folds `Finished` frames into a shared cancellation watermark,
+//! 2. a **heartbeat thread** that keeps a liveness beacon flowing so the
+//!    master can distinguish "slow" from "gone", and
+//! 3. the **round loop** ([`serve_rounds`]): for each `Round` frame it
+//!    derives the minibatch selection locally, emulates the sampled
+//!    compute delay with a cancellable sleep, computes and encodes the
+//!    coded partial gradient, and ships the wire envelope back as a
+//!    `Data` frame.
+//!
+//! The same loop serves both deployments: the `bcc-worker` binary (one OS
+//! process per worker) and [`crate::LocalNetCluster`]'s loopback threads.
+
+use crate::frame::{self, NetMessage};
+use bcc_cluster::engine::RoundContext;
+use bcc_cluster::{wire, ClusterError, Envelope};
+use bcc_optim::GradScratch;
+use bytes::{Bytes, BytesMut};
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use std::net::{Shutdown, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Granularity of cancellable sleeps and heartbeat stop checks.
+const SLEEP_SLICE: Duration = Duration::from_millis(2);
+
+/// Per-worker runtime knobs for [`serve_rounds`].
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// This worker's id (the registry key announced in `Hello`).
+    pub worker: usize,
+    /// Real seconds slept per simulated second of the shipped delay.
+    pub time_scale: f64,
+    /// Cadence of `Heartbeat` frames.
+    pub heartbeat_interval: Duration,
+    /// Fault injection: on receiving the `Round` frame for this round the
+    /// worker drops its connection without reporting — the master observes
+    /// a genuine mid-round death.
+    pub die_at_round: Option<u64>,
+}
+
+impl WorkerConfig {
+    /// A config with the default heartbeat cadence and no fault injection.
+    ///
+    /// # Panics
+    /// Panics on a non-positive `time_scale`.
+    #[must_use]
+    pub fn new(worker: usize, time_scale: f64) -> Self {
+        assert!(
+            time_scale > 0.0 && time_scale.is_finite(),
+            "time_scale must be positive"
+        );
+        Self {
+            worker,
+            time_scale,
+            heartbeat_interval: Duration::from_millis(200),
+            die_at_round: None,
+        }
+    }
+
+    /// Overrides the heartbeat cadence.
+    #[must_use]
+    pub fn with_heartbeat_interval(mut self, interval: Duration) -> Self {
+        self.heartbeat_interval = interval;
+        self
+    }
+
+    /// Arms the mid-round death fault injection (see
+    /// [`WorkerConfig::die_at_round`]).
+    #[must_use]
+    pub fn with_die_at_round(mut self, round: u64) -> Self {
+        self.die_at_round = Some(round);
+        self
+    }
+}
+
+/// Connects to `addr`, retrying on refusal until `timeout` elapses —
+/// workers typically race the master's `bind`, so the first attempts may
+/// land before the listener exists.
+///
+/// # Errors
+/// [`ClusterError::Net`] when no attempt succeeds within `timeout`.
+pub fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream, ClusterError> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                stream
+                    .set_nodelay(true)
+                    .map_err(|e| ClusterError::Net(format!("set_nodelay failed: {e}")))?;
+                return Ok(stream);
+            }
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(ClusterError::Net(format!(
+                        "connect to {addr} failed after {timeout:?}: {e}"
+                    )));
+                }
+                std::thread::sleep(Duration::from_millis(25));
+            }
+        }
+    }
+}
+
+/// Performs the worker side of the handshake: announce the worker id,
+/// await the job assignment. Returns the job string (a JSON experiment
+/// spec; empty under the loopback harness, which already holds the
+/// problem in-process).
+///
+/// # Errors
+/// [`ClusterError::Net`] on IO failure or when the master answers with
+/// anything but a `Job` frame.
+pub fn handshake(stream: &mut TcpStream, worker: usize) -> Result<String, ClusterError> {
+    frame::write_message(
+        stream,
+        &NetMessage::Hello {
+            worker: worker as u64,
+        },
+    )?;
+    match frame::read_message(stream)? {
+        Some(NetMessage::Job(job)) => Ok(job),
+        Some(other) => Err(ClusterError::Net(format!(
+            "expected a Job frame after Hello, got {other:?}"
+        ))),
+        None => Err(ClusterError::Net(
+            "master closed the connection during the handshake".into(),
+        )),
+    }
+}
+
+/// Everything the reader thread forwards to the round loop.
+enum WorkerEvent {
+    Round {
+        round: u64,
+        delay_seconds: f64,
+        weights: Vec<f64>,
+    },
+    Shutdown,
+}
+
+/// Serves rounds on an established (handshaken) connection until the
+/// master sends `Shutdown`, the connection drops, or the armed
+/// `die_at_round` fault fires.
+///
+/// The round loop is deliberately the same shape as the threaded
+/// backend's pool worker: sleep the shipped delay (cancellably), re-check
+/// the finished watermark, compute + encode, re-check, send. The one
+/// difference is where the delay comes from — the master samples it from
+/// the shared latency stream and ships it in the `Round` frame, which is
+/// what keeps a networked run byte-identical to the simulated backends.
+///
+/// # Errors
+/// [`ClusterError::Net`] on a send failure mid-run. A master-initiated
+/// shutdown, a clean disconnect, and an injected death all return
+/// `Ok(())`.
+pub fn serve_rounds(
+    stream: TcpStream,
+    ctx: &RoundContext<'_>,
+    cfg: &WorkerConfig,
+) -> Result<(), ClusterError> {
+    let finished_before = Arc::new(AtomicU64::new(0));
+    let stop = Arc::new(AtomicBool::new(false));
+    // All sends (data, heartbeats) serialize through one writer so frames
+    // never interleave; the reader thread owns an OS-level clone.
+    let writer =
+        Arc::new(Mutex::new(stream.try_clone().map_err(|e| {
+            ClusterError::Net(format!("socket clone failed: {e}"))
+        })?));
+    let (event_tx, event_rx) = unbounded::<WorkerEvent>();
+
+    let reader = spawn_reader(stream, event_tx, Arc::clone(&finished_before));
+    let heartbeat = spawn_heartbeat(
+        Arc::clone(&writer),
+        cfg.worker as u64,
+        cfg.heartbeat_interval,
+        Arc::clone(&stop),
+    );
+
+    let result = round_loop(&event_rx, ctx, cfg, &finished_before, &writer);
+
+    stop.store(true, Ordering::Relaxed);
+    // Unblock the reader's blocking read; every clone shares the socket.
+    let _ = writer
+        .lock()
+        .expect("worker writer lock poisoned")
+        .shutdown(Shutdown::Both);
+    let _ = heartbeat.join();
+    let _ = reader.join();
+    result
+}
+
+/// Reader thread: frames in, events out. `Finished` frames advance the
+/// cancellation watermark directly (no round-loop involvement, so a
+/// worker mid-sleep still wakes promptly). EOF and socket errors surface
+/// as a `Shutdown` event — from the worker's point of view a vanished
+/// master and an orderly stop end the same way.
+fn spawn_reader(
+    mut stream: TcpStream,
+    event_tx: Sender<WorkerEvent>,
+    finished_before: Arc<AtomicU64>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        loop {
+            match frame::read_message(&mut stream) {
+                Ok(Some(NetMessage::Round {
+                    round,
+                    delay_seconds,
+                    weights,
+                })) => {
+                    if event_tx
+                        .send(WorkerEvent::Round {
+                            round,
+                            delay_seconds,
+                            weights,
+                        })
+                        .is_err()
+                    {
+                        return;
+                    }
+                }
+                Ok(Some(NetMessage::Finished { before_round })) => {
+                    finished_before.fetch_max(before_round, Ordering::Relaxed);
+                }
+                Ok(Some(NetMessage::Shutdown)) | Ok(None) | Err(_) => {
+                    let _ = event_tx.send(WorkerEvent::Shutdown);
+                    return;
+                }
+                // A confused master is not fatal to the worker; ignore
+                // frames that only flow worker→master.
+                Ok(Some(_)) => {}
+            }
+        }
+    })
+}
+
+/// Heartbeat thread: a liveness beacon every `interval`, stopping (and
+/// swallowing send errors — the round loop notices the dead socket on its
+/// own) when `stop` flips.
+fn spawn_heartbeat(
+    writer: Arc<Mutex<TcpStream>>,
+    worker: u64,
+    interval: Duration,
+    stop: Arc<AtomicBool>,
+) -> std::thread::JoinHandle<()> {
+    std::thread::spawn(move || {
+        while !stop.load(Ordering::Relaxed) {
+            cancellable_sleep(interval, || stop.load(Ordering::Relaxed));
+            if stop.load(Ordering::Relaxed) {
+                return;
+            }
+            let mut w = writer.lock().expect("worker writer lock poisoned");
+            if frame::write_message(&mut *w, &NetMessage::Heartbeat { worker }).is_err() {
+                return;
+            }
+        }
+    })
+}
+
+fn round_loop(
+    event_rx: &Receiver<WorkerEvent>,
+    ctx: &RoundContext<'_>,
+    cfg: &WorkerConfig,
+    finished_before: &AtomicU64,
+    writer: &Mutex<TcpStream>,
+) -> Result<(), ClusterError> {
+    // Reused across rounds: gradient scratch and the wire staging buffer,
+    // exactly like the threaded pool worker.
+    let mut scratch = GradScratch::new();
+    let mut wire_buf = BytesMut::with_capacity(0);
+    while let Ok(event) = event_rx.recv() {
+        let (round, delay_seconds, weights) = match event {
+            WorkerEvent::Round {
+                round,
+                delay_seconds,
+                weights,
+            } => (round, delay_seconds, weights),
+            WorkerEvent::Shutdown => return Ok(()),
+        };
+        if cfg.die_at_round == Some(round) {
+            // Injected fault: vanish after the master committed to this
+            // round but before reporting — the hard case for the master's
+            // death detection.
+            return Ok(());
+        }
+        // Minibatch rounds derive the unit selection locally from the
+        // round id — nothing extra on the wire.
+        let selection = ctx.selection_for(round);
+        cancellable_sleep(
+            Duration::from_secs_f64(delay_seconds * cfg.time_scale),
+            || finished_before.load(Ordering::Relaxed) > round,
+        );
+        if finished_before.load(Ordering::Relaxed) > round {
+            continue; // master settled this round while we "computed"
+        }
+        let message = match ctx.compute_and_encode_selected(
+            cfg.worker,
+            &weights,
+            &mut scratch,
+            selection.as_ref(),
+        ) {
+            Ok(payload) => {
+                wire::encode_into(
+                    &Envelope {
+                        iteration: round,
+                        worker: cfg.worker,
+                        compute_seconds: delay_seconds,
+                        payload,
+                    },
+                    &mut wire_buf,
+                );
+                NetMessage::Data(Bytes::copy_from_slice(wire_buf.as_ref()))
+            }
+            Err(_) => NetMessage::Skipped { round },
+        };
+        if finished_before.load(Ordering::Relaxed) > round {
+            continue; // settled while we encoded
+        }
+        let mut w = writer.lock().expect("worker writer lock poisoned");
+        frame::write_message(&mut *w, &message)?;
+    }
+    Ok(())
+}
+
+/// Sleeps `duration`, waking early when `cancelled` reports true.
+fn cancellable_sleep(duration: Duration, cancelled: impl Fn() -> bool) {
+    let deadline = Instant::now() + duration;
+    while Instant::now() < deadline {
+        if cancelled() {
+            return;
+        }
+        std::thread::sleep(SLEEP_SLICE.min(deadline.saturating_duration_since(Instant::now())));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn connect_with_retry_times_out_on_dead_port() {
+        // Reserve a port, then close the listener so nothing accepts.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        drop(listener);
+        let err = connect_with_retry(&addr, Duration::from_millis(80)).unwrap_err();
+        assert!(matches!(err, ClusterError::Net(msg) if msg.contains("connect")));
+    }
+
+    #[test]
+    fn handshake_exchanges_hello_for_job() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let master = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let hello = frame::read_message(&mut conn).unwrap().unwrap();
+            assert_eq!(hello, NetMessage::Hello { worker: 3 });
+            frame::write_message(&mut conn, &NetMessage::Job("{}".into())).unwrap();
+        });
+        let mut stream = connect_with_retry(&addr, Duration::from_secs(2)).unwrap();
+        let job = handshake(&mut stream, 3).unwrap();
+        assert_eq!(job, "{}");
+        master.join().unwrap();
+    }
+
+    #[test]
+    fn handshake_rejects_non_job_reply() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let master = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = frame::read_message(&mut conn).unwrap();
+            frame::write_message(&mut conn, &NetMessage::Shutdown).unwrap();
+        });
+        let mut stream = connect_with_retry(&addr, Duration::from_secs(2)).unwrap();
+        let err = handshake(&mut stream, 0).unwrap_err();
+        assert!(matches!(err, ClusterError::Net(msg) if msg.contains("expected a Job")));
+        master.join().unwrap();
+    }
+}

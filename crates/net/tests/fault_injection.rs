@@ -1,0 +1,116 @@
+//! Fault injection over real sockets: workers that drop their connection
+//! mid-round.
+//!
+//! The contract under test is the tentpole's fault story: a worker death
+//! is detected (EOF fast path, heartbeat-timeout slow path), mapped onto
+//! the live set, and surfaced through the policy layer's exhaustion path —
+//! [`BestEffortAll`] completes the round with whatever coverage arrived,
+//! the default [`bcc_cluster::WaitDecodable`] returns a typed
+//! [`ClusterError::Stalled`]. Neither ever hangs: every test here runs
+//! against real TCP connections with bounded timeouts.
+
+use bcc_cluster::backend::FixedPointDriver;
+use bcc_cluster::{
+    BestEffortAll, ClusterBackend, ClusterError, ClusterProfile, CommModel, UnitMap, WorkerProfile,
+};
+use bcc_coding::UncodedScheme;
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_net::LocalNetCluster;
+use bcc_optim::LogisticLoss;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Deterministic staircase: 5 workers, tens-of-milliseconds shifts.
+fn profile() -> ClusterProfile {
+    ClusterProfile {
+        workers: [0.025, 0.005, 0.020, 0.010, 0.015]
+            .iter()
+            .map(|&a| WorkerProfile { mu: 1e4, a })
+            .collect(),
+        comm: CommModel {
+            per_message_overhead: 0.001,
+            per_unit: 0.001,
+        },
+    }
+}
+
+#[test]
+fn best_effort_all_completes_despite_midround_death() {
+    let data = generate(&SyntheticConfig::small(30, 4, 61));
+    let units = UnitMap::grouped(30, 10);
+    let scheme = UncodedScheme::new(10, 5);
+    let mut cluster = LocalNetCluster::new(profile(), 61, 1.0)
+        .with_aggregation_policy(Arc::new(BestEffortAll))
+        .with_recv_timeout(Duration::from_secs(5));
+    // Worker 2 drops its connection the moment round 0 starts.
+    cluster.fail_worker_at(2, 0);
+    let out = cluster
+        .run_round(&scheme, &units, &data.dataset, &LogisticLoss, &[0.0; 4])
+        .expect("best-effort round completes despite the death");
+    assert_eq!(
+        out.metrics.messages_used, 4,
+        "all four survivors contribute, the dead worker does not"
+    );
+    let stats = cluster.last_net_stats().expect("stats after a run");
+    assert_eq!(stats.deaths, 1, "exactly one death recorded");
+}
+
+#[test]
+fn wait_decodable_surfaces_typed_error_not_a_hang() {
+    let data = generate(&SyntheticConfig::small(30, 4, 67));
+    let units = UnitMap::grouped(30, 10);
+    let scheme = UncodedScheme::new(10, 5);
+    // Default policy (WaitDecodable): uncoded cannot decode with a death.
+    let mut cluster =
+        LocalNetCluster::new(profile(), 67, 1.0).with_recv_timeout(Duration::from_secs(5));
+    cluster.fail_worker_at(0, 0);
+    let start = Instant::now();
+    let err = cluster
+        .run_round(&scheme, &units, &data.dataset, &LogisticLoss, &[0.0; 4])
+        .unwrap_err();
+    assert!(
+        matches!(
+            err,
+            ClusterError::Stalled { received: 4, ref reason } if reason.contains("died mid-round")
+        ),
+        "got {err:?}"
+    );
+    // The EOF fast path must detect the death promptly — far inside the
+    // receive timeout, never a hang.
+    assert!(
+        start.elapsed() < Duration::from_secs(30),
+        "death detection must be bounded"
+    );
+}
+
+#[test]
+fn run_continues_past_a_death_under_best_effort() {
+    // The acceptance scenario: a mid-run death completes its round with
+    // reduced coverage and the next rounds proceed without the dead worker.
+    let data = generate(&SyntheticConfig::small(30, 4, 71));
+    let units = UnitMap::grouped(30, 10);
+    let scheme = UncodedScheme::new(10, 5);
+    let mut cluster = LocalNetCluster::new(profile(), 71, 1.0)
+        .with_aggregation_policy(Arc::new(BestEffortAll))
+        .with_recv_timeout(Duration::from_secs(5));
+    cluster.fail_worker_at(4, 1);
+    let mut driver = FixedPointDriver::new(vec![0.0; 4]);
+    cluster
+        .run_rounds(
+            3,
+            &scheme,
+            &units,
+            &data.dataset,
+            &LogisticLoss,
+            &mut driver,
+        )
+        .expect("best-effort run survives a mid-run death");
+    assert_eq!(driver.outcomes.len(), 3);
+    // Round 0: everyone alive. Round 1: worker 4 dies mid-round. Round 2:
+    // the survivor set carries on.
+    assert_eq!(driver.outcomes[0].metrics.messages_used, 5);
+    assert_eq!(driver.outcomes[1].metrics.messages_used, 4);
+    assert_eq!(driver.outcomes[2].metrics.messages_used, 4);
+    let stats = cluster.last_net_stats().expect("stats after a run");
+    assert_eq!(stats.deaths, 1);
+}

@@ -1,0 +1,146 @@
+//! Property tests hardening the TCP frame codec: arbitrary messages
+//! round-trip bit-exactly through the length-prefixed framing, and
+//! arbitrary corruption — truncation, byte flips, garbage, hostile length
+//! prefixes — always yields a typed [`ClusterError::Net`], never a panic,
+//! hang, or over-read.
+//!
+//! Companion to `crates/cluster/tests/wire_proptests.rs`, which hardens
+//! the inner gradient-envelope codec the same way; a `Data` frame's body
+//! is exactly such an envelope, so the two suites together cover the full
+//! master↔worker byte path.
+
+use bcc_cluster::ClusterError;
+use bcc_net::frame::{self, NetMessage};
+use bytes::Bytes;
+use proptest::prelude::*;
+use std::io::Cursor;
+
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        any::<f64>().prop_filter("finite", |v| v.is_finite()),
+        Just(0.0),
+        Just(-0.0),
+        Just(f64::MAX),
+        Just(f64::MIN_POSITIVE),
+    ]
+}
+
+fn message_strategy() -> impl Strategy<Value = NetMessage> {
+    prop_oneof![
+        any::<u64>().prop_map(|worker| NetMessage::Hello { worker }),
+        (any::<u64>(), 0..3usize).prop_map(|(n, style)| {
+            NetMessage::Job(match style {
+                0 => String::new(),
+                1 => format!("{{\"seed\": {n}}}"),
+                _ => format!("job-{n}-\u{2713}"),
+            })
+        }),
+        (
+            any::<u64>(),
+            finite_f64(),
+            prop::collection::vec(finite_f64(), 0..32)
+        )
+            .prop_map(|(round, delay_seconds, weights)| NetMessage::Round {
+                round,
+                delay_seconds,
+                weights,
+            }),
+        prop::collection::vec(any::<u8>(), 0..64)
+            .prop_map(|raw| NetMessage::Data(Bytes::from(raw))),
+        any::<u64>().prop_map(|round| NetMessage::Skipped { round }),
+        any::<u64>().prop_map(|worker| NetMessage::Heartbeat { worker }),
+        any::<u64>().prop_map(|before_round| NetMessage::Finished { before_round }),
+        Just(NetMessage::Shutdown),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_message_roundtrips_through_framing(msg in message_strategy()) {
+        let frame = frame::encode(&msg);
+        // Pure codec layer.
+        prop_assert_eq!(frame::decode_frame(&frame[4..]).unwrap(), msg.clone());
+        // Stream layer.
+        let mut cursor = Cursor::new(frame);
+        prop_assert_eq!(frame::read_message(&mut cursor).unwrap().unwrap(), msg);
+    }
+
+    #[test]
+    fn a_stream_of_messages_reads_back_in_order(
+        msgs in prop::collection::vec(message_strategy(), 0..8)
+    ) {
+        let mut wire = Vec::new();
+        for msg in &msgs {
+            frame::write_message(&mut wire, msg).unwrap();
+        }
+        let mut cursor = Cursor::new(wire);
+        for msg in &msgs {
+            prop_assert_eq!(&frame::read_message(&mut cursor).unwrap().unwrap(), msg);
+        }
+        prop_assert!(frame::read_message(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncation_at_any_point_is_a_typed_error(
+        msg in message_strategy(),
+        cut_fraction in 0.0..1.0f64,
+    ) {
+        let frame = frame::encode(&msg);
+        let cut = ((frame.len() as f64) * cut_fraction) as usize;
+        prop_assume!(cut > 0 && cut < frame.len());
+        let mut cursor = Cursor::new(frame[..cut].to_vec());
+        let result = frame::read_message(&mut cursor);
+        prop_assert!(
+            matches!(result, Err(ClusterError::Net(_))),
+            "cut at {} of {} must be ClusterError::Net, got {:?}",
+            cut, frame.len(), result
+        );
+    }
+
+    #[test]
+    fn flipping_any_byte_never_panics(
+        msg in message_strategy(),
+        position_fraction in 0.0..1.0f64,
+        flip in 1..255u8,
+    ) {
+        let mut frame = frame::encode(&msg);
+        let position = ((frame.len() as f64) * position_fraction) as usize % frame.len();
+        frame[position] ^= flip;
+        // A flipped byte may still be a valid frame (e.g. a changed worker
+        // id) or corrupt the length prefix; either way: no panic, no
+        // over-read past the buffer, and errors stay typed.
+        let mut cursor = Cursor::new(frame);
+        match frame::read_message(&mut cursor) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(matches!(e, ClusterError::Net(_))),
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_panic_or_overread(
+        garbage in prop::collection::vec(any::<u8>(), 0..128)
+    ) {
+        // Stream layer over raw garbage.
+        let mut cursor = Cursor::new(garbage.clone());
+        match frame::read_message(&mut cursor) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(matches!(e, ClusterError::Net(_))),
+        }
+        // Pure codec layer over the same garbage as a frame payload.
+        match frame::decode_frame(&garbage) {
+            Ok(_) => {}
+            Err(e) => prop_assert!(matches!(e, ClusterError::Net(_))),
+        }
+    }
+
+    #[test]
+    fn hostile_length_prefixes_reject_before_allocation(len in any::<u32>()) {
+        prop_assume!(len as usize > frame::MAX_FRAME_LEN || len == 0);
+        let mut wire = len.to_le_bytes().to_vec();
+        wire.extend_from_slice(&[0u8; 16]);
+        let e = frame::read_message(&mut Cursor::new(wire)).unwrap_err();
+        prop_assert!(matches!(e, ClusterError::Net(_)));
+    }
+}

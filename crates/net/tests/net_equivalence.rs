@@ -1,0 +1,212 @@
+//! Cross-backend equivalence over real sockets: a loopback TCP run must be
+//! *indistinguishable in outcome* from the virtual and threaded backends on
+//! the same `(seed, scheme, ClusterProfile)` triple — byte-identical decoded
+//! gradient sums, identical message counts and communication load, and
+//! bit-equal compute-time accounting.
+//!
+//! This holds because the TCP master samples each worker's compute delay
+//! from the shared `(seed, round, worker)` latency stream and *ships it* in
+//! the round frame; workers emulate exactly that delay and echo it back in
+//! the envelope. As in `crates/cluster/tests/backend_equivalence.rs`, the
+//! profiles are deterministic "staircases" (per-worker shift gaps ≫
+//! exponential tail and scheduler jitter) so real-time arrival order is
+//! unambiguous. Only wall-clock fields (`total_time`, `comm_time`) are
+//! excluded — everything else crosses a kernel TCP socket and still matches
+//! the simulation bit for bit.
+
+use bcc_cluster::backend::FixedPointDriver;
+use bcc_cluster::{
+    ClusterBackend, ClusterProfile, CommModel, Minibatch, RoundOutcome, ThreadedCluster, UnitMap,
+    VirtualCluster, WorkerProfile,
+};
+use bcc_coding::{BccScheme, GradientCodingScheme, UncodedScheme};
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_net::LocalNetCluster;
+use bcc_optim::LogisticLoss;
+
+/// Staircase profile: arrival order fixed by deterministic shifts.
+fn staircase_profile(shifts: &[f64]) -> ClusterProfile {
+    ClusterProfile {
+        workers: shifts
+            .iter()
+            .map(|&a| WorkerProfile { mu: 1e4, a })
+            .collect(),
+        comm: CommModel {
+            per_message_overhead: 0.001,
+            per_unit: 0.001,
+        },
+    }
+}
+
+fn assert_outcomes_match(reference: &RoundOutcome, tcp: &RoundOutcome) {
+    assert_eq!(
+        reference.metrics.messages_used, tcp.metrics.messages_used,
+        "TCP backend must consume the same number of messages"
+    );
+    assert_eq!(
+        reference.metrics.communication_units, tcp.metrics.communication_units,
+        "identical message sets ⇒ identical communication load"
+    );
+    assert_eq!(
+        reference.metrics.compute_time.to_bits(),
+        tcp.metrics.compute_time.to_bits(),
+        "TCP workers must echo the shared latency stream's samples"
+    );
+    assert_eq!(reference.gradient_sum.len(), tcp.gradient_sum.len());
+    for (i, (a, b)) in reference
+        .gradient_sum
+        .iter()
+        .zip(&tcp.gradient_sum)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "gradient component {i} differs: {a} vs {b}"
+        );
+    }
+}
+
+/// Runs one round on all three backends and asserts the TCP outcome is
+/// byte-identical to both in-process backends.
+fn assert_equivalent_round(
+    scheme: &dyn GradientCodingScheme,
+    profile: &ClusterProfile,
+    units: &UnitMap,
+    seed: u64,
+) {
+    let data = generate(&SyntheticConfig::small(units.num_examples(), 4, seed));
+    let w = vec![0.05; 4];
+
+    let virtual_out = VirtualCluster::new(profile.clone(), seed)
+        .run_round(scheme, units, &data.dataset, &LogisticLoss, &w)
+        .expect("virtual round completes");
+    let threaded_out = ThreadedCluster::new(profile.clone(), seed, 1.0)
+        .run_round(scheme, units, &data.dataset, &LogisticLoss, &w)
+        .expect("threaded round completes");
+    let tcp_out = LocalNetCluster::new(profile.clone(), seed, 1.0)
+        .run_round(scheme, units, &data.dataset, &LogisticLoss, &w)
+        .expect("loopback TCP round completes");
+
+    assert_outcomes_match(&virtual_out, &tcp_out);
+    assert_outcomes_match(&threaded_out, &tcp_out);
+}
+
+#[test]
+fn uncoded_round_matches_simulated_backends_over_tcp() {
+    // 5 workers finishing in the scrambled order 1, 3, 4, 2, 0.
+    let profile = staircase_profile(&[0.025, 0.005, 0.020, 0.010, 0.015]);
+    let units = UnitMap::grouped(30, 10);
+    let scheme = UncodedScheme::new(10, 5);
+    assert_equivalent_round(&scheme, &profile, &units, 41);
+}
+
+#[test]
+fn bcc_round_matches_simulated_backends_over_tcp() {
+    // Early stopping: BCC completes mid-stream once every batch is covered,
+    // so the socket transport must preserve arrival order, not just content.
+    let shifts: Vec<f64> = (0..10)
+        .map(|i| 0.005 * (((i * 7) % 10) + 1) as f64)
+        .collect();
+    let profile = staircase_profile(&shifts);
+    let units = UnitMap::grouped(40, 10);
+    let scheme = BccScheme::from_choices(10, 2, vec![0, 1, 2, 3, 4, 4, 3, 2, 1, 0]);
+    assert_equivalent_round(&scheme, &profile, &units, 43);
+}
+
+#[test]
+fn batched_tcp_run_stays_equivalent_across_rounds() {
+    // One master + one worker fleet serves all rounds over the same
+    // sockets; per-round latency streams are keyed on the global round id.
+    let profile = staircase_profile(&[0.020, 0.005, 0.015, 0.010]);
+    let units = UnitMap::grouped(24, 8);
+    let scheme = UncodedScheme::new(8, 4);
+    let data = generate(&SyntheticConfig::small(24, 4, 47));
+    let rounds = 3;
+
+    let mut virtual_driver = FixedPointDriver::new(vec![0.1; 4]);
+    VirtualCluster::new(profile.clone(), 47)
+        .run_rounds(
+            rounds,
+            &scheme,
+            &units,
+            &data.dataset,
+            &LogisticLoss,
+            &mut virtual_driver,
+        )
+        .expect("virtual run completes");
+
+    let mut tcp_cluster = LocalNetCluster::new(profile, 47, 1.0);
+    let mut tcp_driver = FixedPointDriver::new(vec![0.1; 4]);
+    tcp_cluster
+        .run_rounds(
+            rounds,
+            &scheme,
+            &units,
+            &data.dataset,
+            &LogisticLoss,
+            &mut tcp_driver,
+        )
+        .expect("loopback TCP run completes");
+
+    assert_eq!(virtual_driver.outcomes.len(), rounds);
+    assert_eq!(tcp_driver.outcomes.len(), rounds);
+    for (v, t) in virtual_driver.outcomes.iter().zip(&tcp_driver.outcomes) {
+        assert_outcomes_match(v, t);
+    }
+    // The rounds genuinely resampled round-over-round…
+    assert_ne!(
+        tcp_driver.outcomes[0].metrics.compute_time,
+        tcp_driver.outcomes[1].metrics.compute_time,
+    );
+    // …and real traffic crossed the wire: every round ships weights to 4
+    // workers and receives their envelopes.
+    let stats = tcp_cluster.last_net_stats().expect("stats after a run");
+    assert!(stats.frames_sent >= (rounds * 4) as u64);
+    assert!(stats.bytes_received > 0);
+    assert_eq!(stats.deaths, 0);
+}
+
+#[test]
+fn minibatch_rounds_stay_equivalent_over_tcp() {
+    // Minibatch selections are derived locally from the round id on both
+    // sides of the socket; the master's delay sampling must use the same
+    // selection-aware load as the simulated backends.
+    let profile = staircase_profile(&[0.020, 0.005, 0.015, 0.010]);
+    let units = UnitMap::grouped(24, 8);
+    let scheme = UncodedScheme::new(8, 4);
+    let data = generate(&SyntheticConfig::small(24, 4, 53));
+    let minibatch = Some(Minibatch::new(4, 53));
+    let rounds = 2;
+
+    let mut virtual_driver = FixedPointDriver::new(vec![0.1; 4]);
+    VirtualCluster::new(profile.clone(), 53)
+        .with_minibatch(minibatch)
+        .run_rounds(
+            rounds,
+            &scheme,
+            &units,
+            &data.dataset,
+            &LogisticLoss,
+            &mut virtual_driver,
+        )
+        .expect("virtual minibatch run completes");
+
+    let mut tcp_driver = FixedPointDriver::new(vec![0.1; 4]);
+    LocalNetCluster::new(profile, 53, 1.0)
+        .with_minibatch(minibatch)
+        .run_rounds(
+            rounds,
+            &scheme,
+            &units,
+            &data.dataset,
+            &LogisticLoss,
+            &mut tcp_driver,
+        )
+        .expect("loopback TCP minibatch run completes");
+
+    for (v, t) in virtual_driver.outcomes.iter().zip(&tcp_driver.outcomes) {
+        assert_outcomes_match(v, t);
+        assert_eq!(v.examples_used, t.examples_used);
+    }
+}

@@ -1,0 +1,127 @@
+//! The networked backend end to end: the same `ExperimentSpec` trains over
+//! (1) the virtual DES backend, (2) a loopback TCP fleet — real kernel
+//! sockets, one worker thread each — and (3) a master listening for
+//! `bcc-worker`-style external workers (emulated here with in-process
+//! connections so the example is self-contained). All three land on
+//! byte-identical weights because every backend drives the one shared
+//! `RoundEngine` and replays the same `(seed, round, worker)` latency
+//! streams.
+//!
+//! ```bash
+//! cargo run --release --example networked
+//! ```
+//!
+//! To run the third form with genuinely separate OS processes, start the
+//! master on a fixed port (`"addr": "127.0.0.1:4400"` in the spec) and
+//! launch one `bcc-worker` per id:
+//!
+//! ```bash
+//! for i in 0 1 2 3 4; do
+//!     cargo run --release --bin bcc-worker -- 127.0.0.1:4400 $i &
+//! done
+//! ```
+
+use bcc::cluster::{ClusterBackend, CommModel, WorkerProfile};
+use bcc::experiment::net_worker::run_worker_with_timeout;
+use bcc::experiment::{BackendSpec, DataSpec, Experiment, LatencySpec, SchemeSpec};
+use bcc::net::TcpCluster;
+use std::time::Duration;
+
+fn main() {
+    // Staircase latency: per-worker shifts far apart relative to OS jitter
+    // and the microsecond exponential tail, so real-time arrival order is
+    // the virtual order — the precondition for bit-identical replay.
+    let latency = LatencySpec::Explicit {
+        workers: [0.025, 0.005, 0.020, 0.010, 0.015]
+            .iter()
+            .map(|&a| WorkerProfile { mu: 1e4, a })
+            .collect(),
+        comm: CommModel {
+            per_message_overhead: 0.001,
+            per_unit: 0.001,
+        },
+    };
+
+    let base = |backend: BackendSpec| {
+        Experiment::builder()
+            .name("networked")
+            .workers(5)
+            .units(10)
+            .scheme(SchemeSpec::with_load("bcc", 2))
+            .data(DataSpec::synthetic(4, 4))
+            .latency(latency.clone())
+            .backend(backend)
+            .iterations(3)
+            .seed(41)
+            .build()
+            .expect("valid on every backend")
+    };
+
+    // 1. The deterministic reference.
+    let virtual_report = base(BackendSpec::Virtual).run().expect("virtual rounds");
+    println!(
+        "virtual-des : K = {:>2} messages, final risk {:.6}",
+        virtual_report.metrics.messages_used,
+        virtual_report.trace.final_risk().unwrap(),
+    );
+
+    // 2. The same spec over real loopback TCP sockets: `addr: None` makes
+    //    the experiment spawn its own worker fleet in-process.
+    let tcp_report = base(BackendSpec::tcp_loopback(1.0))
+        .run()
+        .expect("loopback TCP rounds");
+    println!(
+        "tcp-loopback: K = {:>2} messages, final risk {:.6}",
+        tcp_report.metrics.messages_used,
+        tcp_report.trace.final_risk().unwrap(),
+    );
+    assert!(
+        virtual_report
+            .weights
+            .iter()
+            .zip(&tcp_report.weights)
+            .all(|(a, b)| a.to_bits() == b.to_bits()),
+        "TCP backend diverged from the simulation!"
+    );
+    println!("ok: loopback TCP training reproduced the virtual weights bit for bit.");
+
+    // 3. The external-worker protocol: the master binds a port and ships
+    //    the resolved spec as the job; each worker rebuilds the experiment
+    //    from that JSON alone. `run_worker_with_timeout` is the exact entry
+    //    point the `bcc-worker` binary calls — real deployments run it as
+    //    separate OS processes; here it runs in threads to stay
+    //    self-contained.
+    let experiment = base(BackendSpec::Virtual);
+    let spec = experiment.spec().clone();
+    let mut master = TcpCluster::bind("127.0.0.1:0", experiment.profile().clone(), 41, 1.0)
+        .expect("bind master")
+        .with_job(spec.to_json_pretty().expect("spec serializes"));
+    let addr = master.local_addr().to_string();
+    let handles: Vec<_> = (0..spec.workers)
+        .map(|w| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                run_worker_with_timeout(&addr, w, Duration::from_secs(10))
+                    .expect("worker serves the whole run");
+            })
+        })
+        .collect();
+    let out = master
+        .run_round(
+            experiment.scheme(),
+            &bcc::cluster::UnitMap::grouped(spec.data.shape(spec.units).0, spec.units),
+            experiment.dataset(),
+            &bcc::optim::LogisticLoss,
+            &[0.0; 4],
+        )
+        .expect("round over job-protocol workers");
+    master.shutdown();
+    for h in handles {
+        h.join().expect("worker thread exits cleanly");
+    }
+    let stats = master.stats();
+    println!(
+        "job protocol: K = {:>2} messages, {} bytes tx / {} bytes rx, {} deaths",
+        out.metrics.messages_used, stats.bytes_sent, stats.bytes_received, stats.deaths,
+    );
+}

@@ -1,0 +1,71 @@
+//! `bcc-worker` — one networked worker process.
+//!
+//! ```text
+//! bcc-worker <master-addr> <worker-id> [--connect-timeout-secs N]
+//! ```
+//!
+//! Connects to a [`bcc::net::TcpCluster`] master (retrying until the
+//! master binds or the timeout elapses), receives the resolved
+//! experiment spec as its job, regenerates its data share from the spec
+//! seed, and serves rounds until the master shuts the run down. Start
+//! one process per worker id in the spec:
+//!
+//! ```text
+//! for i in $(seq 0 9); do bcc-worker 127.0.0.1:4400 $i & done
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+/// Exit code for bad command-line usage.
+const EXIT_USAGE: u8 = 2;
+/// Exit code for a run that failed after a successful argument parse.
+const EXIT_RUN_FAILED: u8 = 1;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: bcc-worker <master-addr> <worker-id> [--connect-timeout-secs N]");
+    eprintln!("  master-addr            e.g. 127.0.0.1:4400");
+    eprintln!("  worker-id              0-based id within the experiment's worker count");
+    eprintln!("  --connect-timeout-secs how long to retry the connect (default 30)");
+    ExitCode::from(EXIT_USAGE)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional = Vec::new();
+    let mut timeout = Duration::from_secs(30);
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--connect-timeout-secs" => {
+                let Some(value) = args.get(i + 1) else {
+                    return usage();
+                };
+                let Ok(secs) = value.parse::<u64>() else {
+                    return usage();
+                };
+                timeout = Duration::from_secs(secs);
+                i += 2;
+            }
+            "--help" | "-h" => return usage(),
+            other => {
+                positional.push(other.to_string());
+                i += 1;
+            }
+        }
+    }
+    let [addr, worker_id] = positional.as_slice() else {
+        return usage();
+    };
+    let Ok(worker) = worker_id.parse::<usize>() else {
+        eprintln!("bcc-worker: worker id must be a non-negative integer, got `{worker_id}`");
+        return ExitCode::from(EXIT_USAGE);
+    };
+    match bcc::experiment::net_worker::run_worker_with_timeout(addr, worker, timeout) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("bcc-worker {worker}: {e}");
+            ExitCode::from(EXIT_RUN_FAILED)
+        }
+    }
+}

@@ -112,6 +112,61 @@ fn bcc_survives_deaths_that_preserve_batch_coverage() {
 }
 
 #[test]
+fn tcp_backend_reports_stall_on_pre_round_death() {
+    // Same contract as the threaded backend, but the death is a real
+    // socket that never connects: `kill_workers` keeps worker 7 out of
+    // the loopback fleet, so the master sees 11 registrations and the
+    // uncoded decoder can never complete.
+    let (data, units) = data_and_units();
+    let scheme = UncodedScheme::new(N, N);
+    let mut cluster = bcc::net::LocalNetCluster::new(profile(), 5, 0.002)
+        .with_recv_timeout(Duration::from_millis(400));
+    cluster.kill_workers([7]);
+    let err = cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .unwrap_err();
+    assert!(matches!(err, ClusterError::Stalled { .. }), "got {err:?}");
+    // Revived fleet completes again over fresh sockets.
+    cluster.revive_all();
+    cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .expect("revived cluster completes");
+}
+
+#[test]
+fn tcp_backend_mid_round_death_respects_scheme_redundancy() {
+    // A connection dropped mid-round is the networked limiting case of a
+    // straggler. Under the default wait-decodable policy the outcome must
+    // track the scheme's redundancy exactly as in the simulated backends:
+    // uncoded stalls, a coverage-preserving BCC death decodes.
+    let (data, units) = data_and_units();
+    let mut cluster = bcc::net::LocalNetCluster::new(profile(), 6, 0.002)
+        .with_recv_timeout(Duration::from_secs(5));
+
+    cluster.fail_worker_at(7, 0);
+    let scheme = UncodedScheme::new(N, N);
+    let err = cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .unwrap_err();
+    assert!(
+        matches!(err, ClusterError::Stalled { received: 11, ref reason } if reason.contains("died mid-round")),
+        "got {err:?}"
+    );
+
+    // 4 batches × 3 replicas: losing one replica of batch 3 keeps every
+    // batch covered, so the round completes without worker 7. (The round
+    // counter persisted across the stalled attempt, so this is round 1.)
+    cluster.revive_all();
+    cluster.fail_worker_at(7, 1);
+    let choices = vec![0, 1, 2, 3, 0, 1, 2, 3, 0, 1, 2, 3];
+    let scheme = BccScheme::from_choices(N, 3, choices);
+    let out = cluster
+        .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
+        .expect("coverage-preserving death decodes over TCP");
+    assert!(out.metrics.messages_used < N);
+}
+
+#[test]
 fn threaded_backend_reports_stall_on_death() {
     let (data, units) = data_and_units();
     let scheme = UncodedScheme::new(N, N);

@@ -1,0 +1,215 @@
+//! The networked backend's acceptance contract, at the experiment layer:
+//!
+//! 1. A full training run declared with `BackendSpec::Tcp` — every weight
+//!    broadcast and gradient envelope crossing a real kernel TCP socket —
+//!    reproduces the virtual backend's weights **bit for bit**.
+//! 2. External `bcc-worker` OS processes, handed nothing but the master's
+//!    address and a worker id, reconstruct the experiment from the job
+//!    spec and produce the same byte-identical round outcome.
+//! 3. Killing a worker process mid-round completes the round under
+//!    `best-effort-all` with reduced coverage — no stall, no hang.
+
+use bcc::cluster::{
+    BestEffortAll, ClusterBackend, CommModel, UnitMap, VirtualCluster, WorkerProfile,
+};
+use bcc::experiment::{BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, SchemeSpec};
+use bcc::net::TcpCluster;
+use bcc::optim::LogisticLoss;
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Deterministic staircase latency: per-worker shifts far apart relative
+/// to the exponential tail (`mu = 1e4`) and scheduler jitter, so real-time
+/// arrival order equals virtual-time arrival order.
+fn staircase(shifts: &[f64]) -> LatencySpec {
+    LatencySpec::Explicit {
+        workers: shifts
+            .iter()
+            .map(|&a| WorkerProfile { mu: 1e4, a })
+            .collect(),
+        comm: CommModel {
+            per_message_overhead: 0.001,
+            per_unit: 0.001,
+        },
+    }
+}
+
+fn training_spec(backend: BackendSpec) -> ExperimentSpec {
+    let experiment = Experiment::builder()
+        .name("networked acceptance")
+        .workers(5)
+        .units(10)
+        .scheme(SchemeSpec::with_load("bcc", 2))
+        .data(DataSpec::synthetic(4, 4))
+        .latency(staircase(&[0.020, 0.004, 0.016, 0.008, 0.012]))
+        .backend(backend)
+        .iterations(4)
+        .seed(71)
+        .build()
+        .expect("valid spec");
+    experiment.spec().clone()
+}
+
+#[test]
+fn full_training_over_loopback_tcp_matches_virtual_bit_for_bit() {
+    let virtual_report = Experiment::from_spec(training_spec(BackendSpec::Virtual))
+        .unwrap()
+        .run()
+        .expect("virtual training completes");
+    let tcp_report = Experiment::from_spec(training_spec(BackendSpec::tcp_loopback(1.0)))
+        .unwrap()
+        .run()
+        .expect("loopback TCP training completes");
+
+    assert_eq!(virtual_report.weights.len(), tcp_report.weights.len());
+    for (i, (v, t)) in virtual_report
+        .weights
+        .iter()
+        .zip(&tcp_report.weights)
+        .enumerate()
+    {
+        assert_eq!(v.to_bits(), t.to_bits(), "weight {i} differs: {v} vs {t}");
+    }
+    // The whole round process matched, not just the end point.
+    assert_eq!(
+        virtual_report.metrics.messages_used,
+        tcp_report.metrics.messages_used
+    );
+    for (v, t) in virtual_report
+        .round_samples
+        .iter()
+        .zip(&tcp_report.round_samples)
+    {
+        assert_eq!(v.messages_used, t.messages_used);
+    }
+    assert_eq!(
+        virtual_report.trace.final_risk().unwrap().to_bits(),
+        tcp_report.trace.final_risk().unwrap().to_bits(),
+    );
+}
+
+/// A spec sized for multi-process tests: 3 workers, uncoded, staircase.
+fn process_spec(shifts: &[f64]) -> ExperimentSpec {
+    let experiment = Experiment::builder()
+        .name("process round")
+        .workers(3)
+        .units(3)
+        .scheme(SchemeSpec::named("uncoded"))
+        .data(DataSpec::synthetic(10, 3))
+        .latency(staircase(shifts))
+        .backend(BackendSpec::tcp_loopback(1.0))
+        .seed(83)
+        .build()
+        .expect("valid spec");
+    experiment.spec().clone()
+}
+
+fn spawn_workers(addr: &str, count: usize) -> Vec<Child> {
+    let bin = env!("CARGO_BIN_EXE_bcc-worker");
+    (0..count)
+        .map(|w| {
+            Command::new(bin)
+                .args([addr, &w.to_string()])
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("spawn bcc-worker")
+        })
+        .collect()
+}
+
+#[test]
+fn external_worker_processes_match_the_virtual_backend() {
+    let spec = process_spec(&[0.015, 0.005, 0.010]);
+    let experiment = Experiment::from_spec(spec.clone()).unwrap();
+    let (num_examples, _) = spec.data.shape(spec.units);
+    let units = UnitMap::grouped(num_examples, spec.units);
+    let w0 = vec![0.05; 3];
+
+    let mut master = TcpCluster::bind("127.0.0.1:0", experiment.profile().clone(), 99, 1.0)
+        .expect("bind master")
+        .with_job(spec.to_json_pretty().unwrap());
+    let addr = master.local_addr().to_string();
+    let mut children = spawn_workers(&addr, spec.workers);
+
+    let tcp_out = master
+        .run_round(
+            experiment.scheme(),
+            &units,
+            experiment.dataset(),
+            &LogisticLoss,
+            &w0,
+        )
+        .expect("round over real worker processes completes");
+    master.shutdown();
+    for (w, child) in children.iter_mut().enumerate() {
+        let status = child.wait().expect("wait for worker process");
+        assert!(status.success(), "worker {w} exited with {status}");
+    }
+
+    let virtual_out = VirtualCluster::new(experiment.profile().clone(), 99)
+        .run_round(
+            experiment.scheme(),
+            &units,
+            experiment.dataset(),
+            &LogisticLoss,
+            &w0,
+        )
+        .expect("virtual round completes");
+
+    // The worker processes regenerated data, placement, and selections
+    // from the job spec alone — and still match the simulation bit for bit.
+    assert_eq!(
+        virtual_out.metrics.messages_used,
+        tcp_out.metrics.messages_used
+    );
+    for (v, t) in virtual_out.gradient_sum.iter().zip(&tcp_out.gradient_sum) {
+        assert_eq!(v.to_bits(), t.to_bits());
+    }
+}
+
+#[test]
+fn killing_a_worker_process_mid_round_completes_under_best_effort() {
+    // Worker 0 computes for ~3 simulated (= real) seconds; the test kills
+    // its process ~1 s in. The master must detect the EOF, drop worker 0
+    // from the live set, and let best-effort-all complete on the two
+    // survivors — never stalling on the corpse.
+    let spec = process_spec(&[3.0, 0.005, 0.010]);
+    let experiment = Experiment::from_spec(spec.clone()).unwrap();
+    let (num_examples, _) = spec.data.shape(spec.units);
+    let units = UnitMap::grouped(num_examples, spec.units);
+
+    let mut master = TcpCluster::bind("127.0.0.1:0", experiment.profile().clone(), 107, 1.0)
+        .expect("bind master")
+        .with_job(spec.to_json_pretty().unwrap())
+        .with_aggregation_policy(Arc::new(BestEffortAll))
+        .with_recv_timeout(Duration::from_secs(20));
+    let addr = master.local_addr().to_string();
+    let mut children = spawn_workers(&addr, spec.workers);
+
+    let victim = children.remove(0);
+    let killer = std::thread::spawn(move || {
+        let mut victim = victim;
+        std::thread::sleep(Duration::from_secs(1));
+        let _ = victim.kill();
+        let _ = victim.wait();
+    });
+
+    let out = master
+        .run_round(
+            experiment.scheme(),
+            &units,
+            experiment.dataset(),
+            &LogisticLoss,
+            &[0.0; 3],
+        )
+        .expect("best-effort round completes despite the killed process");
+    assert_eq!(out.metrics.messages_used, 2, "the two survivors report");
+    let stats = master.stats();
+    assert_eq!(stats.deaths, 1, "exactly one process death detected");
+    master.shutdown();
+    killer.join().unwrap();
+    for child in &mut children {
+        let _ = child.wait();
+    }
+}
