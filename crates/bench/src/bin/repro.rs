@@ -13,7 +13,8 @@
 //! repro sweep                # straggler-model sweep → BENCH_straggler_sweep.json
 //! repro policy               # aggregation-policy tradeoff → BENCH_policy_tradeoff.json
 //! repro scale                # data-path scaling grid → BENCH_scale.json
-//! repro net                  # loopback-TCP backend grid → BENCH_net.json
+//! repro net [--wan]          # loopback-TCP backend grid → BENCH_net.json
+//!                            # (--wan adds deterministic-latency WAN cells)
 //! repro list                 # registered schemes, models, policies, data paths, backends
 //! repro scenario SPEC.json   # replay a spec file (table row or custom scenario)
 //! repro gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]
@@ -43,6 +44,7 @@ struct Args {
     targets: Vec<String>,
     spec_files: Vec<PathBuf>,
     fast: bool,
+    wan: bool,
     out_dir: PathBuf,
     baseline_dir: Option<PathBuf>,
     current_dir: PathBuf,
@@ -53,6 +55,7 @@ fn parse_args() -> Args {
     let mut targets = Vec::new();
     let mut spec_files = Vec::new();
     let mut fast = false;
+    let mut wan = false;
     let mut out_dir = PathBuf::from("experiments");
     let mut baseline_dir = None;
     let mut current_dir = PathBuf::from(".");
@@ -67,6 +70,7 @@ fn parse_args() -> Args {
     while let Some(a) = args.next() {
         match a.as_str() {
             "--fast" => fast = true,
+            "--wan" => wan = true,
             "--out" => out_dir = PathBuf::from(next_value(&mut args, "--out")),
             "--baseline-dir" => {
                 baseline_dir = Some(PathBuf::from(next_value(&mut args, "--baseline-dir")));
@@ -88,7 +92,7 @@ fn parse_args() -> Args {
             }
             "-h" | "--help" => {
                 println!(
-                    "usage: repro [--fast] [--out DIR] \
+                    "usage: repro [--fast] [--wan] [--out DIR] \
                      [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy|scale|net]... \
                      [scenario SPEC.json]... \
                      [list] \
@@ -106,6 +110,7 @@ fn parse_args() -> Args {
         targets,
         spec_files,
         fast,
+        wan,
         out_dir,
         baseline_dir,
         current_dir,
@@ -413,11 +418,16 @@ fn main() {
 
     if want("net") {
         ran_any = true;
-        let cfg = if args.fast {
+        let mut cfg = if args.fast {
             net_bench::NetBenchConfig::fast()
         } else {
             net_bench::NetBenchConfig::default_config()
         };
+        if args.wan {
+            let wan = net_bench::NetBenchConfig::wan();
+            cfg.wan_latency = wan.wan_latency;
+            cfg.wan_jitter = wan.wan_jitter;
+        }
         let result = net_bench::run(&cfg);
         print_table(&net_bench::render(&result));
         // Perf-trajectory artifact: fixed name at the repo root, like the
@@ -504,6 +514,13 @@ fn run_list() {
         "Tcp".into(),
         "TCP master/worker round protocol; addr = null spawns a loopback fleet \
          in-process, addr = \"host:port\" listens for external bcc-worker processes"
+            .into(),
+    ]);
+    backends.push_row(vec![
+        "Tcp + wan".into(),
+        "WAN profile: deterministic per-link latency ± jitter (seeded from \
+         (seed, round, worker)) layered over any straggler model; set \
+         `backend.wan = {latency, jitter}` in a spec or run `repro net --wan`"
             .into(),
     ]);
     print_table(&backends);

@@ -2,28 +2,37 @@
 //! `BENCH_net.json`.
 //!
 //! Runs a small round grid on [`bcc_net::LocalNetCluster`] (real loopback
-//! TCP sockets, one worker thread per participant) and its virtual twin,
-//! and records two kinds of numbers per cell:
+//! TCP sockets, one worker thread per participant), each cell **twice** —
+//! once on the serial write-per-peer reference path and once on the
+//! pipelined fan-out (writer threads, pooled frames, speculative
+//! next-round broadcast) — plus a virtual twin, and records three kinds
+//! of numbers per cell:
 //!
-//! * **Simulated metrics** — messages used, communication units, and a
-//!   `gradients_match_virtual` flag pinned against the virtual backend.
-//!   On the staircase latency profile these are deterministic, so the
-//!   perf gate compares them exactly like the policy/scale artifacts:
-//!   drift is a *behaviour* change, not host noise.
-//! * **Transport observables** — per-round wall times, bytes and frames
-//!   on the wire, death/reconnect counts. These describe the TCP stack
-//!   and the host; they are recorded for trajectory plots but never
-//!   gated.
+//! * **Simulated metrics** — messages used, communication units, a
+//!   `gradients_match_virtual` flag pinned against the virtual backend,
+//!   and `pipelined_matches_serial`, the tentpole contract that
+//!   pipelining is a pure latency optimisation. On the staircase latency
+//!   profile these are deterministic, so the perf gate compares them
+//!   exactly like the policy/scale artifacts: drift is a *behaviour*
+//!   change, not host noise.
+//! * **Transport observables** — per-round wall times for both paths and
+//!   the derived `pipelined_speedup`, broadcast wall, queue depth, flush
+//!   and backpressure counts, bytes and frames on the wire, death /
+//!   reconnect / stale-frame counts. These describe the TCP stack and
+//!   the host; they are recorded for trajectory plots but never gated.
 //!
-//! Three cells: the uncoded baseline, BCC at `r = 2` (early stopping over
-//! a real socket), and a mid-round worker death under `best-effort-all` —
-//! the fault path as a measured artifact, not just a test.
+//! Cells: the uncoded baseline, BCC at `r = 2` (early stopping over a
+//! real socket), a mid-round worker death under `best-effort-all`, and —
+//! with [`NetBenchConfig::wan`] — WAN twins of the first two, where a
+//! deterministic [`WanLinkModel`] injects per-link latency and quantized
+//! jitter into the shared delay stream on both the TCP run and its
+//! virtual twin.
 
 use crate::report::{f1, f3, Table};
 use bcc_cluster::backend::FixedPointDriver;
 use bcc_cluster::{
-    BestEffortAll, ClusterBackend, ClusterProfile, CommModel, RoundOutcome, UnitMap,
-    VirtualCluster, WorkerProfile,
+    straggler, BestEffortAll, ClusterBackend, ClusterProfile, CommModel, RoundOutcome,
+    StragglerModel, UnitMap, VirtualCluster, WanLinkModel, WorkerProfile,
 };
 use bcc_coding::{BccScheme, GradientCodingScheme, UncodedScheme};
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -49,11 +58,17 @@ pub struct NetBenchConfig {
     pub time_scale: f64,
     /// Master seed shared by the TCP run and its virtual twin.
     pub seed: u64,
+    /// Include the WAN-profile cells (`repro net --wan`): per-link base
+    /// latency in simulated seconds…
+    pub wan_latency: f64,
+    /// …and the deterministic jitter amplitude around it. Both zero =
+    /// no WAN cells.
+    pub wan_jitter: f64,
 }
 
 impl NetBenchConfig {
     /// Default: 6 workers × 8 rounds at a 0.2 time scale (≲ 1 s of
-    /// injected latency per cell).
+    /// injected latency per cell), no WAN cells.
     #[must_use]
     pub fn default_config() -> Self {
         Self {
@@ -64,6 +79,8 @@ impl NetBenchConfig {
             rounds: 8,
             time_scale: 0.2,
             seed: 2024,
+            wan_latency: 0.0,
+            wan_jitter: 0.0,
         }
     }
 
@@ -74,6 +91,23 @@ impl NetBenchConfig {
             rounds: 3,
             ..Self::default_config()
         }
+    }
+
+    /// The `--wan` grid: default cells plus WAN twins with 0.1 s of
+    /// simulated per-link latency ± 0.05 s of deterministic jitter.
+    #[must_use]
+    pub fn wan() -> Self {
+        Self {
+            wan_latency: 0.1,
+            wan_jitter: 0.05,
+            ..Self::default_config()
+        }
+    }
+
+    /// Whether the WAN cells are part of the grid.
+    #[must_use]
+    pub fn has_wan(&self) -> bool {
+        self.wan_latency > 0.0 || self.wan_jitter > 0.0
     }
 
     /// Deterministic staircase latency: per-worker shifts spaced 0.05
@@ -97,15 +131,19 @@ impl NetBenchConfig {
     }
 }
 
-/// One benchmark cell: a (scheme, policy, fault) point measured over TCP.
+/// One benchmark cell: a (scheme, policy, fault, link) point measured
+/// over TCP on both fan-out paths.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetCellRow {
-    /// Cell name (`uncoded` / `bcc-r2` / `death-best-effort`).
+    /// Cell name (`uncoded` / `bcc-r2` / `death-best-effort` /
+    /// `uncoded-wan` / `bcc-r2-wan`).
     pub cell: String,
     /// Scheme in force.
     pub scheme: String,
     /// Aggregation policy in force.
     pub policy: String,
+    /// Whether a [`WanLinkModel`] shaped this cell's delay stream.
+    pub wan: bool,
     /// Rounds measured.
     pub rounds: usize,
     /// Mean messages used per round — **gated** (deterministic on the
@@ -113,13 +151,40 @@ pub struct NetCellRow {
     pub avg_messages_used: f64,
     /// Mean communication units per round — deterministic companion.
     pub avg_communication_units: f64,
-    /// Whether every round's decoded gradient matched the virtual twin
-    /// bit for bit — the cross-backend equivalence contract as data.
+    /// Whether every pipelined round's decoded gradient matched the
+    /// virtual twin bit for bit — the cross-backend equivalence contract
+    /// as data. **Gated.**
     pub gradients_match_virtual: bool,
-    /// Per-round wall seconds at the master (host time; not gated).
+    /// Whether the pipelined path's simulated outcomes (gradients,
+    /// message counts, compute accounting) matched the serial reference
+    /// path bit for bit — the tentpole contract. **Gated.**
+    pub pipelined_matches_serial: bool,
+    /// Per-round wall seconds at the master, pipelined path (host time;
+    /// not gated).
     pub round_wall_seconds: Vec<f64>,
     /// Mean of [`Self::round_wall_seconds`].
     pub mean_round_wall_seconds: f64,
+    /// Mean per-round wall seconds on the serial reference path.
+    pub serial_mean_round_wall_seconds: f64,
+    /// `serial_mean_round_wall_seconds / mean_round_wall_seconds` — the
+    /// wall-clock win from pipelining (> 1 means pipelining is faster;
+    /// host-dependent, not gated).
+    pub pipelined_speedup: f64,
+    /// Spread (max − min) of the pipelined per-round walls — the jitter
+    /// the writer-thread fan-out is meant to keep bounded.
+    pub wall_jitter_seconds: f64,
+    /// Wall seconds the master spent fanning rounds out (cumulative over
+    /// the cell, pipelined path).
+    pub broadcast_wall_seconds: f64,
+    /// Deepest send-queue occupancy any writer observed (pipelined path).
+    pub max_queue_depth: u64,
+    /// Writer-thread socket flushes (coalescing makes this ≤ frames).
+    pub flushes: u64,
+    /// Broadcasts that hit a full send queue (pipelined path).
+    pub backpressure_events: u64,
+    /// Data frames for settled rounds / superseded epochs — credited,
+    /// never decoded.
+    pub stale_frames: u64,
     /// Bytes the master wrote to worker sockets.
     pub bytes_sent: u64,
     /// Bytes the master read from worker sockets.
@@ -137,7 +202,7 @@ pub struct NetCellRow {
 /// The artifact behind `BENCH_net.json`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NetBenchResult {
-    /// Schema tag (`bcc/bench_net/v1`).
+    /// Schema tag (`bcc/bench_net/v2`).
     pub schema: String,
     /// Backend the cells ran on.
     pub backend: String,
@@ -161,40 +226,64 @@ struct Cell {
     policy: &'static str,
     /// `(worker, round)` at which a worker drops its connection.
     fail_at: Option<(usize, u64)>,
+    /// Shape the delay stream through a WAN link model.
+    wan: bool,
 }
 
 fn cells(cfg: &NetBenchConfig) -> Vec<Cell> {
     // 3 batches at r = 2: workers 0..3 pick batches 0,1,2 and workers
     // 3..6 pick 2,1,0 — every batch double-covered.
-    let bcc_choices: Vec<usize> = (0..cfg.workers)
-        .map(|w| {
-            if w < cfg.workers / 2 {
-                w % 3
-            } else {
-                2 - (w % 3)
-            }
-        })
-        .collect();
-    vec![
+    let bcc_choices = |cfg: &NetBenchConfig| -> Vec<usize> {
+        (0..cfg.workers)
+            .map(|w| {
+                if w < cfg.workers / 2 {
+                    w % 3
+                } else {
+                    2 - (w % 3)
+                }
+            })
+            .collect()
+    };
+    let mut cells = vec![
         Cell {
             name: "uncoded",
             scheme: Box::new(UncodedScheme::new(cfg.units, cfg.workers)),
             policy: "wait-decodable",
             fail_at: None,
+            wan: false,
         },
         Cell {
             name: "bcc-r2",
-            scheme: Box::new(BccScheme::from_choices(cfg.workers, 2, bcc_choices)),
+            scheme: Box::new(BccScheme::from_choices(cfg.workers, 2, bcc_choices(cfg))),
             policy: "wait-decodable",
             fail_at: None,
+            wan: false,
         },
         Cell {
             name: "death-best-effort",
             scheme: Box::new(UncodedScheme::new(cfg.units, cfg.workers)),
             policy: "best-effort-all",
             fail_at: Some((3, 0)),
+            wan: false,
         },
-    ]
+    ];
+    if cfg.has_wan() {
+        cells.push(Cell {
+            name: "uncoded-wan",
+            scheme: Box::new(UncodedScheme::new(cfg.units, cfg.workers)),
+            policy: "wait-decodable",
+            fail_at: None,
+            wan: true,
+        });
+        cells.push(Cell {
+            name: "bcc-r2-wan",
+            scheme: Box::new(BccScheme::from_choices(cfg.workers, 2, bcc_choices(cfg))),
+            policy: "wait-decodable",
+            fail_at: None,
+            wan: true,
+        });
+    }
+    cells
 }
 
 fn gradients_match(net: &[RoundOutcome], virt: &[RoundOutcome]) -> bool {
@@ -208,7 +297,75 @@ fn gradients_match(net: &[RoundOutcome], virt: &[RoundOutcome]) -> bool {
         })
 }
 
-/// Runs the full grid: every cell on loopback TCP plus its virtual twin.
+/// Full simulated-outcome identity between the two fan-out paths:
+/// gradients, message counts, communication load, and compute accounting
+/// (wall-clock fields excluded).
+fn outcomes_identical(a: &[RoundOutcome], b: &[RoundOutcome]) -> bool {
+    gradients_match(a, b)
+        && a.iter().zip(b).all(|(x, y)| {
+            x.metrics.messages_used == y.metrics.messages_used
+                && x.metrics.communication_units == y.metrics.communication_units
+                && x.metrics.compute_time.to_bits() == y.metrics.compute_time.to_bits()
+        })
+}
+
+struct NetRun {
+    outcomes: Vec<RoundOutcome>,
+    stats: bcc_net::NetStats,
+    round_wall_seconds: Vec<f64>,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_net_cell(
+    cell: &Cell,
+    cfg: &NetBenchConfig,
+    profile: &ClusterProfile,
+    model: &Arc<dyn StragglerModel>,
+    units: &UnitMap,
+    data: &bcc_data::Dataset,
+    weights: &[f64],
+    pipelined: bool,
+) -> NetRun {
+    let mut net = LocalNetCluster::new(profile.clone(), cfg.seed, cfg.time_scale)
+        .with_pipelining(pipelined)
+        .with_straggler_model(Arc::clone(model));
+    if cell.policy == "best-effort-all" {
+        net = net.with_aggregation_policy(Arc::new(BestEffortAll));
+    }
+    if let Some((worker, round)) = cell.fail_at {
+        net.fail_worker_at(worker, round);
+    }
+    let mut driver = FixedPointDriver::new(weights.to_vec());
+    net.run_rounds(
+        cfg.rounds,
+        cell.scheme.as_ref(),
+        units,
+        data,
+        &LogisticLoss,
+        &mut driver,
+    )
+    .unwrap_or_else(|e| {
+        panic!(
+            "net cell `{}` ({} path) failed: {e}",
+            cell.name,
+            if pipelined { "pipelined" } else { "serial" }
+        )
+    });
+    let stats = net.last_net_stats().expect("stats after a run");
+    let round_wall_seconds = driver
+        .outcomes
+        .iter()
+        .map(|o| o.metrics.total_time * cfg.time_scale)
+        .collect();
+    NetRun {
+        outcomes: driver.outcomes,
+        stats,
+        round_wall_seconds,
+    }
+}
+
+/// Runs the full grid: every cell on loopback TCP — serial and pipelined
+/// fan-out — plus its virtual twin.
 ///
 /// # Panics
 /// Panics when a cell cannot complete — a benchmark that cannot run its
@@ -220,35 +377,49 @@ pub fn run(cfg: &NetBenchConfig) -> NetBenchResult {
     let units = UnitMap::grouped(num_examples, cfg.units);
     let profile = cfg.profile();
     let weights = vec![0.0; cfg.dim];
+    let base_model = straggler::default_model(&profile);
+    let wan_model: Arc<dyn StragglerModel> = Arc::new(WanLinkModel::wrap(
+        Arc::clone(&base_model),
+        cfg.wan_latency,
+        cfg.wan_jitter,
+    ));
 
     let mut rows = Vec::new();
     for cell in cells(cfg) {
-        let mut net = LocalNetCluster::new(profile.clone(), cfg.seed, cfg.time_scale);
-        let mut virt = VirtualCluster::new(profile.clone(), cfg.seed);
+        let model = if cell.wan { &wan_model } else { &base_model };
+
+        let serial = run_net_cell(
+            &cell,
+            cfg,
+            &profile,
+            model,
+            &units,
+            &data.dataset,
+            &weights,
+            false,
+        );
+        let pipelined = run_net_cell(
+            &cell,
+            cfg,
+            &profile,
+            model,
+            &units,
+            &data.dataset,
+            &weights,
+            true,
+        );
+
+        let mut virt =
+            VirtualCluster::new(profile.clone(), cfg.seed).with_straggler_model(Arc::clone(model));
         if cell.policy == "best-effort-all" {
-            net = net.with_aggregation_policy(Arc::new(BestEffortAll));
             virt = virt.with_aggregation_policy(Arc::new(BestEffortAll));
         }
-        if let Some((worker, round)) = cell.fail_at {
-            net.fail_worker_at(worker, round);
+        if let Some((worker, _)) = cell.fail_at {
             // The virtual twin has no mid-round socket to drop; killing
             // the worker up front yields the same per-round message sets
             // under best-effort aggregation (see tests).
             virt.kill_workers([worker]);
         }
-
-        let mut net_driver = FixedPointDriver::new(weights.clone());
-        net.run_rounds(
-            cfg.rounds,
-            cell.scheme.as_ref(),
-            &units,
-            &data.dataset,
-            &LogisticLoss,
-            &mut net_driver,
-        )
-        .unwrap_or_else(|e| panic!("net cell `{}` failed: {e}", cell.name));
-        let stats = net.last_net_stats().expect("stats after a run");
-
         let mut virt_driver = FixedPointDriver::new(weights.clone());
         virt.run_rounds(
             cfg.rounds,
@@ -260,16 +431,24 @@ pub fn run(cfg: &NetBenchConfig) -> NetBenchResult {
         )
         .unwrap_or_else(|e| panic!("virtual twin of `{}` failed: {e}", cell.name));
 
-        let outcomes = &net_driver.outcomes;
+        let outcomes = &pipelined.outcomes;
         let n = outcomes.len() as f64;
-        let round_wall_seconds: Vec<f64> = outcomes
+        let mean_round_wall_seconds = pipelined.round_wall_seconds.iter().sum::<f64>() / n;
+        let serial_mean_round_wall_seconds =
+            serial.round_wall_seconds.iter().sum::<f64>() / serial.outcomes.len().max(1) as f64;
+        let wall_jitter_seconds = pipelined
+            .round_wall_seconds
             .iter()
-            .map(|o| o.metrics.total_time * cfg.time_scale)
-            .collect();
+            .fold(f64::NEG_INFINITY, |a, &b| a.max(b))
+            - pipelined
+                .round_wall_seconds
+                .iter()
+                .fold(f64::INFINITY, |a, &b| a.min(b));
         rows.push(NetCellRow {
             cell: cell.name.to_string(),
             scheme: cell.scheme.name().to_string(),
             policy: cell.policy.to_string(),
+            wan: cell.wan,
             rounds: outcomes.len(),
             avg_messages_used: outcomes
                 .iter()
@@ -282,19 +461,28 @@ pub fn run(cfg: &NetBenchConfig) -> NetBenchResult {
                 .sum::<f64>()
                 / n,
             gradients_match_virtual: gradients_match(outcomes, &virt_driver.outcomes),
-            mean_round_wall_seconds: round_wall_seconds.iter().sum::<f64>() / n,
-            round_wall_seconds,
-            bytes_sent: stats.bytes_sent,
-            bytes_received: stats.bytes_received,
-            frames_sent: stats.frames_sent,
-            frames_received: stats.frames_received,
-            deaths: stats.deaths,
-            reconnects: stats.reconnects,
+            pipelined_matches_serial: outcomes_identical(outcomes, &serial.outcomes),
+            mean_round_wall_seconds,
+            serial_mean_round_wall_seconds,
+            pipelined_speedup: serial_mean_round_wall_seconds / mean_round_wall_seconds,
+            wall_jitter_seconds,
+            broadcast_wall_seconds: pipelined.stats.broadcast_wall_seconds(),
+            max_queue_depth: pipelined.stats.max_queue_depth,
+            flushes: pipelined.stats.flushes,
+            backpressure_events: pipelined.stats.backpressure_events,
+            stale_frames: pipelined.stats.stale_frames,
+            bytes_sent: pipelined.stats.bytes_sent,
+            bytes_received: pipelined.stats.bytes_received,
+            frames_sent: pipelined.stats.frames_sent,
+            frames_received: pipelined.stats.frames_received,
+            deaths: pipelined.stats.deaths,
+            reconnects: pipelined.stats.reconnects,
+            round_wall_seconds: pipelined.round_wall_seconds,
         });
     }
 
     NetBenchResult {
-        schema: "bcc/bench_net/v1".into(),
+        schema: "bcc/bench_net/v2".into(),
         backend: "tcp-local".into(),
         config: cfg.clone(),
         rows,
@@ -306,7 +494,7 @@ pub fn run(cfg: &NetBenchConfig) -> NetBenchResult {
 pub fn render(result: &NetBenchResult) -> Table {
     let mut t = Table::new(
         format!(
-            "networked backend — {} rounds/cell over loopback TCP (time scale {})",
+            "networked backend — {} rounds/cell over loopback TCP (time scale {}), serial vs pipelined fan-out",
             result.config.rounds, result.config.time_scale
         ),
         &[
@@ -315,9 +503,12 @@ pub fn render(result: &NetBenchResult) -> Table {
             "policy",
             "msgs/round",
             "wall s/round",
-            "bytes tx",
-            "bytes rx",
+            "serial s/round",
+            "speedup",
+            "queue",
+            "flushes",
             "deaths",
+            "pipelined = serial",
             "grad = virtual",
         ],
     );
@@ -328,9 +519,16 @@ pub fn render(result: &NetBenchResult) -> Table {
             r.policy.clone(),
             f1(r.avg_messages_used),
             f3(r.mean_round_wall_seconds),
-            r.bytes_sent.to_string(),
-            r.bytes_received.to_string(),
+            f3(r.serial_mean_round_wall_seconds),
+            format!("{:.2}x", r.pipelined_speedup),
+            r.max_queue_depth.to_string(),
+            r.flushes.to_string(),
             r.deaths.to_string(),
+            if r.pipelined_matches_serial {
+                "yes".into()
+            } else {
+                "NO".into()
+            },
             if r.gradients_match_virtual {
                 "yes".into()
             } else {
@@ -341,15 +539,31 @@ pub fn render(result: &NetBenchResult) -> Table {
     t
 }
 
+impl NetCellRow {
+    /// Whether the cell ran without injected faults (jitter budgets only
+    /// apply there — a mid-round death legitimately shifts one round's
+    /// wall).
+    #[must_use]
+    pub fn fail_free(&self) -> bool {
+        self.deaths == 0
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// Per-round wall jitter budget (seconds) asserted on fault-free
+    /// cells: generous against scheduler noise on a 1-core runner, tight
+    /// against the ~0.35 s blocking-write outliers the writer-thread
+    /// fan-out eliminated.
+    const WALL_JITTER_BUDGET_SECONDS: f64 = 0.3;
+
     #[test]
-    fn fast_grid_measures_all_cells_and_matches_virtual() {
+    fn fast_grid_measures_all_cells_and_matches_both_references() {
         let cfg = NetBenchConfig::fast();
         let result = run(&cfg);
-        assert_eq!(result.schema, "bcc/bench_net/v1");
+        assert_eq!(result.schema, "bcc/bench_net/v2");
         assert_eq!(result.rows.len(), 3);
         for row in &result.rows {
             assert_eq!(row.rounds, cfg.rounds);
@@ -358,8 +572,27 @@ mod tests {
                 "cell `{}` must match the virtual twin",
                 row.cell
             );
+            assert!(
+                row.pipelined_matches_serial,
+                "cell `{}`: pipelining must not change simulated outcomes",
+                row.cell
+            );
             assert!(row.bytes_sent > 0 && row.bytes_received > 0);
             assert_eq!(row.round_wall_seconds.len(), cfg.rounds);
+            assert!(row.serial_mean_round_wall_seconds > 0.0);
+            assert!(row.pipelined_speedup.is_finite() && row.pipelined_speedup > 0.0);
+            assert!(row.broadcast_wall_seconds > 0.0);
+            assert!(row.flushes > 0, "writer threads flush every burst");
+            assert!(row.max_queue_depth >= 1);
+            if row.fail_free() {
+                assert!(
+                    row.wall_jitter_seconds <= WALL_JITTER_BUDGET_SECONDS,
+                    "cell `{}`: round walls {:?} spread beyond the {WALL_JITTER_BUDGET_SECONDS} s \
+                     jitter budget — a blocking-write stall is back",
+                    row.cell,
+                    row.round_wall_seconds,
+                );
+            }
         }
         // The uncoded baseline uses everyone; BCC stops early.
         let uncoded = result.row("uncoded").unwrap();
@@ -370,6 +603,33 @@ mod tests {
         let death = result.row("death-best-effort").unwrap();
         assert_eq!(death.deaths, 1);
         assert!((death.avg_messages_used - (cfg.workers - 1) as f64).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wan_cells_stay_deterministic_under_injected_latency() {
+        let cfg = NetBenchConfig {
+            rounds: 2,
+            ..NetBenchConfig::wan()
+        };
+        assert!(cfg.has_wan());
+        let result = run(&cfg);
+        assert_eq!(result.rows.len(), 5);
+        for name in ["uncoded-wan", "bcc-r2-wan"] {
+            let row = result.row(name).unwrap();
+            assert!(row.wan);
+            assert!(row.gradients_match_virtual, "`{name}` vs virtual");
+            assert!(row.pipelined_matches_serial, "`{name}` vs serial");
+            // The injected link latency genuinely slows the rounds.
+            let lan = result.row(name.trim_end_matches("-wan")).unwrap();
+            assert!(
+                row.mean_round_wall_seconds
+                    > lan.mean_round_wall_seconds + 0.5 * cfg.wan_latency * cfg.time_scale,
+                "`{name}` must be visibly slower than its LAN twin \
+                 ({} vs {} wall s/round)",
+                row.mean_round_wall_seconds,
+                lan.mean_round_wall_seconds,
+            );
+        }
     }
 
     #[test]

@@ -281,10 +281,12 @@ pub fn compare_scale(
 /// are recorded in the artifact but deliberately **not** gated: loopback
 /// TCP timing is host property, not protocol property.
 ///
-/// Additionally fails when any current cell lost bit-equivalence with the
-/// virtual backend (`gradients_match_virtual == false`) — the gate's one
-/// non-ratio check, because a backend that diverges from the simulation
-/// has no baseline worth comparing against.
+/// Additionally fails — the gate's non-ratio checks — when any current
+/// cell lost bit-equivalence with the virtual backend
+/// (`gradients_match_virtual == false`) or when the pipelined fan-out
+/// stopped reproducing the serial reference path
+/// (`pipelined_matches_serial == false`): a backend that diverges from
+/// its own references has no baseline worth comparing against.
 ///
 /// # Errors
 /// A readable message when the configs differ, a baseline cell is missing
@@ -305,6 +307,13 @@ pub fn compare_net(
         return Err(format!(
             "net: cell `{}` no longer matches the virtual backend bit for bit — \
              cross-backend equivalence must hold before perf is worth comparing",
+            broken.cell
+        ));
+    }
+    if let Some(broken) = current.rows.iter().find(|r| !r.pipelined_matches_serial) {
+        return Err(format!(
+            "net: cell `{}`'s pipelined fan-out no longer reproduces the serial path — \
+             pipelining must stay a pure latency optimisation",
             broken.cell
         ));
     }
@@ -506,19 +515,29 @@ mod tests {
     fn net_result(avg_messages: f64) -> NetBenchResult {
         use crate::experiments::net_bench::{NetBenchConfig, NetCellRow};
         NetBenchResult {
-            schema: "bcc/bench_net/v1".into(),
+            schema: "bcc/bench_net/v2".into(),
             backend: "tcp-local".into(),
             config: NetBenchConfig::default_config(),
             rows: vec![NetCellRow {
                 cell: "uncoded".into(),
                 scheme: "uncoded".into(),
                 policy: "wait-decodable".into(),
+                wan: false,
                 rounds: 8,
                 avg_messages_used: avg_messages,
                 avg_communication_units: avg_messages,
                 gradients_match_virtual: true,
+                pipelined_matches_serial: true,
                 round_wall_seconds: vec![0.07; 8],
                 mean_round_wall_seconds: 0.07,
+                serial_mean_round_wall_seconds: 0.09,
+                pipelined_speedup: 0.09 / 0.07,
+                wall_jitter_seconds: 0.004,
+                broadcast_wall_seconds: 0.001,
+                max_queue_depth: 2,
+                flushes: 48,
+                backpressure_events: 0,
+                stale_frames: 0,
                 bytes_sent: 4096,
                 bytes_received: 2048,
                 frames_sent: 64,
@@ -742,6 +761,18 @@ mod tests {
         other_cfg.config.rounds = 3;
         let err = compare_net(&baseline, &other_cfg, 1.5).unwrap_err();
         assert!(err.contains("configs differ"), "{err}");
+    }
+
+    #[test]
+    fn net_pipelined_divergence_is_an_error_not_a_pass() {
+        let baseline = net_result(6.0);
+        let mut current = net_result(6.0);
+        current.rows[0].pipelined_matches_serial = false;
+        let err = compare_net(&baseline, &current, 1.5).unwrap_err();
+        assert!(
+            err.contains("no longer reproduces the serial path"),
+            "{err}"
+        );
     }
 
     #[test]

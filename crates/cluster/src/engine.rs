@@ -58,6 +58,13 @@ pub enum ArrivalEvent {
         /// Human-readable cause for the stall report.
         reason: String,
     },
+    /// A protocol side-note that is not a delivery: a stale frame from an
+    /// already-settled round was credited to stats, or a dead worker was
+    /// re-admitted mid-round. The engine forwards the event to the
+    /// observer and keeps pulling — the decoder never sees it. This is the
+    /// epoch plumbing pipelined transports use to report round-t tail
+    /// traffic while round t+1 is in flight.
+    Note(RoundEvent),
 }
 
 /// A backend's arrival stream for one round.
@@ -442,6 +449,9 @@ impl<'a> RoundEngine<'a> {
                         });
                         return Ok(at);
                     }
+                }
+                ArrivalEvent::Note(event) => {
+                    observer.on_event(&event);
                 }
                 ArrivalEvent::Exhausted { reason } => {
                     if self.policy.complete_on_exhausted() && self.decoder.messages_received() > 0 {

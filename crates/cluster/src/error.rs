@@ -27,6 +27,16 @@ pub enum ClusterError {
     /// A networking/transport failure: socket IO, handshake, or framing
     /// errors from the TCP backend.
     Net(String),
+    /// The master refused a worker's handshake because its auth token did
+    /// not match the one derived from the job seed. Typed (instead of a
+    /// silent drop or a generic [`Self::Net`]) so operators can tell a
+    /// mis-seeded fleet from a flaky network.
+    AuthRejected {
+        /// The worker id the rejected connection announced.
+        worker: usize,
+        /// The master's stated reason.
+        reason: String,
+    },
 }
 
 impl fmt::Display for ClusterError {
@@ -39,6 +49,9 @@ impl fmt::Display for ClusterError {
             Self::WorkerFailed { worker } => write!(f, "worker {worker} failed"),
             Self::Wire(msg) => write!(f, "wire error: {msg}"),
             Self::Net(msg) => write!(f, "network error: {msg}"),
+            Self::AuthRejected { worker, reason } => {
+                write!(f, "worker {worker} rejected by master: {reason}")
+            }
         }
     }
 }
@@ -74,5 +87,11 @@ mod tests {
         assert!(ClusterError::Net("connection refused".into())
             .to_string()
             .contains("connection refused"));
+        let rejected = ClusterError::AuthRejected {
+            worker: 4,
+            reason: "auth token mismatch".into(),
+        };
+        assert!(rejected.to_string().contains("worker 4"));
+        assert!(rejected.to_string().contains("auth token mismatch"));
     }
 }

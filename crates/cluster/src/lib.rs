@@ -61,7 +61,8 @@ pub use policy::{
     RoundView, WaitDecodable,
 };
 pub use straggler::{
-    BimodalModel, MarkovModel, ParetoModel, ShiftedExpModel, StragglerModel, WeibullModel,
+    BimodalModel, MarkovModel, ParetoModel, ShiftedExpModel, StragglerModel, WanLinkModel,
+    WeibullModel,
 };
 pub use streamed::StreamedContext;
 pub use threaded::ThreadedCluster;

@@ -64,6 +64,27 @@ pub enum RoundEvent {
         /// Human-readable cause.
         reason: String,
     },
+    /// A frame from an already-settled round (or a superseded broadcast
+    /// epoch) arrived while this round was in flight. Pipelined masters
+    /// credit it to transport stats but never feed it to the decoder —
+    /// this event is that credit made observable.
+    StaleFrame {
+        /// The round in flight when the late frame arrived.
+        round: u64,
+        /// The sending worker.
+        worker: usize,
+        /// The round the late frame was computed for.
+        frame_round: u64,
+    },
+    /// A previously dead (or disconnected) worker re-registered while this
+    /// round was in flight and was re-admitted with the current round's
+    /// model — it may still contribute to *this* round.
+    Rejoined {
+        /// The round the worker was re-admitted into.
+        round: u64,
+        /// The rejoining worker.
+        worker: usize,
+    },
 }
 
 impl RoundEvent {
@@ -74,7 +95,9 @@ impl RoundEvent {
             Self::Broadcast { round, .. }
             | Self::Arrival { round, .. }
             | Self::Complete { round, .. }
-            | Self::Stalled { round, .. } => *round,
+            | Self::Stalled { round, .. }
+            | Self::StaleFrame { round, .. }
+            | Self::Rejoined { round, .. } => *round,
         }
     }
 }

@@ -436,6 +436,82 @@ pub fn default_model(profile: &ClusterProfile) -> Arc<dyn StragglerModel> {
     Arc::new(ShiftedExpModel::from_profile(profile))
 }
 
+/// Seed-stream tag for the WAN link-latency draws.
+const WAN_STREAM: u64 = 0x3A17;
+
+/// Quantization steps of the WAN jitter draw (see [`WanLinkModel`]).
+const WAN_JITTER_STEPS: u64 = 4;
+
+/// A WAN overlay on any straggler model: per-`(round, worker)` link
+/// latency added on top of the wrapped model's compute time.
+///
+/// `delay = inner + latency + jitter · (k / (S-1))` with `k ∈ 0..S`
+/// drawn uniformly from a dedicated seed stream (`S = 4` quantization
+/// steps). The draw is a pure function of `(seed, round, worker)`, so it
+/// obeys the module's determinism contract; the quantization keeps the
+/// jitter values coarse relative to the staircase profiles the gateable
+/// benchmarks use, preserving unambiguous real-time arrival order.
+///
+/// The networked master ships the *combined* delay in the round frame and
+/// the worker sleeps it over a real socket — which is exactly per-link
+/// latency injection — while a virtual twin wrapped with the same model
+/// replays the identical arrival schedule, keeping WAN rows bit-comparable
+/// across backends.
+#[derive(Debug, Clone)]
+pub struct WanLinkModel {
+    inner: Arc<dyn StragglerModel>,
+    latency: f64,
+    jitter: f64,
+}
+
+impl WanLinkModel {
+    /// Wraps `inner`, adding `latency` fixed plus up to `jitter` of
+    /// quantized per-`(round, worker)` variation (simulated seconds).
+    ///
+    /// # Panics
+    /// Panics on negative or non-finite parameters.
+    #[must_use]
+    pub fn wrap(inner: Arc<dyn StragglerModel>, latency: f64, jitter: f64) -> Self {
+        assert!(
+            latency >= 0.0 && latency.is_finite() && jitter >= 0.0 && jitter.is_finite(),
+            "WAN latency/jitter must be finite and non-negative"
+        );
+        Self {
+            inner,
+            latency,
+            jitter,
+        }
+    }
+
+    /// The deterministic link delay (simulated seconds) for one
+    /// `(round, worker)` link, excluding the wrapped compute time.
+    #[must_use]
+    pub fn link_delay(&self, seed: u64, round: u64, worker: usize) -> f64 {
+        if self.jitter == 0.0 {
+            return self.latency;
+        }
+        let mut rng = round_rng(derive_seed(seed, WAN_STREAM), round, worker);
+        let step = rng.gen_range(0..WAN_JITTER_STEPS);
+        self.latency + self.jitter * step as f64 / (WAN_JITTER_STEPS - 1) as f64
+    }
+}
+
+impl StragglerModel for WanLinkModel {
+    fn compute_seconds(&self, seed: u64, round: u64, worker: usize, load: usize) -> f64 {
+        self.inner.compute_seconds(seed, round, worker, load) + self.link_delay(seed, round, worker)
+    }
+
+    fn name(&self) -> &'static str {
+        "wan"
+    }
+
+    fn mean_compute_seconds(&self, worker: usize, load: usize) -> Option<f64> {
+        self.inner
+            .mean_compute_seconds(worker, load)
+            .map(|m| m + self.latency + self.jitter / 2.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -4,19 +4,19 @@
 use super::error::BuildError;
 use super::registry::{PolicyRegistry, SchemeRegistry};
 use super::spec::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, PolicySpec,
-    SchemeSpec,
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, NetProfileSpec, OptimizerSpec,
+    PolicySpec, SchemeSpec,
 };
 use crate::driver::{exact_mean_gradient, gradient_error_norm, DistributedGd, TrainingConfig};
 use crate::error::BccError;
 use bcc_cluster::{
     AggregationPolicy, BimodalModel, ClusterBackend, ClusterProfile, CommModel, MarkovModel,
     Minibatch, ParetoModel, RoundDriver, RoundOutcome, RoundSample, RunMetrics, ShiftedExpModel,
-    StragglerModel, ThreadedCluster, UnitMap, VirtualCluster, WeibullModel,
+    StragglerModel, ThreadedCluster, UnitMap, VirtualCluster, WanLinkModel, WeibullModel,
 };
 use bcc_coding::GradientCodingScheme;
 use bcc_data::synthetic::{generate, SyntheticConfig, SyntheticDataset};
-use bcc_net::{LocalNetCluster, TcpCluster};
+use bcc_net::{auth_token, LocalNetCluster, TcpCluster};
 use bcc_optim::{
     ConvergenceTrace, GradientDescent, LogisticLoss, Loss, Nesterov, Optimizer, SquaredLoss,
 };
@@ -169,6 +169,22 @@ impl Experiment {
         self.policy.as_ref()
     }
 
+    /// The straggler model the networked backends sample from: the
+    /// resolved model, wrapped in deterministic WAN-link emulation when
+    /// `wan` is set. Exposed so reference (virtual) twins of a WAN run
+    /// can sample the identical delay stream.
+    #[must_use]
+    pub fn net_model(&self, wan: Option<NetProfileSpec>) -> Arc<dyn StragglerModel> {
+        match wan {
+            Some(wan) => Arc::new(WanLinkModel::wrap(
+                Arc::clone(&self.model),
+                wan.latency,
+                wan.jitter,
+            )),
+            None => Arc::clone(&self.model),
+        }
+    }
+
     /// The per-round minibatch sampler this spec resolves to (`None` for
     /// the paper's full-partition rounds). Derived from the spec seed
     /// exactly as [`Self::run`] derives it, so an external worker process
@@ -245,17 +261,21 @@ impl Experiment {
             BackendSpec::Tcp {
                 time_scale,
                 addr: None,
+                wan,
             } => Box::new(
                 LocalNetCluster::new(self.profile.clone(), backend_seed, *time_scale)
-                    .with_straggler_model(Arc::clone(&self.model))
+                    .with_straggler_model(self.net_model(*wan))
                     .with_aggregation_policy(Arc::clone(&self.policy))
                     .with_minibatch(minibatch),
             ),
             // Bound TCP: listen for external `bcc-worker` processes and
-            // hand them the resolved spec as their job description.
+            // hand them the resolved spec as their job description. The
+            // admission token derives from the user-visible spec seed, so
+            // workers need nothing beyond the seed they were launched with.
             BackendSpec::Tcp {
                 time_scale,
                 addr: Some(addr),
+                wan,
             } => {
                 let job = spec
                     .to_json_pretty()
@@ -263,7 +283,8 @@ impl Experiment {
                 Box::new(
                     TcpCluster::bind(addr, self.profile.clone(), backend_seed, *time_scale)?
                         .with_job(job)
-                        .with_straggler_model(Arc::clone(&self.model))
+                        .with_auth_token(auth_token(spec.seed))
+                        .with_straggler_model(self.net_model(*wan))
                         .with_aggregation_policy(Arc::clone(&self.policy))
                         .with_minibatch(minibatch),
                 )
@@ -597,6 +618,19 @@ fn validate_spec(spec: &ExperimentSpec) -> Result<(), BuildError> {
                 return Err(BuildError::InvalidValue {
                     field: "backend.time_scale",
                     reason: format!("must be positive and finite, got {time_scale}"),
+                });
+            }
+        }
+    }
+    if let BackendSpec::Tcp { wan: Some(wan), .. } = &spec.backend {
+        for (field, value) in [
+            ("backend.wan.latency", wan.latency),
+            ("backend.wan.jitter", wan.jitter),
+        ] {
+            if !value.is_finite() || value < 0.0 {
+                return Err(BuildError::InvalidValue {
+                    field,
+                    reason: format!("must be non-negative and finite, got {value}"),
                 });
             }
         }

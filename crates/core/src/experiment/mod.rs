@@ -43,6 +43,6 @@ pub use error::BuildError;
 pub use net_worker::run_worker;
 pub use registry::{PolicyFactory, PolicyRegistry, SchemeFactory, SchemeRegistry};
 pub use spec::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, PolicySpec,
-    SchemeSpec,
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, NetProfileSpec, OptimizerSpec,
+    PolicySpec, SchemeSpec,
 };

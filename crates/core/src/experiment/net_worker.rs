@@ -19,7 +19,7 @@ use super::Experiment;
 use crate::error::BccError;
 use bcc_cluster::engine::RoundContext;
 use bcc_cluster::{UnitMap, WorkerBlocks};
-use bcc_net::{connect_with_retry, handshake, serve_rounds, WorkerConfig};
+use bcc_net::{auth_token, connect_with_retry, handshake, serve_rounds, WorkerConfig};
 use bcc_optim::{LogisticLoss, Loss, SquaredLoss};
 use std::time::Duration;
 
@@ -30,16 +30,23 @@ pub const DEFAULT_CONNECT_TIMEOUT: Duration = Duration::from_secs(30);
 /// Connects to a master at `addr`, receives the job spec, and serves
 /// rounds as worker `worker` until the master shuts the run down.
 ///
+/// `job_seed` is the *spec* seed the master was launched with: the
+/// admission token echoed in the `Hello` frame derives from it, so a
+/// worker pointed at the wrong job gets a typed
+/// [`AuthRejected`](bcc_cluster::ClusterError::AuthRejected) instead of
+/// silently training on someone else's data.
+///
 /// Blocks for the lifetime of the run. Returns `Ok(())` on an orderly
 /// shutdown (master sent `Shutdown` or closed the connection after the
 /// final round).
 ///
 /// # Errors
-/// - [`BccError::Cluster`] on connect/handshake/socket failures;
+/// - [`BccError::Cluster`] on connect/handshake/socket failures and on
+///   token rejection;
 /// - [`BccError::Spec`] when the master's job JSON does not parse;
 /// - [`BccError::Build`] when the job spec fails validation.
-pub fn run_worker(addr: &str, worker: usize) -> Result<(), BccError> {
-    run_worker_with_timeout(addr, worker, DEFAULT_CONNECT_TIMEOUT)
+pub fn run_worker(addr: &str, worker: usize, job_seed: u64) -> Result<(), BccError> {
+    run_worker_with_timeout(addr, worker, job_seed, DEFAULT_CONNECT_TIMEOUT)
 }
 
 /// [`run_worker`] with an explicit connect/retry budget.
@@ -49,10 +56,11 @@ pub fn run_worker(addr: &str, worker: usize) -> Result<(), BccError> {
 pub fn run_worker_with_timeout(
     addr: &str,
     worker: usize,
+    job_seed: u64,
     connect_timeout: Duration,
 ) -> Result<(), BccError> {
     let mut stream = connect_with_retry(addr, connect_timeout)?;
-    let job = handshake(&mut stream, worker)?;
+    let job = handshake(&mut stream, worker, auth_token(job_seed))?;
     let spec = ExperimentSpec::from_json(&job)
         .map_err(|e| BccError::Spec(format!("parsing job spec from master: {e}")))?;
     let time_scale = match &spec.backend {

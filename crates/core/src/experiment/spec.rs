@@ -383,6 +383,22 @@ impl LatencySpec {
     }
 }
 
+/// Deterministic WAN-link emulation for the networked backend.
+///
+/// Adds a fixed per-link latency plus bounded, quantized jitter to every
+/// worker's compute delay (see [`WanLinkModel`](bcc_cluster::WanLinkModel)).
+/// The extra delay is sampled from the experiment's seed, so a WAN run
+/// replays bit-identically across backends and hosts — this emulates wide
+/// links, it does not measure the real network.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetProfileSpec {
+    /// Fixed one-way link latency added per round (simulated seconds, ≥ 0).
+    pub latency: f64,
+    /// Peak deterministic jitter on top of `latency` (simulated seconds,
+    /// ≥ 0; quantized to a few steps so arrival order stays reproducible).
+    pub jitter: f64,
+}
+
 /// Which cluster runtime executes the rounds.
 #[derive(Debug, Clone, Default, PartialEq, Serialize)]
 pub enum BackendSpec {
@@ -404,6 +420,8 @@ pub enum BackendSpec {
         /// fleet (`bcc_net::LocalNetCluster`) — every byte still crosses
         /// a kernel TCP socket, but no processes need launching.
         addr: Option<String>,
+        /// Optional WAN-link emulation layered over the latency model.
+        wan: Option<NetProfileSpec>,
     },
 }
 
@@ -417,6 +435,17 @@ impl BackendSpec {
         Self::Tcp {
             time_scale,
             addr: None,
+            wan: None,
+        }
+    }
+
+    /// The loopback TCP backend with WAN-link emulation.
+    #[must_use]
+    pub fn tcp_loopback_wan(time_scale: f64, wan: NetProfileSpec) -> Self {
+        Self::Tcp {
+            time_scale,
+            addr: None,
+            wan: Some(wan),
         }
     }
 }
@@ -444,6 +473,7 @@ impl Deserialize for BackendSpec {
                     "Tcp" => Ok(Self::Tcp {
                         time_scale: required(inner, "time_scale")?,
                         addr: opt_field(inner, "addr")?,
+                        wan: opt_field(inner, "wan")?,
                     }),
                     other => Err(unknown(other)),
                 }
@@ -733,12 +763,24 @@ mod tests {
         let bound = BackendSpec::Tcp {
             time_scale: 1.0,
             addr: Some("127.0.0.1:4400".into()),
+            wan: None,
         };
         let json = serde_json::to_string(&bound).unwrap();
         let back: BackendSpec = serde_json::from_str(&json).unwrap();
         assert_eq!(back, bound);
 
-        // `addr` is optional in hand-written spec files.
+        let wan = BackendSpec::tcp_loopback_wan(
+            0.05,
+            NetProfileSpec {
+                latency: 0.04,
+                jitter: 0.01,
+            },
+        );
+        let json = serde_json::to_string(&wan).unwrap();
+        let back: BackendSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, wan);
+
+        // `addr` and `wan` are optional in hand-written spec files.
         let b: BackendSpec = serde_json::from_str(r#"{"Tcp": {"time_scale": 1.0}}"#).unwrap();
         assert_eq!(b, BackendSpec::tcp_loopback(1.0));
     }

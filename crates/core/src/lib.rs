@@ -41,7 +41,7 @@ pub use driver::{DistributedGd, TrainingConfig, TrainingReport};
 pub use error::BccError;
 pub use experiment::{
     BackendSpec, BuildError, DataSpec, Experiment, ExperimentBuilder, ExperimentReport,
-    ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, PolicyRegistry, PolicySpec,
-    SchemeRegistry, SchemeSpec,
+    ExperimentSpec, LatencySpec, LossSpec, NetProfileSpec, OptimizerSpec, PolicyRegistry,
+    PolicySpec, SchemeRegistry, SchemeSpec,
 };
 pub use schemes::SchemeConfig;

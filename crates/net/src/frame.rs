@@ -9,21 +9,34 @@
 //! ```
 //!
 //! The codec is split in two layers so hardening tests hit pure functions:
-//! [`encode`]/[`decode_frame`] translate between [`NetMessage`] and bytes
-//! with no IO, and [`read_message`]/[`write_message`] move whole frames
-//! over any `Read`/`Write`. Corrupted input — truncated bodies, trailing
-//! garbage, absurd length claims — always returns
+//! [`encode_into`]/[`decode_frame`] translate between [`NetMessage`] and
+//! bytes with no IO, and [`read_message`]/[`write_message`] move whole
+//! frames over any `Read`/`Write`. Corrupted input — truncated bodies,
+//! trailing garbage, absurd length claims — always returns
 //! [`ClusterError::Net`]; the length prefix is capped at
 //! [`MAX_FRAME_LEN`] before any allocation, so a hostile length can never
 //! over-allocate or over-read (pinned by `tests/frame_proptests.rs`).
 //!
 //! Gradient payloads are **not** re-encoded here: a [`NetMessage::Data`]
-//! body is byte-for-byte a [`bcc_cluster::wire`] envelope, the same codec
-//! the threaded backend ships through its channels.
+//! body (after its epoch word) is byte-for-byte a [`bcc_cluster::wire`]
+//! envelope, the same codec the threaded backend ships through its
+//! channels.
+//!
+//! # Hot-path encoding
+//!
+//! The serial seed protocol allocated a fresh `Vec` per frame. The
+//! pipelined master instead encodes into pooled [`bytes::BytesMut`]
+//! staging buffers ([`FramePool`]) via [`encode_into`]; a shared Round
+//! body is encoded once and the per-worker compute delay is patched in
+//! place with [`patch_round_delay`] (the delay sits at a fixed offset —
+//! see the body layout below). Workers use [`encode_data_frame_into`] to
+//! wrap an already-encoded wire envelope without the intermediate
+//! `Bytes::copy_from_slice`. After warm-up no frame path allocates.
 
 use bcc_cluster::ClusterError;
-use bytes::{Buf, Bytes};
+use bytes::{Buf, Bytes, BytesMut};
 use std::io::{ErrorKind, Read, Write};
+use std::sync::{Arc, Mutex};
 
 /// Hard cap on a frame's tag+body length (64 MiB) — far above any real
 /// gradient message, low enough that a corrupted length prefix cannot
@@ -34,29 +47,59 @@ pub const MAX_FRAME_LEN: usize = 64 << 20;
 #[derive(Debug, Clone, PartialEq)]
 pub enum NetMessage {
     /// Worker → master, first frame on a connection: announces the worker
-    /// id the registry keys on.
+    /// id the registry keys on and echoes the job's auth token (derived
+    /// from the job seed via [`auth_token`]). A mismatched token is
+    /// answered with [`NetMessage::Reject`], never silently dropped.
     Hello {
         /// The sender's worker id.
         worker: u64,
+        /// The auth token the worker derived from its job seed.
+        token: u64,
     },
     /// Master → worker, handshake reply: the job assignment as a JSON
     /// experiment spec. Empty when the worker already holds the problem
     /// in-process (the loopback harness).
     Job(String),
+    /// Master → worker, handshake refusal: the connection is being closed
+    /// because the handshake was invalid (bad auth token, duplicate or
+    /// out-of-range worker id). The string is the operator-facing reason.
+    Reject(String),
     /// Master → worker: start round `round` at the broadcast weights,
     /// emulating `delay_seconds` of compute (sampled at the master from
     /// the shared latency stream so every backend replays identically).
+    ///
+    /// Body layout (after the 4-byte length prefix and 1-byte tag):
+    ///
+    /// ```text
+    /// round  u64 le   — frame offset  5..13
+    /// epoch  u64 le   — frame offset 13..21
+    /// delay  f64 le   — frame offset 21..29   (patched per worker)
+    /// count  u64 le   — frame offset 29..37
+    /// w[i]   f64 le   — 8 bytes each
+    /// ```
     Round {
         /// Global round id.
         round: u64,
+        /// Broadcast epoch: incremented on every master fan-out (including
+        /// mid-round rejoin re-broadcasts). Workers echo it in
+        /// [`NetMessage::Data`] so a pipelined master can credit late
+        /// frames from a superseded broadcast to stats without ever
+        /// feeding them to the decoder.
+        epoch: u64,
         /// Simulated compute duration to emulate before sending.
         delay_seconds: f64,
         /// The evaluation point `w`.
         weights: Vec<f64>,
     },
     /// Worker → master: a wire-encoded [`bcc_cluster::Envelope`] carrying
-    /// the coded gradient payload.
-    Data(Bytes),
+    /// the coded gradient payload, tagged with the broadcast epoch of the
+    /// Round it answers.
+    Data {
+        /// The `epoch` of the [`NetMessage::Round`] this payload answers.
+        epoch: u64,
+        /// The wire-encoded envelope.
+        payload: Bytes,
+    },
     /// Worker → master: no payload for `round` (encode failure) — lets the
     /// master count the worker as reported instead of waiting it out.
     Skipped {
@@ -76,6 +119,15 @@ pub enum NetMessage {
     },
     /// Master → worker: the run is over; exit cleanly.
     Shutdown,
+    /// Master → worker, advisory: the master's send queue for this worker
+    /// reached `queued` frames before draining — the peer is reading
+    /// slowly. Workers respond by backing off their heartbeat cadence
+    /// until the next Round arrives; the master never blocks broadcast on
+    /// it (that is the writer threads' job).
+    Backpressure {
+        /// Queue depth observed when the signal was raised.
+        queued: u64,
+    },
 }
 
 const TAG_HELLO: u8 = 0;
@@ -86,70 +138,236 @@ const TAG_SKIPPED: u8 = 4;
 const TAG_HEARTBEAT: u8 = 5;
 const TAG_FINISHED: u8 = 6;
 const TAG_SHUTDOWN: u8 = 7;
+const TAG_REJECT: u8 = 8;
+const TAG_BACKPRESSURE: u8 = 9;
+
+/// Frame offset of the `delay_seconds` field in a Round frame (length
+/// prefix 4 + tag 1 + round 8 + epoch 8).
+const ROUND_DELAY_OFFSET: usize = 4 + 1 + 8 + 8;
 
 fn err(msg: impl Into<String>) -> ClusterError {
     ClusterError::Net(msg.into())
 }
 
-/// Serializes a message to one complete frame (length prefix included).
+/// Derives the job auth token workers must echo in [`NetMessage::Hello`].
+///
+/// A splitmix64-style finalizer over the job seed: cheap, deterministic
+/// across master and workers, and unrelated to any of the experiment's
+/// RNG streams (different constant schedule), so learning the token
+/// reveals nothing about sampled latencies. This is integrity against
+/// mis-wired fleets — a worker pointed at the wrong master, or launched
+/// with the wrong spec — not cryptographic security (the wire is
+/// plaintext).
 #[must_use]
-pub fn encode(msg: &NetMessage) -> Vec<u8> {
-    let body_len = match msg {
-        NetMessage::Hello { .. } | NetMessage::Heartbeat { .. } => 8,
+pub fn auth_token(seed: u64) -> u64 {
+    let mut z = seed ^ 0xB5C0_17E5_A117_0CE5;
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn body_len(msg: &NetMessage) -> usize {
+    match msg {
+        NetMessage::Hello { .. } => 16,
         NetMessage::Job(job) => job.len(),
-        NetMessage::Round { weights, .. } => 8 + 8 + 8 + 8 * weights.len(),
-        NetMessage::Data(bytes) => bytes.len(),
-        NetMessage::Skipped { .. } | NetMessage::Finished { .. } => 8,
+        NetMessage::Reject(reason) => reason.len(),
+        NetMessage::Round { weights, .. } => 8 + 8 + 8 + 8 + 8 * weights.len(),
+        NetMessage::Data { payload, .. } => 8 + payload.len(),
+        NetMessage::Skipped { .. }
+        | NetMessage::Heartbeat { .. }
+        | NetMessage::Finished { .. }
+        | NetMessage::Backpressure { .. } => 8,
         NetMessage::Shutdown => 0,
-    };
-    let mut out = Vec::with_capacity(4 + 1 + body_len);
-    out.extend_from_slice(
+    }
+}
+
+/// Serializes a message into `buf` as one complete frame (length prefix
+/// included), reusing `buf`'s capacity. Returns the frame length.
+///
+/// The buffer is cleared first; after the call it holds exactly the
+/// frame. This is the allocation-free hot path — warm buffers from a
+/// [`FramePool`] never reallocate for steady-state frame sizes.
+pub fn encode_into(msg: &NetMessage, buf: &mut BytesMut) -> usize {
+    let body_len = body_len(msg);
+    buf.clear();
+    buf.reserve(4 + 1 + body_len);
+    buf.extend_from_slice(
         &u32::try_from(1 + body_len)
             .expect("frame fits u32")
             .to_le_bytes(),
     );
     match msg {
-        NetMessage::Hello { worker } => {
-            out.push(TAG_HELLO);
-            out.extend_from_slice(&worker.to_le_bytes());
+        NetMessage::Hello { worker, token } => {
+            buf.extend_from_slice(&[TAG_HELLO]);
+            buf.extend_from_slice(&worker.to_le_bytes());
+            buf.extend_from_slice(&token.to_le_bytes());
         }
         NetMessage::Job(job) => {
-            out.push(TAG_JOB);
-            out.extend_from_slice(job.as_bytes());
+            buf.extend_from_slice(&[TAG_JOB]);
+            buf.extend_from_slice(job.as_bytes());
+        }
+        NetMessage::Reject(reason) => {
+            buf.extend_from_slice(&[TAG_REJECT]);
+            buf.extend_from_slice(reason.as_bytes());
         }
         NetMessage::Round {
             round,
+            epoch,
             delay_seconds,
             weights,
         } => {
-            out.push(TAG_ROUND);
-            out.extend_from_slice(&round.to_le_bytes());
-            out.extend_from_slice(&delay_seconds.to_le_bytes());
-            out.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+            buf.extend_from_slice(&[TAG_ROUND]);
+            buf.extend_from_slice(&round.to_le_bytes());
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(&delay_seconds.to_le_bytes());
+            buf.extend_from_slice(&(weights.len() as u64).to_le_bytes());
             for w in weights {
-                out.extend_from_slice(&w.to_le_bytes());
+                buf.extend_from_slice(&w.to_le_bytes());
             }
         }
-        NetMessage::Data(bytes) => {
-            out.push(TAG_DATA);
-            out.extend_from_slice(bytes.as_ref());
+        NetMessage::Data { epoch, payload } => {
+            buf.extend_from_slice(&[TAG_DATA]);
+            buf.extend_from_slice(&epoch.to_le_bytes());
+            buf.extend_from_slice(payload.as_ref());
         }
         NetMessage::Skipped { round } => {
-            out.push(TAG_SKIPPED);
-            out.extend_from_slice(&round.to_le_bytes());
+            buf.extend_from_slice(&[TAG_SKIPPED]);
+            buf.extend_from_slice(&round.to_le_bytes());
         }
         NetMessage::Heartbeat { worker } => {
-            out.push(TAG_HEARTBEAT);
-            out.extend_from_slice(&worker.to_le_bytes());
+            buf.extend_from_slice(&[TAG_HEARTBEAT]);
+            buf.extend_from_slice(&worker.to_le_bytes());
         }
         NetMessage::Finished { before_round } => {
-            out.push(TAG_FINISHED);
-            out.extend_from_slice(&before_round.to_le_bytes());
+            buf.extend_from_slice(&[TAG_FINISHED]);
+            buf.extend_from_slice(&before_round.to_le_bytes());
         }
-        NetMessage::Shutdown => out.push(TAG_SHUTDOWN),
+        NetMessage::Shutdown => buf.extend_from_slice(&[TAG_SHUTDOWN]),
+        NetMessage::Backpressure { queued } => {
+            buf.extend_from_slice(&[TAG_BACKPRESSURE]);
+            buf.extend_from_slice(&queued.to_le_bytes());
+        }
     }
-    debug_assert_eq!(out.len(), 4 + 1 + body_len);
-    out
+    debug_assert_eq!(buf.len(), 4 + 1 + body_len);
+    buf.len()
+}
+
+/// Serializes a message to one complete frame (length prefix included).
+///
+/// The allocating convenience spelling of [`encode_into`] — handshakes,
+/// tests, and other cold paths.
+#[must_use]
+pub fn encode(msg: &NetMessage) -> Vec<u8> {
+    let mut buf = BytesMut::with_capacity(4 + 1 + body_len(msg));
+    encode_into(msg, &mut buf);
+    buf.as_ref().to_vec()
+}
+
+/// Serializes a Round frame into `buf` directly from borrowed weights —
+/// the broadcast template path ([`NetMessage::Round`] would force the
+/// master to clone the weight vector just to encode it). Returns the
+/// frame length.
+pub fn encode_round_into(
+    buf: &mut BytesMut,
+    round: u64,
+    epoch: u64,
+    delay_seconds: f64,
+    weights: &[f64],
+) -> usize {
+    let body_len = 8 + 8 + 8 + 8 + 8 * weights.len();
+    buf.clear();
+    buf.reserve(4 + 1 + body_len);
+    buf.extend_from_slice(
+        &u32::try_from(1 + body_len)
+            .expect("frame fits u32")
+            .to_le_bytes(),
+    );
+    buf.extend_from_slice(&[TAG_ROUND]);
+    buf.extend_from_slice(&round.to_le_bytes());
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(&delay_seconds.to_le_bytes());
+    buf.extend_from_slice(&(weights.len() as u64).to_le_bytes());
+    for w in weights {
+        buf.extend_from_slice(&w.to_le_bytes());
+    }
+    buf.len()
+}
+
+/// Rewrites the `delay_seconds` field of an already-encoded Round frame
+/// in place — the per-worker personalization step after encoding the
+/// shared body once.
+///
+/// # Panics
+/// Panics when `frame` is not a Round frame at least delay-field long;
+/// this is a master-side programming error, never reachable from wire
+/// input.
+pub fn patch_round_delay(frame: &mut [u8], delay_seconds: f64) {
+    assert!(
+        frame.len() >= ROUND_DELAY_OFFSET + 8 && frame[4] == TAG_ROUND,
+        "patch_round_delay needs an encoded Round frame"
+    );
+    frame[ROUND_DELAY_OFFSET..ROUND_DELAY_OFFSET + 8].copy_from_slice(&delay_seconds.to_le_bytes());
+}
+
+/// Serializes a Data frame into `buf` directly from an already-encoded
+/// wire envelope — the worker-side zero-copy path (no intermediate
+/// `Bytes` allocation between the envelope staging buffer and the
+/// frame). Returns the frame length.
+pub fn encode_data_frame_into(buf: &mut BytesMut, epoch: u64, envelope: &[u8]) -> usize {
+    let body_len = 8 + envelope.len();
+    buf.clear();
+    buf.reserve(4 + 1 + body_len);
+    buf.extend_from_slice(
+        &u32::try_from(1 + body_len)
+            .expect("frame fits u32")
+            .to_le_bytes(),
+    );
+    buf.extend_from_slice(&[TAG_DATA]);
+    buf.extend_from_slice(&epoch.to_le_bytes());
+    buf.extend_from_slice(envelope);
+    buf.len()
+}
+
+/// A free-list of frame staging buffers shared between the broadcast
+/// path and the per-worker writer threads.
+///
+/// `take` hands out a warm buffer (or a fresh one when the list is dry);
+/// `put` returns it after the bytes are on the wire. Buffers keep their
+/// grown capacity, so after one round of warm-up the master's frame path
+/// performs zero allocations per frame.
+#[derive(Debug, Clone, Default)]
+pub struct FramePool {
+    free: Arc<Mutex<Vec<BytesMut>>>,
+}
+
+impl FramePool {
+    /// An empty pool.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A warm buffer from the pool, or a fresh one when none is free.
+    #[must_use]
+    pub fn take(&self) -> BytesMut {
+        self.free
+            .lock()
+            .expect("frame pool poisoned")
+            .pop()
+            .unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool for reuse.
+    pub fn put(&self, buf: BytesMut) {
+        self.free.lock().expect("frame pool poisoned").push(buf);
+    }
+
+    /// Buffers currently parked in the pool (for tests and diagnostics).
+    #[must_use]
+    pub fn idle(&self) -> usize {
+        self.free.lock().expect("frame pool poisoned").len()
+    }
 }
 
 /// Decodes one frame's payload (tag + body, the bytes *after* the length
@@ -157,8 +375,8 @@ pub fn encode(msg: &NetMessage) -> Vec<u8> {
 ///
 /// # Errors
 /// [`ClusterError::Net`] on an empty payload, unknown tag, truncated body,
-/// trailing bytes, or invalid UTF-8 in a job string — never a panic, and
-/// never a read past `payload`.
+/// trailing bytes, or invalid UTF-8 in a job/reject string — never a
+/// panic, and never a read past `payload`.
 pub fn decode_frame(payload: &[u8]) -> Result<NetMessage, ClusterError> {
     let (&tag, body) = payload
         .split_first()
@@ -173,6 +391,7 @@ pub fn decode_frame(payload: &[u8]) -> Result<NetMessage, ClusterError> {
     let msg = match tag {
         TAG_HELLO => NetMessage::Hello {
             worker: take_u64(&mut body, "hello worker id")?,
+            token: take_u64(&mut body, "hello auth token")?,
         },
         TAG_JOB => {
             let job = String::from_utf8(body.to_vec())
@@ -180,8 +399,15 @@ pub fn decode_frame(payload: &[u8]) -> Result<NetMessage, ClusterError> {
             body.advance(body.remaining());
             NetMessage::Job(job)
         }
+        TAG_REJECT => {
+            let reason = String::from_utf8(body.to_vec())
+                .map_err(|_| err("reject frame is not valid UTF-8"))?;
+            body.advance(body.remaining());
+            NetMessage::Reject(reason)
+        }
         TAG_ROUND => {
             let round = take_u64(&mut body, "round id")?;
+            let epoch = take_u64(&mut body, "round epoch")?;
             if body.remaining() < 8 {
                 return Err(err("truncated frame reading round delay"));
             }
@@ -199,14 +425,16 @@ pub fn decode_frame(payload: &[u8]) -> Result<NetMessage, ClusterError> {
             }
             NetMessage::Round {
                 round,
+                epoch,
                 delay_seconds,
                 weights,
             }
         }
         TAG_DATA => {
-            let bytes = body.clone();
+            let epoch = take_u64(&mut body, "data epoch")?;
+            let payload = body.clone();
             body.advance(body.remaining());
-            NetMessage::Data(bytes)
+            NetMessage::Data { epoch, payload }
         }
         TAG_SKIPPED => NetMessage::Skipped {
             round: take_u64(&mut body, "skipped round id")?,
@@ -218,6 +446,9 @@ pub fn decode_frame(payload: &[u8]) -> Result<NetMessage, ClusterError> {
             before_round: take_u64(&mut body, "finished round id")?,
         },
         TAG_SHUTDOWN => NetMessage::Shutdown,
+        TAG_BACKPRESSURE => NetMessage::Backpressure {
+            queued: take_u64(&mut body, "backpressure depth")?,
+        },
         other => return Err(err(format!("unknown frame tag {other}"))),
     };
     if body.remaining() != 0 {
@@ -264,10 +495,39 @@ pub fn read_message(r: &mut impl Read) -> Result<Option<NetMessage>, ClusterErro
 /// [`ClusterError::Net`] wrapping the underlying IO error.
 pub fn write_message(w: &mut impl Write, msg: &NetMessage) -> Result<usize, ClusterError> {
     let frame = encode(msg);
-    w.write_all(&frame)
-        .and_then(|()| w.flush())
-        .map_err(|e| err(format!("send failed: {e}")))?;
+    write_frame_bytes(w, &frame)?;
     Ok(frame.len())
+}
+
+/// Writes an already-encoded frame to `w` (write + flush) — the writer
+/// threads' raw path for pooled buffers; coalescing callers flush
+/// themselves via [`write_frame_bytes_no_flush`].
+///
+/// # Errors
+/// [`ClusterError::Net`] wrapping the underlying IO error.
+pub fn write_frame_bytes(w: &mut impl Write, frame: &[u8]) -> Result<(), ClusterError> {
+    w.write_all(frame)
+        .and_then(|()| w.flush())
+        .map_err(|e| err(format!("send failed: {e}")))
+}
+
+/// Writes an already-encoded frame without flushing — lets a writer
+/// thread draining a burst coalesce many frames into one flush.
+///
+/// # Errors
+/// [`ClusterError::Net`] wrapping the underlying IO error.
+pub fn write_frame_bytes_no_flush(w: &mut impl Write, frame: &[u8]) -> Result<(), ClusterError> {
+    w.write_all(frame)
+        .map_err(|e| err(format!("send failed: {e}")))
+}
+
+/// Flushes `w` with [`ClusterError::Net`] errors — the tail of a
+/// coalesced burst.
+///
+/// # Errors
+/// [`ClusterError::Net`] wrapping the underlying IO error.
+pub fn flush_stream(w: &mut impl Write) -> Result<(), ClusterError> {
+    w.flush().map_err(|e| err(format!("flush failed: {e}")))
 }
 
 enum ReadOutcome {
@@ -314,24 +574,34 @@ mod tests {
 
     fn examples() -> Vec<NetMessage> {
         vec![
-            NetMessage::Hello { worker: 7 },
+            NetMessage::Hello {
+                worker: 7,
+                token: auth_token(2024),
+            },
             NetMessage::Job(String::new()),
             NetMessage::Job("{\"workers\": 4}".into()),
+            NetMessage::Reject("auth token mismatch".into()),
             NetMessage::Round {
                 round: 12,
+                epoch: 31,
                 delay_seconds: 0.75,
                 weights: vec![1.0, -2.5, 0.0],
             },
             NetMessage::Round {
                 round: 0,
+                epoch: 0,
                 delay_seconds: 0.0,
                 weights: vec![],
             },
-            NetMessage::Data(Bytes::copy_from_slice(&[0xBC, 0xC0, 0x17, 0xE5, 1])),
+            NetMessage::Data {
+                epoch: 9,
+                payload: Bytes::copy_from_slice(&[0xBC, 0xC0, 0x17, 0xE5, 1]),
+            },
             NetMessage::Skipped { round: 3 },
             NetMessage::Heartbeat { worker: 11 },
             NetMessage::Finished { before_round: 42 },
             NetMessage::Shutdown,
+            NetMessage::Backpressure { queued: 64 },
         ]
     }
 
@@ -342,6 +612,105 @@ mod tests {
             let decoded = decode_frame(&frame[4..]).unwrap();
             assert_eq!(decoded, msg);
         }
+    }
+
+    #[test]
+    fn encode_into_matches_encode_and_reuses_capacity() {
+        let mut buf = BytesMut::new();
+        for msg in examples() {
+            let n = encode_into(&msg, &mut buf);
+            assert_eq!(buf.as_ref(), encode(&msg).as_slice());
+            assert_eq!(n, buf.len());
+        }
+        // A warm buffer re-encoding a same-size frame must not grow.
+        let msg = NetMessage::Round {
+            round: 1,
+            epoch: 2,
+            delay_seconds: 0.5,
+            weights: vec![0.0; 16],
+        };
+        encode_into(&msg, &mut buf);
+        let cap = buf.capacity();
+        encode_into(&msg, &mut buf);
+        assert_eq!(buf.capacity(), cap, "warm re-encode must not reallocate");
+    }
+
+    #[test]
+    fn round_template_fast_path_matches_generic_encoder() {
+        let weights = [1.0, -2.5, 0.0];
+        let mut buf = BytesMut::new();
+        let n = encode_round_into(&mut buf, 12, 31, 0.75, &weights);
+        let generic = encode(&NetMessage::Round {
+            round: 12,
+            epoch: 31,
+            delay_seconds: 0.75,
+            weights: weights.to_vec(),
+        });
+        assert_eq!(buf.as_ref(), generic.as_slice());
+        assert_eq!(n, generic.len());
+    }
+
+    #[test]
+    fn patch_round_delay_rewrites_only_the_delay() {
+        let msg = NetMessage::Round {
+            round: 6,
+            epoch: 17,
+            delay_seconds: 0.25,
+            weights: vec![1.0, 2.0, 3.0],
+        };
+        let mut frame = encode(&msg);
+        patch_round_delay(&mut frame, 9.5);
+        let decoded = decode_frame(&frame[4..]).unwrap();
+        assert_eq!(
+            decoded,
+            NetMessage::Round {
+                round: 6,
+                epoch: 17,
+                delay_seconds: 9.5,
+                weights: vec![1.0, 2.0, 3.0],
+            }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "encoded Round frame")]
+    fn patch_round_delay_rejects_non_round_frames() {
+        let mut frame = encode(&NetMessage::Shutdown);
+        patch_round_delay(&mut frame, 1.0);
+    }
+
+    #[test]
+    fn data_frame_fast_path_matches_generic_encoder() {
+        let envelope = [0xBC, 0xC0, 0x17, 0xE5, 1, 2, 3];
+        let mut buf = BytesMut::new();
+        let n = encode_data_frame_into(&mut buf, 23, &envelope);
+        let generic = encode(&NetMessage::Data {
+            epoch: 23,
+            payload: Bytes::copy_from_slice(&envelope),
+        });
+        assert_eq!(buf.as_ref(), generic.as_slice());
+        assert_eq!(n, generic.len());
+    }
+
+    #[test]
+    fn frame_pool_recycles_buffers() {
+        let pool = FramePool::new();
+        assert_eq!(pool.idle(), 0);
+        let mut buf = pool.take();
+        encode_into(&NetMessage::Heartbeat { worker: 1 }, &mut buf);
+        let cap = buf.capacity();
+        pool.put(buf);
+        assert_eq!(pool.idle(), 1);
+        let buf = pool.take();
+        assert_eq!(pool.idle(), 0);
+        assert_eq!(buf.capacity(), cap, "pool returns the warm buffer");
+    }
+
+    #[test]
+    fn auth_token_is_deterministic_and_seed_sensitive() {
+        assert_eq!(auth_token(2024), auth_token(2024));
+        assert_ne!(auth_token(2024), auth_token(2025));
+        assert_ne!(auth_token(0), 0, "token must not leak the seed directly");
     }
 
     #[test]
@@ -362,6 +731,7 @@ mod tests {
     fn truncated_frames_error_at_every_cut() {
         let frame = encode(&NetMessage::Round {
             round: 5,
+            epoch: 2,
             delay_seconds: 1.5,
             weights: vec![3.0, 4.0],
         });
@@ -401,12 +771,13 @@ mod tests {
     fn round_weight_count_must_match_body() {
         let mut payload = encode(&NetMessage::Round {
             round: 1,
+            epoch: 0,
             delay_seconds: 0.5,
             weights: vec![1.0, 2.0],
         })[4..]
             .to_vec();
-        // Claim 3 weights while carrying 2.
-        payload[17..25].copy_from_slice(&3u64.to_le_bytes());
+        // Claim 3 weights while carrying 2 (count sits after round+epoch+delay).
+        payload[25..33].copy_from_slice(&3u64.to_le_bytes());
         assert!(decode_frame(&payload).is_err());
     }
 }

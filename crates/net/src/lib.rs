@@ -24,6 +24,17 @@
 //! backends use and shipped to workers inside the round frame, so a
 //! loopback TCP run reproduces the virtual backend's gradients
 //! byte-identically (pinned by `tests/net_equivalence.rs`).
+//!
+//! The hot path is pipelined: per-worker writer threads drain bounded
+//! queues of pooled, pre-encoded frames (a stalled peer surfaces as
+//! backpressure instead of blocking broadcast), the shared Round body is
+//! encoded once with per-worker delays patched in, and round `t+1` fans
+//! out while round `t`'s tail arrivals drain — broadcast epochs keep late
+//! frames out of the decoder, so the pipelined path stays bit-identical
+//! to the serial reference (`TcpCluster::with_pipelining(false)`).
+//! Handshakes are authenticated by a job-seed-derived token
+//! ([`auth_token`]); a mismatch is answered with a typed rejection, never
+//! a silent drop.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -34,7 +45,7 @@ pub mod master;
 pub mod stats;
 pub mod worker;
 
-pub use frame::{NetMessage, MAX_FRAME_LEN};
+pub use frame::{auth_token, FramePool, NetMessage, MAX_FRAME_LEN};
 pub use local::LocalNetCluster;
 pub use master::TcpCluster;
 pub use stats::NetStats;

@@ -14,8 +14,11 @@
 //!
 //! Fault injection: [`LocalNetCluster::fail_worker_at`] arms a worker to
 //! drop its connection upon receiving a given round's frame, exercising
-//! the master's mid-round death detection end to end.
+//! the master's mid-round death detection end to end;
+//! [`LocalNetCluster::rejoin_worker_at`] makes the worker immediately
+//! reconnect afterwards, exercising mid-round re-admission.
 
+use crate::frame::auth_token;
 use crate::master::TcpCluster;
 use crate::stats::NetStats;
 use crate::worker::{connect_with_retry, handshake, serve_rounds, WorkerConfig};
@@ -58,6 +61,12 @@ pub struct LocalNetCluster {
     minibatch: Option<Minibatch>,
     /// Armed faults: worker → round at which it drops its connection.
     fail_at: HashMap<usize, u64>,
+    /// Armed rejoins: workers in this set reconnect right after their
+    /// `fail_at` death and serve rounds again.
+    rejoin: HashSet<usize>,
+    /// Whether the master runs the pipelined fan-out (the default) or the
+    /// serial write-per-peer reference path.
+    pipelined: bool,
     /// Transport counters of the most recent run.
     last_stats: Option<NetStats>,
 }
@@ -87,8 +96,18 @@ impl LocalNetCluster {
             decode_pool: DecodePool::default(),
             minibatch: None,
             fail_at: HashMap::new(),
+            rejoin: HashSet::new(),
+            pipelined: true,
             last_stats: None,
         }
+    }
+
+    /// Toggles pipelined fan-out on the underlying master (see
+    /// [`TcpCluster::with_pipelining`]).
+    #[must_use]
+    pub fn with_pipelining(mut self, pipelined: bool) -> Self {
+        self.pipelined = pipelined;
+        self
     }
 
     /// See [`bcc_cluster::ThreadedCluster::with_minibatch`].
@@ -143,12 +162,23 @@ impl LocalNetCluster {
     pub fn revive_all(&mut self) {
         self.dead_workers.clear();
         self.fail_at.clear();
+        self.rejoin.clear();
     }
 
     /// Arms `worker` to drop its connection upon receiving `round`'s
     /// frame — a genuine mid-round death over the socket.
     pub fn fail_worker_at(&mut self, worker: usize, round: u64) {
         self.fail_at.insert(worker, round);
+    }
+
+    /// Arms `worker` to drop its connection upon receiving `round`'s
+    /// frame and then immediately reconnect — a genuine mid-training
+    /// crash/restart over the socket. The master re-admits it with the
+    /// in-flight round's model, so it keeps contributing without waiting
+    /// for a round boundary.
+    pub fn rejoin_worker_at(&mut self, worker: usize, round: u64) {
+        self.fail_at.insert(worker, round);
+        self.rejoin.insert(worker);
     }
 
     /// The profile in force.
@@ -184,12 +214,14 @@ impl LocalNetCluster {
         .with_decode_pool(self.decode_pool)
         .with_straggler_model(Arc::clone(&self.model))
         .with_aggregation_policy(Arc::clone(&self.policy))
-        .with_recv_timeout(self.recv_timeout);
+        .with_recv_timeout(self.recv_timeout)
+        .with_pipelining(self.pipelined);
         if let Some(observer) = &self.observer {
             master = master.with_observer(Arc::clone(observer));
         }
         master.kill_workers(self.dead_workers.iter().copied());
         let addr = master.local_addr().to_string();
+        let token = auth_token(self.seed);
 
         let outcome: Result<Result<(), ClusterError>, _> = crossbeam::scope(|scope| {
             for &worker in &participants {
@@ -198,6 +230,7 @@ impl LocalNetCluster {
                 if let Some(&round) = self.fail_at.get(&worker) {
                     cfg = cfg.with_die_at_round(round);
                 }
+                let rejoins = self.rejoin.contains(&worker);
                 scope.spawn(move |_| {
                     // A worker that cannot reach its own master is a dead
                     // worker; the master's death detection owns the
@@ -207,9 +240,22 @@ impl LocalNetCluster {
                     };
                     // Loopback workers already hold the problem
                     // in-process; the job string is empty and ignored.
-                    if handshake(&mut stream, worker).is_err() {
+                    if handshake(&mut stream, worker, token).is_err() {
                         return;
                     }
+                    let _ = serve_rounds(stream, &ctx, &cfg);
+                    if !rejoins {
+                        return;
+                    }
+                    // Crash/restart: come straight back on a fresh socket
+                    // (without the armed fault) and keep serving.
+                    let Ok(mut stream) = connect_with_retry(&addr, LOOPBACK_CONNECT_TIMEOUT) else {
+                        return;
+                    };
+                    if handshake(&mut stream, worker, token).is_err() {
+                        return;
+                    }
+                    let cfg = WorkerConfig::new(worker, cfg.time_scale);
                     let _ = serve_rounds(stream, &ctx, &cfg);
                 });
             }

@@ -26,6 +26,36 @@ pub struct NetStats {
     pub deaths: u64,
     /// Workers re-admitted after a disconnect.
     pub reconnects: u64,
+    /// Broadcasts that found a worker's send queue full and had to fall
+    /// back to a (timed) blocking enqueue — slow-reader pressure made
+    /// visible instead of a silent head-of-line stall.
+    pub backpressure_events: u64,
+    /// Deepest send-queue occupancy any writer thread observed.
+    pub max_queue_depth: u64,
+    /// Socket flushes issued by writer threads. Coalescing makes this
+    /// strictly ≤ `frames_sent`; the gap is the win from burst draining.
+    pub flushes: u64,
+    /// Data frames that arrived for an already-settled round or a
+    /// superseded broadcast epoch — credited here, never decoded.
+    pub stale_frames: u64,
+    /// Handshakes refused for a bad auth token.
+    pub auth_rejects: u64,
+    /// Workers re-admitted *mid-round* with the in-flight round's model
+    /// (a subset of `reconnects`, which also counts boundary rejoins).
+    pub rejoins: u64,
+    /// Cumulative wall nanoseconds the master spent fanning rounds out
+    /// (template encode → last frame handed to its writer queue). With
+    /// writer threads this is queue-push time, not socket time — the
+    /// number `repro net` publishes as the broadcast wall.
+    pub broadcast_wall_nanos: u64,
+}
+
+impl NetStats {
+    /// [`Self::broadcast_wall_nanos`] in seconds.
+    #[must_use]
+    pub fn broadcast_wall_seconds(&self) -> f64 {
+        self.broadcast_wall_nanos as f64 / 1e9
+    }
 }
 
 /// Shared, thread-safe counters behind a [`NetStats`] snapshot. Reader
@@ -43,6 +73,13 @@ struct StatsInner {
     frames_received: AtomicU64,
     deaths: AtomicU64,
     reconnects: AtomicU64,
+    backpressure_events: AtomicU64,
+    max_queue_depth: AtomicU64,
+    flushes: AtomicU64,
+    stale_frames: AtomicU64,
+    auth_rejects: AtomicU64,
+    rejoins: AtomicU64,
+    broadcast_wall_nanos: AtomicU64,
 }
 
 impl SharedStats {
@@ -71,6 +108,40 @@ impl SharedStats {
         self.inner.reconnects.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_backpressure(&self) {
+        self.inner
+            .backpressure_events
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn observe_queue_depth(&self, depth: usize) {
+        self.inner
+            .max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_flush(&self) {
+        self.inner.flushes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_stale_frame(&self) {
+        self.inner.stale_frames.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_auth_reject(&self) {
+        self.inner.auth_rejects.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_rejoin(&self) {
+        self.inner.rejoins.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_broadcast_wall(&self, elapsed: std::time::Duration) {
+        self.inner
+            .broadcast_wall_nanos
+            .fetch_add(elapsed.as_nanos() as u64, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> NetStats {
         NetStats {
             bytes_sent: self.inner.bytes_sent.load(Ordering::Relaxed),
@@ -79,6 +150,13 @@ impl SharedStats {
             frames_received: self.inner.frames_received.load(Ordering::Relaxed),
             deaths: self.inner.deaths.load(Ordering::Relaxed),
             reconnects: self.inner.reconnects.load(Ordering::Relaxed),
+            backpressure_events: self.inner.backpressure_events.load(Ordering::Relaxed),
+            max_queue_depth: self.inner.max_queue_depth.load(Ordering::Relaxed),
+            flushes: self.inner.flushes.load(Ordering::Relaxed),
+            stale_frames: self.inner.stale_frames.load(Ordering::Relaxed),
+            auth_rejects: self.inner.auth_rejects.load(Ordering::Relaxed),
+            rejoins: self.inner.rejoins.load(Ordering::Relaxed),
+            broadcast_wall_nanos: self.inner.broadcast_wall_nanos.load(Ordering::Relaxed),
         }
     }
 }
@@ -118,6 +196,15 @@ mod tests {
         stats.record_frame_received();
         stats.record_death();
         stats.record_reconnect();
+        stats.record_backpressure();
+        stats.observe_queue_depth(3);
+        stats.observe_queue_depth(9);
+        stats.observe_queue_depth(5);
+        stats.record_flush();
+        stats.record_stale_frame();
+        stats.record_auth_reject();
+        stats.record_rejoin();
+        stats.record_broadcast_wall(std::time::Duration::from_micros(2));
         let mut reader = CountingReader::new(Cursor::new(vec![0u8; 7]), stats.clone());
         let mut buf = [0u8; 7];
         reader.read_exact(&mut buf).unwrap();
@@ -128,5 +215,13 @@ mod tests {
         assert_eq!(snap.bytes_received, 7);
         assert_eq!(snap.deaths, 1);
         assert_eq!(snap.reconnects, 1);
+        assert_eq!(snap.backpressure_events, 1);
+        assert_eq!(snap.max_queue_depth, 9, "fetch_max keeps the peak");
+        assert_eq!(snap.flushes, 1);
+        assert_eq!(snap.stale_frames, 1);
+        assert_eq!(snap.auth_rejects, 1);
+        assert_eq!(snap.rejoins, 1);
+        assert_eq!(snap.broadcast_wall_nanos, 2_000);
+        assert!((snap.broadcast_wall_seconds() - 2e-6).abs() < 1e-12);
     }
 }

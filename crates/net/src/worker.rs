@@ -19,7 +19,7 @@ use crate::frame::{self, NetMessage};
 use bcc_cluster::engine::RoundContext;
 use bcc_cluster::{wire, ClusterError, Envelope};
 use bcc_optim::GradScratch;
-use bytes::{Bytes, BytesMut};
+use bytes::BytesMut;
 use crossbeam_channel::{unbounded, Receiver, Sender};
 use std::net::{Shutdown, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -28,6 +28,11 @@ use std::time::{Duration, Instant};
 
 /// Granularity of cancellable sleeps and heartbeat stop checks.
 const SLEEP_SLICE: Duration = Duration::from_millis(2);
+
+/// Cap on the heartbeat back-off multiplier a `Backpressure` advisory can
+/// drive (each advisory doubles the interval up to this; the next `Round`
+/// resets it).
+const MAX_HEARTBEAT_BACKOFF: u64 = 8;
 
 /// Per-worker runtime knobs for [`serve_rounds`].
 #[derive(Debug, Clone)]
@@ -107,23 +112,31 @@ pub fn connect_with_retry(addr: &str, timeout: Duration) -> Result<TcpStream, Cl
     }
 }
 
-/// Performs the worker side of the handshake: announce the worker id,
+/// Performs the worker side of the handshake: announce the worker id and
+/// the auth token (derived from the job seed via [`frame::auth_token`]),
 /// await the job assignment. Returns the job string (a JSON experiment
 /// spec; empty under the loopback harness, which already holds the
 /// problem in-process).
 ///
 /// # Errors
-/// [`ClusterError::Net`] on IO failure or when the master answers with
-/// anything but a `Job` frame.
-pub fn handshake(stream: &mut TcpStream, worker: usize) -> Result<String, ClusterError> {
+/// [`ClusterError::AuthRejected`] when the master answers with a `Reject`
+/// frame (token mismatch or bad worker id); [`ClusterError::Net`] on IO
+/// failure or any other non-`Job` reply.
+pub fn handshake(
+    stream: &mut TcpStream,
+    worker: usize,
+    token: u64,
+) -> Result<String, ClusterError> {
     frame::write_message(
         stream,
         &NetMessage::Hello {
             worker: worker as u64,
+            token,
         },
     )?;
     match frame::read_message(stream)? {
         Some(NetMessage::Job(job)) => Ok(job),
+        Some(NetMessage::Reject(reason)) => Err(ClusterError::AuthRejected { worker, reason }),
         Some(other) => Err(ClusterError::Net(format!(
             "expected a Job frame after Hello, got {other:?}"
         ))),
@@ -137,6 +150,7 @@ pub fn handshake(stream: &mut TcpStream, worker: usize) -> Result<String, Cluste
 enum WorkerEvent {
     Round {
         round: u64,
+        epoch: u64,
         delay_seconds: f64,
         weights: Vec<f64>,
     },
@@ -165,6 +179,9 @@ pub fn serve_rounds(
 ) -> Result<(), ClusterError> {
     let finished_before = Arc::new(AtomicU64::new(0));
     let stop = Arc::new(AtomicBool::new(false));
+    // Heartbeat back-off multiplier, driven by the master's Backpressure
+    // advisories (see MAX_HEARTBEAT_BACKOFF).
+    let heartbeat_backoff = Arc::new(AtomicU64::new(1));
     // All sends (data, heartbeats) serialize through one writer so frames
     // never interleave; the reader thread owns an OS-level clone.
     let writer =
@@ -173,12 +190,18 @@ pub fn serve_rounds(
         })?));
     let (event_tx, event_rx) = unbounded::<WorkerEvent>();
 
-    let reader = spawn_reader(stream, event_tx, Arc::clone(&finished_before));
+    let reader = spawn_reader(
+        stream,
+        event_tx,
+        Arc::clone(&finished_before),
+        Arc::clone(&heartbeat_backoff),
+    );
     let heartbeat = spawn_heartbeat(
         Arc::clone(&writer),
         cfg.worker as u64,
         cfg.heartbeat_interval,
         Arc::clone(&stop),
+        Arc::clone(&heartbeat_backoff),
     );
 
     let result = round_loop(&event_rx, ctx, cfg, &finished_before, &writer);
@@ -196,25 +219,31 @@ pub fn serve_rounds(
 
 /// Reader thread: frames in, events out. `Finished` frames advance the
 /// cancellation watermark directly (no round-loop involvement, so a
-/// worker mid-sleep still wakes promptly). EOF and socket errors surface
-/// as a `Shutdown` event — from the worker's point of view a vanished
-/// master and an orderly stop end the same way.
+/// worker mid-sleep still wakes promptly), and `Backpressure` advisories
+/// double the heartbeat back-off (a fresh `Round` resets it — the master
+/// is reading again). EOF and socket errors surface as a `Shutdown`
+/// event — from the worker's point of view a vanished master and an
+/// orderly stop end the same way.
 fn spawn_reader(
     mut stream: TcpStream,
     event_tx: Sender<WorkerEvent>,
     finished_before: Arc<AtomicU64>,
+    heartbeat_backoff: Arc<AtomicU64>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         loop {
             match frame::read_message(&mut stream) {
                 Ok(Some(NetMessage::Round {
                     round,
+                    epoch,
                     delay_seconds,
                     weights,
                 })) => {
+                    heartbeat_backoff.store(1, Ordering::Relaxed);
                     if event_tx
                         .send(WorkerEvent::Round {
                             round,
+                            epoch,
                             delay_seconds,
                             weights,
                         })
@@ -225,6 +254,11 @@ fn spawn_reader(
                 }
                 Ok(Some(NetMessage::Finished { before_round })) => {
                     finished_before.fetch_max(before_round, Ordering::Relaxed);
+                }
+                Ok(Some(NetMessage::Backpressure { .. })) => {
+                    let backoff = heartbeat_backoff.load(Ordering::Relaxed);
+                    heartbeat_backoff
+                        .store((backoff * 2).min(MAX_HEARTBEAT_BACKOFF), Ordering::Relaxed);
                 }
                 Ok(Some(NetMessage::Shutdown)) | Ok(None) | Err(_) => {
                     let _ = event_tx.send(WorkerEvent::Shutdown);
@@ -246,10 +280,14 @@ fn spawn_heartbeat(
     worker: u64,
     interval: Duration,
     stop: Arc<AtomicBool>,
+    backoff: Arc<AtomicU64>,
 ) -> std::thread::JoinHandle<()> {
     std::thread::spawn(move || {
         while !stop.load(Ordering::Relaxed) {
-            cancellable_sleep(interval, || stop.load(Ordering::Relaxed));
+            let factor = backoff
+                .load(Ordering::Relaxed)
+                .clamp(1, MAX_HEARTBEAT_BACKOFF);
+            cancellable_sleep(interval * factor as u32, || stop.load(Ordering::Relaxed));
             if stop.load(Ordering::Relaxed) {
                 return;
             }
@@ -268,17 +306,20 @@ fn round_loop(
     finished_before: &AtomicU64,
     writer: &Mutex<TcpStream>,
 ) -> Result<(), ClusterError> {
-    // Reused across rounds: gradient scratch and the wire staging buffer,
-    // exactly like the threaded pool worker.
+    // Reused across rounds: gradient scratch, the wire staging buffer,
+    // and the outgoing frame buffer — after warm-up the data path
+    // allocates nothing per round.
     let mut scratch = GradScratch::new();
     let mut wire_buf = BytesMut::with_capacity(0);
+    let mut frame_buf = BytesMut::with_capacity(0);
     while let Ok(event) = event_rx.recv() {
-        let (round, delay_seconds, weights) = match event {
+        let (round, epoch, delay_seconds, weights) = match event {
             WorkerEvent::Round {
                 round,
+                epoch,
                 delay_seconds,
                 weights,
-            } => (round, delay_seconds, weights),
+            } => (round, epoch, delay_seconds, weights),
             WorkerEvent::Shutdown => return Ok(()),
         };
         if cfg.die_at_round == Some(round) {
@@ -297,7 +338,7 @@ fn round_loop(
         if finished_before.load(Ordering::Relaxed) > round {
             continue; // master settled this round while we "computed"
         }
-        let message = match ctx.compute_and_encode_selected(
+        match ctx.compute_and_encode_selected(
             cfg.worker,
             &weights,
             &mut scratch,
@@ -313,15 +354,20 @@ fn round_loop(
                     },
                     &mut wire_buf,
                 );
-                NetMessage::Data(Bytes::copy_from_slice(wire_buf.as_ref()))
+                // Straight from the envelope staging buffer into the
+                // frame buffer, echoing the broadcast epoch — no
+                // intermediate `Bytes` allocation.
+                frame::encode_data_frame_into(&mut frame_buf, epoch, wire_buf.as_ref());
             }
-            Err(_) => NetMessage::Skipped { round },
-        };
+            Err(_) => {
+                frame::encode_into(&NetMessage::Skipped { round }, &mut frame_buf);
+            }
+        }
         if finished_before.load(Ordering::Relaxed) > round {
             continue; // settled while we encoded
         }
         let mut w = writer.lock().expect("worker writer lock poisoned");
-        frame::write_message(&mut *w, &message)?;
+        frame::write_frame_bytes(&mut *w, frame_buf.as_ref())?;
     }
     Ok(())
 }
@@ -354,16 +400,17 @@ mod tests {
 
     #[test]
     fn handshake_exchanges_hello_for_job() {
+        let token = frame::auth_token(41);
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap().to_string();
         let master = std::thread::spawn(move || {
             let (mut conn, _) = listener.accept().unwrap();
             let hello = frame::read_message(&mut conn).unwrap().unwrap();
-            assert_eq!(hello, NetMessage::Hello { worker: 3 });
+            assert_eq!(hello, NetMessage::Hello { worker: 3, token });
             frame::write_message(&mut conn, &NetMessage::Job("{}".into())).unwrap();
         });
         let mut stream = connect_with_retry(&addr, Duration::from_secs(2)).unwrap();
-        let job = handshake(&mut stream, 3).unwrap();
+        let job = handshake(&mut stream, 3, token).unwrap();
         assert_eq!(job, "{}");
         master.join().unwrap();
     }
@@ -378,8 +425,30 @@ mod tests {
             frame::write_message(&mut conn, &NetMessage::Shutdown).unwrap();
         });
         let mut stream = connect_with_retry(&addr, Duration::from_secs(2)).unwrap();
-        let err = handshake(&mut stream, 0).unwrap_err();
+        let err = handshake(&mut stream, 0, frame::auth_token(0)).unwrap_err();
         assert!(matches!(err, ClusterError::Net(msg) if msg.contains("expected a Job")));
+        master.join().unwrap();
+    }
+
+    #[test]
+    fn handshake_surfaces_reject_as_typed_auth_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let master = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            let _ = frame::read_message(&mut conn).unwrap();
+            frame::write_message(&mut conn, &NetMessage::Reject("auth token mismatch".into()))
+                .unwrap();
+        });
+        let mut stream = connect_with_retry(&addr, Duration::from_secs(2)).unwrap();
+        let err = handshake(&mut stream, 5, 0xBAD).unwrap_err();
+        assert_eq!(
+            err,
+            ClusterError::AuthRejected {
+                worker: 5,
+                reason: "auth token mismatch".into()
+            }
+        );
         master.join().unwrap();
     }
 }

@@ -1,0 +1,139 @@
+//! Admission control on the `Hello` handshake: every connection must
+//! present the job's auth token (derived from the job seed — see
+//! [`bcc_net::auth_token`]). A mismatch is answered with a `Reject` frame
+//! that the worker side surfaces as the *typed*
+//! [`ClusterError::AuthRejected`] — never a silent drop or a hang — and
+//! the master counts it in [`bcc_net::NetStats::auth_rejects`]. A worker
+//! from the wrong job therefore fails fast with an actionable error,
+//! while correctly-tokened workers on the very same listener go on to
+//! serve a full round.
+
+use bcc_cluster::engine::RoundContext;
+use bcc_cluster::{
+    ClusterBackend, ClusterError, ClusterProfile, CommModel, UnitMap, WorkerBlocks, WorkerProfile,
+};
+use bcc_coding::UncodedScheme;
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_net::{auth_token, connect_with_retry, handshake, serve_rounds, TcpCluster, WorkerConfig};
+use bcc_optim::LogisticLoss;
+use std::time::Duration;
+
+const CONNECT_TIMEOUT: Duration = Duration::from_secs(10);
+
+fn two_worker_profile() -> ClusterProfile {
+    ClusterProfile {
+        workers: vec![
+            WorkerProfile { mu: 1e4, a: 0.01 },
+            WorkerProfile { mu: 1e4, a: 0.02 },
+        ],
+        comm: CommModel {
+            per_message_overhead: 0.001,
+            per_unit: 0.001,
+        },
+    }
+}
+
+/// Spawns the two-worker fleet with `token`, runs one round on `master`,
+/// and returns once everything is joined.
+fn serve_one_round(master: &mut TcpCluster, token: u64) {
+    let units = UnitMap::grouped(4, 2);
+    let scheme = UncodedScheme::new(2, 2);
+    let data = generate(&SyntheticConfig::small(4, 3, 7));
+    let packed = WorkerBlocks::build(&scheme, &units, &data.dataset);
+    let ctx = RoundContext {
+        scheme: &scheme,
+        units: &units,
+        data: &data.dataset,
+        loss: &LogisticLoss,
+        packed: &packed,
+        minibatch: None,
+    };
+    let addr = master.local_addr().to_string();
+    crossbeam::scope(|scope| {
+        for worker in 0..2 {
+            let addr = addr.clone();
+            let ctx = &ctx;
+            scope.spawn(move |_| {
+                let mut stream = connect_with_retry(&addr, CONNECT_TIMEOUT).expect("connect");
+                handshake(&mut stream, worker, token).expect("correct token is admitted");
+                let _ = serve_rounds(stream, ctx, &WorkerConfig::new(worker, 1.0));
+            });
+        }
+        let out = master
+            .run_round(&scheme, &units, &data.dataset, &LogisticLoss, &[0.0; 3])
+            .expect("round over admitted workers");
+        assert_eq!(out.metrics.messages_used, 2);
+        master.shutdown();
+    })
+    .expect("worker threads exit cleanly");
+}
+
+#[test]
+fn wrong_job_seed_is_rejected_with_a_typed_error() {
+    let mut master =
+        TcpCluster::bind("127.0.0.1:0", two_worker_profile(), 77, 1.0).expect("bind master");
+    let addr = master.local_addr().to_string();
+
+    // A worker configured for a *different* job derives a different
+    // token; the acceptor rejects it before any registration.
+    let mut stream = connect_with_retry(&addr, CONNECT_TIMEOUT).expect("connect");
+    let err = handshake(&mut stream, 0, auth_token(78)).expect_err("wrong token must be rejected");
+    match &err {
+        ClusterError::AuthRejected { worker, reason } => {
+            assert_eq!(*worker, 0);
+            assert!(
+                reason.contains("auth token"),
+                "rejection must name the cause, got: {reason}"
+            );
+        }
+        other => panic!("expected AuthRejected, got {other:?}"),
+    }
+
+    // Same listener, the right job's token: a full round still runs.
+    serve_one_round(&mut master, auth_token(77));
+    assert_eq!(
+        master.stats().auth_rejects,
+        1,
+        "exactly one rejection counted"
+    );
+}
+
+#[test]
+fn explicit_token_override_replaces_the_seed_derived_default() {
+    // `with_auth_token` decouples admission from the bind seed — the
+    // experiment builder wires `auth_token(spec.seed)` through this for
+    // external workers.
+    let mut master = TcpCluster::bind("127.0.0.1:0", two_worker_profile(), 77, 1.0)
+        .expect("bind master")
+        .with_auth_token(auth_token(99));
+    let addr = master.local_addr().to_string();
+
+    // The bind seed's own token no longer admits…
+    let mut stream = connect_with_retry(&addr, CONNECT_TIMEOUT).expect("connect");
+    let err = handshake(&mut stream, 1, auth_token(77)).expect_err("stale token must be rejected");
+    assert!(matches!(err, ClusterError::AuthRejected { worker: 1, .. }));
+
+    // …the overridden job's token does.
+    serve_one_round(&mut master, auth_token(99));
+    assert_eq!(master.stats().auth_rejects, 1);
+}
+
+#[test]
+fn out_of_range_worker_ids_are_rejected_not_registered() {
+    let mut master =
+        TcpCluster::bind("127.0.0.1:0", two_worker_profile(), 77, 1.0).expect("bind master");
+    let addr = master.local_addr().to_string();
+
+    let mut stream = connect_with_retry(&addr, CONNECT_TIMEOUT).expect("connect");
+    let err = handshake(&mut stream, 9, auth_token(77)).expect_err("id 9 of 2 must be rejected");
+    match &err {
+        ClusterError::AuthRejected { worker, reason } => {
+            assert_eq!(*worker, 9);
+            assert!(reason.contains("out of range"), "got: {reason}");
+        }
+        other => panic!("expected AuthRejected, got {other:?}"),
+    }
+    // Range rejections are protocol errors, not credential failures.
+    assert_eq!(master.stats().auth_rejects, 0);
+    master.shutdown();
+}

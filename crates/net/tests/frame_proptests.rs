@@ -27,7 +27,8 @@ fn finite_f64() -> impl Strategy<Value = f64> {
 
 fn message_strategy() -> impl Strategy<Value = NetMessage> {
     prop_oneof![
-        any::<u64>().prop_map(|worker| NetMessage::Hello { worker }),
+        (any::<u64>(), any::<u64>())
+            .prop_map(|(worker, token)| NetMessage::Hello { worker, token }),
         (any::<u64>(), 0..3usize).prop_map(|(n, style)| {
             NetMessage::Job(match style {
                 0 => String::new(),
@@ -35,22 +36,35 @@ fn message_strategy() -> impl Strategy<Value = NetMessage> {
                 _ => format!("job-{n}-\u{2713}"),
             })
         }),
+        (any::<u64>(), 0..2usize).prop_map(|(n, style)| {
+            NetMessage::Reject(match style {
+                0 => String::new(),
+                _ => format!("auth token mismatch ({n})"),
+            })
+        }),
         (
+            any::<u64>(),
             any::<u64>(),
             finite_f64(),
             prop::collection::vec(finite_f64(), 0..32)
         )
-            .prop_map(|(round, delay_seconds, weights)| NetMessage::Round {
+            .prop_map(|(round, epoch, delay_seconds, weights)| NetMessage::Round {
                 round,
+                epoch,
                 delay_seconds,
                 weights,
             }),
-        prop::collection::vec(any::<u8>(), 0..64)
-            .prop_map(|raw| NetMessage::Data(Bytes::from(raw))),
+        (any::<u64>(), prop::collection::vec(any::<u8>(), 0..64)).prop_map(|(epoch, raw)| {
+            NetMessage::Data {
+                epoch,
+                payload: Bytes::from(raw),
+            }
+        }),
         any::<u64>().prop_map(|round| NetMessage::Skipped { round }),
         any::<u64>().prop_map(|worker| NetMessage::Heartbeat { worker }),
         any::<u64>().prop_map(|before_round| NetMessage::Finished { before_round }),
         Just(NetMessage::Shutdown),
+        any::<u64>().prop_map(|queued| NetMessage::Backpressure { queued }),
     ]
 }
 
@@ -142,5 +156,56 @@ proptest! {
         wire.extend_from_slice(&[0u8; 16]);
         let e = frame::read_message(&mut Cursor::new(wire)).unwrap_err();
         prop_assert!(matches!(e, ClusterError::Net(_)));
+    }
+
+    #[test]
+    fn unknown_tags_from_future_versions_error_cleanly(
+        tag_offset in 0..246u8,
+        body in prop::collection::vec(any::<u8>(), 0..64),
+    ) {
+        // A frame from a newer protocol version must be a typed error on
+        // this side, never a panic or a misparse as some known message.
+        let tag = 10 + tag_offset; // every tag beyond the known 0..=9
+        let mut payload = vec![tag];
+        payload.extend_from_slice(&body);
+        let e = frame::decode_frame(&payload).unwrap_err();
+        prop_assert!(matches!(e, ClusterError::Net(_)));
+        let mut wire = (payload.len() as u32).to_le_bytes().to_vec();
+        wire.extend_from_slice(&payload);
+        let e = frame::read_message(&mut Cursor::new(wire)).unwrap_err();
+        prop_assert!(matches!(e, ClusterError::Net(_)));
+    }
+
+    #[test]
+    fn pooled_encoder_agrees_with_cold_encoder(msg in message_strategy()) {
+        // The zero-copy hot path (encode_into over a reused BytesMut) must
+        // produce the identical bytes the cold Vec encoder produces.
+        let mut buf = bytes::BytesMut::with_capacity(0);
+        let len = frame::encode_into(&msg, &mut buf);
+        prop_assert_eq!(len, buf.as_ref().len());
+        let cold = frame::encode(&msg);
+        prop_assert_eq!(buf.as_ref(), cold.as_slice());
+    }
+
+    #[test]
+    fn round_template_patching_matches_direct_encode(
+        round in any::<u64>(),
+        epoch in any::<u64>(),
+        template_delay in finite_f64(),
+        patched_delay in finite_f64(),
+        weights in prop::collection::vec(finite_f64(), 0..32),
+    ) {
+        // Broadcast encodes the Round body once and patches the per-worker
+        // delay in place; the result must equal a direct encode.
+        let mut buf = bytes::BytesMut::with_capacity(0);
+        frame::encode_round_into(&mut buf, round, epoch, template_delay, &weights);
+        frame::patch_round_delay(buf.as_mut(), patched_delay);
+        let direct = frame::encode(&NetMessage::Round {
+            round,
+            epoch,
+            delay_seconds: patched_delay,
+            weights,
+        });
+        prop_assert_eq!(buf.as_ref(), direct.as_slice());
     }
 }

@@ -1,0 +1,120 @@
+//! Mid-training crash/restart over real sockets: a worker that drops its
+//! connection upon receiving a round's frame and immediately reconnects
+//! must be re-admitted *into that same in-flight round* — the master
+//! re-ships the current model under a fresh broadcast epoch, the worker
+//! recomputes, and the run's outcomes stay bit-identical to a fault-free
+//! virtual simulation. The transport records both the death and the
+//! rejoin.
+//!
+//! Timing is arranged so the reconnect (a few accept/registration poll
+//! slices, ≲30 ms) lands well before any slower worker's report could be
+//! released: the rejoining worker's own simulated delay re-gates the
+//! delay-ordered release buffer once it is live again.
+
+use bcc_cluster::backend::FixedPointDriver;
+use bcc_cluster::{
+    ClusterBackend, ClusterProfile, CommModel, RoundOutcome, UnitMap, VirtualCluster, WorkerProfile,
+};
+use bcc_coding::UncodedScheme;
+use bcc_data::synthetic::{generate, SyntheticConfig};
+use bcc_net::LocalNetCluster;
+use bcc_optim::LogisticLoss;
+
+fn staircase_profile(shifts: &[f64]) -> ClusterProfile {
+    ClusterProfile {
+        workers: shifts
+            .iter()
+            .map(|&a| WorkerProfile { mu: 1e4, a })
+            .collect(),
+        comm: CommModel {
+            per_message_overhead: 0.001,
+            per_unit: 0.001,
+        },
+    }
+}
+
+fn assert_outcomes_match(reference: &RoundOutcome, got: &RoundOutcome, round: usize) {
+    assert_eq!(
+        reference.metrics.messages_used, got.metrics.messages_used,
+        "round {round}: messages_used diverged"
+    );
+    assert_eq!(
+        reference.metrics.communication_units, got.metrics.communication_units,
+        "round {round}: communication load diverged"
+    );
+    assert_eq!(
+        reference.metrics.compute_time.to_bits(),
+        got.metrics.compute_time.to_bits(),
+        "round {round}: compute-time accounting diverged"
+    );
+    for (i, (a, b)) in reference
+        .gradient_sum
+        .iter()
+        .zip(&got.gradient_sum)
+        .enumerate()
+    {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "round {round}: gradient component {i} differs: {a} vs {b}"
+        );
+    }
+}
+
+#[test]
+fn midrun_rejoin_recovers_the_round_bit_identically() {
+    // Staircase with ≥25 ms gaps; worker 2 (delay ≈ 125 ms) crashes on
+    // receiving round 2's frame and reconnects within ~30 ms — before the
+    // first other report of that round (worker 1 at ≈ 50 ms) could even
+    // arrive, let alone any later-ordered one.
+    let profile = staircase_profile(&[0.15, 0.05, 0.125, 0.075, 0.1]);
+    let units = UnitMap::grouped(30, 10);
+    let scheme = UncodedScheme::new(10, 5);
+    let data = generate(&SyntheticConfig::small(30, 4, 61));
+    let rounds = 4;
+
+    let mut virtual_driver = FixedPointDriver::new(vec![0.05; 4]);
+    VirtualCluster::new(profile.clone(), 61)
+        .run_rounds(
+            rounds,
+            &scheme,
+            &units,
+            &data.dataset,
+            &LogisticLoss,
+            &mut virtual_driver,
+        )
+        .expect("virtual run completes");
+
+    let mut net = LocalNetCluster::new(profile, 61, 1.0);
+    net.rejoin_worker_at(2, 2);
+    let mut net_driver = FixedPointDriver::new(vec![0.05; 4]);
+    net.run_rounds(
+        rounds,
+        &scheme,
+        &units,
+        &data.dataset,
+        &LogisticLoss,
+        &mut net_driver,
+    )
+    .expect("TCP run with a mid-training rejoin completes");
+
+    assert_eq!(net_driver.outcomes.len(), rounds);
+    for (r, (v, t)) in virtual_driver
+        .outcomes
+        .iter()
+        .zip(&net_driver.outcomes)
+        .enumerate()
+    {
+        assert_outcomes_match(v, t, r);
+    }
+
+    let stats = net.last_net_stats().expect("stats after a run");
+    assert!(
+        stats.deaths >= 1,
+        "the crash must register as a death, got {stats:?}"
+    );
+    assert!(
+        stats.rejoins >= 1,
+        "the reconnect must register as a rejoin, got {stats:?}"
+    );
+}

@@ -109,6 +109,14 @@ fn main() {
                 println!("  round complete at {at:.4} s after {messages} messages");
             }
             RoundEvent::Stalled { reason, .. } => println!("  stalled: {reason}"),
+            RoundEvent::StaleFrame {
+                worker,
+                frame_round,
+                ..
+            } => println!("  worker {worker:>2} sent a stale round-{frame_round} frame"),
+            RoundEvent::Rejoined { worker, .. } => {
+                println!("  worker {worker:>2} rejoined mid-round");
+            }
         }
     }
 }

@@ -17,9 +17,12 @@
 //!
 //! ```bash
 //! for i in 0 1 2 3 4; do
-//!     cargo run --release --bin bcc-worker -- 127.0.0.1:4400 $i &
+//!     cargo run --release --bin bcc-worker -- 127.0.0.1:4400 $i 41 &
 //! done
 //! ```
+//!
+//! (The trailing `41` is the job seed — the worker's admission token
+//! derives from it, so it must match the master spec's seed.)
 
 use bcc::cluster::{ClusterBackend, CommModel, WorkerProfile};
 use bcc::experiment::net_worker::run_worker_with_timeout;
@@ -95,13 +98,14 @@ fn main() {
     let spec = experiment.spec().clone();
     let mut master = TcpCluster::bind("127.0.0.1:0", experiment.profile().clone(), 41, 1.0)
         .expect("bind master")
-        .with_job(spec.to_json_pretty().expect("spec serializes"));
+        .with_job(spec.to_json_pretty().expect("spec serializes"))
+        .with_auth_token(bcc::net::auth_token(spec.seed));
     let addr = master.local_addr().to_string();
     let handles: Vec<_> = (0..spec.workers)
         .map(|w| {
             let addr = addr.clone();
             std::thread::spawn(move || {
-                run_worker_with_timeout(&addr, w, Duration::from_secs(10))
+                run_worker_with_timeout(&addr, w, 41, Duration::from_secs(10))
                     .expect("worker serves the whole run");
             })
         })

@@ -111,6 +111,12 @@ pub struct BytesMut {
 }
 
 impl BytesMut {
+    /// Empty buffer with no allocation.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
     /// Empty buffer with at least `cap` bytes of capacity.
     #[must_use]
     pub fn with_capacity(cap: usize) -> Self {
@@ -147,11 +153,29 @@ impl BytesMut {
     pub fn reserve(&mut self, additional: usize) {
         self.buf.reserve(additional);
     }
+
+    /// Appends raw bytes (the inherent spelling of [`BufMut::put_slice`],
+    /// for call sites that don't want the trait in scope).
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.buf.extend_from_slice(src);
+    }
+
+    /// Current capacity in bytes — lets pools observe warm-up.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
 }
 
 impl AsRef<[u8]> for BytesMut {
     fn as_ref(&self) -> &[u8] {
         &self.buf
+    }
+}
+
+impl AsMut<[u8]> for BytesMut {
+    fn as_mut(&mut self) -> &mut [u8] {
+        &mut self.buf
     }
 }
 

@@ -1,6 +1,7 @@
 //! In-tree stand-in for `crossbeam-channel`, wrapping `std::sync::mpsc`.
 //!
 //! Only the MPSC subset the cluster runtime uses: [`unbounded`] channels,
+//! [`bounded`] (rendezvous-free) channels for backpressured send queues,
 //! cloneable senders, and blocking receives with timeout. Error types mirror
 //! upstream names so call sites read identically.
 
@@ -12,6 +13,21 @@ use std::time::Duration;
 pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     let (tx, rx) = mpsc::channel();
     (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+/// Creates a bounded MPSC channel holding at most `cap` queued messages.
+/// `send` blocks when the queue is full; `try_send` surfaces fullness as
+/// [`TrySendError::Full`] — the primitive behind backpressured writer
+/// queues.
+///
+/// # Panics
+/// Panics when `cap` is zero (rendezvous channels are not part of the
+/// subset this shim supports).
+#[must_use]
+pub fn bounded<T>(cap: usize) -> (SyncSender<T>, Receiver<T>) {
+    assert!(cap > 0, "bounded(0) rendezvous channels are unsupported");
+    let (tx, rx) = mpsc::sync_channel(cap);
+    (SyncSender { inner: tx }, Receiver { inner: rx })
 }
 
 /// Sending half; cloneable.
@@ -36,6 +52,45 @@ impl<T> Sender<T> {
         self.inner
             .send(value)
             .map_err(|mpsc::SendError(v)| SendError(v))
+    }
+}
+
+/// Sending half of a [`bounded`] channel; cloneable.
+pub struct SyncSender<T> {
+    inner: mpsc::SyncSender<T>,
+}
+
+impl<T> Clone for SyncSender<T> {
+    fn clone(&self) -> Self {
+        Self {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> SyncSender<T> {
+    /// Blocks until queue space frees up, failing when the receiver is
+    /// gone.
+    ///
+    /// # Errors
+    /// [`SendError`] carrying the unsent message when the channel is closed.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner
+            .send(value)
+            .map_err(|mpsc::SendError(v)| SendError(v))
+    }
+
+    /// Non-blocking send: enqueues only when space is available right now.
+    ///
+    /// # Errors
+    /// [`TrySendError::Full`] when the queue is at capacity,
+    /// [`TrySendError::Disconnected`] when the receiver is gone — both
+    /// carry the unsent message back.
+    pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+        self.inner.try_send(value).map_err(|e| match e {
+            mpsc::TrySendError::Full(v) => TrySendError::Full(v),
+            mpsc::TrySendError::Disconnected(v) => TrySendError::Disconnected(v),
+        })
     }
 }
 
@@ -102,6 +157,15 @@ pub enum TryRecvError {
     Disconnected,
 }
 
+/// Non-blocking-send failure, carrying the unsent message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity.
+    Full(T),
+    /// The receiver is gone.
+    Disconnected(T),
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +189,30 @@ mod tests {
             rx.recv_timeout(Duration::from_millis(10)),
             Err(RecvTimeoutError::Disconnected)
         );
+    }
+
+    #[test]
+    fn bounded_try_send_surfaces_fullness_and_disconnect() {
+        let (tx, rx) = bounded::<u8>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert_eq!(tx.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(rx.recv().unwrap(), 1);
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert_eq!(tx.try_send(9), Err(TrySendError::Disconnected(9)));
+    }
+
+    #[test]
+    fn bounded_blocking_send_waits_for_space() {
+        let (tx, rx) = bounded::<u8>(1);
+        tx.send(1).unwrap();
+        let tx2 = tx.clone();
+        let h = std::thread::spawn(move || tx2.send(2).unwrap());
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv().unwrap(), 1);
+        h.join().unwrap();
+        assert_eq!(rx.recv().unwrap(), 2);
     }
 
     #[test]

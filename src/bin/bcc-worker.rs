@@ -1,17 +1,18 @@
 //! `bcc-worker` — one networked worker process.
 //!
 //! ```text
-//! bcc-worker <master-addr> <worker-id> [--connect-timeout-secs N]
+//! bcc-worker <master-addr> <worker-id> [job-seed] [--connect-timeout-secs N]
 //! ```
 //!
 //! Connects to a [`bcc::net::TcpCluster`] master (retrying until the
-//! master binds or the timeout elapses), receives the resolved
-//! experiment spec as its job, regenerates its data share from the spec
-//! seed, and serves rounds until the master shuts the run down. Start
-//! one process per worker id in the spec:
+//! master binds or the timeout elapses), authenticates with a token
+//! derived from the job seed, receives the resolved experiment spec as
+//! its job, regenerates its data share from the spec seed, and serves
+//! rounds until the master shuts the run down. Start one process per
+//! worker id in the spec:
 //!
 //! ```text
-//! for i in $(seq 0 9); do bcc-worker 127.0.0.1:4400 $i & done
+//! for i in $(seq 0 9); do bcc-worker 127.0.0.1:4400 $i 2024 & done
 //! ```
 
 use std::process::ExitCode;
@@ -22,10 +23,15 @@ const EXIT_USAGE: u8 = 2;
 /// Exit code for a run that failed after a successful argument parse.
 const EXIT_RUN_FAILED: u8 = 1;
 
+/// Job seed assumed when none is given — matches the spec default.
+const DEFAULT_JOB_SEED: u64 = 2024;
+
 fn usage() -> ExitCode {
-    eprintln!("usage: bcc-worker <master-addr> <worker-id> [--connect-timeout-secs N]");
+    eprintln!("usage: bcc-worker <master-addr> <worker-id> [job-seed] [--connect-timeout-secs N]");
     eprintln!("  master-addr            e.g. 127.0.0.1:4400");
     eprintln!("  worker-id              0-based id within the experiment's worker count");
+    eprintln!("  job-seed               the master spec's seed; the admission token derives");
+    eprintln!("                         from it (default {DEFAULT_JOB_SEED}, the spec default)");
     eprintln!("  --connect-timeout-secs how long to retry the connect (default 30)");
     ExitCode::from(EXIT_USAGE)
 }
@@ -54,14 +60,26 @@ fn main() -> ExitCode {
             }
         }
     }
-    let [addr, worker_id] = positional.as_slice() else {
-        return usage();
+    let (addr, worker_id, seed_arg) = match positional.as_slice() {
+        [addr, worker_id] => (addr, worker_id, None),
+        [addr, worker_id, seed] => (addr, worker_id, Some(seed)),
+        _ => return usage(),
     };
     let Ok(worker) = worker_id.parse::<usize>() else {
         eprintln!("bcc-worker: worker id must be a non-negative integer, got `{worker_id}`");
         return ExitCode::from(EXIT_USAGE);
     };
-    match bcc::experiment::net_worker::run_worker_with_timeout(addr, worker, timeout) {
+    let job_seed = match seed_arg {
+        None => DEFAULT_JOB_SEED,
+        Some(raw) => match raw.parse::<u64>() {
+            Ok(seed) => seed,
+            Err(_) => {
+                eprintln!("bcc-worker: job seed must be a non-negative integer, got `{raw}`");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+    };
+    match bcc::experiment::net_worker::run_worker_with_timeout(addr, worker, job_seed, timeout) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("bcc-worker {worker}: {e}");

@@ -105,12 +105,15 @@ fn process_spec(shifts: &[f64]) -> ExperimentSpec {
     experiment.spec().clone()
 }
 
-fn spawn_workers(addr: &str, count: usize) -> Vec<Child> {
+/// Spawns one `bcc-worker` process per id, handing each the job seed its
+/// admission token derives from — the same argument a real deployment
+/// passes on the command line.
+fn spawn_workers(addr: &str, count: usize, job_seed: u64) -> Vec<Child> {
     let bin = env!("CARGO_BIN_EXE_bcc-worker");
     (0..count)
         .map(|w| {
             Command::new(bin)
-                .args([addr, &w.to_string()])
+                .args([addr, &w.to_string(), &job_seed.to_string()])
                 .stderr(Stdio::inherit())
                 .spawn()
                 .expect("spawn bcc-worker")
@@ -130,7 +133,7 @@ fn external_worker_processes_match_the_virtual_backend() {
         .expect("bind master")
         .with_job(spec.to_json_pretty().unwrap());
     let addr = master.local_addr().to_string();
-    let mut children = spawn_workers(&addr, spec.workers);
+    let mut children = spawn_workers(&addr, spec.workers, 99);
 
     let tcp_out = master
         .run_round(
@@ -185,7 +188,7 @@ fn killing_a_worker_process_mid_round_completes_under_best_effort() {
         .with_aggregation_policy(Arc::new(BestEffortAll))
         .with_recv_timeout(Duration::from_secs(20));
     let addr = master.local_addr().to_string();
-    let mut children = spawn_workers(&addr, spec.workers);
+    let mut children = spawn_workers(&addr, spec.workers, 107);
 
     let victim = children.remove(0);
     let killer = std::thread::spawn(move || {
