@@ -32,11 +32,12 @@
 
 use bcc_bench::experiments::spec_run::ScenarioSpec;
 use bcc_bench::experiments::{
-    ablation, engine_bench, fig2, fig5, net_bench, policy_sweep, scale, scenario, spec_run, sweep,
+    ablation, engine_bench, fig2, fig5, modes, net_bench, policy_sweep, scale, scenario, spec_run,
+    sweep,
 };
 use bcc_bench::gate;
 use bcc_bench::report::{write_json, Table};
-use bcc_core::experiment::{ExperimentSpec, PolicyRegistry, SchemeRegistry};
+use bcc_core::experiment::{ExperimentSpec, ModeRegistry, PolicyRegistry, SchemeRegistry};
 use bcc_core::schemes::SchemeConfig;
 use std::path::PathBuf;
 
@@ -93,7 +94,7 @@ fn parse_args() -> Args {
             "-h" | "--help" => {
                 println!(
                     "usage: repro [--fast] [--wan] [--out DIR] \
-                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy|scale|net]... \
+                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy|modes|scale|net]... \
                      [scenario SPEC.json]... \
                      [list] \
                      [gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]]"
@@ -123,7 +124,7 @@ fn print_table(t: &Table) {
 }
 
 /// Every named artifact target.
-const KNOWN_TARGETS: [&str; 12] = [
+const KNOWN_TARGETS: [&str; 13] = [
     "all",
     "fig2",
     "fig4",
@@ -134,6 +135,7 @@ const KNOWN_TARGETS: [&str; 12] = [
     "engine",
     "sweep",
     "policy",
+    "modes",
     "scale",
     "net",
 ];
@@ -378,6 +380,46 @@ fn main() {
         }
     }
 
+    if want("modes") {
+        ran_any = true;
+        let cfg = if args.fast {
+            modes::ModesConfig::fast()
+        } else {
+            modes::ModesConfig::default_config()
+        };
+        let result = modes::run(&cfg);
+        print_table(&modes::render(&result));
+        // Perf/scenario-trajectory artifact: fixed name at the repo root,
+        // like the other BENCH files.
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => match std::fs::write("BENCH_modes.json", body) {
+                Ok(()) => println!("[saved BENCH_modes.json]\n"),
+                Err(e) => eprintln!("[warn] could not write BENCH_modes.json: {e}"),
+            },
+            Err(e) => eprintln!("[warn] could not serialize modes grid: {e}"),
+        }
+        persist(&args.out_dir, "bench_modes", &result);
+        // Per-cell spec files: each (model × scheme × mode) cell replays
+        // standalone via `repro scenario experiments/modes/<cell>.spec.json`.
+        // Skipped for --fast, mirroring the sweeps: smoke runs must not
+        // overwrite the checked-in full-config specs.
+        if args.fast {
+            println!("[--fast: skipping per-cell mode specs (checked-in specs are full-config)]");
+        } else {
+            let modes_dir = args.out_dir.join("modes");
+            for (name, spec) in cfg.cells() {
+                persist_spec(
+                    &modes_dir,
+                    &name,
+                    &ScenarioSpec {
+                        name: spec.name.clone(),
+                        experiments: vec![spec],
+                    },
+                );
+            }
+        }
+    }
+
     if want("scale") {
         ran_any = true;
         let cfg = if args.fast {
@@ -479,6 +521,12 @@ fn run_list() {
         policies.push_row(vec![name, description]);
     }
     print_table(&policies);
+
+    let mut modes = Table::new("training modes (ModeSpec name)", &["name", "description"]);
+    for (name, description) in ModeRegistry::builtin().descriptions() {
+        modes.push_row(vec![name, description]);
+    }
+    print_table(&modes);
 
     let mut data = Table::new("data paths (DataSpec)", &["name", "description"]);
     data.push_row(vec![

@@ -15,8 +15,8 @@
 use crate::report::{f1, f3, Table};
 use bcc_cluster::{ClusterProfile, CommModel};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
-    PolicySpec,
+    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
+    OptimizerSpec, PolicySpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use bcc_core::theory;
@@ -60,6 +60,7 @@ pub fn arm_spec(
         loss: LossSpec::Logistic,
         optimizer: OptimizerSpec::FixedPoint,
         policy: PolicySpec::default(),
+        mode: ModeSpec::default(),
         iterations: rounds,
         record_risk: false,
         seed,

@@ -21,8 +21,8 @@
 use crate::report::{f1, f3, Table};
 use bcc_cluster::UnitMap;
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
-    PolicySpec,
+    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
+    OptimizerSpec, PolicySpec,
 };
 use bcc_data::synthetic::{generate, SyntheticConfig};
 use bcc_optim::{GradScratch, LogisticLoss, Loss};
@@ -126,6 +126,7 @@ impl EngineBenchConfig {
                 loss: LossSpec::Logistic,
                 optimizer: OptimizerSpec::FixedPoint,
                 policy: PolicySpec::default(),
+                mode: ModeSpec::default(),
                 iterations: self.rounds,
                 record_risk: false,
                 seed: self.seed,

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod engine_bench;
 pub mod fig2;
 pub mod fig5;
+pub mod modes;
 pub mod net_bench;
 pub mod policy_sweep;
 pub mod scale;

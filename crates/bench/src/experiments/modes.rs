@@ -1,0 +1,521 @@
+//! The training-mode grid: mode × scheme × straggler model — the data
+//! behind `BENCH_modes.json`.
+//!
+//! The paper's driver is bulk-synchronous: every gradient step waits for
+//! the decodable prefix of one coded round. The
+//! [mode layer](bcc_cluster::mode) opens the orthogonal axis — *when* an
+//! update may be applied: `ssgd` (the paper), `ssp` (bounded staleness),
+//! `asgd` (fully asynchronous), and `local-sgd` (communication-avoiding
+//! local steps). This grid trains the same logistic model under every
+//! builtin mode, across heavy-tail and bimodal straggler regimes, and
+//! reports per cell the **risk-vs-wallclock tradeoff**: simulated
+//! wallclock (overlapped makespan for the stale modes, barrier sum for
+//! local SGD), final empirical risk, and the staleness actually incurred.
+//!
+//! Every cell is an independent seeded [`Experiment`] on the virtual
+//! backend (all times are deterministic simulated seconds), fanned over a
+//! crossbeam pool exactly like the
+//! [policy sweep](super::policy_sweep), and each cell's resolved
+//! [`ExperimentSpec`] is written under `experiments/modes/` — any cell
+//! replays standalone via `repro scenario`.
+
+use crate::report::{f1, f3, Table};
+use bcc_core::experiment::{
+    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
+    OptimizerSpec, PolicySpec,
+};
+use bcc_core::schemes::SchemeConfig;
+use bcc_optim::LearningRate;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configuration of one training-mode grid run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModesConfig {
+    /// Number of workers `n`.
+    pub workers: usize,
+    /// Number of coding units `m`.
+    pub units: usize,
+    /// Data points per unit.
+    pub points_per_unit: usize,
+    /// Feature dimension.
+    pub dim: usize,
+    /// Computational load for the coded schemes.
+    pub r: usize,
+    /// Gradient iterations per cell (for `local-sgd` these are *local*
+    /// steps; the sync-round count is `iterations / local_steps`).
+    pub iterations: usize,
+    /// Staleness bound of the `ssp` column.
+    pub staleness: usize,
+    /// Local steps per sync of the `local-sgd` column.
+    pub local_steps: usize,
+    /// Constant learning rate (plain gradient descent — the one optimizer
+    /// every mode supports, so the comparison isolates the schedule).
+    pub rate: f64,
+    /// Cell seed.
+    pub seed: u64,
+    /// Worker threads for the cell pool (`0` ⇒ available parallelism).
+    pub threads: usize,
+}
+
+impl ModesConfig {
+    /// Default: scenario-one sized, 40 gradient iterations per cell.
+    ///
+    /// `staleness = 4` keeps SSP's window well under the iteration count;
+    /// `local_steps = 4` gives local SGD a 4× communication reduction —
+    /// both small enough that the stale/averaged gradients stay close to
+    /// the synchronous trajectory.
+    #[must_use]
+    pub fn default_config() -> Self {
+        Self {
+            workers: 50,
+            units: 50,
+            points_per_unit: 20,
+            dim: 32,
+            r: 10,
+            iterations: 40,
+            staleness: 4,
+            local_steps: 4,
+            rate: 0.2,
+            seed: 2024,
+            threads: 0,
+        }
+    }
+
+    /// Smoke configuration: full mode × scheme × model grid, trimmed data
+    /// and iteration counts (what CI-adjacent smoke runs use).
+    #[must_use]
+    pub fn fast() -> Self {
+        Self {
+            points_per_unit: 5,
+            iterations: 12,
+            ..Self::default_config()
+        }
+    }
+
+    /// The straggler models this grid crosses — the two regimes where
+    /// round-overlap pays: the heavy tail (rare order-of-magnitude
+    /// stragglers) and the bimodal cluster with a persistently slow
+    /// subset, both calibrated like the
+    /// [straggler sweep](super::sweep::SweepConfig::model_zoo)'s members.
+    #[must_use]
+    pub fn models(&self) -> Vec<(&'static str, LatencySpec)> {
+        let (per_message_overhead, per_unit) = (0.002, 0.004);
+        vec![
+            (
+                "pareto",
+                LatencySpec::Pareto {
+                    shape: 1.5,
+                    scale: 0.0015,
+                    per_message_overhead,
+                    per_unit,
+                },
+            ),
+            (
+                "bimodal",
+                LatencySpec::Bimodal {
+                    mu: 1000.0,
+                    a: 0.001,
+                    slow_workers: (self.workers / 10).max(1),
+                    slow_probability: 0.3,
+                    slowdown: 8.0,
+                    per_message_overhead,
+                    per_unit,
+                },
+            ),
+        ]
+    }
+
+    /// The schemes this grid crosses — the paper's comparison triple.
+    #[must_use]
+    pub fn schemes(&self) -> Vec<SchemeConfig> {
+        vec![
+            SchemeConfig::Uncoded,
+            SchemeConfig::Bcc { r: self.r },
+            SchemeConfig::FractionalRepetition { r: self.r },
+        ]
+    }
+
+    /// The mode columns: every builtin, parameterized from the config.
+    #[must_use]
+    pub fn modes(&self) -> Vec<ModeSpec> {
+        vec![
+            ModeSpec::default(),
+            ModeSpec::ssp(self.staleness),
+            ModeSpec::named("asgd"),
+            ModeSpec::local_sgd(self.local_steps),
+        ]
+    }
+
+    /// The full cell grid in row order: model-major, then scheme, then
+    /// mode. Each entry is `(cell name, resolved spec)`; the name doubles
+    /// as the per-cell spec-file stem.
+    #[must_use]
+    pub fn cells(&self) -> Vec<(String, ExperimentSpec)> {
+        let mut cells = Vec::new();
+        for (model, latency) in self.models() {
+            for scheme in self.schemes() {
+                for mode in self.modes() {
+                    let name = format!("{model}_{}_{}", scheme.name(), mode.name);
+                    let spec = ExperimentSpec {
+                        name: format!("modes / {model} / {} / {}", scheme.name(), mode.name),
+                        workers: self.workers,
+                        units: self.units,
+                        scheme: scheme.spec(),
+                        data: DataSpec::synthetic(self.points_per_unit, self.dim),
+                        latency: latency.clone(),
+                        backend: BackendSpec::Virtual,
+                        loss: LossSpec::Logistic,
+                        optimizer: OptimizerSpec::GradientDescent {
+                            rate: LearningRate::Constant(self.rate),
+                        },
+                        policy: PolicySpec::default(),
+                        mode: mode.clone(),
+                        iterations: self.iterations,
+                        record_risk: true,
+                        seed: self.seed,
+                    };
+                    cells.push((name, spec));
+                }
+            }
+        }
+        cells
+    }
+}
+
+/// One (model × scheme × mode) cell's aggregated measurements.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModeCellRow {
+    /// Straggler-model name.
+    pub model: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Training-mode name.
+    pub mode: String,
+    /// Coded rounds measured (sync rounds for `local-sgd`, gradient
+    /// updates otherwise).
+    pub rounds: usize,
+    /// Simulated wallclock of the run — overlapped makespan under
+    /// SSP/ASGD, barrier sum under local SGD, round-time sum under `ssgd`.
+    /// The wallclock axis of the tradeoff.
+    pub simulated_seconds: f64,
+    /// Sum of per-round service times (`= simulated_seconds` only for the
+    /// synchronous mode; the stale modes overlap rounds below this).
+    pub total_round_time: f64,
+    /// Mean messages consumed per round (empirical `K`).
+    pub avg_messages_used: f64,
+    /// Mean staleness of the applied updates (rounds merged after this
+    /// one's broadcast; `0.0` under `ssgd` and `local-sgd`).
+    pub mean_staleness: f64,
+    /// Worst staleness incurred (`≤` the SSP bound by construction).
+    pub max_staleness: usize,
+    /// Mean `‖ĝ − g‖₂` at the application point over the stale rounds
+    /// (`0.0` when every update was fresh and exact).
+    pub mean_gradient_error: f64,
+    /// Final empirical risk after training — the risk axis of the
+    /// tradeoff.
+    pub final_risk: f64,
+    /// Host wall-clock seconds for the cell's round loop.
+    pub wall_seconds: f64,
+}
+
+/// The full grid result (serialized to `BENCH_modes.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModesResult {
+    /// Schema tag for downstream tooling.
+    pub schema: String,
+    /// Backend measured.
+    pub backend: String,
+    /// The configuration measured.
+    pub config: ModesConfig,
+    /// Worker threads the cell pool actually used.
+    pub threads_used: usize,
+    /// One row per cell, in grid order (model-major, then scheme, then
+    /// mode).
+    pub rows: Vec<ModeCellRow>,
+}
+
+impl ModesResult {
+    /// Row lookup by `(model, scheme, mode)`.
+    #[must_use]
+    pub fn row(&self, model: &str, scheme: &str, mode: &str) -> Option<&ModeCellRow> {
+        self.rows
+            .iter()
+            .find(|r| r.model == model && r.scheme == scheme && r.mode == mode)
+    }
+
+    /// The cells where a non-synchronous mode beat `ssgd` on simulated
+    /// wallclock **at equal-or-better final risk** (within `risk_slack`,
+    /// e.g. `0.01` for 1 %): the grid's headline claim. Returns
+    /// `(model, scheme, mode, wallclock speedup)` tuples.
+    #[must_use]
+    pub fn wins_over_ssgd(&self, risk_slack: f64) -> Vec<(String, String, String, f64)> {
+        let mut wins = Vec::new();
+        for row in &self.rows {
+            if row.mode == ModeSpec::DEFAULT_NAME {
+                continue;
+            }
+            let Some(base) = self.row(&row.model, &row.scheme, ModeSpec::DEFAULT_NAME) else {
+                continue;
+            };
+            if row.simulated_seconds < base.simulated_seconds
+                && row.final_risk <= base.final_risk * (1.0 + risk_slack)
+            {
+                wins.push((
+                    row.model.clone(),
+                    row.scheme.clone(),
+                    row.mode.clone(),
+                    base.simulated_seconds / row.simulated_seconds,
+                ));
+            }
+        }
+        wins
+    }
+}
+
+/// Runs one cell: build the experiment, train under the cell's mode,
+/// reduce the per-round samples to the cell row.
+fn run_cell(model: &str, mode: &str, spec: &ExperimentSpec) -> ModeCellRow {
+    let report = Experiment::from_spec(spec.clone())
+        .expect("mode cells are structurally valid")
+        .run()
+        .expect("mode cells complete every round (no dead workers)");
+    let rounds = report.round_samples.len();
+    let staleness: Vec<usize> = report.round_samples.iter().map(|s| s.staleness).collect();
+    let mean_staleness = staleness.iter().sum::<usize>() as f64 / rounds.max(1) as f64;
+    let errors: Vec<f64> = report
+        .round_samples
+        .iter()
+        .filter_map(|s| s.gradient_error)
+        .collect();
+    let mean_gradient_error = if errors.is_empty() {
+        0.0
+    } else {
+        errors.iter().sum::<f64>() / errors.len() as f64
+    };
+    ModeCellRow {
+        model: model.to_string(),
+        scheme: report.scheme,
+        mode: mode.to_string(),
+        rounds,
+        simulated_seconds: report.simulated_seconds,
+        total_round_time: report.metrics.total_time,
+        avg_messages_used: report.metrics.avg_recovery_threshold(),
+        mean_staleness,
+        max_staleness: staleness.iter().copied().max().unwrap_or(0),
+        mean_gradient_error,
+        final_risk: report.trace.final_risk().unwrap_or(f64::NAN),
+        wall_seconds: report.wall_seconds,
+    }
+}
+
+/// Runs the whole grid across a scoped worker pool (one atomic work
+/// index; results re-sorted into grid order, so the output is identical
+/// for any thread count).
+///
+/// # Panics
+/// Panics when a cell fails to build or complete (the grid keeps every
+/// worker alive, and every mode is validated against the config).
+#[must_use]
+pub fn run(config: &ModesConfig) -> ModesResult {
+    let cells = config.cells();
+    let threads = if config.threads == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+    } else {
+        config.threads
+    }
+    .min(cells.len())
+    .max(1);
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = crossbeam_channel::unbounded::<(usize, ModeCellRow)>();
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, cells) = (&next, &cells);
+            scope.spawn(move |_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some((_, spec)) = cells.get(i) else { break };
+                let row = run_cell(spec.latency.model_name(), &spec.mode.name, spec);
+                if tx.send((i, row)).is_err() {
+                    break;
+                }
+            });
+        }
+    })
+    .expect("modes-grid worker panicked");
+    drop(tx);
+
+    let mut indexed: Vec<(usize, ModeCellRow)> = Vec::with_capacity(cells.len());
+    while let Ok(pair) = rx.try_recv() {
+        indexed.push(pair);
+    }
+    indexed.sort_by_key(|(i, _)| *i);
+    assert_eq!(indexed.len(), cells.len(), "every cell must report");
+
+    ModesResult {
+        schema: "bcc/bench_modes/v1".into(),
+        backend: "virtual-des".into(),
+        config: config.clone(),
+        threads_used: threads,
+        rows: indexed.into_iter().map(|(_, row)| row).collect(),
+    }
+}
+
+/// Renders the grid as a console table — each (model, scheme) block reads
+/// as one risk-vs-wallclock curve across the mode column.
+#[must_use]
+pub fn render(result: &ModesResult) -> Table {
+    let mut t = Table::new(
+        format!(
+            "training modes — {} workers, {} iterations/cell, {} threads",
+            result.config.workers, result.config.iterations, result.threads_used
+        ),
+        &[
+            "model",
+            "scheme",
+            "mode",
+            "rounds",
+            "K (msgs)",
+            "staleness",
+            "grad err",
+            "wallclock s",
+            "vs ssgd",
+            "final risk",
+        ],
+    );
+    for row in &result.rows {
+        let speedup = result
+            .row(&row.model, &row.scheme, ModeSpec::DEFAULT_NAME)
+            .map_or_else(
+                || "-".into(),
+                |base| format!("{:.2}x", base.simulated_seconds / row.simulated_seconds),
+            );
+        t.push_row(vec![
+            row.model.clone(),
+            row.scheme.clone(),
+            row.mode.clone(),
+            row.rounds.to_string(),
+            f1(row.avg_messages_used),
+            format!("{:.2}/{}", row.mean_staleness, row.max_staleness),
+            format!("{:.2e}", row.mean_gradient_error),
+            f3(row.simulated_seconds),
+            speedup,
+            format!("{:.4}", row.final_risk),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> ModesConfig {
+        ModesConfig {
+            workers: 10,
+            units: 10,
+            points_per_unit: 3,
+            dim: 4,
+            r: 2,
+            iterations: 8,
+            staleness: 2,
+            local_steps: 2,
+            rate: 0.2,
+            seed: 5,
+            threads: 2,
+        }
+    }
+
+    #[test]
+    fn grid_covers_models_times_schemes_times_modes() {
+        let cfg = tiny();
+        let result = run(&cfg);
+        assert_eq!(
+            result.rows.len(),
+            2 * 3 * 4,
+            "2 models × 3 schemes × 4 modes"
+        );
+        for row in &result.rows {
+            assert!(row.simulated_seconds > 0.0);
+            assert!(row.final_risk.is_finite());
+            match row.mode.as_str() {
+                "local-sgd" => assert_eq!(row.rounds, cfg.iterations / cfg.local_steps),
+                _ => assert_eq!(row.rounds, cfg.iterations),
+            }
+        }
+        for mode in ["ssgd", "ssp", "asgd", "local-sgd"] {
+            assert!(result.rows.iter().any(|r| r.mode == mode), "{mode}");
+        }
+        assert_eq!(render(&result).len(), result.rows.len());
+    }
+
+    #[test]
+    fn synchronous_cells_are_fresh_and_stale_cells_are_bounded() {
+        let cfg = tiny();
+        let result = run(&cfg);
+        for row in &result.rows {
+            match row.mode.as_str() {
+                "ssgd" | "local-sgd" => {
+                    assert_eq!(row.max_staleness, 0, "{}/{}", row.model, row.scheme);
+                    assert_eq!(row.mean_gradient_error, 0.0);
+                    // Synchronous wallclock is exactly the round-time sum.
+                    if row.mode == "ssgd" {
+                        assert_eq!(
+                            row.simulated_seconds.to_bits(),
+                            row.total_round_time.to_bits()
+                        );
+                    }
+                }
+                "ssp" => assert!(
+                    row.max_staleness <= cfg.staleness,
+                    "{}/{}: SSP staleness {} over bound {}",
+                    row.model,
+                    row.scheme,
+                    row.max_staleness,
+                    cfg.staleness
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn overlap_beats_synchronous_rounds_at_matched_risk() {
+        // The grid's headline claim (and the PR's acceptance bar): in at
+        // least two heavy-tail/bimodal cells, SSP or LocalSGD finishes
+        // faster than SSGD at equal-or-better final risk (1 % slack).
+        let result = run(&tiny());
+        let wins = result.wins_over_ssgd(0.01);
+        let overlap: Vec<_> = wins
+            .iter()
+            .filter(|(_, _, mode, _)| mode == "ssp" || mode == "local-sgd")
+            .collect();
+        assert!(
+            overlap.len() >= 2,
+            "need ≥ 2 SSP/LocalSGD wins over ssgd, got {wins:?}"
+        );
+        for (_, _, _, speedup) in &overlap {
+            assert!(*speedup > 1.0);
+        }
+    }
+
+    #[test]
+    fn results_are_thread_count_invariant() {
+        let strip = |mut rows: Vec<ModeCellRow>| {
+            for row in &mut rows {
+                row.wall_seconds = 0.0;
+            }
+            rows
+        };
+        let serial = run(&ModesConfig {
+            threads: 1,
+            ..tiny()
+        });
+        let parallel = run(&ModesConfig {
+            threads: 4,
+            ..tiny()
+        });
+        assert_eq!(strip(serial.rows), strip(parallel.rows));
+    }
+}

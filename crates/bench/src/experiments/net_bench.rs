@@ -31,8 +31,8 @@
 use crate::report::{f1, f3, Table};
 use bcc_cluster::backend::FixedPointDriver;
 use bcc_cluster::{
-    straggler, BestEffortAll, ClusterBackend, ClusterProfile, CommModel, RoundOutcome,
-    StragglerModel, UnitMap, VirtualCluster, WanLinkModel, WorkerProfile,
+    straggler, BackendConfig, BestEffortAll, ClusterBackend, ClusterProfile, CommModel,
+    RoundOutcome, StragglerModel, UnitMap, VirtualCluster, WanLinkModel, WorkerProfile,
 };
 use bcc_coding::{BccScheme, GradientCodingScheme, UncodedScheme};
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -326,12 +326,14 @@ fn run_net_cell(
     weights: &[f64],
     pipelined: bool,
 ) -> NetRun {
-    let mut net = LocalNetCluster::new(profile.clone(), cfg.seed, cfg.time_scale)
-        .with_pipelining(pipelined)
-        .with_straggler_model(Arc::clone(model));
+    let mut config = BackendConfig::new()
+        .pipelining(pipelined)
+        .straggler_model(Arc::clone(model));
     if cell.policy == "best-effort-all" {
-        net = net.with_aggregation_policy(Arc::new(BestEffortAll));
+        config = config.aggregation_policy(Arc::new(BestEffortAll));
     }
+    let mut net =
+        LocalNetCluster::new(profile.clone(), cfg.seed, cfg.time_scale).configured(config);
     if let Some((worker, round)) = cell.fail_at {
         net.fail_worker_at(worker, round);
     }
@@ -409,11 +411,11 @@ pub fn run(cfg: &NetBenchConfig) -> NetBenchResult {
             true,
         );
 
-        let mut virt =
-            VirtualCluster::new(profile.clone(), cfg.seed).with_straggler_model(Arc::clone(model));
+        let mut config = BackendConfig::new().straggler_model(Arc::clone(model));
         if cell.policy == "best-effort-all" {
-            virt = virt.with_aggregation_policy(Arc::new(BestEffortAll));
+            config = config.aggregation_policy(Arc::new(BestEffortAll));
         }
+        let mut virt = VirtualCluster::new(profile.clone(), cfg.seed).configured(config);
         if let Some((worker, _)) = cell.fail_at {
             // The virtual twin has no mid-round socket to drop; killing
             // the worker up front yields the same per-round message sets

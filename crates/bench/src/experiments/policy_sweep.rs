@@ -19,8 +19,8 @@
 
 use crate::report::{f1, f3, Table};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
-    PolicySpec,
+    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
+    OptimizerSpec, PolicySpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use bcc_stats::summary::quantile;
@@ -151,6 +151,7 @@ impl PolicySweepConfig {
                         loss: LossSpec::Logistic,
                         optimizer: OptimizerSpec::nesterov(0.5),
                         policy: policy.clone(),
+                        mode: ModeSpec::default(),
                         iterations: self.iterations,
                         record_risk: true,
                         seed: self.seed,

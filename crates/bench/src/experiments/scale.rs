@@ -37,8 +37,8 @@ use crate::report::{f1, Table};
 use bcc_cluster::{DecodePool, Minibatch, StreamedContext, UnitMap, UnitSelection};
 use bcc_coding::{CyclicRepetitionScheme, GradientCodingScheme, Payload};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
-    PolicySpec,
+    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
+    OptimizerSpec, PolicySpec,
 };
 use bcc_data::synthetic::SyntheticConfig;
 use bcc_data::ChunkedDataset;
@@ -199,6 +199,7 @@ impl ScaleGrid {
             loss: LossSpec::Logistic,
             optimizer: OptimizerSpec::FixedPoint,
             policy: PolicySpec::default(),
+            mode: ModeSpec::default(),
             iterations: self.rounds,
             record_risk: false,
             seed: self.seed,

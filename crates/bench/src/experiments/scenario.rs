@@ -11,7 +11,7 @@
 use crate::report::{f1, f3, Table};
 use bcc_core::experiment::{
     BackendSpec, DataSpec, Experiment, ExperimentReport, ExperimentSpec, LatencySpec, LossSpec,
-    OptimizerSpec, PolicySpec,
+    ModeSpec, OptimizerSpec, PolicySpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use serde::{Deserialize, Serialize};
@@ -105,6 +105,7 @@ impl ScenarioConfig {
             loss: LossSpec::Logistic,
             optimizer: OptimizerSpec::nesterov(0.5),
             policy: PolicySpec::default(),
+            mode: ModeSpec::default(),
             iterations: self.iterations,
             record_risk,
             seed: self.seed,

@@ -20,8 +20,8 @@
 
 use crate::report::{f1, Table};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec,
-    PolicySpec,
+    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
+    OptimizerSpec, PolicySpec,
 };
 use bcc_stats::summary::quantile;
 use serde::{Deserialize, Serialize};
@@ -158,6 +158,7 @@ impl SweepConfig {
                         loss: LossSpec::Logistic,
                         optimizer: OptimizerSpec::FixedPoint,
                         policy: PolicySpec::default(),
+                        mode: ModeSpec::default(),
                         iterations: self.rounds,
                         record_risk: false,
                         seed,

@@ -23,6 +23,7 @@
 //! vectorization, an accidental per-round allocation, a dropped cache).
 
 use crate::experiments::engine_bench::{EngineBenchResult, GradientKernelResult};
+use crate::experiments::modes::ModesResult;
 use crate::experiments::net_bench::NetBenchResult;
 use crate::experiments::policy_sweep::PolicySweepResult;
 use crate::experiments::scale::ScaleBenchResult;
@@ -229,6 +230,48 @@ pub fn compare_policy(
         .collect()
 }
 
+/// Compares two training-mode grid results per cell
+/// (`simulated_seconds` — deterministic on the virtual backend, so any
+/// drift is a *schedule-behaviour* change, not host noise: a regressed
+/// entry means the mode's overlap algebra, merge order, or latency
+/// sampling changed).
+///
+/// # Errors
+/// A readable message when the configs differ or a baseline cell is
+/// missing from the current measurement.
+pub fn compare_modes(
+    baseline: &ModesResult,
+    current: &ModesResult,
+    max_slowdown: f64,
+) -> Result<Vec<GateEntry>, String> {
+    if baseline.config != current.config {
+        return Err(format!(
+            "modes: baseline and current configs differ — baseline {:?} vs current {:?}; \
+             measure with the same configuration (did one side run --fast?)",
+            baseline.config, current.config
+        ));
+    }
+    baseline
+        .rows
+        .iter()
+        .map(|b| {
+            let c = current.row(&b.model, &b.scheme, &b.mode).ok_or_else(|| {
+                format!(
+                    "modes: cell `{}/{}/{}` missing from current measurement",
+                    b.model, b.scheme, b.mode
+                )
+            })?;
+            entry(
+                "modes",
+                format!("{}/{}/{} simulated s", b.model, b.scheme, b.mode),
+                b.simulated_seconds,
+                c.simulated_seconds,
+                max_slowdown,
+            )
+        })
+        .collect()
+}
+
 /// Compares two scale-benchmark results per grid cell
 /// (`simulated_seconds_per_round` — deterministic on the virtual backend,
 /// so any drift is a behaviour change, not host noise).
@@ -380,6 +423,11 @@ pub fn run(
         entries.extend(compare_policy(&baseline, &current, max_slowdown)?);
     }
     {
+        let baseline: ModesResult = read_json(&baseline_dir.join("BENCH_modes.json"))?;
+        let current: ModesResult = read_json(&current_dir.join("BENCH_modes.json"))?;
+        entries.extend(compare_modes(&baseline, &current, max_slowdown)?);
+    }
+    {
         let baseline: ScaleBenchResult = read_json(&baseline_dir.join("BENCH_scale.json"))?;
         let current: ScaleBenchResult = read_json(&current_dir.join("BENCH_scale.json"))?;
         entries.extend(compare_scale(&baseline, &current, max_slowdown)?);
@@ -512,6 +560,30 @@ mod tests {
         }
     }
 
+    fn modes_result(sim: f64) -> ModesResult {
+        use crate::experiments::modes::{ModeCellRow, ModesConfig};
+        ModesResult {
+            schema: "bcc/bench_modes/v1".into(),
+            backend: "virtual-des".into(),
+            config: ModesConfig::default_config(),
+            threads_used: 1,
+            rows: vec![ModeCellRow {
+                model: "pareto".into(),
+                scheme: "bcc".into(),
+                mode: "ssp".into(),
+                rounds: 40,
+                simulated_seconds: sim,
+                total_round_time: 1.4 * sim,
+                avg_messages_used: 11.0,
+                mean_staleness: 0.8,
+                max_staleness: 3,
+                mean_gradient_error: 0.02,
+                final_risk: 0.2,
+                wall_seconds: 0.01,
+            }],
+        }
+    }
+
     fn net_result(avg_messages: f64) -> NetBenchResult {
         use crate::experiments::net_bench::{NetBenchConfig, NetCellRow};
         NetBenchResult {
@@ -622,6 +694,7 @@ mod tests {
                      engine: &EngineBenchResult,
                      kernel: &GradientKernelResult,
                      policy: &PolicySweepResult,
+                     modes: &ModesResult,
                      scale: &ScaleBenchResult,
                      net: &NetBenchResult| {
             std::fs::write(
@@ -640,6 +713,11 @@ mod tests {
             )
             .unwrap();
             std::fs::write(
+                dir.join("BENCH_modes.json"),
+                serde_json::to_string_pretty(modes).unwrap(),
+            )
+            .unwrap();
+            std::fs::write(
                 dir.join("BENCH_scale.json"),
                 serde_json::to_string_pretty(scale).unwrap(),
             )
@@ -655,6 +733,7 @@ mod tests {
             &engine_result(1e-5),
             &kernel_result(1000.0),
             &policy_result(0.2),
+            &modes_result(2.0),
             &scale_result(0.3),
             &net_result(6.0),
         );
@@ -665,12 +744,13 @@ mod tests {
             &engine_result(1.1e-5),
             &kernel_result(1600.0),
             &policy_result(0.2),
+            &modes_result(2.0),
             &scale_result(0.3),
             &net_result(6.0),
         );
 
         let report = run(&baseline_dir, &current_dir, 1.5).unwrap();
-        assert_eq!(report.entries.len(), 5);
+        assert_eq!(report.entries.len(), 6);
         assert!(!report.passed());
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
@@ -773,6 +853,25 @@ mod tests {
             err.contains("no longer reproduces the serial path"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn modes_drift_fails_the_gate() {
+        // Simulated wallclock is deterministic on the virtual backend:
+        // drift beyond the threshold is a schedule-behaviour change.
+        let entries = compare_modes(&modes_result(2.0), &modes_result(3.5), 1.5).unwrap();
+        assert!(!entries[0].ok);
+        assert!(entries[0].entry.contains("pareto/bcc/ssp"));
+        let missing = ModesResult {
+            rows: Vec::new(),
+            ..modes_result(2.0)
+        };
+        let err = compare_modes(&modes_result(2.0), &missing, 1.5).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        let mut other_cfg = modes_result(2.0);
+        other_cfg.config.iterations = 10; // e.g. baseline full, current --fast
+        let err = compare_modes(&modes_result(2.0), &other_cfg, 1.5).unwrap_err();
+        assert!(err.contains("configs differ"), "{err}");
     }
 
     #[test]

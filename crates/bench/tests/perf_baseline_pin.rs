@@ -90,6 +90,50 @@ fn sweep_artifact_shifted_exp_cells_replay_byte_identically() {
     assert_eq!(checked, 3, "one cell per paper scheme");
 }
 
+/// The committed training-mode grid replays from its own config: one cell
+/// per builtin mode, pinning the simulated wallclock (overlapped makespan
+/// for the stale modes) and final risk bit-for-bit. Any drift is a change
+/// in the mode schedule algebra itself — exactly what the artifact exists
+/// to fossilize.
+#[test]
+fn modes_artifact_cells_replay_byte_identically() {
+    use bcc_bench::experiments::modes::ModesResult;
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_modes.json");
+    let body = std::fs::read_to_string(path).expect("artifact is checked in");
+    let artifact: ModesResult = serde_json::from_str(&body).expect("artifact parses");
+
+    // One cell per builtin mode keeps the debug-mode cost modest; the
+    // uncoded/local-sgd cell exercises the shard-averaging path.
+    for (model, scheme, mode) in [
+        ("pareto", "bcc", "ssgd"),
+        ("pareto", "bcc", "ssp"),
+        ("bimodal", "bcc", "asgd"),
+        ("bimodal", "uncoded", "local-sgd"),
+    ] {
+        let (name, spec) = artifact
+            .config
+            .cells()
+            .into_iter()
+            .find(|(name, _)| name == &format!("{model}_{scheme}_{mode}"))
+            .expect("cell in grid");
+        let report = Experiment::from_spec(spec)
+            .expect("mode cell builds")
+            .run()
+            .expect("mode cell completes");
+        let row = artifact.row(model, scheme, mode).expect("row present");
+        assert_eq!(
+            report.simulated_seconds.to_bits(),
+            row.simulated_seconds.to_bits(),
+            "{name}: simulated wallclock drifted"
+        );
+        assert_eq!(
+            report.trace.final_risk().expect("risk recorded").to_bits(),
+            row.final_risk.to_bits(),
+            "{name}: final risk drifted"
+        );
+    }
+}
+
 /// The committed networked-backend artifact replays from its own config:
 /// the simulated metrics (messages per round, communication units) and the
 /// cross-backend equivalence flag are deterministic on the staircase

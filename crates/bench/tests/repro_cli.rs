@@ -112,6 +112,7 @@ fn gate_exit_code_tracks_the_verdict() {
         "BENCH_round_engine.json",
         "BENCH_gradient_kernel.json",
         "BENCH_policy_tradeoff.json",
+        "BENCH_modes.json",
         "BENCH_scale.json",
         "BENCH_net.json",
     ] {
@@ -178,6 +179,11 @@ fn list_enumerates_schemes_models_and_policies() {
         "fastest-k",
         "deadline",
         "best-effort-all",
+        "ssgd",
+        "ssp",
+        "asgd",
+        "local-sgd",
+        "training modes",
         "Batched Coupon's Collector",
         "in-memory",
         "chunked",
@@ -285,6 +291,66 @@ fn unknown_backend_in_spec_file_is_a_readable_error() {
     assert!(
         err.contains("Virtual, Threaded, Tcp"),
         "stderr must list the valid backends: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_mode_in_spec_file_is_a_readable_error() {
+    // The bare-string form validates at parse time: a typo'd mode name is
+    // a spec error (usage exit code) naming every valid variant.
+    let dir = scratch("mode");
+    let spec = dir.join("bad_mode.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "uncoded", "mode": "hogwild", "iterations": 2}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown mode is a spec error (usage exit code): {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown mode") && err.contains("hogwild"),
+        "stderr must name the bad mode: {err}"
+    );
+    assert!(
+        err.contains("ssgd, ssp, asgd, local-sgd"),
+        "stderr must list the valid modes: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn invalid_mode_parameter_in_spec_file_is_a_readable_error() {
+    // Object form passes parsing (custom registrations stay reachable) but
+    // a zero staleness bound must fail the build with the field named.
+    let dir = scratch("mode_param");
+    let spec = dir.join("zero_staleness.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "uncoded", "iterations": 2,
+            "mode": {"name": "ssp", "staleness": 0}}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert!(
+        !out.status.success(),
+        "zero staleness must fail the run: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("mode.staleness"),
+        "stderr must name the bad field: {err}"
     );
     assert!(!err.contains("panicked"), "must not panic: {err}");
     std::fs::remove_dir_all(&dir).unwrap();

@@ -53,7 +53,9 @@ impl RoundOutcome {
     /// The per-round observable sample for this outcome;
     /// `gradient_error` is the caller-computed `‖ĝ − g‖₂` of the mean
     /// gradient (`None` when not measured — exact rounds have none to
-    /// measure).
+    /// measure). `staleness` starts at `0` (synchronous application); the
+    /// stale-mode drivers overwrite it with the realized per-update
+    /// staleness at merge time.
     #[must_use]
     pub fn sample(&self, gradient_error: Option<f64>) -> RoundSample {
         RoundSample {
@@ -63,6 +65,7 @@ impl RoundOutcome {
             total_units: self.coverage.total_units,
             exact: self.exact,
             gradient_error,
+            staleness: 0,
         }
     }
 }

@@ -29,6 +29,7 @@
 #![warn(missing_docs)]
 
 pub mod backend;
+pub mod config;
 pub mod decode;
 pub mod engine;
 pub mod error;
@@ -36,6 +37,7 @@ pub mod latency;
 pub mod message;
 pub mod metrics;
 pub mod minibatch;
+pub mod mode;
 pub mod observer;
 pub mod packed;
 pub mod policy;
@@ -47,6 +49,7 @@ pub mod virtual_cluster;
 pub mod wire;
 
 pub use backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
+pub use config::BackendConfig;
 pub use decode::DecodePool;
 pub use engine::{Arrival, ArrivalEvent, ArrivalSource, RoundEngine};
 pub use error::ClusterError;
@@ -54,6 +57,7 @@ pub use latency::{ClusterProfile, CommModel, WorkerProfile};
 pub use message::Envelope;
 pub use metrics::{RoundMetrics, RoundSample, RunMetrics};
 pub use minibatch::{Minibatch, UnitSelection};
+pub use mode::{Asgd, LocalSgd, ModeSchedule, OffsetModel, OffsetTable, Ssgd, Ssp, TrainingMode};
 pub use observer::{EventLog, NullObserver, RoundEvent, RoundObserver, SharedObserver};
 pub use packed::WorkerBlocks;
 pub use policy::{

@@ -36,7 +36,7 @@ impl RoundMetrics {
 /// of round time, per-round message counts, coverage and gradient quality
 /// under approximate aggregation policies) — what [`RunMetrics`] sums
 /// away. One per round, in round order.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct RoundSample {
     /// Wall/virtual-clock duration of the round.
     pub total_time: f64,
@@ -52,6 +52,33 @@ pub struct RoundSample {
     /// `Some` only when the driver measured it (non-exact rounds), `None`
     /// otherwise (exact rounds have zero error by construction).
     pub gradient_error: Option<f64>,
+    /// How many optimizer updates were merged between this update's
+    /// broadcast and its application — `0` under synchronous training,
+    /// positive under the stale modes (SSP/ASGD), where it is the realized
+    /// staleness of the round's gradient.
+    pub staleness: usize,
+}
+
+// Manual impl so pre-mode sample dumps (no `staleness` key) keep
+// deserializing: the shim's derive errors on absent fields.
+impl Deserialize for RoundSample {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            total_time: Deserialize::from_value(v.field("total_time")?)?,
+            messages_used: Deserialize::from_value(v.field("messages_used")?)?,
+            covered_units: Deserialize::from_value(v.field("covered_units")?)?,
+            total_units: Deserialize::from_value(v.field("total_units")?)?,
+            exact: Deserialize::from_value(v.field("exact")?)?,
+            gradient_error: match v.get("gradient_error") {
+                None | Some(serde::Value::Null) => None,
+                Some(inner) => Some(Deserialize::from_value(inner)?),
+            },
+            staleness: match v.get("staleness") {
+                None | Some(serde::Value::Null) => 0,
+                Some(inner) => Deserialize::from_value(inner)?,
+            },
+        })
+    }
 }
 
 impl RoundSample {

@@ -22,6 +22,7 @@
 //! `n` threads per iteration.
 
 use crate::backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
+use crate::config::BackendConfig;
 use crate::decode::DecodePool;
 use crate::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
@@ -91,11 +92,39 @@ impl ThreadedCluster {
         }
     }
 
+    /// Applies every [`BackendConfig`] knob this backend implements:
+    /// latency model, aggregation policy, observer, decode pool, minibatch
+    /// sampler, and receive timeout. TCP-only knobs (heartbeat/connect
+    /// timeouts, pipelining, job, auth token) are ignored.
+    #[must_use]
+    pub fn configured(mut self, config: BackendConfig) -> Self {
+        if let Some(model) = config.straggler_model {
+            self.model = model;
+        }
+        if let Some(policy) = config.aggregation_policy {
+            self.policy = policy;
+        }
+        if let Some(observer) = config.observer {
+            self.observer = Some(observer);
+        }
+        if let Some(pool) = config.decode_pool {
+            self.decode_pool = pool;
+        }
+        if let Some(minibatch) = config.minibatch {
+            self.minibatch = Some(minibatch);
+        }
+        if let Some(timeout) = config.recv_timeout {
+            self.recv_timeout = timeout;
+        }
+        self
+    }
+
     /// Installs a per-round unit-subset sampler: each round trains on a
     /// sampled minibatch instead of the full partition (see
     /// [`crate::minibatch`]). Worker threads derive each round's selection
     /// locally from the sampler seed — nothing extra goes over the wire.
     /// `None` restores full-partition rounds.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_minibatch(mut self, minibatch: Option<Minibatch>) -> Self {
         self.minibatch = minibatch;
@@ -105,6 +134,7 @@ impl ThreadedCluster {
     /// Overrides the master's decode/aggregate thread budget (default:
     /// all available cores). Bit-identical results at any setting — see
     /// [`crate::decode`]'s determinism contract.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_decode_pool(mut self, pool: DecodePool) -> Self {
         self.decode_pool = pool;
@@ -114,6 +144,7 @@ impl ThreadedCluster {
     /// Replaces the worker-latency model (see the
     /// [zoo](crate::straggler)). The profile keeps supplying the comm model
     /// and worker count; compute times come from `model`.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_straggler_model(mut self, model: Arc<dyn StragglerModel>) -> Self {
         self.model = model;
@@ -123,6 +154,7 @@ impl ThreadedCluster {
     /// Replaces the aggregation policy deciding round completion and the
     /// returned gradient (default:
     /// [`WaitDecodable`](crate::policy::WaitDecodable)).
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_aggregation_policy(mut self, policy: Arc<dyn AggregationPolicy>) -> Self {
         self.policy = policy;
@@ -131,6 +163,7 @@ impl ThreadedCluster {
 
     /// Installs a subscriber for the per-round
     /// [`RoundEvent`](crate::observer::RoundEvent) stream.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_observer(mut self, observer: SharedObserver) -> Self {
         self.observer = Some(observer);
@@ -138,6 +171,7 @@ impl ThreadedCluster {
     }
 
     /// Sets the master's stall-detection timeout (real time).
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
@@ -559,7 +593,7 @@ mod tests {
         let units = UnitMap::grouped(20, 10);
         let scheme = UncodedScheme::new(10, 5);
         let mut cluster = ThreadedCluster::new(fast_profile(5), 7, SCALE)
-            .with_recv_timeout(Duration::from_millis(300));
+            .configured(BackendConfig::new().recv_timeout(Duration::from_millis(300)));
         cluster.kill_workers([0]);
         let err = cluster
             .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &[0.0; 3])
@@ -591,7 +625,7 @@ mod tests {
         let units = UnitMap::grouped(20, 10);
         let scheme = UncodedScheme::new(10, 5);
         let mut cluster = ThreadedCluster::new(fast_profile(5), 15, SCALE)
-            .with_recv_timeout(Duration::from_secs(60));
+            .configured(BackendConfig::new().recv_timeout(Duration::from_secs(60)));
         cluster.kill_workers([3]);
         let start = Instant::now();
         let err = cluster

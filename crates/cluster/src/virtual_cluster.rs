@@ -18,6 +18,7 @@
 //! for models with feedback), at a fraction of the per-round cost.
 
 use crate::backend::{ClusterBackend, RoundDriver, RoundOutcome};
+use crate::config::BackendConfig;
 use crate::decode::DecodePool;
 use crate::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use crate::error::ClusterError;
@@ -68,9 +69,34 @@ impl VirtualCluster {
         }
     }
 
+    /// Applies every [`BackendConfig`] knob this backend implements:
+    /// latency model, aggregation policy, observer, decode pool, and
+    /// minibatch sampler. Network-only knobs (timeouts, pipelining, job,
+    /// auth token) are ignored — the virtual clock has no real network.
+    #[must_use]
+    pub fn configured(mut self, config: BackendConfig) -> Self {
+        if let Some(model) = config.straggler_model {
+            self.model = model;
+        }
+        if let Some(policy) = config.aggregation_policy {
+            self.policy = policy;
+        }
+        if let Some(observer) = config.observer {
+            self.observer = Some(observer);
+        }
+        if let Some(pool) = config.decode_pool {
+            self.decode_pool = pool;
+        }
+        if let Some(minibatch) = config.minibatch {
+            self.minibatch = Some(minibatch);
+        }
+        self
+    }
+
     /// Installs a per-round unit-subset sampler: each round trains on a
     /// sampled minibatch instead of the full partition (see
     /// [`crate::minibatch`]). `None` restores full-partition rounds.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_minibatch(mut self, minibatch: Option<Minibatch>) -> Self {
         self.minibatch = minibatch;
@@ -80,6 +106,7 @@ impl VirtualCluster {
     /// Overrides the master's decode/aggregate thread budget (default:
     /// all available cores). Bit-identical results at any setting — see
     /// [`crate::decode`]'s determinism contract.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_decode_pool(mut self, pool: DecodePool) -> Self {
         self.decode_pool = pool;
@@ -89,6 +116,7 @@ impl VirtualCluster {
     /// Replaces the worker-latency model (see the
     /// [zoo](crate::straggler)). The profile keeps supplying the comm model
     /// and worker count; compute times come from `model`.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_straggler_model(mut self, model: Arc<dyn StragglerModel>) -> Self {
         self.model = model;
@@ -98,6 +126,7 @@ impl VirtualCluster {
     /// Replaces the aggregation policy deciding round completion and the
     /// returned gradient (default:
     /// [`WaitDecodable`](crate::policy::WaitDecodable)).
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_aggregation_policy(mut self, policy: Arc<dyn AggregationPolicy>) -> Self {
         self.policy = policy;
@@ -106,6 +135,7 @@ impl VirtualCluster {
 
     /// Installs a subscriber for the per-round
     /// [`RoundEvent`](crate::observer::RoundEvent) stream.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_observer(mut self, observer: SharedObserver) -> Self {
         self.observer = Some(observer);

@@ -14,8 +14,8 @@
 
 use bcc_cluster::backend::FixedPointDriver;
 use bcc_cluster::{
-    ClusterBackend, ClusterProfile, CommModel, Minibatch, ThreadedCluster, UnitMap, VirtualCluster,
-    WorkerProfile,
+    BackendConfig, ClusterBackend, ClusterProfile, CommModel, Minibatch, ThreadedCluster, UnitMap,
+    VirtualCluster, WorkerProfile,
 };
 use bcc_coding::UncodedScheme;
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -71,7 +71,8 @@ fn minibatch_gradient_sums_selected_units_only() {
     let w = vec![0.07; 5];
     let mb = Minibatch::new(4, 77);
 
-    let mut cluster = VirtualCluster::new(staircase(10), 5).with_minibatch(Some(mb));
+    let mut cluster =
+        VirtualCluster::new(staircase(10), 5).configured(BackendConfig::new().minibatch(mb));
     let out = cluster
         .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
         .expect("minibatch round completes");
@@ -112,8 +113,8 @@ fn minibatch_rounds_replay_and_resample() {
     let scheme = UncodedScheme::new(10, 10);
     let w = vec![0.02; 4];
     let run = |seed: u64| {
-        let mut c =
-            VirtualCluster::new(staircase(10), seed).with_minibatch(Some(Minibatch::new(3, 9)));
+        let mut c = VirtualCluster::new(staircase(10), seed)
+            .configured(BackendConfig::new().minibatch(Minibatch::new(3, 9)));
         let mut driver = FixedPointDriver::new(w.clone());
         c.run_rounds(3, &scheme, &units, &g.dataset, &LogisticLoss, &mut driver)
             .expect("rounds complete");
@@ -136,14 +137,16 @@ fn minibatch_is_backend_invariant() {
     let units = UnitMap::grouped(30, 10);
     let scheme = UncodedScheme::new(10, 10);
     let w = vec![0.05; 4];
-    let mb = Some(Minibatch::new(5, 31));
+    let mb = Minibatch::new(5, 31);
 
-    let mut virtual_cluster = VirtualCluster::new(staircase(10), 8).with_minibatch(mb);
+    let mut virtual_cluster =
+        VirtualCluster::new(staircase(10), 8).configured(BackendConfig::new().minibatch(mb));
     let v = virtual_cluster
         .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
         .expect("virtual minibatch round completes");
 
-    let mut threaded_cluster = ThreadedCluster::new(staircase(10), 8, 1.0).with_minibatch(mb);
+    let mut threaded_cluster =
+        ThreadedCluster::new(staircase(10), 8, 1.0).configured(BackendConfig::new().minibatch(mb));
     let t = threaded_cluster
         .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
         .expect("threaded minibatch round completes");

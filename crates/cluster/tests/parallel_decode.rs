@@ -10,8 +10,8 @@
 
 use bcc_cluster::backend::FixedPointDriver;
 use bcc_cluster::{
-    ClusterBackend, ClusterProfile, CommModel, DecodePool, FastestK, Minibatch, RoundOutcome,
-    UnitMap, VirtualCluster, WorkerProfile,
+    BackendConfig, ClusterBackend, ClusterProfile, CommModel, DecodePool, FastestK, Minibatch,
+    RoundOutcome, UnitMap, VirtualCluster, WorkerProfile,
 };
 use bcc_coding::{BccScheme, CyclicRepetitionScheme, GradientCodingScheme, UncodedScheme};
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -60,12 +60,14 @@ fn run_rounds(
 ) -> Vec<RoundOutcome> {
     let units = UnitMap::grouped(40, 10);
     let data = generate(&SyntheticConfig::small(40, 5, 29));
-    let mut cluster = VirtualCluster::new(staircase(10), 29)
-        .with_decode_pool(pool)
-        .with_minibatch(minibatch);
-    if let Some(k) = fastest_k {
-        cluster = cluster.with_aggregation_policy(Arc::new(FastestK::new(k)));
+    let mut config = BackendConfig::new().decode_pool(pool);
+    if let Some(mb) = minibatch {
+        config = config.minibatch(mb);
     }
+    if let Some(k) = fastest_k {
+        config = config.aggregation_policy(Arc::new(FastestK::new(k)));
+    }
+    let mut cluster = VirtualCluster::new(staircase(10), 29).configured(config);
     let mut driver = FixedPointDriver::new(vec![0.05; 5]);
     cluster
         .run_rounds(3, scheme, &units, &data.dataset, &LogisticLoss, &mut driver)

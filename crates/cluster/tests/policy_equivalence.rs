@@ -22,8 +22,8 @@
 
 use bcc_cluster::backend::FixedPointDriver;
 use bcc_cluster::{
-    AggregationPolicy, BestEffortAll, ClusterBackend, ClusterProfile, CommModel, Deadline,
-    DecodePool, EventLog, FastestK, RoundEvent, RoundOutcome, ThreadedCluster, UnitMap,
+    AggregationPolicy, BackendConfig, BestEffortAll, ClusterBackend, ClusterProfile, CommModel,
+    Deadline, DecodePool, EventLog, FastestK, RoundEvent, RoundOutcome, ThreadedCluster, UnitMap,
     VirtualCluster, WaitDecodable, WorkerProfile,
 };
 use bcc_coding::{
@@ -97,7 +97,7 @@ fn explicit_wait_decodable_replays_the_default_path_on_every_builtin_scheme() {
         let run = |policy: Option<Arc<dyn AggregationPolicy>>| {
             let mut cluster = VirtualCluster::new(profile.clone(), 23);
             if let Some(p) = policy {
-                cluster = cluster.with_aggregation_policy(p);
+                cluster = cluster.configured(BackendConfig::new().aggregation_policy(p));
             }
             let mut driver = FixedPointDriver::new(w.clone());
             cluster
@@ -169,14 +169,14 @@ fn cross_backend_case_with(
     let data = generate(&SyntheticConfig::small(units.num_examples(), 4, seed));
     let w = vec![0.05; 4];
 
-    let mut virtual_cluster =
-        VirtualCluster::new(profile.clone(), seed).with_aggregation_policy(Arc::clone(&policy));
+    let mut virtual_cluster = VirtualCluster::new(profile.clone(), seed)
+        .configured(BackendConfig::new().aggregation_policy(Arc::clone(&policy)));
     let virtual_out = virtual_cluster
         .run_round(scheme, units, &data.dataset, &LogisticLoss, &w)
         .expect("virtual round completes");
 
-    let mut threaded_cluster =
-        ThreadedCluster::new(profile, seed, 1.0).with_aggregation_policy(policy);
+    let mut threaded_cluster = ThreadedCluster::new(profile, seed, 1.0)
+        .configured(BackendConfig::new().aggregation_policy(policy));
     let threaded_out = threaded_cluster
         .run_round(scheme, units, &data.dataset, &LogisticLoss, &w)
         .expect("threaded round completes");
@@ -227,9 +227,11 @@ fn parallel_decode_replays_the_serial_fold_on_every_scheme_and_policy() {
             // fastest-k cut below cyclic-MDS's solve threshold): then both
             // pools must fail identically, never just one of them.
             let run = |pool: DecodePool| {
-                let mut cluster = VirtualCluster::new(profile.clone(), 83)
-                    .with_aggregation_policy(Arc::clone(policy))
-                    .with_decode_pool(pool);
+                let mut cluster = VirtualCluster::new(profile.clone(), 83).configured(
+                    BackendConfig::new()
+                        .aggregation_policy(Arc::clone(policy))
+                        .decode_pool(pool),
+                );
                 let mut driver = FixedPointDriver::new(w.clone());
                 cluster
                     .run_rounds(
@@ -325,8 +327,8 @@ fn best_effort_all_completes_where_exact_policies_stall() {
         .unwrap_err();
     assert!(matches!(err, bcc_cluster::ClusterError::Stalled { .. }));
 
-    let mut tolerant =
-        VirtualCluster::new(profile, 67).with_aggregation_policy(Arc::new(BestEffortAll));
+    let mut tolerant = VirtualCluster::new(profile, 67)
+        .configured(BackendConfig::new().aggregation_policy(Arc::new(BestEffortAll)));
     tolerant.kill_workers([4]);
     let out = tolerant
         .run_round(&scheme, &units, &data.dataset, &LogisticLoss, &[0.0; 4])
@@ -345,7 +347,7 @@ fn observer_sees_the_round_event_stream() {
     let log = EventLog::shared();
 
     let mut observed = VirtualCluster::new(profile.clone(), 71)
-        .with_observer(log.clone() as bcc_cluster::SharedObserver);
+        .configured(BackendConfig::new().observer(log.clone() as bcc_cluster::SharedObserver));
     let observed_out = observed
         .run_round(&scheme, &units, &data.dataset, &LogisticLoss, &[0.0; 4])
         .unwrap();
@@ -405,7 +407,7 @@ fn stall_emits_a_stalled_event() {
     let scheme = UncodedScheme::new(10, 10);
     let log = EventLog::shared();
     let mut cluster = VirtualCluster::new(ClusterProfile::ec2_like(10), 73)
-        .with_observer(log.clone() as bcc_cluster::SharedObserver);
+        .configured(BackendConfig::new().observer(log.clone() as bcc_cluster::SharedObserver));
     cluster.kill_workers([2]);
     let data = generate(&SyntheticConfig::small(30, 4, 73));
     let _ = cluster

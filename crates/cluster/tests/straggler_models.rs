@@ -14,8 +14,9 @@
 //!   visibly reshape round-time behaviour.
 
 use bcc_cluster::{
-    BimodalModel, ClusterBackend, ClusterProfile, CommModel, MarkovModel, ParetoModel,
-    ShiftedExpModel, StragglerModel, ThreadedCluster, UnitMap, VirtualCluster, WeibullModel,
+    BackendConfig, BimodalModel, ClusterBackend, ClusterProfile, CommModel, MarkovModel,
+    ParetoModel, ShiftedExpModel, StragglerModel, ThreadedCluster, UnitMap, VirtualCluster,
+    WeibullModel,
 };
 use bcc_coding::UncodedScheme;
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -42,8 +43,9 @@ fn explicit_shifted_exp_model_is_byte_identical_to_the_default_path() {
     let w = vec![0.07; 4];
 
     let mut default_cluster = VirtualCluster::new(profile(5), 17);
-    let mut explicit_cluster = VirtualCluster::new(profile(5), 17)
-        .with_straggler_model(Arc::new(ShiftedExpModel::from_profile(&profile(5))));
+    let mut explicit_cluster = VirtualCluster::new(profile(5), 17).configured(
+        BackendConfig::new().straggler_model(Arc::new(ShiftedExpModel::from_profile(&profile(5)))),
+    );
 
     for _ in 0..3 {
         let a = default_cluster
@@ -71,9 +73,10 @@ fn markov_model_is_backend_invariant_for_uncoded() {
     let model =
         || -> Arc<dyn StragglerModel> { Arc::new(MarkovModel::new(100.0, 0.02, 0.4, 0.3, 5.0)) };
 
-    let mut virtual_cluster = VirtualCluster::new(profile(n), 23).with_straggler_model(model());
-    let mut threaded_cluster =
-        ThreadedCluster::new(profile(n), 23, 0.02).with_straggler_model(model());
+    let mut virtual_cluster = VirtualCluster::new(profile(n), 23)
+        .configured(BackendConfig::new().straggler_model(model()));
+    let mut threaded_cluster = ThreadedCluster::new(profile(n), 23, 0.02)
+        .configured(BackendConfig::new().straggler_model(model()));
 
     // Several rounds so the chains actually transition.
     for round in 0..3 {
@@ -114,8 +117,8 @@ fn zoo_members_run_deterministically_on_the_virtual_backend() {
     ];
     for (name, model) in models {
         let run = |seed: u64| {
-            let mut cluster =
-                VirtualCluster::new(profile(n), seed).with_straggler_model(Arc::clone(&model));
+            let mut cluster = VirtualCluster::new(profile(n), seed)
+                .configured(BackendConfig::new().straggler_model(Arc::clone(&model)));
             cluster
                 .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
                 .unwrap()
@@ -141,7 +144,8 @@ fn bimodal_slowdown_stretches_the_round() {
     let scheme = UncodedScheme::new(4, n);
     let w = vec![0.0; 3];
     let run = |model: Arc<dyn StragglerModel>| {
-        let mut cluster = VirtualCluster::new(profile(n), 31).with_straggler_model(model);
+        let mut cluster = VirtualCluster::new(profile(n), 31)
+            .configured(BackendConfig::new().straggler_model(model));
         cluster
             .run_round(&scheme, &units, &g.dataset, &LogisticLoss, &w)
             .unwrap()

@@ -205,8 +205,8 @@ pub(crate) fn gradient_error_norm(exact_mean: &[f64], estimate_mean: &[f64]) -> 
 }
 
 /// `bcc_optim::gradient::empirical_risk` for `&dyn Loss` (the generic
-/// version requires `Sized`).
-fn empirical_risk_dyn(data: &Dataset, loss: &dyn Loss, w: &[f64]) -> f64 {
+/// version requires `Sized`) — shared with the mode drivers.
+pub(crate) fn empirical_risk_dyn(data: &Dataset, loss: &dyn Loss, w: &[f64]) -> f64 {
     (0..data.len())
         .map(|j| loss.value(data.x(j), data.y(j), w))
         .sum::<f64>()

@@ -2,17 +2,19 @@
 //! through the registry, and run it end to end.
 
 use super::error::BuildError;
-use super::registry::{PolicyRegistry, SchemeRegistry};
+use super::registry::{ModeRegistry, PolicyRegistry, SchemeRegistry};
 use super::spec::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, NetProfileSpec, OptimizerSpec,
-    PolicySpec, SchemeSpec,
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, ModeSpec, NetProfileSpec,
+    OptimizerSpec, PolicySpec, SchemeSpec,
 };
 use crate::driver::{exact_mean_gradient, gradient_error_norm, DistributedGd, TrainingConfig};
 use crate::error::BccError;
+use crate::modes::{run_local_sgd, StaleDriver};
 use bcc_cluster::{
-    AggregationPolicy, BimodalModel, ClusterBackend, ClusterProfile, CommModel, MarkovModel,
-    Minibatch, ParetoModel, RoundDriver, RoundOutcome, RoundSample, RunMetrics, ShiftedExpModel,
-    StragglerModel, ThreadedCluster, UnitMap, VirtualCluster, WanLinkModel, WeibullModel,
+    AggregationPolicy, BackendConfig, BimodalModel, ClusterBackend, ClusterProfile, CommModel,
+    MarkovModel, Minibatch, ModeSchedule, OffsetModel, OffsetTable, ParetoModel, RoundDriver,
+    RoundOutcome, RoundSample, RunMetrics, ShiftedExpModel, StragglerModel, ThreadedCluster,
+    TrainingMode, UnitMap, VirtualCluster, WanLinkModel, WeibullModel,
 };
 use bcc_coding::GradientCodingScheme;
 use bcc_data::synthetic::{generate, SyntheticConfig, SyntheticDataset};
@@ -54,6 +56,12 @@ pub struct ExperimentReport {
     /// Host wall-clock seconds spent inside the round loop (excludes data
     /// generation and scheme construction).
     pub wall_seconds: f64,
+    /// Simulated (virtual-clock) seconds the run took. Equal to
+    /// `metrics.total_time` under synchronous modes, the overlapped
+    /// timeline's makespan under SSP/ASGD (rounds overlap, so the sum of
+    /// round times overstates the wallclock), and the sum of
+    /// synchronization-round times under LocalSGD.
+    pub simulated_seconds: f64,
 }
 
 /// A validated, ready-to-run experiment.
@@ -67,6 +75,7 @@ pub struct Experiment {
     profile: ClusterProfile,
     model: Arc<dyn StragglerModel>,
     policy: Arc<dyn AggregationPolicy>,
+    mode: Arc<dyn TrainingMode>,
     /// Dataset cache: materialized by the first [`Self::run`] and reused by
     /// every later run. The data is a pure function of the spec, and the
     /// benchmarks re-run one experiment many times (warmup + repeated
@@ -111,7 +120,8 @@ impl Experiment {
     }
 
     /// Validates `spec`, resolving its scheme through `registry` and its
-    /// aggregation policy through `policies`.
+    /// aggregation policy through `policies` (training mode through the
+    /// built-in [`ModeRegistry`]).
     ///
     /// # Errors
     /// Any [`BuildError`] the builder reports.
@@ -120,9 +130,26 @@ impl Experiment {
         registry: &SchemeRegistry,
         policies: &PolicyRegistry,
     ) -> Result<Self, BuildError> {
+        Self::from_spec_with_all(spec, registry, policies, &ModeRegistry::builtin())
+    }
+
+    /// Validates `spec`, resolving every pluggable part — scheme,
+    /// aggregation policy, and training mode — through caller-supplied
+    /// registries.
+    ///
+    /// # Errors
+    /// Any [`BuildError`] the builder reports.
+    pub fn from_spec_with_all(
+        spec: ExperimentSpec,
+        registry: &SchemeRegistry,
+        policies: &PolicyRegistry,
+        modes: &ModeRegistry,
+    ) -> Result<Self, BuildError> {
         validate_spec(&spec)?;
         let (profile, model) = resolve_latency(&spec.latency, spec.workers)?;
         let policy = policies.build(&spec.policy)?;
+        let mode = modes.build(&spec.mode)?;
+        validate_mode(&spec, mode.as_ref())?;
         let mut rng = derive_rng(spec.seed, SCHEME_STREAM);
         let scheme = registry.build(&spec.scheme, spec.units, spec.workers, &mut rng)?;
         Ok(Self {
@@ -131,6 +158,7 @@ impl Experiment {
             profile,
             model,
             policy,
+            mode,
             data: OnceLock::new(),
         })
     }
@@ -167,6 +195,13 @@ impl Experiment {
     #[must_use]
     pub fn aggregation_policy(&self) -> &dyn AggregationPolicy {
         self.policy.as_ref()
+    }
+
+    /// The resolved training mode ([`Self::run`] dispatches on its
+    /// [`TrainingMode::schedule`]).
+    #[must_use]
+    pub fn mode(&self) -> &dyn TrainingMode {
+        self.mode.as_ref()
     }
 
     /// The straggler model the networked backends sample from: the
@@ -219,12 +254,80 @@ impl Experiment {
         })
     }
 
+    /// The straggler model the spec's backend samples from: WAN-wrapped
+    /// for TCP backends, the resolved model otherwise.
+    fn backend_base_model(&self) -> Arc<dyn StragglerModel> {
+        match &self.spec.backend {
+            BackendSpec::Tcp { wan, .. } => self.net_model(*wan),
+            _ => Arc::clone(&self.model),
+        }
+    }
+
+    /// Spins up the spec's backend with `model` installed — every backend
+    /// gets the identical [`BackendConfig`], so mode wrappers (offsets)
+    /// compose the same way everywhere.
+    fn make_backend(
+        &self,
+        backend_seed: u64,
+        model: Arc<dyn StragglerModel>,
+    ) -> Result<Box<dyn ClusterBackend>, BccError> {
+        let spec = &self.spec;
+        // Minibatch rounds sample their unit subset from a dedicated
+        // derived stream, so full and minibatch runs of the same seed
+        // share data, placement, and latency draws.
+        let mut config = BackendConfig::new()
+            .straggler_model(model)
+            .aggregation_policy(Arc::clone(&self.policy));
+        if let Some(minibatch) = self.minibatch() {
+            config = config.minibatch(minibatch);
+        }
+        Ok(match &spec.backend {
+            BackendSpec::Virtual => {
+                Box::new(VirtualCluster::new(self.profile.clone(), backend_seed).configured(config))
+            }
+            BackendSpec::Threaded { time_scale } => Box::new(
+                ThreadedCluster::new(self.profile.clone(), backend_seed, *time_scale)
+                    .configured(config),
+            ),
+            // Loopback TCP: an in-process worker fleet over real kernel
+            // sockets — `Experiment::run` stays a one-call entry point.
+            BackendSpec::Tcp {
+                time_scale,
+                addr: None,
+                ..
+            } => Box::new(
+                LocalNetCluster::new(self.profile.clone(), backend_seed, *time_scale)
+                    .configured(config),
+            ),
+            // Bound TCP: listen for external `bcc-worker` processes and
+            // hand them the resolved spec as their job description. The
+            // admission token derives from the user-visible spec seed, so
+            // workers need nothing beyond the seed they were launched with.
+            BackendSpec::Tcp {
+                time_scale,
+                addr: Some(addr),
+                ..
+            } => {
+                let job = spec
+                    .to_json_pretty()
+                    .map_err(|e| BccError::Spec(format!("serializing worker job: {e}")))?;
+                Box::new(
+                    TcpCluster::bind(addr, self.profile.clone(), backend_seed, *time_scale)?
+                        .configured(config.job(job).auth_token(auth_token(spec.seed))),
+                )
+            }
+        })
+    }
+
     /// Runs the experiment: generate data, spin up the backend, and drive
-    /// `iterations` rounds through the optimizer.
+    /// `iterations` rounds (or local steps) through the optimizer under
+    /// the spec's training mode.
     ///
     /// Deterministic on the virtual backend: the dataset derives from the
     /// spec seed, the scheme placement from `derive(seed, 0xC0DE)`, and the
-    /// backend latency stream from `derive(seed, 0x5EED)`.
+    /// backend latency stream from `derive(seed, 0x5EED)`. The stale
+    /// modes' overlapped timeline is a pure function of the same streams,
+    /// so every mode replays byte-identically on all backends.
     ///
     /// # Errors
     /// [`BccError::Cluster`] when a round cannot complete (stall, worker
@@ -239,57 +342,7 @@ impl Experiment {
             LossSpec::Squared => &SquaredLoss,
         };
         let backend_seed = derive_seed(spec.seed, BACKEND_STREAM);
-        // Minibatch rounds sample their unit subset from a dedicated
-        // derived stream, so full and minibatch runs of the same seed
-        // share data, placement, and latency draws.
-        let minibatch = self.minibatch();
-        let mut backend: Box<dyn ClusterBackend> = match &spec.backend {
-            BackendSpec::Virtual => Box::new(
-                VirtualCluster::new(self.profile.clone(), backend_seed)
-                    .with_straggler_model(Arc::clone(&self.model))
-                    .with_aggregation_policy(Arc::clone(&self.policy))
-                    .with_minibatch(minibatch),
-            ),
-            BackendSpec::Threaded { time_scale } => Box::new(
-                ThreadedCluster::new(self.profile.clone(), backend_seed, *time_scale)
-                    .with_straggler_model(Arc::clone(&self.model))
-                    .with_aggregation_policy(Arc::clone(&self.policy))
-                    .with_minibatch(minibatch),
-            ),
-            // Loopback TCP: an in-process worker fleet over real kernel
-            // sockets — `Experiment::run` stays a one-call entry point.
-            BackendSpec::Tcp {
-                time_scale,
-                addr: None,
-                wan,
-            } => Box::new(
-                LocalNetCluster::new(self.profile.clone(), backend_seed, *time_scale)
-                    .with_straggler_model(self.net_model(*wan))
-                    .with_aggregation_policy(Arc::clone(&self.policy))
-                    .with_minibatch(minibatch),
-            ),
-            // Bound TCP: listen for external `bcc-worker` processes and
-            // hand them the resolved spec as their job description. The
-            // admission token derives from the user-visible spec seed, so
-            // workers need nothing beyond the seed they were launched with.
-            BackendSpec::Tcp {
-                time_scale,
-                addr: Some(addr),
-                wan,
-            } => {
-                let job = spec
-                    .to_json_pretty()
-                    .map_err(|e| BccError::Spec(format!("serializing worker job: {e}")))?;
-                Box::new(
-                    TcpCluster::bind(addr, self.profile.clone(), backend_seed, *time_scale)?
-                        .with_job(job)
-                        .with_auth_token(auth_token(spec.seed))
-                        .with_straggler_model(self.net_model(*wan))
-                        .with_aggregation_policy(Arc::clone(&self.policy))
-                        .with_minibatch(minibatch),
-                )
-            }
-        };
+        let base_model = self.backend_base_model();
 
         let mut optimizer: Option<Box<dyn Optimizer>> = match spec.optimizer {
             OptimizerSpec::Nesterov { rate } => Some(Box::new(Nesterov::new(vec![0.0; dim], rate))),
@@ -300,56 +353,148 @@ impl Experiment {
         };
 
         let start = Instant::now();
-        let (weights, trace, metrics, round_samples) = match optimizer.as_mut() {
-            Some(opt) => {
-                let mut driver = DistributedGd::new(
-                    backend.as_mut(),
-                    self.scheme.as_ref(),
-                    &units,
-                    &data.dataset,
-                    loss,
-                )?;
-                let report = driver.train(
-                    opt.as_mut(),
-                    &TrainingConfig {
-                        iterations: spec.iterations,
-                        record_risk: spec.record_risk,
-                    },
-                )?;
-                (
-                    report.weights,
-                    report.trace,
-                    report.metrics,
-                    report.round_samples,
-                )
-            }
-            None => {
-                // Fixed-point mode: broadcast w = 0 every round and only
-                // collect metrics — the round process without optimization.
-                let mut driver = MetricsDriver {
-                    weights: vec![0.0; dim],
-                    metrics: RunMetrics::new(),
-                    round_samples: Vec::with_capacity(spec.iterations),
-                    data: &data.dataset,
-                    loss,
-                    exact_mean: None,
-                };
-                backend.run_rounds(
-                    spec.iterations,
-                    self.scheme.as_ref(),
-                    &units,
-                    &data.dataset,
-                    loss,
-                    &mut driver,
-                )?;
-                (
-                    driver.weights,
-                    ConvergenceTrace::new(),
-                    driver.metrics,
-                    driver.round_samples,
-                )
-            }
-        };
+        let (weights, trace, metrics, round_samples, simulated_seconds) =
+            match self.mode.schedule() {
+                ModeSchedule::Synchronous => {
+                    let mut backend = self.make_backend(backend_seed, base_model)?;
+                    match optimizer.as_mut() {
+                        Some(opt) => {
+                            let mut driver = DistributedGd::new(
+                                backend.as_mut(),
+                                self.scheme.as_ref(),
+                                &units,
+                                &data.dataset,
+                                loss,
+                            )?;
+                            let report = driver.train(
+                                opt.as_mut(),
+                                &TrainingConfig {
+                                    iterations: spec.iterations,
+                                    record_risk: spec.record_risk,
+                                },
+                            )?;
+                            let simulated = report.metrics.total_time;
+                            (
+                                report.weights,
+                                report.trace,
+                                report.metrics,
+                                report.round_samples,
+                                simulated,
+                            )
+                        }
+                        None => {
+                            // Fixed-point mode: broadcast w = 0 every round and
+                            // only collect metrics — the round process without
+                            // optimization.
+                            let mut driver = MetricsDriver {
+                                weights: vec![0.0; dim],
+                                metrics: RunMetrics::new(),
+                                round_samples: Vec::with_capacity(spec.iterations),
+                                data: &data.dataset,
+                                loss,
+                                exact_mean: None,
+                            };
+                            backend.run_rounds(
+                                spec.iterations,
+                                self.scheme.as_ref(),
+                                &units,
+                                &data.dataset,
+                                loss,
+                                &mut driver,
+                            )?;
+                            let simulated = driver.metrics.total_time;
+                            (
+                                driver.weights,
+                                ConvergenceTrace::new(),
+                                driver.metrics,
+                                driver.round_samples,
+                                simulated,
+                            )
+                        }
+                    }
+                }
+                schedule @ (ModeSchedule::StaleBounded { .. } | ModeSchedule::Async) => {
+                    let bound = match schedule {
+                        ModeSchedule::StaleBounded { staleness } => Some(staleness),
+                        _ => None,
+                    };
+                    // The backend samples through an offset-adding wrapper;
+                    // the driver publishes each worker's backlog there before
+                    // the backend draws, so the synchronous round machinery
+                    // reproduces the overlapped execution's timing exactly.
+                    let offsets = OffsetTable::new();
+                    let wrapped: Arc<dyn StragglerModel> =
+                        Arc::new(OffsetModel::wrap(Arc::clone(&base_model), offsets.clone()));
+                    let mut backend = self.make_backend(backend_seed, wrapped)?;
+                    let opt = optimizer
+                        .as_mut()
+                        .expect("validated: stale modes require an optimizer");
+                    let mut driver = StaleDriver::new(
+                        opt.as_mut(),
+                        &data.dataset,
+                        loss,
+                        spec.record_risk,
+                        bound,
+                        base_model,
+                        backend_seed,
+                        offsets,
+                        self.scheme.as_ref(),
+                        self.minibatch(),
+                        spec.iterations,
+                    );
+                    backend.run_rounds(
+                        spec.iterations,
+                        self.scheme.as_ref(),
+                        &units,
+                        &data.dataset,
+                        loss,
+                        &mut driver,
+                    )?;
+                    let out = driver.finalize();
+                    (
+                        opt.iterate().to_vec(),
+                        out.trace,
+                        out.metrics,
+                        out.round_samples,
+                        out.simulated_seconds,
+                    )
+                }
+                ModeSchedule::LocalSteps { local_steps } => {
+                    // No round protocol at all — the barrier timeline is
+                    // simulated directly against the straggler model, so the
+                    // run is backend-independent (WAN emulation has no socket
+                    // path to apply to; the serial receive port still charges
+                    // per-arrival transfer time).
+                    let rate = match spec.optimizer {
+                        OptimizerSpec::Nesterov { rate }
+                        | OptimizerSpec::GradientDescent { rate } => rate,
+                        OptimizerSpec::FixedPoint => {
+                            unreachable!("validated: local-sgd requires an optimizer")
+                        }
+                    };
+                    let out = run_local_sgd(
+                        self.scheme.as_ref(),
+                        &units,
+                        &data.dataset,
+                        loss,
+                        self.profile.comm,
+                        self.model.as_ref(),
+                        backend_seed,
+                        rate,
+                        dim,
+                        spec.iterations,
+                        local_steps,
+                        spec.record_risk,
+                    );
+                    (
+                        out.weights,
+                        out.trace,
+                        out.metrics,
+                        out.round_samples,
+                        out.simulated_seconds,
+                    )
+                }
+            };
         let wall_seconds = start.elapsed().as_secs_f64();
 
         Ok(ExperimentReport {
@@ -360,6 +505,7 @@ impl Experiment {
             metrics,
             round_samples,
             wall_seconds,
+            simulated_seconds,
         })
     }
 }
@@ -418,11 +564,13 @@ pub struct ExperimentBuilder {
     loss: Option<LossSpec>,
     optimizer: Option<OptimizerSpec>,
     policy: Option<PolicySpec>,
+    mode: Option<ModeSpec>,
     iterations: Option<usize>,
     record_risk: Option<bool>,
     seed: Option<u64>,
     registry: Option<SchemeRegistry>,
     policy_registry: Option<PolicyRegistry>,
+    mode_registry: Option<ModeRegistry>,
 }
 
 impl ExperimentBuilder {
@@ -498,6 +646,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Training mode (default: `ssgd`, the paper's synchronous rounds).
+    /// Accepts a [`ModeSpec`] or anything convertible (e.g. `"asgd"`).
+    #[must_use]
+    pub fn mode(mut self, mode: impl Into<ModeSpec>) -> Self {
+        self.mode = Some(mode.into());
+        self
+    }
+
     /// GD iterations / measured rounds.
     #[must_use]
     pub fn iterations(mut self, iterations: usize) -> Self {
@@ -535,6 +691,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Resolve the training mode through a custom registry instead of the
+    /// built-ins.
+    #[must_use]
+    pub fn mode_registry(mut self, registry: ModeRegistry) -> Self {
+        self.mode_registry = Some(registry);
+        self
+    }
+
     /// Validates and assembles the experiment.
     ///
     /// # Errors
@@ -557,6 +721,7 @@ impl ExperimentBuilder {
             loss: self.loss.unwrap_or(defaults.loss),
             optimizer: self.optimizer.unwrap_or(defaults.optimizer),
             policy: self.policy.unwrap_or(defaults.policy),
+            mode: self.mode.unwrap_or(defaults.mode),
             iterations: self.iterations.unwrap_or(defaults.iterations),
             record_risk: self.record_risk.unwrap_or(defaults.record_risk),
             seed: self.seed.unwrap_or(defaults.seed),
@@ -566,7 +731,8 @@ impl ExperimentBuilder {
         };
         let schemes = self.registry.unwrap_or_else(SchemeRegistry::builtin);
         let policies = self.policy_registry.unwrap_or_else(PolicyRegistry::builtin);
-        Experiment::from_spec_with_registries(spec, &schemes, &policies)
+        let modes = self.mode_registry.unwrap_or_else(ModeRegistry::builtin);
+        Experiment::from_spec_with_all(spec, &schemes, &policies, &modes)
     }
 }
 
@@ -636,6 +802,58 @@ fn validate_spec(spec: &ExperimentSpec) -> Result<(), BuildError> {
         }
     }
     Ok(())
+}
+
+/// Mode checks that need the resolved [`TrainingMode`] *and* the rest of
+/// the spec (the registry already rejected missing/zero parameters for the
+/// built-ins; these bounds also cover custom registrations).
+fn validate_mode(spec: &ExperimentSpec, mode: &dyn TrainingMode) -> Result<(), BuildError> {
+    let requires_optimizer = || match spec.optimizer {
+        OptimizerSpec::FixedPoint => Err(BuildError::InvalidValue {
+            field: "optimizer",
+            reason: format!(
+                "fixed-point metrics runs have no optimizer state for mode `{}` to update",
+                mode.name()
+            ),
+        }),
+        _ => Ok(()),
+    };
+    let bounded = |field: &'static str, value: usize| {
+        if value == 0 {
+            return Err(BuildError::InvalidValue {
+                field,
+                reason: format!("mode `{}` needs a positive value", mode.name()),
+            });
+        }
+        if value > spec.iterations {
+            return Err(BuildError::InvalidValue {
+                field,
+                reason: format!("{value} exceeds the {}-iteration run", spec.iterations),
+            });
+        }
+        Ok(())
+    };
+    match mode.schedule() {
+        ModeSchedule::Synchronous => Ok(()),
+        ModeSchedule::StaleBounded { staleness } => {
+            bounded("mode.staleness", staleness)?;
+            requires_optimizer()
+        }
+        ModeSchedule::Async => requires_optimizer(),
+        ModeSchedule::LocalSteps { local_steps } => {
+            bounded("mode.local_steps", local_steps)?;
+            requires_optimizer()?;
+            if spec.data.minibatch().is_some() {
+                return Err(BuildError::InvalidValue {
+                    field: "data.minibatch",
+                    reason: "local-sgd workers iterate over their full shard; \
+                             minibatch rounds are undefined under it"
+                        .into(),
+                });
+            }
+            Ok(())
+        }
+    }
 }
 
 /// A positive-and-finite check shared by the latency validators.
@@ -960,6 +1178,148 @@ mod tests {
                 BuildError::InvalidValue { field, .. } if *field == "data.minibatch"
             ),
             "minibatch larger than the unit partition must be rejected, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn every_mode_runs_and_improves_risk() {
+        for (mode, rounds) in [
+            (ModeSpec::default(), 8),
+            (ModeSpec::ssp(2), 8),
+            (ModeSpec::named("asgd"), 8),
+            (ModeSpec::local_sgd(2), 4), // 8 local steps / 2 per sync
+        ] {
+            let name = mode.name.clone();
+            let report = tiny_builder().mode(mode).build().unwrap().run().unwrap();
+            assert_eq!(report.metrics.rounds, rounds, "{name}");
+            assert!(report.trace.improved(), "{name} must reduce risk");
+            assert!(report.simulated_seconds > 0.0, "{name}");
+            assert_eq!(report.round_samples.len(), rounds, "{name}");
+        }
+    }
+
+    #[test]
+    fn ssgd_simulated_seconds_is_the_round_time_sum() {
+        let report = tiny_builder().build().unwrap().run().unwrap();
+        assert_eq!(report.simulated_seconds, report.metrics.total_time);
+    }
+
+    #[test]
+    fn stale_modes_overlap_rounds() {
+        // Overlapped timelines finish no later than the synchronous sum of
+        // the same rounds' durations, and record positive staleness
+        // somewhere (otherwise the mode degenerated to SSGD).
+        for mode in [ModeSpec::ssp(3), ModeSpec::named("asgd")] {
+            let name = mode.name.clone();
+            let report = tiny_builder()
+                .mode(mode)
+                .iterations(20)
+                .build()
+                .unwrap()
+                .run()
+                .unwrap();
+            assert!(
+                report.simulated_seconds <= report.metrics.total_time,
+                "{name}: overlap cannot be slower than the serial sum \
+                 ({} vs {})",
+                report.simulated_seconds,
+                report.metrics.total_time
+            );
+            assert!(
+                report.round_samples.iter().any(|s| s.staleness > 0),
+                "{name}: some update must land stale"
+            );
+        }
+    }
+
+    #[test]
+    fn mode_bounds_are_validated() {
+        // Zero parameters die in the registry factory.
+        for (mode, field) in [
+            (ModeSpec::ssp(0), "mode.staleness"),
+            (ModeSpec::local_sgd(0), "mode.local_steps"),
+        ] {
+            let err = tiny_builder().mode(mode).build().unwrap_err();
+            assert!(
+                matches!(&err, BuildError::InvalidValue { field: f, .. } if *f == field),
+                "expected InvalidValue on {field}, got {err:?}"
+            );
+        }
+        // Parameters beyond the iteration budget die in mode validation
+        // (tiny_builder runs 8 iterations).
+        for (mode, field) in [
+            (ModeSpec::ssp(9), "mode.staleness"),
+            (ModeSpec::local_sgd(9), "mode.local_steps"),
+        ] {
+            let err = tiny_builder().mode(mode).build().unwrap_err();
+            assert!(
+                matches!(&err, BuildError::InvalidValue { field: f, .. } if *f == field),
+                "expected InvalidValue on {field}, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_synchronous_modes_reject_fixed_point() {
+        for mode in [
+            ModeSpec::ssp(2),
+            ModeSpec::named("asgd"),
+            ModeSpec::local_sgd(2),
+        ] {
+            let err = tiny_builder()
+                .mode(mode)
+                .optimizer(OptimizerSpec::FixedPoint)
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(&err, BuildError::InvalidValue { field, .. } if *field == "optimizer"),
+                "fixed-point must be rejected, got {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn local_sgd_rejects_minibatch() {
+        let err = tiny_builder()
+            .mode(ModeSpec::local_sgd(2))
+            .data(DataSpec::synthetic(5, 4).with_minibatch(4))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(&err, BuildError::InvalidValue { field, .. } if *field == "data.minibatch"),
+            "local-sgd + minibatch must be rejected, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn stale_modes_support_minibatch_rounds() {
+        let run = |mode: ModeSpec| {
+            tiny_builder()
+                .mode(mode)
+                .data(DataSpec::synthetic(5, 4).with_minibatch(4))
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        for mode in [ModeSpec::ssp(2), ModeSpec::named("asgd")] {
+            let name = mode.name.clone();
+            let a = run(mode.clone());
+            let b = run(mode);
+            assert_eq!(a.weights, b.weights, "{name} minibatch replay");
+            assert_eq!(a.metrics.messages_used, b.metrics.messages_used);
+        }
+    }
+
+    #[test]
+    fn unknown_mode_is_a_typed_error() {
+        let err = tiny_builder()
+            .mode(ModeSpec::named("hogwild"))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(&err, BuildError::UnknownMode { name, .. } if name == "hogwild"),
+            "got {err:?}"
         );
     }
 

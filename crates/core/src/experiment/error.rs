@@ -92,6 +92,13 @@ pub enum BuildError {
         /// Every name the policy registry can resolve.
         known: Vec<String>,
     },
+    /// The spec named a training mode the registry does not know.
+    UnknownMode {
+        /// The requested name.
+        name: String,
+        /// Every name the mode registry can resolve.
+        known: Vec<String>,
+    },
     /// The scheme's unit count disagrees with the unit map it is asked to
     /// code over (the [`DistributedGd`](crate::driver::DistributedGd)
     /// assembly check).
@@ -162,6 +169,13 @@ impl fmt::Display for BuildError {
                 write!(
                     f,
                     "unknown aggregation policy `{name}` (registered: {})",
+                    known.join(", ")
+                )
+            }
+            Self::UnknownMode { name, known } => {
+                write!(
+                    f,
+                    "unknown training mode `{name}` (registered: {})",
                     known.join(", ")
                 )
             }

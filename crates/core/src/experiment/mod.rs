@@ -41,8 +41,10 @@ mod spec;
 pub use builder::{Experiment, ExperimentBuilder, ExperimentReport};
 pub use error::BuildError;
 pub use net_worker::run_worker;
-pub use registry::{PolicyFactory, PolicyRegistry, SchemeFactory, SchemeRegistry};
+pub use registry::{
+    ModeFactory, ModeRegistry, PolicyFactory, PolicyRegistry, SchemeFactory, SchemeRegistry,
+};
 pub use spec::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, NetProfileSpec, OptimizerSpec,
-    PolicySpec, SchemeSpec,
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, ModeSpec, NetProfileSpec,
+    OptimizerSpec, PolicySpec, SchemeSpec,
 };

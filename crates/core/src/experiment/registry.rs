@@ -1,19 +1,25 @@
-//! The open scheme and aggregation-policy registries: name → factory.
+//! The open scheme, aggregation-policy, and training-mode registries:
+//! name → factory.
 //!
 //! The built-in scheme registrations are the paper's comparison set
 //! (everything [`SchemeConfig`] can describe); the built-in policy
-//! registrations are the four members of
-//! [`bcc_cluster::policy`]. Downstream code extends either set by
-//! registering its own factory under a new name and handing the registry to
+//! registrations are the four members of [`bcc_cluster::policy`]; the
+//! built-in mode registrations are the four members of
+//! [`bcc_cluster::mode`]. Downstream code extends any set by registering
+//! its own factory under a new name and handing the registry to
 //! [`ExperimentBuilder::registry`](super::ExperimentBuilder::registry) /
-//! [`ExperimentBuilder::policy_registry`](super::ExperimentBuilder::policy_registry)
-//! — spec files can then name custom schemes and policies with no changes
-//! here.
+//! [`ExperimentBuilder::policy_registry`](super::ExperimentBuilder::policy_registry) /
+//! [`ExperimentBuilder::mode_registry`](super::ExperimentBuilder::mode_registry)
+//! — spec files can then name custom schemes, policies, and modes with no
+//! changes here.
 
 use super::error::BuildError;
-use super::spec::{PolicySpec, SchemeSpec};
+use super::spec::{ModeSpec, PolicySpec, SchemeSpec};
 use crate::schemes::SchemeConfig;
-use bcc_cluster::{AggregationPolicy, BestEffortAll, Deadline, FastestK, WaitDecodable};
+use bcc_cluster::{
+    AggregationPolicy, Asgd, BestEffortAll, Deadline, FastestK, LocalSgd, Ssgd, Ssp, TrainingMode,
+    WaitDecodable,
+};
 use bcc_coding::GradientCodingScheme;
 use rand::RngCore;
 use std::collections::BTreeMap;
@@ -280,6 +286,154 @@ impl std::fmt::Debug for PolicyRegistry {
     }
 }
 
+/// A training-mode factory: builds the mode a [`ModeSpec`] describes,
+/// validating its parameters.
+pub type ModeFactory =
+    Box<dyn Fn(&ModeSpec) -> Result<Arc<dyn TrainingMode>, BuildError> + Send + Sync>;
+
+/// Name → (description, factory) map resolving [`ModeSpec`]s to
+/// [`TrainingMode`] instances.
+pub struct ModeRegistry {
+    factories: BTreeMap<String, (String, ModeFactory)>,
+}
+
+/// A positive-parameter check the built-in mode factories share: the
+/// parameter must be present and `>= 1` (the iterations-relative upper
+/// bound is the builder's job — the registry does not know the spec).
+fn require_mode_param(
+    spec: &ModeSpec,
+    field: &'static str,
+    value: Option<usize>,
+    expect: &str,
+) -> Result<usize, BuildError> {
+    let value = value.ok_or_else(|| BuildError::InvalidValue {
+        field,
+        reason: format!("mode `{}` requires it ({expect})", spec.name),
+    })?;
+    if value == 0 {
+        return Err(BuildError::InvalidValue {
+            field,
+            reason: format!("mode `{}` needs {expect}, got 0", spec.name),
+        });
+    }
+    Ok(value)
+}
+
+impl ModeRegistry {
+    /// A registry with no registrations.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// The registry with the four built-in modes of [`bcc_cluster::mode`]
+    /// registered under their report names (descriptions from
+    /// [`bcc_cluster::mode::MODES`]).
+    #[must_use]
+    pub fn builtin() -> Self {
+        let description = |name: &str| {
+            bcc_cluster::mode::MODES
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, d)| *d)
+                .expect("built-in mode missing from MODES")
+        };
+        let mut reg = Self::empty();
+        reg.register("ssgd", description("ssgd"), |_spec| {
+            Ok(Arc::new(Ssgd) as Arc<dyn TrainingMode>)
+        });
+        reg.register("ssp", description("ssp"), |spec| {
+            let staleness = require_mode_param(
+                spec,
+                "mode.staleness",
+                spec.staleness,
+                "a staleness bound >= 1",
+            )?;
+            Ok(Arc::new(Ssp { staleness }) as Arc<dyn TrainingMode>)
+        });
+        reg.register("asgd", description("asgd"), |_spec| {
+            Ok(Arc::new(Asgd) as Arc<dyn TrainingMode>)
+        });
+        reg.register("local-sgd", description("local-sgd"), |spec| {
+            let local_steps = require_mode_param(
+                spec,
+                "mode.local_steps",
+                spec.local_steps,
+                "a local step count >= 1",
+            )?;
+            Ok(Arc::new(LocalSgd { local_steps }) as Arc<dyn TrainingMode>)
+        });
+        reg
+    }
+
+    /// Registers (or replaces) a factory under `name` with a one-line
+    /// `description` (shown by `repro list`).
+    pub fn register<F>(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        factory: F,
+    ) where
+        F: Fn(&ModeSpec) -> Result<Arc<dyn TrainingMode>, BuildError> + Send + Sync + 'static,
+    {
+        self.factories
+            .insert(name.into(), (description.into(), Box::new(factory)));
+    }
+
+    /// Whether `name` resolves.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Every registered name, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// Every `(name, description)` pair, sorted by name.
+    #[must_use]
+    pub fn descriptions(&self) -> Vec<(String, String)> {
+        self.factories
+            .iter()
+            .map(|(name, (desc, _))| (name.clone(), desc.clone()))
+            .collect()
+    }
+
+    /// Resolves and builds the mode `spec` describes.
+    ///
+    /// # Errors
+    /// [`BuildError::UnknownMode`] when the name has no registration, plus
+    /// whatever parameter validation the factory reports.
+    pub fn build(&self, spec: &ModeSpec) -> Result<Arc<dyn TrainingMode>, BuildError> {
+        let (_, factory) =
+            self.factories
+                .get(&spec.name)
+                .ok_or_else(|| BuildError::UnknownMode {
+                    name: spec.name.clone(),
+                    known: self.names(),
+                })?;
+        factory(spec)
+    }
+}
+
+impl Default for ModeRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl std::fmt::Debug for ModeRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ModeRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -405,6 +559,94 @@ mod tests {
             }
             other => panic!("expected UnknownPolicy, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn builtin_modes_resolve_with_descriptions() {
+        let reg = ModeRegistry::builtin();
+        for (name, description) in bcc_cluster::mode::MODES {
+            assert!(reg.contains(name), "missing builtin mode `{name}`");
+            assert!(
+                reg.descriptions()
+                    .iter()
+                    .any(|(n, d)| n == name && d == description),
+                "description drift for `{name}`"
+            );
+        }
+        assert_eq!(reg.descriptions().len(), 4);
+        let m = reg.build(&ModeSpec::default()).unwrap();
+        assert_eq!(m.name(), "ssgd");
+        let m = reg.build(&ModeSpec::ssp(4)).unwrap();
+        assert_eq!(m.name(), "ssp");
+        assert_eq!(
+            m.schedule(),
+            bcc_cluster::ModeSchedule::StaleBounded { staleness: 4 }
+        );
+        let m = reg.build(&ModeSpec::named("asgd")).unwrap();
+        assert_eq!(m.schedule(), bcc_cluster::ModeSchedule::Async);
+        let m = reg.build(&ModeSpec::local_sgd(8)).unwrap();
+        assert_eq!(
+            m.schedule(),
+            bcc_cluster::ModeSchedule::LocalSteps { local_steps: 8 }
+        );
+    }
+
+    #[test]
+    fn mode_parameter_validation_is_typed() {
+        let reg = ModeRegistry::builtin();
+        for spec in [ModeSpec::named("ssp"), ModeSpec::ssp(0)] {
+            let err = reg.build(&spec).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    BuildError::InvalidValue {
+                        field: "mode.staleness",
+                        ..
+                    }
+                ),
+                "{err:?}"
+            );
+        }
+        for spec in [ModeSpec::named("local-sgd"), ModeSpec::local_sgd(0)] {
+            let err = reg.build(&spec).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    BuildError::InvalidValue {
+                        field: "mode.local_steps",
+                        ..
+                    }
+                ),
+                "{err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn unknown_mode_lists_registrations() {
+        let reg = ModeRegistry::builtin();
+        let err = reg.build(&ModeSpec::named("hogwild")).unwrap_err();
+        match err {
+            BuildError::UnknownMode { name, known } => {
+                assert_eq!(name, "hogwild");
+                assert_eq!(known, vec!["asgd", "local-sgd", "ssgd", "ssp"]);
+            }
+            other => panic!("expected UnknownMode, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_mode_registrations_resolve() {
+        let mut reg = ModeRegistry::builtin();
+        reg.register("pipeline-two", "ssp at a fixed staleness of 2", |_spec| {
+            Ok(Arc::new(Ssp { staleness: 2 }) as Arc<dyn TrainingMode>)
+        });
+        let m = reg.build(&ModeSpec::named("pipeline-two")).unwrap();
+        assert_eq!(
+            m.schedule(),
+            bcc_cluster::ModeSchedule::StaleBounded { staleness: 2 }
+        );
+        assert!(reg.names().contains(&"pipeline-two".to_string()));
     }
 
     #[test]

@@ -148,6 +148,117 @@ impl Deserialize for PolicySpec {
     }
 }
 
+/// A training-mode reference: registry name plus the optional parameters
+/// the built-ins take.
+///
+/// In JSON either a bare string (`"ssgd"`) or an object
+/// (`{"name": "ssp", "staleness": 4}` /
+/// `{"name": "local-sgd", "local_steps": 4}`). The bare-string form only
+/// admits the built-in names (a typo should fail at parse time, naming the
+/// valid variants); the object form passes any name through to the
+/// [`ModeRegistry`](super::ModeRegistry), so custom registrations stay
+/// reachable from spec files.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ModeSpec {
+    /// Registry name (`"ssgd"`, `"ssp"`, `"asgd"`, `"local-sgd"`, or a
+    /// custom registration).
+    pub name: String,
+    /// Staleness bound for `ssp`-style modes.
+    pub staleness: Option<usize>,
+    /// Local steps per sync for `local-sgd`-style modes.
+    pub local_steps: Option<usize>,
+}
+
+impl ModeSpec {
+    /// The default mode's registry name (the paper's synchronous rounds).
+    pub const DEFAULT_NAME: &'static str = "ssgd";
+
+    /// The built-in mode names, for error messages and `repro list`.
+    pub const VARIANTS: &'static str = "ssgd, ssp, asgd, local-sgd";
+
+    /// A mode referenced by name alone.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            staleness: None,
+            local_steps: None,
+        }
+    }
+
+    /// The built-in `ssp` mode with a staleness bound of `staleness`
+    /// rounds.
+    #[must_use]
+    pub fn ssp(staleness: usize) -> Self {
+        Self {
+            name: "ssp".into(),
+            staleness: Some(staleness),
+            local_steps: None,
+        }
+    }
+
+    /// The built-in `local-sgd` mode at `local_steps` local steps per
+    /// synchronization.
+    #[must_use]
+    pub fn local_sgd(local_steps: usize) -> Self {
+        Self {
+            name: "local-sgd".into(),
+            staleness: None,
+            local_steps: Some(local_steps),
+        }
+    }
+
+    /// Whether this is the legacy default ([`Self::DEFAULT_NAME`]) — the
+    /// configuration under which every artifact replays byte-identically
+    /// to the pre-mode driver.
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.name == Self::DEFAULT_NAME
+    }
+}
+
+impl Default for ModeSpec {
+    fn default() -> Self {
+        Self::named(Self::DEFAULT_NAME)
+    }
+}
+
+impl From<&str> for ModeSpec {
+    fn from(name: &str) -> Self {
+        Self::named(name)
+    }
+}
+
+impl From<String> for ModeSpec {
+    fn from(name: String) -> Self {
+        Self::named(name)
+    }
+}
+
+impl Deserialize for ModeSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Str(name) => {
+                if !bcc_cluster::mode::MODES.iter().any(|(n, _)| n == name) {
+                    return Err(serde::Error::msg(format!(
+                        "unknown mode `{name}`: expected one of {}",
+                        Self::VARIANTS
+                    )));
+                }
+                Ok(Self::named(name.clone()))
+            }
+            Value::Object(_) => Ok(Self {
+                name: String::from_value(v.field("name")?)?,
+                staleness: opt_field(v, "staleness")?,
+                local_steps: opt_field(v, "local_steps")?,
+            }),
+            other => Err(serde::Error::msg(format!(
+                "expected mode name or {{name, staleness?, local_steps?}} object, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Where the training data comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub enum DataSpec {
@@ -557,6 +668,10 @@ pub struct ExperimentSpec {
     /// gradient (default: `wait-decodable`, the paper's exact master —
     /// byte-identical to the pre-policy engine).
     pub policy: PolicySpec,
+    /// Training mode relating rounds to optimizer steps (default: `ssgd`,
+    /// the paper's synchronous protocol — byte-identical to the pre-mode
+    /// driver).
+    pub mode: ModeSpec,
     /// GD iterations / measured rounds (default: 100, the paper's count).
     pub iterations: usize,
     /// Record the empirical risk each iteration (default: true).
@@ -592,6 +707,7 @@ impl ExperimentSpec {
             loss: LossSpec::default(),
             optimizer: OptimizerSpec::default(),
             policy: PolicySpec::default(),
+            mode: ModeSpec::default(),
             iterations: Self::DEFAULT_ITERATIONS,
             record_risk: Self::DEFAULT_RECORD_RISK,
             seed: Self::DEFAULT_SEED,
@@ -635,6 +751,7 @@ impl Deserialize for ExperimentSpec {
             loss: opt_field(v, "loss")?.unwrap_or(defaults.loss),
             optimizer: opt_field(v, "optimizer")?.unwrap_or(defaults.optimizer),
             policy: opt_field(v, "policy")?.unwrap_or(defaults.policy),
+            mode: opt_field(v, "mode")?.unwrap_or(defaults.mode),
             iterations: opt_field(v, "iterations")?.unwrap_or(defaults.iterations),
             record_risk: opt_field(v, "record_risk")?.unwrap_or(defaults.record_risk),
             seed: opt_field(v, "seed")?.unwrap_or(defaults.seed),
@@ -677,6 +794,36 @@ mod tests {
         assert_eq!(spec.seed, 2024);
         assert_eq!(spec.policy, PolicySpec::named("wait-decodable"));
         assert!(spec.policy.is_default());
+        assert_eq!(spec.mode, ModeSpec::named("ssgd"));
+        assert!(spec.mode.is_default());
+    }
+
+    #[test]
+    fn mode_accepts_string_or_object() {
+        let m: ModeSpec = serde_json::from_str(r#""asgd""#).unwrap();
+        assert_eq!(m, ModeSpec::named("asgd"));
+        let m: ModeSpec = serde_json::from_str(r#"{"name": "ssp", "staleness": 4}"#).unwrap();
+        assert_eq!(m, ModeSpec::ssp(4));
+        let m: ModeSpec =
+            serde_json::from_str(r#"{"name": "local-sgd", "local_steps": 8}"#).unwrap();
+        assert_eq!(m, ModeSpec::local_sgd(8));
+        // The object form defers name resolution to the registry, so custom
+        // registrations stay reachable from spec files.
+        let m: ModeSpec = serde_json::from_str(r#"{"name": "my-mode"}"#).unwrap();
+        assert_eq!(m, ModeSpec::named("my-mode"));
+    }
+
+    #[test]
+    fn unknown_bare_mode_error_names_valid_variants() {
+        let err = serde_json::from_str::<ModeSpec>(r#""hogwild""#).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown mode `hogwild`"), "got: {msg}");
+        assert!(msg.contains("ssgd, ssp, asgd, local-sgd"), "got: {msg}");
+        let err = ExperimentSpec::from_json(
+            r#"{"workers": 4, "units": 4, "scheme": "uncoded", "mode": "hogwild"}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("ssgd, ssp, asgd, local-sgd"));
     }
 
     #[test]
@@ -744,6 +891,7 @@ mod tests {
                 rate: LearningRate::InverseSqrt { initial: 0.2 },
             },
             policy: PolicySpec::fastest_k(7),
+            mode: ModeSpec::ssp(3),
             iterations: 17,
             record_risk: false,
             seed: u64::MAX,

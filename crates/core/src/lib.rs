@@ -34,6 +34,7 @@ pub mod driver;
 pub mod error;
 pub mod experiment;
 pub mod hetero;
+mod modes;
 pub mod schemes;
 pub mod theory;
 
@@ -41,7 +42,7 @@ pub use driver::{DistributedGd, TrainingConfig, TrainingReport};
 pub use error::BccError;
 pub use experiment::{
     BackendSpec, BuildError, DataSpec, Experiment, ExperimentBuilder, ExperimentReport,
-    ExperimentSpec, LatencySpec, LossSpec, NetProfileSpec, OptimizerSpec, PolicyRegistry,
-    PolicySpec, SchemeRegistry, SchemeSpec,
+    ExperimentSpec, LatencySpec, LossSpec, ModeRegistry, ModeSpec, NetProfileSpec, OptimizerSpec,
+    PolicyRegistry, PolicySpec, SchemeRegistry, SchemeSpec,
 };
 pub use schemes::SchemeConfig;

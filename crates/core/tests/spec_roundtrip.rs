@@ -3,8 +3,8 @@
 //! an identical resolved scheme name, computational load, and seed.
 
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, OptimizerSpec, PolicySpec,
-    SchemeSpec,
+    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, ModeSpec, OptimizerSpec,
+    PolicySpec, SchemeSpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use bcc_optim::LearningRate;
@@ -83,6 +83,17 @@ fn policy_strategy() -> impl Strategy<Value = PolicySpec> {
     ]
 }
 
+fn mode_strategy() -> impl Strategy<Value = ModeSpec> {
+    prop_oneof![
+        Just(ModeSpec::default()),
+        Just(ModeSpec::named("asgd")),
+        (1usize..64).prop_map(ModeSpec::ssp),
+        (1usize..64).prop_map(ModeSpec::local_sgd),
+        // Custom registrations referenced by object form round-trip too.
+        (0usize..3).prop_map(|i| ModeSpec::named(["my-mode", "pipeline-two", "hogwild"][i])),
+    ]
+}
+
 fn optimizer_strategy() -> impl Strategy<Value = OptimizerSpec> {
     prop_oneof![
         (0.01f64..1.0).prop_map(OptimizerSpec::nesterov),
@@ -103,6 +114,7 @@ proptest! {
         latency in latency_strategy(),
         optimizer in optimizer_strategy(),
         policy in policy_strategy(),
+        mode in mode_strategy(),
         threaded in proptest::prelude::any::<bool>(),
         squared in proptest::prelude::any::<bool>(),
         record_risk in proptest::prelude::any::<bool>(),
@@ -124,6 +136,7 @@ proptest! {
             loss: if squared { LossSpec::Squared } else { LossSpec::Logistic },
             optimizer,
             policy,
+            mode,
             iterations,
             record_risk,
             seed,

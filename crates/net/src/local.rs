@@ -23,6 +23,7 @@ use crate::master::TcpCluster;
 use crate::stats::NetStats;
 use crate::worker::{connect_with_retry, handshake, serve_rounds, WorkerConfig};
 use bcc_cluster::backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
+use bcc_cluster::config::BackendConfig;
 use bcc_cluster::decode::DecodePool;
 use bcc_cluster::engine::RoundContext;
 use bcc_cluster::latency::ClusterProfile;
@@ -102,15 +103,49 @@ impl LocalNetCluster {
         }
     }
 
-    /// Toggles pipelined fan-out on the underlying master (see
-    /// [`TcpCluster::with_pipelining`]).
+    /// Applies every [`BackendConfig`] knob this backend implements:
+    /// latency model, aggregation policy, observer, decode pool, minibatch
+    /// sampler, receive timeout, and pipelining. Bound-master-only knobs
+    /// (heartbeat/connect timeouts, job, auth token) are ignored — the
+    /// loopback fleet handshakes with the seed-derived token and holds the
+    /// problem in-process.
+    #[must_use]
+    pub fn configured(mut self, config: BackendConfig) -> Self {
+        if let Some(model) = config.straggler_model {
+            self.model = model;
+        }
+        if let Some(policy) = config.aggregation_policy {
+            self.policy = policy;
+        }
+        if let Some(observer) = config.observer {
+            self.observer = Some(observer);
+        }
+        if let Some(pool) = config.decode_pool {
+            self.decode_pool = pool;
+        }
+        if let Some(minibatch) = config.minibatch {
+            self.minibatch = Some(minibatch);
+        }
+        if let Some(timeout) = config.recv_timeout {
+            self.recv_timeout = timeout;
+        }
+        if let Some(pipelined) = config.pipelining {
+            self.pipelined = pipelined;
+        }
+        self
+    }
+
+    /// Toggles pipelined fan-out on the underlying master.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_pipelining(mut self, pipelined: bool) -> Self {
         self.pipelined = pipelined;
         self
     }
 
-    /// See [`bcc_cluster::ThreadedCluster::with_minibatch`].
+    /// Installs a per-round unit-subset sampler (see
+    /// [`bcc_cluster::minibatch`]). `None` restores full-partition rounds.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_minibatch(mut self, minibatch: Option<Minibatch>) -> Self {
         self.minibatch = minibatch;
@@ -118,6 +153,7 @@ impl LocalNetCluster {
     }
 
     /// Overrides the master's decode/aggregate thread budget.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_decode_pool(mut self, pool: DecodePool) -> Self {
         self.decode_pool = pool;
@@ -125,6 +161,7 @@ impl LocalNetCluster {
     }
 
     /// Replaces the worker-latency model (see the straggler zoo).
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_straggler_model(mut self, model: Arc<dyn StragglerModel>) -> Self {
         self.model = model;
@@ -132,6 +169,7 @@ impl LocalNetCluster {
     }
 
     /// Replaces the aggregation policy deciding round completion.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_aggregation_policy(mut self, policy: Arc<dyn AggregationPolicy>) -> Self {
         self.policy = policy;
@@ -139,6 +177,7 @@ impl LocalNetCluster {
     }
 
     /// Installs a subscriber for the per-round event stream.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_observer(mut self, observer: SharedObserver) -> Self {
         self.observer = Some(observer);
@@ -146,6 +185,7 @@ impl LocalNetCluster {
     }
 
     /// Sets the master's no-progress timeout (real time).
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
@@ -204,21 +244,25 @@ impl LocalNetCluster {
         attempted: &mut u64,
     ) -> Result<(), ClusterError> {
         let participants = ctx.participants(&self.dead_workers);
+        let mut config = BackendConfig::new()
+            .decode_pool(self.decode_pool)
+            .straggler_model(Arc::clone(&self.model))
+            .aggregation_policy(Arc::clone(&self.policy))
+            .recv_timeout(self.recv_timeout)
+            .pipelining(self.pipelined);
+        if let Some(minibatch) = self.minibatch {
+            config = config.minibatch(minibatch);
+        }
+        if let Some(observer) = &self.observer {
+            config = config.observer(Arc::clone(observer));
+        }
         let mut master = TcpCluster::bind(
             "127.0.0.1:0",
             self.profile.clone(),
             self.seed,
             self.time_scale,
         )?
-        .with_minibatch(self.minibatch)
-        .with_decode_pool(self.decode_pool)
-        .with_straggler_model(Arc::clone(&self.model))
-        .with_aggregation_policy(Arc::clone(&self.policy))
-        .with_recv_timeout(self.recv_timeout)
-        .with_pipelining(self.pipelined);
-        if let Some(observer) = &self.observer {
-            master = master.with_observer(Arc::clone(observer));
-        }
+        .configured(config);
         master.kill_workers(self.dead_workers.iter().copied());
         let addr = master.local_addr().to_string();
         let token = auth_token(self.seed);

@@ -19,7 +19,7 @@
 //! `NetStats::backpressure_events`) instead of head-of-line-blocking the
 //! other workers, and round `t+1`'s fan-out overlaps round `t`'s tail
 //! arrivals, which the broadcast-epoch tag keeps out of the decoder.
-//! [`TcpCluster::with_pipelining`]`(false)` restores the serial
+//! [`BackendConfig::pipelining`]`(false)` restores the serial
 //! write-and-flush-per-peer path as a measurement reference; both paths
 //! produce bit-identical training outcomes because everything the
 //! decoder sees is ordered by the simulated delays, not by socket
@@ -41,6 +41,7 @@
 use crate::frame::{self, auth_token, FramePool, NetMessage};
 use crate::stats::{CountingReader, NetStats, SharedStats};
 use bcc_cluster::backend::{ClusterBackend, FixedPointDriver, RoundDriver, RoundOutcome};
+use bcc_cluster::config::BackendConfig;
 use bcc_cluster::decode::DecodePool;
 use bcc_cluster::engine::{Arrival, ArrivalEvent, ArrivalSource, RoundContext, RoundEngine};
 use bcc_cluster::latency::{ClusterProfile, CommModel};
@@ -261,16 +262,61 @@ impl TcpCluster {
         self.stats.snapshot()
     }
 
+    /// Applies every [`BackendConfig`] knob — the TCP master implements
+    /// the full set (latency model, aggregation policy, observer, decode
+    /// pool, minibatch, receive/heartbeat/connect timeouts, pipelining,
+    /// job string, auth token).
+    #[must_use]
+    pub fn configured(mut self, config: BackendConfig) -> Self {
+        if let Some(model) = config.straggler_model {
+            self.model = model;
+        }
+        if let Some(policy) = config.aggregation_policy {
+            self.policy = policy;
+        }
+        if let Some(observer) = config.observer {
+            self.observer = Some(observer);
+        }
+        if let Some(pool) = config.decode_pool {
+            self.decode_pool = pool;
+        }
+        if let Some(minibatch) = config.minibatch {
+            self.minibatch = Some(minibatch);
+        }
+        if let Some(timeout) = config.recv_timeout {
+            self.recv_timeout = timeout;
+        }
+        if let Some(timeout) = config.heartbeat_timeout {
+            self.heartbeat_timeout = timeout;
+        }
+        if let Some(timeout) = config.connect_timeout {
+            self.connect_timeout = timeout;
+        }
+        if let Some(pipelined) = config.pipelining {
+            self.pipelined = pipelined;
+        }
+        if let Some(job) = config.job {
+            self.job = job;
+        }
+        if let Some(token) = config.auth_token {
+            self.expected_token.store(token, Ordering::Relaxed);
+        }
+        self
+    }
+
     /// Sets the job string shipped to each registering worker (a JSON
     /// experiment spec for `bcc-worker` processes; leave empty for
     /// loopback workers that already hold the problem).
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_job(mut self, job: String) -> Self {
         self.job = job;
         self
     }
 
-    /// See [`bcc_cluster::ThreadedCluster::with_minibatch`].
+    /// Installs a per-round unit-subset sampler (see
+    /// [`bcc_cluster::minibatch`]). `None` restores full-partition rounds.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_minibatch(mut self, minibatch: Option<Minibatch>) -> Self {
         self.minibatch = minibatch;
@@ -278,6 +324,7 @@ impl TcpCluster {
     }
 
     /// Overrides the master's decode/aggregate thread budget.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_decode_pool(mut self, pool: DecodePool) -> Self {
         self.decode_pool = pool;
@@ -285,6 +332,7 @@ impl TcpCluster {
     }
 
     /// Replaces the worker-latency model (see the straggler zoo).
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_straggler_model(mut self, model: Arc<dyn StragglerModel>) -> Self {
         self.model = model;
@@ -292,6 +340,7 @@ impl TcpCluster {
     }
 
     /// Replaces the aggregation policy deciding round completion.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_aggregation_policy(mut self, policy: Arc<dyn AggregationPolicy>) -> Self {
         self.policy = policy;
@@ -299,6 +348,7 @@ impl TcpCluster {
     }
 
     /// Installs a subscriber for the per-round event stream.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_observer(mut self, observer: SharedObserver) -> Self {
         self.observer = Some(observer);
@@ -308,6 +358,7 @@ impl TcpCluster {
     /// Toggles pipelined fan-out (writer threads + queued broadcast).
     /// `false` restores the serial write-and-flush-per-peer path — the
     /// measurement baseline for `repro net`'s speedup column.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_pipelining(mut self, pipelined: bool) -> Self {
         self.pipelined = pipelined;
@@ -318,6 +369,7 @@ impl TcpCluster {
     /// [`auth_token`] of the bind seed; the experiment layer sets it to
     /// the token of the *job* seed so master and `bcc-worker` processes
     /// derive it independently).
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_auth_token(self, token: u64) -> Self {
         self.expected_token.store(token, Ordering::Relaxed);
@@ -325,6 +377,7 @@ impl TcpCluster {
     }
 
     /// Sets the no-progress timeout (real time) before a round exhausts.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_recv_timeout(mut self, timeout: Duration) -> Self {
         self.recv_timeout = timeout;
@@ -332,6 +385,7 @@ impl TcpCluster {
     }
 
     /// Sets the silence threshold (real time) for declaring a worker dead.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_heartbeat_timeout(mut self, timeout: Duration) -> Self {
         self.heartbeat_timeout = timeout;
@@ -340,6 +394,7 @@ impl TcpCluster {
 
     /// Sets how long the master waits for missing participants to
     /// register before failing the run.
+    #[deprecated(note = "use `configured(BackendConfig)` instead")]
     #[must_use]
     pub fn with_connect_timeout(mut self, timeout: Duration) -> Self {
         self.connect_timeout = timeout;
@@ -1238,7 +1293,7 @@ mod tests {
         );
         let mut master = TcpCluster::bind("127.0.0.1:0", profile, 1, 1.0)
             .unwrap()
-            .with_connect_timeout(Duration::from_millis(100));
+            .configured(BackendConfig::new().connect_timeout(Duration::from_millis(100)));
         let err = master.ensure_registered(&[0, 1]).unwrap_err();
         assert!(
             matches!(err, ClusterError::Net(ref msg) if msg.contains("did not register")),

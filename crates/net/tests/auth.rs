@@ -10,7 +10,8 @@
 
 use bcc_cluster::engine::RoundContext;
 use bcc_cluster::{
-    ClusterBackend, ClusterError, ClusterProfile, CommModel, UnitMap, WorkerBlocks, WorkerProfile,
+    BackendConfig, ClusterBackend, ClusterError, ClusterProfile, CommModel, UnitMap, WorkerBlocks,
+    WorkerProfile,
 };
 use bcc_coding::UncodedScheme;
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -100,12 +101,12 @@ fn wrong_job_seed_is_rejected_with_a_typed_error() {
 
 #[test]
 fn explicit_token_override_replaces_the_seed_derived_default() {
-    // `with_auth_token` decouples admission from the bind seed — the
-    // experiment builder wires `auth_token(spec.seed)` through this for
-    // external workers.
+    // `BackendConfig::auth_token` decouples admission from the bind seed —
+    // the experiment builder wires `auth_token(spec.seed)` through this
+    // for external workers.
     let mut master = TcpCluster::bind("127.0.0.1:0", two_worker_profile(), 77, 1.0)
         .expect("bind master")
-        .with_auth_token(auth_token(99));
+        .configured(BackendConfig::new().auth_token(auth_token(99)));
     let addr = master.local_addr().to_string();
 
     // The bind seed's own token no longer admits…

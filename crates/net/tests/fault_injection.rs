@@ -11,7 +11,8 @@
 
 use bcc_cluster::backend::FixedPointDriver;
 use bcc_cluster::{
-    BestEffortAll, ClusterBackend, ClusterError, ClusterProfile, CommModel, UnitMap, WorkerProfile,
+    BackendConfig, BestEffortAll, ClusterBackend, ClusterError, ClusterProfile, CommModel, UnitMap,
+    WorkerProfile,
 };
 use bcc_coding::UncodedScheme;
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -39,9 +40,11 @@ fn best_effort_all_completes_despite_midround_death() {
     let data = generate(&SyntheticConfig::small(30, 4, 61));
     let units = UnitMap::grouped(30, 10);
     let scheme = UncodedScheme::new(10, 5);
-    let mut cluster = LocalNetCluster::new(profile(), 61, 1.0)
-        .with_aggregation_policy(Arc::new(BestEffortAll))
-        .with_recv_timeout(Duration::from_secs(5));
+    let mut cluster = LocalNetCluster::new(profile(), 61, 1.0).configured(
+        BackendConfig::new()
+            .aggregation_policy(Arc::new(BestEffortAll))
+            .recv_timeout(Duration::from_secs(5)),
+    );
     // Worker 2 drops its connection the moment round 0 starts.
     cluster.fail_worker_at(2, 0);
     let out = cluster
@@ -61,8 +64,8 @@ fn wait_decodable_surfaces_typed_error_not_a_hang() {
     let units = UnitMap::grouped(30, 10);
     let scheme = UncodedScheme::new(10, 5);
     // Default policy (WaitDecodable): uncoded cannot decode with a death.
-    let mut cluster =
-        LocalNetCluster::new(profile(), 67, 1.0).with_recv_timeout(Duration::from_secs(5));
+    let mut cluster = LocalNetCluster::new(profile(), 67, 1.0)
+        .configured(BackendConfig::new().recv_timeout(Duration::from_secs(5)));
     cluster.fail_worker_at(0, 0);
     let start = Instant::now();
     let err = cluster
@@ -90,9 +93,11 @@ fn run_continues_past_a_death_under_best_effort() {
     let data = generate(&SyntheticConfig::small(30, 4, 71));
     let units = UnitMap::grouped(30, 10);
     let scheme = UncodedScheme::new(10, 5);
-    let mut cluster = LocalNetCluster::new(profile(), 71, 1.0)
-        .with_aggregation_policy(Arc::new(BestEffortAll))
-        .with_recv_timeout(Duration::from_secs(5));
+    let mut cluster = LocalNetCluster::new(profile(), 71, 1.0).configured(
+        BackendConfig::new()
+            .aggregation_policy(Arc::new(BestEffortAll))
+            .recv_timeout(Duration::from_secs(5)),
+    );
     cluster.fail_worker_at(4, 1);
     let mut driver = FixedPointDriver::new(vec![0.0; 4]);
     cluster

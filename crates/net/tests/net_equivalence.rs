@@ -16,8 +16,8 @@
 
 use bcc_cluster::backend::FixedPointDriver;
 use bcc_cluster::{
-    ClusterBackend, ClusterProfile, CommModel, Minibatch, RoundOutcome, ThreadedCluster, UnitMap,
-    VirtualCluster, WorkerProfile,
+    BackendConfig, ClusterBackend, ClusterProfile, CommModel, Minibatch, RoundOutcome,
+    ThreadedCluster, UnitMap, VirtualCluster, WorkerProfile,
 };
 use bcc_coding::{BccScheme, GradientCodingScheme, UncodedScheme};
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -176,12 +176,12 @@ fn minibatch_rounds_stay_equivalent_over_tcp() {
     let units = UnitMap::grouped(24, 8);
     let scheme = UncodedScheme::new(8, 4);
     let data = generate(&SyntheticConfig::small(24, 4, 53));
-    let minibatch = Some(Minibatch::new(4, 53));
+    let minibatch = Minibatch::new(4, 53);
     let rounds = 2;
 
     let mut virtual_driver = FixedPointDriver::new(vec![0.1; 4]);
     VirtualCluster::new(profile.clone(), 53)
-        .with_minibatch(minibatch)
+        .configured(BackendConfig::new().minibatch(minibatch))
         .run_rounds(
             rounds,
             &scheme,
@@ -194,7 +194,7 @@ fn minibatch_rounds_stay_equivalent_over_tcp() {
 
     let mut tcp_driver = FixedPointDriver::new(vec![0.1; 4]);
     LocalNetCluster::new(profile, 53, 1.0)
-        .with_minibatch(minibatch)
+        .configured(BackendConfig::new().minibatch(minibatch))
         .run_rounds(
             rounds,
             &scheme,

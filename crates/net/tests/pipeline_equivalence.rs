@@ -15,7 +15,8 @@
 use bcc_cluster::backend::FixedPointDriver;
 use bcc_cluster::policy::{AggregationPolicy, BestEffortAll, Deadline, FastestK, WaitDecodable};
 use bcc_cluster::{
-    ClusterBackend, ClusterProfile, CommModel, RoundOutcome, UnitMap, VirtualCluster, WorkerProfile,
+    BackendConfig, ClusterBackend, ClusterProfile, CommModel, RoundOutcome, UnitMap,
+    VirtualCluster, WorkerProfile,
 };
 use bcc_coding::{BccScheme, CyclicRepetitionScheme, GradientCodingScheme, UncodedScheme};
 use bcc_data::synthetic::{generate, SyntheticConfig};
@@ -121,9 +122,11 @@ fn run_net(
     rounds: usize,
     seed: u64,
 ) -> (RunResult, Option<bcc_net::NetStats>) {
-    let mut cluster = LocalNetCluster::new(profile.clone(), seed, 0.5)
-        .with_pipelining(pipelined)
-        .with_aggregation_policy(Arc::clone(policy));
+    let mut cluster = LocalNetCluster::new(profile.clone(), seed, 0.5).configured(
+        BackendConfig::new()
+            .pipelining(pipelined)
+            .aggregation_policy(Arc::clone(policy)),
+    );
     let mut driver = FixedPointDriver::new(vec![0.05; 4]);
     let result = cluster
         .run_rounds(rounds, scheme, units, data, &LogisticLoss, &mut driver)
@@ -150,7 +153,7 @@ fn pipelined_fanout_matches_serial_across_schemes_and_policies() {
 
             let mut virtual_driver = FixedPointDriver::new(vec![0.05; 4]);
             let virtual_result: RunResult = VirtualCluster::new(profile.clone(), seed)
-                .with_aggregation_policy(Arc::clone(&policy))
+                .configured(BackendConfig::new().aggregation_policy(Arc::clone(&policy)))
                 .run_rounds(
                     rounds,
                     scheme.as_ref(),

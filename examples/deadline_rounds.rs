@@ -74,9 +74,11 @@ fn main() {
     // The same policy layer is available below the declarative API: wire a
     // backend by hand and subscribe to its round events.
     let log = EventLog::shared();
-    let mut cluster = VirtualCluster::new(bcc::cluster::ClusterProfile::ec2_like(8), 3)
-        .with_aggregation_policy(std::sync::Arc::new(bcc::cluster::Deadline::new(0.1)))
-        .with_observer(log.clone() as SharedObserver);
+    let mut cluster = VirtualCluster::new(bcc::cluster::ClusterProfile::ec2_like(8), 3).configured(
+        bcc::cluster::BackendConfig::new()
+            .aggregation_policy(std::sync::Arc::new(bcc::cluster::Deadline::new(0.1)))
+            .observer(log.clone() as SharedObserver),
+    );
     let g = bcc::data::synthetic::generate(&bcc::data::synthetic::SyntheticConfig::small(16, 4, 3));
     let units = bcc::cluster::UnitMap::grouped(16, 8);
     let scheme = bcc::coding::UncodedScheme::new(8, 8);

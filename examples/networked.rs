@@ -98,8 +98,11 @@ fn main() {
     let spec = experiment.spec().clone();
     let mut master = TcpCluster::bind("127.0.0.1:0", experiment.profile().clone(), 41, 1.0)
         .expect("bind master")
-        .with_job(spec.to_json_pretty().expect("spec serializes"))
-        .with_auth_token(bcc::net::auth_token(spec.seed));
+        .configured(
+            bcc::cluster::BackendConfig::new()
+                .job(spec.to_json_pretty().expect("spec serializes"))
+                .auth_token(bcc::net::auth_token(spec.seed)),
+        );
     let addr = master.local_addr().to_string();
     let handles: Vec<_> = (0..spec.workers)
         .map(|w| {

@@ -6,8 +6,8 @@
 //! cannot.
 
 use bcc::cluster::{
-    ClusterBackend, ClusterError, ClusterProfile, CommModel, ThreadedCluster, UnitMap,
-    VirtualCluster,
+    BackendConfig, ClusterBackend, ClusterError, ClusterProfile, CommModel, ThreadedCluster,
+    UnitMap, VirtualCluster,
 };
 use bcc::coding::{BccScheme, CyclicRepetitionScheme, FractionalRepetitionScheme, UncodedScheme};
 use bcc::data::synthetic::{generate, SyntheticConfig};
@@ -120,7 +120,7 @@ fn tcp_backend_reports_stall_on_pre_round_death() {
     let (data, units) = data_and_units();
     let scheme = UncodedScheme::new(N, N);
     let mut cluster = bcc::net::LocalNetCluster::new(profile(), 5, 0.002)
-        .with_recv_timeout(Duration::from_millis(400));
+        .configured(BackendConfig::new().recv_timeout(Duration::from_millis(400)));
     cluster.kill_workers([7]);
     let err = cluster
         .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])
@@ -141,7 +141,7 @@ fn tcp_backend_mid_round_death_respects_scheme_redundancy() {
     // uncoded stalls, a coverage-preserving BCC death decodes.
     let (data, units) = data_and_units();
     let mut cluster = bcc::net::LocalNetCluster::new(profile(), 6, 0.002)
-        .with_recv_timeout(Duration::from_secs(5));
+        .configured(BackendConfig::new().recv_timeout(Duration::from_secs(5)));
 
     cluster.fail_worker_at(7, 0);
     let scheme = UncodedScheme::new(N, N);
@@ -170,8 +170,8 @@ fn tcp_backend_mid_round_death_respects_scheme_redundancy() {
 fn threaded_backend_reports_stall_on_death() {
     let (data, units) = data_and_units();
     let scheme = UncodedScheme::new(N, N);
-    let mut cluster =
-        ThreadedCluster::new(profile(), 5, 0.002).with_recv_timeout(Duration::from_millis(400));
+    let mut cluster = ThreadedCluster::new(profile(), 5, 0.002)
+        .configured(BackendConfig::new().recv_timeout(Duration::from_millis(400)));
     cluster.kill_workers([7]);
     let err = cluster
         .run_round(&scheme, &units, &data, &LogisticLoss, &[0.0; 4])

@@ -10,7 +10,7 @@
 //!    `best-effort-all` with reduced coverage — no stall, no hang.
 
 use bcc::cluster::{
-    BestEffortAll, ClusterBackend, CommModel, UnitMap, VirtualCluster, WorkerProfile,
+    BackendConfig, BestEffortAll, ClusterBackend, CommModel, UnitMap, VirtualCluster, WorkerProfile,
 };
 use bcc::experiment::{BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, SchemeSpec};
 use bcc::net::TcpCluster;
@@ -131,7 +131,7 @@ fn external_worker_processes_match_the_virtual_backend() {
 
     let mut master = TcpCluster::bind("127.0.0.1:0", experiment.profile().clone(), 99, 1.0)
         .expect("bind master")
-        .with_job(spec.to_json_pretty().unwrap());
+        .configured(BackendConfig::new().job(spec.to_json_pretty().unwrap()));
     let addr = master.local_addr().to_string();
     let mut children = spawn_workers(&addr, spec.workers, 99);
 
@@ -184,9 +184,12 @@ fn killing_a_worker_process_mid_round_completes_under_best_effort() {
 
     let mut master = TcpCluster::bind("127.0.0.1:0", experiment.profile().clone(), 107, 1.0)
         .expect("bind master")
-        .with_job(spec.to_json_pretty().unwrap())
-        .with_aggregation_policy(Arc::new(BestEffortAll))
-        .with_recv_timeout(Duration::from_secs(20));
+        .configured(
+            BackendConfig::new()
+                .job(spec.to_json_pretty().unwrap())
+                .aggregation_policy(Arc::new(BestEffortAll))
+                .recv_timeout(Duration::from_secs(20)),
+        );
     let addr = master.local_addr().to_string();
     let mut children = spawn_workers(&addr, spec.workers, 107);
 
