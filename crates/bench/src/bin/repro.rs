@@ -12,6 +12,7 @@
 //! repro engine               # round-engine throughput → BENCH_round_engine.json
 //! repro sweep                # straggler-model sweep → BENCH_straggler_sweep.json
 //! repro policy               # aggregation-policy tradeoff → BENCH_policy_tradeoff.json
+//! repro control              # adaptive-control grid → BENCH_adaptive.json
 //! repro scale                # data-path scaling grid → BENCH_scale.json
 //! repro net [--wan]          # loopback-TCP backend grid → BENCH_net.json
 //!                            # (--wan adds deterministic-latency WAN cells)
@@ -32,12 +33,14 @@
 
 use bcc_bench::experiments::spec_run::ScenarioSpec;
 use bcc_bench::experiments::{
-    ablation, engine_bench, fig2, fig5, modes, net_bench, policy_sweep, scale, scenario, spec_run,
-    sweep,
+    ablation, control, engine_bench, fig2, fig5, modes, net_bench, policy_sweep, scale, scenario,
+    spec_run, sweep,
 };
 use bcc_bench::gate;
 use bcc_bench::report::{write_json, Table};
-use bcc_core::experiment::{ExperimentSpec, ModeRegistry, PolicyRegistry, SchemeRegistry};
+use bcc_core::experiment::{
+    ControllerRegistry, ExperimentSpec, ModeRegistry, PolicyRegistry, SchemeRegistry,
+};
 use bcc_core::schemes::SchemeConfig;
 use std::path::PathBuf;
 
@@ -94,7 +97,7 @@ fn parse_args() -> Args {
             "-h" | "--help" => {
                 println!(
                     "usage: repro [--fast] [--wan] [--out DIR] \
-                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy|modes|scale|net]... \
+                     [all|fig2|fig4|table1|table2|fig5|ablations|engine|sweep|policy|modes|control|scale|net]... \
                      [scenario SPEC.json]... \
                      [list] \
                      [gate --baseline-dir DIR [--current-dir DIR] [--max-slowdown X]]"
@@ -124,7 +127,7 @@ fn print_table(t: &Table) {
 }
 
 /// Every named artifact target.
-const KNOWN_TARGETS: [&str; 13] = [
+const KNOWN_TARGETS: [&str; 14] = [
     "all",
     "fig2",
     "fig4",
@@ -136,6 +139,7 @@ const KNOWN_TARGETS: [&str; 13] = [
     "sweep",
     "policy",
     "modes",
+    "control",
     "scale",
     "net",
 ];
@@ -420,6 +424,49 @@ fn main() {
         }
     }
 
+    if want("control") {
+        ran_any = true;
+        let cfg = if args.fast {
+            control::ControlConfig::fast()
+        } else {
+            control::ControlConfig::default_config()
+        };
+        let result = control::run(&cfg);
+        print_table(&control::render(&result));
+        // Perf/scenario-trajectory artifact: fixed name at the repo root,
+        // like the other BENCH files.
+        match serde_json::to_string_pretty(&result) {
+            Ok(body) => match std::fs::write("BENCH_adaptive.json", body) {
+                Ok(()) => println!("[saved BENCH_adaptive.json]\n"),
+                Err(e) => eprintln!("[warn] could not write BENCH_adaptive.json: {e}"),
+            },
+            Err(e) => eprintln!("[warn] could not serialize control grid: {e}"),
+        }
+        persist(&args.out_dir, "bench_adaptive", &result);
+        // Per-cell spec files: each (model × scheme × controller) cell
+        // replays standalone via
+        // `repro scenario experiments/control/<cell>.spec.json`. Skipped
+        // for --fast, mirroring the sweeps: smoke runs must not overwrite
+        // the checked-in full-config specs.
+        if args.fast {
+            println!(
+                "[--fast: skipping per-cell control specs (checked-in specs are full-config)]"
+            );
+        } else {
+            let control_dir = args.out_dir.join("control");
+            for (name, spec) in cfg.cells() {
+                persist_spec(
+                    &control_dir,
+                    &name,
+                    &ScenarioSpec {
+                        name: spec.name.clone(),
+                        experiments: vec![spec],
+                    },
+                );
+            }
+        }
+    }
+
     if want("scale") {
         ran_any = true;
         let cfg = if args.fast {
@@ -527,6 +574,15 @@ fn run_list() {
         modes.push_row(vec![name, description]);
     }
     print_table(&modes);
+
+    let mut controllers = Table::new(
+        "straggler controllers (ControllerSpec name)",
+        &["name", "description"],
+    );
+    for (name, description) in ControllerRegistry::builtin().descriptions() {
+        controllers.push_row(vec![name, description]);
+    }
+    print_table(&controllers);
 
     let mut data = Table::new("data paths (DataSpec)", &["name", "description"]);
     data.push_row(vec![

@@ -15,8 +15,8 @@
 use crate::report::{f1, f3, Table};
 use bcc_cluster::{ClusterProfile, CommModel};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
-    OptimizerSpec, PolicySpec,
+    BackendSpec, ControllerSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec,
+    ModeSpec, OptimizerSpec, PolicySpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use bcc_core::theory;
@@ -61,6 +61,7 @@ pub fn arm_spec(
         optimizer: OptimizerSpec::FixedPoint,
         policy: PolicySpec::default(),
         mode: ModeSpec::default(),
+        controller: ControllerSpec::default(),
         iterations: rounds,
         record_risk: false,
         seed,

@@ -21,8 +21,8 @@
 use crate::report::{f1, f3, Table};
 use bcc_cluster::UnitMap;
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
-    OptimizerSpec, PolicySpec,
+    BackendSpec, ControllerSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec,
+    ModeSpec, OptimizerSpec, PolicySpec,
 };
 use bcc_data::synthetic::{generate, SyntheticConfig};
 use bcc_optim::{GradScratch, LogisticLoss, Loss};
@@ -127,6 +127,7 @@ impl EngineBenchConfig {
                 optimizer: OptimizerSpec::FixedPoint,
                 policy: PolicySpec::default(),
                 mode: ModeSpec::default(),
+                controller: ControllerSpec::default(),
                 iterations: self.rounds,
                 record_risk: false,
                 seed: self.seed,

@@ -1,6 +1,7 @@
 //! Experiment implementations, one module per paper artifact.
 
 pub mod ablation;
+pub mod control;
 pub mod engine_bench;
 pub mod fig2;
 pub mod fig5;

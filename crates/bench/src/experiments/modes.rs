@@ -21,8 +21,8 @@
 
 use crate::report::{f1, f3, Table};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
-    OptimizerSpec, PolicySpec,
+    BackendSpec, ControllerSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec,
+    ModeSpec, OptimizerSpec, PolicySpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use bcc_optim::LearningRate;
@@ -171,6 +171,7 @@ impl ModesConfig {
                         },
                         policy: PolicySpec::default(),
                         mode: mode.clone(),
+                        controller: ControllerSpec::default(),
                         iterations: self.iterations,
                         record_risk: true,
                         seed: self.seed,

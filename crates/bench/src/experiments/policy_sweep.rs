@@ -19,8 +19,8 @@
 
 use crate::report::{f1, f3, Table};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
-    OptimizerSpec, PolicySpec,
+    BackendSpec, ControllerSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec,
+    ModeSpec, OptimizerSpec, PolicySpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use bcc_stats::summary::quantile;
@@ -152,6 +152,7 @@ impl PolicySweepConfig {
                         optimizer: OptimizerSpec::nesterov(0.5),
                         policy: policy.clone(),
                         mode: ModeSpec::default(),
+                        controller: ControllerSpec::default(),
                         iterations: self.iterations,
                         record_risk: true,
                         seed: self.seed,

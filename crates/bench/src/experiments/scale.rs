@@ -37,8 +37,8 @@ use crate::report::{f1, Table};
 use bcc_cluster::{DecodePool, Minibatch, StreamedContext, UnitMap, UnitSelection};
 use bcc_coding::{CyclicRepetitionScheme, GradientCodingScheme, Payload};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
-    OptimizerSpec, PolicySpec,
+    BackendSpec, ControllerSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec,
+    ModeSpec, OptimizerSpec, PolicySpec,
 };
 use bcc_data::synthetic::SyntheticConfig;
 use bcc_data::ChunkedDataset;
@@ -200,6 +200,7 @@ impl ScaleGrid {
             optimizer: OptimizerSpec::FixedPoint,
             policy: PolicySpec::default(),
             mode: ModeSpec::default(),
+            controller: ControllerSpec::default(),
             iterations: self.rounds,
             record_risk: false,
             seed: self.seed,

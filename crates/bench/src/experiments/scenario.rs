@@ -10,8 +10,8 @@
 
 use crate::report::{f1, f3, Table};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentReport, ExperimentSpec, LatencySpec, LossSpec,
-    ModeSpec, OptimizerSpec, PolicySpec,
+    BackendSpec, ControllerSpec, DataSpec, Experiment, ExperimentReport, ExperimentSpec,
+    LatencySpec, LossSpec, ModeSpec, OptimizerSpec, PolicySpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use serde::{Deserialize, Serialize};
@@ -106,6 +106,7 @@ impl ScenarioConfig {
             optimizer: OptimizerSpec::nesterov(0.5),
             policy: PolicySpec::default(),
             mode: ModeSpec::default(),
+            controller: ControllerSpec::default(),
             iterations: self.iterations,
             record_risk,
             seed: self.seed,

@@ -20,8 +20,8 @@
 
 use crate::report::{f1, Table};
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
-    OptimizerSpec, PolicySpec,
+    BackendSpec, ControllerSpec, DataSpec, Experiment, ExperimentSpec, LatencySpec, LossSpec,
+    ModeSpec, OptimizerSpec, PolicySpec,
 };
 use bcc_stats::summary::quantile;
 use serde::{Deserialize, Serialize};
@@ -159,6 +159,7 @@ impl SweepConfig {
                         optimizer: OptimizerSpec::FixedPoint,
                         policy: PolicySpec::default(),
                         mode: ModeSpec::default(),
+                        controller: ControllerSpec::default(),
                         iterations: self.rounds,
                         record_risk: false,
                         seed,

@@ -22,6 +22,7 @@
 //! catching the step-function regressions that matter (a lost
 //! vectorization, an accidental per-round allocation, a dropped cache).
 
+use crate::experiments::control::ControlResult;
 use crate::experiments::engine_bench::{EngineBenchResult, GradientKernelResult};
 use crate::experiments::modes::ModesResult;
 use crate::experiments::net_bench::NetBenchResult;
@@ -272,6 +273,66 @@ pub fn compare_modes(
         .collect()
 }
 
+/// Compares two adaptive-control grid results per cell
+/// (`simulated_seconds` — deterministic on the virtual backend, so any
+/// drift is a *controller-behaviour* change, not host noise: a regressed
+/// entry means the telemetry statistics, a controller's decision rule, or
+/// the round-boundary application changed).
+///
+/// Additionally fails — a non-ratio check — when any current adaptive
+/// cell stopped beating its `static` counterpart on simulated wallclock
+/// at equal-or-lower final risk (1 % slack) in at least four cells per
+/// controller: the artifact's headline claim must keep holding, not just
+/// its timings.
+///
+/// # Errors
+/// A readable message when the configs differ, a baseline cell is missing
+/// from the current measurement, or the static-vs-adaptive claim broke.
+pub fn compare_control(
+    baseline: &ControlResult,
+    current: &ControlResult,
+    max_slowdown: f64,
+) -> Result<Vec<GateEntry>, String> {
+    if baseline.config != current.config {
+        return Err(format!(
+            "adaptive: baseline and current configs differ — baseline {:?} vs current {:?}; \
+             measure with the same configuration (did one side run --fast?)",
+            baseline.config, current.config
+        ));
+    }
+    let wins = current.wins_over_static(0.01);
+    for controller in ["quantile-deadline", "adaptive-k", "regime-switch"] {
+        let own = wins.iter().filter(|(_, _, c, _)| c == controller).count();
+        if own < 4 {
+            return Err(format!(
+                "adaptive: controller `{controller}` now beats static in only {own} cells \
+                 (need ≥ 4 at ≤ 1% risk slack) — the adaptive-control claim broke"
+            ));
+        }
+    }
+    baseline
+        .rows
+        .iter()
+        .map(|b| {
+            let c = current
+                .row(&b.model, &b.scheme, &b.controller)
+                .ok_or_else(|| {
+                    format!(
+                        "adaptive: cell `{}/{}/{}` missing from current measurement",
+                        b.model, b.scheme, b.controller
+                    )
+                })?;
+            entry(
+                "adaptive",
+                format!("{}/{}/{} simulated s", b.model, b.scheme, b.controller),
+                b.simulated_seconds,
+                c.simulated_seconds,
+                max_slowdown,
+            )
+        })
+        .collect()
+}
+
 /// Compares two scale-benchmark results per grid cell
 /// (`simulated_seconds_per_round` — deterministic on the virtual backend,
 /// so any drift is a behaviour change, not host noise).
@@ -437,6 +498,11 @@ pub fn run(
         let current: NetBenchResult = read_json(&current_dir.join("BENCH_net.json"))?;
         entries.extend(compare_net(&baseline, &current, max_slowdown)?);
     }
+    {
+        let baseline: ControlResult = read_json(&baseline_dir.join("BENCH_adaptive.json"))?;
+        let current: ControlResult = read_json(&current_dir.join("BENCH_adaptive.json"))?;
+        entries.extend(compare_control(&baseline, &current, max_slowdown)?);
+    }
     Ok(GateReport {
         max_slowdown,
         entries,
@@ -584,6 +650,46 @@ mod tests {
         }
     }
 
+    /// A minimal grid where the adaptive-control claim holds: six
+    /// (model × scheme) pairs, each with a slow `static` baseline and
+    /// three adaptive controllers at `adaptive_sim` seconds and matched
+    /// risk — every adaptive builtin wins in 6 cells (two over the ≥ 4
+    /// floor, so dropping a single cell still tests entry alignment, not
+    /// the claim check).
+    fn control_result(adaptive_sim: f64) -> ControlResult {
+        use crate::experiments::control::{ControlCellRow, ControlConfig};
+        let mut rows = Vec::new();
+        for model in ["markov", "bimodal"] {
+            for scheme in ["uncoded", "bcc", "fractional-repetition"] {
+                for controller in ["static", "quantile-deadline", "adaptive-k", "regime-switch"] {
+                    rows.push(ControlCellRow {
+                        model: model.into(),
+                        scheme: scheme.into(),
+                        controller: controller.into(),
+                        rounds: 30,
+                        simulated_seconds: if controller == "static" {
+                            10.0
+                        } else {
+                            adaptive_sim
+                        },
+                        avg_messages_used: 18.0,
+                        final_risk: 0.2,
+                        switches: usize::from(controller != "static"),
+                        trace: Vec::new(),
+                        wall_seconds: 0.01,
+                    });
+                }
+            }
+        }
+        ControlResult {
+            schema: "bcc/bench_adaptive/v1".into(),
+            backend: "virtual-des".into(),
+            config: ControlConfig::default_config(),
+            threads_used: 1,
+            rows,
+        }
+    }
+
     fn net_result(avg_messages: f64) -> NetBenchResult {
         use crate::experiments::net_bench::{NetBenchConfig, NetCellRow};
         NetBenchResult {
@@ -696,7 +802,8 @@ mod tests {
                      policy: &PolicySweepResult,
                      modes: &ModesResult,
                      scale: &ScaleBenchResult,
-                     net: &NetBenchResult| {
+                     net: &NetBenchResult,
+                     control: &ControlResult| {
             std::fs::write(
                 dir.join("BENCH_round_engine.json"),
                 serde_json::to_string_pretty(engine).unwrap(),
@@ -727,6 +834,11 @@ mod tests {
                 serde_json::to_string_pretty(net).unwrap(),
             )
             .unwrap();
+            std::fs::write(
+                dir.join("BENCH_adaptive.json"),
+                serde_json::to_string_pretty(control).unwrap(),
+            )
+            .unwrap();
         };
         write(
             &baseline_dir,
@@ -736,6 +848,7 @@ mod tests {
             &modes_result(2.0),
             &scale_result(0.3),
             &net_result(6.0),
+            &control_result(2.0),
         );
         // Engine fine, kernel injected 1.6x slower: the gate must fail on
         // exactly that entry.
@@ -747,10 +860,11 @@ mod tests {
             &modes_result(2.0),
             &scale_result(0.3),
             &net_result(6.0),
+            &control_result(2.0),
         );
 
         let report = run(&baseline_dir, &current_dir, 1.5).unwrap();
-        assert_eq!(report.entries.len(), 6);
+        assert_eq!(report.entries.len(), 6 + control_result(2.0).rows.len());
         assert!(!report.passed());
         let failures = report.failures();
         assert_eq!(failures.len(), 1);
@@ -872,6 +986,52 @@ mod tests {
         other_cfg.config.iterations = 10; // e.g. baseline full, current --fast
         let err = compare_modes(&modes_result(2.0), &other_cfg, 1.5).unwrap_err();
         assert!(err.contains("configs differ"), "{err}");
+    }
+
+    #[test]
+    fn control_drift_fails_the_gate() {
+        // Simulated wallclock is deterministic on the virtual backend:
+        // drift beyond the threshold is a controller-behaviour change.
+        let entries = compare_control(&control_result(2.0), &control_result(3.5), 1.5).unwrap();
+        let failed: Vec<_> = entries.iter().filter(|e| !e.ok).collect();
+        assert!(!failed.is_empty());
+        assert!(failed[0].entry.contains("quantile-deadline"));
+        let missing = ControlResult {
+            rows: control_result(2.0)
+                .rows
+                .into_iter()
+                .filter(|r| {
+                    !(r.model == "markov" && r.scheme == "uncoded" && r.controller == "adaptive-k")
+                })
+                .collect(),
+            ..control_result(2.0)
+        };
+        let err = compare_control(&control_result(2.0), &missing, 1.5).unwrap_err();
+        assert!(err.contains("missing"), "{err}");
+        let mut other_cfg = control_result(2.0);
+        other_cfg.config.iterations = 10; // e.g. baseline full, current --fast
+        let err = compare_control(&control_result(2.0), &other_cfg, 1.5).unwrap_err();
+        assert!(err.contains("configs differ"), "{err}");
+    }
+
+    #[test]
+    fn control_claim_break_is_an_error_not_a_pass() {
+        // An adaptive controller that stops beating static (here: its
+        // wallclock now exceeds the 10.0s baseline) must fail the gate
+        // even though the ratio comparison alone would pass.
+        let baseline = control_result(2.0);
+        let mut current = control_result(2.0);
+        for row in &mut current.rows {
+            if row.controller == "adaptive-k" {
+                row.simulated_seconds = 11.0;
+            }
+        }
+        // Keep ratios inside the threshold by widening the allowance.
+        let err = compare_control(&baseline, &current, 10.0).unwrap_err();
+        assert!(
+            err.contains("adaptive-k") && err.contains("claim broke"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -194,6 +194,112 @@ fn net_artifact_simulated_metrics_replay_byte_identically() {
     panic!("net artifact replay failed on every attempt: {last_err}");
 }
 
+/// The committed adaptive-control grid replays from its own config: one
+/// cell per builtin controller, pinning the simulated wallclock, final
+/// risk, and switch count bit-for-bit. The grid runs on the virtual
+/// backend, so any drift is a change in the telemetry/controller algebra
+/// itself. The pin also re-asserts the headline claim the artifact
+/// exists to carry: every adaptive controller beats its static
+/// counterpart on wallclock at ≤ 1% risk slack in at least four cells.
+#[test]
+fn control_artifact_cells_replay_byte_identically() {
+    use bcc_bench::experiments::control::ControlResult;
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_adaptive.json");
+    let body = std::fs::read_to_string(path).expect("artifact is checked in");
+    let artifact: ControlResult = serde_json::from_str(&body).expect("artifact parses");
+
+    // One cell per builtin controller keeps the debug-mode cost modest;
+    // static rides on the markov model, the adaptives on bimodal.
+    for (model, scheme, controller) in [
+        ("markov", "bcc", "static"),
+        ("markov", "uncoded", "adaptive-k"),
+        ("bimodal", "bcc", "quantile-deadline"),
+        ("bimodal", "fractional-repetition", "regime-switch"),
+    ] {
+        let (name, spec) = artifact
+            .config
+            .cells()
+            .into_iter()
+            .find(|(name, _)| name == &format!("{model}_{scheme}_{controller}"))
+            .expect("cell in grid");
+        let report = Experiment::from_spec(spec)
+            .expect("control cell builds")
+            .run()
+            .expect("control cell completes");
+        let row = artifact
+            .row(model, scheme, controller)
+            .expect("row present");
+        assert_eq!(
+            report.simulated_seconds.to_bits(),
+            row.simulated_seconds.to_bits(),
+            "{name}: simulated wallclock drifted"
+        );
+        assert_eq!(
+            report.trace.final_risk().expect("risk recorded").to_bits(),
+            row.final_risk.to_bits(),
+            "{name}: final risk drifted"
+        );
+        assert_eq!(
+            report.controller_switches, row.switches,
+            "{name}: switch count drifted"
+        );
+        assert_eq!(
+            report.controller_records.len(),
+            row.trace.len(),
+            "{name}: decision trace length drifted"
+        );
+    }
+
+    for controller in ["quantile-deadline", "adaptive-k", "regime-switch"] {
+        let wins = artifact
+            .wins_over_static(0.01)
+            .into_iter()
+            .filter(|(_, _, c, _)| c == controller)
+            .count();
+        assert!(
+            wins >= 4,
+            "checked-in artifact must show `{controller}` beating static in ≥ 4 cells (got {wins})"
+        );
+    }
+}
+
+/// Static bit-identity: threading an explicit `static` controller through
+/// a pre-controller artifact's spec must change nothing. The modes grid
+/// predates `bcc_control`, so replaying one of its cells with the
+/// controller field spelled out pins the no-op guarantee end to end.
+#[test]
+fn explicit_static_controller_replays_pre_controller_artifact_bits() {
+    use bcc_bench::experiments::modes::ModesResult;
+    use bcc_core::experiment::ControllerSpec;
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_modes.json");
+    let body = std::fs::read_to_string(path).expect("artifact is checked in");
+    let artifact: ModesResult = serde_json::from_str(&body).expect("artifact parses");
+
+    let (name, mut spec) = artifact
+        .config
+        .cells()
+        .into_iter()
+        .find(|(name, _)| name == "pareto_bcc_ssgd")
+        .expect("cell in grid");
+    spec.controller = ControllerSpec::named("static");
+    let report = Experiment::from_spec(spec)
+        .expect("mode cell builds with explicit static controller")
+        .run()
+        .expect("mode cell completes");
+    let row = artifact.row("pareto", "bcc", "ssgd").expect("row present");
+    assert_eq!(
+        report.simulated_seconds.to_bits(),
+        row.simulated_seconds.to_bits(),
+        "{name}: explicit static controller changed the simulated wallclock"
+    );
+    assert_eq!(
+        report.trace.final_risk().expect("risk recorded").to_bits(),
+        row.final_risk.to_bits(),
+        "{name}: explicit static controller changed the final risk"
+    );
+    assert_eq!(report.controller_switches, 0, "static never switches");
+}
+
 /// The committed policy-tradeoff artifact replays from its own config:
 /// simulated times, coverage, and final risk are deterministic on the
 /// virtual backend, so any drift is a behaviour change in the policy

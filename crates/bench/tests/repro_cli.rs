@@ -115,6 +115,7 @@ fn gate_exit_code_tracks_the_verdict() {
         "BENCH_modes.json",
         "BENCH_scale.json",
         "BENCH_net.json",
+        "BENCH_adaptive.json",
     ] {
         std::fs::copy(repo_root.join(name), baseline.join(name)).unwrap();
         std::fs::copy(repo_root.join(name), current.join(name)).unwrap();
@@ -184,6 +185,11 @@ fn list_enumerates_schemes_models_and_policies() {
         "asgd",
         "local-sgd",
         "training modes",
+        "straggler controllers",
+        "static",
+        "quantile-deadline",
+        "adaptive-k",
+        "regime-switch",
         "Batched Coupon's Collector",
         "in-memory",
         "chunked",
@@ -351,6 +357,69 @@ fn invalid_mode_parameter_in_spec_file_is_a_readable_error() {
     assert!(
         err.contains("mode.staleness"),
         "stderr must name the bad field: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn unknown_controller_in_spec_file_is_a_readable_error() {
+    // The bare-string form validates at parse time: a typo'd controller
+    // name is a spec error (usage exit code) naming every builtin.
+    let dir = scratch("controller");
+    let spec = dir.join("bad_controller.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "uncoded", "controller": "pid", "iterations": 2}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "unknown controller is a spec error (usage exit code): {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("unknown controller") && err.contains("pid"),
+        "stderr must name the bad controller: {err}"
+    );
+    assert!(
+        err.contains("static")
+            && err.contains("quantile-deadline")
+            && err.contains("adaptive-k")
+            && err.contains("regime-switch"),
+        "stderr must list the builtin controllers: {err}"
+    );
+    assert!(!err.contains("panicked"), "must not panic: {err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn adaptive_controller_under_stale_mode_is_a_readable_error() {
+    // Object form passes parsing, but an adaptive controller under a
+    // non-synchronous mode must fail the build with the field named.
+    let dir = scratch("controller_mode");
+    let spec = dir.join("adaptive_asgd.json");
+    std::fs::write(
+        &spec,
+        r#"{"workers": 10, "units": 10, "scheme": "uncoded", "iterations": 2,
+            "mode": "asgd", "controller": {"name": "adaptive-k", "slow_factor": 3.0}}"#,
+    )
+    .unwrap();
+
+    let out = repro(&["scenario", spec.to_str().unwrap()], &dir);
+    assert!(
+        !out.status.success(),
+        "adaptive control under asgd must fail the run: {}",
+        stderr(&out)
+    );
+    let err = stderr(&out);
+    assert!(
+        err.contains("controller") && err.contains("ssgd"),
+        "stderr must name the field and the required mode: {err}"
     );
     assert!(!err.contains("panicked"), "must not panic: {err}");
     std::fs::remove_dir_all(&dir).unwrap();

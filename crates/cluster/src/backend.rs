@@ -1,7 +1,7 @@
 //! The backend trait both runtimes implement.
 
 use crate::error::ClusterError;
-use crate::metrics::{RoundMetrics, RoundSample};
+use crate::metrics::{ArrivalStamp, RoundMetrics, RoundSample};
 use crate::policy::AggregatedGradient;
 use crate::units::UnitMap;
 use bcc_coding::{Coverage, GradientCodingScheme};
@@ -27,6 +27,10 @@ pub struct RoundOutcome {
     /// minibatch rounds (divide `gradient_sum` by this, not the dataset
     /// size), `None` on full-partition rounds.
     pub examples_used: Option<usize>,
+    /// The messages the master consumed, sorted by worker id — the
+    /// per-worker arrival telemetry adaptive controllers feed on (see
+    /// [`RoundEngine::arrival_stamps`](crate::engine::RoundEngine::arrival_stamps)).
+    pub arrivals: Vec<ArrivalStamp>,
 }
 
 impl RoundOutcome {
@@ -40,6 +44,7 @@ impl RoundOutcome {
             exact: aggregate.exact,
             metrics,
             examples_used: None,
+            arrivals: Vec::new(),
         }
     }
 
@@ -47,6 +52,13 @@ impl RoundOutcome {
     #[must_use]
     pub fn with_examples_used(mut self, examples_used: Option<usize>) -> Self {
         self.examples_used = examples_used;
+        self
+    }
+
+    /// Attaches the round's per-worker arrival telemetry.
+    #[must_use]
+    pub fn with_arrivals(mut self, arrivals: Vec<ArrivalStamp>) -> Self {
+        self.arrivals = arrivals;
         self
     }
 
@@ -66,6 +78,7 @@ impl RoundOutcome {
             exact: self.exact,
             gradient_error,
             staleness: 0,
+            arrivals: self.arrivals.clone(),
         }
     }
 }

@@ -20,7 +20,7 @@
 use crate::decode::DecodePool;
 use crate::error::ClusterError;
 use crate::latency::ClusterProfile;
-use crate::metrics::RoundMetrics;
+use crate::metrics::{ArrivalStamp, RoundMetrics};
 use crate::minibatch::{Minibatch, UnitSelection};
 use crate::observer::{NullObserver, RoundEvent, RoundObserver};
 use crate::packed::WorkerBlocks;
@@ -278,6 +278,7 @@ pub struct RoundEngine<'a> {
     last_at: f64,
     complete: bool,
     pool: DecodePool,
+    stamps: Vec<ArrivalStamp>,
 }
 
 impl<'a> RoundEngine<'a> {
@@ -305,6 +306,7 @@ impl<'a> RoundEngine<'a> {
             last_at: 0.0,
             complete: false,
             pool: DecodePool::default(),
+            stamps: Vec::new(),
         }
     }
 
@@ -336,6 +338,11 @@ impl<'a> RoundEngine<'a> {
         self.decoder.receive(arrival.worker, arrival.payload)?;
         self.max_compute_used = self.max_compute_used.max(arrival.compute_seconds);
         self.last_at = self.last_at.max(arrival.at);
+        self.stamps.push(ArrivalStamp {
+            worker: arrival.worker,
+            compute_seconds: arrival.compute_seconds,
+            at: arrival.at,
+        });
         let done = matches!(self.policy.on_arrival(&self.view()), RoundVerdict::Complete);
         if done {
             self.complete = true;
@@ -347,6 +354,18 @@ impl<'a> RoundEngine<'a> {
     #[must_use]
     pub fn is_complete(&self) -> bool {
         self.complete
+    }
+
+    /// The messages fed so far, sorted by worker id — the round's arrival
+    /// telemetry. Worker-id order (not delivery order) because threaded
+    /// delivery order is subject to OS scheduling jitter while the consumed
+    /// *set* is what the cross-backend equivalence contract pins; callers
+    /// extract this before [`Self::finish`] consumes the engine.
+    #[must_use]
+    pub fn arrival_stamps(&self) -> Vec<ArrivalStamp> {
+        let mut stamps = self.stamps.clone();
+        stamps.sort_by_key(|s| s.worker);
+        stamps
     }
 
     /// Messages consumed so far (the empirical `|W|`).

@@ -55,7 +55,7 @@ pub use engine::{Arrival, ArrivalEvent, ArrivalSource, RoundEngine};
 pub use error::ClusterError;
 pub use latency::{ClusterProfile, CommModel, WorkerProfile};
 pub use message::Envelope;
-pub use metrics::{RoundMetrics, RoundSample, RunMetrics};
+pub use metrics::{ArrivalStamp, RoundMetrics, RoundSample, RunMetrics};
 pub use minibatch::{Minibatch, UnitSelection};
 pub use mode::{Asgd, LocalSgd, ModeSchedule, OffsetModel, OffsetTable, Ssgd, Ssp, TrainingMode};
 pub use observer::{EventLog, NullObserver, RoundEvent, RoundObserver, SharedObserver};

@@ -32,11 +32,40 @@ impl RoundMetrics {
     }
 }
 
+/// One worker message the master consumed in a round — who sent it, how
+/// long its compute took, and when it landed on the master's clock.
+///
+/// `compute_seconds` is drawn from the deterministic per-`(seed, round,
+/// worker)` latency stream and replays bit-identically on every backend;
+/// `at` is the backend clock (virtual time on the DES backend, scaled wall
+/// clock on the threaded/TCP ones) and is only reproducible on the virtual
+/// backend. Controllers that must agree across backends therefore key all
+/// decisions on `compute_seconds`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ArrivalStamp {
+    /// Sending worker id.
+    pub worker: usize,
+    /// Worker-reported compute duration in simulated seconds.
+    pub compute_seconds: f64,
+    /// Backend clock (simulated seconds since round start) of the delivery.
+    pub at: f64,
+}
+
+impl Deserialize for ArrivalStamp {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        Ok(Self {
+            worker: Deserialize::from_value(v.field("worker")?)?,
+            compute_seconds: Deserialize::from_value(v.field("compute_seconds")?)?,
+            at: Deserialize::from_value(v.field("at")?)?,
+        })
+    }
+}
+
 /// The per-round observables distribution-level analyses need (percentiles
 /// of round time, per-round message counts, coverage and gradient quality
 /// under approximate aggregation policies) — what [`RunMetrics`] sums
 /// away. One per round, in round order.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RoundSample {
     /// Wall/virtual-clock duration of the round.
     pub total_time: f64,
@@ -57,6 +86,11 @@ pub struct RoundSample {
     /// positive under the stale modes (SSP/ASGD), where it is the realized
     /// staleness of the round's gradient.
     pub staleness: usize,
+    /// The messages the master consumed, in worker-id order — the
+    /// per-worker arrival telemetry adaptive controllers feed on. Empty on
+    /// pre-telemetry sample dumps and synthetic samples (LocalSGD merge
+    /// rounds have no master-side arrivals).
+    pub arrivals: Vec<ArrivalStamp>,
 }
 
 // Manual impl so pre-mode sample dumps (no `staleness` key) keep
@@ -75,6 +109,10 @@ impl Deserialize for RoundSample {
             },
             staleness: match v.get("staleness") {
                 None | Some(serde::Value::Null) => 0,
+                Some(inner) => Deserialize::from_value(inner)?,
+            },
+            arrivals: match v.get("arrivals") {
+                None | Some(serde::Value::Null) => Vec::new(),
                 Some(inner) => Deserialize::from_value(inner)?,
             },
         })

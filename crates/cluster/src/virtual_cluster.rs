@@ -217,8 +217,11 @@ impl VirtualCluster {
             None => &mut null,
         };
         let end = engine.run_observed(&mut source, round, observer)?;
+        let arrivals = engine.arrival_stamps();
         let (aggregate, metrics) = engine.finish(end)?;
-        Ok(RoundOutcome::new(aggregate, metrics).with_examples_used(examples_used))
+        Ok(RoundOutcome::new(aggregate, metrics)
+            .with_examples_used(examples_used)
+            .with_arrivals(arrivals))
     }
 }
 

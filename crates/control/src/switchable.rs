@@ -1,0 +1,71 @@
+//! The policy handle the control loop re-points between rounds.
+
+use bcc_cluster::{AggregatedGradient, AggregationPolicy, ClusterError, RoundVerdict, RoundView};
+use std::sync::{Arc, RwLock};
+
+/// An [`AggregationPolicy`] that delegates every call to a swappable inner
+/// policy. Backends hold it like any other policy; the control loop
+/// [`install`](Self::install)s a replacement between rounds (the round
+/// protocol is strictly sequential — `consume(t)` returns before round
+/// `t + 1` starts — so a swap never races a round in flight).
+#[derive(Debug)]
+pub struct SwitchablePolicy {
+    inner: RwLock<Arc<dyn AggregationPolicy>>,
+}
+
+impl SwitchablePolicy {
+    /// A switchable handle starting at `initial`.
+    #[must_use]
+    pub fn new(initial: Arc<dyn AggregationPolicy>) -> Arc<Self> {
+        Arc::new(Self {
+            inner: RwLock::new(initial),
+        })
+    }
+
+    /// Re-points the handle at `policy` for subsequent rounds.
+    pub fn install(&self, policy: Arc<dyn AggregationPolicy>) {
+        *self.inner.write().expect("switchable policy lock poisoned") = policy;
+    }
+
+    /// The currently installed policy.
+    #[must_use]
+    pub fn current(&self) -> Arc<dyn AggregationPolicy> {
+        Arc::clone(&self.inner.read().expect("switchable policy lock poisoned"))
+    }
+}
+
+impl AggregationPolicy for SwitchablePolicy {
+    fn name(&self) -> &'static str {
+        "switchable"
+    }
+
+    fn on_arrival(&self, view: &RoundView<'_>) -> RoundVerdict {
+        self.current().on_arrival(view)
+    }
+
+    fn complete_on_exhausted(&self) -> bool {
+        self.current().complete_on_exhausted()
+    }
+
+    fn finish(&self, view: &RoundView<'_>) -> Result<AggregatedGradient, ClusterError> {
+        self.current().finish(view)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bcc_cluster::{BestEffortAll, FastestK, WaitDecodable};
+
+    #[test]
+    fn delegates_to_the_installed_policy() {
+        let switchable = SwitchablePolicy::new(Arc::new(WaitDecodable));
+        assert_eq!(switchable.current().name(), "wait-decodable");
+        assert!(!switchable.complete_on_exhausted());
+        switchable.install(Arc::new(FastestK::new(2)));
+        assert_eq!(switchable.current().name(), "fastest-k");
+        assert!(switchable.complete_on_exhausted());
+        switchable.install(Arc::new(BestEffortAll));
+        assert_eq!(switchable.current().name(), "best-effort-all");
+    }
+}

@@ -1,0 +1,457 @@
+//! The telemetry store controllers feed on: per-worker arrival-time history
+//! with EWMA smoothing, a bounded streaming quantile estimator, and a
+//! hysteresis-guarded slow/fast regime tracker.
+//!
+//! Everything here is keyed on the **worker-reported compute time**
+//! ([`ArrivalStamp::compute_seconds`]), never the backend clock
+//! ([`ArrivalStamp::at`]): compute times are drawn from the deterministic
+//! per-`(seed, round, worker)` latency stream and replay bit-identically on
+//! the virtual, threaded, and TCP backends, so every statistic below — and
+//! therefore every controller decision derived from it — is
+//! backend-independent and thread-count-invariant by construction.
+//!
+//! **Censoring.** Rounds end when the aggregation policy completes them, so
+//! a persistent straggler usually never appears in the arrival stream at
+//! all — its compute draws are right-censored by the round cut. Straggler
+//! detection therefore keys on *absence* as much as on observed times:
+//! [`Telemetry::slow_worker_count`] counts a worker slow when its EWMA is a
+//! `slow_factor` multiple of the median **or** when it arrived in fewer
+//! than a third of observed rounds (including workers never seen at all).
+
+use bcc_cluster::ArrivalStamp;
+use std::collections::BTreeMap;
+
+/// Tuning knobs a [`Controller`](crate::Controller) hands its telemetry
+/// store at construction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TelemetryConfig {
+    /// EWMA smoothing factor in `(0, 1]` — weight of the newest sample.
+    pub alpha: f64,
+    /// A worker counts as slow when its EWMA exceeds `slow_factor ×` the
+    /// median EWMA (also the per-round straggler test of
+    /// [`round_straggler_count`]).
+    pub slow_factor: f64,
+    /// Persistent-slow worker fraction at/above which a round votes for
+    /// the slow regime.
+    pub regime_threshold: f64,
+    /// Consecutive contrary rounds required before the regime flips.
+    pub hysteresis: usize,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self {
+            alpha: 0.3,
+            slow_factor: 3.0,
+            regime_threshold: 0.1,
+            hysteresis: 2,
+        }
+    }
+}
+
+/// Arrival-time summary of one worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkerStats {
+    /// Exponentially weighted moving average of the worker's compute times.
+    pub ewma: f64,
+    /// Latest observed compute time.
+    pub last: f64,
+    /// Number of arrivals folded in.
+    pub samples: u64,
+}
+
+/// The straggler regime the tracker currently believes the cluster is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Regime {
+    /// Arrivals are well-behaved; no persistent straggling observed.
+    Fast,
+    /// A persistent straggler population is present.
+    Slow,
+}
+
+/// Flips between [`Regime`]s only after `hysteresis` consecutive rounds
+/// vote against the current one — single noisy rounds never switch policy.
+#[derive(Debug, Clone)]
+pub struct RegimeTracker {
+    regime: Regime,
+    pending: usize,
+    threshold: f64,
+    hysteresis: usize,
+}
+
+impl RegimeTracker {
+    /// Tracker starting in the fast regime.
+    #[must_use]
+    pub fn new(threshold: f64, hysteresis: usize) -> Self {
+        Self {
+            regime: Regime::Fast,
+            pending: 0,
+            threshold,
+            hysteresis: hysteresis.max(1),
+        }
+    }
+
+    /// Folds one round's straggler fraction in; returns `true` when the
+    /// regime flipped on this observation.
+    pub fn observe(&mut self, straggler_fraction: f64) -> bool {
+        let votes_slow = straggler_fraction >= self.threshold;
+        let contrary = votes_slow != (self.regime == Regime::Slow);
+        if !contrary {
+            self.pending = 0;
+            return false;
+        }
+        self.pending += 1;
+        if self.pending < self.hysteresis {
+            return false;
+        }
+        self.regime = match self.regime {
+            Regime::Fast => Regime::Slow,
+            Regime::Slow => Regime::Fast,
+        };
+        self.pending = 0;
+        true
+    }
+
+    /// The current regime.
+    #[must_use]
+    pub fn regime(&self) -> Regime {
+        self.regime
+    }
+}
+
+/// A bounded, deterministic streaming quantile estimator: retains up to a
+/// fixed number of samples, decimating (keep-every-other after sorting) and
+/// doubling its acceptance stride whenever the buffer fills. Quantiles are
+/// exact over the retained sample set — no randomized sketching, so the
+/// estimate replays identically on every backend.
+#[derive(Debug, Clone)]
+pub struct QuantileEstimator {
+    samples: Vec<f64>,
+    cap: usize,
+    stride: u64,
+    offered: u64,
+}
+
+impl QuantileEstimator {
+    /// Estimator retaining at most `cap` samples (`cap ≥ 2`).
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        Self {
+            samples: Vec::new(),
+            cap: cap.max(2),
+            stride: 1,
+            offered: 0,
+        }
+    }
+
+    /// Offers one sample; accepted every `stride`-th call once decimation
+    /// has kicked in.
+    pub fn push(&mut self, x: f64) {
+        self.offered += 1;
+        if !self.offered.is_multiple_of(self.stride) {
+            return;
+        }
+        self.samples.push(x);
+        if self.samples.len() >= self.cap {
+            self.samples
+                .sort_by(|a, b| a.partial_cmp(b).expect("compute times are finite"));
+            let kept: Vec<f64> = self.samples.iter().copied().step_by(2).collect();
+            self.samples = kept;
+            self.stride = self.stride.saturating_mul(2);
+        }
+    }
+
+    /// The `q`-quantile (nearest-rank over retained samples), `None` before
+    /// any sample arrived.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("compute times are finite"));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(sorted[idx])
+    }
+
+    /// Retained sample count.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True before any sample was retained.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+}
+
+/// The store: per-worker EWMA history, a global compute-time quantile
+/// estimator, and the regime tracker, all fed once per round from the
+/// round's consumed [`ArrivalStamp`]s.
+#[derive(Debug, Clone)]
+pub struct Telemetry {
+    config: TelemetryConfig,
+    workers: BTreeMap<usize, WorkerStats>,
+    quantiles: QuantileEstimator,
+    regime: RegimeTracker,
+    rounds_observed: u64,
+}
+
+impl Default for Telemetry {
+    fn default() -> Self {
+        Self::new(TelemetryConfig::default())
+    }
+}
+
+impl Telemetry {
+    /// A fresh store under `config`.
+    #[must_use]
+    pub fn new(config: TelemetryConfig) -> Self {
+        Self {
+            config,
+            workers: BTreeMap::new(),
+            quantiles: QuantileEstimator::new(512),
+            regime: RegimeTracker::new(config.regime_threshold, config.hysteresis),
+            rounds_observed: 0,
+        }
+    }
+
+    /// Folds one round's consumed arrivals in (EWMA per worker, quantile
+    /// samples, one regime vote). `participants` is the number of workers
+    /// that *could* have sent — workers missing from `arrivals` were
+    /// censored by the round cut, the strongest straggler signal there is.
+    pub fn observe(&mut self, participants: usize, arrivals: &[ArrivalStamp]) {
+        self.rounds_observed += 1;
+        for stamp in arrivals {
+            self.quantiles.push(stamp.compute_seconds);
+            let stats = self
+                .workers
+                .entry(stamp.worker)
+                .or_insert_with(|| WorkerStats {
+                    ewma: stamp.compute_seconds,
+                    last: stamp.compute_seconds,
+                    samples: 0,
+                });
+            if stats.samples > 0 {
+                stats.ewma = self.config.alpha * stamp.compute_seconds
+                    + (1.0 - self.config.alpha) * stats.ewma;
+            }
+            stats.last = stamp.compute_seconds;
+            stats.samples += 1;
+        }
+        let fraction = if participants == 0 {
+            0.0
+        } else {
+            self.slow_worker_count(self.config.slow_factor, participants) as f64
+                / participants as f64
+        };
+        self.regime.observe(fraction);
+    }
+
+    /// One worker's summary, if it ever arrived.
+    #[must_use]
+    pub fn worker(&self, worker: usize) -> Option<&WorkerStats> {
+        self.workers.get(&worker)
+    }
+
+    /// Every observed worker's summary, in worker-id order.
+    pub fn workers(&self) -> impl Iterator<Item = (usize, &WorkerStats)> {
+        self.workers.iter().map(|(&w, s)| (w, s))
+    }
+
+    /// The `q`-quantile of observed compute times (`None` before data).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        self.quantiles.quantile(q)
+    }
+
+    /// Median of the per-worker EWMAs (`None` before data).
+    #[must_use]
+    pub fn median_ewma(&self) -> Option<f64> {
+        let mut ewmas: Vec<f64> = self.workers.values().map(|s| s.ewma).collect();
+        if ewmas.is_empty() {
+            return None;
+        }
+        ewmas.sort_by(|a, b| a.partial_cmp(b).expect("EWMAs are finite"));
+        Some(ewmas[(ewmas.len() - 1) / 2])
+    }
+
+    /// The estimated persistent straggler population among `participants`
+    /// workers: those whose EWMA exceeds `slow_factor ×` the median EWMA,
+    /// plus those censoring hides — workers that arrived in fewer than a
+    /// third of observed rounds (including workers never seen at all, whose
+    /// every draw fell past the round cut).
+    #[must_use]
+    pub fn slow_worker_count(&self, slow_factor: f64, participants: usize) -> usize {
+        if self.rounds_observed == 0 {
+            return 0;
+        }
+        let never_seen = participants.saturating_sub(self.workers.len());
+        let median = self.median_ewma();
+        let observed_slow = self
+            .workers
+            .values()
+            .filter(|s| {
+                let ewma_slow = median.is_some_and(|m| s.ewma > slow_factor * m);
+                let censored = 3 * s.samples < self.rounds_observed;
+                ewma_slow || censored
+            })
+            .count();
+        never_seen + observed_slow
+    }
+
+    /// The regime the tracker currently believes the cluster is in.
+    #[must_use]
+    pub fn regime(&self) -> Regime {
+        self.regime.regime()
+    }
+
+    /// Rounds folded in so far.
+    #[must_use]
+    pub fn rounds_observed(&self) -> u64 {
+        self.rounds_observed
+    }
+
+    /// The store's config (what the owning controller asked for).
+    #[must_use]
+    pub fn config(&self) -> TelemetryConfig {
+        self.config
+    }
+}
+
+/// Arrivals of one round whose compute time exceeds `slow_factor ×` the
+/// round's median compute time — the per-round straggler count the regime
+/// tracker votes on.
+#[must_use]
+pub fn round_straggler_count(arrivals: &[ArrivalStamp], slow_factor: f64) -> usize {
+    if arrivals.is_empty() {
+        return 0;
+    }
+    let mut times: Vec<f64> = arrivals.iter().map(|a| a.compute_seconds).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).expect("compute times are finite"));
+    let median = times[(times.len() - 1) / 2];
+    arrivals
+        .iter()
+        .filter(|a| a.compute_seconds > slow_factor * median)
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stamp(worker: usize, compute: f64) -> ArrivalStamp {
+        ArrivalStamp {
+            worker,
+            compute_seconds: compute,
+            at: compute + 0.01,
+        }
+    }
+
+    #[test]
+    fn ewma_tracks_per_worker_history() {
+        let mut t = Telemetry::default();
+        t.observe(2, &[stamp(0, 1.0), stamp(1, 2.0)]);
+        t.observe(2, &[stamp(0, 2.0)]);
+        let w0 = t.worker(0).unwrap();
+        assert_eq!(w0.samples, 2);
+        assert!((w0.ewma - (0.3 * 2.0 + 0.7 * 1.0)).abs() < 1e-12);
+        assert_eq!(w0.last, 2.0);
+        assert_eq!(t.worker(1).unwrap().ewma, 2.0, "first sample seeds EWMA");
+        assert!(t.worker(7).is_none());
+        assert_eq!(t.rounds_observed(), 2);
+    }
+
+    #[test]
+    fn quantile_estimator_is_bounded_and_deterministic() {
+        let mut q = QuantileEstimator::new(16);
+        for i in 0..10_000 {
+            q.push(f64::from(i % 100));
+        }
+        assert!(q.len() <= 16, "decimation bounds the buffer");
+        let mid = q.quantile(0.5).unwrap();
+        assert!((0.0..=99.0).contains(&mid));
+        // Same stream → same estimate.
+        let mut q2 = QuantileEstimator::new(16);
+        for i in 0..10_000 {
+            q2.push(f64::from(i % 100));
+        }
+        assert_eq!(q.quantile(0.5), q2.quantile(0.5));
+        assert!(QuantileEstimator::new(8).quantile(0.5).is_none());
+    }
+
+    #[test]
+    fn regime_tracker_requires_hysteresis_rounds() {
+        let mut r = RegimeTracker::new(0.25, 2);
+        assert_eq!(r.regime(), Regime::Fast);
+        assert!(!r.observe(0.5), "first contrary round only arms the flip");
+        assert!(r.observe(0.5), "second consecutive contrary round flips");
+        assert_eq!(r.regime(), Regime::Slow);
+        assert!(!r.observe(0.5), "agreeing rounds keep the regime");
+        assert!(!r.observe(0.0));
+        assert!(r.observe(0.0));
+        assert_eq!(r.regime(), Regime::Fast);
+        // A single noisy round between contrary ones resets the counter.
+        let mut r = RegimeTracker::new(0.25, 2);
+        assert!(!r.observe(0.5));
+        assert!(!r.observe(0.0));
+        assert!(!r.observe(0.5));
+        assert_eq!(r.regime(), Regime::Fast);
+    }
+
+    #[test]
+    fn straggler_count_keys_on_round_median() {
+        let arrivals = [stamp(0, 1.0), stamp(1, 1.1), stamp(2, 0.9), stamp(3, 9.0)];
+        assert_eq!(round_straggler_count(&arrivals, 3.0), 1);
+        assert_eq!(round_straggler_count(&[], 3.0), 0);
+    }
+
+    #[test]
+    fn slow_workers_exceed_median_ewma() {
+        let mut t = Telemetry::default();
+        for _ in 0..3 {
+            t.observe(
+                4,
+                &[stamp(0, 1.0), stamp(1, 1.2), stamp(2, 0.8), stamp(3, 10.0)],
+            );
+        }
+        assert_eq!(t.slow_worker_count(3.0, 4), 1);
+        assert_eq!(t.regime(), Regime::Slow, "25% stragglers vote slow");
+    }
+
+    #[test]
+    fn censored_stragglers_are_counted_by_absence() {
+        // Worker 3 is so slow the round cut censors it: it never appears
+        // in the arrival stream at all, yet must be counted slow.
+        let mut t = Telemetry::default();
+        for _ in 0..6 {
+            t.observe(4, &[stamp(0, 1.0), stamp(1, 1.2), stamp(2, 0.8)]);
+        }
+        assert_eq!(t.slow_worker_count(3.0, 4), 1);
+        assert_eq!(t.regime(), Regime::Slow);
+
+        // A worker seen in under a third of rounds is censored-slow too.
+        let mut t = Telemetry::default();
+        t.observe(
+            4,
+            &[stamp(0, 1.0), stamp(1, 1.0), stamp(2, 1.0), stamp(3, 1.1)],
+        );
+        for _ in 0..8 {
+            t.observe(4, &[stamp(0, 1.0), stamp(1, 1.0), stamp(2, 1.0)]);
+        }
+        assert_eq!(t.slow_worker_count(3.0, 4), 1);
+
+        // Full participation in a uniform cluster stays fast.
+        let mut t = Telemetry::default();
+        for _ in 0..6 {
+            t.observe(
+                4,
+                &[stamp(0, 1.0), stamp(1, 1.2), stamp(2, 0.8), stamp(3, 1.1)],
+            );
+        }
+        assert_eq!(t.slow_worker_count(3.0, 4), 0);
+        assert_eq!(t.regime(), Regime::Fast);
+    }
+}

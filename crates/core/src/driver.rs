@@ -12,6 +12,7 @@ use bcc_cluster::{
     ClusterBackend, ClusterError, RoundDriver, RoundOutcome, RoundSample, RunMetrics, UnitMap,
 };
 use bcc_coding::GradientCodingScheme;
+use bcc_control::ControlLoop;
 use bcc_data::Dataset;
 use bcc_linalg::vec_ops;
 use bcc_optim::{ConvergenceTrace, Loss, Optimizer};
@@ -109,6 +110,21 @@ impl<'a> DistributedGd<'a> {
         optimizer: &mut dyn Optimizer,
         config: &TrainingConfig,
     ) -> Result<TrainingReport, ClusterError> {
+        self.train_controlled(optimizer, config, None)
+    }
+
+    /// [`Self::train`] with an optional straggler-control loop: at each
+    /// round boundary the loop observes the finished round's arrival
+    /// stamps and may re-tune the aggregation policy for the next round.
+    ///
+    /// # Errors
+    /// Propagates the first round failure ([`ClusterError::Stalled`] etc.).
+    pub fn train_controlled(
+        &mut self,
+        optimizer: &mut dyn Optimizer,
+        config: &TrainingConfig,
+        control: Option<&mut ControlLoop>,
+    ) -> Result<TrainingReport, ClusterError> {
         let mut loop_driver = TrainingLoop {
             optimizer,
             data: self.data,
@@ -117,6 +133,7 @@ impl<'a> DistributedGd<'a> {
             trace: ConvergenceTrace::new(),
             metrics: RunMetrics::new(),
             round_samples: Vec::with_capacity(config.iterations),
+            control,
         };
         self.backend.run_rounds(
             config.iterations,
@@ -145,6 +162,9 @@ struct TrainingLoop<'a> {
     trace: ConvergenceTrace,
     metrics: RunMetrics,
     round_samples: Vec<RoundSample>,
+    /// Straggler-control loop fed at each round boundary (the decision it
+    /// applies is in force from the next round).
+    control: Option<&'a mut ControlLoop>,
 }
 
 impl RoundDriver for TrainingLoop<'_> {
@@ -153,6 +173,9 @@ impl RoundDriver for TrainingLoop<'_> {
     }
 
     fn consume(&mut self, round: usize, outcome: RoundOutcome) {
+        if let Some(control) = self.control.as_deref_mut() {
+            control.observe_round(round as u64, &outcome.arrivals);
+        }
         self.metrics.absorb(&outcome.metrics);
 
         // eq. (1): ∇L = (1/m)·Σ g_j — on a minibatch round, m is the

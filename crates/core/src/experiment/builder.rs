@@ -2,10 +2,10 @@
 //! through the registry, and run it end to end.
 
 use super::error::BuildError;
-use super::registry::{ModeRegistry, PolicyRegistry, SchemeRegistry};
+use super::registry::{ControllerRegistry, ModeRegistry, PolicyRegistry, SchemeRegistry};
 use super::spec::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, ModeSpec, NetProfileSpec,
-    OptimizerSpec, PolicySpec, SchemeSpec,
+    BackendSpec, ControllerSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
+    NetProfileSpec, OptimizerSpec, PolicySpec, SchemeSpec,
 };
 use crate::driver::{exact_mean_gradient, gradient_error_norm, DistributedGd, TrainingConfig};
 use crate::error::BccError;
@@ -17,6 +17,7 @@ use bcc_cluster::{
     TrainingMode, UnitMap, VirtualCluster, WanLinkModel, WeibullModel,
 };
 use bcc_coding::GradientCodingScheme;
+use bcc_control::{ChosenPolicy, ControlLoop, ControlRecord, SwitchablePolicy};
 use bcc_data::synthetic::{generate, SyntheticConfig, SyntheticDataset};
 use bcc_net::{auth_token, LocalNetCluster, TcpCluster};
 use bcc_optim::{
@@ -62,6 +63,13 @@ pub struct ExperimentReport {
     /// round times overstates the wallclock), and the sum of
     /// synchronization-round times under LocalSGD.
     pub simulated_seconds: f64,
+    /// Per-round straggler-controller decisions in round order (one per
+    /// round under synchronous modes; empty under SSP/ASGD/LocalSGD, whose
+    /// overlapping rounds have no boundary to apply a decision at).
+    pub controller_records: Vec<ControlRecord>,
+    /// How many controller decisions changed the installed aggregation
+    /// policy (always 0 for the `static` controller).
+    pub controller_switches: usize,
 }
 
 /// A validated, ready-to-run experiment.
@@ -76,6 +84,10 @@ pub struct Experiment {
     model: Arc<dyn StragglerModel>,
     policy: Arc<dyn AggregationPolicy>,
     mode: Arc<dyn TrainingMode>,
+    /// Controller registry kept past validation: [`Self::run`] builds a
+    /// fresh (stateless-at-start) controller instance per run, so repeated
+    /// runs of one experiment never leak telemetry into each other.
+    controllers: ControllerRegistry,
     /// Dataset cache: materialized by the first [`Self::run`] and reused by
     /// every later run. The data is a pure function of the spec, and the
     /// benchmarks re-run one experiment many times (warmup + repeated
@@ -135,7 +147,8 @@ impl Experiment {
 
     /// Validates `spec`, resolving every pluggable part — scheme,
     /// aggregation policy, and training mode — through caller-supplied
-    /// registries.
+    /// registries (straggler controller through the built-in
+    /// [`ControllerRegistry`]).
     ///
     /// # Errors
     /// Any [`BuildError`] the builder reports.
@@ -145,11 +158,35 @@ impl Experiment {
         policies: &PolicyRegistry,
         modes: &ModeRegistry,
     ) -> Result<Self, BuildError> {
+        Self::from_spec_with_controllers(
+            spec,
+            registry,
+            policies,
+            modes,
+            ControllerRegistry::builtin(),
+        )
+    }
+
+    /// Validates `spec`, resolving scheme, policy, mode, *and* straggler
+    /// controller through caller-supplied registries. Takes the controller
+    /// registry by value: controllers are stateful, so each
+    /// [`Self::run`] builds a fresh instance from the retained registry.
+    ///
+    /// # Errors
+    /// Any [`BuildError`] the builder reports.
+    pub fn from_spec_with_controllers(
+        spec: ExperimentSpec,
+        registry: &SchemeRegistry,
+        policies: &PolicyRegistry,
+        modes: &ModeRegistry,
+        controllers: ControllerRegistry,
+    ) -> Result<Self, BuildError> {
         validate_spec(&spec)?;
         let (profile, model) = resolve_latency(&spec.latency, spec.workers)?;
         let policy = policies.build(&spec.policy)?;
         let mode = modes.build(&spec.mode)?;
         validate_mode(&spec, mode.as_ref())?;
+        validate_controller(&spec, mode.as_ref(), &controllers)?;
         let mut rng = derive_rng(spec.seed, SCHEME_STREAM);
         let scheme = registry.build(&spec.scheme, spec.units, spec.workers, &mut rng)?;
         Ok(Self {
@@ -159,6 +196,7 @@ impl Experiment {
             model,
             policy,
             mode,
+            controllers,
             data: OnceLock::new(),
         })
     }
@@ -254,6 +292,41 @@ impl Experiment {
         })
     }
 
+    /// The [`ChosenPolicy`] label of the spec's configured aggregation
+    /// policy — what the controller trace shows for round 0 and what a
+    /// [`bcc_control::ControlAction::Revert`] returns to. Custom policy
+    /// names pass through verbatim (the loop reverts to the live instance,
+    /// not a rebuild from this label).
+    fn initial_chosen_policy(&self) -> ChosenPolicy {
+        ChosenPolicy {
+            policy: self.spec.policy.name.clone(),
+            k: self.spec.policy.k,
+            deadline: self.spec.policy.deadline,
+        }
+    }
+
+    /// Builds a fresh control loop (empty telemetry) for one run, plus the
+    /// aggregation policy the backend should hold: the configured policy
+    /// `Arc` untouched for the `static` controller — keeping those runs on
+    /// the exact pre-controller code path — or a [`SwitchablePolicy`]
+    /// handle the loop re-points between rounds for the adaptive ones.
+    fn control_loop(&self) -> (ControlLoop, Arc<dyn AggregationPolicy>) {
+        let controller = self
+            .controllers
+            .build(&self.spec.controller)
+            .expect("controller spec was validated at build time");
+        let mut control =
+            ControlLoop::new(controller, self.spec.workers, self.initial_chosen_policy());
+        let policy: Arc<dyn AggregationPolicy> = if self.spec.controller.name == "static" {
+            Arc::clone(&self.policy)
+        } else {
+            let switchable = SwitchablePolicy::new(Arc::clone(&self.policy));
+            control.attach(Arc::clone(&switchable));
+            switchable
+        };
+        (control, policy)
+    }
+
     /// The straggler model the spec's backend samples from: WAN-wrapped
     /// for TCP backends, the resolved model otherwise.
     fn backend_base_model(&self) -> Arc<dyn StragglerModel> {
@@ -263,13 +336,15 @@ impl Experiment {
         }
     }
 
-    /// Spins up the spec's backend with `model` installed — every backend
-    /// gets the identical [`BackendConfig`], so mode wrappers (offsets)
-    /// compose the same way everywhere.
+    /// Spins up the spec's backend with `model` and `policy` installed —
+    /// every backend gets the identical [`BackendConfig`], so mode wrappers
+    /// (offsets) and the controller's switchable policy handle compose the
+    /// same way everywhere.
     fn make_backend(
         &self,
         backend_seed: u64,
         model: Arc<dyn StragglerModel>,
+        policy: Arc<dyn AggregationPolicy>,
     ) -> Result<Box<dyn ClusterBackend>, BccError> {
         let spec = &self.spec;
         // Minibatch rounds sample their unit subset from a dedicated
@@ -277,7 +352,7 @@ impl Experiment {
         // share data, placement, and latency draws.
         let mut config = BackendConfig::new()
             .straggler_model(model)
-            .aggregation_policy(Arc::clone(&self.policy));
+            .aggregation_policy(policy);
         if let Some(minibatch) = self.minibatch() {
             config = config.minibatch(minibatch);
         }
@@ -353,11 +428,19 @@ impl Experiment {
         };
 
         let start = Instant::now();
+        let mut controller_records: Vec<ControlRecord> = Vec::new();
+        let mut controller_switches = 0;
         let (weights, trace, metrics, round_samples, simulated_seconds) =
             match self.mode.schedule() {
                 ModeSchedule::Synchronous => {
-                    let mut backend = self.make_backend(backend_seed, base_model)?;
-                    match optimizer.as_mut() {
+                    // The control loop observes each finished round's
+                    // arrival stamps and (for non-static controllers)
+                    // re-points the switchable policy before the next round
+                    // starts — the backends hold the handle, so the swap
+                    // needs no backend restart.
+                    let (mut control, policy) = self.control_loop();
+                    let mut backend = self.make_backend(backend_seed, base_model, policy)?;
+                    let out = match optimizer.as_mut() {
                         Some(opt) => {
                             let mut driver = DistributedGd::new(
                                 backend.as_mut(),
@@ -366,12 +449,13 @@ impl Experiment {
                                 &data.dataset,
                                 loss,
                             )?;
-                            let report = driver.train(
+                            let report = driver.train_controlled(
                                 opt.as_mut(),
                                 &TrainingConfig {
                                     iterations: spec.iterations,
                                     record_risk: spec.record_risk,
                                 },
+                                Some(&mut control),
                             )?;
                             let simulated = report.metrics.total_time;
                             (
@@ -393,6 +477,7 @@ impl Experiment {
                                 data: &data.dataset,
                                 loss,
                                 exact_mean: None,
+                                control: Some(&mut control),
                             };
                             backend.run_rounds(
                                 spec.iterations,
@@ -411,7 +496,10 @@ impl Experiment {
                                 simulated,
                             )
                         }
-                    }
+                    };
+                    controller_switches = control.switches();
+                    controller_records = control.into_records();
+                    out
                 }
                 schedule @ (ModeSchedule::StaleBounded { .. } | ModeSchedule::Async) => {
                     let bound = match schedule {
@@ -425,7 +513,8 @@ impl Experiment {
                     let offsets = OffsetTable::new();
                     let wrapped: Arc<dyn StragglerModel> =
                         Arc::new(OffsetModel::wrap(Arc::clone(&base_model), offsets.clone()));
-                    let mut backend = self.make_backend(backend_seed, wrapped)?;
+                    let mut backend =
+                        self.make_backend(backend_seed, wrapped, Arc::clone(&self.policy))?;
                     let opt = optimizer
                         .as_mut()
                         .expect("validated: stale modes require an optimizer");
@@ -506,6 +595,8 @@ impl Experiment {
             round_samples,
             wall_seconds,
             simulated_seconds,
+            controller_records,
+            controller_switches,
         })
     }
 }
@@ -523,6 +614,8 @@ struct MetricsDriver<'a> {
     /// Exact mean gradient at the fixed broadcast, computed lazily on the
     /// first non-exact round.
     exact_mean: Option<Vec<f64>>,
+    /// Straggler-control loop fed at each round boundary.
+    control: Option<&'a mut ControlLoop>,
 }
 
 impl RoundDriver for MetricsDriver<'_> {
@@ -530,7 +623,10 @@ impl RoundDriver for MetricsDriver<'_> {
         self.weights.clone()
     }
 
-    fn consume(&mut self, _round: usize, outcome: RoundOutcome) {
+    fn consume(&mut self, round: usize, outcome: RoundOutcome) {
+        if let Some(control) = self.control.as_deref_mut() {
+            control.observe_round(round as u64, &outcome.arrivals);
+        }
         self.metrics.absorb(&outcome.metrics);
         let gradient_error = if outcome.exact {
             None
@@ -565,12 +661,14 @@ pub struct ExperimentBuilder {
     optimizer: Option<OptimizerSpec>,
     policy: Option<PolicySpec>,
     mode: Option<ModeSpec>,
+    controller: Option<ControllerSpec>,
     iterations: Option<usize>,
     record_risk: Option<bool>,
     seed: Option<u64>,
     registry: Option<SchemeRegistry>,
     policy_registry: Option<PolicyRegistry>,
     mode_registry: Option<ModeRegistry>,
+    controller_registry: Option<ControllerRegistry>,
 }
 
 impl ExperimentBuilder {
@@ -654,6 +752,15 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Straggler controller re-tuning the round protocol between rounds
+    /// (default: `static`, byte-identical to uncontrolled runs). Accepts a
+    /// [`ControllerSpec`] or anything convertible (e.g. `"adaptive-k"`).
+    #[must_use]
+    pub fn controller(mut self, controller: impl Into<ControllerSpec>) -> Self {
+        self.controller = Some(controller.into());
+        self
+    }
+
     /// GD iterations / measured rounds.
     #[must_use]
     pub fn iterations(mut self, iterations: usize) -> Self {
@@ -699,6 +806,14 @@ impl ExperimentBuilder {
         self
     }
 
+    /// Resolve the straggler controller through a custom registry instead
+    /// of the built-ins.
+    #[must_use]
+    pub fn controller_registry(mut self, registry: ControllerRegistry) -> Self {
+        self.controller_registry = Some(registry);
+        self
+    }
+
     /// Validates and assembles the experiment.
     ///
     /// # Errors
@@ -722,6 +837,7 @@ impl ExperimentBuilder {
             optimizer: self.optimizer.unwrap_or(defaults.optimizer),
             policy: self.policy.unwrap_or(defaults.policy),
             mode: self.mode.unwrap_or(defaults.mode),
+            controller: self.controller.unwrap_or(defaults.controller),
             iterations: self.iterations.unwrap_or(defaults.iterations),
             record_risk: self.record_risk.unwrap_or(defaults.record_risk),
             seed: self.seed.unwrap_or(defaults.seed),
@@ -732,7 +848,10 @@ impl ExperimentBuilder {
         let schemes = self.registry.unwrap_or_else(SchemeRegistry::builtin);
         let policies = self.policy_registry.unwrap_or_else(PolicyRegistry::builtin);
         let modes = self.mode_registry.unwrap_or_else(ModeRegistry::builtin);
-        Experiment::from_spec_with_all(spec, &schemes, &policies, &modes)
+        let controllers = self
+            .controller_registry
+            .unwrap_or_else(ControllerRegistry::builtin);
+        Experiment::from_spec_with_controllers(spec, &schemes, &policies, &modes, controllers)
     }
 }
 
@@ -854,6 +973,32 @@ fn validate_mode(spec: &ExperimentSpec, mode: &dyn TrainingMode) -> Result<(), B
             Ok(())
         }
     }
+}
+
+/// Controller checks: the spec must resolve in the registry (parameter
+/// validation lives in the factories), and non-static controllers only make
+/// sense under synchronous rounds — the stale modes overlap rounds, so
+/// there is no boundary at which a policy swap takes clean effect.
+fn validate_controller(
+    spec: &ExperimentSpec,
+    mode: &dyn TrainingMode,
+    controllers: &ControllerRegistry,
+) -> Result<(), BuildError> {
+    // Build (and drop) one instance now so a bad spec fails at build time,
+    // not mid-run.
+    drop(controllers.build(&spec.controller)?);
+    if spec.controller.name != "static" && !matches!(mode.schedule(), ModeSchedule::Synchronous) {
+        return Err(BuildError::InvalidValue {
+            field: "controller",
+            reason: format!(
+                "controller `{}` re-tunes the round protocol at round boundaries, \
+                 but mode `{}` overlaps rounds — adaptive control requires `ssgd`",
+                spec.controller.name,
+                mode.name()
+            ),
+        });
+    }
+    Ok(())
 }
 
 /// A positive-and-finite check shared by the latency validators.
@@ -1319,6 +1464,126 @@ mod tests {
             .unwrap_err();
         assert!(
             matches!(&err, BuildError::UnknownMode { name, .. } if name == "hogwild"),
+            "got {err:?}"
+        );
+    }
+
+    /// Two persistent 20× stragglers under an uncoded scheme, so the
+    /// default wait-decodable policy must wait for every worker and pays
+    /// the stragglers each round — the regime adaptive controllers are
+    /// built to exploit.
+    fn straggler_builder() -> ExperimentBuilder {
+        tiny_builder()
+            .scheme(SchemeConfig::Uncoded)
+            .latency(LatencySpec::Bimodal {
+                mu: 100.0,
+                a: 0.0001,
+                slow_workers: 2,
+                slow_probability: 1.0,
+                slowdown: 20.0,
+                per_message_overhead: 0.0001,
+                per_unit: 0.0001,
+            })
+    }
+
+    #[test]
+    fn static_controller_is_the_default_and_changes_nothing() {
+        let plain = tiny_builder().build().unwrap().run().unwrap();
+        let pinned = tiny_builder()
+            .controller("static")
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(plain.weights, pinned.weights);
+        assert_eq!(plain.metrics.total_time, pinned.metrics.total_time);
+        assert_eq!(plain.metrics.messages_used, pinned.metrics.messages_used);
+        assert_eq!(plain.controller_switches, 0);
+        assert_eq!(plain.controller_records.len(), 8);
+        assert!(plain.controller_records.iter().all(|r| !r.switched));
+    }
+
+    #[test]
+    fn adaptive_k_switches_and_beats_static_under_persistent_stragglers() {
+        let fixed = straggler_builder()
+            .optimizer(OptimizerSpec::FixedPoint)
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        let adaptive = straggler_builder()
+            .optimizer(OptimizerSpec::FixedPoint)
+            .controller(ControllerSpec::adaptive_k(3.0))
+            .build()
+            .unwrap()
+            .run()
+            .unwrap();
+        assert!(adaptive.controller_switches >= 1, "must switch policy");
+        assert!(
+            adaptive
+                .controller_records
+                .iter()
+                .any(|r| r.policy.policy == "fastest-k"),
+            "trace must show the chosen fastest-k policy"
+        );
+        assert!(
+            adaptive.simulated_seconds < fixed.simulated_seconds,
+            "adaptive-k must cut the simulated wallclock ({} vs {})",
+            adaptive.simulated_seconds,
+            fixed.simulated_seconds
+        );
+    }
+
+    #[test]
+    fn controller_runs_replay_deterministically() {
+        let run = || {
+            straggler_builder()
+                .controller(ControllerSpec::quantile_deadline(0.7))
+                .build()
+                .unwrap()
+                .run()
+                .unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.weights, b.weights);
+        assert_eq!(a.controller_records, b.controller_records);
+        assert_eq!(a.controller_switches, b.controller_switches);
+    }
+
+    #[test]
+    fn adaptive_controllers_require_ssgd() {
+        for mode in [
+            ModeSpec::ssp(2),
+            ModeSpec::named("asgd"),
+            ModeSpec::local_sgd(2),
+        ] {
+            let err = tiny_builder()
+                .mode(mode)
+                .controller(ControllerSpec::adaptive_k(3.0))
+                .build()
+                .unwrap_err();
+            assert!(
+                matches!(&err, BuildError::InvalidValue { field, .. } if *field == "controller"),
+                "adaptive control under a stale mode must be rejected, got {err:?}"
+            );
+        }
+        // The static controller stays legal everywhere.
+        tiny_builder()
+            .mode(ModeSpec::ssp(2))
+            .controller("static")
+            .build()
+            .unwrap();
+    }
+
+    #[test]
+    fn unknown_controller_is_a_typed_error() {
+        let err = tiny_builder()
+            .controller(ControllerSpec::named("pid"))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(&err, BuildError::UnknownController { name, .. } if name == "pid"),
             "got {err:?}"
         );
     }

@@ -99,6 +99,13 @@ pub enum BuildError {
         /// Every name the mode registry can resolve.
         known: Vec<String>,
     },
+    /// The spec named a straggler controller the registry does not know.
+    UnknownController {
+        /// The requested name.
+        name: String,
+        /// Every name the controller registry can resolve.
+        known: Vec<String>,
+    },
     /// The scheme's unit count disagrees with the unit map it is asked to
     /// code over (the [`DistributedGd`](crate::driver::DistributedGd)
     /// assembly check).
@@ -176,6 +183,13 @@ impl fmt::Display for BuildError {
                 write!(
                     f,
                     "unknown training mode `{name}` (registered: {})",
+                    known.join(", ")
+                )
+            }
+            Self::UnknownController { name, known } => {
+                write!(
+                    f,
+                    "unknown controller `{name}` (registered: {})",
                     known.join(", ")
                 )
             }

@@ -38,13 +38,15 @@ pub mod net_worker;
 mod registry;
 mod spec;
 
+pub use bcc_control::{ChosenPolicy, ControlRecord};
 pub use builder::{Experiment, ExperimentBuilder, ExperimentReport};
 pub use error::BuildError;
 pub use net_worker::run_worker;
 pub use registry::{
-    ModeFactory, ModeRegistry, PolicyFactory, PolicyRegistry, SchemeFactory, SchemeRegistry,
+    ControllerFactory, ControllerRegistry, ModeFactory, ModeRegistry, PolicyFactory,
+    PolicyRegistry, SchemeFactory, SchemeRegistry,
 };
 pub use spec::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, ModeSpec, NetProfileSpec,
-    OptimizerSpec, PolicySpec, SchemeSpec,
+    BackendSpec, ControllerSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
+    NetProfileSpec, OptimizerSpec, PolicySpec, SchemeSpec,
 };

@@ -1,26 +1,29 @@
-//! The open scheme, aggregation-policy, and training-mode registries:
-//! name → factory.
+//! The open scheme, aggregation-policy, training-mode, and
+//! straggler-controller registries: name → factory.
 //!
 //! The built-in scheme registrations are the paper's comparison set
 //! (everything [`SchemeConfig`] can describe); the built-in policy
 //! registrations are the four members of [`bcc_cluster::policy`]; the
 //! built-in mode registrations are the four members of
-//! [`bcc_cluster::mode`]. Downstream code extends any set by registering
-//! its own factory under a new name and handing the registry to
+//! [`bcc_cluster::mode`]; the built-in controller registrations are the
+//! four members of [`bcc_control`]. Downstream code extends any set by
+//! registering its own factory under a new name and handing the registry to
 //! [`ExperimentBuilder::registry`](super::ExperimentBuilder::registry) /
 //! [`ExperimentBuilder::policy_registry`](super::ExperimentBuilder::policy_registry) /
-//! [`ExperimentBuilder::mode_registry`](super::ExperimentBuilder::mode_registry)
-//! — spec files can then name custom schemes, policies, and modes with no
-//! changes here.
+//! [`ExperimentBuilder::mode_registry`](super::ExperimentBuilder::mode_registry) /
+//! [`ExperimentBuilder::controller_registry`](super::ExperimentBuilder::controller_registry)
+//! — spec files can then name custom schemes, policies, modes, and
+//! controllers with no changes here.
 
 use super::error::BuildError;
-use super::spec::{ModeSpec, PolicySpec, SchemeSpec};
+use super::spec::{ControllerSpec, ModeSpec, PolicySpec, SchemeSpec};
 use crate::schemes::SchemeConfig;
 use bcc_cluster::{
     AggregationPolicy, Asgd, BestEffortAll, Deadline, FastestK, LocalSgd, Ssgd, Ssp, TrainingMode,
     WaitDecodable,
 };
 use bcc_coding::GradientCodingScheme;
+use bcc_control::{AdaptiveK, Controller, QuantileDeadline, RegimeSwitch, StaticController};
 use rand::RngCore;
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -434,6 +437,218 @@ impl std::fmt::Debug for ModeRegistry {
     }
 }
 
+/// A controller factory: builds a straggler controller from its spec.
+pub type ControllerFactory =
+    Box<dyn Fn(&ControllerSpec) -> Result<Box<dyn Controller>, BuildError> + Send + Sync>;
+
+/// Name → (description, factory) map resolving [`ControllerSpec`]s to
+/// [`Controller`] instances.
+pub struct ControllerRegistry {
+    factories: BTreeMap<String, (String, ControllerFactory)>,
+}
+
+/// A positive-finite float check the built-in controller factories share.
+fn controller_float(
+    spec: &ControllerSpec,
+    field: &'static str,
+    value: Option<f64>,
+    default: f64,
+    expect: &str,
+) -> Result<f64, BuildError> {
+    let value = value.unwrap_or(default);
+    if !value.is_finite() || value <= 0.0 {
+        return Err(BuildError::InvalidValue {
+            field,
+            reason: format!("controller `{}` needs {expect}, got {value}", spec.name),
+        });
+    }
+    Ok(value)
+}
+
+impl ControllerRegistry {
+    /// A registry with no registrations.
+    #[must_use]
+    pub fn empty() -> Self {
+        Self {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// The registry with the four built-in controllers of [`bcc_control`]
+    /// registered under their report names (descriptions from
+    /// [`bcc_control::CONTROLLERS`]).
+    #[must_use]
+    pub fn builtin() -> Self {
+        let description = |name: &str| {
+            bcc_control::CONTROLLERS
+                .iter()
+                .find(|(n, _)| *n == name)
+                .map(|(_, d)| *d)
+                .expect("built-in controller missing from CONTROLLERS")
+        };
+        let mut reg = Self::empty();
+        reg.register("static", description("static"), |_spec| {
+            Ok(Box::new(StaticController) as Box<dyn Controller>)
+        });
+        reg.register(
+            "quantile-deadline",
+            description("quantile-deadline"),
+            |spec| {
+                let defaults = QuantileDeadline::default();
+                let q = controller_float(
+                    spec,
+                    "controller.q",
+                    spec.q,
+                    defaults.q,
+                    "a quantile in (0, 1)",
+                )?;
+                if q >= 1.0 {
+                    return Err(BuildError::InvalidValue {
+                        field: "controller.q",
+                        reason: format!(
+                            "controller `{}` needs a quantile in (0, 1), got {q}",
+                            spec.name
+                        ),
+                    });
+                }
+                let margin = controller_float(
+                    spec,
+                    "controller.margin",
+                    spec.margin,
+                    defaults.margin,
+                    "a positive budget multiplier",
+                )?;
+                Ok(Box::new(QuantileDeadline {
+                    q,
+                    margin,
+                    warmup: spec.warmup.unwrap_or(defaults.warmup),
+                }) as Box<dyn Controller>)
+            },
+        );
+        reg.register("adaptive-k", description("adaptive-k"), |spec| {
+            let defaults = AdaptiveK::default();
+            let slow_factor = controller_float(
+                spec,
+                "controller.slow_factor",
+                spec.slow_factor,
+                defaults.slow_factor,
+                "a slow factor > 1",
+            )?;
+            if slow_factor <= 1.0 {
+                return Err(BuildError::InvalidValue {
+                    field: "controller.slow_factor",
+                    reason: format!(
+                        "controller `{}` needs a slow factor > 1, got {slow_factor}",
+                        spec.name
+                    ),
+                });
+            }
+            Ok(Box::new(AdaptiveK {
+                slow_factor,
+                warmup: spec.warmup.unwrap_or(defaults.warmup),
+                min_k: defaults.min_k,
+            }) as Box<dyn Controller>)
+        });
+        reg.register("regime-switch", description("regime-switch"), |spec| {
+            let defaults = RegimeSwitch::default();
+            let slow_factor = controller_float(
+                spec,
+                "controller.slow_factor",
+                spec.slow_factor,
+                defaults.slow_factor,
+                "a slow factor > 1",
+            )?;
+            if slow_factor <= 1.0 {
+                return Err(BuildError::InvalidValue {
+                    field: "controller.slow_factor",
+                    reason: format!(
+                        "controller `{}` needs a slow factor > 1, got {slow_factor}",
+                        spec.name
+                    ),
+                });
+            }
+            let hysteresis = spec.hysteresis.unwrap_or(defaults.hysteresis);
+            if hysteresis == 0 {
+                return Err(BuildError::InvalidValue {
+                    field: "controller.hysteresis",
+                    reason: format!("controller `{}` needs hysteresis >= 1, got 0", spec.name),
+                });
+            }
+            Ok(Box::new(RegimeSwitch {
+                slow_factor,
+                hysteresis,
+                min_k: defaults.min_k,
+            }) as Box<dyn Controller>)
+        });
+        reg
+    }
+
+    /// Registers (or replaces) a factory under `name` with a one-line
+    /// `description` (shown by `repro list`).
+    pub fn register<F>(
+        &mut self,
+        name: impl Into<String>,
+        description: impl Into<String>,
+        factory: F,
+    ) where
+        F: Fn(&ControllerSpec) -> Result<Box<dyn Controller>, BuildError> + Send + Sync + 'static,
+    {
+        self.factories
+            .insert(name.into(), (description.into(), Box::new(factory)));
+    }
+
+    /// Whether `name` resolves.
+    #[must_use]
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// Every registered name, sorted.
+    #[must_use]
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// Every `(name, description)` pair, sorted by name.
+    #[must_use]
+    pub fn descriptions(&self) -> Vec<(String, String)> {
+        self.factories
+            .iter()
+            .map(|(name, (desc, _))| (name.clone(), desc.clone()))
+            .collect()
+    }
+
+    /// Resolves and builds the controller `spec` describes.
+    ///
+    /// # Errors
+    /// [`BuildError::UnknownController`] when the name has no registration,
+    /// plus whatever parameter validation the factory reports.
+    pub fn build(&self, spec: &ControllerSpec) -> Result<Box<dyn Controller>, BuildError> {
+        let (_, factory) =
+            self.factories
+                .get(&spec.name)
+                .ok_or_else(|| BuildError::UnknownController {
+                    name: spec.name.clone(),
+                    known: self.names(),
+                })?;
+        factory(spec)
+    }
+}
+
+impl Default for ControllerRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+impl std::fmt::Debug for ControllerRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ControllerRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -658,5 +873,94 @@ mod tests {
         let p = reg.build(&PolicySpec::named("always-two")).unwrap();
         assert_eq!(p.name(), "fastest-k");
         assert!(reg.names().contains(&"always-two".to_string()));
+    }
+
+    #[test]
+    fn builtin_controllers_resolve_with_descriptions() {
+        let reg = ControllerRegistry::builtin();
+        for (name, description) in bcc_control::CONTROLLERS {
+            assert!(reg.contains(name), "missing builtin controller `{name}`");
+            assert!(
+                reg.descriptions()
+                    .iter()
+                    .any(|(n, d)| n == name && d == description),
+                "description drift for `{name}`"
+            );
+        }
+        assert_eq!(reg.descriptions().len(), 4);
+        let c = reg.build(&ControllerSpec::default()).unwrap();
+        assert_eq!(c.name(), "static");
+        let c = reg.build(&ControllerSpec::quantile_deadline(0.8)).unwrap();
+        assert_eq!(c.name(), "quantile-deadline");
+        let c = reg.build(&ControllerSpec::adaptive_k(4.0)).unwrap();
+        assert_eq!(c.name(), "adaptive-k");
+        let c = reg.build(&ControllerSpec::regime_switch(3)).unwrap();
+        assert_eq!(c.name(), "regime-switch");
+        // Bare names take the controller's documented defaults.
+        let c = reg
+            .build(&ControllerSpec::named("quantile-deadline"))
+            .unwrap();
+        assert_eq!(c.name(), "quantile-deadline");
+    }
+
+    #[test]
+    fn controller_parameter_validation_is_typed() {
+        let reg = ControllerRegistry::builtin();
+        for (spec, field) in [
+            (ControllerSpec::quantile_deadline(0.0), "controller.q"),
+            (ControllerSpec::quantile_deadline(1.5), "controller.q"),
+            (
+                ControllerSpec {
+                    margin: Some(-2.0),
+                    ..ControllerSpec::named("quantile-deadline")
+                },
+                "controller.margin",
+            ),
+            (ControllerSpec::adaptive_k(1.0), "controller.slow_factor"),
+            (
+                ControllerSpec {
+                    slow_factor: Some(0.5),
+                    ..ControllerSpec::named("regime-switch")
+                },
+                "controller.slow_factor",
+            ),
+            (ControllerSpec::regime_switch(0), "controller.hysteresis"),
+        ] {
+            let err = reg.build(&spec).unwrap_err();
+            match err {
+                BuildError::InvalidValue { field: f, .. } => assert_eq!(f, field, "{spec:?}"),
+                other => panic!("expected InvalidValue on {field}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_controller_lists_registrations() {
+        let reg = ControllerRegistry::builtin();
+        let err = reg.build(&ControllerSpec::named("pid")).unwrap_err();
+        match err {
+            BuildError::UnknownController { name, known } => {
+                assert_eq!(name, "pid");
+                assert_eq!(
+                    known,
+                    vec!["adaptive-k", "quantile-deadline", "regime-switch", "static"]
+                );
+            }
+            other => panic!("expected UnknownController, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn custom_controller_registrations_resolve() {
+        let mut reg = ControllerRegistry::builtin();
+        reg.register("eager-k", "adaptive-k with no warmup", |_spec| {
+            Ok(Box::new(bcc_control::AdaptiveK {
+                warmup: 0,
+                ..bcc_control::AdaptiveK::default()
+            }) as Box<dyn Controller>)
+        });
+        let c = reg.build(&ControllerSpec::named("eager-k")).unwrap();
+        assert_eq!(c.name(), "adaptive-k");
+        assert!(reg.names().contains(&"eager-k".to_string()));
     }
 }

@@ -259,6 +259,141 @@ impl Deserialize for ModeSpec {
     }
 }
 
+/// A straggler-controller reference: registry name plus the optional tuning
+/// parameters the built-ins take.
+///
+/// In JSON either a bare string (`"adaptive-k"`) or an object
+/// (`{"name": "quantile-deadline", "q": 0.7, "margin": 3.0}`). The
+/// bare-string form only admits the built-in names (a typo should fail at
+/// parse time, naming the valid variants); the object form passes any name
+/// through to the [`ControllerRegistry`](super::ControllerRegistry), so
+/// custom registrations stay reachable from spec files.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ControllerSpec {
+    /// Registry name (`"static"`, `"quantile-deadline"`, `"adaptive-k"`,
+    /// `"regime-switch"`, or a custom registration).
+    pub name: String,
+    /// Compute-time quantile `quantile-deadline` tracks.
+    pub q: Option<f64>,
+    /// Budget multiplier for `quantile-deadline` (absorbs communication
+    /// time on top of compute).
+    pub margin: Option<f64>,
+    /// Rounds to observe before acting (`quantile-deadline`,
+    /// `adaptive-k`).
+    pub warmup: Option<u64>,
+    /// EWMA multiple of the median that marks a worker slow
+    /// (`adaptive-k`, `regime-switch`).
+    pub slow_factor: Option<f64>,
+    /// Consecutive contrary rounds before the regime flips
+    /// (`regime-switch`).
+    pub hysteresis: Option<usize>,
+}
+
+impl ControllerSpec {
+    /// The default controller's registry name (the no-op, pinned
+    /// bit-identical to uncontrolled runs).
+    pub const DEFAULT_NAME: &'static str = "static";
+
+    /// The built-in controller names, for error messages and `repro list`.
+    pub const VARIANTS: &'static str = "static, quantile-deadline, adaptive-k, regime-switch";
+
+    /// A controller referenced by name alone.
+    #[must_use]
+    pub fn named(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            q: None,
+            margin: None,
+            warmup: None,
+            slow_factor: None,
+            hysteresis: None,
+        }
+    }
+
+    /// The built-in `quantile-deadline` controller tracking quantile `q`.
+    #[must_use]
+    pub fn quantile_deadline(q: f64) -> Self {
+        Self {
+            q: Some(q),
+            ..Self::named("quantile-deadline")
+        }
+    }
+
+    /// The built-in `adaptive-k` controller marking workers slow at
+    /// `slow_factor ×` the median EWMA.
+    #[must_use]
+    pub fn adaptive_k(slow_factor: f64) -> Self {
+        Self {
+            slow_factor: Some(slow_factor),
+            ..Self::named("adaptive-k")
+        }
+    }
+
+    /// The built-in `regime-switch` controller flipping after
+    /// `hysteresis` consecutive contrary rounds.
+    #[must_use]
+    pub fn regime_switch(hysteresis: usize) -> Self {
+        Self {
+            hysteresis: Some(hysteresis),
+            ..Self::named("regime-switch")
+        }
+    }
+
+    /// Whether this is the no-op default ([`Self::DEFAULT_NAME`]) — the
+    /// configuration under which every artifact replays byte-identically
+    /// to uncontrolled runs (no switchable policy is even installed).
+    #[must_use]
+    pub fn is_default(&self) -> bool {
+        self.name == Self::DEFAULT_NAME
+    }
+}
+
+impl Default for ControllerSpec {
+    fn default() -> Self {
+        Self::named(Self::DEFAULT_NAME)
+    }
+}
+
+impl From<&str> for ControllerSpec {
+    fn from(name: &str) -> Self {
+        Self::named(name)
+    }
+}
+
+impl From<String> for ControllerSpec {
+    fn from(name: String) -> Self {
+        Self::named(name)
+    }
+}
+
+impl Deserialize for ControllerSpec {
+    fn from_value(v: &Value) -> Result<Self, serde::Error> {
+        match v {
+            Value::Str(name) => {
+                if !bcc_control::CONTROLLERS.iter().any(|(n, _)| n == name) {
+                    return Err(serde::Error::msg(format!(
+                        "unknown controller `{name}`: expected one of {}",
+                        Self::VARIANTS
+                    )));
+                }
+                Ok(Self::named(name.clone()))
+            }
+            Value::Object(_) => Ok(Self {
+                name: String::from_value(v.field("name")?)?,
+                q: opt_field(v, "q")?,
+                margin: opt_field(v, "margin")?,
+                warmup: opt_field(v, "warmup")?,
+                slow_factor: opt_field(v, "slow_factor")?,
+                hysteresis: opt_field(v, "hysteresis")?,
+            }),
+            other => Err(serde::Error::msg(format!(
+                "expected controller name or {{name, q?, margin?, warmup?, slow_factor?, \
+                 hysteresis?}} object, got {other:?}"
+            ))),
+        }
+    }
+}
+
 /// Where the training data comes from.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub enum DataSpec {
@@ -672,6 +807,10 @@ pub struct ExperimentSpec {
     /// the paper's synchronous protocol — byte-identical to the pre-mode
     /// driver).
     pub mode: ModeSpec,
+    /// Straggler controller re-tuning the aggregation policy between
+    /// rounds (default: `static`, the no-op — byte-identical to
+    /// uncontrolled runs).
+    pub controller: ControllerSpec,
     /// GD iterations / measured rounds (default: 100, the paper's count).
     pub iterations: usize,
     /// Record the empirical risk each iteration (default: true).
@@ -708,6 +847,7 @@ impl ExperimentSpec {
             optimizer: OptimizerSpec::default(),
             policy: PolicySpec::default(),
             mode: ModeSpec::default(),
+            controller: ControllerSpec::default(),
             iterations: Self::DEFAULT_ITERATIONS,
             record_risk: Self::DEFAULT_RECORD_RISK,
             seed: Self::DEFAULT_SEED,
@@ -752,6 +892,7 @@ impl Deserialize for ExperimentSpec {
             optimizer: opt_field(v, "optimizer")?.unwrap_or(defaults.optimizer),
             policy: opt_field(v, "policy")?.unwrap_or(defaults.policy),
             mode: opt_field(v, "mode")?.unwrap_or(defaults.mode),
+            controller: opt_field(v, "controller")?.unwrap_or(defaults.controller),
             iterations: opt_field(v, "iterations")?.unwrap_or(defaults.iterations),
             record_risk: opt_field(v, "record_risk")?.unwrap_or(defaults.record_risk),
             seed: opt_field(v, "seed")?.unwrap_or(defaults.seed),
@@ -796,6 +937,44 @@ mod tests {
         assert!(spec.policy.is_default());
         assert_eq!(spec.mode, ModeSpec::named("ssgd"));
         assert!(spec.mode.is_default());
+        assert_eq!(spec.controller, ControllerSpec::named("static"));
+        assert!(spec.controller.is_default());
+    }
+
+    #[test]
+    fn controller_accepts_string_or_object() {
+        let c: ControllerSpec = serde_json::from_str(r#""adaptive-k""#).unwrap();
+        assert_eq!(c, ControllerSpec::named("adaptive-k"));
+        let c: ControllerSpec =
+            serde_json::from_str(r#"{"name": "quantile-deadline", "q": 0.7, "margin": 3.0}"#)
+                .unwrap();
+        assert_eq!(
+            c,
+            ControllerSpec {
+                margin: Some(3.0),
+                ..ControllerSpec::quantile_deadline(0.7)
+            }
+        );
+        let c: ControllerSpec =
+            serde_json::from_str(r#"{"name": "regime-switch", "hysteresis": 3}"#).unwrap();
+        assert_eq!(c, ControllerSpec::regime_switch(3));
+        // The object form defers name resolution to the registry, so custom
+        // registrations stay reachable from spec files.
+        let c: ControllerSpec = serde_json::from_str(r#"{"name": "my-controller"}"#).unwrap();
+        assert_eq!(c, ControllerSpec::named("my-controller"));
+    }
+
+    #[test]
+    fn unknown_bare_controller_error_names_valid_variants() {
+        let err = serde_json::from_str::<ControllerSpec>(r#""pid""#).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("unknown controller `pid`"), "got: {msg}");
+        assert!(msg.contains(ControllerSpec::VARIANTS), "got: {msg}");
+        let err = ExperimentSpec::from_json(
+            r#"{"workers": 4, "units": 4, "scheme": "uncoded", "controller": "pid"}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains(ControllerSpec::VARIANTS));
     }
 
     #[test]
@@ -892,6 +1071,11 @@ mod tests {
             },
             policy: PolicySpec::fastest_k(7),
             mode: ModeSpec::ssp(3),
+            controller: ControllerSpec {
+                margin: Some(2.5),
+                warmup: Some(4),
+                ..ControllerSpec::quantile_deadline(0.8)
+            },
             iterations: 17,
             record_risk: false,
             seed: u64::MAX,

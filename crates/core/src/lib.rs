@@ -41,8 +41,9 @@ pub mod theory;
 pub use driver::{DistributedGd, TrainingConfig, TrainingReport};
 pub use error::BccError;
 pub use experiment::{
-    BackendSpec, BuildError, DataSpec, Experiment, ExperimentBuilder, ExperimentReport,
-    ExperimentSpec, LatencySpec, LossSpec, ModeRegistry, ModeSpec, NetProfileSpec, OptimizerSpec,
-    PolicyRegistry, PolicySpec, SchemeRegistry, SchemeSpec,
+    BackendSpec, BuildError, ControllerRegistry, ControllerSpec, DataSpec, Experiment,
+    ExperimentBuilder, ExperimentReport, ExperimentSpec, LatencySpec, LossSpec, ModeRegistry,
+    ModeSpec, NetProfileSpec, OptimizerSpec, PolicyRegistry, PolicySpec, SchemeRegistry,
+    SchemeSpec,
 };
 pub use schemes::SchemeConfig;

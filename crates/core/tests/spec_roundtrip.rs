@@ -3,8 +3,8 @@
 //! an identical resolved scheme name, computational load, and seed.
 
 use bcc_core::experiment::{
-    BackendSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, ModeSpec, OptimizerSpec,
-    PolicySpec, SchemeSpec,
+    BackendSpec, ControllerSpec, DataSpec, ExperimentSpec, LatencySpec, LossSpec, ModeSpec,
+    OptimizerSpec, PolicySpec, SchemeSpec,
 };
 use bcc_core::schemes::SchemeConfig;
 use bcc_optim::LearningRate;
@@ -94,6 +94,22 @@ fn mode_strategy() -> impl Strategy<Value = ModeSpec> {
     ]
 }
 
+fn controller_strategy() -> impl Strategy<Value = ControllerSpec> {
+    prop_oneof![
+        Just(ControllerSpec::default()),
+        (0.01f64..0.99).prop_map(ControllerSpec::quantile_deadline),
+        (1.01f64..16.0).prop_map(ControllerSpec::adaptive_k),
+        (1usize..8).prop_map(ControllerSpec::regime_switch),
+        // Partially-specified object forms: unset parameters stay None
+        // through the round-trip and take the builtin defaults at build.
+        (0.01f64..0.99, 1.0f64..8.0, 0u64..10).prop_map(|(q, margin, warmup)| ControllerSpec {
+            margin: Some(margin),
+            warmup: Some(warmup),
+            ..ControllerSpec::quantile_deadline(q)
+        }),
+    ]
+}
+
 fn optimizer_strategy() -> impl Strategy<Value = OptimizerSpec> {
     prop_oneof![
         (0.01f64..1.0).prop_map(OptimizerSpec::nesterov),
@@ -115,6 +131,7 @@ proptest! {
         optimizer in optimizer_strategy(),
         policy in policy_strategy(),
         mode in mode_strategy(),
+        controller in controller_strategy(),
         threaded in proptest::prelude::any::<bool>(),
         squared in proptest::prelude::any::<bool>(),
         record_risk in proptest::prelude::any::<bool>(),
@@ -137,6 +154,7 @@ proptest! {
             optimizer,
             policy,
             mode,
+            controller,
             iterations,
             record_risk,
             seed,

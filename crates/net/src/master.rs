@@ -740,11 +740,14 @@ impl TcpCluster {
             self.dead_workers.extend(deaths);
             result?;
             let total_time = start.elapsed().as_secs_f64() / self.time_scale;
+            let arrivals = engine.arrival_stamps();
             let (aggregate, metrics) = engine.finish(total_time)?;
             let examples_used = ctx.selection_for(round).map(|sel| ctx.examples_in(&sel));
             driver.consume(
                 index,
-                RoundOutcome::new(aggregate, metrics).with_examples_used(examples_used),
+                RoundOutcome::new(aggregate, metrics)
+                    .with_examples_used(examples_used)
+                    .with_arrivals(arrivals),
             );
         }
         Ok(())
